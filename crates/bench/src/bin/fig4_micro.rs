@@ -1,0 +1,51 @@
+//! Figure 4: "DoppioJVM performance on microbenchmarks relative to the
+//! HotSpot interpreter. *CPU Time* measures the amount of time that
+//! DoppioJVM actually spends executing the benchmark, while
+//! *Wall-clock Time* measures overall benchmark duration."
+//!
+//! Reproduction: DeltaBlue and pidigits per browser, reporting both
+//! splits relative to the native baseline, exactly as the figure does.
+
+use doppio_bench::{ratio, rule};
+use doppio_jsengine::Browser;
+use doppio_workloads::{run_workload, MICRO_WORKLOADS};
+
+fn main() {
+    println!("Figure 4: microbenchmarks, CPU vs wall-clock slowdown vs native baseline");
+    println!("(paper: CPU and wall-clock nearly coincide — suspension is cheap)\n");
+
+    let browsers = Browser::EVALUATED;
+    print!("{:>22} |", "workload / split");
+    for b in browsers {
+        print!("{:>9}", b.name());
+    }
+    println!();
+    rule(22 + 2 + 9 * browsers.len());
+
+    for id in MICRO_WORKLOADS {
+        let native = run_workload(id, Browser::Native);
+        assert!(native.uncaught.is_none(), "{id} failed natively");
+        let runs: Vec<_> = browsers
+            .into_iter()
+            .map(|b| {
+                let r = run_workload(id, b);
+                assert_eq!(r.stdout, native.stdout, "{id} output differs on {b}");
+                r
+            })
+            .collect();
+        print!("{:>22} |", format!("{id} / cpu"));
+        for r in &runs {
+            print!("{:>9}", ratio(r.cpu_ns as f64 / native.wall_ns as f64));
+        }
+        println!();
+        print!("{:>22} |", format!("{id} / wall-clock"));
+        for r in &runs {
+            print!("{:>9}", ratio(r.wall_ns as f64 / native.wall_ns as f64));
+        }
+        println!();
+    }
+
+    println!("\nShape check: wall-clock should sit within a few percent of CPU");
+    println!("time on fast-resumption browsers (Chrome/Safari/IE10), and");
+    println!("notably above it only where resumption is slow.");
+}

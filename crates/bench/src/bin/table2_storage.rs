@@ -1,0 +1,103 @@
+//! Table 2: "Comparison of persistent storage mechanisms available in
+//! the browser" — format, synchrony, maximum size, and cross-browser
+//! compatibility.
+//!
+//! Reproduction: the static survey rows come from
+//! [`doppio_jsengine::storage::table2_rows`]; the availability matrix
+//! and the quota column are then **probed live** against every
+//! simulated browser profile (a write at the quota boundary must
+//! succeed, one past it must fail).
+
+use doppio_bench::rule;
+use doppio_jsengine::storage::{async_put, table2_rows, AsyncMechanism, SyncMechanism};
+use doppio_jsengine::{Browser, Engine};
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn main() {
+    println!("Table 2: browser persistent storage mechanisms\n");
+    println!(
+        "{:<14} {:<24} {:>6} {:>14} {:>8} {:>9}",
+        "mechanism", "format", "sync", "max size", "compat", "status"
+    );
+    rule(80);
+    for row in table2_rows() {
+        let size = match row.max_size_bytes {
+            Some(b) if b >= 1024 * 1024 => format!("{} MB", b / 1024 / 1024),
+            Some(b) => format!("{} KB", b / 1024),
+            None => "user-specified".to_string(),
+        };
+        println!(
+            "{:<14} {:<24} {:>6} {:>14} {:>7}% {:>9}",
+            row.name,
+            row.format,
+            if row.synchronous { "yes" } else { "no" },
+            size,
+            row.compatibility_pct,
+            if row.defunct { "defunct" } else { "standard" }
+        );
+    }
+
+    println!("\nLive availability probes per simulated browser:");
+    print!("{:>14} |", "mechanism");
+    for b in Browser::ALL {
+        print!("{:>9}", b.name());
+    }
+    println!();
+    rule(14 + 2 + 9 * Browser::ALL.len());
+
+    let sync_mechs = [
+        SyncMechanism::Cookies,
+        SyncMechanism::LocalStorage,
+        SyncMechanism::UserBehavior,
+    ];
+    for m in sync_mechs {
+        print!("{:>14} |", m.name());
+        for b in Browser::ALL {
+            let e = Engine::new(b);
+            let browser = e.profile().browser.name();
+            let ok = e.with_storage(|s, _| s.sync_store(m).set_item(browser, "probe", "x").is_ok());
+            print!("{:>9}", if ok { "yes" } else { "-" });
+        }
+        println!();
+    }
+    let async_mechs = [
+        AsyncMechanism::IndexedDb,
+        AsyncMechanism::WebSql,
+        AsyncMechanism::FileSystemApi,
+    ];
+    for m in async_mechs {
+        print!("{:>14} |", m.name());
+        for b in Browser::ALL {
+            let e = Engine::new(b);
+            let done = Rc::new(Cell::new(false));
+            let d = done.clone();
+            let started = async_put(&e, m, "probe".into(), vec![1], move |_, r| {
+                d.set(r.is_ok());
+            })
+            .is_ok();
+            e.run_until_idle();
+            print!("{:>9}", if started && done.get() { "yes" } else { "-" });
+        }
+        println!();
+    }
+
+    // Quota enforcement probe: localStorage's 5 MB boundary.
+    println!("\nQuota probe (localStorage, 5 MB):");
+    let e = Engine::new(Browser::Chrome);
+    let under = "x".repeat(2 * 1024 * 1024 - 64); // 4 MB minus slack
+    let fits = e.with_storage(|s, _| {
+        s.sync_store(SyncMechanism::LocalStorage)
+            .set_item("Chrome", "big", &under)
+            .is_ok()
+    });
+    let over = "y".repeat(1024 * 1024); // +2 MB more: over quota
+    let rejected = e.with_storage(|s, _| {
+        s.sync_store(SyncMechanism::LocalStorage)
+            .set_item("Chrome", "big2", &over)
+            .is_err()
+    });
+    println!("  4 MB write accepted: {fits}");
+    println!("  further 2 MB write rejected (quota): {rejected}");
+    assert!(fits && rejected, "quota probe failed");
+}

@@ -1,0 +1,62 @@
+//! Shared harness code for the figure/table binaries.
+//!
+//! Each binary under `src/bin/` regenerates one artifact of the
+//! paper's evaluation:
+//!
+//! * `table1_features`  — the feature-comparison matrix (Table 1)
+//! * `table2_storage`   — the storage-mechanism survey (Table 2)
+//! * `fig3_macro`       — macro benchmarks vs the native baseline
+//! * `fig4_micro`       — DeltaBlue/pidigits CPU vs wall-clock
+//! * `fig5_suspension`  — suspension time as % of runtime
+//! * `fig6_filesystem`  — the javac fs-trace replay
+//! * `ablation_resume`  — §4.4/§8 ablation: resumption mechanisms and
+//!   time-slice sweep
+//!
+//! Run them with `cargo run -p doppio-bench --release --bin <name>`.
+
+/// Geometric mean of a slice of ratios.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Render a ratio like the paper's figures ("32.4x").
+pub fn ratio(x: f64) -> String {
+    format!("{x:.1}x")
+}
+
+/// Render virtual nanoseconds as milliseconds.
+pub fn ms(ns: u64) -> String {
+    format!("{:.1} ms", ns as f64 / 1e6)
+}
+
+/// Print a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identical_values_is_the_value() {
+        assert!((geomean(&[4.0, 4.0, 4.0]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_matches_known_case() {
+        // geomean(2, 8) = 4
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(32.44), "32.4x");
+        assert_eq!(ms(1_500_000), "1.5 ms");
+    }
+}

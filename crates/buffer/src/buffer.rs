@@ -1,0 +1,522 @@
+//! The `Buffer` type itself.
+
+use doppio_jsengine::{Cost, Engine, JsString};
+
+use crate::encoding::{bytes_to_js, js_to_bytes, Encoding};
+use crate::int64::Int64;
+use crate::{BufferError, BufferResult};
+
+/// Which JavaScript data structure backs a buffer.
+///
+/// "DOPPIO's implementation of Buffer can either be backed by typed
+/// arrays if the browser has support for them, or by a regular
+/// JavaScript array of numbers" (§5.1). The backing determines the
+/// per-byte cost charged to the engine and whether the allocation is
+/// visible to the typed-array memory model (and thus to Safari's leak).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backing {
+    /// An `ArrayBuffer` + typed-array views: fast, little-endian.
+    TypedArray,
+    /// A plain JavaScript array of numbers: slow, but works everywhere.
+    JsArray,
+}
+
+/// A Node-style binary buffer living in the simulated browser.
+///
+/// Every byte of traffic is charged to the engine's virtual clock at
+/// the backing's rate, and typed-array backings register their
+/// allocation with the engine's memory model so the Safari
+/// typed-array-leak pathology of §7.1 can reproduce.
+#[derive(Debug)]
+pub struct Buffer {
+    engine: Engine,
+    backing: Backing,
+    data: Vec<u8>,
+}
+
+impl Buffer {
+    /// Allocate a zero-filled buffer of `len` bytes, choosing the
+    /// backing the active browser supports.
+    pub fn alloc(engine: &Engine, len: usize) -> Buffer {
+        let backing = if engine.profile().has_typed_arrays {
+            Backing::TypedArray
+        } else {
+            Backing::JsArray
+        };
+        Buffer::alloc_with_backing(engine, len, backing)
+    }
+
+    /// Allocate with an explicit backing (ablation experiments compare
+    /// the two).
+    pub fn alloc_with_backing(engine: &Engine, len: usize, backing: Backing) -> Buffer {
+        engine.charge(Cost::Alloc);
+        if backing == Backing::TypedArray {
+            engine.typed_array_alloc(len);
+        }
+        Buffer {
+            engine: engine.clone(),
+            backing,
+            data: vec![0; len],
+        }
+    }
+
+    /// Build a buffer holding a copy of `bytes`.
+    pub fn from_slice(engine: &Engine, bytes: &[u8]) -> Buffer {
+        let mut b = Buffer::alloc(engine, bytes.len());
+        b.charge_bytes(bytes.len());
+        b.data.copy_from_slice(bytes);
+        b
+    }
+
+    /// Decode a JavaScript string into a new buffer.
+    pub fn from_js_string(
+        engine: &Engine,
+        encoding: Encoding,
+        js: &JsString,
+    ) -> BufferResult<Buffer> {
+        let validates = engine.profile().validates_strings;
+        engine.charge_n(Cost::StringOp, js.len() as u64);
+        let bytes = js_to_bytes(encoding, js, validates)?;
+        Ok(Buffer::from_slice(engine, &bytes))
+    }
+
+    /// The backing in use.
+    pub fn backing(&self) -> Backing {
+        self.backing
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the raw bytes (no charge: this is a Rust-side view used
+    /// at simulation boundaries, not a JavaScript operation).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    fn charge_bytes(&self, n: usize) {
+        let cost = match self.backing {
+            Backing::TypedArray => Cost::TypedArrayByte,
+            Backing::JsArray => Cost::JsArrayByte,
+        };
+        self.engine.charge_n(cost, n as u64);
+    }
+
+    fn check(&self, offset: usize, len: usize) -> BufferResult<()> {
+        if offset
+            .checked_add(len)
+            .is_some_and(|end| end <= self.data.len())
+        {
+            Ok(())
+        } else {
+            Err(BufferError::OutOfRange {
+                offset,
+                len,
+                capacity: self.data.len(),
+            })
+        }
+    }
+
+    /// Fill the whole buffer with `byte`.
+    pub fn fill(&mut self, byte: u8) {
+        self.charge_bytes(self.data.len());
+        self.data.fill(byte);
+    }
+
+    /// Copy `src` into this buffer starting at `offset`.
+    pub fn write_slice(&mut self, offset: usize, src: &[u8]) -> BufferResult<()> {
+        self.check(offset, src.len())?;
+        self.charge_bytes(src.len());
+        self.data[offset..offset + src.len()].copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Copy `len` bytes from `offset` out of the buffer.
+    pub fn read_slice(&self, offset: usize, len: usize) -> BufferResult<Vec<u8>> {
+        self.check(offset, len)?;
+        self.charge_bytes(len);
+        Ok(self.data[offset..offset + len].to_vec())
+    }
+
+    /// Encode `[start, end)` as a JavaScript string.
+    pub fn to_js_string(
+        &self,
+        encoding: Encoding,
+        start: usize,
+        end: usize,
+    ) -> BufferResult<JsString> {
+        if start > end {
+            return Err(BufferError::OutOfRange {
+                offset: start,
+                len: 0,
+                capacity: self.data.len(),
+            });
+        }
+        self.check(start, end - start)?;
+        self.charge_bytes(end - start);
+        self.engine.charge_n(Cost::StringOp, (end - start) as u64);
+        Ok(bytes_to_js(
+            encoding,
+            &self.data[start..end],
+            self.engine.profile().validates_strings,
+        ))
+    }
+
+    /// Encode the whole buffer as a JavaScript string.
+    pub fn to_js_string_full(&self, encoding: Encoding) -> BufferResult<JsString> {
+        self.to_js_string(encoding, 0, self.data.len())
+    }
+}
+
+/// Generate fixed-width integer read/write methods.
+macro_rules! int_rw {
+    ($read:ident, $write:ident, $ty:ty, $bytes:expr, $from:ident, $to:ident, $cost:expr) => {
+        impl Buffer {
+            #[doc = concat!("Read a `", stringify!($ty), "` at `offset`.")]
+            pub fn $read(&self, offset: usize) -> BufferResult<$ty> {
+                self.check(offset, $bytes)?;
+                self.charge_bytes($bytes);
+                self.engine.charge($cost);
+                let mut raw = [0u8; $bytes];
+                raw.copy_from_slice(&self.data[offset..offset + $bytes]);
+                Ok(<$ty>::$from(raw))
+            }
+
+            #[doc = concat!("Write a `", stringify!($ty), "` at `offset`.")]
+            pub fn $write(&mut self, offset: usize, value: $ty) -> BufferResult<()> {
+                self.check(offset, $bytes)?;
+                self.charge_bytes($bytes);
+                self.engine.charge($cost);
+                self.data[offset..offset + $bytes].copy_from_slice(&value.$to());
+                Ok(())
+            }
+        }
+    };
+}
+
+int_rw!(
+    read_u8,
+    write_u8,
+    u8,
+    1,
+    from_le_bytes,
+    to_le_bytes,
+    Cost::IntOp
+);
+int_rw!(
+    read_i8,
+    write_i8,
+    i8,
+    1,
+    from_le_bytes,
+    to_le_bytes,
+    Cost::IntOp
+);
+int_rw!(
+    read_u16_le,
+    write_u16_le,
+    u16,
+    2,
+    from_le_bytes,
+    to_le_bytes,
+    Cost::IntOp
+);
+int_rw!(
+    read_u16_be,
+    write_u16_be,
+    u16,
+    2,
+    from_be_bytes,
+    to_be_bytes,
+    Cost::IntOp
+);
+int_rw!(
+    read_i16_le,
+    write_i16_le,
+    i16,
+    2,
+    from_le_bytes,
+    to_le_bytes,
+    Cost::IntOp
+);
+int_rw!(
+    read_i16_be,
+    write_i16_be,
+    i16,
+    2,
+    from_be_bytes,
+    to_be_bytes,
+    Cost::IntOp
+);
+int_rw!(
+    read_u32_le,
+    write_u32_le,
+    u32,
+    4,
+    from_le_bytes,
+    to_le_bytes,
+    Cost::IntOp
+);
+int_rw!(
+    read_u32_be,
+    write_u32_be,
+    u32,
+    4,
+    from_be_bytes,
+    to_be_bytes,
+    Cost::IntOp
+);
+int_rw!(
+    read_i32_le,
+    write_i32_le,
+    i32,
+    4,
+    from_le_bytes,
+    to_le_bytes,
+    Cost::IntOp
+);
+int_rw!(
+    read_i32_be,
+    write_i32_be,
+    i32,
+    4,
+    from_be_bytes,
+    to_be_bytes,
+    Cost::IntOp
+);
+int_rw!(
+    read_f32_le,
+    write_f32_le,
+    f32,
+    4,
+    from_le_bytes,
+    to_le_bytes,
+    Cost::FloatOp
+);
+int_rw!(
+    read_f32_be,
+    write_f32_be,
+    f32,
+    4,
+    from_be_bytes,
+    to_be_bytes,
+    Cost::FloatOp
+);
+int_rw!(
+    read_f64_le,
+    write_f64_le,
+    f64,
+    8,
+    from_le_bytes,
+    to_le_bytes,
+    Cost::FloatOp
+);
+int_rw!(
+    read_f64_be,
+    write_f64_be,
+    f64,
+    8,
+    from_be_bytes,
+    to_be_bytes,
+    Cost::FloatOp
+);
+
+impl Buffer {
+    /// Read a 64-bit integer at `offset` (big-endian, as class files and
+    /// the JVM use), through the software [`Int64`] path.
+    pub fn read_i64_be(&self, offset: usize) -> BufferResult<Int64> {
+        self.check(offset, 8)?;
+        self.charge_bytes(8);
+        self.engine.charge(Cost::LongOp);
+        let hi = u32::from_be_bytes(self.data[offset..offset + 4].try_into().expect("4 bytes"));
+        let lo = u32::from_be_bytes(
+            self.data[offset + 4..offset + 8]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        Ok(Int64::from_parts(lo, hi))
+    }
+
+    /// Write a 64-bit integer at `offset` (big-endian).
+    pub fn write_i64_be(&mut self, offset: usize, value: Int64) -> BufferResult<()> {
+        self.check(offset, 8)?;
+        self.charge_bytes(8);
+        self.engine.charge(Cost::LongOp);
+        self.data[offset..offset + 4].copy_from_slice(&value.hi().to_be_bytes());
+        self.data[offset + 4..offset + 8].copy_from_slice(&value.lo().to_be_bytes());
+        Ok(())
+    }
+
+    /// Read a 64-bit integer at `offset` (little-endian, the unmanaged
+    /// heap's byte order).
+    pub fn read_i64_le(&self, offset: usize) -> BufferResult<Int64> {
+        self.check(offset, 8)?;
+        self.charge_bytes(8);
+        self.engine.charge(Cost::LongOp);
+        let lo = u32::from_le_bytes(self.data[offset..offset + 4].try_into().expect("4 bytes"));
+        let hi = u32::from_le_bytes(
+            self.data[offset + 4..offset + 8]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        Ok(Int64::from_parts(lo, hi))
+    }
+
+    /// Write a 64-bit integer at `offset` (little-endian).
+    pub fn write_i64_le(&mut self, offset: usize, value: Int64) -> BufferResult<()> {
+        self.check(offset, 8)?;
+        self.charge_bytes(8);
+        self.engine.charge(Cost::LongOp);
+        self.data[offset..offset + 4].copy_from_slice(&value.lo().to_le_bytes());
+        self.data[offset + 4..offset + 8].copy_from_slice(&value.hi().to_le_bytes());
+        Ok(())
+    }
+}
+
+impl Drop for Buffer {
+    fn drop(&mut self) {
+        // On a leaking profile (Safari) the engine ignores this free and
+        // the bytes stay resident — the §7.1 pathology.
+        if self.backing == Backing::TypedArray {
+            self.engine.typed_array_free(self.data.len());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppio_jsengine::Browser;
+
+    #[test]
+    fn backing_follows_browser_capability() {
+        let chrome = Engine::new(Browser::Chrome);
+        assert_eq!(Buffer::alloc(&chrome, 4).backing(), Backing::TypedArray);
+        let ie8 = Engine::new(Browser::Ie8);
+        assert_eq!(Buffer::alloc(&ie8, 4).backing(), Backing::JsArray);
+    }
+
+    #[test]
+    fn integer_round_trips_both_endians() {
+        let e = Engine::native();
+        let mut b = Buffer::alloc(&e, 32);
+        b.write_u16_le(0, 0xBEEF).unwrap();
+        b.write_u16_be(2, 0xBEEF).unwrap();
+        b.write_i32_le(4, -123456).unwrap();
+        b.write_i32_be(8, -123456).unwrap();
+        b.write_f64_le(16, core::f64::consts::PI).unwrap();
+        assert_eq!(b.read_u16_le(0).unwrap(), 0xBEEF);
+        assert_eq!(b.read_u16_be(2).unwrap(), 0xBEEF);
+        assert_eq!(b.read_i32_le(4).unwrap(), -123456);
+        assert_eq!(b.read_i32_be(8).unwrap(), -123456);
+        assert_eq!(b.read_f64_le(16).unwrap(), core::f64::consts::PI);
+        // LE and BE of the same value lay down mirrored bytes.
+        assert_eq!(b.as_slice()[0], b.as_slice()[3]);
+        assert_eq!(b.as_slice()[1], b.as_slice()[2]);
+    }
+
+    #[test]
+    fn int64_round_trips() {
+        let e = Engine::native();
+        let mut b = Buffer::alloc(&e, 16);
+        let v = Int64::from_i64(-0x0123_4567_89AB_CDEF);
+        b.write_i64_be(0, v).unwrap();
+        b.write_i64_le(8, v).unwrap();
+        assert_eq!(b.read_i64_be(0).unwrap(), v);
+        assert_eq!(b.read_i64_le(8).unwrap(), v);
+        // BE lays the sign byte first; LE lays it last.
+        assert_eq!(b.as_slice()[0], b.as_slice()[15]);
+    }
+
+    #[test]
+    fn out_of_range_is_reported_not_panicked() {
+        let e = Engine::native();
+        let b = Buffer::alloc(&e, 4);
+        let err = b.read_u32_le(1).unwrap_err();
+        assert!(matches!(err, BufferError::OutOfRange { capacity: 4, .. }));
+        let err = b.read_u8(4).unwrap_err();
+        assert!(matches!(err, BufferError::OutOfRange { .. }));
+    }
+
+    #[test]
+    fn string_round_trip_through_every_encoding() {
+        let e = Engine::new(Browser::Chrome);
+        let payload: Vec<u8> = (0u8..=255).collect();
+        let buf = Buffer::from_slice(&e, &payload);
+        for enc in [
+            Encoding::Base64,
+            Encoding::Hex,
+            Encoding::Latin1,
+            Encoding::BinaryString,
+        ] {
+            let js = buf.to_js_string_full(enc).unwrap();
+            let back = Buffer::from_js_string(&e, enc, &js).unwrap();
+            assert_eq!(back.as_slice(), &payload[..], "encoding {enc:?}");
+        }
+    }
+
+    #[test]
+    fn binary_string_density_depends_on_browser() {
+        let payload = vec![0xABu8; 1000];
+        let chrome = Engine::new(Browser::Chrome); // no validation
+        let ie10 = Engine::new(Browser::Ie10); // validates strings
+        let js_packed = Buffer::from_slice(&chrome, &payload)
+            .to_js_string_full(Encoding::BinaryString)
+            .unwrap();
+        let js_plain = Buffer::from_slice(&ie10, &payload)
+            .to_js_string_full(Encoding::BinaryString)
+            .unwrap();
+        assert_eq!(js_packed.len(), 501); // header + 500 packed units
+        assert_eq!(js_plain.len(), 1000);
+    }
+
+    #[test]
+    fn typed_array_buffers_register_with_memory_model() {
+        let e = Engine::new(Browser::Chrome);
+        {
+            let _b = Buffer::alloc(&e, 1024);
+            assert_eq!(e.typed_array_resident_bytes(), 1024);
+        }
+        assert_eq!(e.typed_array_resident_bytes(), 0);
+    }
+
+    #[test]
+    fn safari_leaks_dropped_buffers() {
+        let e = Engine::new(Browser::Safari);
+        for _ in 0..10 {
+            let _b = Buffer::alloc(&e, 1024);
+        }
+        assert_eq!(e.typed_array_resident_bytes(), 10 * 1024);
+    }
+
+    #[test]
+    fn js_array_backing_charges_more_than_typed() {
+        let e = Engine::new(Browser::Chrome);
+        let mut typed = Buffer::alloc_with_backing(&e, 1000, Backing::TypedArray);
+        let mut js = Buffer::alloc_with_backing(&e, 1000, Backing::JsArray);
+        let t0 = e.now_ns();
+        typed.fill(1);
+        let typed_cost = e.now_ns() - t0;
+        let t1 = e.now_ns();
+        js.fill(1);
+        let js_cost = e.now_ns() - t1;
+        assert!(js_cost > typed_cost);
+    }
+
+    #[test]
+    fn write_and_read_slices() {
+        let e = Engine::native();
+        let mut b = Buffer::alloc(&e, 8);
+        b.write_slice(2, &[1, 2, 3]).unwrap();
+        assert_eq!(b.read_slice(2, 3).unwrap(), vec![1, 2, 3]);
+        assert!(b.write_slice(6, &[1, 2, 3]).is_err());
+        assert!(b.read_slice(7, 2).is_err());
+    }
+}

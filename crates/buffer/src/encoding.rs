@@ -1,0 +1,418 @@
+//! String encodings for binary data (§5.1).
+//!
+//! The Buffer module "contains a mechanism for reading and writing
+//! binary string data in various formats (ASCII, UTF-8, UTF-16, UCS-2,
+//! BASE64, and HEX)", plus Doppio's special **binary string** format
+//! that packs 2 bytes of data into each UTF-16 code unit — the
+//! centralized bridge every file-system backend uses to talk to
+//! string-based persistent storage.
+//!
+//! On browsers that validity-check strings, 2-byte packing would
+//! produce rejected lone surrogates, so [`Encoding::BinaryString`]
+//! "reverts to storing a single byte per character" there — halving
+//! effective storage density, exactly as the paper describes.
+
+use doppio_jsengine::JsString;
+
+use crate::{BufferError, BufferResult};
+
+/// The string encodings the Buffer module supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Encoding {
+    /// 7-bit ASCII: one code unit per byte, high bit dropped.
+    Ascii,
+    /// UTF-8.
+    Utf8,
+    /// UTF-16, little-endian byte order.
+    Utf16Le,
+    /// UCS-2 (UTF-16 without surrogate interpretation).
+    Ucs2,
+    /// Base64 (RFC 4648, with padding).
+    Base64,
+    /// Lowercase hexadecimal.
+    Hex,
+    /// Node's `binary`/latin-1: one byte per code unit, verbatim.
+    Latin1,
+    /// Doppio's packed binary-string format: two bytes per code unit on
+    /// browsers that don't validate strings, one byte per unit on
+    /// browsers that do.
+    BinaryString,
+}
+
+impl Encoding {
+    /// Parse a Node-style encoding name (`"utf8"`, `"base64"`, ...).
+    pub fn from_name(name: &str) -> Option<Encoding> {
+        match name.to_ascii_lowercase().as_str() {
+            "ascii" => Some(Encoding::Ascii),
+            "utf8" | "utf-8" => Some(Encoding::Utf8),
+            "utf16le" | "utf-16le" => Some(Encoding::Utf16Le),
+            "ucs2" | "ucs-2" => Some(Encoding::Ucs2),
+            "base64" => Some(Encoding::Base64),
+            "hex" => Some(Encoding::Hex),
+            "binary" | "latin1" => Some(Encoding::Latin1),
+            "binary_string" | "binarystring" => Some(Encoding::BinaryString),
+            _ => None,
+        }
+    }
+
+    /// Node-style name of this encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            Encoding::Ascii => "ascii",
+            Encoding::Utf8 => "utf8",
+            Encoding::Utf16Le => "utf16le",
+            Encoding::Ucs2 => "ucs2",
+            Encoding::Base64 => "base64",
+            Encoding::Hex => "hex",
+            Encoding::Latin1 => "binary",
+            Encoding::BinaryString => "binary_string",
+        }
+    }
+}
+
+const BASE64_ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+fn base64_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b = [
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        ];
+        let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        let idx = [(n >> 18) & 63, (n >> 12) & 63, (n >> 6) & 63, n & 63];
+        out.push(BASE64_ALPHABET[idx[0] as usize] as char);
+        out.push(BASE64_ALPHABET[idx[1] as usize] as char);
+        out.push(if chunk.len() > 1 {
+            BASE64_ALPHABET[idx[2] as usize] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            BASE64_ALPHABET[idx[3] as usize] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+fn base64_value(c: u8) -> Option<u32> {
+    match c {
+        b'A'..=b'Z' => Some(u32::from(c - b'A')),
+        b'a'..=b'z' => Some(u32::from(c - b'a') + 26),
+        b'0'..=b'9' => Some(u32::from(c - b'0') + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+fn base64_decode(s: &str) -> BufferResult<Vec<u8>> {
+    let bad = |detail: String| BufferError::BadEncoding {
+        encoding: Encoding::Base64,
+        detail,
+    };
+    let raw: Vec<u8> = s.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
+    if !raw.len().is_multiple_of(4) {
+        return Err(bad(format!("length {} is not a multiple of 4", raw.len())));
+    }
+    let mut out = Vec::with_capacity(raw.len() / 4 * 3);
+    for chunk in raw.chunks(4) {
+        let pad = chunk.iter().filter(|&&c| c == b'=').count();
+        if pad > 2
+            || (pad > 0
+                && chunk
+                    != &chunk[..4 - pad]
+                        .iter()
+                        .copied()
+                        .chain(std::iter::repeat_n(b'=', pad))
+                        .collect::<Vec<_>>()[..])
+        {
+            return Err(bad("misplaced padding".into()));
+        }
+        let mut n = 0u32;
+        for &c in &chunk[..4 - pad] {
+            let v =
+                base64_value(c).ok_or_else(|| bad(format!("invalid character {:?}", c as char)))?;
+            n = (n << 6) | v;
+        }
+        n <<= 6 * pad as u32;
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble < 16"));
+        out.push(char::from_digit(u32::from(b & 15), 16).expect("nibble < 16"));
+    }
+    out
+}
+
+fn hex_decode(s: &str) -> BufferResult<Vec<u8>> {
+    let bad = |detail: String| BufferError::BadEncoding {
+        encoding: Encoding::Hex,
+        detail,
+    };
+    let chars: Vec<char> = s.chars().collect();
+    if !chars.len().is_multiple_of(2) {
+        return Err(bad("odd number of hex digits".into()));
+    }
+    chars
+        .chunks(2)
+        .map(|pair| {
+            let hi = pair[0]
+                .to_digit(16)
+                .ok_or_else(|| bad(format!("invalid hex digit {:?}", pair[0])))?;
+            let lo = pair[1]
+                .to_digit(16)
+                .ok_or_else(|| bad(format!("invalid hex digit {:?}", pair[1])))?;
+            Ok((hi * 16 + lo) as u8)
+        })
+        .collect()
+}
+
+/// Decode `bytes` into a JavaScript string under `encoding`.
+///
+/// `validates_strings` is the active browser's string-validation flag;
+/// it selects the density of [`Encoding::BinaryString`].
+pub fn bytes_to_js(encoding: Encoding, bytes: &[u8], validates_strings: bool) -> JsString {
+    match encoding {
+        Encoding::Ascii => {
+            JsString::from_units(bytes.iter().map(|&b| u16::from(b & 0x7F)).collect())
+        }
+        Encoding::Latin1 => JsString::from_units(bytes.iter().map(|&b| u16::from(b)).collect()),
+        Encoding::Utf8 => JsString::from(String::from_utf8_lossy(bytes).as_ref()),
+        Encoding::Utf16Le | Encoding::Ucs2 => {
+            let mut units: Vec<u16> = bytes
+                .chunks_exact(2)
+                .map(|p| u16::from_le_bytes([p[0], p[1]]))
+                .collect();
+            if bytes.len() % 2 == 1 {
+                // Node truncates a trailing odd byte; mirror that.
+                let _ = &mut units;
+            }
+            JsString::from_units(units)
+        }
+        Encoding::Base64 => JsString::from(base64_encode(bytes).as_str()),
+        Encoding::Hex => JsString::from(hex_encode(bytes).as_str()),
+        Encoding::BinaryString => {
+            if validates_strings {
+                // One byte per unit, offset into a valid plane to avoid
+                // NUL and control issues; plain latin-1 is already valid
+                // UTF-16, so byte-per-unit verbatim is safe.
+                JsString::from_units(bytes.iter().map(|&b| u16::from(b)).collect())
+            } else {
+                // Two bytes per unit. The first unit records whether the
+                // final unit carries one byte or two, so decoding knows
+                // the exact original length.
+                let mut units = Vec::with_capacity(1 + bytes.len().div_ceil(2));
+                units.push((bytes.len() % 2) as u16);
+                for pair in bytes.chunks(2) {
+                    let lo = u16::from(pair[0]);
+                    let hi = pair.get(1).map(|&b| u16::from(b)).unwrap_or(0);
+                    units.push(lo | (hi << 8));
+                }
+                JsString::from_units(units)
+            }
+        }
+    }
+}
+
+/// Encode a JavaScript string back into bytes under `encoding`.
+pub fn js_to_bytes(
+    encoding: Encoding,
+    js: &JsString,
+    validates_strings: bool,
+) -> BufferResult<Vec<u8>> {
+    match encoding {
+        Encoding::Ascii => Ok(js.units().iter().map(|&u| (u & 0x7F) as u8).collect()),
+        Encoding::Latin1 => Ok(js.units().iter().map(|&u| u as u8).collect()),
+        Encoding::Utf8 => Ok(js.to_string_lossy().into_bytes()),
+        Encoding::Utf16Le | Encoding::Ucs2 => {
+            Ok(js.units().iter().flat_map(|u| u.to_le_bytes()).collect())
+        }
+        Encoding::Base64 => base64_decode(&js.to_string_lossy()),
+        Encoding::Hex => hex_decode(&js.to_string_lossy()),
+        Encoding::BinaryString => {
+            if validates_strings {
+                Ok(js.units().iter().map(|&u| u as u8).collect())
+            } else {
+                let units = js.units();
+                if units.is_empty() {
+                    return Err(BufferError::BadEncoding {
+                        encoding,
+                        detail: "missing binary-string header unit".into(),
+                    });
+                }
+                let odd = units[0] == 1;
+                let mut out = Vec::with_capacity((units.len() - 1) * 2);
+                for (i, &u) in units[1..].iter().enumerate() {
+                    out.push((u & 0xFF) as u8);
+                    let last = i == units.len() - 2;
+                    if !(last && odd) {
+                        out.push((u >> 8) as u8);
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bytes() -> Vec<Vec<u8>> {
+        vec![
+            vec![],
+            vec![0],
+            vec![0xFF],
+            b"hello world".to_vec(),
+            (0u8..=255).collect(),
+            vec![0xDE, 0xAD, 0xBE, 0xEF, 0x42],
+        ]
+    }
+
+    #[test]
+    fn base64_round_trips() {
+        for bytes in sample_bytes() {
+            let js = bytes_to_js(Encoding::Base64, &bytes, false);
+            assert_eq!(js_to_bytes(Encoding::Base64, &js, false).unwrap(), bytes);
+        }
+    }
+
+    #[test]
+    fn base64_known_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"", ""),
+            (b"f", "Zg=="),
+            (b"fo", "Zm8="),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg=="),
+            (b"fooba", "Zm9vYmE="),
+            (b"foobar", "Zm9vYmFy"),
+        ];
+        for (bytes, expect) in cases {
+            assert_eq!(base64_encode(bytes), *expect);
+            assert_eq!(base64_decode(expect).unwrap(), bytes.to_vec());
+        }
+    }
+
+    #[test]
+    fn base64_rejects_garbage() {
+        assert!(base64_decode("a").is_err());
+        assert!(base64_decode("ab!d").is_err());
+        assert!(base64_decode("=abc").is_err());
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        for bytes in sample_bytes() {
+            let js = bytes_to_js(Encoding::Hex, &bytes, false);
+            assert_eq!(js_to_bytes(Encoding::Hex, &js, false).unwrap(), bytes);
+        }
+    }
+
+    #[test]
+    fn hex_rejects_garbage() {
+        assert!(hex_decode("f").is_err());
+        assert!(hex_decode("zz").is_err());
+    }
+
+    #[test]
+    fn latin1_round_trips_all_bytes() {
+        let bytes: Vec<u8> = (0u8..=255).collect();
+        let js = bytes_to_js(Encoding::Latin1, &bytes, false);
+        assert_eq!(js.len(), 256);
+        assert_eq!(js_to_bytes(Encoding::Latin1, &js, false).unwrap(), bytes);
+    }
+
+    #[test]
+    fn ascii_drops_high_bit() {
+        let js = bytes_to_js(Encoding::Ascii, &[0xC1], false);
+        assert_eq!(js.units(), &[0x41]);
+    }
+
+    #[test]
+    fn utf8_round_trips_valid_text() {
+        let text = "héllo, wörld \u{1F600}";
+        let js = bytes_to_js(Encoding::Utf8, text.as_bytes(), false);
+        assert_eq!(
+            js_to_bytes(Encoding::Utf8, &js, false).unwrap(),
+            text.as_bytes()
+        );
+    }
+
+    #[test]
+    fn utf16le_round_trips() {
+        let text = "abc\u{1F600}";
+        let bytes: Vec<u8> = text.encode_utf16().flat_map(u16::to_le_bytes).collect();
+        let js = bytes_to_js(Encoding::Utf16Le, &bytes, false);
+        assert_eq!(js.to_string_lossy(), text);
+        assert_eq!(js_to_bytes(Encoding::Utf16Le, &js, false).unwrap(), bytes);
+    }
+
+    #[test]
+    fn binary_string_packs_two_bytes_per_unit_without_validation() {
+        for bytes in sample_bytes() {
+            let js = bytes_to_js(Encoding::BinaryString, &bytes, false);
+            // Header + ceil(n/2) units.
+            assert_eq!(js.len(), 1 + bytes.len().div_ceil(2));
+            assert_eq!(
+                js_to_bytes(Encoding::BinaryString, &js, false).unwrap(),
+                bytes
+            );
+        }
+    }
+
+    #[test]
+    fn binary_string_falls_back_to_one_byte_per_unit_with_validation() {
+        for bytes in sample_bytes() {
+            let js = bytes_to_js(Encoding::BinaryString, &bytes, true);
+            assert_eq!(js.len(), bytes.len());
+            assert!(js.is_valid_utf16(), "validated browsers demand validity");
+            assert_eq!(
+                js_to_bytes(Encoding::BinaryString, &js, true).unwrap(),
+                bytes
+            );
+        }
+    }
+
+    #[test]
+    fn packed_format_halves_storage_footprint() {
+        let bytes = vec![7u8; 10_000];
+        let packed = bytes_to_js(Encoding::BinaryString, &bytes, false);
+        let plain = bytes_to_js(Encoding::BinaryString, &bytes, true);
+        assert!(packed.storage_bytes() < plain.storage_bytes() / 2 + 16);
+    }
+
+    #[test]
+    fn encoding_names_round_trip() {
+        for e in [
+            Encoding::Ascii,
+            Encoding::Utf8,
+            Encoding::Utf16Le,
+            Encoding::Ucs2,
+            Encoding::Base64,
+            Encoding::Hex,
+            Encoding::Latin1,
+            Encoding::BinaryString,
+        ] {
+            assert_eq!(Encoding::from_name(e.name()), Some(e));
+        }
+        assert_eq!(Encoding::from_name("klingon"), None);
+    }
+}

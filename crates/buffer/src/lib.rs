@@ -1,0 +1,82 @@
+//! The Node JS `Buffer` module, emulated for the browser (§5.1).
+//!
+//! "Because it is a high-level language, JavaScript does not offer
+//! extensive support for manipulating binary data." Doppio fills the
+//! gap by implementing Node's `Buffer` in the browser, backed either by
+//! **typed arrays** (when the browser has them) or by a plain
+//! **JavaScript array of numbers** (when it doesn't — IE8). The string
+//! conversion machinery doubles as the bridge between binary file data
+//! and the browser's string-based persistent storage mechanisms,
+//! including a special **binary string** format that packs two bytes
+//! into each UTF-16 code unit on browsers that don't validity-check
+//! strings.
+//!
+//! # Example
+//!
+//! ```
+//! use doppio_jsengine::{Browser, Engine};
+//! use doppio_buffer::{Buffer, Encoding};
+//!
+//! let engine = Engine::new(Browser::Chrome);
+//! let mut buf = Buffer::alloc(&engine, 8);
+//! buf.write_u32_le(0, 0xDEADBEEF).unwrap();
+//! buf.write_f32_be(4, 1.5).unwrap();
+//! assert_eq!(buf.read_u32_le(0).unwrap(), 0xDEADBEEF);
+//! assert_eq!(buf.read_f32_be(4).unwrap(), 1.5);
+//!
+//! let hex = buf.to_js_string(Encoding::Hex, 0, 4).unwrap();
+//! assert_eq!(hex.to_string_lossy(), "efbeadde"); // little-endian bytes
+//! ```
+
+pub mod encoding;
+pub mod int64;
+
+mod buffer;
+
+pub use buffer::{Backing, Buffer};
+pub use encoding::Encoding;
+pub use int64::Int64;
+
+/// Errors raised by Buffer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BufferError {
+    /// A read or write ran past the end of the buffer.
+    OutOfRange {
+        /// Requested offset.
+        offset: usize,
+        /// Bytes needed at that offset.
+        len: usize,
+        /// Buffer capacity.
+        capacity: usize,
+    },
+    /// The input string could not be decoded under the given encoding.
+    BadEncoding {
+        /// Which encoding rejected the data.
+        encoding: Encoding,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for BufferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BufferError::OutOfRange {
+                offset,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "buffer access out of range: {len} bytes at offset {offset}, capacity {capacity}"
+            ),
+            BufferError::BadEncoding { encoding, detail } => {
+                write!(f, "cannot decode as {encoding:?}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BufferError {}
+
+/// Result alias for Buffer operations.
+pub type BufferResult<T> = Result<T, BufferError>;

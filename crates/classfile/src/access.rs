@@ -1,0 +1,29 @@
+//! Access and property flags (JVMS2 §4.1, §4.5, §4.6).
+
+/// Declared `public`.
+pub const ACC_PUBLIC: u16 = 0x0001;
+/// Declared `private`.
+pub const ACC_PRIVATE: u16 = 0x0002;
+/// Declared `protected`.
+pub const ACC_PROTECTED: u16 = 0x0004;
+/// Declared `static`.
+pub const ACC_STATIC: u16 = 0x0008;
+/// Declared `final`.
+pub const ACC_FINAL: u16 = 0x0010;
+/// (On classes) treat superclass methods specially in `invokespecial`;
+/// (on methods) declared `synchronized`.
+pub const ACC_SUPER: u16 = 0x0020;
+/// Declared `synchronized` (methods).
+pub const ACC_SYNCHRONIZED: u16 = 0x0020;
+/// Declared `volatile` (fields).
+pub const ACC_VOLATILE: u16 = 0x0040;
+/// Declared `transient` (fields).
+pub const ACC_TRANSIENT: u16 = 0x0080;
+/// Declared `native` (methods).
+pub const ACC_NATIVE: u16 = 0x0100;
+/// Is an interface.
+pub const ACC_INTERFACE: u16 = 0x0200;
+/// Declared `abstract`.
+pub const ACC_ABSTRACT: u16 = 0x0400;
+/// Strict floating-point (methods).
+pub const ACC_STRICT: u16 = 0x0800;

@@ -1,0 +1,268 @@
+//! The constant pool (JVMS2 §4.4).
+
+use crate::error::{ClassError, ClassResult};
+
+/// One constant-pool entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constant {
+    /// Modified-UTF-8 string (we store it decoded).
+    Utf8(String),
+    /// `CONSTANT_Integer`.
+    Integer(i32),
+    /// `CONSTANT_Float`.
+    Float(f32),
+    /// `CONSTANT_Long` (occupies two slots).
+    Long(i64),
+    /// `CONSTANT_Double` (occupies two slots).
+    Double(f64),
+    /// `CONSTANT_Class`: index of the binary class name.
+    Class {
+        /// Utf8 index of the class name.
+        name_index: u16,
+    },
+    /// `CONSTANT_String`: index of the character data.
+    String {
+        /// Utf8 index of the string value.
+        string_index: u16,
+    },
+    /// `CONSTANT_Fieldref`.
+    Fieldref {
+        /// Class index.
+        class_index: u16,
+        /// NameAndType index.
+        name_and_type_index: u16,
+    },
+    /// `CONSTANT_Methodref`.
+    Methodref {
+        /// Class index.
+        class_index: u16,
+        /// NameAndType index.
+        name_and_type_index: u16,
+    },
+    /// `CONSTANT_InterfaceMethodref`.
+    InterfaceMethodref {
+        /// Class index.
+        class_index: u16,
+        /// NameAndType index.
+        name_and_type_index: u16,
+    },
+    /// `CONSTANT_NameAndType`.
+    NameAndType {
+        /// Utf8 index of the member name.
+        name_index: u16,
+        /// Utf8 index of the descriptor.
+        descriptor_index: u16,
+    },
+    /// The phantom slot following a Long or Double entry.
+    Placeholder,
+}
+
+impl Constant {
+    /// The tag byte this entry serializes with.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Constant::Utf8(_) => 1,
+            Constant::Integer(_) => 3,
+            Constant::Float(_) => 4,
+            Constant::Long(_) => 5,
+            Constant::Double(_) => 6,
+            Constant::Class { .. } => 7,
+            Constant::String { .. } => 8,
+            Constant::Fieldref { .. } => 9,
+            Constant::Methodref { .. } => 10,
+            Constant::InterfaceMethodref { .. } => 11,
+            Constant::NameAndType { .. } => 12,
+            Constant::Placeholder => 0,
+        }
+    }
+
+    /// Whether this entry occupies two pool slots.
+    pub fn is_wide(&self) -> bool {
+        matches!(self, Constant::Long(_) | Constant::Double(_))
+    }
+}
+
+/// The constant pool: 1-indexed, with phantom slots after wide entries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConstantPool {
+    /// Entries; index 0 is unused (a placeholder), as in the format.
+    entries: Vec<Constant>,
+}
+
+impl ConstantPool {
+    /// An empty pool.
+    pub fn new() -> ConstantPool {
+        ConstantPool {
+            entries: vec![Constant::Placeholder],
+        }
+    }
+
+    /// Pool slot count as serialized (`constant_pool_count`).
+    pub fn count(&self) -> u16 {
+        self.entries.len() as u16
+    }
+
+    /// Append an entry, returning its index. Wide entries get their
+    /// phantom slot automatically.
+    pub fn push(&mut self, c: Constant) -> u16 {
+        let idx = self.entries.len() as u16;
+        let wide = c.is_wide();
+        self.entries.push(c);
+        if wide {
+            self.entries.push(Constant::Placeholder);
+        }
+        idx
+    }
+
+    /// The entry at `idx`.
+    pub fn get(&self, idx: u16) -> ClassResult<&Constant> {
+        self.entries
+            .get(idx as usize)
+            .filter(|c| !matches!(c, Constant::Placeholder))
+            .ok_or(ClassError::BadConstantIndex(idx))
+    }
+
+    /// Iterate real entries with their indices.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &Constant)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, c)| !matches!(c, Constant::Placeholder))
+            .map(|(i, c)| (i as u16, c))
+    }
+
+    /// The Utf8 string at `idx`.
+    pub fn utf8(&self, idx: u16) -> ClassResult<&str> {
+        match self.get(idx)? {
+            Constant::Utf8(s) => Ok(s),
+            other => Err(ClassError::WrongConstantType {
+                index: idx,
+                expected: "Utf8",
+                found: other.tag(),
+            }),
+        }
+    }
+
+    /// The binary class name referenced by the Class entry at `idx`.
+    pub fn class_name(&self, idx: u16) -> ClassResult<&str> {
+        match self.get(idx)? {
+            Constant::Class { name_index } => self.utf8(*name_index),
+            other => Err(ClassError::WrongConstantType {
+                index: idx,
+                expected: "Class",
+                found: other.tag(),
+            }),
+        }
+    }
+
+    /// `(name, descriptor)` of the NameAndType entry at `idx`.
+    pub fn name_and_type(&self, idx: u16) -> ClassResult<(&str, &str)> {
+        match self.get(idx)? {
+            Constant::NameAndType {
+                name_index,
+                descriptor_index,
+            } => Ok((self.utf8(*name_index)?, self.utf8(*descriptor_index)?)),
+            other => Err(ClassError::WrongConstantType {
+                index: idx,
+                expected: "NameAndType",
+                found: other.tag(),
+            }),
+        }
+    }
+
+    /// `(class, name, descriptor)` of a Field/Method/InterfaceMethod
+    /// reference at `idx`.
+    pub fn member_ref(&self, idx: u16) -> ClassResult<(&str, &str, &str)> {
+        let (class_index, nat_index) = match self.get(idx)? {
+            Constant::Fieldref {
+                class_index,
+                name_and_type_index,
+            }
+            | Constant::Methodref {
+                class_index,
+                name_and_type_index,
+            }
+            | Constant::InterfaceMethodref {
+                class_index,
+                name_and_type_index,
+            } => (*class_index, *name_and_type_index),
+            other => {
+                return Err(ClassError::WrongConstantType {
+                    index: idx,
+                    expected: "Fieldref/Methodref",
+                    found: other.tag(),
+                })
+            }
+        };
+        let class = self.class_name(class_index)?;
+        let (name, desc) = self.name_and_type(nat_index)?;
+        Ok((class, name, desc))
+    }
+
+    /// The string value of the String entry at `idx`.
+    pub fn string(&self, idx: u16) -> ClassResult<&str> {
+        match self.get(idx)? {
+            Constant::String { string_index } => self.utf8(*string_index),
+            other => Err(ClassError::WrongConstantType {
+                index: idx,
+                expected: "String",
+                found: other.tag(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_entries_take_two_slots() {
+        let mut pool = ConstantPool::new();
+        let a = pool.push(Constant::Long(1));
+        let b = pool.push(Constant::Integer(2));
+        assert_eq!(a, 1);
+        assert_eq!(b, 3); // slot 2 is the phantom
+        assert!(pool.get(2).is_err());
+        assert_eq!(pool.get(3).unwrap(), &Constant::Integer(2));
+    }
+
+    #[test]
+    fn member_ref_resolution_chains() {
+        let mut pool = ConstantPool::new();
+        let cname = pool.push(Constant::Utf8("java/lang/Object".into()));
+        let class = pool.push(Constant::Class { name_index: cname });
+        let mname = pool.push(Constant::Utf8("hashCode".into()));
+        let mdesc = pool.push(Constant::Utf8("()I".into()));
+        let nat = pool.push(Constant::NameAndType {
+            name_index: mname,
+            descriptor_index: mdesc,
+        });
+        let mref = pool.push(Constant::Methodref {
+            class_index: class,
+            name_and_type_index: nat,
+        });
+        assert_eq!(
+            pool.member_ref(mref).unwrap(),
+            ("java/lang/Object", "hashCode", "()I")
+        );
+    }
+
+    #[test]
+    fn index_zero_is_invalid() {
+        let pool = ConstantPool::new();
+        assert!(pool.get(0).is_err());
+        assert!(pool.get(99).is_err());
+    }
+
+    #[test]
+    fn type_mismatches_are_reported() {
+        let mut pool = ConstantPool::new();
+        let i = pool.push(Constant::Integer(5));
+        assert!(matches!(
+            pool.utf8(i),
+            Err(ClassError::WrongConstantType { .. })
+        ));
+    }
+}

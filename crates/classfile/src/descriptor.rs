@@ -1,0 +1,196 @@
+//! Field and method descriptors (JVMS2 §4.3).
+
+use crate::error::{ClassError, ClassResult};
+
+/// A parsed field type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FieldType {
+    /// `B`
+    Byte,
+    /// `C`
+    Char,
+    /// `D`
+    Double,
+    /// `F`
+    Float,
+    /// `I`
+    Int,
+    /// `J`
+    Long,
+    /// `S`
+    Short,
+    /// `Z`
+    Boolean,
+    /// `L<name>;`
+    Object(String),
+    /// `[<type>`
+    Array(Box<FieldType>),
+}
+
+impl FieldType {
+    /// Operand-stack / local-variable slots this type occupies
+    /// (2 for `long`/`double`, else 1).
+    pub fn slots(&self) -> u16 {
+        match self {
+            FieldType::Long | FieldType::Double => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether this is a reference type.
+    pub fn is_reference(&self) -> bool {
+        matches!(self, FieldType::Object(_) | FieldType::Array(_))
+    }
+
+    /// Render back to descriptor syntax.
+    pub fn to_descriptor(&self) -> String {
+        match self {
+            FieldType::Byte => "B".into(),
+            FieldType::Char => "C".into(),
+            FieldType::Double => "D".into(),
+            FieldType::Float => "F".into(),
+            FieldType::Int => "I".into(),
+            FieldType::Long => "J".into(),
+            FieldType::Short => "S".into(),
+            FieldType::Boolean => "Z".into(),
+            FieldType::Object(n) => format!("L{n};"),
+            FieldType::Array(t) => format!("[{}", t.to_descriptor()),
+        }
+    }
+}
+
+/// A parsed method descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodDescriptor {
+    /// Parameter types, in order.
+    pub params: Vec<FieldType>,
+    /// Return type (`None` = `void`).
+    pub ret: Option<FieldType>,
+}
+
+impl MethodDescriptor {
+    /// Total slots the parameters occupy (excluding `this`).
+    pub fn param_slots(&self) -> u16 {
+        self.params.iter().map(FieldType::slots).sum()
+    }
+
+    /// Slots the return value occupies (0 for void).
+    pub fn return_slots(&self) -> u16 {
+        self.ret.as_ref().map(FieldType::slots).unwrap_or(0)
+    }
+}
+
+fn parse_one(s: &str, pos: &mut usize) -> ClassResult<FieldType> {
+    let bytes = s.as_bytes();
+    let bad = || ClassError::BadDescriptor(s.to_string());
+    let b = *bytes.get(*pos).ok_or_else(bad)?;
+    *pos += 1;
+    Ok(match b {
+        b'B' => FieldType::Byte,
+        b'C' => FieldType::Char,
+        b'D' => FieldType::Double,
+        b'F' => FieldType::Float,
+        b'I' => FieldType::Int,
+        b'J' => FieldType::Long,
+        b'S' => FieldType::Short,
+        b'Z' => FieldType::Boolean,
+        b'[' => FieldType::Array(Box::new(parse_one(s, pos)?)),
+        b'L' => {
+            let end = s[*pos..].find(';').ok_or_else(bad)? + *pos;
+            let name = s[*pos..end].to_string();
+            *pos = end + 1;
+            FieldType::Object(name)
+        }
+        _ => return Err(bad()),
+    })
+}
+
+/// Parse a field descriptor (e.g. `"[Ljava/lang/String;"`).
+pub fn parse_field_type(s: &str) -> ClassResult<FieldType> {
+    let mut pos = 0;
+    let t = parse_one(s, &mut pos)?;
+    if pos == s.len() {
+        Ok(t)
+    } else {
+        Err(ClassError::BadDescriptor(s.to_string()))
+    }
+}
+
+/// Parse a method descriptor (e.g. `"(I[B)Ljava/lang/String;"`).
+pub fn parse_method_descriptor(s: &str) -> ClassResult<MethodDescriptor> {
+    let bad = || ClassError::BadDescriptor(s.to_string());
+    if !s.starts_with('(') {
+        return Err(bad());
+    }
+    let close = s.find(')').ok_or_else(bad)?;
+    let mut params = Vec::new();
+    let mut pos = 1;
+    while pos < close {
+        params.push(parse_one(s, &mut pos)?);
+    }
+    if pos != close {
+        return Err(bad());
+    }
+    let ret_str = &s[close + 1..];
+    let ret = if ret_str == "V" {
+        None
+    } else {
+        Some(parse_field_type(ret_str)?)
+    };
+    Ok(MethodDescriptor { params, ret })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_parse() {
+        assert_eq!(parse_field_type("I").unwrap(), FieldType::Int);
+        assert_eq!(parse_field_type("J").unwrap(), FieldType::Long);
+        assert_eq!(parse_field_type("Z").unwrap(), FieldType::Boolean);
+    }
+
+    #[test]
+    fn objects_and_arrays_parse() {
+        assert_eq!(
+            parse_field_type("Ljava/lang/String;").unwrap(),
+            FieldType::Object("java/lang/String".into())
+        );
+        assert_eq!(
+            parse_field_type("[[I").unwrap(),
+            FieldType::Array(Box::new(FieldType::Array(Box::new(FieldType::Int))))
+        );
+    }
+
+    #[test]
+    fn method_descriptors_parse() {
+        let d = parse_method_descriptor("(I[BLjava/lang/String;J)V").unwrap();
+        assert_eq!(d.params.len(), 4);
+        assert_eq!(d.ret, None);
+        assert_eq!(d.param_slots(), 5); // I=1, [B=1, L..;=1, J=2
+        let d = parse_method_descriptor("()D").unwrap();
+        assert!(d.params.is_empty());
+        assert_eq!(d.return_slots(), 2);
+    }
+
+    #[test]
+    fn round_trips_to_descriptor() {
+        for s in ["I", "[[Ljava/lang/Object;", "J", "[Z"] {
+            assert_eq!(parse_field_type(s).unwrap().to_descriptor(), s);
+        }
+    }
+
+    #[test]
+    fn malformed_descriptors_are_rejected() {
+        for s in ["", "Q", "Ljava/lang/String", "II", "[", "(I", "(X)V", "()"] {
+            assert!(
+                parse_field_type(s).is_err() || s.starts_with('('),
+                "{s:?} should fail field parse"
+            );
+            if s.starts_with('(') {
+                assert!(parse_method_descriptor(s).is_err(), "{s:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Class-file format errors.
+
+use std::fmt;
+
+/// Errors raised while reading, writing, or assembling class files.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClassError {
+    /// Wrong magic number (expected `0xCAFEBABE`).
+    BadMagic(u32),
+    /// The file ended mid-structure.
+    Truncated {
+        /// What was being parsed.
+        context: &'static str,
+    },
+    /// An unknown constant-pool tag.
+    BadConstantTag(u8),
+    /// A constant-pool index is out of range or hits a phantom slot.
+    BadConstantIndex(u16),
+    /// A constant-pool entry has the wrong type for its use site.
+    WrongConstantType {
+        /// The offending index.
+        index: u16,
+        /// What the use site needed.
+        expected: &'static str,
+        /// The tag actually found.
+        found: u8,
+    },
+    /// A malformed type or method descriptor.
+    BadDescriptor(String),
+    /// Assembler misuse (unbound label, stack underflow, ...).
+    Assembly(String),
+    /// An unknown opcode byte in a Code attribute.
+    BadOpcode(u8),
+}
+
+impl fmt::Display for ClassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassError::BadMagic(m) => write!(f, "bad magic {m:#010x}, expected 0xCAFEBABE"),
+            ClassError::Truncated { context } => write!(f, "class file truncated in {context}"),
+            ClassError::BadConstantTag(t) => write!(f, "unknown constant pool tag {t}"),
+            ClassError::BadConstantIndex(i) => write!(f, "bad constant pool index {i}"),
+            ClassError::WrongConstantType {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "constant {index} has tag {found}, but {expected} was required"
+            ),
+            ClassError::BadDescriptor(d) => write!(f, "malformed descriptor {d:?}"),
+            ClassError::Assembly(msg) => write!(f, "assembly error: {msg}"),
+            ClassError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for ClassError {}
+
+/// Result alias for class-file operations.
+pub type ClassResult<T> = Result<T, ClassError>;

@@ -1,0 +1,228 @@
+//! JVM class-file reading, writing, assembly and disassembly.
+//!
+//! DoppioJVM (§6 of the Doppio paper) interprets real JVM class files:
+//! its class loader downloads `.class` bytes through the Doppio file
+//! system and decodes them with the Buffer module (§6.4). This crate is
+//! the format layer: a faithful JVMS2 reader and writer for the subset
+//! of attributes an interpreter needs (constant pool, fields, methods,
+//! `Code` with exception tables and line numbers), an **assembler**
+//! ([`builder::ClassBuilder`]) the MiniJava compiler emits through, and
+//! a javap-style **disassembler**.
+//!
+//! ```
+//! use doppio_classfile::builder::ClassBuilder;
+//! use doppio_classfile::{parse, access};
+//!
+//! // Assemble a minimal class and read it back.
+//! let mut b = ClassBuilder::new("demo/Empty", "java/lang/Object");
+//! b.set_access(access::ACC_PUBLIC | access::ACC_SUPER);
+//! let bytes = b.finish().to_bytes();
+//! let class = parse(&bytes).unwrap();
+//! assert_eq!(class.name().unwrap(), "demo/Empty");
+//! assert_eq!(class.super_name().unwrap(), Some("java/lang/Object"));
+//! ```
+
+pub mod access;
+pub mod builder;
+pub mod constant;
+pub mod descriptor;
+pub mod disasm;
+pub mod error;
+pub mod opcodes;
+mod reader;
+mod writer;
+
+pub use constant::{Constant, ConstantPool};
+pub use error::{ClassError, ClassResult};
+pub use reader::parse;
+
+/// An entry in a `Code` attribute's exception table (JVMS2 §4.7.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExceptionEntry {
+    /// Start of the protected range (inclusive), as a bytecode offset.
+    pub start_pc: u16,
+    /// End of the protected range (exclusive).
+    pub end_pc: u16,
+    /// Handler entry point.
+    pub handler_pc: u16,
+    /// Constant-pool index of the caught class (0 = catch-all).
+    pub catch_type: u16,
+}
+
+/// A method's `Code` attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Code {
+    /// Operand stack slots needed.
+    pub max_stack: u16,
+    /// Local variable slots needed.
+    pub max_locals: u16,
+    /// The bytecode.
+    pub bytecode: Vec<u8>,
+    /// Exception handlers, in order.
+    pub exception_table: Vec<ExceptionEntry>,
+    /// `(start_pc, line)` pairs from the LineNumberTable, if present.
+    pub line_numbers: Vec<(u16, u16)>,
+}
+
+/// A field declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldInfo {
+    /// Access flags (see [`access`]).
+    pub access_flags: u16,
+    /// Field name.
+    pub name: String,
+    /// Field descriptor (e.g. `"I"`, `"[B"`, `"Ljava/lang/String;"`).
+    pub descriptor: String,
+    /// `ConstantValue` attribute, if present (pool index).
+    pub constant_value: Option<u16>,
+}
+
+/// A method declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodInfo {
+    /// Access flags (see [`access`]).
+    pub access_flags: u16,
+    /// Method name (`"<init>"`, `"<clinit>"`, or a plain name).
+    pub name: String,
+    /// Method descriptor (e.g. `"(I[B)V"`).
+    pub descriptor: String,
+    /// The `Code` attribute (absent for `native`/`abstract` methods).
+    pub code: Option<Code>,
+}
+
+impl MethodInfo {
+    /// Whether the method is `native`.
+    pub fn is_native(&self) -> bool {
+        self.access_flags & access::ACC_NATIVE != 0
+    }
+
+    /// Whether the method is `static`.
+    pub fn is_static(&self) -> bool {
+        self.access_flags & access::ACC_STATIC != 0
+    }
+}
+
+/// A parsed class file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassFile {
+    /// Format minor version.
+    pub minor_version: u16,
+    /// Format major version (50 = Java 6, the paper's era).
+    pub major_version: u16,
+    /// The constant pool.
+    pub constant_pool: ConstantPool,
+    /// Class access flags.
+    pub access_flags: u16,
+    /// Pool index of this class.
+    pub this_class: u16,
+    /// Pool index of the superclass (0 only for `java/lang/Object`).
+    pub super_class: u16,
+    /// Pool indices of implemented interfaces.
+    pub interfaces: Vec<u16>,
+    /// Declared fields.
+    pub fields: Vec<FieldInfo>,
+    /// Declared methods.
+    pub methods: Vec<MethodInfo>,
+}
+
+impl ClassFile {
+    /// This class's binary name (e.g. `"java/lang/String"`).
+    pub fn name(&self) -> ClassResult<&str> {
+        self.constant_pool.class_name(self.this_class)
+    }
+
+    /// The superclass's binary name, or `None` for `java/lang/Object`.
+    pub fn super_name(&self) -> ClassResult<Option<&str>> {
+        if self.super_class == 0 {
+            Ok(None)
+        } else {
+            self.constant_pool.class_name(self.super_class).map(Some)
+        }
+    }
+
+    /// Names of the implemented interfaces.
+    pub fn interface_names(&self) -> ClassResult<Vec<&str>> {
+        self.interfaces
+            .iter()
+            .map(|&i| self.constant_pool.class_name(i))
+            .collect()
+    }
+
+    /// Find a declared method by name and descriptor.
+    pub fn find_method(&self, name: &str, descriptor: &str) -> Option<&MethodInfo> {
+        self.methods
+            .iter()
+            .find(|m| m.name == name && m.descriptor == descriptor)
+    }
+
+    /// Serialize back to class-file bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        writer::write(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ClassBuilder, MethodBuilder};
+
+    fn sample_class() -> ClassFile {
+        let mut b = ClassBuilder::new("demo/Point", "java/lang/Object");
+        b.set_access(access::ACC_PUBLIC | access::ACC_SUPER);
+        b.add_field(access::ACC_PRIVATE, "x", "I");
+        b.add_field(access::ACC_PRIVATE, "y", "I");
+        let mut m = MethodBuilder::new(access::ACC_PUBLIC | access::ACC_STATIC, "add", "(II)I", 2);
+        m.iload(0);
+        m.iload(1);
+        m.iadd();
+        m.ireturn();
+        b.add_method(m);
+        b.finish()
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let class = sample_class();
+        let bytes = class.to_bytes();
+        assert_eq!(&bytes[..4], &[0xCA, 0xFE, 0xBA, 0xBE]);
+        let reread = parse(&bytes).unwrap();
+        assert_eq!(reread.name().unwrap(), "demo/Point");
+        assert_eq!(reread.fields.len(), 2);
+        let m = reread.find_method("add", "(II)I").unwrap();
+        let code = m.code.as_ref().unwrap();
+        assert_eq!(code.max_locals, 2);
+        assert!(code.max_stack >= 2);
+        // iload_0, iload_1, iadd, ireturn
+        assert_eq!(code.bytecode, vec![0x1A, 0x1B, 0x60, 0xAC]);
+        // Re-serializing is stable.
+        assert_eq!(reread.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = parse(&[0xDE, 0xAD, 0xBE, 0xEF, 0, 0, 0, 0]).unwrap_err();
+        assert!(matches!(err, ClassError::BadMagic(0xDEADBEEF)));
+    }
+
+    #[test]
+    fn truncated_files_are_rejected() {
+        let bytes = sample_class().to_bytes();
+        for cut in [3, 8, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(parse(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn find_method_distinguishes_overloads() {
+        let mut b = ClassBuilder::new("demo/O", "java/lang/Object");
+        for desc in ["(I)I", "(J)J"] {
+            let mut m = MethodBuilder::new(access::ACC_PUBLIC, "id", desc, 3);
+            m.return_void();
+            b.add_method(m);
+        }
+        let class = b.finish();
+        assert!(class.find_method("id", "(I)I").is_some());
+        assert!(class.find_method("id", "(J)J").is_some());
+        assert!(class.find_method("id", "(D)D").is_none());
+    }
+}

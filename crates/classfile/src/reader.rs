@@ -1,0 +1,271 @@
+//! Class-file parser (JVMS2 §4).
+
+use crate::constant::{Constant, ConstantPool};
+use crate::error::{ClassError, ClassResult};
+use crate::{ClassFile, Code, ExceptionEntry, FieldInfo, MethodInfo};
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, context: &'static str) -> ClassResult<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(ClassError::Truncated { context });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, c: &'static str) -> ClassResult<u8> {
+        Ok(self.take(1, c)?[0])
+    }
+
+    fn u16(&mut self, c: &'static str) -> ClassResult<u16> {
+        let b = self.take(2, c)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, c: &'static str) -> ClassResult<u32> {
+        let b = self.take(4, c)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+/// Parse class-file bytes.
+pub fn parse(bytes: &[u8]) -> ClassResult<ClassFile> {
+    let mut c = Cursor { bytes, pos: 0 };
+    let magic = c.u32("magic")?;
+    if magic != 0xCAFE_BABE {
+        return Err(ClassError::BadMagic(magic));
+    }
+    let minor_version = c.u16("minor_version")?;
+    let major_version = c.u16("major_version")?;
+
+    let pool_count = c.u16("constant_pool_count")?;
+    let mut constant_pool = ConstantPool::new();
+    let mut i = 1u16;
+    while i < pool_count {
+        let entry = parse_constant(&mut c)?;
+        let wide = entry.is_wide();
+        constant_pool.push(entry);
+        i += if wide { 2 } else { 1 };
+    }
+
+    let access_flags = c.u16("access_flags")?;
+    let this_class = c.u16("this_class")?;
+    let super_class = c.u16("super_class")?;
+
+    let iface_count = c.u16("interfaces_count")?;
+    let mut interfaces = Vec::with_capacity(iface_count as usize);
+    for _ in 0..iface_count {
+        interfaces.push(c.u16("interface")?);
+    }
+
+    let field_count = c.u16("fields_count")?;
+    let mut fields = Vec::with_capacity(field_count as usize);
+    for _ in 0..field_count {
+        fields.push(parse_field(&mut c, &constant_pool)?);
+    }
+
+    let method_count = c.u16("methods_count")?;
+    let mut methods = Vec::with_capacity(method_count as usize);
+    for _ in 0..method_count {
+        methods.push(parse_method(&mut c, &constant_pool)?);
+    }
+
+    // Class attributes: skipped (SourceFile etc. carry nothing the
+    // interpreter needs).
+    let attr_count = c.u16("class attributes_count")?;
+    for _ in 0..attr_count {
+        skip_attribute(&mut c)?;
+    }
+
+    Ok(ClassFile {
+        minor_version,
+        major_version,
+        constant_pool,
+        access_flags,
+        this_class,
+        super_class,
+        interfaces,
+        fields,
+        methods,
+    })
+}
+
+fn parse_constant(c: &mut Cursor<'_>) -> ClassResult<Constant> {
+    let tag = c.u8("constant tag")?;
+    Ok(match tag {
+        1 => {
+            let len = c.u16("Utf8 length")? as usize;
+            let raw = c.take(len, "Utf8 bytes")?;
+            // Modified UTF-8 ≈ UTF-8 for the BMP; decode permissively.
+            Constant::Utf8(decode_modified_utf8(raw))
+        }
+        3 => Constant::Integer(c.u32("Integer")? as i32),
+        4 => Constant::Float(f32::from_bits(c.u32("Float")?)),
+        5 => {
+            let hi = c.u32("Long hi")? as u64;
+            let lo = c.u32("Long lo")? as u64;
+            Constant::Long(((hi << 32) | lo) as i64)
+        }
+        6 => {
+            let hi = c.u32("Double hi")? as u64;
+            let lo = c.u32("Double lo")? as u64;
+            Constant::Double(f64::from_bits((hi << 32) | lo))
+        }
+        7 => Constant::Class {
+            name_index: c.u16("Class name_index")?,
+        },
+        8 => Constant::String {
+            string_index: c.u16("String string_index")?,
+        },
+        9 => Constant::Fieldref {
+            class_index: c.u16("Fieldref class")?,
+            name_and_type_index: c.u16("Fieldref nat")?,
+        },
+        10 => Constant::Methodref {
+            class_index: c.u16("Methodref class")?,
+            name_and_type_index: c.u16("Methodref nat")?,
+        },
+        11 => Constant::InterfaceMethodref {
+            class_index: c.u16("InterfaceMethodref class")?,
+            name_and_type_index: c.u16("InterfaceMethodref nat")?,
+        },
+        12 => Constant::NameAndType {
+            name_index: c.u16("NameAndType name")?,
+            descriptor_index: c.u16("NameAndType descriptor")?,
+        },
+        other => return Err(ClassError::BadConstantTag(other)),
+    })
+}
+
+/// Decode JVM modified UTF-8: like UTF-8 but NUL is `C0 80` and
+/// supplementary characters are surrogate pairs of 3-byte sequences.
+fn decode_modified_utf8(raw: &[u8]) -> String {
+    let mut units: Vec<u16> = Vec::with_capacity(raw.len());
+    let mut i = 0;
+    while i < raw.len() {
+        let b = raw[i];
+        if b & 0x80 == 0 {
+            units.push(u16::from(b));
+            i += 1;
+        } else if b & 0xE0 == 0xC0 && i + 1 < raw.len() {
+            let u = (u16::from(b & 0x1F) << 6) | u16::from(raw[i + 1] & 0x3F);
+            units.push(u);
+            i += 2;
+        } else if b & 0xF0 == 0xE0 && i + 2 < raw.len() {
+            let u = (u16::from(b & 0x0F) << 12)
+                | (u16::from(raw[i + 1] & 0x3F) << 6)
+                | u16::from(raw[i + 2] & 0x3F);
+            units.push(u);
+            i += 3;
+        } else {
+            units.push(u16::from(b)); // permissive fallback
+            i += 1;
+        }
+    }
+    char::decode_utf16(units)
+        .map(|r| r.unwrap_or(char::REPLACEMENT_CHARACTER))
+        .collect()
+}
+
+fn parse_field(c: &mut Cursor<'_>, pool: &ConstantPool) -> ClassResult<FieldInfo> {
+    let access_flags = c.u16("field access_flags")?;
+    let name = pool.utf8(c.u16("field name_index")?)?.to_string();
+    let descriptor = pool.utf8(c.u16("field descriptor_index")?)?.to_string();
+    let attr_count = c.u16("field attributes_count")?;
+    let mut constant_value = None;
+    for _ in 0..attr_count {
+        let aname_idx = c.u16("attribute name")?;
+        let alen = c.u32("attribute length")? as usize;
+        let aname = pool.utf8(aname_idx)?;
+        if aname == "ConstantValue" && alen == 2 {
+            let body = c.take(2, "ConstantValue")?;
+            constant_value = Some(u16::from_be_bytes([body[0], body[1]]));
+        } else {
+            c.take(alen, "attribute body")?;
+        }
+    }
+    Ok(FieldInfo {
+        access_flags,
+        name,
+        descriptor,
+        constant_value,
+    })
+}
+
+fn parse_method(c: &mut Cursor<'_>, pool: &ConstantPool) -> ClassResult<MethodInfo> {
+    let access_flags = c.u16("method access_flags")?;
+    let name = pool.utf8(c.u16("method name_index")?)?.to_string();
+    let descriptor = pool.utf8(c.u16("method descriptor_index")?)?.to_string();
+    let attr_count = c.u16("method attributes_count")?;
+    let mut code = None;
+    for _ in 0..attr_count {
+        let aname_idx = c.u16("attribute name")?;
+        let alen = c.u32("attribute length")? as usize;
+        let aname = pool.utf8(aname_idx)?;
+        if aname == "Code" {
+            code = Some(parse_code(c, pool)?);
+        } else {
+            c.take(alen, "attribute body")?;
+        }
+    }
+    Ok(MethodInfo {
+        access_flags,
+        name,
+        descriptor,
+        code,
+    })
+}
+
+fn parse_code(c: &mut Cursor<'_>, pool: &ConstantPool) -> ClassResult<Code> {
+    let max_stack = c.u16("max_stack")?;
+    let max_locals = c.u16("max_locals")?;
+    let code_len = c.u32("code_length")? as usize;
+    let bytecode = c.take(code_len, "bytecode")?.to_vec();
+    let ex_count = c.u16("exception_table_length")?;
+    let mut exception_table = Vec::with_capacity(ex_count as usize);
+    for _ in 0..ex_count {
+        exception_table.push(ExceptionEntry {
+            start_pc: c.u16("ex start_pc")?,
+            end_pc: c.u16("ex end_pc")?,
+            handler_pc: c.u16("ex handler_pc")?,
+            catch_type: c.u16("ex catch_type")?,
+        });
+    }
+    let attr_count = c.u16("code attributes_count")?;
+    let mut line_numbers = Vec::new();
+    for _ in 0..attr_count {
+        let aname_idx = c.u16("attribute name")?;
+        let alen = c.u32("attribute length")? as usize;
+        let aname = pool.utf8(aname_idx)?;
+        if aname == "LineNumberTable" {
+            let n = c.u16("line_number_table_length")?;
+            for _ in 0..n {
+                let pc = c.u16("line pc")?;
+                let line = c.u16("line number")?;
+                line_numbers.push((pc, line));
+            }
+        } else {
+            c.take(alen, "attribute body")?;
+        }
+    }
+    Ok(Code {
+        max_stack,
+        max_locals,
+        bytecode,
+        exception_table,
+        line_numbers,
+    })
+}
+
+fn skip_attribute(c: &mut Cursor<'_>) -> ClassResult<()> {
+    let _name = c.u16("attribute name")?;
+    let len = c.u32("attribute length")? as usize;
+    c.take(len, "attribute body")?;
+    Ok(())
+}

@@ -1,0 +1,249 @@
+//! Class-file serializer: the inverse of [`parse`](crate::parse).
+//!
+//! The MiniJava compiler emits [`ClassFile`](crate::ClassFile) values;
+//! this writer turns them into real `.class` bytes that DoppioJVM's
+//! class loader downloads and decodes, exactly like the paper's
+//! pipeline (§6.4).
+
+use crate::constant::{Constant, ConstantPool};
+use crate::{ClassFile, Code, FieldInfo, MethodInfo};
+
+struct Out {
+    bytes: Vec<u8>,
+}
+
+impl Out {
+    fn u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.bytes.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.bytes.extend_from_slice(&v.to_be_bytes());
+    }
+    fn raw(&mut self, v: &[u8]) {
+        self.bytes.extend_from_slice(v);
+    }
+}
+
+/// Serialize a class file.
+pub fn write(class: &ClassFile) -> Vec<u8> {
+    let mut out = Out { bytes: Vec::new() };
+    out.u32(0xCAFE_BABE);
+    out.u16(class.minor_version);
+    out.u16(class.major_version);
+
+    // Constant pool. We may need extra Utf8 entries for attribute
+    // names; collect them up front into a working copy.
+    let mut pool = class.constant_pool.clone();
+    let needs_code = class.methods.iter().any(|m| m.code.is_some());
+    let needs_lines = class
+        .methods
+        .iter()
+        .any(|m| m.code.as_ref().is_some_and(|c| !c.line_numbers.is_empty()));
+    let needs_const = class.fields.iter().any(|f| f.constant_value.is_some());
+    let code_name = if needs_code {
+        Some(intern_utf8(&mut pool, "Code"))
+    } else {
+        None
+    };
+    let line_name = if needs_lines {
+        Some(intern_utf8(&mut pool, "LineNumberTable"))
+    } else {
+        None
+    };
+    let const_name = if needs_const {
+        Some(intern_utf8(&mut pool, "ConstantValue"))
+    } else {
+        None
+    };
+    // Field/method names and descriptors must also be pool entries.
+    let mut field_refs = Vec::new();
+    for f in &class.fields {
+        field_refs.push((
+            intern_utf8(&mut pool, &f.name),
+            intern_utf8(&mut pool, &f.descriptor),
+        ));
+    }
+    let mut method_refs = Vec::new();
+    for m in &class.methods {
+        method_refs.push((
+            intern_utf8(&mut pool, &m.name),
+            intern_utf8(&mut pool, &m.descriptor),
+        ));
+    }
+
+    write_pool(&mut out, &pool);
+    out.u16(class.access_flags);
+    out.u16(class.this_class);
+    out.u16(class.super_class);
+    out.u16(class.interfaces.len() as u16);
+    for &i in &class.interfaces {
+        out.u16(i);
+    }
+
+    out.u16(class.fields.len() as u16);
+    for (f, &(name_idx, desc_idx)) in class.fields.iter().zip(&field_refs) {
+        write_field(&mut out, f, name_idx, desc_idx, const_name);
+    }
+
+    out.u16(class.methods.len() as u16);
+    for (m, &(name_idx, desc_idx)) in class.methods.iter().zip(&method_refs) {
+        write_method(&mut out, m, name_idx, desc_idx, code_name, line_name);
+    }
+
+    out.u16(0); // class attributes
+    out.bytes
+}
+
+/// Find or add a Utf8 entry.
+fn intern_utf8(pool: &mut ConstantPool, s: &str) -> u16 {
+    for (i, c) in pool.iter() {
+        if let Constant::Utf8(t) = c {
+            if t == s {
+                return i;
+            }
+        }
+    }
+    pool.push(Constant::Utf8(s.to_string()))
+}
+
+fn write_pool(out: &mut Out, pool: &ConstantPool) {
+    out.u16(pool.count());
+    for (_, c) in pool.iter() {
+        out.u8(c.tag());
+        match c {
+            Constant::Utf8(s) => {
+                let raw = encode_modified_utf8(s);
+                out.u16(raw.len() as u16);
+                out.raw(&raw);
+            }
+            Constant::Integer(v) => out.u32(*v as u32),
+            Constant::Float(v) => out.u32(v.to_bits()),
+            Constant::Long(v) => {
+                out.u32((*v as u64 >> 32) as u32);
+                out.u32(*v as u32);
+            }
+            Constant::Double(v) => {
+                let bits = v.to_bits();
+                out.u32((bits >> 32) as u32);
+                out.u32(bits as u32);
+            }
+            Constant::Class { name_index } => out.u16(*name_index),
+            Constant::String { string_index } => out.u16(*string_index),
+            Constant::Fieldref {
+                class_index,
+                name_and_type_index,
+            }
+            | Constant::Methodref {
+                class_index,
+                name_and_type_index,
+            }
+            | Constant::InterfaceMethodref {
+                class_index,
+                name_and_type_index,
+            } => {
+                out.u16(*class_index);
+                out.u16(*name_and_type_index);
+            }
+            Constant::NameAndType {
+                name_index,
+                descriptor_index,
+            } => {
+                out.u16(*name_index);
+                out.u16(*descriptor_index);
+            }
+            Constant::Placeholder => unreachable!("iter skips placeholders"),
+        }
+    }
+}
+
+/// Encode JVM modified UTF-8 (NUL → C0 80; astral chars as surrogate
+/// pairs of 3-byte sequences).
+fn encode_modified_utf8(s: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(s.len());
+    for u in s.encode_utf16() {
+        match u {
+            0 => out.extend_from_slice(&[0xC0, 0x80]),
+            0x0001..=0x007F => out.push(u as u8),
+            0x0080..=0x07FF => {
+                out.push(0xC0 | (u >> 6) as u8);
+                out.push(0x80 | (u & 0x3F) as u8);
+            }
+            _ => {
+                out.push(0xE0 | (u >> 12) as u8);
+                out.push(0x80 | ((u >> 6) & 0x3F) as u8);
+                out.push(0x80 | (u & 0x3F) as u8);
+            }
+        }
+    }
+    out
+}
+
+fn write_field(out: &mut Out, f: &FieldInfo, name: u16, desc: u16, const_name: Option<u16>) {
+    out.u16(f.access_flags);
+    out.u16(name);
+    out.u16(desc);
+    match (f.constant_value, const_name) {
+        (Some(cv), Some(attr)) => {
+            out.u16(1);
+            out.u16(attr);
+            out.u32(2);
+            out.u16(cv);
+        }
+        _ => out.u16(0),
+    }
+}
+
+fn write_method(
+    out: &mut Out,
+    m: &MethodInfo,
+    name: u16,
+    desc: u16,
+    code_name: Option<u16>,
+    line_name: Option<u16>,
+) {
+    out.u16(m.access_flags);
+    out.u16(name);
+    out.u16(desc);
+    match (&m.code, code_name) {
+        (Some(code), Some(attr)) => {
+            out.u16(1);
+            out.u16(attr);
+            let body = code_body(code, line_name);
+            out.u32(body.len() as u32);
+            out.raw(&body);
+        }
+        _ => out.u16(0),
+    }
+}
+
+fn code_body(code: &Code, line_name: Option<u16>) -> Vec<u8> {
+    let mut out = Out { bytes: Vec::new() };
+    out.u16(code.max_stack);
+    out.u16(code.max_locals);
+    out.u32(code.bytecode.len() as u32);
+    out.raw(&code.bytecode);
+    out.u16(code.exception_table.len() as u16);
+    for e in &code.exception_table {
+        out.u16(e.start_pc);
+        out.u16(e.end_pc);
+        out.u16(e.handler_pc);
+        out.u16(e.catch_type);
+    }
+    match (code.line_numbers.is_empty(), line_name) {
+        (false, Some(attr)) => {
+            out.u16(1);
+            out.u16(attr);
+            out.u32(2 + 4 * code.line_numbers.len() as u32);
+            out.u16(code.line_numbers.len() as u16);
+            for &(pc, line) in &code.line_numbers {
+                out.u16(pc);
+                out.u16(line);
+            }
+        }
+        _ => out.u16(0),
+    }
+    out.bytes
+}

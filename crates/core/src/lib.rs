@@ -1,0 +1,411 @@
+//! The Doppio execution environment (§4 of the paper).
+//!
+//! Browsers run JavaScript as a sequence of finite-duration events on a
+//! single thread; long computations freeze the page and are eventually
+//! killed by the watchdog, and the asynchronous-only browser APIs can
+//! never be wrapped synchronously *in JavaScript* (§3). Doppio's answer
+//! is an execution environment in which hosted programs:
+//!
+//! * keep their call stacks in explicit heap objects,
+//! * periodically perform **suspend checks** driven by an adaptive
+//!   counter ([`suspend::SuspendTimer`]), and yield the JavaScript
+//!   thread when one fires — *automatic event segmentation* (§4.1),
+//! * emulate **synchronous source-language APIs** over asynchronous
+//!   browser APIs by blocking the *guest* thread while the JavaScript
+//!   thread keeps servicing events (§4.2), and
+//! * gain **multithreading** from a pool of explicit stacks plus a
+//!   scheduler — cooperative in JavaScript, preemptive in the source
+//!   language's semantics (§4.3).
+//!
+//! Resumption callbacks travel through the fastest asynchronous
+//! mechanism the active browser offers: `setImmediate`, else
+//! `sendMessage`, else clamped `setTimeout` (§4.4).
+//!
+//! # Example: segmented execution stays responsive
+//!
+//! ```
+//! use doppio_jsengine::{Browser, Engine};
+//! use doppio_core::{DoppioRuntime, FnThread, ThreadStep};
+//!
+//! let engine = Engine::new(Browser::Chrome);
+//! let runtime = DoppioRuntime::new(&engine);
+//!
+//! // A "long" computation: 200k work units, segmented automatically.
+//! let mut remaining = 200_000u64;
+//! runtime.spawn(
+//!     "compute",
+//!     Box::new(FnThread::new(move |ctx| {
+//!         while remaining > 0 {
+//!             ctx.engine().charge(doppio_jsengine::Cost::IntOp);
+//!             remaining -= 1;
+//!             if ctx.should_suspend() {
+//!                 return ThreadStep::Yielded;
+//!             }
+//!         }
+//!         ThreadStep::Finished
+//!     })),
+//! );
+//! let stats = runtime.run_to_completion().unwrap();
+//! assert!(stats.wall_ns() > 0);
+//! // The watchdog never fired: every event stayed finite.
+//! assert_eq!(engine.stats().watchdog_kills, 0);
+//! ```
+
+pub mod runtime;
+pub mod suspend;
+
+pub use runtime::{
+    AsyncCell, AsyncResolver, DoppioRuntime, GuestThread, RoundRobinScheduler, RuntimeError,
+    RuntimeStats, Scheduler, ThreadContext, ThreadId, ThreadState, ThreadStep,
+};
+pub use suspend::{SuspendTimer, DEFAULT_TIME_SLICE_NS};
+
+/// Adapts a closure into a [`GuestThread`].
+///
+/// The closure is the thread's whole program: it is called once per
+/// slice and must keep its resumption state in captured variables (the
+/// explicit-stack requirement of §4.1).
+pub struct FnThread<F: FnMut(&mut ThreadContext<'_>) -> ThreadStep> {
+    f: F,
+    name: String,
+}
+
+impl<F: FnMut(&mut ThreadContext<'_>) -> ThreadStep> FnThread<F> {
+    /// Wrap a closure as a guest thread.
+    pub fn new(f: F) -> FnThread<F> {
+        FnThread {
+            f,
+            name: "fn-thread".to_string(),
+        }
+    }
+
+    /// Wrap a closure with a diagnostic name.
+    pub fn named(name: impl Into<String>, f: F) -> FnThread<F> {
+        FnThread {
+            f,
+            name: name.into(),
+        }
+    }
+}
+
+impl<F: FnMut(&mut ThreadContext<'_>) -> ThreadStep> GuestThread for FnThread<F> {
+    fn run(&mut self, ctx: &mut ThreadContext<'_>) -> ThreadStep {
+        (self.f)(ctx)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppio_jsengine::{Browser, Cost, Engine};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// A compute-bound guest: `units` work items, suspend checks every
+    /// item (a tight "call boundary" model).
+    fn compute_thread(units: u64, cost: Cost) -> impl FnMut(&mut ThreadContext<'_>) -> ThreadStep {
+        let mut remaining = units;
+        move |ctx| {
+            while remaining > 0 {
+                ctx.engine().charge(cost);
+                remaining -= 1;
+                if ctx.should_suspend() {
+                    return ThreadStep::Yielded;
+                }
+            }
+            ThreadStep::Finished
+        }
+    }
+
+    #[test]
+    fn long_computation_never_trips_the_watchdog() {
+        let engine = Engine::new(Browser::Chrome);
+        let rt = DoppioRuntime::new(&engine);
+        // ~1.2 virtual seconds of work at 60ns dispatch — enough for
+        // hundreds of time slices.
+        rt.spawn(
+            "main",
+            Box::new(FnThread::new(compute_thread(20_000_000, Cost::Dispatch))),
+        );
+        let stats = rt.run_to_completion().unwrap();
+        assert!(stats.suspensions > 100, "suspended {}", stats.suspensions);
+        let es = engine.stats();
+        assert_eq!(es.watchdog_kills, 0);
+        // Every event stayed within ~2 time slices.
+        assert!(es.max_event_ns < 3 * DEFAULT_TIME_SLICE_NS);
+    }
+
+    #[test]
+    fn without_segmentation_the_watchdog_kills_the_page() {
+        // The §3 problem, demonstrated: ~6 virtual seconds of work
+        // (past the 5 s watchdog limit) as one monolithic event.
+        let engine = Engine::new(Browser::Chrome);
+        engine.send_message(|e| {
+            e.charge_n(Cost::Dispatch, 100_000_000);
+        });
+        engine.run_until_idle();
+        assert_eq!(engine.stats().watchdog_kills, 1);
+    }
+
+    #[test]
+    fn user_input_is_serviced_during_computation() {
+        let engine = Engine::new(Browser::Chrome);
+        let rt = DoppioRuntime::new(&engine);
+        rt.spawn(
+            "main",
+            Box::new(FnThread::new(compute_thread(5_000_000, Cost::Dispatch))),
+        );
+        rt.start();
+        // Let the computation get going, then inject user input.
+        for _ in 0..4 {
+            engine.run_one();
+        }
+        let input_latency = Rc::new(RefCell::new(None));
+        let (lat, t0) = (input_latency.clone(), engine.now_ns());
+        engine.inject_user_input(move |e| {
+            *lat.borrow_mut() = Some(e.now_ns() - t0);
+        });
+        engine.run_until_idle();
+        assert!(rt.is_finished());
+        let latency = input_latency.borrow().expect("input ran");
+        // Input was handled within roughly one time slice, not after
+        // the whole multi-second computation.
+        assert!(
+            latency < 3 * DEFAULT_TIME_SLICE_NS,
+            "input latency {latency} ns"
+        );
+    }
+
+    #[test]
+    fn threads_interleave_round_robin() {
+        let engine = Engine::new(Browser::Chrome);
+        let rt = DoppioRuntime::new(&engine);
+        let log: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+        for (name, tag) in [("a", "a"), ("b", "b")] {
+            let log = log.clone();
+            let mut remaining = 3_000_000u64;
+            rt.spawn(
+                name,
+                Box::new(FnThread::new(move |ctx| {
+                    log.borrow_mut().push(tag);
+                    while remaining > 0 {
+                        ctx.engine().charge(Cost::IntOp);
+                        remaining -= 1;
+                        if ctx.should_suspend() {
+                            return ThreadStep::Yielded;
+                        }
+                    }
+                    ThreadStep::Finished
+                })),
+            );
+        }
+        let stats = rt.run_to_completion().unwrap();
+        assert!(stats.context_switches > 2, "{stats:?}");
+        let log = log.borrow();
+        // Slices of a and b alternate.
+        assert!(log.windows(2).any(|w| w == ["a", "b"]));
+        assert!(log.windows(2).any(|w| w == ["b", "a"]));
+    }
+
+    #[test]
+    fn blocking_on_async_api_delivers_the_value_synchronously() {
+        let engine = Engine::new(Browser::Chrome);
+        let rt = DoppioRuntime::new(&engine);
+        let result: Rc<RefCell<Option<u32>>> = Rc::new(RefCell::new(None));
+        let out = result.clone();
+
+        // A guest that "synchronously" calls an async API returning 42
+        // after 1 ms of external latency.
+        let mut pending: Option<AsyncCell<u32>> = None;
+        rt.spawn(
+            "blocker",
+            Box::new(FnThread::new(move |ctx| {
+                if let Some(cell) = pending.take() {
+                    let v = cell.take().expect("woken only after resolve");
+                    *out.borrow_mut() = Some(v);
+                    return ThreadStep::Finished;
+                }
+                let cell = ctx.block_on(|engine, resolver| {
+                    engine.complete_async_after(1_000_000, move |_| resolver.resolve(42));
+                });
+                pending = Some(cell);
+                ThreadStep::Blocked
+            })),
+        );
+        rt.run_to_completion().unwrap();
+        assert_eq!(*result.borrow(), Some(42));
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_named() {
+        let engine = Engine::new(Browser::Chrome);
+        let rt = DoppioRuntime::new(&engine);
+        rt.spawn("stuck", Box::new(FnThread::new(|_ctx| ThreadStep::Blocked)));
+        let err = rt.run_to_completion().unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::Deadlock {
+                blocked: vec!["stuck".to_string()]
+            }
+        );
+        assert!(err.to_string().contains("stuck"));
+    }
+
+    #[test]
+    fn wake_before_block_does_not_lose_the_thread() {
+        // The resolver fires *during* the slice (synchronously), before
+        // the thread returns Blocked. wake_pending must save it.
+        let engine = Engine::new(Browser::Ie8); // sendMessage is synchronous here
+        let rt = DoppioRuntime::new(&engine);
+        let mut pending: Option<AsyncCell<u32>> = None;
+        let done = Rc::new(RefCell::new(false));
+        let d = done.clone();
+        rt.spawn(
+            "racy",
+            Box::new(FnThread::new(move |ctx| {
+                if let Some(cell) = pending.take() {
+                    assert_eq!(cell.take(), Some(7));
+                    *d.borrow_mut() = true;
+                    return ThreadStep::Finished;
+                }
+                let cell = ctx.block_on(|_, resolver| {
+                    // Resolve immediately, inline.
+                    resolver.resolve(7);
+                });
+                pending = Some(cell);
+                ThreadStep::Blocked
+            })),
+        );
+        rt.run_to_completion().unwrap();
+        assert!(*done.borrow());
+    }
+
+    #[test]
+    fn suspension_overhead_is_small_on_chrome() {
+        let engine = Engine::new(Browser::Chrome);
+        let rt = DoppioRuntime::new(&engine);
+        rt.spawn(
+            "main",
+            Box::new(FnThread::new(compute_thread(20_000_000, Cost::Dispatch))),
+        );
+        let stats = rt.run_to_completion().unwrap();
+        // The paper's Figure 5: < 2% suspended in Chrome.
+        assert!(
+            stats.suspension_fraction() < 0.02,
+            "suspension fraction {:.4}",
+            stats.suspension_fraction()
+        );
+        assert!(stats.suspended_ns > 0);
+        assert!(stats.cpu_ns() + stats.suspended_ns == stats.wall_ns());
+    }
+
+    #[test]
+    fn ie8_pays_the_settimeout_clamp_on_every_suspension() {
+        // IE8's sendMessage is synchronous, so Doppio falls back to
+        // setTimeout with its 4 ms clamp — suspension overhead balloons.
+        let run = |browser| {
+            let engine = Engine::new(browser);
+            let rt = DoppioRuntime::new(&engine);
+            rt.spawn(
+                "main",
+                Box::new(FnThread::new(compute_thread(2_000_000, Cost::Dispatch))),
+            );
+            rt.run_to_completion().unwrap().suspension_fraction()
+        };
+        let chrome = run(Browser::Chrome);
+        let ie8 = run(Browser::Ie8);
+        assert!(
+            ie8 > 5.0 * chrome.max(1e-6),
+            "ie8={ie8:.4} chrome={chrome:.4}"
+        );
+    }
+
+    #[test]
+    fn ie10_setimmediate_beats_chrome_sendmessage() {
+        let run = |browser| {
+            let engine = Engine::new(browser);
+            let rt = DoppioRuntime::new(&engine);
+            rt.spawn(
+                "main",
+                Box::new(FnThread::new(compute_thread(5_000_000, Cost::IntOp))),
+            );
+            let s = rt.run_to_completion().unwrap();
+            (s.suspended_ns, s.suspensions)
+        };
+        let (chrome_ns, chrome_n) = run(Browser::Chrome);
+        let (ie10_ns, ie10_n) = run(Browser::Ie10);
+        // Per suspension, setImmediate is cheaper than sendMessage.
+        assert!(ie10_ns / ie10_n.max(1) < chrome_ns / chrome_n.max(1));
+    }
+
+    #[test]
+    fn custom_scheduler_is_honored() {
+        struct LastFirst;
+        impl Scheduler for LastFirst {
+            fn pick(&mut self, ready: &[ThreadId]) -> ThreadId {
+                *ready.last().expect("non-empty")
+            }
+        }
+        let engine = Engine::new(Browser::Chrome);
+        let rt = DoppioRuntime::with_config(&engine, Box::new(LastFirst), DEFAULT_TIME_SLICE_NS);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for tag in ["first", "second"] {
+            let order = order.clone();
+            rt.spawn(
+                tag,
+                Box::new(FnThread::new(move |_| {
+                    order.borrow_mut().push(tag);
+                    ThreadStep::Finished
+                })),
+            );
+        }
+        rt.run_to_completion().unwrap();
+        assert_eq!(*order.borrow(), vec!["second", "first"]);
+    }
+
+    #[test]
+    fn spawned_threads_join_the_pool_mid_run() {
+        let engine = Engine::new(Browser::Chrome);
+        let rt = DoppioRuntime::new(&engine);
+        let child_ran = Rc::new(RefCell::new(false));
+        let cr = child_ran.clone();
+        let mut spawned = false;
+        rt.spawn(
+            "parent",
+            Box::new(FnThread::new(move |ctx| {
+                if !spawned {
+                    spawned = true;
+                    let cr = cr.clone();
+                    ctx.spawn(
+                        "child",
+                        Box::new(FnThread::new(move |_| {
+                            *cr.borrow_mut() = true;
+                            ThreadStep::Finished
+                        })),
+                    );
+                    return ThreadStep::Yielded;
+                }
+                ThreadStep::Finished
+            })),
+        );
+        rt.run_to_completion().unwrap();
+        assert!(*child_ran.borrow());
+    }
+
+    #[test]
+    fn finished_runtime_reports_wall_time_span() {
+        let engine = Engine::new(Browser::Chrome);
+        let rt = DoppioRuntime::new(&engine);
+        rt.spawn(
+            "main",
+            Box::new(FnThread::new(compute_thread(100_000, Cost::IntOp))),
+        );
+        let stats = rt.run_to_completion().unwrap();
+        assert!(stats.finished_ns > stats.started_ns);
+        assert_eq!(stats.wall_ns(), stats.finished_ns - stats.started_ns);
+    }
+}

@@ -1,0 +1,545 @@
+//! The Doppio runtime: thread pool, scheduler, and the suspend-and-
+//! resume dispatch loop (§4.1–§4.4).
+//!
+//! Programs hosted on Doppio keep their call stacks in ordinary heap
+//! objects (a [`GuestThread`] owns its explicit stack) and run in
+//! *slices*: the runtime dispatches one thread, the thread executes
+//! until its suspend check fires (or it finishes, or it blocks on an
+//! asynchronous browser API), and the runtime then schedules a
+//! *resumption callback* through the fastest asynchronous mechanism the
+//! browser offers — `setImmediate`, else `sendMessage`, else
+//! `setTimeout` (§4.4). Between slices, queued browser events (user
+//! input!) get to run, which is what keeps the page responsive.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use doppio_jsengine::profile::ResumeMechanism;
+use doppio_jsengine::Engine;
+
+use crate::suspend::{SuspendTimer, DEFAULT_TIME_SLICE_NS};
+
+/// Identifies a thread in the runtime's thread pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub usize);
+
+/// Lifecycle state of a guest thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Eligible to run.
+    Ready,
+    /// Waiting on an asynchronous completion or a monitor.
+    Blocked,
+    /// Ran to completion.
+    Finished,
+}
+
+/// What a guest thread reports at the end of a slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadStep {
+    /// The thread's program completed.
+    Finished,
+    /// The suspend check fired (or the thread voluntarily yielded, e.g.
+    /// at a JVM context-switch point); the thread is still ready.
+    Yielded,
+    /// The thread started an asynchronous operation via
+    /// [`ThreadContext::block_on`] and must not run until it is woken.
+    Blocked,
+}
+
+/// A program hosted on the Doppio execution environment.
+///
+/// Implementations must keep all resumption state in `self` (the
+/// explicit call stack requirement of §4.1) and call
+/// [`ThreadContext::should_suspend`] periodically — DoppioJVM does so
+/// at method call boundaries (§6.1) — returning
+/// [`ThreadStep::Yielded`] when it fires.
+pub trait GuestThread {
+    /// Run one slice.
+    fn run(&mut self, ctx: &mut ThreadContext<'_>) -> ThreadStep;
+
+    /// Human-readable name for diagnostics.
+    fn name(&self) -> &str {
+        "guest"
+    }
+}
+
+/// Picks which ready thread runs next (§4.3: "Language implementations
+/// can provide a scheduling function that determines which thread to
+/// resume").
+pub trait Scheduler {
+    /// Choose one of `ready` (non-empty, ascending order).
+    fn pick(&mut self, ready: &[ThreadId]) -> ThreadId;
+}
+
+/// The default scheduler: round-robin over ready threads.
+#[derive(Debug, Default)]
+pub struct RoundRobinScheduler {
+    last: usize,
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn pick(&mut self, ready: &[ThreadId]) -> ThreadId {
+        let next = ready
+            .iter()
+            .copied()
+            .find(|t| t.0 > self.last)
+            .unwrap_or(ready[0]);
+        self.last = next.0;
+        next
+    }
+}
+
+/// Counters the runtime accumulates (these feed Figures 4 and 5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Number of suspend-and-resume round trips.
+    pub suspensions: u64,
+    /// Virtual ns spent suspended (yield → resumption callback).
+    pub suspended_ns: u64,
+    /// Thread slices executed.
+    pub slices: u64,
+    /// Slices that switched to a different thread than the previous one.
+    pub context_switches: u64,
+    /// Virtual time the runtime started.
+    pub started_ns: u64,
+    /// Virtual time the last thread finished (0 while running).
+    pub finished_ns: u64,
+}
+
+impl RuntimeStats {
+    /// Wall-clock duration of the whole run, in virtual ns.
+    pub fn wall_ns(&self) -> u64 {
+        self.finished_ns.saturating_sub(self.started_ns)
+    }
+
+    /// CPU time: wall-clock minus suspension (the Figure 4 split).
+    pub fn cpu_ns(&self) -> u64 {
+        self.wall_ns().saturating_sub(self.suspended_ns)
+    }
+
+    /// Suspension as a fraction of wall-clock time (Figure 5).
+    pub fn suspension_fraction(&self) -> f64 {
+        if self.wall_ns() == 0 {
+            0.0
+        } else {
+            self.suspended_ns as f64 / self.wall_ns() as f64
+        }
+    }
+}
+
+/// Errors surfaced by the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Every live thread is blocked and no event can wake them.
+    Deadlock {
+        /// Names of the blocked threads.
+        blocked: Vec<String>,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Deadlock { blocked } => {
+                write!(
+                    f,
+                    "deadlock: all live threads blocked ({})",
+                    blocked.join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+struct Slot {
+    name: String,
+    state: ThreadState,
+    wake_pending: bool,
+    thread: Option<Box<dyn GuestThread>>,
+}
+
+struct Inner {
+    threads: Vec<Slot>,
+    scheduler: Box<dyn Scheduler>,
+    timer: SuspendTimer,
+    stats: RuntimeStats,
+    tick_scheduled: bool,
+    suspend_started_at: Option<u64>,
+    last_ran: Option<ThreadId>,
+}
+
+/// The Doppio execution environment.
+///
+/// Cheaply cloneable handle; strictly single-threaded (it lives on the
+/// simulated JavaScript thread).
+#[derive(Clone)]
+pub struct DoppioRuntime {
+    engine: Engine,
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl fmt::Debug for DoppioRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("DoppioRuntime")
+            .field("threads", &inner.threads.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl DoppioRuntime {
+    /// Create a runtime on `engine` with the default round-robin
+    /// scheduler and time slice.
+    pub fn new(engine: &Engine) -> DoppioRuntime {
+        DoppioRuntime::with_config(
+            engine,
+            Box::new(RoundRobinScheduler::default()),
+            DEFAULT_TIME_SLICE_NS,
+        )
+    }
+
+    /// Create a runtime with a custom scheduler and/or time slice.
+    pub fn with_config(
+        engine: &Engine,
+        scheduler: Box<dyn Scheduler>,
+        time_slice_ns: u64,
+    ) -> DoppioRuntime {
+        DoppioRuntime {
+            engine: engine.clone(),
+            inner: Rc::new(RefCell::new(Inner {
+                threads: Vec::new(),
+                scheduler,
+                timer: SuspendTimer::with_time_slice(engine.now_ns(), time_slice_ns),
+                stats: RuntimeStats::default(),
+                tick_scheduled: false,
+                suspend_started_at: None,
+                last_ran: None,
+            })),
+        }
+    }
+
+    /// The engine this runtime schedules on.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Add a thread to the pool (Ready). Threads added after
+    /// [`start`](Self::start) begin running on the next tick.
+    pub fn spawn(&self, name: impl Into<String>, thread: Box<dyn GuestThread>) -> ThreadId {
+        let mut inner = self.inner.borrow_mut();
+        let id = ThreadId(inner.threads.len());
+        inner.threads.push(Slot {
+            name: name.into(),
+            state: ThreadState::Ready,
+            wake_pending: false,
+            thread: Some(thread),
+        });
+        drop(inner);
+        self.schedule_tick(false);
+        id
+    }
+
+    /// Current state of a thread.
+    pub fn thread_state(&self, id: ThreadId) -> ThreadState {
+        self.inner.borrow().threads[id.0].state
+    }
+
+    /// Wake a blocked thread (asynchronous completions and monitor
+    /// notifies call this). Waking a Ready or Finished thread records a
+    /// pending wake so a block that races with its own completion does
+    /// not sleep forever.
+    pub fn wake(&self, id: ThreadId) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let slot = &mut inner.threads[id.0];
+            match slot.state {
+                ThreadState::Blocked => slot.state = ThreadState::Ready,
+                ThreadState::Ready => slot.wake_pending = true,
+                ThreadState::Finished => return,
+            }
+        }
+        self.schedule_tick(false);
+    }
+
+    /// Mark a thread blocked from outside a slice (monitor acquisition
+    /// by another thread's slice). Blocking the currently running
+    /// thread must instead be done by returning [`ThreadStep::Blocked`].
+    pub fn block(&self, id: ThreadId) {
+        let mut inner = self.inner.borrow_mut();
+        let slot = &mut inner.threads[id.0];
+        if slot.state == ThreadState::Ready {
+            slot.state = ThreadState::Blocked;
+        }
+    }
+
+    /// Begin execution: schedules the first tick.
+    pub fn start(&self) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.stats.started_ns == 0 {
+                inner.stats.started_ns = self.engine.now_ns();
+            }
+        }
+        self.schedule_tick(false);
+    }
+
+    /// Whether every thread has finished.
+    pub fn is_finished(&self) -> bool {
+        let inner = self.inner.borrow();
+        !inner.threads.is_empty()
+            && inner
+                .threads
+                .iter()
+                .all(|s| s.state == ThreadState::Finished)
+    }
+
+    /// Snapshot of the runtime's counters.
+    pub fn stats(&self) -> RuntimeStats {
+        self.inner.borrow().stats
+    }
+
+    /// Drive the engine's event loop until every thread finishes.
+    ///
+    /// Returns the final stats, or a deadlock error if all live threads
+    /// are blocked with no event left to wake them.
+    pub fn run_to_completion(&self) -> Result<RuntimeStats, RuntimeError> {
+        self.start();
+        loop {
+            if self.is_finished() {
+                return Ok(self.stats());
+            }
+            if !self.engine.run_one() {
+                let blocked = {
+                    let inner = self.inner.borrow();
+                    inner
+                        .threads
+                        .iter()
+                        .filter(|s| s.state == ThreadState::Blocked)
+                        .map(|s| s.name.clone())
+                        .collect()
+                };
+                return Err(RuntimeError::Deadlock { blocked });
+            }
+        }
+    }
+
+    /// Schedule a tick through the browser's best resumption mechanism
+    /// (§4.4). `counts_as_suspension` marks yields of a still-ready
+    /// computation (the Figure 5 accounting); wakes of blocked threads
+    /// are I/O latency, not suspension overhead.
+    fn schedule_tick(&self, counts_as_suspension: bool) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.tick_scheduled {
+                return;
+            }
+            inner.tick_scheduled = true;
+            if counts_as_suspension {
+                inner.stats.suspensions += 1;
+                inner.suspend_started_at = Some(self.engine.now_ns());
+            }
+        }
+        let rt = self.clone();
+        let tick = move |_: &Engine| rt.tick();
+        match self.engine.profile().best_resume_mechanism() {
+            ResumeMechanism::SetImmediate => {
+                self.engine
+                    .set_immediate(tick)
+                    .expect("profile advertised setImmediate");
+            }
+            ResumeMechanism::SendMessage => self.engine.send_message(tick),
+            ResumeMechanism::SetTimeout => {
+                self.engine.set_timeout(0.0, tick);
+            }
+        }
+    }
+
+    fn tick(&self) {
+        let now = self.engine.now_ns();
+        // Close out suspension accounting and pick a thread.
+        let picked = {
+            let mut inner = self.inner.borrow_mut();
+            inner.tick_scheduled = false;
+            if let Some(t0) = inner.suspend_started_at.take() {
+                inner.stats.suspended_ns += now.saturating_sub(t0);
+            }
+            inner.timer.reset_window(now);
+            let ready: Vec<ThreadId> = inner
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.state == ThreadState::Ready)
+                .map(|(i, _)| ThreadId(i))
+                .collect();
+            if ready.is_empty() {
+                None
+            } else {
+                let id = inner.scheduler.pick(&ready);
+                let thread = inner.threads[id.0].thread.take();
+                Some((id, thread))
+            }
+        };
+
+        let Some((id, Some(mut thread))) = picked else {
+            return; // nothing ready: a wake will reschedule us
+        };
+
+        let mut ctx = self.make_ctx(id);
+        let step = thread.run(&mut ctx);
+
+        let any_ready = {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.slices += 1;
+            if inner.last_ran != Some(id) {
+                if inner.last_ran.is_some() {
+                    inner.stats.context_switches += 1;
+                }
+                inner.last_ran = Some(id);
+            }
+            let slot = &mut inner.threads[id.0];
+            slot.thread = Some(thread);
+            slot.state = match step {
+                ThreadStep::Finished => ThreadState::Finished,
+                ThreadStep::Yielded => ThreadState::Ready,
+                ThreadStep::Blocked => {
+                    if slot.wake_pending {
+                        slot.wake_pending = false;
+                        ThreadState::Ready
+                    } else {
+                        ThreadState::Blocked
+                    }
+                }
+            };
+            if inner
+                .threads
+                .iter()
+                .all(|s| s.state == ThreadState::Finished)
+            {
+                inner.stats.finished_ns = self.engine.now_ns();
+            }
+            inner.threads.iter().any(|s| s.state == ThreadState::Ready)
+        };
+
+        if any_ready {
+            // Suspend-and-resume: let queued browser events (user input)
+            // run, then resume via the fast path.
+            self.schedule_tick(true);
+        }
+    }
+}
+
+/// The view of the runtime a guest thread sees during its slice.
+pub struct ThreadContext<'rt> {
+    runtime: DoppioRuntime,
+    thread_id: ThreadId,
+    _marker: std::marker::PhantomData<&'rt ()>,
+}
+
+impl ThreadContext<'_> {
+    /// The engine (for charging costs and direct async APIs).
+    pub fn engine(&self) -> &Engine {
+        self.runtime.engine()
+    }
+
+    /// The runtime hosting this thread.
+    pub fn runtime(&self) -> &DoppioRuntime {
+        &self.runtime
+    }
+
+    /// This thread's id.
+    pub fn thread_id(&self) -> ThreadId {
+        self.thread_id
+    }
+
+    /// One suspend check (§4.1). When this returns `true` the thread
+    /// must save its state and return [`ThreadStep::Yielded`].
+    pub fn should_suspend(&mut self) -> bool {
+        let now = self.runtime.engine.now_ns();
+        self.runtime.inner.borrow_mut().timer.check(now)
+    }
+
+    /// Begin a blocking call over an asynchronous browser API (§4.2).
+    ///
+    /// `start` receives the engine and a resolver; it must arrange for
+    /// the resolver to be called when the asynchronous operation
+    /// completes (typically from an event-loop callback). The thread
+    /// then returns [`ThreadStep::Blocked`]; when the resolver fires,
+    /// the thread is woken and finds the value in the returned cell —
+    /// "the program resumes as if it had just received data
+    /// synchronously from a regular function call".
+    pub fn block_on<T: 'static>(
+        &mut self,
+        start: impl FnOnce(&Engine, AsyncResolver<T>),
+    ) -> AsyncCell<T> {
+        let cell = AsyncCell(Rc::new(RefCell::new(None)));
+        let resolver = AsyncResolver {
+            cell: cell.0.clone(),
+            runtime: self.runtime.clone(),
+            thread: self.thread_id,
+        };
+        start(self.runtime.engine(), resolver);
+        cell
+    }
+
+    /// Spawn a sibling thread (JVM `Thread.start`).
+    pub fn spawn(&self, name: impl Into<String>, thread: Box<dyn GuestThread>) -> ThreadId {
+        self.runtime.spawn(name, thread)
+    }
+
+    /// Wake a blocked sibling (JVM `notify`/`interrupt`/`unpark`).
+    pub fn wake(&self, id: ThreadId) {
+        self.runtime.wake(id);
+    }
+}
+
+/// Receives the value a blocked thread is waiting for.
+pub struct AsyncResolver<T> {
+    cell: Rc<RefCell<Option<T>>>,
+    runtime: DoppioRuntime,
+    thread: ThreadId,
+}
+
+impl<T> AsyncResolver<T> {
+    /// Deliver the value and wake the waiting thread.
+    pub fn resolve(self, value: T) {
+        *self.cell.borrow_mut() = Some(value);
+        self.runtime.wake(self.thread);
+    }
+}
+
+/// Where a blocked thread finds its delivered value after waking.
+#[derive(Debug)]
+pub struct AsyncCell<T>(Rc<RefCell<Option<T>>>);
+
+impl<T> Clone for AsyncCell<T> {
+    fn clone(&self) -> Self {
+        AsyncCell(self.0.clone())
+    }
+}
+
+impl<T> AsyncCell<T> {
+    /// Whether the value has been delivered.
+    pub fn is_ready(&self) -> bool {
+        self.0.borrow().is_some()
+    }
+
+    /// Take the delivered value, if present.
+    pub fn take(&self) -> Option<T> {
+        self.0.borrow_mut().take()
+    }
+}
+
+impl DoppioRuntime {
+    fn make_ctx(&self, id: ThreadId) -> ThreadContext<'_> {
+        ThreadContext {
+            runtime: self.clone(),
+            thread_id: id,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}

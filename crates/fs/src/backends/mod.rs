@@ -1,0 +1,42 @@
+//! The concrete file-system backends (§5.1, Figure 2).
+
+pub mod blob;
+pub mod mount;
+
+pub use blob::{BlobBackend, BlobStore, DropboxStore, LocalStorageStore, MemoryStore, XhrStore};
+pub use mount::MountableFs;
+
+use doppio_jsengine::Engine;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::backend::SharedBackend;
+
+/// An in-memory backend (temporary storage, like `/tmp`).
+pub fn in_memory(engine: &Engine) -> SharedBackend {
+    Rc::new(BlobBackend::new(engine, MemoryStore::new()))
+}
+
+/// A backend persisted in the browser's `localStorage` (5 MB quota,
+/// binary data packed through the Buffer binary-string bridge).
+pub fn local_storage(engine: &Engine) -> SharedBackend {
+    Rc::new(BlobBackend::new(engine, LocalStorageStore::new()))
+}
+
+/// A read-only backend over files served by the web server, downloaded
+/// on demand.
+pub fn xhr(engine: &Engine, files: BTreeMap<String, Vec<u8>>) -> SharedBackend {
+    let store = XhrStore::new(files);
+    let index = store.listing();
+    Rc::new(BlobBackend::with_index(engine, store, index))
+}
+
+/// A Dropbox-style cloud backend (read-write, high latency).
+pub fn dropbox(engine: &Engine) -> SharedBackend {
+    Rc::new(BlobBackend::new(engine, DropboxStore::new()))
+}
+
+/// A mountable file system over `root`.
+pub fn mountable(root: SharedBackend) -> Rc<MountableFs> {
+    Rc::new(MountableFs::new(root))
+}

@@ -1,0 +1,201 @@
+//! The mountable file system (§5.1 "Mounting File Systems").
+//!
+//! "DOPPIO provides a standard MountableFileSystem that handles
+//! performing operations across different file system backends" using
+//! nothing but the standard backend API — so any backend, present or
+//! future, can be mounted into a Unix-style directory tree (e.g. an
+//! in-memory `/tmp`, server-backed `/sys`, Dropbox-backed `/home`).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+use doppio_jsengine::Engine;
+
+use crate::backend::{deliver, Backend, FsCallback, OpenFlags, SharedBackend, Stat};
+use crate::error::{Errno, FsError, FsResult};
+use crate::path;
+
+/// A backend that routes each path to the backend mounted at its
+/// longest matching mount point.
+pub struct MountableFs {
+    root: SharedBackend,
+    /// Mount point (normalized, absolute, not `/`) → backend.
+    mounts: RefCell<BTreeMap<String, SharedBackend>>,
+}
+
+impl MountableFs {
+    /// A mountable file system with `root` serving unmounted paths.
+    pub fn new(root: SharedBackend) -> MountableFs {
+        MountableFs {
+            root,
+            mounts: RefCell::new(BTreeMap::new()),
+        }
+    }
+
+    /// Mount `backend` at `point` (absolute, not `/`). The mount point
+    /// shadows whatever the underlying backend had there.
+    pub fn mount(&self, point: &str, backend: SharedBackend) -> FsResult<()> {
+        let point = path::normalize(point);
+        if !path::is_absolute(&point) || point == "/" {
+            return Err(FsError::new(Errno::Einval, point).with_detail("bad mount point"));
+        }
+        self.mounts.borrow_mut().insert(point, backend);
+        Ok(())
+    }
+
+    /// Unmount the backend at `point`.
+    pub fn unmount(&self, point: &str) -> FsResult<()> {
+        let point = path::normalize(point);
+        self.mounts
+            .borrow_mut()
+            .remove(&point)
+            .map(|_| ())
+            .ok_or_else(|| FsError::new(Errno::Enoent, point).with_detail("not a mount point"))
+    }
+
+    /// The mount points, sorted.
+    pub fn mount_points(&self) -> Vec<String> {
+        self.mounts.borrow().keys().cloned().collect()
+    }
+
+    /// Resolve `p` to `(backend, path-within-backend, mount-point)`.
+    /// The longest mount point that is a prefix of `p` wins; otherwise
+    /// the root backend serves it.
+    fn route(&self, p: &str) -> (SharedBackend, String, String) {
+        let mounts = self.mounts.borrow();
+        let mut best: Option<(&String, &SharedBackend)> = None;
+        for (point, be) in mounts.iter() {
+            let is_prefix = p == point || p.starts_with(&format!("{point}/"));
+            if is_prefix && best.map(|(bp, _)| point.len() > bp.len()).unwrap_or(true) {
+                best = Some((point, be));
+            }
+        }
+        match best {
+            Some((point, be)) => {
+                let inner = &p[point.len()..];
+                let inner = if inner.is_empty() { "/" } else { inner };
+                (be.clone(), inner.to_string(), point.clone())
+            }
+            None => (self.root.clone(), p.to_string(), String::new()),
+        }
+    }
+
+    /// Mount points that are immediate children of directory `dir`.
+    fn child_mounts(&self, dir: &str) -> Vec<String> {
+        let prefix = if dir == "/" {
+            "/".to_string()
+        } else {
+            format!("{dir}/")
+        };
+        self.mounts
+            .borrow()
+            .keys()
+            .filter_map(|m| {
+                let rest = m.strip_prefix(&prefix)?;
+                if rest.is_empty() || rest.contains('/') {
+                    None
+                } else {
+                    Some(rest.to_string())
+                }
+            })
+            .collect()
+    }
+}
+
+impl Backend for MountableFs {
+    fn name(&self) -> &'static str {
+        "Mountable"
+    }
+
+    fn stat(&self, engine: &Engine, p: &str, cb: FsCallback<Stat>) {
+        let (be, inner, _point) = self.route(p);
+        be.stat(engine, &inner, cb);
+    }
+
+    fn open(&self, engine: &Engine, p: &str, flags: OpenFlags, cb: FsCallback<Vec<u8>>) {
+        let (be, inner, _) = self.route(p);
+        be.open(engine, &inner, flags, cb);
+    }
+
+    fn sync(&self, engine: &Engine, p: &str, data: Vec<u8>, cb: FsCallback<()>) {
+        let (be, inner, _) = self.route(p);
+        be.sync(engine, &inner, data, cb);
+    }
+
+    fn close(&self, engine: &Engine, p: &str, cb: FsCallback<()>) {
+        let (be, inner, _) = self.route(p);
+        be.close(engine, &inner, cb);
+    }
+
+    fn rename(&self, engine: &Engine, from: &str, to: &str, cb: FsCallback<()>) {
+        let (be_from, inner_from, point_from) = self.route(from);
+        let (_, inner_to, point_to) = self.route(to);
+        if point_from != point_to {
+            // Crossing backends: a real OS returns EXDEV and leaves the
+            // copy to userspace.
+            deliver(
+                engine,
+                1_000,
+                cb,
+                Err(FsError::new(Errno::Exdev, from)
+                    .with_detail(format!("cannot rename across mounts to {to}"))),
+            );
+            return;
+        }
+        be_from.rename(engine, &inner_from, &inner_to, cb);
+    }
+
+    fn unlink(&self, engine: &Engine, p: &str, cb: FsCallback<()>) {
+        let (be, inner, _) = self.route(p);
+        be.unlink(engine, &inner, cb);
+    }
+
+    fn mkdir(&self, engine: &Engine, p: &str, cb: FsCallback<()>) {
+        let (be, inner, _) = self.route(p);
+        be.mkdir(engine, &inner, cb);
+    }
+
+    fn rmdir(&self, engine: &Engine, p: &str, cb: FsCallback<()>) {
+        let (be, inner, point) = self.route(p);
+        if !point.is_empty() && inner == "/" {
+            deliver(
+                engine,
+                1_000,
+                cb,
+                Err(FsError::new(Errno::Einval, p).with_detail("cannot rmdir a mount point")),
+            );
+            return;
+        }
+        be.rmdir(engine, &inner, cb);
+    }
+
+    fn readdir(&self, engine: &Engine, p: &str, cb: FsCallback<Vec<String>>) {
+        let (be, inner, point) = self.route(p);
+        let extra = if point.is_empty() {
+            self.child_mounts(p)
+        } else {
+            Vec::new()
+        };
+        be.readdir(
+            engine,
+            &inner,
+            Box::new(move |e, result| {
+                let merged = result.map(|mut names| {
+                    for m in extra {
+                        if !names.contains(&m) {
+                            names.push(m);
+                        }
+                    }
+                    names.sort();
+                    names
+                });
+                cb(e, merged);
+            }),
+        );
+    }
+
+    fn utimes(&self, engine: &Engine, p: &str, mtime_ns: u64, cb: FsCallback<()>) {
+        let (be, inner, _) = self.route(p);
+        be.utimes(engine, &inner, mtime_ns, cb);
+    }
+}

@@ -1,0 +1,138 @@
+//! File-system errors, modeled on the errno codes Node's `fs` module
+//! surfaces (Doppio's fs is "a light JavaScript wrapper around Unix
+//! file system calls").
+
+use std::fmt;
+
+/// Unix-style error codes raised by the Doppio file system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Errno {
+    /// No such file or directory.
+    Enoent,
+    /// File or directory already exists.
+    Eexist,
+    /// A path component is not a directory.
+    Enotdir,
+    /// Operation expects a file but found a directory.
+    Eisdir,
+    /// Directory not empty.
+    Enotempty,
+    /// Bad file descriptor.
+    Ebadf,
+    /// Operation not permitted by the open flags (e.g. writing a file
+    /// opened read-only).
+    Eacces,
+    /// Read-only file system.
+    Erofs,
+    /// Storage quota exhausted.
+    Enospc,
+    /// Invalid argument (bad flags, malformed path).
+    Einval,
+    /// Cross-device link (rename across mounted backends).
+    Exdev,
+    /// The backend does not implement this optional operation.
+    Enotsup,
+    /// I/O error (lost connection to cloud storage, ...).
+    Eio,
+}
+
+impl Errno {
+    /// The conventional uppercase code string (`"ENOENT"` etc.).
+    pub fn code(self) -> &'static str {
+        match self {
+            Errno::Enoent => "ENOENT",
+            Errno::Eexist => "EEXIST",
+            Errno::Enotdir => "ENOTDIR",
+            Errno::Eisdir => "EISDIR",
+            Errno::Enotempty => "ENOTEMPTY",
+            Errno::Ebadf => "EBADF",
+            Errno::Eacces => "EACCES",
+            Errno::Erofs => "EROFS",
+            Errno::Enospc => "ENOSPC",
+            Errno::Einval => "EINVAL",
+            Errno::Exdev => "EXDEV",
+            Errno::Enotsup => "ENOTSUP",
+            Errno::Eio => "EIO",
+        }
+    }
+}
+
+/// An error from the Doppio file system: an errno plus the path or
+/// descriptor it concerns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsError {
+    /// The error code.
+    pub errno: Errno,
+    /// The path (or fd description) involved.
+    pub path: String,
+    /// Optional human-readable detail.
+    pub detail: Option<String>,
+}
+
+impl FsError {
+    /// Build an error for `path`.
+    pub fn new(errno: Errno, path: impl Into<String>) -> FsError {
+        FsError {
+            errno,
+            path: path.into(),
+            detail: None,
+        }
+    }
+
+    /// Attach explanatory detail.
+    pub fn with_detail(mut self, detail: impl Into<String>) -> FsError {
+        self.detail = Some(detail.into());
+        self
+    }
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.errno.code(), self.path)?;
+        if let Some(d) = &self.detail {
+            write!(f, " ({d})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Result alias for file-system operations.
+pub type FsResult<T> = Result<T, FsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shows_code_and_path() {
+        let e = FsError::new(Errno::Enoent, "/tmp/missing").with_detail("backend: InMemory");
+        let s = e.to_string();
+        assert!(s.contains("ENOENT"));
+        assert!(s.contains("/tmp/missing"));
+        assert!(s.contains("InMemory"));
+    }
+
+    #[test]
+    fn all_codes_are_distinct() {
+        use std::collections::HashSet;
+        let all = [
+            Errno::Enoent,
+            Errno::Eexist,
+            Errno::Enotdir,
+            Errno::Eisdir,
+            Errno::Enotempty,
+            Errno::Ebadf,
+            Errno::Eacces,
+            Errno::Erofs,
+            Errno::Enospc,
+            Errno::Einval,
+            Errno::Exdev,
+            Errno::Enotsup,
+            Errno::Eio,
+        ];
+        let codes: HashSet<_> = all.iter().map(|e| e.code()).collect();
+        assert_eq!(codes.len(), all.len());
+    }
+}

@@ -1,0 +1,181 @@
+//! The Node JS `path` module (§5.1): "useful path string manipulation
+//! functions".
+//!
+//! Doppio emulates Node's `path` so language runtimes can resolve the
+//! POSIX-style paths their standard libraries produce. Only the POSIX
+//! flavor exists in the browser (there are no drive letters in a URL
+//! namespace).
+
+/// The path separator.
+pub const SEP: char = '/';
+
+/// Whether `p` is absolute.
+pub fn is_absolute(p: &str) -> bool {
+    p.starts_with(SEP)
+}
+
+/// Normalize a path: collapse `//`, resolve `.` and `..` lexically,
+/// strip trailing slashes (except the root).
+///
+/// ```
+/// use doppio_fs::path::normalize;
+/// assert_eq!(normalize("/a//b/../c/"), "/a/c");
+/// assert_eq!(normalize("a/./b"), "a/b");
+/// assert_eq!(normalize("/.."), "/");
+/// assert_eq!(normalize(""), ".");
+/// ```
+pub fn normalize(p: &str) -> String {
+    let absolute = is_absolute(p);
+    let mut parts: Vec<&str> = Vec::new();
+    for seg in p.split(SEP) {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                if let Some(last) = parts.last() {
+                    if *last != ".." {
+                        parts.pop();
+                        continue;
+                    }
+                }
+                if !absolute {
+                    parts.push("..");
+                }
+            }
+            s => parts.push(s),
+        }
+    }
+    let joined = parts.join("/");
+    match (absolute, joined.is_empty()) {
+        (true, true) => "/".to_string(),
+        (true, false) => format!("/{joined}"),
+        (false, true) => ".".to_string(),
+        (false, false) => joined,
+    }
+}
+
+/// Join path segments, then normalize.
+///
+/// ```
+/// use doppio_fs::path::join;
+/// assert_eq!(join(&["/usr", "lib", "jvm"]), "/usr/lib/jvm");
+/// assert_eq!(join(&["a", "..", "b"]), "b");
+/// ```
+pub fn join(parts: &[&str]) -> String {
+    normalize(&parts.join("/"))
+}
+
+/// Resolve `p` against `cwd` (which must be absolute): absolute paths
+/// pass through, relative ones are joined — Node's `path.resolve`.
+pub fn resolve(cwd: &str, p: &str) -> String {
+    if is_absolute(p) {
+        normalize(p)
+    } else {
+        normalize(&format!("{cwd}/{p}"))
+    }
+}
+
+/// The directory part of a path (`dirname`).
+///
+/// ```
+/// use doppio_fs::path::dirname;
+/// assert_eq!(dirname("/a/b/c"), "/a/b");
+/// assert_eq!(dirname("/a"), "/");
+/// assert_eq!(dirname("/"), "/");
+/// assert_eq!(dirname("a/b"), "a");
+/// assert_eq!(dirname("a"), ".");
+/// ```
+pub fn dirname(p: &str) -> String {
+    let p = normalize(p);
+    match p.rfind(SEP) {
+        None => ".".to_string(),
+        Some(0) => "/".to_string(),
+        Some(i) => p[..i].to_string(),
+    }
+}
+
+/// The final component of a path (`basename`).
+///
+/// ```
+/// use doppio_fs::path::basename;
+/// assert_eq!(basename("/a/b/c.txt"), "c.txt");
+/// assert_eq!(basename("/"), "");
+/// ```
+pub fn basename(p: &str) -> String {
+    let p = normalize(p);
+    if p == "/" {
+        return String::new();
+    }
+    match p.rfind(SEP) {
+        None => p,
+        Some(i) => p[i + 1..].to_string(),
+    }
+}
+
+/// The extension including the dot (`extname`), empty when none.
+///
+/// ```
+/// use doppio_fs::path::extname;
+/// assert_eq!(extname("Main.class"), ".class");
+/// assert_eq!(extname("archive.tar.gz"), ".gz");
+/// assert_eq!(extname("README"), "");
+/// assert_eq!(extname(".bashrc"), "");
+/// ```
+pub fn extname(p: &str) -> String {
+    let base = basename(p);
+    match base.rfind('.') {
+        Some(i) if i > 0 => base[i..].to_string(),
+        _ => String::new(),
+    }
+}
+
+/// Split an absolute normalized path into its components.
+pub fn components(p: &str) -> Vec<String> {
+    normalize(p)
+        .split(SEP)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_handles_dot_dot_chains() {
+        assert_eq!(normalize("/a/b/c/../../d"), "/a/d");
+        assert_eq!(normalize("../x"), "../x");
+        assert_eq!(normalize("a/../../x"), "../x");
+        assert_eq!(normalize("/../../x"), "/x");
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        for p in ["/a//b/../c/", "a/./b", "", "/", "../..", "/x/y/z"] {
+            let once = normalize(p);
+            assert_eq!(normalize(&once), once, "input {p:?}");
+        }
+    }
+
+    #[test]
+    fn resolve_respects_cwd() {
+        assert_eq!(resolve("/home/user", "file.txt"), "/home/user/file.txt");
+        assert_eq!(resolve("/home/user", "/etc/passwd"), "/etc/passwd");
+        assert_eq!(resolve("/home/user", "../other"), "/home/other");
+    }
+
+    #[test]
+    fn dirname_basename_recompose() {
+        for p in ["/a/b/c.txt", "/x", "/a/b/"] {
+            let n = normalize(p);
+            let recomposed = join(&[&dirname(&n), &basename(&n)]);
+            assert_eq!(recomposed, n);
+        }
+    }
+
+    #[test]
+    fn components_of_root_is_empty() {
+        assert!(components("/").is_empty());
+        assert_eq!(components("/a/b"), vec!["a", "b"]);
+    }
+}

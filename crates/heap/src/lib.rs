@@ -1,0 +1,619 @@
+//! Doppio's unmanaged heap (§5.2).
+//!
+//! Programs use the unmanaged heap either for unsafe memory operations
+//! (managed languages — the JVM's `sun.misc.Unsafe`) or as the source
+//! of dynamically allocated memory (unmanaged languages — Emscripten's
+//! `malloc`). Doppio emulates it with "a straightforward first-fit
+//! memory allocator that operates on JavaScript arrays. Each element in
+//! the array is a 32-bit signed integer" — because JavaScript only
+//! supports bit operations on 32-bit signed integers. Data is stored
+//! **little endian** to match the alternative typed-array backing
+//! (typed arrays are little endian and that detail is not
+//! configurable).
+//!
+//! Because all traffic is encoded into and decoded out of the 32-bit
+//! word array, "data stored to and read from DOPPIO's heap are actually
+//! copied" — there is no aliasing with language-level objects.
+//!
+//! # Example
+//!
+//! ```
+//! use doppio_jsengine::{Browser, Engine};
+//! use doppio_heap::UnmanagedHeap;
+//!
+//! let engine = Engine::new(Browser::Chrome);
+//! let mut heap = UnmanagedHeap::new(&engine, 64 * 1024);
+//! let p = heap.malloc(16).unwrap();
+//! heap.write_i32(p, -7).unwrap();
+//! heap.write_f64(p + 8, 2.5).unwrap();
+//! assert_eq!(heap.read_i32(p).unwrap(), -7);
+//! assert_eq!(heap.read_f64(p + 8).unwrap(), 2.5);
+//! heap.free(p).unwrap();
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use doppio_jsengine::{Cost, Engine};
+
+/// A byte address into the heap.
+pub type Addr = usize;
+
+/// Errors raised by heap operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeapError {
+    /// No free block large enough for the request.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: usize,
+        /// Largest free block available.
+        largest_free: usize,
+    },
+    /// `free` of an address that is not the start of a live allocation
+    /// (including double frees).
+    InvalidFree(Addr),
+    /// A read or write touched memory outside any live allocation.
+    OutOfBounds {
+        /// Address accessed.
+        addr: Addr,
+        /// Bytes accessed.
+        len: usize,
+    },
+    /// `malloc(0)` — Doppio rejects empty allocations.
+    ZeroAllocation,
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::OutOfMemory {
+                requested,
+                largest_free,
+            } => write!(
+                f,
+                "out of memory: requested {requested} bytes, largest free block is {largest_free}"
+            ),
+            HeapError::InvalidFree(a) => write!(f, "free of invalid address {a:#x}"),
+            HeapError::OutOfBounds { addr, len } => {
+                write!(f, "access of {len} bytes at {addr:#x} is out of bounds")
+            }
+            HeapError::ZeroAllocation => write!(f, "zero-byte allocation"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// Result alias for heap operations.
+pub type HeapResult<T> = Result<T, HeapError>;
+
+/// How the word array is materialized in the simulated browser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HeapBacking {
+    /// `ArrayBuffer`/typed arrays: cheap numeric conversion.
+    TypedArray,
+    /// A plain JavaScript array of 32-bit numbers.
+    JsArray,
+}
+
+/// Usage statistics for the heap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Live allocated bytes.
+    pub allocated_bytes: usize,
+    /// Peak live allocated bytes.
+    pub peak_allocated_bytes: usize,
+    /// Number of successful `malloc` calls.
+    pub mallocs: u64,
+    /// Number of successful `free` calls.
+    pub frees: u64,
+    /// Free blocks examined across all first-fit scans (fragmentation
+    /// indicator).
+    pub blocks_scanned: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FreeBlock {
+    size: usize,
+}
+
+/// The first-fit unmanaged heap.
+///
+/// Addresses are byte offsets, always 4-byte aligned; sizes round up to
+/// whole 32-bit words, exactly as an array-of-int32 backing forces.
+pub struct UnmanagedHeap {
+    engine: Engine,
+    backing: HeapBacking,
+    words: Vec<i32>,
+    /// Free blocks by start address (coalescing uses the ordering).
+    free: BTreeMap<Addr, FreeBlock>,
+    /// Live allocations by start address.
+    live: BTreeMap<Addr, usize>,
+    stats: HeapStats,
+    /// Whether the backing buffer has been registered with the
+    /// engine's memory model (done lazily on first malloc).
+    registered: bool,
+}
+
+impl fmt::Debug for UnmanagedHeap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UnmanagedHeap")
+            .field("capacity_bytes", &(self.words.len() * 4))
+            .field("backing", &self.backing)
+            .field("live_allocations", &self.live.len())
+            .field("free_blocks", &self.free.len())
+            .finish()
+    }
+}
+
+impl UnmanagedHeap {
+    /// Create a heap of `capacity_bytes` (rounded up to whole words),
+    /// choosing the typed-array backing when the browser supports it.
+    ///
+    /// The backing `ArrayBuffer` is registered with the engine's memory
+    /// model lazily, on the first allocation — programs that never use
+    /// the unmanaged heap don't pay for its reservation.
+    pub fn new(engine: &Engine, capacity_bytes: usize) -> UnmanagedHeap {
+        let words = capacity_bytes.div_ceil(4);
+        let backing = if engine.profile().has_typed_arrays {
+            HeapBacking::TypedArray
+        } else {
+            HeapBacking::JsArray
+        };
+        let mut free = BTreeMap::new();
+        if words > 0 {
+            free.insert(0, FreeBlock { size: words * 4 });
+        }
+        UnmanagedHeap {
+            engine: engine.clone(),
+            backing,
+            words: vec![0; words],
+            free,
+            live: BTreeMap::new(),
+            stats: HeapStats::default(),
+            registered: false,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Usage statistics.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// The largest free block, in bytes.
+    pub fn largest_free_block(&self) -> usize {
+        self.free.values().map(|b| b.size).max().unwrap_or(0)
+    }
+
+    /// Number of free blocks (a fragmentation measure).
+    pub fn free_block_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocation_count(&self) -> usize {
+        self.live.len()
+    }
+
+    fn charge_bytes(&self, n: usize) {
+        let cost = match self.backing {
+            HeapBacking::TypedArray => Cost::TypedArrayByte,
+            HeapBacking::JsArray => Cost::JsArrayByte,
+        };
+        self.engine.charge_n(cost, n as u64);
+    }
+
+    /// Allocate `size` bytes with first-fit search. The returned address
+    /// is 4-byte aligned.
+    pub fn malloc(&mut self, size: usize) -> HeapResult<Addr> {
+        if size == 0 {
+            return Err(HeapError::ZeroAllocation);
+        }
+        let size = size.div_ceil(4) * 4;
+        self.engine.charge(Cost::Alloc);
+        if !self.registered && self.backing == HeapBacking::TypedArray {
+            self.engine.typed_array_alloc(self.words.len() * 4);
+            self.registered = true;
+        }
+
+        // First fit: scan free blocks in address order.
+        let mut chosen = None;
+        let mut scanned = 0u64;
+        for (&addr, block) in &self.free {
+            scanned += 1;
+            if block.size >= size {
+                chosen = Some((addr, block.size));
+                break;
+            }
+        }
+        self.stats.blocks_scanned += scanned;
+        self.engine.charge_n(Cost::MapOp, scanned);
+        let (addr, block_size) = chosen.ok_or_else(|| HeapError::OutOfMemory {
+            requested: size,
+            largest_free: self.largest_free_block(),
+        })?;
+
+        self.free.remove(&addr);
+        if block_size > size {
+            self.free.insert(
+                addr + size,
+                FreeBlock {
+                    size: block_size - size,
+                },
+            );
+        }
+        self.live.insert(addr, size);
+        self.stats.mallocs += 1;
+        self.stats.allocated_bytes += size;
+        self.stats.peak_allocated_bytes = self
+            .stats
+            .peak_allocated_bytes
+            .max(self.stats.allocated_bytes);
+        Ok(addr)
+    }
+
+    /// Release the allocation starting at `addr`, coalescing with
+    /// adjacent free blocks.
+    pub fn free(&mut self, addr: Addr) -> HeapResult<()> {
+        let size = self
+            .live
+            .remove(&addr)
+            .ok_or(HeapError::InvalidFree(addr))?;
+        self.engine.charge(Cost::MapOp);
+        self.stats.frees += 1;
+        self.stats.allocated_bytes -= size;
+
+        let mut start = addr;
+        let mut size = size;
+        // Coalesce with the predecessor if it abuts us.
+        if let Some((&prev_addr, prev)) = self.free.range(..addr).next_back() {
+            if prev_addr + prev.size == addr {
+                size += prev.size;
+                start = prev_addr;
+                self.free.remove(&prev_addr);
+            }
+        }
+        // Coalesce with the successor if we abut it.
+        let end = start + size;
+        if let Some(next) = self.free.get(&end).copied() {
+            size += next.size;
+            self.free.remove(&end);
+        }
+        self.free.insert(start, FreeBlock { size });
+        Ok(())
+    }
+
+    /// Grow or shrink an allocation, copying its contents (as C's
+    /// `realloc` does). Returns the new address.
+    pub fn realloc(&mut self, addr: Addr, new_size: usize) -> HeapResult<Addr> {
+        let old_size = *self.live.get(&addr).ok_or(HeapError::InvalidFree(addr))?;
+        let keep = old_size.min(new_size.div_ceil(4) * 4);
+        let data = self.read_bytes(addr, keep)?;
+        let new_addr = self.malloc(new_size)?;
+        self.write_bytes(new_addr, &data)?;
+        self.free(addr)?;
+        Ok(new_addr)
+    }
+
+    fn check_access(&self, addr: Addr, len: usize) -> HeapResult<()> {
+        // The access must lie fully inside one live allocation.
+        if let Some((&start, &size)) = self.live.range(..=addr).next_back() {
+            if addr + len <= start + size {
+                return Ok(());
+            }
+        }
+        Err(HeapError::OutOfBounds { addr, len })
+    }
+
+    /// Write raw bytes at `addr`. The bytes are encoded into 32-bit
+    /// little-endian words (read-modify-write at unaligned edges),
+    /// copying the data as §5.2 describes.
+    pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) -> HeapResult<()> {
+        self.check_access(addr, bytes.len())?;
+        self.charge_bytes(bytes.len());
+        for (i, &b) in bytes.iter().enumerate() {
+            let byte_addr = addr + i;
+            let word = byte_addr / 4;
+            let shift = (byte_addr % 4) * 8;
+            let w = self.words[word] as u32;
+            self.words[word] = ((w & !(0xFFu32 << shift)) | (u32::from(b) << shift)) as i32;
+        }
+        Ok(())
+    }
+
+    /// Read raw bytes at `addr`, decoding them out of the word array.
+    pub fn read_bytes(&self, addr: Addr, len: usize) -> HeapResult<Vec<u8>> {
+        self.check_access(addr, len)?;
+        self.charge_bytes(len);
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            let byte_addr = addr + i;
+            let word = self.words[byte_addr / 4] as u32;
+            out.push((word >> ((byte_addr % 4) * 8)) as u8);
+        }
+        Ok(out)
+    }
+
+    /// Write an `i8`.
+    pub fn write_i8(&mut self, addr: Addr, v: i8) -> HeapResult<()> {
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Read an `i8`.
+    pub fn read_i8(&self, addr: Addr) -> HeapResult<i8> {
+        Ok(self.read_bytes(addr, 1)?[0] as i8)
+    }
+
+    /// Write an `i16` (little endian).
+    pub fn write_i16(&mut self, addr: Addr, v: i16) -> HeapResult<()> {
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Read an `i16`.
+    pub fn read_i16(&self, addr: Addr) -> HeapResult<i16> {
+        let b = self.read_bytes(addr, 2)?;
+        Ok(i16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Write an `i32` (little endian).
+    pub fn write_i32(&mut self, addr: Addr, v: i32) -> HeapResult<()> {
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Read an `i32`.
+    pub fn read_i32(&self, addr: Addr) -> HeapResult<i32> {
+        let b = self.read_bytes(addr, 4)?;
+        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Write an `i64` (little endian; charged as a long operation).
+    pub fn write_i64(&mut self, addr: Addr, v: i64) -> HeapResult<()> {
+        self.engine.charge(Cost::LongOp);
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Read an `i64`.
+    pub fn read_i64(&self, addr: Addr) -> HeapResult<i64> {
+        self.engine.charge(Cost::LongOp);
+        let b = self.read_bytes(addr, 8)?;
+        Ok(i64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Write an `f32` (little endian).
+    pub fn write_f32(&mut self, addr: Addr, v: f32) -> HeapResult<()> {
+        self.engine.charge(Cost::FloatOp);
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Read an `f32`.
+    pub fn read_f32(&self, addr: Addr) -> HeapResult<f32> {
+        self.engine.charge(Cost::FloatOp);
+        let b = self.read_bytes(addr, 4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Write an `f64` (little endian).
+    pub fn write_f64(&mut self, addr: Addr, v: f64) -> HeapResult<()> {
+        self.engine.charge(Cost::FloatOp);
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Read an `f64`.
+    pub fn read_f64(&self, addr: Addr) -> HeapResult<f64> {
+        self.engine.charge(Cost::FloatOp);
+        let b = self.read_bytes(addr, 8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+}
+
+impl Drop for UnmanagedHeap {
+    fn drop(&mut self) {
+        if self.registered {
+            self.engine.typed_array_free(self.words.len() * 4);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppio_jsengine::Browser;
+
+    fn heap() -> UnmanagedHeap {
+        UnmanagedHeap::new(&Engine::native(), 4096)
+    }
+
+    #[test]
+    fn malloc_returns_aligned_disjoint_blocks() {
+        let mut h = heap();
+        let a = h.malloc(10).unwrap();
+        let b = h.malloc(1).unwrap();
+        let c = h.malloc(100).unwrap();
+        for p in [a, b, c] {
+            assert_eq!(p % 4, 0);
+        }
+        // 10 rounds to 12, 1 rounds to 4.
+        assert_eq!(b - a, 12);
+        assert_eq!(c - b, 4);
+    }
+
+    #[test]
+    fn first_fit_reuses_the_earliest_hole() {
+        let mut h = heap();
+        let a = h.malloc(64).unwrap();
+        let _b = h.malloc(64).unwrap();
+        let c = h.malloc(64).unwrap();
+        h.free(a).unwrap();
+        h.free(c).unwrap();
+        // Both holes fit; first-fit picks the earlier (a's).
+        let d = h.malloc(32).unwrap();
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn free_coalesces_neighbors() {
+        let mut h = heap();
+        let a = h.malloc(64).unwrap();
+        let b = h.malloc(64).unwrap();
+        let c = h.malloc(64).unwrap();
+        let _guard = h.malloc(64).unwrap();
+        h.free(a).unwrap();
+        h.free(c).unwrap();
+        assert_eq!(h.free_block_count(), 3); // a-hole, c-hole, tail
+        h.free(b).unwrap();
+        // a+b+c merged into one hole (plus the tail block).
+        assert_eq!(h.free_block_count(), 2);
+        // And a 192-byte allocation now fits at a.
+        assert_eq!(h.malloc(192).unwrap(), a);
+    }
+
+    #[test]
+    fn oom_reports_largest_free_block() {
+        let mut h = UnmanagedHeap::new(&Engine::native(), 64);
+        let err = h.malloc(128).unwrap_err();
+        assert_eq!(
+            err,
+            HeapError::OutOfMemory {
+                requested: 128,
+                largest_free: 64
+            }
+        );
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let mut h = heap();
+        let a = h.malloc(8).unwrap();
+        h.free(a).unwrap();
+        assert_eq!(h.free(a), Err(HeapError::InvalidFree(a)));
+        assert_eq!(h.free(12345), Err(HeapError::InvalidFree(12345)));
+    }
+
+    #[test]
+    fn zero_allocation_is_rejected() {
+        assert_eq!(heap().malloc(0), Err(HeapError::ZeroAllocation));
+    }
+
+    #[test]
+    fn typed_values_round_trip_at_any_alignment() {
+        let mut h = heap();
+        let p = h.malloc(64).unwrap();
+        for off in 0..8 {
+            h.write_i8(p + off, -5).unwrap();
+            assert_eq!(h.read_i8(p + off).unwrap(), -5);
+            h.write_i16(p + 16 + off, -3000).unwrap();
+            assert_eq!(h.read_i16(p + 16 + off).unwrap(), -3000);
+            h.write_i32(p + 32 + off, -100_000).unwrap();
+            assert_eq!(h.read_i32(p + 32 + off).unwrap(), -100_000);
+            h.write_i64(p + 48 + off, -(1i64 << 40)).unwrap();
+            assert_eq!(h.read_i64(p + 48 + off).unwrap(), -(1i64 << 40));
+        }
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        let mut h = heap();
+        let p = h.malloc(16).unwrap();
+        h.write_f32(p, -1.25).unwrap();
+        h.write_f64(p + 8, 6.02214076e23).unwrap();
+        assert_eq!(h.read_f32(p).unwrap(), -1.25);
+        assert_eq!(h.read_f64(p + 8).unwrap(), 6.02214076e23);
+    }
+
+    #[test]
+    fn little_endian_layout_is_observable() {
+        let mut h = heap();
+        let p = h.malloc(4).unwrap();
+        h.write_i32(p, 0x0A0B0C0D).unwrap();
+        assert_eq!(h.read_bytes(p, 4).unwrap(), vec![0x0D, 0x0C, 0x0B, 0x0A]);
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_rejected() {
+        let mut h = heap();
+        let p = h.malloc(8).unwrap();
+        assert!(h.write_i32(p + 8, 1).is_err());
+        assert!(h.read_bytes(p + 4, 8).is_err());
+        // Freed memory is no longer accessible either.
+        h.free(p).unwrap();
+        assert!(h.read_i32(p).is_err());
+    }
+
+    #[test]
+    fn realloc_preserves_contents() {
+        let mut h = heap();
+        let p = h.malloc(8).unwrap();
+        h.write_i32(p, 42).unwrap();
+        h.write_i32(p + 4, 43).unwrap();
+        let q = h.realloc(p, 64).unwrap();
+        assert_eq!(h.read_i32(q).unwrap(), 42);
+        assert_eq!(h.read_i32(q + 4).unwrap(), 43);
+        assert_eq!(h.live_allocation_count(), 1);
+    }
+
+    #[test]
+    fn realloc_can_shrink() {
+        let mut h = heap();
+        let p = h.malloc(64).unwrap();
+        h.write_i32(p, 7).unwrap();
+        let q = h.realloc(p, 4).unwrap();
+        assert_eq!(h.read_i32(q).unwrap(), 7);
+        assert!(h.read_i32(q + 4).is_err());
+    }
+
+    #[test]
+    fn stats_track_usage() {
+        let mut h = heap();
+        let a = h.malloc(100).unwrap();
+        let _b = h.malloc(50).unwrap();
+        h.free(a).unwrap();
+        let s = h.stats();
+        assert_eq!(s.mallocs, 2);
+        assert_eq!(s.frees, 1);
+        assert_eq!(s.allocated_bytes, 52); // 50 → 52 rounded
+        assert_eq!(s.peak_allocated_bytes, 152);
+    }
+
+    #[test]
+    fn typed_array_backing_registers_lazily() {
+        let e = Engine::new(Browser::Chrome);
+        {
+            let mut h = UnmanagedHeap::new(&e, 1024);
+            // Nothing registered until the heap is actually used.
+            assert_eq!(e.typed_array_resident_bytes(), 0);
+            let _p = h.malloc(8).unwrap();
+            assert_eq!(e.typed_array_resident_bytes(), 1024);
+        }
+        assert_eq!(e.typed_array_resident_bytes(), 0);
+    }
+
+    #[test]
+    fn ie8_heap_works_without_typed_arrays() {
+        let e = Engine::new(Browser::Ie8);
+        let mut h = UnmanagedHeap::new(&e, 1024);
+        assert_eq!(e.typed_array_resident_bytes(), 0);
+        let p = h.malloc(16).unwrap();
+        h.write_i64(p, i64::MIN + 1).unwrap();
+        assert_eq!(h.read_i64(p).unwrap(), i64::MIN + 1);
+    }
+
+    #[test]
+    fn exhaustion_then_free_recovers_full_capacity() {
+        let mut h = UnmanagedHeap::new(&Engine::native(), 256);
+        let mut ptrs = Vec::new();
+        while let Ok(p) = h.malloc(32) {
+            ptrs.push(p);
+        }
+        assert_eq!(ptrs.len(), 8);
+        for p in ptrs {
+            h.free(p).unwrap();
+        }
+        assert_eq!(h.free_block_count(), 1);
+        assert_eq!(h.largest_free_block(), 256);
+    }
+}

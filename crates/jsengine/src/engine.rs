@@ -1,0 +1,514 @@
+//! The engine: virtual clock, cost charging, event dispatch, and the
+//! browser APIs Doppio builds on.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashSet;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::error::{EngineError, EngineResult};
+use crate::event_loop::{EventKind, EventQueue, ScheduledEvent};
+use crate::memory::MemoryModel;
+use crate::profile::{Browser, BrowserProfile, Cost};
+use crate::stats::EngineStats;
+use crate::storage::StorageSet;
+
+/// A callback scheduled on the event loop. It receives the engine so it
+/// can schedule further work, exactly like a JavaScript closure sees its
+/// global environment.
+pub type Callback = Box<dyn FnOnce(&Engine)>;
+
+/// Identifies a `setTimeout` timer so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+/// The simulated browser JavaScript environment.
+///
+/// `Engine` is cheaply cloneable (it is a handle to shared state) and
+/// strictly single-threaded, mirroring the JavaScript execution model of
+/// §3.1: one thread, a queue of finite-duration events, no preemption.
+///
+/// All Doppio components charge their work to the engine's *virtual
+/// clock* via [`Engine::charge`]; asynchronous browser APIs complete by
+/// scheduling events on the queue. Time therefore advances in two ways:
+/// synchronously as running code charges costs, and in jumps when the
+/// loop pops an event whose deadline is in the future.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Rc<Inner>,
+}
+
+struct Inner {
+    profile: BrowserProfile,
+    clock_ns: Cell<u64>,
+    seq: Cell<u64>,
+    queue: RefCell<EventQueue>,
+    cancelled: RefCell<HashSet<u64>>,
+    stats: RefCell<EngineStats>,
+    memory: RefCell<MemoryModel>,
+    storage: RefCell<StorageSet>,
+    event_depth: Cell<u32>,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("browser", &self.inner.profile.browser)
+            .field("now_ns", &self.now_ns())
+            .field("pending_events", &self.pending_events())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Create an engine simulating the given browser.
+    pub fn new(browser: Browser) -> Engine {
+        Engine::with_profile(BrowserProfile::of(browser))
+    }
+
+    /// Create an engine for the native baseline (the HotSpot
+    /// interpreter / Node JS environment of the paper's comparisons).
+    pub fn native() -> Engine {
+        Engine::new(Browser::Native)
+    }
+
+    /// Create an engine from a custom profile (used by the §8 ablation
+    /// experiments, which toggle proposed browser extensions).
+    pub fn with_profile(profile: BrowserProfile) -> Engine {
+        let memory = MemoryModel::new(profile.leaks_typed_arrays, profile.paging_threshold_bytes);
+        let storage = StorageSet::for_profile(&profile);
+        Engine {
+            inner: Rc::new(Inner {
+                profile,
+                clock_ns: Cell::new(0),
+                seq: Cell::new(0),
+                queue: RefCell::new(EventQueue::default()),
+                cancelled: RefCell::new(HashSet::new()),
+                stats: RefCell::new(EngineStats::default()),
+                memory: RefCell::new(memory),
+                storage: RefCell::new(storage),
+                event_depth: Cell::new(0),
+            }),
+        }
+    }
+
+    /// The active browser profile.
+    pub fn profile(&self) -> &BrowserProfile {
+        &self.inner.profile
+    }
+
+    /// Which browser this engine simulates.
+    pub fn browser(&self) -> Browser {
+        self.inner.profile.browser
+    }
+
+    /// Current virtual time in nanoseconds.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.inner.clock_ns.get()
+    }
+
+    /// Current virtual time in milliseconds (what `Date.now()`-style
+    /// JavaScript code would observe).
+    pub fn now_ms(&self) -> f64 {
+        self.now_ns() as f64 / 1e6
+    }
+
+    // ----------------------------------------------------------------
+    // Cost charging
+    // ----------------------------------------------------------------
+
+    /// Charge one operation of the given category to the virtual clock.
+    #[inline]
+    pub fn charge(&self, kind: Cost) {
+        self.charge_n(kind, 1);
+    }
+
+    /// Charge `n` operations of the given category.
+    #[inline]
+    pub fn charge_n(&self, kind: Cost, n: u64) {
+        let unit = self.inner.profile.cost(kind);
+        let raw = unit.saturating_mul(n);
+        let cost = self.inner.memory.borrow().apply_paging(raw);
+        self.inner.clock_ns.set(self.inner.clock_ns.get() + cost);
+        let mut stats = self.inner.stats.borrow_mut();
+        stats.ops[kind as usize] += n;
+        stats.ns[kind as usize] += cost;
+    }
+
+    /// Advance the clock without attributing the time to an operation
+    /// category (used for modeled external latencies).
+    pub fn advance_ns(&self, ns: u64) {
+        self.inner.clock_ns.set(self.inner.clock_ns.get() + ns);
+    }
+
+    // ----------------------------------------------------------------
+    // Scheduling APIs (§4.4)
+    // ----------------------------------------------------------------
+
+    fn next_seq(&self) -> u64 {
+        let s = self.inner.seq.get();
+        self.inner.seq.set(s + 1);
+        s
+    }
+
+    fn enqueue(&self, due_ns: u64, kind: EventKind, timer: Option<TimerId>, cb: Callback) {
+        let ev = ScheduledEvent {
+            due_ns,
+            seq: self.next_seq(),
+            kind,
+            timer,
+            cb,
+        };
+        self.inner.queue.borrow_mut().push(ev);
+    }
+
+    /// `setTimeout(cb, ms)`. The HTML5 specification clamps the delay to
+    /// the profile's minimum (4 ms in real browsers), which is why
+    /// Doppio avoids `setTimeout` for suspend-and-resume when it can.
+    pub fn set_timeout(&self, ms: f64, cb: impl FnOnce(&Engine) + 'static) -> TimerId {
+        let ms = ms.max(self.inner.profile.min_timeout_ms);
+        let delay = (ms * 1e6) as u64;
+        let id = TimerId(self.next_seq());
+        self.enqueue(
+            self.now_ns() + delay,
+            EventKind::Timer,
+            Some(id),
+            Box::new(cb),
+        );
+        id
+    }
+
+    /// `clearTimeout`.
+    pub fn clear_timeout(&self, id: TimerId) {
+        self.inner.cancelled.borrow_mut().insert(id.0);
+    }
+
+    /// `sendMessage`/`postMessage` to self: places a message event at
+    /// the back of the queue immediately (no 4 ms clamp).
+    ///
+    /// On Internet Explorer 8 this is *synchronous*: the handler runs
+    /// before `send_message` returns (§4.4), which makes it useless for
+    /// suspend-and-resume there.
+    pub fn send_message(&self, cb: impl FnOnce(&Engine) + 'static) {
+        if self.inner.profile.synchronous_send_message {
+            // The IE8 bug: the message handler is invoked inline.
+            cb(self);
+        } else {
+            self.enqueue(
+                self.now_ns() + self.inner.profile.message_latency_ns,
+                EventKind::Message,
+                None,
+                Box::new(cb),
+            );
+        }
+    }
+
+    /// `setImmediate`: queue an event with no delay. Only IE10 (and the
+    /// native baseline) provide it.
+    pub fn set_immediate(&self, cb: impl FnOnce(&Engine) + 'static) -> EngineResult<()> {
+        if !self.inner.profile.has_set_immediate {
+            return Err(EngineError::UnsupportedApi {
+                api: "setImmediate",
+                browser: self.inner.profile.browser.name(),
+            });
+        }
+        self.enqueue(
+            self.now_ns() + self.inner.profile.immediate_latency_ns,
+            EventKind::Immediate,
+            None,
+            Box::new(cb),
+        );
+        Ok(())
+    }
+
+    /// Schedule completion of a simulated asynchronous browser API
+    /// (XHR, IndexedDB, network) after `delay_ns` of external latency.
+    pub fn complete_async_after(&self, delay_ns: u64, cb: impl FnOnce(&Engine) + 'static) {
+        self.enqueue(
+            self.now_ns() + delay_ns,
+            EventKind::AsyncCompletion,
+            None,
+            Box::new(cb),
+        );
+    }
+
+    /// Inject a synthetic user-input event (used by responsiveness
+    /// tests: if Doppio's segmentation works, these run promptly even
+    /// while a long computation is in progress).
+    pub fn inject_user_input(&self, cb: impl FnOnce(&Engine) + 'static) {
+        self.enqueue(self.now_ns(), EventKind::UserInput, None, Box::new(cb));
+    }
+
+    // ----------------------------------------------------------------
+    // The dispatch loop (§3.1)
+    // ----------------------------------------------------------------
+
+    /// Dispatch the next event, if any. Returns whether one ran.
+    ///
+    /// Mirrors one turn of the browser's event loop: pop the earliest
+    /// event, jump the clock to its deadline, run it to completion, and
+    /// let the watchdog judge it afterwards.
+    pub fn run_one(&self) -> bool {
+        let ev = loop {
+            let ev = match self.inner.queue.borrow_mut().pop() {
+                Some(ev) => ev,
+                None => return false,
+            };
+            if let Some(TimerId(id)) = ev.timer {
+                if self.inner.cancelled.borrow_mut().remove(&id) {
+                    continue; // cancelled timer: skip silently
+                }
+            }
+            break ev;
+        };
+
+        if ev.due_ns > self.now_ns() {
+            self.inner.clock_ns.set(ev.due_ns);
+        }
+        self.charge(Cost::EventDispatch);
+        let start = self.now_ns();
+        self.inner.event_depth.set(self.inner.event_depth.get() + 1);
+        (ev.cb)(self);
+        self.inner.event_depth.set(self.inner.event_depth.get() - 1);
+        let elapsed = self.now_ns() - start;
+
+        let mut stats = self.inner.stats.borrow_mut();
+        stats.events_run += 1;
+        stats.events_by_kind[ev.kind.index()] += 1;
+        stats.total_event_ns += elapsed;
+        stats.max_event_ns = stats.max_event_ns.max(elapsed);
+        if let Some(limit) = self.inner.profile.watchdog_limit_ns {
+            if elapsed > limit {
+                // A real browser would have killed the page's script;
+                // we record the violation so tests and benches can
+                // assert Doppio's segmentation prevents it.
+                stats.watchdog_kills += 1;
+            }
+        }
+        true
+    }
+
+    /// Run events until the queue is empty. Returns how many ran.
+    pub fn run_until_idle(&self) -> u64 {
+        let mut n = 0;
+        while self.run_one() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Run events until `done()` reports true or the queue drains.
+    /// Returns whether `done()` was satisfied.
+    pub fn run_until(&self, mut done: impl FnMut() -> bool) -> bool {
+        while !done() {
+            if !self.run_one() {
+                return done();
+            }
+        }
+        true
+    }
+
+    /// Whether the loop is currently inside an event callback.
+    pub fn in_event(&self) -> bool {
+        self.inner.event_depth.get() > 0
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.inner.queue.borrow().len()
+    }
+
+    // ----------------------------------------------------------------
+    // Statistics and memory accounting
+    // ----------------------------------------------------------------
+
+    /// A snapshot of the engine's counters.
+    pub fn stats(&self) -> EngineStats {
+        self.inner.stats.borrow().clone()
+    }
+
+    /// Reset all counters (the clock keeps running).
+    pub fn reset_stats(&self) {
+        *self.inner.stats.borrow_mut() = EngineStats::default();
+    }
+
+    /// Record a typed-array allocation (Buffer and heap backings call
+    /// this so the Safari leak model sees the traffic).
+    pub fn typed_array_alloc(&self, bytes: usize) {
+        self.inner.memory.borrow_mut().alloc(bytes);
+    }
+
+    /// Record a typed-array free.
+    pub fn typed_array_free(&self, bytes: usize) {
+        self.inner.memory.borrow_mut().free(bytes);
+    }
+
+    /// Resident typed-array bytes (grows without bound on Safari).
+    pub fn typed_array_resident_bytes(&self) -> usize {
+        self.inner.memory.borrow().resident_bytes()
+    }
+
+    /// Whether the simulated machine is currently paging.
+    pub fn is_paging(&self) -> bool {
+        self.inner.memory.borrow().is_paging()
+    }
+
+    /// Access the browser's persistent storage mechanisms.
+    pub fn with_storage<R>(&self, f: impl FnOnce(&mut StorageSet, &Engine) -> R) -> R {
+        let mut guard = self.inner.storage.borrow_mut();
+        f(&mut guard, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell as StdCell;
+
+    #[test]
+    fn charging_advances_the_clock() {
+        let e = Engine::new(Browser::Chrome);
+        let t0 = e.now_ns();
+        e.charge(Cost::Dispatch);
+        assert!(e.now_ns() > t0);
+        let stats = e.stats();
+        assert_eq!(stats.ops[Cost::Dispatch as usize], 1);
+    }
+
+    #[test]
+    fn set_timeout_respects_the_4ms_clamp() {
+        let e = Engine::new(Browser::Chrome);
+        let fired_at = Rc::new(StdCell::new(0u64));
+        let f = fired_at.clone();
+        e.set_timeout(0.0, move |eng| f.set(eng.now_ns()));
+        e.run_until_idle();
+        assert!(fired_at.get() >= 4_000_000, "clamped to >= 4ms");
+    }
+
+    #[test]
+    fn native_profile_has_no_clamp() {
+        let e = Engine::native();
+        let fired_at = Rc::new(StdCell::new(u64::MAX));
+        let f = fired_at.clone();
+        e.set_timeout(0.0, move |eng| f.set(eng.now_ns()));
+        e.run_until_idle();
+        assert!(fired_at.get() < 4_000_000);
+    }
+
+    #[test]
+    fn send_message_is_much_faster_than_set_timeout() {
+        let e = Engine::new(Browser::Chrome);
+        let fired_at = Rc::new(StdCell::new(0u64));
+        let f = fired_at.clone();
+        e.send_message(move |eng| f.set(eng.now_ns()));
+        e.run_until_idle();
+        assert!(fired_at.get() < 1_000_000, "sendMessage lands in < 1ms");
+    }
+
+    #[test]
+    fn ie8_send_message_is_synchronous() {
+        let e = Engine::new(Browser::Ie8);
+        let ran = Rc::new(StdCell::new(false));
+        let r = ran.clone();
+        e.send_message(move |_| r.set(true));
+        // Handler already ran, before any event dispatch.
+        assert!(ran.get());
+        assert_eq!(e.pending_events(), 0);
+    }
+
+    #[test]
+    fn set_immediate_only_on_ie10() {
+        let chrome = Engine::new(Browser::Chrome);
+        assert!(matches!(
+            chrome.set_immediate(|_| {}),
+            Err(EngineError::UnsupportedApi { .. })
+        ));
+        let ie10 = Engine::new(Browser::Ie10);
+        assert!(ie10.set_immediate(|_| {}).is_ok());
+        assert_eq!(ie10.run_until_idle(), 1);
+    }
+
+    #[test]
+    fn cleared_timers_do_not_fire() {
+        let e = Engine::new(Browser::Chrome);
+        let ran = Rc::new(StdCell::new(false));
+        let r = ran.clone();
+        let id = e.set_timeout(1.0, move |_| r.set(true));
+        e.clear_timeout(id);
+        e.run_until_idle();
+        assert!(!ran.get());
+    }
+
+    #[test]
+    fn watchdog_records_overlong_events() {
+        let e = Engine::new(Browser::Chrome);
+        e.send_message(|eng| {
+            // Simulate a computation that hogs the thread for > 5s.
+            eng.advance_ns(6_000_000_000);
+        });
+        e.run_until_idle();
+        assert_eq!(e.stats().watchdog_kills, 1);
+    }
+
+    #[test]
+    fn short_events_do_not_trip_the_watchdog() {
+        let e = Engine::new(Browser::Chrome);
+        for _ in 0..100 {
+            e.send_message(|eng| eng.advance_ns(1_000_000));
+        }
+        e.run_until_idle();
+        let s = e.stats();
+        assert_eq!(s.watchdog_kills, 0);
+        assert_eq!(s.events_run, 100);
+    }
+
+    #[test]
+    fn events_nest_and_chain() {
+        let e = Engine::new(Browser::Chrome);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let (o1, o2) = (order.clone(), order.clone());
+        e.send_message(move |eng| {
+            o1.borrow_mut().push(1);
+            let o = o1.clone();
+            eng.send_message(move |_| o.borrow_mut().push(3));
+            o1.borrow_mut().push(2);
+        });
+        e.send_message(move |_| o2.borrow_mut().push(10));
+        e.run_until_idle();
+        // First event fully completes (1,2) before the next queued event
+        // (10), and the nested message lands after both.
+        assert_eq!(*order.borrow(), vec![1, 2, 10, 3]);
+    }
+
+    #[test]
+    fn paging_inflates_charges_on_safari() {
+        let e = Engine::new(Browser::Safari);
+        let unit = e.profile().cost(Cost::Dispatch);
+        e.typed_array_alloc(400 * 1024 * 1024); // past the 192 MB threshold
+        e.typed_array_free(400 * 1024 * 1024); // leak: ignored
+        assert!(e.is_paging());
+        let t0 = e.now_ns();
+        e.charge(Cost::Dispatch);
+        assert!(e.now_ns() - t0 > unit);
+    }
+
+    #[test]
+    fn user_input_runs_between_segmented_events() {
+        let e = Engine::new(Browser::Chrome);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let (l1, l2) = (log.clone(), log.clone());
+        // A "computation" split across two events...
+        e.send_message(move |eng| {
+            l1.borrow_mut().push("work-1");
+            let l = l1.clone();
+            eng.send_message(move |_| l.borrow_mut().push("work-2"));
+        });
+        // ...lets user input injected after the first segment run
+        // before the second.
+        e.run_one();
+        e.inject_user_input(move |_| l2.borrow_mut().push("input"));
+        e.run_until_idle();
+        assert_eq!(*log.borrow(), vec!["work-1", "input", "work-2"]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types for the simulated browser environment.
+
+use std::fmt;
+
+/// Result alias used throughout the engine.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// Errors raised by the simulated browser environment.
+///
+/// These model the failure modes JavaScript code observes in a real
+/// browser: missing APIs on old browsers, storage quota violations, and
+/// misuse of the event loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The requested API does not exist in the active browser profile
+    /// (e.g. `setImmediate` anywhere but Internet Explorer 10, or typed
+    /// arrays on browsers that predate them).
+    UnsupportedApi {
+        /// Name of the missing API.
+        api: &'static str,
+        /// The browser that lacks it.
+        browser: &'static str,
+    },
+    /// A persistent storage mechanism rejected a write because it would
+    /// exceed the mechanism's quota (e.g. localStorage's 5 MB limit).
+    QuotaExceeded {
+        /// The storage mechanism, e.g. `"localStorage"`.
+        mechanism: &'static str,
+        /// Bytes the write would have brought the store to.
+        requested: usize,
+        /// The mechanism's quota in bytes.
+        quota: usize,
+    },
+    /// A storage key was not found.
+    NoSuchKey(String),
+    /// A string failed the engine's UTF-16 validity check. Raised only on
+    /// browsers whose profile validates strings (see
+    /// [`BrowserProfile::validates_strings`](crate::BrowserProfile)).
+    InvalidString,
+    /// The watchdog killed an event that ran past the browser's
+    /// unresponsiveness limit.
+    WatchdogKill {
+        /// How long the event had run, in virtual nanoseconds.
+        ran_ns: u64,
+        /// The watchdog limit, in virtual nanoseconds.
+        limit_ns: u64,
+    },
+    /// An operation was attempted while the event loop was not running
+    /// but required an active event context.
+    NoActiveEvent,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnsupportedApi { api, browser } => {
+                write!(f, "API `{api}` is not supported by {browser}")
+            }
+            EngineError::QuotaExceeded {
+                mechanism,
+                requested,
+                quota,
+            } => write!(
+                f,
+                "{mechanism} quota exceeded: write would reach {requested} bytes, quota is {quota}"
+            ),
+            EngineError::NoSuchKey(k) => write!(f, "no such storage key: {k}"),
+            EngineError::InvalidString => {
+                write!(f, "string failed UTF-16 validity check on this browser")
+            }
+            EngineError::WatchdogKill { ran_ns, limit_ns } => write!(
+                f,
+                "watchdog killed event after {} ms (limit {} ms)",
+                ran_ns / 1_000_000,
+                limit_ns / 1_000_000
+            ),
+            EngineError::NoActiveEvent => write!(f, "no event is currently executing"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EngineError::QuotaExceeded {
+            mechanism: "localStorage",
+            requested: 6 * 1024 * 1024,
+            quota: 5 * 1024 * 1024,
+        };
+        let s = e.to_string();
+        assert!(s.contains("localStorage"));
+        assert!(s.contains("quota"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            EngineError::NoSuchKey("a".into()),
+            EngineError::NoSuchKey("a".into())
+        );
+        assert_ne!(
+            EngineError::NoSuchKey("a".into()),
+            EngineError::NoSuchKey("b".into())
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! A coarse model of typed-array memory residency.
+//!
+//! §7.1 of the paper reports a Safari bug: typed arrays are never
+//! garbage-collected, so the browser's memory footprint grows without
+//! bound on file-system-heavy workloads (javap), eventually forcing the
+//! OS to page and collapsing performance. This module reproduces that
+//! *mechanism*: allocations and frees of typed arrays are tracked, a
+//! leaking profile ignores the frees, and once residency crosses the
+//! profile's paging threshold every charge to the virtual clock is
+//! multiplied by a paging penalty that grows with the overshoot.
+
+/// Tracks resident typed-array bytes and computes the paging penalty.
+#[derive(Debug, Clone)]
+pub struct MemoryModel {
+    resident_bytes: usize,
+    peak_bytes: usize,
+    leak: bool,
+    paging_threshold: usize,
+    allocs: u64,
+    frees: u64,
+    leaked_frees: u64,
+}
+
+impl MemoryModel {
+    /// Create a model. `leak` ignores frees (the Safari bug);
+    /// `paging_threshold` is where the penalty starts.
+    pub fn new(leak: bool, paging_threshold: usize) -> MemoryModel {
+        MemoryModel {
+            resident_bytes: 0,
+            peak_bytes: 0,
+            leak,
+            paging_threshold,
+            allocs: 0,
+            frees: 0,
+            leaked_frees: 0,
+        }
+    }
+
+    /// Record a typed-array allocation of `bytes`.
+    pub fn alloc(&mut self, bytes: usize) {
+        self.allocs += 1;
+        self.resident_bytes = self.resident_bytes.saturating_add(bytes);
+        self.peak_bytes = self.peak_bytes.max(self.resident_bytes);
+    }
+
+    /// Record a typed-array free of `bytes`. On a leaking profile the
+    /// bytes stay resident forever.
+    pub fn free(&mut self, bytes: usize) {
+        self.frees += 1;
+        if self.leak {
+            self.leaked_frees += 1;
+        } else {
+            self.resident_bytes = self.resident_bytes.saturating_sub(bytes);
+        }
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Highest residency observed.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Number of frees that were ignored because of the leak.
+    pub fn leaked_frees(&self) -> u64 {
+        self.leaked_frees
+    }
+
+    /// Multiply `cost` by the current paging penalty.
+    ///
+    /// Below the threshold the penalty is 1×. Past it, the machine pages:
+    /// the penalty grows linearly with the overshoot (each additional
+    /// threshold's worth of resident data adds 4× — severe, as the paper
+    /// observed when Safari reached 6 GB).
+    #[inline]
+    pub fn apply_paging(&self, cost: u64) -> u64 {
+        if self.resident_bytes <= self.paging_threshold {
+            return cost;
+        }
+        let over = (self.resident_bytes - self.paging_threshold) as u64;
+        let threshold = self.paging_threshold.max(1) as u64;
+        // penalty = 1 + 4 * over/threshold, in integer arithmetic.
+        cost + cost.saturating_mul(4).saturating_mul(over) / threshold
+    }
+
+    /// Whether the model is currently paging.
+    pub fn is_paging(&self) -> bool {
+        self.resident_bytes > self.paging_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_leaking_model_frees_memory() {
+        let mut m = MemoryModel::new(false, 1000);
+        m.alloc(800);
+        m.free(800);
+        assert_eq!(m.resident_bytes(), 0);
+        assert_eq!(m.peak_bytes(), 800);
+        assert_eq!(m.apply_paging(100), 100);
+    }
+
+    #[test]
+    fn leaking_model_retains_memory() {
+        let mut m = MemoryModel::new(true, 1000);
+        m.alloc(800);
+        m.free(800);
+        assert_eq!(m.resident_bytes(), 800);
+        assert_eq!(m.leaked_frees(), 1);
+    }
+
+    #[test]
+    fn paging_penalty_grows_with_overshoot() {
+        let mut m = MemoryModel::new(true, 1000);
+        m.alloc(1000);
+        assert!(!m.is_paging());
+        assert_eq!(m.apply_paging(100), 100);
+        m.alloc(1000); // 2000 resident, 100% overshoot => 5x
+        assert!(m.is_paging());
+        assert_eq!(m.apply_paging(100), 500);
+        m.alloc(2000); // 4000 resident, 300% overshoot => 13x
+        assert_eq!(m.apply_paging(100), 1300);
+    }
+
+    #[test]
+    fn free_never_underflows() {
+        let mut m = MemoryModel::new(false, 1000);
+        m.free(500);
+        assert_eq!(m.resident_bytes(), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Execution statistics collected by the engine.
+
+use crate::profile::COST_CATEGORIES;
+
+/// Counters the engine accumulates while running.
+///
+/// These power the paper's figures: event counts and durations feed the
+/// responsiveness analysis (§4.1), watchdog kills demonstrate what
+/// happens *without* Doppio's event segmentation, and the per-category
+/// charge counters let benchmarks attribute virtual time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Number of events the loop has dispatched.
+    pub events_run: u64,
+    /// Number of events the watchdog killed for running too long.
+    pub watchdog_kills: u64,
+    /// Duration of the longest single event, in virtual ns.
+    pub max_event_ns: u64,
+    /// Total virtual time spent inside events, in ns.
+    pub total_event_ns: u64,
+    /// Number of operations charged, per [`Cost`](crate::Cost) category.
+    pub ops: [u64; COST_CATEGORIES],
+    /// Virtual nanoseconds charged, per [`Cost`](crate::Cost) category.
+    pub ns: [u64; COST_CATEGORIES],
+    /// Events dispatched per [`EventKind`](crate::event_loop::EventKind)
+    /// (timer, message, immediate, async completion, user input).
+    pub events_by_kind: [u64; 5],
+}
+
+impl EngineStats {
+    /// Total operations charged across all categories.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.iter().sum()
+    }
+
+    /// Total virtual nanoseconds charged across all categories.
+    pub fn total_charged_ns(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_categories() {
+        let mut s = EngineStats::default();
+        s.ops[0] = 3;
+        s.ops[2] = 4;
+        s.ns[0] = 30;
+        s.ns[2] = 400;
+        assert_eq!(s.total_ops(), 7);
+        assert_eq!(s.total_charged_ns(), 430);
+    }
+}

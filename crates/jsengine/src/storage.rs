@@ -1,0 +1,601 @@
+//! The browser's persistent storage mechanisms (Table 2 of the paper).
+//!
+//! Browsers offer "a hodgepodge of persistent storage mechanisms with
+//! different storage formats, restrictions, compatibility across
+//! browsers, and intended use cases" (§5.1). This module simulates the
+//! six mechanisms the paper tabulates:
+//!
+//! | mechanism      | format            | sync | quota          |
+//! |----------------|-------------------|------|----------------|
+//! | Cookies        | string key/value  | yes  | 4 KB           |
+//! | localStorage   | string key/value  | yes  | 5 MB           |
+//! | IndexedDB      | object database   | no   | user-specified |
+//! | userBehavior   | string key/value  | yes  | 1 MB (IE only) |
+//! | Web SQL        | SQL database      | no   | user-specified |
+//! | FileSystem API | binary blobs      | no   | user-specified |
+//!
+//! String stores measure their quota in UTF-16 code units × 2 bytes,
+//! as real browsers do — which is why Doppio's Buffer "binary string"
+//! format (2 packed bytes per code unit) doubles the effective capacity
+//! on browsers that don't validate strings.
+
+use std::collections::BTreeMap;
+
+use crate::engine::Engine;
+use crate::error::{EngineError, EngineResult};
+use crate::jsstring::JsString;
+use crate::profile::BrowserProfile;
+
+/// The synchronous string key/value mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncMechanism {
+    /// HTTP cookies: tiny (4 KB) but universally available.
+    Cookies,
+    /// DOM `localStorage`: 5 MB of string key/value pairs.
+    LocalStorage,
+    /// IE's defunct `userBehavior` storage: 1 MB.
+    UserBehavior,
+}
+
+/// The asynchronous mechanisms (only reachable through callbacks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AsyncMechanism {
+    /// IndexedDB object database.
+    IndexedDb,
+    /// The defunct Web SQL database.
+    WebSql,
+    /// The defunct (Chrome-only) FileSystem API.
+    FileSystemApi,
+}
+
+impl SyncMechanism {
+    /// The mechanism's name as the paper prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyncMechanism::Cookies => "Cookies",
+            SyncMechanism::LocalStorage => "localStorage",
+            SyncMechanism::UserBehavior => "userBehavior",
+        }
+    }
+}
+
+impl AsyncMechanism {
+    /// The mechanism's name as the paper prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            AsyncMechanism::IndexedDb => "IndexedDB",
+            AsyncMechanism::WebSql => "Web SQL",
+            AsyncMechanism::FileSystemApi => "FileSystem",
+        }
+    }
+}
+
+/// UTF-16 storage footprint of a string, in bytes.
+pub fn utf16_bytes(s: &str) -> usize {
+    s.encode_utf16().count() * 2
+}
+
+/// A quota-limited string key/value store (cookies, localStorage,
+/// userBehavior).
+#[derive(Debug, Clone)]
+pub struct KvStore {
+    name: &'static str,
+    available: bool,
+    quota_bytes: usize,
+    used_bytes: usize,
+    map: BTreeMap<String, JsString>,
+}
+
+impl KvStore {
+    fn new(name: &'static str, available: bool, quota_bytes: usize) -> KvStore {
+        KvStore {
+            name,
+            available,
+            quota_bytes,
+            used_bytes: 0,
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Whether the active browser provides this mechanism.
+    pub fn is_available(&self) -> bool {
+        self.available
+    }
+
+    /// The quota, in bytes.
+    pub fn quota_bytes(&self) -> usize {
+        self.quota_bytes
+    }
+
+    /// Bytes currently used (UTF-16 accounting).
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    fn check_available(&self, browser: &'static str) -> EngineResult<()> {
+        if self.available {
+            Ok(())
+        } else {
+            Err(EngineError::UnsupportedApi {
+                api: self.name,
+                browser,
+            })
+        }
+    }
+
+    /// Store a JavaScript string under `key`, enforcing the quota.
+    ///
+    /// This is the primitive Doppio's Buffer module targets with its
+    /// 2-bytes-per-code-unit "binary string" format; `value` need not
+    /// be valid UTF-16.
+    pub fn set_item_js(
+        &mut self,
+        browser: &'static str,
+        key: &str,
+        value: JsString,
+    ) -> EngineResult<()> {
+        self.check_available(browser)?;
+        let new_entry = utf16_bytes(key) + value.storage_bytes();
+        let replaced = self
+            .map
+            .get(key)
+            .map(|old| utf16_bytes(key) + old.storage_bytes())
+            .unwrap_or(0);
+        let projected = self.used_bytes - replaced + new_entry;
+        if projected > self.quota_bytes {
+            return Err(EngineError::QuotaExceeded {
+                mechanism: self.name,
+                requested: projected,
+                quota: self.quota_bytes,
+            });
+        }
+        self.map.insert(key.to_string(), value);
+        self.used_bytes = projected;
+        Ok(())
+    }
+
+    /// Store `value` under `key`, enforcing the quota.
+    pub fn set_item(&mut self, browser: &'static str, key: &str, value: &str) -> EngineResult<()> {
+        self.set_item_js(browser, key, JsString::from(value))
+    }
+
+    /// Read the JavaScript string stored under `key`.
+    pub fn get_item_js(&self, browser: &'static str, key: &str) -> EngineResult<Option<JsString>> {
+        self.check_available(browser)?;
+        Ok(self.map.get(key).cloned())
+    }
+
+    /// Read the value stored under `key`, lossily decoded to UTF-8.
+    pub fn get_item(&self, browser: &'static str, key: &str) -> EngineResult<Option<String>> {
+        Ok(self
+            .get_item_js(browser, key)?
+            .map(|js| js.to_string_lossy()))
+    }
+
+    /// Remove `key`. Removing a missing key is a no-op, as in the DOM.
+    pub fn remove_item(&mut self, browser: &'static str, key: &str) -> EngineResult<()> {
+        self.check_available(browser)?;
+        if let Some(old) = self.map.remove(key) {
+            self.used_bytes -= utf16_bytes(key) + old.storage_bytes();
+        }
+        Ok(())
+    }
+
+    /// All keys, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        self.map.keys().cloned().collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.used_bytes = 0;
+    }
+}
+
+/// A binary object store backing the asynchronous mechanisms.
+#[derive(Debug, Clone)]
+pub struct ObjectStore {
+    name: &'static str,
+    available: bool,
+    quota_bytes: usize,
+    used_bytes: usize,
+    map: BTreeMap<String, Vec<u8>>,
+}
+
+impl ObjectStore {
+    fn new(name: &'static str, available: bool) -> ObjectStore {
+        ObjectStore {
+            name,
+            available,
+            quota_bytes: usize::MAX, // "user-specified" per Table 2
+            used_bytes: 0,
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Whether the active browser provides this mechanism.
+    pub fn is_available(&self) -> bool {
+        self.available
+    }
+
+    /// Restrict the quota (Table 2: "user-specified").
+    pub fn set_quota_bytes(&mut self, quota: usize) {
+        self.quota_bytes = quota;
+    }
+
+    /// Bytes currently used.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    fn put(&mut self, key: &str, value: Vec<u8>) -> EngineResult<()> {
+        let replaced = self.map.get(key).map(|v| v.len()).unwrap_or(0);
+        let projected = self.used_bytes - replaced + value.len();
+        if projected > self.quota_bytes {
+            return Err(EngineError::QuotaExceeded {
+                mechanism: self.name,
+                requested: projected,
+                quota: self.quota_bytes,
+            });
+        }
+        self.map.insert(key.to_string(), value);
+        self.used_bytes = projected;
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Option<Vec<u8>> {
+        self.map.get(key).cloned()
+    }
+
+    fn delete(&mut self, key: &str) {
+        if let Some(old) = self.map.remove(key) {
+            self.used_bytes -= old.len();
+        }
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.map.keys().cloned().collect()
+    }
+}
+
+/// All of a browser's storage mechanisms.
+#[derive(Debug, Clone)]
+pub struct StorageSet {
+    /// Cookies (4 KB).
+    pub cookies: KvStore,
+    /// `localStorage` (5 MB).
+    pub local_storage: KvStore,
+    /// IE `userBehavior` (1 MB).
+    pub user_behavior: KvStore,
+    /// IndexedDB.
+    pub indexed_db: ObjectStore,
+    /// Web SQL.
+    pub web_sql: ObjectStore,
+    /// FileSystem API.
+    pub filesystem_api: ObjectStore,
+}
+
+impl StorageSet {
+    /// Instantiate the mechanisms a profile provides.
+    pub fn for_profile(p: &BrowserProfile) -> StorageSet {
+        StorageSet {
+            cookies: KvStore::new("Cookies", true, 4 * 1024),
+            local_storage: KvStore::new("localStorage", true, 5 * 1024 * 1024),
+            user_behavior: KvStore::new("userBehavior", p.has_user_behavior, 1024 * 1024),
+            indexed_db: ObjectStore::new("IndexedDB", p.has_indexed_db),
+            web_sql: ObjectStore::new("Web SQL", p.has_web_sql),
+            filesystem_api: ObjectStore::new("FileSystem", p.has_filesystem_api),
+        }
+    }
+
+    /// The synchronous store for a mechanism.
+    pub fn sync_store(&mut self, m: SyncMechanism) -> &mut KvStore {
+        match m {
+            SyncMechanism::Cookies => &mut self.cookies,
+            SyncMechanism::LocalStorage => &mut self.local_storage,
+            SyncMechanism::UserBehavior => &mut self.user_behavior,
+        }
+    }
+
+    fn async_store(&mut self, m: AsyncMechanism) -> &mut ObjectStore {
+        match m {
+            AsyncMechanism::IndexedDb => &mut self.indexed_db,
+            AsyncMechanism::WebSql => &mut self.web_sql,
+            AsyncMechanism::FileSystemApi => &mut self.filesystem_api,
+        }
+    }
+}
+
+/// Latency of one asynchronous storage transaction, in virtual ns.
+const ASYNC_STORE_LATENCY_NS: u64 = 180_000;
+/// Additional virtual ns per byte moved through an async store.
+const ASYNC_STORE_BYTE_NS: u64 = 1;
+
+fn async_available(engine: &Engine, m: AsyncMechanism) -> EngineResult<()> {
+    let ok = engine.with_storage(|s, _| s.async_store(m).is_available());
+    if ok {
+        Ok(())
+    } else {
+        Err(EngineError::UnsupportedApi {
+            api: m.name(),
+            browser: engine.profile().browser.name(),
+        })
+    }
+}
+
+/// Asynchronously store `value` under `key` in mechanism `m`. The
+/// callback receives the result of the (quota-checked) write.
+///
+/// Like its browser counterparts, this returns before the write happens;
+/// the callback fires as a later event-loop event.
+pub fn async_put(
+    engine: &Engine,
+    m: AsyncMechanism,
+    key: String,
+    value: Vec<u8>,
+    cb: impl FnOnce(&Engine, EngineResult<()>) + 'static,
+) -> EngineResult<()> {
+    async_available(engine, m)?;
+    let delay = ASYNC_STORE_LATENCY_NS + ASYNC_STORE_BYTE_NS * value.len() as u64;
+    engine.complete_async_after(delay, move |e| {
+        let result = e.with_storage(|s, _| s.async_store(m).put(&key, value));
+        cb(e, result);
+    });
+    Ok(())
+}
+
+/// Asynchronously read `key` from mechanism `m`.
+pub fn async_get(
+    engine: &Engine,
+    m: AsyncMechanism,
+    key: String,
+    cb: impl FnOnce(&Engine, Option<Vec<u8>>) + 'static,
+) -> EngineResult<()> {
+    async_available(engine, m)?;
+    engine.complete_async_after(ASYNC_STORE_LATENCY_NS, move |e| {
+        let value = e.with_storage(|s, _| s.async_store(m).get(&key));
+        if let Some(v) = &value {
+            e.advance_ns(ASYNC_STORE_BYTE_NS * v.len() as u64);
+        }
+        cb(e, value);
+    });
+    Ok(())
+}
+
+/// Asynchronously delete `key` from mechanism `m`.
+pub fn async_delete(
+    engine: &Engine,
+    m: AsyncMechanism,
+    key: String,
+    cb: impl FnOnce(&Engine) + 'static,
+) -> EngineResult<()> {
+    async_available(engine, m)?;
+    engine.complete_async_after(ASYNC_STORE_LATENCY_NS, move |e| {
+        e.with_storage(|s, _| s.async_store(m).delete(&key));
+        cb(e);
+    });
+    Ok(())
+}
+
+/// Asynchronously list the keys of mechanism `m`.
+pub fn async_keys(
+    engine: &Engine,
+    m: AsyncMechanism,
+    cb: impl FnOnce(&Engine, Vec<String>) + 'static,
+) -> EngineResult<()> {
+    async_available(engine, m)?;
+    engine.complete_async_after(ASYNC_STORE_LATENCY_NS, move |e| {
+        let keys = e.with_storage(|s, _| s.async_store(m).keys());
+        cb(e, keys);
+    });
+    Ok(())
+}
+
+/// One row of the paper's Table 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MechanismInfo {
+    /// Mechanism name.
+    pub name: &'static str,
+    /// Storage format, as the paper words it.
+    pub format: &'static str,
+    /// Whether a synchronous interface exists on the main thread.
+    pub synchronous: bool,
+    /// Maximum size ("user-specified" encoded as `None`).
+    pub max_size_bytes: Option<usize>,
+    /// Approximate share of the desktop browser market supporting it
+    /// (the paper's Compatibility column).
+    pub compatibility_pct: u8,
+    /// Whether the mechanism was already defunct when the paper was
+    /// written (the STANDARDIZED/DEFUNCT grouping of Table 2).
+    pub defunct: bool,
+}
+
+/// The rows of Table 2, in the paper's order.
+pub fn table2_rows() -> Vec<MechanismInfo> {
+    vec![
+        MechanismInfo {
+            name: "Cookies",
+            format: "String key/value pairs",
+            synchronous: true,
+            max_size_bytes: Some(4 * 1024),
+            compatibility_pct: 99,
+            defunct: false,
+        },
+        MechanismInfo {
+            name: "localStorage",
+            format: "String key/value pairs",
+            synchronous: true,
+            max_size_bytes: Some(5 * 1024 * 1024),
+            compatibility_pct: 90,
+            defunct: false,
+        },
+        MechanismInfo {
+            name: "IndexedDB",
+            format: "Object database",
+            synchronous: false,
+            max_size_bytes: None,
+            compatibility_pct: 49,
+            defunct: false,
+        },
+        MechanismInfo {
+            name: "userBehavior",
+            format: "String key/value pairs",
+            synchronous: true,
+            max_size_bytes: Some(1024 * 1024),
+            compatibility_pct: 39,
+            defunct: true,
+        },
+        MechanismInfo {
+            name: "Web SQL",
+            format: "SQL database",
+            synchronous: false,
+            max_size_bytes: None,
+            compatibility_pct: 24,
+            defunct: true,
+        },
+        MechanismInfo {
+            name: "FileSystem",
+            format: "Binary blobs",
+            synchronous: false,
+            max_size_bytes: None,
+            compatibility_pct: 19,
+            defunct: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Browser;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn local_storage_round_trip() {
+        let e = Engine::new(Browser::Chrome);
+        e.with_storage(|s, _| {
+            let ls = s.sync_store(SyncMechanism::LocalStorage);
+            ls.set_item("Chrome", "k", "v").unwrap();
+            assert_eq!(ls.get_item("Chrome", "k").unwrap(), Some("v".into()));
+            ls.remove_item("Chrome", "k").unwrap();
+            assert_eq!(ls.get_item("Chrome", "k").unwrap(), None);
+            assert_eq!(ls.used_bytes(), 0);
+        });
+    }
+
+    #[test]
+    fn local_storage_enforces_5mb_quota() {
+        let e = Engine::new(Browser::Chrome);
+        let big = "x".repeat(3 * 1024 * 1024); // 6 MB in UTF-16
+        e.with_storage(|s, _| {
+            let ls = s.sync_store(SyncMechanism::LocalStorage);
+            let err = ls.set_item("Chrome", "k", &big).unwrap_err();
+            assert!(matches!(err, EngineError::QuotaExceeded { .. }));
+        });
+    }
+
+    #[test]
+    fn overwriting_reclaims_quota() {
+        let e = Engine::new(Browser::Chrome);
+        let almost = "x".repeat(2 * 1024 * 1024); // 4 MB
+        e.with_storage(|s, _| {
+            let ls = s.sync_store(SyncMechanism::LocalStorage);
+            ls.set_item("Chrome", "k", &almost).unwrap();
+            // Overwriting the same key with same-size data must succeed:
+            // the old entry's bytes are reclaimed first.
+            ls.set_item("Chrome", "k", &almost).unwrap();
+            assert_eq!(ls.len(), 1);
+        });
+    }
+
+    #[test]
+    fn cookies_quota_is_tiny() {
+        let e = Engine::new(Browser::Chrome);
+        e.with_storage(|s, _| {
+            let c = s.sync_store(SyncMechanism::Cookies);
+            assert_eq!(c.quota_bytes(), 4096);
+            assert!(c.set_item("Chrome", "k", &"x".repeat(4096)).is_err());
+        });
+    }
+
+    #[test]
+    fn user_behavior_only_on_ie() {
+        let chrome = Engine::new(Browser::Chrome);
+        chrome.with_storage(|s, _| {
+            let err = s
+                .sync_store(SyncMechanism::UserBehavior)
+                .set_item("Chrome", "k", "v")
+                .unwrap_err();
+            assert!(matches!(err, EngineError::UnsupportedApi { .. }));
+        });
+        let ie = Engine::new(Browser::Ie10);
+        ie.with_storage(|s, _| {
+            s.sync_store(SyncMechanism::UserBehavior)
+                .set_item("IE 10", "k", "v")
+                .unwrap();
+        });
+    }
+
+    #[test]
+    fn indexed_db_is_asynchronous() {
+        let e = Engine::new(Browser::Chrome);
+        let got = Rc::new(RefCell::new(None));
+        let g = got.clone();
+        async_put(&e, AsyncMechanism::IndexedDb, "k".into(), vec![1, 2, 3], {
+            let g = g.clone();
+            move |e2, r| {
+                r.unwrap();
+                async_get(e2, AsyncMechanism::IndexedDb, "k".into(), move |_, v| {
+                    *g.borrow_mut() = v;
+                })
+                .unwrap();
+            }
+        })
+        .unwrap();
+        // Nothing has happened yet: the callbacks are queued events.
+        assert!(got.borrow().is_none());
+        e.run_until_idle();
+        assert_eq!(got.borrow().as_deref(), Some(&[1u8, 2, 3][..]));
+    }
+
+    #[test]
+    fn indexed_db_unavailable_on_safari_profile() {
+        let e = Engine::new(Browser::Safari);
+        let r = async_get(&e, AsyncMechanism::IndexedDb, "k".into(), |_, _| {});
+        assert!(matches!(r, Err(EngineError::UnsupportedApi { .. })));
+    }
+
+    #[test]
+    fn table2_matches_paper_shape() {
+        let rows = table2_rows();
+        assert_eq!(rows.len(), 6);
+        // Cookies are the most compatible; FileSystem the least.
+        assert!(rows[0].compatibility_pct > rows.last().unwrap().compatibility_pct);
+        // Exactly the three defunct mechanisms.
+        assert_eq!(rows.iter().filter(|r| r.defunct).count(), 3);
+        // The async mechanisms have user-specified quotas.
+        for r in &rows {
+            if !r.synchronous {
+                assert!(r.max_size_bytes.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn utf16_accounting_counts_surrogate_pairs() {
+        assert_eq!(utf16_bytes("a"), 2);
+        assert_eq!(utf16_bytes("\u{1F600}"), 4); // emoji = surrogate pair
+    }
+}

@@ -1,0 +1,50 @@
+//! Property tests on the storage quota accounting.
+
+use proptest::prelude::*;
+
+use doppio_jsengine::storage::{utf16_bytes, SyncMechanism};
+use doppio_jsengine::{Browser, Engine};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn quota_accounting_is_exact_under_arbitrary_ops(
+        ops in proptest::collection::vec(
+            (0u8..3, "[a-e]", proptest::collection::vec(any::<char>(), 0..64)),
+            1..60,
+        )
+    ) {
+        let engine = Engine::new(Browser::Chrome);
+        let mut model: std::collections::BTreeMap<String, String> = Default::default();
+        engine.with_storage(|s, _| {
+            let store = s.sync_store(SyncMechanism::LocalStorage);
+            for (kind, key, value_chars) in ops {
+                let value: String = value_chars.into_iter().collect();
+                match kind {
+                    0 => {
+                        if store.set_item("Chrome", &key, &value).is_ok() {
+                            model.insert(key.clone(), value);
+                        }
+                    }
+                    1 => {
+                        store.remove_item("Chrome", &key).unwrap();
+                        model.remove(&key);
+                    }
+                    _ => {
+                        let got = store.get_item("Chrome", &key).unwrap();
+                        prop_assert_eq!(got.as_ref(), model.get(&key));
+                    }
+                }
+                // Invariant: used_bytes equals the model's footprint
+                // and never exceeds the quota.
+                let expect: usize = model
+                    .iter()
+                    .map(|(k, v)| utf16_bytes(k) + utf16_bytes(v))
+                    .sum();
+                prop_assert_eq!(store.used_bytes(), expect);
+                prop_assert!(store.used_bytes() <= store.quota_bytes());
+            }
+            Ok(())
+        })?;
+    }
+}

@@ -1,0 +1,468 @@
+//! Runtime class representation, registry, and resolution.
+
+use std::collections::HashMap;
+
+use doppio_classfile::{access, ClassFile};
+
+use crate::value::Value;
+
+/// Index of a class in the registry.
+pub type ClassId = usize;
+
+/// `<clinit>` progress (JVMS2 §2.17.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClinitState {
+    /// Never initialized.
+    NotStarted,
+    /// A thread is running `<clinit>` (recursion by the same thread
+    /// proceeds, as the specification requires).
+    InProgress(usize),
+    /// Done.
+    Initialized,
+}
+
+/// A defined class.
+#[derive(Debug)]
+pub struct RuntimeClass {
+    /// Registry index.
+    pub id: ClassId,
+    /// Binary name (`"java/lang/String"`, `"[I"`, ...).
+    pub name: String,
+    /// Superclass (None only for `java/lang/Object`).
+    pub super_id: Option<ClassId>,
+    /// Directly implemented interfaces.
+    pub interfaces: Vec<ClassId>,
+    /// The parsed class file (None for synthesized array classes).
+    pub cf: Option<ClassFile>,
+    /// For array classes: the component type name.
+    pub array_component: Option<String>,
+    /// Static fields, keyed `"Class.name"`.
+    pub statics: HashMap<String, Value>,
+    /// Initialization state.
+    pub clinit: ClinitState,
+}
+
+impl RuntimeClass {
+    /// Whether this is an interface.
+    pub fn is_interface(&self) -> bool {
+        self.cf
+            .as_ref()
+            .map(|cf| cf.access_flags & access::ACC_INTERFACE != 0)
+            .unwrap_or(false)
+    }
+}
+
+/// A resolved method: declaring class + index into its method list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MethodRef {
+    /// Declaring class.
+    pub class: ClassId,
+    /// Index into that class's `methods`.
+    pub index: usize,
+}
+
+/// A resolved field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldRef {
+    /// Declaring class.
+    pub class: ClassId,
+    /// Dictionary key (`"DeclaringClass.fieldName"`).
+    pub key: String,
+    /// Field descriptor.
+    pub descriptor: String,
+    /// Whether the field is static.
+    pub is_static: bool,
+}
+
+/// The class registry: all defined classes, by id and name.
+#[derive(Debug, Default)]
+pub struct ClassRegistry {
+    classes: Vec<RuntimeClass>,
+    by_name: HashMap<String, ClassId>,
+}
+
+impl ClassRegistry {
+    /// An empty registry.
+    pub fn new() -> ClassRegistry {
+        ClassRegistry::default()
+    }
+
+    /// Look up a defined class by name.
+    pub fn lookup(&self, name: &str) -> Option<ClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The class with the given id.
+    pub fn get(&self, id: ClassId) -> &RuntimeClass {
+        &self.classes[id]
+    }
+
+    /// Mutable access to a class (statics, clinit state).
+    pub fn get_mut(&mut self, id: ClassId) -> &mut RuntimeClass {
+        &mut self.classes[id]
+    }
+
+    /// Number of defined classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether no classes are defined.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Define a class from a parsed class file. The superclass and
+    /// interfaces must already be defined (the loader guarantees it).
+    ///
+    /// Returns `None` if a super/interface is missing (the caller must
+    /// load it first).
+    pub fn define(&mut self, cf: ClassFile) -> Result<ClassId, String> {
+        let name = cf.name().map_err(|e| e.to_string())?.to_string();
+        if self.by_name.contains_key(&name) {
+            return Err(format!("class {name} already defined"));
+        }
+        let super_name = cf
+            .super_name()
+            .map_err(|e| e.to_string())?
+            .map(str::to_string);
+        let super_id = match &super_name {
+            None => None,
+            Some(s) => Some(
+                self.lookup(s)
+                    .ok_or_else(|| format!("superclass {s} not defined"))?,
+            ),
+        };
+        let mut interfaces = Vec::new();
+        for iname in cf.interface_names().map_err(|e| e.to_string())? {
+            interfaces.push(
+                self.lookup(iname)
+                    .ok_or_else(|| format!("interface {iname} not defined"))?,
+            );
+        }
+        let id = self.classes.len();
+        // Statics get default values now; ConstantValue attributes are
+        // applied by the loader after definition.
+        let mut statics = HashMap::new();
+        for f in &cf.fields {
+            if f.access_flags & access::ACC_STATIC != 0 {
+                statics.insert(
+                    format!("{name}.{}", f.name),
+                    Value::default_for(&f.descriptor),
+                );
+            }
+        }
+        self.by_name.insert(name.clone(), id);
+        self.classes.push(RuntimeClass {
+            id,
+            name,
+            super_id,
+            interfaces,
+            cf: Some(cf),
+            array_component: None,
+            statics,
+            clinit: ClinitState::NotStarted,
+        });
+        Ok(id)
+    }
+
+    /// Get or synthesize the array class named e.g. `"[I"` or
+    /// `"[Ljava/lang/String;"`. `java/lang/Object` must be defined.
+    pub fn ensure_array_class(&mut self, name: &str) -> Result<ClassId, String> {
+        if let Some(id) = self.lookup(name) {
+            return Ok(id);
+        }
+        if !name.starts_with('[') {
+            return Err(format!("{name} is not an array class name"));
+        }
+        let object = self
+            .lookup("java/lang/Object")
+            .ok_or("java/lang/Object not defined")?;
+        let component = component_name(name);
+        let id = self.classes.len();
+        self.by_name.insert(name.to_string(), id);
+        self.classes.push(RuntimeClass {
+            id,
+            name: name.to_string(),
+            super_id: Some(object),
+            interfaces: Vec::new(),
+            cf: None,
+            array_component: Some(component),
+            statics: HashMap::new(),
+            clinit: ClinitState::Initialized,
+        });
+        Ok(id)
+    }
+
+    /// Resolve a method by walking the superclass chain, then
+    /// interfaces (JVMS method resolution, §5.4.3.3-3.4 simplified).
+    pub fn resolve_method(&self, class: ClassId, name: &str, desc: &str) -> Option<MethodRef> {
+        // Superclass chain.
+        let mut cur = Some(class);
+        while let Some(id) = cur {
+            let rc = self.get(id);
+            if let Some(cf) = &rc.cf {
+                if let Some(index) = cf
+                    .methods
+                    .iter()
+                    .position(|m| m.name == name && m.descriptor == desc)
+                {
+                    return Some(MethodRef { class: id, index });
+                }
+            }
+            cur = rc.super_id;
+        }
+        // Interfaces (breadth-first over the whole hierarchy).
+        let mut queue: Vec<ClassId> = self.all_interfaces(class);
+        let mut qi = 0;
+        while qi < queue.len() {
+            let id = queue[qi];
+            qi += 1;
+            let rc = self.get(id);
+            if let Some(cf) = &rc.cf {
+                if let Some(index) = cf
+                    .methods
+                    .iter()
+                    .position(|m| m.name == name && m.descriptor == desc)
+                {
+                    return Some(MethodRef { class: id, index });
+                }
+            }
+            for &i in &rc.interfaces {
+                if !queue.contains(&i) {
+                    queue.push(i);
+                }
+            }
+        }
+        None
+    }
+
+    /// Virtual dispatch: select the implementation of `(name, desc)`
+    /// for a receiver of `runtime_class`.
+    pub fn select_virtual(
+        &self,
+        runtime_class: ClassId,
+        name: &str,
+        desc: &str,
+    ) -> Option<MethodRef> {
+        self.resolve_method(runtime_class, name, desc)
+    }
+
+    fn all_interfaces(&self, class: ClassId) -> Vec<ClassId> {
+        let mut out = Vec::new();
+        let mut cur = Some(class);
+        while let Some(id) = cur {
+            let rc = self.get(id);
+            for &i in &rc.interfaces {
+                if !out.contains(&i) {
+                    out.push(i);
+                }
+            }
+            cur = rc.super_id;
+        }
+        out
+    }
+
+    /// Resolve a field by walking the class, its interfaces, then the
+    /// superclass chain (JVMS §5.4.3.2).
+    pub fn resolve_field(&self, class: ClassId, name: &str) -> Option<FieldRef> {
+        let rc = self.get(class);
+        if let Some(cf) = &rc.cf {
+            if let Some(f) = cf.fields.iter().find(|f| f.name == name) {
+                return Some(FieldRef {
+                    class,
+                    key: format!("{}.{}", rc.name, name),
+                    descriptor: f.descriptor.clone(),
+                    is_static: f.access_flags & access::ACC_STATIC != 0,
+                });
+            }
+        }
+        for &i in &rc.interfaces {
+            if let Some(f) = self.resolve_field(i, name) {
+                return Some(f);
+            }
+        }
+        rc.super_id.and_then(|s| self.resolve_field(s, name))
+    }
+
+    /// All instance fields of a class, including inherited ones, as
+    /// `(dictionary key, descriptor)` pairs — used to build the field
+    /// dictionary of a new instance (§6.7).
+    pub fn instance_field_layout(&self, class: ClassId) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        let mut cur = Some(class);
+        while let Some(id) = cur {
+            let rc = self.get(id);
+            if let Some(cf) = &rc.cf {
+                for f in &cf.fields {
+                    if f.access_flags & access::ACC_STATIC == 0 {
+                        out.push((format!("{}.{}", rc.name, f.name), f.descriptor.clone()));
+                    }
+                }
+            }
+            cur = rc.super_id;
+        }
+        out
+    }
+
+    /// Subtype test: can a value of class `sub` be assigned to
+    /// `super_name`? Handles classes, interfaces, and array
+    /// covariance.
+    pub fn is_assignable(&self, sub: ClassId, super_name: &str) -> bool {
+        let sub_rc = self.get(sub);
+        if sub_rc.name == super_name || super_name == "java/lang/Object" {
+            return true;
+        }
+        // Array covariance: [X assignable to [Y iff X assignable to Y.
+        if let (Some(sc), Some(tc)) = (
+            sub_rc.array_component.as_deref(),
+            super_name.strip_prefix('['),
+        ) {
+            let target_component = component_of_descriptor(tc);
+            if sc == target_component {
+                return true;
+            }
+            if let Some(sid) = self.lookup(sc) {
+                return self.is_assignable(sid, &target_component);
+            }
+            return false;
+        }
+        // Class chain.
+        if let Some(sup) = sub_rc.super_id {
+            if self.is_assignable(sup, super_name) {
+                return true;
+            }
+        }
+        // Interfaces.
+        sub_rc
+            .interfaces
+            .iter()
+            .any(|&i| self.is_assignable(i, super_name))
+    }
+}
+
+/// Component type name of an array class name: `"[I"` → `"I"`? No —
+/// `"[I"` → primitive int has no class; we name primitive components
+/// by their descriptor (`"I"`), object components by their binary name.
+fn component_name(array_name: &str) -> String {
+    let rest = &array_name[1..];
+    component_of_descriptor(rest)
+}
+
+fn component_of_descriptor(desc: &str) -> String {
+    if let Some(obj) = desc.strip_prefix('L') {
+        obj.trim_end_matches(';').to_string()
+    } else {
+        desc.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppio_classfile::builder::{ClassBuilder, MethodBuilder};
+
+    fn define_object(reg: &mut ClassRegistry) -> ClassId {
+        // java/lang/Object has no superclass: patch super_class to 0
+        // after building (the builder always interns one).
+        let mut b = ClassBuilder::new("java/lang/Object", "java/lang/Object");
+        let mut m = MethodBuilder::new(access::ACC_PUBLIC, "<init>", "()V", 1);
+        m.return_void();
+        b.add_method(m);
+        let mut cf = b.finish();
+        cf.super_class = 0;
+        reg.define(cf).unwrap()
+    }
+
+    fn simple_class(reg: &mut ClassRegistry, name: &str, super_name: &str) -> ClassId {
+        let mut b = ClassBuilder::new(name, super_name);
+        b.add_field(access::ACC_PRIVATE, "x", "I");
+        b.add_field(access::ACC_STATIC, "count", "J");
+        let mut m = MethodBuilder::new(access::ACC_PUBLIC, "get", "()I", 1);
+        m.ldc_int(1);
+        m.ireturn();
+        b.add_method(m);
+        reg.define(b.finish()).unwrap()
+    }
+
+    #[test]
+    fn hierarchy_resolution() {
+        let mut reg = ClassRegistry::new();
+        let obj = define_object(&mut reg);
+        let a = simple_class(&mut reg, "demo/A", "java/lang/Object");
+        let b = {
+            let builder = ClassBuilder::new("demo/B", "demo/A");
+            reg.define(builder.finish()).unwrap()
+        };
+        // Method declared on A found from B.
+        let m = reg.resolve_method(b, "get", "()I").unwrap();
+        assert_eq!(m.class, a);
+        // <init> found on Object from B.
+        let init = reg.resolve_method(b, "<init>", "()V").unwrap();
+        assert_eq!(init.class, obj);
+        // Field resolution finds A's field from B, keyed by declarer.
+        let f = reg.resolve_field(b, "x").unwrap();
+        assert_eq!(f.key, "demo/A.x");
+        assert!(!f.is_static);
+        let s = reg.resolve_field(b, "count").unwrap();
+        assert!(s.is_static);
+        // Instance layout includes inherited fields.
+        let layout = reg.instance_field_layout(b);
+        assert_eq!(layout, vec![("demo/A.x".to_string(), "I".to_string())]);
+        // Assignability.
+        assert!(reg.is_assignable(b, "demo/A"));
+        assert!(reg.is_assignable(b, "java/lang/Object"));
+        assert!(!reg.is_assignable(a, "demo/B"));
+    }
+
+    #[test]
+    fn statics_get_defaults() {
+        let mut reg = ClassRegistry::new();
+        define_object(&mut reg);
+        let a = simple_class(&mut reg, "demo/A", "java/lang/Object");
+        assert_eq!(
+            reg.get(a).statics.get("demo/A.count"),
+            Some(&Value::Long(0))
+        );
+    }
+
+    #[test]
+    fn array_classes_synthesize_and_assign() {
+        let mut reg = ClassRegistry::new();
+        define_object(&mut reg);
+        let a = simple_class(&mut reg, "demo/A", "java/lang/Object");
+        let _b = {
+            let builder = ClassBuilder::new("demo/B", "demo/A");
+            reg.define(builder.finish()).unwrap()
+        };
+        let arr_b = reg.ensure_array_class("[Ldemo/B;").unwrap();
+        let arr_a = reg.ensure_array_class("[Ldemo/A;").unwrap();
+        assert_ne!(arr_a, arr_b);
+        // Covariance: B[] assignable to A[] and to Object.
+        assert!(reg.is_assignable(arr_b, "[Ldemo/A;"));
+        assert!(reg.is_assignable(arr_b, "java/lang/Object"));
+        assert!(!reg.is_assignable(arr_a, "[Ldemo/B;"));
+        // Primitive arrays are invariant.
+        let arr_i = reg.ensure_array_class("[I").unwrap();
+        assert!(!reg.is_assignable(arr_i, "[J"));
+        assert!(reg.is_assignable(arr_i, "[I"));
+        let _ = a;
+    }
+
+    #[test]
+    fn missing_super_is_an_error() {
+        let mut reg = ClassRegistry::new();
+        define_object(&mut reg);
+        let b = ClassBuilder::new("demo/C", "demo/Missing");
+        assert!(reg.define(b.finish()).is_err());
+    }
+
+    #[test]
+    fn duplicate_definition_is_an_error() {
+        let mut reg = ClassRegistry::new();
+        define_object(&mut reg);
+        simple_class(&mut reg, "demo/A", "java/lang/Object");
+        let b = ClassBuilder::new("demo/A", "java/lang/Object");
+        assert!(reg.define(b.finish()).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Helpers for mounting class files on a Doppio file system.
+
+use doppio_classfile::ClassFile;
+use doppio_fs::FileSystem;
+use doppio_jsengine::Engine;
+
+/// Write class files under `root` (e.g. `/classes`), creating package
+/// directories, and drive the event loop until the writes complete.
+pub fn mount_class_files(
+    engine: &Engine,
+    fs: &FileSystem,
+    root: &str,
+    classes: &[(String, Vec<u8>)],
+) {
+    // Collect every directory needed, shallowest first.
+    let mut dirs: Vec<String> = vec![root.to_string()];
+    for (name, _) in classes {
+        let full = format!("{root}/{name}.class");
+        let mut cur = String::new();
+        for comp in doppio_fs::path::components(&doppio_fs::path::dirname(&full)) {
+            cur = format!("{cur}/{comp}");
+            if !dirs.contains(&cur) {
+                dirs.push(cur.clone());
+            }
+        }
+    }
+    dirs.sort_by_key(|d| d.matches('/').count());
+    for d in dirs {
+        fs.mkdir(&d, |_, _| {}); // EEXIST is fine
+        engine.run_until_idle();
+    }
+    for (name, bytes) in classes {
+        let path = format!("{root}/{name}.class");
+        fs.write_file(&path, bytes.clone(), move |_, r| {
+            r.unwrap_or_else(|e| panic!("mounting class: {e}"));
+        });
+    }
+    engine.run_until_idle();
+}
+
+/// Convenience: serialize and mount parsed class files.
+pub fn mount_classes(engine: &Engine, fs: &FileSystem, root: &str, classes: &[ClassFile]) {
+    let pairs: Vec<(String, Vec<u8>)> = classes
+        .iter()
+        .map(|cf| (cf.name().expect("class name").to_string(), cf.to_bytes()))
+        .collect();
+    mount_class_files(engine, fs, root, &pairs);
+}

@@ -1,0 +1,1978 @@
+//! The bytecode interpreter (§6).
+//!
+//! DoppioJVM "implements all 201 bytecode instructions specified in the
+//! second edition of the Java Virtual Machine Specification". One call
+//! to [`step`] executes one instruction against the explicit frame
+//! stack. Anything that cannot complete synchronously — a class that
+//! must be downloaded, a native method waiting on an asynchronous
+//! browser API, a contended monitor — is reported to the hosting
+//! thread, which suspends through the Doppio execution environment and
+//! retries or resumes later. Instructions that may block never mutate
+//! the operand stack before deciding to block, so retrying is sound.
+//!
+//! Exception handling (§6.6) never touches the JavaScript exception
+//! machinery: [`dispatch_exception`] walks the virtual frame stack for
+//! a handler, exactly as the paper describes.
+
+use doppio_classfile::{access, opcodes as op, Constant};
+use doppio_core::{ThreadContext, ThreadId};
+use doppio_jsengine::Cost;
+
+use crate::class::{ClassId, ClinitState};
+use crate::frame::Frame;
+use crate::natives::{self, NativeCtx, PendingNative};
+use crate::object::HeapObj;
+use crate::state::JvmState;
+use crate::value::{ObjRef, Value};
+
+/// Outcome of executing one instruction.
+pub enum StepResult {
+    /// Instruction completed.
+    Continue,
+    /// A frame was pushed or popped: the §6.1 suspend-check boundary.
+    CallBoundary,
+    /// A class must be loaded before the instruction can retry.
+    NeedClass(String),
+    /// A native method blocked on an asynchronous API (§4.2); resume
+    /// the pending computation when woken.
+    NativeBlocked(PendingNative),
+    /// The thread is queued on a monitor; retry the instruction when
+    /// woken (§6.2 context-switch point).
+    MonitorBlocked,
+    /// The frame stack emptied: the thread finished.
+    Finished,
+    /// An exception unwound past the last frame.
+    Uncaught(ObjRef),
+    /// `System.exit` was called.
+    Exit(i32),
+}
+
+/// Execute one instruction of the top frame.
+pub fn step(
+    state: &mut JvmState,
+    frames: &mut Vec<Frame>,
+    ctx: &mut ThreadContext<'_>,
+    tid: ThreadId,
+) -> StepResult {
+    let Some(frame) = frames.last_mut() else {
+        return StepResult::Finished;
+    };
+    if frame.pc >= frame.code.bytecode.len() {
+        // Falling off the end only happens for malformed code.
+        return throw_vm(
+            state,
+            frames,
+            ctx,
+            tid,
+            "java/lang/InternalError",
+            "pc out of range",
+        );
+    }
+
+    state.instructions += 1;
+    state.engine.charge(Cost::Dispatch);
+
+    let code = frame.code.clone();
+    let bc = &code.bytecode;
+    let pc = frame.pc;
+    let opcode = bc[pc];
+
+    macro_rules! u8_at {
+        ($off:expr) => {
+            bc[pc + $off]
+        };
+    }
+    macro_rules! u16_at {
+        ($off:expr) => {
+            u16::from_be_bytes([bc[pc + $off], bc[pc + $off + 1]])
+        };
+    }
+    macro_rules! i16_at {
+        ($off:expr) => {
+            i16::from_be_bytes([bc[pc + $off], bc[pc + $off + 1]])
+        };
+    }
+    macro_rules! i32_at {
+        ($off:expr) => {
+            i32::from_be_bytes([
+                bc[pc + $off],
+                bc[pc + $off + 1],
+                bc[pc + $off + 2],
+                bc[pc + $off + 3],
+            ])
+        };
+    }
+
+    // Most instructions fall through to `frame.pc = pc + len`.
+    let mut next_pc = pc + 1 + fixed_operand_len(opcode, bc, pc);
+
+    match opcode {
+        op::NOP => {}
+
+        // ---- constants ----
+        op::ACONST_NULL => frame.push(Value::null()),
+        op::ICONST_M1..=op::ICONST_5 => {
+            state.engine.charge(Cost::IntOp);
+            frame.push(Value::Int(opcode as i32 - op::ICONST_0 as i32));
+        }
+        op::LCONST_0 | op::LCONST_1 => {
+            state.engine.charge(Cost::LongOp);
+            frame.push(Value::Long((opcode - op::LCONST_0) as i64));
+        }
+        op::FCONST_0..=op::FCONST_2 => {
+            state.engine.charge(Cost::FloatOp);
+            frame.push(Value::Float((opcode - op::FCONST_0) as f32));
+        }
+        op::DCONST_0 | op::DCONST_1 => {
+            state.engine.charge(Cost::FloatOp);
+            frame.push(Value::Double((opcode - op::DCONST_0) as f64));
+        }
+        op::BIPUSH => {
+            state.engine.charge(Cost::IntOp);
+            frame.push(Value::Int(u8_at!(1) as i8 as i32));
+        }
+        op::SIPUSH => {
+            state.engine.charge(Cost::IntOp);
+            frame.push(Value::Int(i16_at!(1) as i32));
+        }
+        op::LDC | op::LDC_W | op::LDC2_W => {
+            let idx = if opcode == op::LDC {
+                u16::from(u8_at!(1))
+            } else {
+                u16_at!(1)
+            };
+            let cf = state
+                .registry
+                .get(code.class)
+                .cf
+                .as_ref()
+                .expect("code class");
+            let constant = match cf.constant_pool.get(idx) {
+                Ok(c) => c.clone(),
+                Err(e) => {
+                    return throw_vm(
+                        state,
+                        frames,
+                        ctx,
+                        tid,
+                        "java/lang/InternalError",
+                        &format!("bad ldc: {e}"),
+                    )
+                }
+            };
+            match constant {
+                Constant::Integer(v) => frame.push(Value::Int(v)),
+                Constant::Float(v) => frame.push(Value::Float(v)),
+                Constant::Long(v) => {
+                    state.engine.charge(Cost::LongOp);
+                    frame.push(Value::Long(v));
+                }
+                Constant::Double(v) => frame.push(Value::Double(v)),
+                Constant::String { .. } => {
+                    let s = cf.constant_pool.string(idx).unwrap_or_default().to_string();
+                    state.engine.charge_n(Cost::StringOp, s.len() as u64);
+                    let r = state.intern_string(&s);
+                    frames.last_mut().expect("frame").push(Value::Ref(Some(r)));
+                    frames.last_mut().expect("frame").pc = next_pc;
+                    return StepResult::Continue;
+                }
+                Constant::Class { .. } => {
+                    let name = cf
+                        .constant_pool
+                        .class_name(idx)
+                        .unwrap_or_default()
+                        .to_string();
+                    let r = class_object(state, &name);
+                    frames.last_mut().expect("frame").push(Value::Ref(Some(r)));
+                    frames.last_mut().expect("frame").pc = next_pc;
+                    return StepResult::Continue;
+                }
+                other => {
+                    return throw_vm(
+                        state,
+                        frames,
+                        ctx,
+                        tid,
+                        "java/lang/InternalError",
+                        &format!("ldc of unsupported constant {other:?}"),
+                    )
+                }
+            }
+        }
+
+        // ---- loads ----
+        op::ILOAD | op::FLOAD | op::ALOAD => {
+            state.engine.charge(Cost::IntOp);
+            let v = frame.local(u8_at!(1) as usize);
+            frame.push(v);
+        }
+        op::LLOAD | op::DLOAD => {
+            state.engine.charge(Cost::LongOp);
+            let v = frame.local(u8_at!(1) as usize);
+            frame.push(v);
+        }
+        op::ILOAD_0..=op::ILOAD_3 => {
+            state.engine.charge(Cost::IntOp);
+            let v = frame.local((opcode - op::ILOAD_0) as usize);
+            frame.push(v);
+        }
+        op::LLOAD_0..=op::LLOAD_3 => {
+            state.engine.charge(Cost::LongOp);
+            let v = frame.local((opcode - op::LLOAD_0) as usize);
+            frame.push(v);
+        }
+        op::FLOAD_0..=op::FLOAD_3 => {
+            state.engine.charge(Cost::FloatOp);
+            let v = frame.local((opcode - op::FLOAD_0) as usize);
+            frame.push(v);
+        }
+        op::DLOAD_0..=op::DLOAD_3 => {
+            state.engine.charge(Cost::FloatOp);
+            let v = frame.local((opcode - op::DLOAD_0) as usize);
+            frame.push(v);
+        }
+        op::ALOAD_0..=op::ALOAD_3 => {
+            state.engine.charge(Cost::IntOp);
+            let v = frame.local((opcode - op::ALOAD_0) as usize);
+            frame.push(v);
+        }
+
+        // ---- array loads ----
+        op::IALOAD
+        | op::LALOAD
+        | op::FALOAD
+        | op::DALOAD
+        | op::AALOAD
+        | op::BALOAD
+        | op::CALOAD
+        | op::SALOAD => {
+            state.engine.charge(Cost::ArrayGet);
+            let index = frame.pop_int();
+            let arr = frame.pop_ref();
+            let Some(arr) = arr else {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/NullPointerException",
+                    "array load",
+                );
+            };
+            let len = state.heap.get(arr).array_len().unwrap_or(0);
+            if index < 0 || index as usize >= len {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/ArrayIndexOutOfBoundsException",
+                    &format!("index {index}, length {len}"),
+                );
+            }
+            let i = index as usize;
+            let v = match state.heap.get(arr) {
+                HeapObj::ArrayInt(v) => Value::Int(v[i]),
+                HeapObj::ArrayLong(v) => Value::Long(v[i]),
+                HeapObj::ArrayFloat(v) => Value::Float(v[i]),
+                HeapObj::ArrayDouble(v) => Value::Double(v[i]),
+                HeapObj::ArrayByte(v) => Value::Int(v[i] as i32),
+                HeapObj::ArrayChar(v) => Value::Int(v[i] as i32),
+                HeapObj::ArrayShort(v) => Value::Int(v[i] as i32),
+                HeapObj::ArrayRef { data, .. } => Value::Ref(data[i]),
+                _ => {
+                    return throw_vm(
+                        state,
+                        frames,
+                        ctx,
+                        tid,
+                        "java/lang/InternalError",
+                        "not an array",
+                    )
+                }
+            };
+            frames.last_mut().expect("frame").push(v);
+        }
+
+        // ---- stores ----
+        op::ISTORE | op::FSTORE | op::ASTORE => {
+            state.engine.charge(Cost::IntOp);
+            let v = frame.pop();
+            frame.set_local(u8_at!(1) as usize, v);
+        }
+        op::LSTORE | op::DSTORE => {
+            state.engine.charge(Cost::LongOp);
+            let v = frame.pop();
+            frame.set_local(u8_at!(1) as usize, v);
+        }
+        op::ISTORE_0..=op::ISTORE_3 => {
+            state.engine.charge(Cost::IntOp);
+            let v = frame.pop();
+            frame.set_local((opcode - op::ISTORE_0) as usize, v);
+        }
+        op::LSTORE_0..=op::LSTORE_3 => {
+            state.engine.charge(Cost::LongOp);
+            let v = frame.pop();
+            frame.set_local((opcode - op::LSTORE_0) as usize, v);
+        }
+        op::FSTORE_0..=op::FSTORE_3 => {
+            state.engine.charge(Cost::FloatOp);
+            let v = frame.pop();
+            frame.set_local((opcode - op::FSTORE_0) as usize, v);
+        }
+        op::DSTORE_0..=op::DSTORE_3 => {
+            state.engine.charge(Cost::FloatOp);
+            let v = frame.pop();
+            frame.set_local((opcode - op::DSTORE_0) as usize, v);
+        }
+        op::ASTORE_0..=op::ASTORE_3 => {
+            state.engine.charge(Cost::IntOp);
+            let v = frame.pop();
+            frame.set_local((opcode - op::ASTORE_0) as usize, v);
+        }
+
+        // ---- array stores ----
+        op::IASTORE
+        | op::LASTORE
+        | op::FASTORE
+        | op::DASTORE
+        | op::AASTORE
+        | op::BASTORE
+        | op::CASTORE
+        | op::SASTORE => {
+            state.engine.charge(Cost::ArrayPut);
+            let value = frame.pop();
+            let index = frame.pop_int();
+            let arr = frame.pop_ref();
+            let Some(arr) = arr else {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/NullPointerException",
+                    "array store",
+                );
+            };
+            let len = state.heap.get(arr).array_len().unwrap_or(0);
+            if index < 0 || index as usize >= len {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/ArrayIndexOutOfBoundsException",
+                    &format!("index {index}, length {len}"),
+                );
+            }
+            let i = index as usize;
+            match (state.heap.get_mut(arr), value) {
+                (HeapObj::ArrayInt(v), Value::Int(x)) => v[i] = x,
+                (HeapObj::ArrayLong(v), Value::Long(x)) => v[i] = x,
+                (HeapObj::ArrayFloat(v), Value::Float(x)) => v[i] = x,
+                (HeapObj::ArrayDouble(v), Value::Double(x)) => v[i] = x,
+                (HeapObj::ArrayByte(v), Value::Int(x)) => v[i] = x as i8,
+                (HeapObj::ArrayChar(v), Value::Int(x)) => v[i] = x as u16,
+                (HeapObj::ArrayShort(v), Value::Int(x)) => v[i] = x as i16,
+                (HeapObj::ArrayRef { data, .. }, Value::Ref(r)) => data[i] = r,
+                _ => {
+                    return throw_vm(
+                        state,
+                        frames,
+                        ctx,
+                        tid,
+                        "java/lang/ArrayStoreException",
+                        "element type mismatch",
+                    )
+                }
+            }
+        }
+
+        // ---- stack shuffles (slot-level, §6.1's explicit arrays) ----
+        op::POP => {
+            frame.pop_slot();
+        }
+        op::POP2 => {
+            frame.pop_slot();
+            frame.pop_slot();
+        }
+        op::DUP => {
+            let v = *frame.peek(0);
+            frame.stack.push(v);
+        }
+        op::DUP_X1 => {
+            let v1 = frame.pop_slot();
+            let v2 = frame.pop_slot();
+            frame.stack.push(v1);
+            frame.stack.push(v2);
+            frame.stack.push(v1);
+        }
+        op::DUP_X2 => {
+            let v1 = frame.pop_slot();
+            let v2 = frame.pop_slot();
+            let v3 = frame.pop_slot();
+            frame.stack.push(v1);
+            frame.stack.push(v3);
+            frame.stack.push(v2);
+            frame.stack.push(v1);
+        }
+        op::DUP2 => {
+            let v1 = *frame.peek(0);
+            let v2 = *frame.peek(1);
+            frame.stack.push(v2);
+            frame.stack.push(v1);
+        }
+        op::DUP2_X1 => {
+            let v1 = frame.pop_slot();
+            let v2 = frame.pop_slot();
+            let v3 = frame.pop_slot();
+            frame.stack.push(v2);
+            frame.stack.push(v1);
+            frame.stack.push(v3);
+            frame.stack.push(v2);
+            frame.stack.push(v1);
+        }
+        op::DUP2_X2 => {
+            let v1 = frame.pop_slot();
+            let v2 = frame.pop_slot();
+            let v3 = frame.pop_slot();
+            let v4 = frame.pop_slot();
+            frame.stack.push(v2);
+            frame.stack.push(v1);
+            frame.stack.push(v4);
+            frame.stack.push(v3);
+            frame.stack.push(v2);
+            frame.stack.push(v1);
+        }
+        op::SWAP => {
+            let v1 = frame.pop_slot();
+            let v2 = frame.pop_slot();
+            frame.stack.push(v1);
+            frame.stack.push(v2);
+        }
+
+        // ---- int arithmetic ----
+        op::IADD
+        | op::ISUB
+        | op::IMUL
+        | op::ISHL
+        | op::ISHR
+        | op::IUSHR
+        | op::IAND
+        | op::IOR
+        | op::IXOR => {
+            state.engine.charge(Cost::IntOp);
+            let b = frame.pop_int();
+            let a = frame.pop_int();
+            let r = match opcode {
+                op::IADD => a.wrapping_add(b),
+                op::ISUB => a.wrapping_sub(b),
+                op::IMUL => a.wrapping_mul(b),
+                op::ISHL => a.wrapping_shl(b as u32 & 31),
+                op::ISHR => a.wrapping_shr(b as u32 & 31),
+                op::IUSHR => ((a as u32).wrapping_shr(b as u32 & 31)) as i32,
+                op::IAND => a & b,
+                op::IOR => a | b,
+                _ => a ^ b,
+            };
+            frame.push(Value::Int(r));
+        }
+        op::IDIV | op::IREM => {
+            state.engine.charge(Cost::IntOp);
+            let b = frame.pop_int();
+            let a = frame.pop_int();
+            if b == 0 {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/ArithmeticException",
+                    "/ by zero",
+                );
+            }
+            let r = if opcode == op::IDIV {
+                a.wrapping_div(b)
+            } else {
+                a.wrapping_rem(b)
+            };
+            frame.push(Value::Int(r));
+        }
+        op::INEG => {
+            state.engine.charge(Cost::IntOp);
+            let a = frame.pop_int();
+            frame.push(Value::Int(a.wrapping_neg()));
+        }
+
+        // ---- long arithmetic (software Int64 territory, §8) ----
+        op::LADD | op::LSUB | op::LMUL | op::LAND | op::LOR | op::LXOR => {
+            state.engine.charge(Cost::LongOp);
+            let b = frame.pop_long();
+            let a = frame.pop_long();
+            let r = match opcode {
+                op::LADD => a.wrapping_add(b),
+                op::LSUB => a.wrapping_sub(b),
+                op::LMUL => a.wrapping_mul(b),
+                op::LAND => a & b,
+                op::LOR => a | b,
+                _ => a ^ b,
+            };
+            frame.push(Value::Long(r));
+        }
+        op::LDIV | op::LREM => {
+            state.engine.charge(Cost::LongOp);
+            let b = frame.pop_long();
+            let a = frame.pop_long();
+            if b == 0 {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/ArithmeticException",
+                    "/ by zero",
+                );
+            }
+            let r = if opcode == op::LDIV {
+                a.wrapping_div(b)
+            } else {
+                a.wrapping_rem(b)
+            };
+            frame.push(Value::Long(r));
+        }
+        op::LSHL | op::LSHR | op::LUSHR => {
+            state.engine.charge(Cost::LongOp);
+            let b = frame.pop_int();
+            let a = frame.pop_long();
+            let s = b as u32 & 63;
+            let r = match opcode {
+                op::LSHL => a.wrapping_shl(s),
+                op::LSHR => a.wrapping_shr(s),
+                _ => ((a as u64).wrapping_shr(s)) as i64,
+            };
+            frame.push(Value::Long(r));
+        }
+        op::LNEG => {
+            state.engine.charge(Cost::LongOp);
+            let a = frame.pop_long();
+            frame.push(Value::Long(a.wrapping_neg()));
+        }
+
+        // ---- float/double arithmetic ----
+        op::FADD | op::FSUB | op::FMUL | op::FDIV | op::FREM => {
+            state.engine.charge(Cost::FloatOp);
+            let b = frame.pop_float();
+            let a = frame.pop_float();
+            let r = match opcode {
+                op::FADD => a + b,
+                op::FSUB => a - b,
+                op::FMUL => a * b,
+                op::FDIV => a / b,
+                _ => a % b,
+            };
+            frame.push(Value::Float(r));
+        }
+        op::DADD | op::DSUB | op::DMUL | op::DDIV | op::DREM => {
+            state.engine.charge(Cost::FloatOp);
+            let b = frame.pop_double();
+            let a = frame.pop_double();
+            let r = match opcode {
+                op::DADD => a + b,
+                op::DSUB => a - b,
+                op::DMUL => a * b,
+                op::DDIV => a / b,
+                _ => a % b,
+            };
+            frame.push(Value::Double(r));
+        }
+        op::FNEG => {
+            state.engine.charge(Cost::FloatOp);
+            let a = frame.pop_float();
+            frame.push(Value::Float(-a));
+        }
+        op::DNEG => {
+            state.engine.charge(Cost::FloatOp);
+            let a = frame.pop_double();
+            frame.push(Value::Double(-a));
+        }
+
+        op::IINC => {
+            state.engine.charge(Cost::IntOp);
+            let idx = u8_at!(1) as usize;
+            let delta = u8_at!(2) as i8 as i32;
+            let v = frame.local(idx).as_int();
+            frame.set_local(idx, Value::Int(v.wrapping_add(delta)));
+        }
+
+        // ---- conversions ----
+        op::I2L => {
+            state.engine.charge(Cost::LongOp);
+            let v = frame.pop_int();
+            frame.push(Value::Long(v as i64));
+        }
+        op::I2F => {
+            state.engine.charge(Cost::FloatOp);
+            let v = frame.pop_int();
+            frame.push(Value::Float(v as f32));
+        }
+        op::I2D => {
+            state.engine.charge(Cost::FloatOp);
+            let v = frame.pop_int();
+            frame.push(Value::Double(v as f64));
+        }
+        op::L2I => {
+            state.engine.charge(Cost::LongOp);
+            let v = frame.pop_long();
+            frame.push(Value::Int(v as i32));
+        }
+        op::L2F => {
+            state.engine.charge(Cost::LongOp);
+            let v = frame.pop_long();
+            frame.push(Value::Float(v as f32));
+        }
+        op::L2D => {
+            state.engine.charge(Cost::LongOp);
+            let v = frame.pop_long();
+            frame.push(Value::Double(v as f64));
+        }
+        op::F2I => {
+            state.engine.charge(Cost::FloatOp);
+            let v = frame.pop_float();
+            frame.push(Value::Int(f2i(v as f64)));
+        }
+        op::F2L => {
+            state.engine.charge(Cost::LongOp);
+            let v = frame.pop_float();
+            frame.push(Value::Long(f2l(v as f64)));
+        }
+        op::F2D => {
+            state.engine.charge(Cost::FloatOp);
+            let v = frame.pop_float();
+            frame.push(Value::Double(v as f64));
+        }
+        op::D2I => {
+            state.engine.charge(Cost::FloatOp);
+            let v = frame.pop_double();
+            frame.push(Value::Int(f2i(v)));
+        }
+        op::D2L => {
+            state.engine.charge(Cost::LongOp);
+            let v = frame.pop_double();
+            frame.push(Value::Long(f2l(v)));
+        }
+        op::D2F => {
+            state.engine.charge(Cost::FloatOp);
+            let v = frame.pop_double();
+            frame.push(Value::Float(v as f32));
+        }
+        op::I2B => {
+            state.engine.charge(Cost::IntOp);
+            let v = frame.pop_int();
+            frame.push(Value::Int(v as i8 as i32));
+        }
+        op::I2C => {
+            state.engine.charge(Cost::IntOp);
+            let v = frame.pop_int();
+            frame.push(Value::Int(v as u16 as i32));
+        }
+        op::I2S => {
+            state.engine.charge(Cost::IntOp);
+            let v = frame.pop_int();
+            frame.push(Value::Int(v as i16 as i32));
+        }
+
+        // ---- comparisons ----
+        op::LCMP => {
+            state.engine.charge(Cost::LongOp);
+            let b = frame.pop_long();
+            let a = frame.pop_long();
+            frame.push(Value::Int(match a.cmp(&b) {
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+                std::cmp::Ordering::Greater => 1,
+            }));
+        }
+        op::FCMPL | op::FCMPG => {
+            state.engine.charge(Cost::FloatOp);
+            let b = frame.pop_float();
+            let a = frame.pop_float();
+            frame.push(Value::Int(fp_cmp(a as f64, b as f64, opcode == op::FCMPG)));
+        }
+        op::DCMPL | op::DCMPG => {
+            state.engine.charge(Cost::FloatOp);
+            let b = frame.pop_double();
+            let a = frame.pop_double();
+            frame.push(Value::Int(fp_cmp(a, b, opcode == op::DCMPG)));
+        }
+
+        // ---- branches ----
+        op::IFEQ..=op::IFLE => {
+            state.engine.charge(Cost::Branch);
+            let v = frame.pop_int();
+            let taken = match opcode {
+                op::IFEQ => v == 0,
+                op::IFNE => v != 0,
+                op::IFLT => v < 0,
+                op::IFGE => v >= 0,
+                op::IFGT => v > 0,
+                _ => v <= 0,
+            };
+            if taken {
+                next_pc = (pc as i64 + i16_at!(1) as i64) as usize;
+            }
+        }
+        op::IF_ICMPEQ..=op::IF_ICMPLE => {
+            state.engine.charge(Cost::Branch);
+            let b = frame.pop_int();
+            let a = frame.pop_int();
+            let taken = match opcode {
+                op::IF_ICMPEQ => a == b,
+                op::IF_ICMPNE => a != b,
+                op::IF_ICMPLT => a < b,
+                op::IF_ICMPGE => a >= b,
+                op::IF_ICMPGT => a > b,
+                _ => a <= b,
+            };
+            if taken {
+                next_pc = (pc as i64 + i16_at!(1) as i64) as usize;
+            }
+        }
+        op::IF_ACMPEQ | op::IF_ACMPNE => {
+            state.engine.charge(Cost::Branch);
+            let b = frame.pop_ref();
+            let a = frame.pop_ref();
+            let taken = (a == b) == (opcode == op::IF_ACMPEQ);
+            if taken {
+                next_pc = (pc as i64 + i16_at!(1) as i64) as usize;
+            }
+        }
+        op::IFNULL | op::IFNONNULL => {
+            state.engine.charge(Cost::Branch);
+            let v = frame.pop_ref();
+            let taken = v.is_none() == (opcode == op::IFNULL);
+            if taken {
+                next_pc = (pc as i64 + i16_at!(1) as i64) as usize;
+            }
+        }
+        op::GOTO => {
+            state.engine.charge(Cost::Branch);
+            next_pc = (pc as i64 + i16_at!(1) as i64) as usize;
+        }
+        op::GOTO_W => {
+            state.engine.charge(Cost::Branch);
+            next_pc = (pc as i64 + i32_at!(1) as i64) as usize;
+        }
+        op::JSR => {
+            frame.push(Value::RetAddr(pc + 3));
+            next_pc = (pc as i64 + i16_at!(1) as i64) as usize;
+        }
+        op::JSR_W => {
+            frame.push(Value::RetAddr(pc + 5));
+            next_pc = (pc as i64 + i32_at!(1) as i64) as usize;
+        }
+        op::RET => {
+            let idx = u8_at!(1) as usize;
+            match frame.local(idx) {
+                Value::RetAddr(a) => next_pc = a,
+                other => {
+                    return throw_vm(
+                        state,
+                        frames,
+                        ctx,
+                        tid,
+                        "java/lang/InternalError",
+                        &format!("ret of non-returnAddress {other:?}"),
+                    )
+                }
+            }
+        }
+
+        op::TABLESWITCH => {
+            state.engine.charge(Cost::Branch);
+            let v = frame.pop_int();
+            let base = (pc + 4) & !3;
+            let default = i32::from_be_bytes([bc[base], bc[base + 1], bc[base + 2], bc[base + 3]]);
+            let low = i32::from_be_bytes([bc[base + 4], bc[base + 5], bc[base + 6], bc[base + 7]]);
+            let high =
+                i32::from_be_bytes([bc[base + 8], bc[base + 9], bc[base + 10], bc[base + 11]]);
+            let offset = if v < low || v > high {
+                default
+            } else {
+                let slot = base + 12 + 4 * (v - low) as usize;
+                i32::from_be_bytes([bc[slot], bc[slot + 1], bc[slot + 2], bc[slot + 3]])
+            };
+            next_pc = (pc as i64 + offset as i64) as usize;
+        }
+        op::LOOKUPSWITCH => {
+            state.engine.charge(Cost::Branch);
+            let v = frame.pop_int();
+            let base = (pc + 4) & !3;
+            let default = i32::from_be_bytes([bc[base], bc[base + 1], bc[base + 2], bc[base + 3]]);
+            let npairs =
+                i32::from_be_bytes([bc[base + 4], bc[base + 5], bc[base + 6], bc[base + 7]]);
+            let mut offset = default;
+            for p in 0..npairs as usize {
+                let slot = base + 8 + 8 * p;
+                let key = i32::from_be_bytes([bc[slot], bc[slot + 1], bc[slot + 2], bc[slot + 3]]);
+                if key == v {
+                    offset = i32::from_be_bytes([
+                        bc[slot + 4],
+                        bc[slot + 5],
+                        bc[slot + 6],
+                        bc[slot + 7],
+                    ]);
+                    break;
+                }
+            }
+            next_pc = (pc as i64 + offset as i64) as usize;
+        }
+
+        // ---- returns ----
+        op::IRETURN | op::LRETURN | op::FRETURN | op::DRETURN | op::ARETURN | op::RETURN => {
+            let value = if opcode == op::RETURN {
+                None
+            } else {
+                Some(frame.pop())
+            };
+            return do_return(state, frames, ctx, tid, value);
+        }
+
+        // ---- fields ----
+        op::GETSTATIC | op::PUTSTATIC => {
+            let idx = u16_at!(1);
+            let cf = state
+                .registry
+                .get(code.class)
+                .cf
+                .as_ref()
+                .expect("class file");
+            let (cname, fname, fdesc) = match cf.constant_pool.member_ref(idx) {
+                Ok(t) => (t.0.to_string(), t.1.to_string(), t.2.to_string()),
+                Err(e) => {
+                    return throw_vm(
+                        state,
+                        frames,
+                        ctx,
+                        tid,
+                        "java/lang/InternalError",
+                        &e.to_string(),
+                    )
+                }
+            };
+            let class_id = match ensure_class(state, &cname) {
+                Ok(id) => id,
+                Err(r) => return r,
+            };
+            match ensure_initialized(state, frames, tid, class_id) {
+                InitAction::Ready => {}
+                InitAction::Pushed => return StepResult::CallBoundary,
+            }
+            let Some(fref) = state.registry.resolve_field(class_id, &fname) else {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/NoSuchFieldError",
+                    &format!("{cname}.{fname}"),
+                );
+            };
+            state.engine.charge(Cost::MapOp);
+            let frame = frames.last_mut().expect("frame");
+            if opcode == op::GETSTATIC {
+                state.engine.charge(Cost::FieldGet);
+                let v = state
+                    .registry
+                    .get(fref.class)
+                    .statics
+                    .get(&fref.key)
+                    .copied()
+                    .unwrap_or_else(|| Value::default_for(&fdesc));
+                frame.push(v);
+            } else {
+                state.engine.charge(Cost::FieldPut);
+                let v = frame.pop();
+                state
+                    .registry
+                    .get_mut(fref.class)
+                    .statics
+                    .insert(fref.key.clone(), v);
+            }
+        }
+        op::GETFIELD | op::PUTFIELD => {
+            let idx = u16_at!(1);
+            let cf = state
+                .registry
+                .get(code.class)
+                .cf
+                .as_ref()
+                .expect("class file");
+            let (cname, fname, fdesc) = match cf.constant_pool.member_ref(idx) {
+                Ok(t) => (t.0.to_string(), t.1.to_string(), t.2.to_string()),
+                Err(e) => {
+                    return throw_vm(
+                        state,
+                        frames,
+                        ctx,
+                        tid,
+                        "java/lang/InternalError",
+                        &e.to_string(),
+                    )
+                }
+            };
+            let class_id = match ensure_class(state, &cname) {
+                Ok(id) => id,
+                Err(r) => return r,
+            };
+            let Some(fref) = state.registry.resolve_field(class_id, &fname) else {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/NoSuchFieldError",
+                    &format!("{cname}.{fname}"),
+                );
+            };
+            // The dictionary lookup of §6.7.
+            state.engine.charge(Cost::MapOp);
+            let frame = frames.last_mut().expect("frame");
+            if opcode == op::GETFIELD {
+                state.engine.charge(Cost::FieldGet);
+                let Some(obj) = frame.pop_ref() else {
+                    return throw_vm(
+                        state,
+                        frames,
+                        ctx,
+                        tid,
+                        "java/lang/NullPointerException",
+                        &format!("getfield {fname}"),
+                    );
+                };
+                let v = match state.heap.get(obj) {
+                    HeapObj::Instance { fields, .. } => fields
+                        .get(&fref.key)
+                        .copied()
+                        .unwrap_or_else(|| Value::default_for(&fdesc)),
+                    _ => Value::default_for(&fdesc),
+                };
+                frames.last_mut().expect("frame").push(v);
+            } else {
+                state.engine.charge(Cost::FieldPut);
+                let v = frame.pop();
+                let Some(obj) = frame.pop_ref() else {
+                    return throw_vm(
+                        state,
+                        frames,
+                        ctx,
+                        tid,
+                        "java/lang/NullPointerException",
+                        &format!("putfield {fname}"),
+                    );
+                };
+                if let HeapObj::Instance { fields, .. } = state.heap.get_mut(obj) {
+                    fields.insert(fref.key.clone(), v);
+                }
+            }
+        }
+
+        // ---- invocations ----
+        op::INVOKEVIRTUAL | op::INVOKESPECIAL | op::INVOKESTATIC | op::INVOKEINTERFACE => {
+            return invoke(state, frames, ctx, tid, opcode, pc, next_pc);
+        }
+
+        // ---- object/array creation ----
+        op::NEW => {
+            let idx = u16_at!(1);
+            let cf = state
+                .registry
+                .get(code.class)
+                .cf
+                .as_ref()
+                .expect("class file");
+            let cname = match cf.constant_pool.class_name(idx) {
+                Ok(n) => n.to_string(),
+                Err(e) => {
+                    return throw_vm(
+                        state,
+                        frames,
+                        ctx,
+                        tid,
+                        "java/lang/InternalError",
+                        &e.to_string(),
+                    )
+                }
+            };
+            let class_id = match ensure_class(state, &cname) {
+                Ok(id) => id,
+                Err(r) => return r,
+            };
+            match ensure_initialized(state, frames, tid, class_id) {
+                InitAction::Ready => {}
+                InitAction::Pushed => return StepResult::CallBoundary,
+            }
+            let r = alloc_instance(state, class_id);
+            frames.last_mut().expect("frame").push(Value::Ref(Some(r)));
+        }
+        op::NEWARRAY => {
+            state.engine.charge(Cost::Alloc);
+            let atype = u8_at!(1);
+            let len = frame.pop_int();
+            if len < 0 {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/NegativeArraySizeException",
+                    &len.to_string(),
+                );
+            }
+            // DoppioJVM backs binary arrays (boolean[], char[], byte[])
+            // with typed arrays; register the allocation so Safari's
+            // leak model (§7.1) sees JVM-level buffer churn too. The
+            // matching free models the JS garbage collector.
+            if matches!(atype, 4 | 5 | 8) && state.engine.profile().has_typed_arrays {
+                let bytes = len as usize * if atype == 5 { 2 } else { 1 };
+                state.engine.typed_array_alloc(bytes);
+                state.engine.typed_array_free(bytes);
+            }
+            let Some(r) = state.heap.alloc_primitive_array(atype, len as usize) else {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/InternalError",
+                    "bad atype",
+                );
+            };
+            frames.last_mut().expect("frame").push(Value::Ref(Some(r)));
+        }
+        op::ANEWARRAY => {
+            state.engine.charge(Cost::Alloc);
+            let idx = u16_at!(1);
+            let cf = state
+                .registry
+                .get(code.class)
+                .cf
+                .as_ref()
+                .expect("class file");
+            let cname = match cf.constant_pool.class_name(idx) {
+                Ok(n) => n.to_string(),
+                Err(e) => {
+                    return throw_vm(
+                        state,
+                        frames,
+                        ctx,
+                        tid,
+                        "java/lang/InternalError",
+                        &e.to_string(),
+                    )
+                }
+            };
+            let len = frame.pop_int();
+            if len < 0 {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/NegativeArraySizeException",
+                    &len.to_string(),
+                );
+            }
+            let r = state.heap.alloc(HeapObj::ArrayRef {
+                component: cname,
+                data: vec![None; len as usize],
+            });
+            frames.last_mut().expect("frame").push(Value::Ref(Some(r)));
+        }
+        op::MULTIANEWARRAY => {
+            state.engine.charge(Cost::Alloc);
+            let idx = u16_at!(1);
+            let dims = u8_at!(3) as usize;
+            let cf = state
+                .registry
+                .get(code.class)
+                .cf
+                .as_ref()
+                .expect("class file");
+            let desc = match cf.constant_pool.class_name(idx) {
+                Ok(n) => n.to_string(),
+                Err(e) => {
+                    return throw_vm(
+                        state,
+                        frames,
+                        ctx,
+                        tid,
+                        "java/lang/InternalError",
+                        &e.to_string(),
+                    )
+                }
+            };
+            let mut sizes = vec![0i32; dims];
+            for d in (0..dims).rev() {
+                sizes[d] = frame.pop_int();
+            }
+            if sizes.iter().any(|&s| s < 0) {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/NegativeArraySizeException",
+                    "multianewarray",
+                );
+            }
+            let r = alloc_multi(state, &desc, &sizes);
+            frames.last_mut().expect("frame").push(Value::Ref(Some(r)));
+        }
+        op::ARRAYLENGTH => {
+            state.engine.charge(Cost::IntOp);
+            let Some(arr) = frame.pop_ref() else {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/NullPointerException",
+                    "arraylength",
+                );
+            };
+            let Some(len) = state.heap.get(arr).array_len() else {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/InternalError",
+                    "not an array",
+                );
+            };
+            frames
+                .last_mut()
+                .expect("frame")
+                .push(Value::Int(len as i32));
+        }
+
+        op::ATHROW => {
+            let Some(ex) = frame.pop_ref() else {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/NullPointerException",
+                    "athrow null",
+                );
+            };
+            return dispatch_exception(state, frames, ctx, tid, ex);
+        }
+
+        op::CHECKCAST | op::INSTANCEOF => {
+            let idx = u16_at!(1);
+            let cf = state
+                .registry
+                .get(code.class)
+                .cf
+                .as_ref()
+                .expect("class file");
+            let target = match cf.constant_pool.class_name(idx) {
+                Ok(n) => n.to_string(),
+                Err(e) => {
+                    return throw_vm(
+                        state,
+                        frames,
+                        ctx,
+                        tid,
+                        "java/lang/InternalError",
+                        &e.to_string(),
+                    )
+                }
+            };
+            state.engine.charge(Cost::MapOp);
+            let obj = *frame.peek(0);
+            let r = obj.as_ref();
+            let matches = match r {
+                None => opcode == op::CHECKCAST, // null passes checkcast, fails instanceof
+                Some(obj) => {
+                    let cid = runtime_class_of(state, obj);
+                    match cid {
+                        Ok(cid) => state.registry.is_assignable(cid, &target),
+                        Err(r) => return r,
+                    }
+                }
+            };
+            if opcode == op::INSTANCEOF {
+                frame.pop_ref();
+                frame.push(Value::Int(i32::from(matches && r.is_some())));
+            } else if !matches {
+                let name = r
+                    .and_then(|o| runtime_class_of(state, o).ok())
+                    .map(|c| state.registry.get(c).name.clone())
+                    .unwrap_or_default();
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/ClassCastException",
+                    &format!("{name} cannot be cast to {target}"),
+                );
+            }
+        }
+
+        op::MONITORENTER => {
+            let Some(&Value::Ref(obj)) = frame.stack.last() else {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/InternalError",
+                    "monitorenter",
+                );
+            };
+            let Some(obj) = obj else {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/NullPointerException",
+                    "monitorenter",
+                );
+            };
+            if try_enter_monitor(state, obj, tid) {
+                frames.last_mut().expect("frame").pop_ref();
+            } else {
+                queue_on_monitor(state, obj, tid);
+                return StepResult::MonitorBlocked; // retry when woken
+            }
+        }
+        op::MONITOREXIT => {
+            let Some(obj) = frame.pop_ref() else {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/NullPointerException",
+                    "monitorexit",
+                );
+            };
+            if let Err(msg) = exit_monitor(state, ctx, obj, tid) {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/IllegalMonitorStateException",
+                    &msg,
+                );
+            }
+        }
+
+        op::WIDE => {
+            let sub = u8_at!(1);
+            let idx = u16_at!(2) as usize;
+            match sub {
+                op::ILOAD | op::FLOAD | op::ALOAD => {
+                    let v = frame.local(idx);
+                    frame.push(v);
+                }
+                op::LLOAD | op::DLOAD => {
+                    let v = frame.local(idx);
+                    frame.push(v);
+                }
+                op::ISTORE | op::FSTORE | op::ASTORE | op::LSTORE | op::DSTORE => {
+                    let v = frame.pop();
+                    frame.set_local(idx, v);
+                }
+                op::IINC => {
+                    let delta = i16_at!(4) as i32;
+                    let v = frame.local(idx).as_int();
+                    frame.set_local(idx, Value::Int(v.wrapping_add(delta)));
+                }
+                op::RET => match frame.local(idx) {
+                    Value::RetAddr(a) => next_pc = a,
+                    _ => {
+                        return throw_vm(
+                            state,
+                            frames,
+                            ctx,
+                            tid,
+                            "java/lang/InternalError",
+                            "wide ret",
+                        )
+                    }
+                },
+                _ => {
+                    return throw_vm(
+                        state,
+                        frames,
+                        ctx,
+                        tid,
+                        "java/lang/InternalError",
+                        "bad wide",
+                    )
+                }
+            }
+        }
+
+        _ => {
+            return throw_vm(
+                state,
+                frames,
+                ctx,
+                tid,
+                "java/lang/InternalError",
+                &format!("undefined opcode {opcode:#04x}"),
+            )
+        }
+    }
+
+    if let Some(frame) = frames.last_mut() {
+        frame.pc = next_pc;
+    }
+    // §6.1: suspend checks happen at call boundaries, which "is not a
+    // perfect solution, as it is possible in theory to execute an
+    // extremely long-running loop that makes no method calls. ... it
+    // would be possible to instrument loop back edges to perform the
+    // same checks." That instrumentation, behind a flag:
+    if state.check_backedges && next_pc < pc {
+        state.engine.charge(Cost::IntOp); // the instrumented check
+        return StepResult::CallBoundary;
+    }
+    StepResult::Continue
+}
+
+/// Operand length of fixed-width instructions; variable-width ones
+/// (`tableswitch`, `lookupswitch`, `wide`) are computed here too since
+/// the interpreter sets `next_pc` before executing.
+fn fixed_operand_len(opcode: u8, bc: &[u8], pc: usize) -> usize {
+    use doppio_classfile::opcodes::{INFO, VARIABLE};
+    let info = INFO[opcode as usize];
+    if info.operands != VARIABLE {
+        return info.operands as usize;
+    }
+    match opcode {
+        op::WIDE => {
+            if bc[pc + 1] == op::IINC {
+                5
+            } else {
+                3
+            }
+        }
+        op::TABLESWITCH => {
+            let base = (pc + 4) & !3;
+            let low = i32::from_be_bytes([bc[base + 4], bc[base + 5], bc[base + 6], bc[base + 7]]);
+            let high =
+                i32::from_be_bytes([bc[base + 8], bc[base + 9], bc[base + 10], bc[base + 11]]);
+            base + 12 + 4 * (high - low + 1) as usize - pc - 1
+        }
+        op::LOOKUPSWITCH => {
+            let base = (pc + 4) & !3;
+            let npairs =
+                i32::from_be_bytes([bc[base + 4], bc[base + 5], bc[base + 6], bc[base + 7]]);
+            base + 8 + 8 * npairs as usize - pc - 1
+        }
+        _ => 0,
+    }
+}
+
+/// JVM `f2i`/`d2i` conversion: NaN → 0, saturating.
+fn f2i(v: f64) -> i32 {
+    if v.is_nan() {
+        0
+    } else if v >= i32::MAX as f64 {
+        i32::MAX
+    } else if v <= i32::MIN as f64 {
+        i32::MIN
+    } else {
+        v as i32
+    }
+}
+
+/// JVM `f2l`/`d2l` conversion.
+fn f2l(v: f64) -> i64 {
+    if v.is_nan() {
+        0
+    } else if v >= i64::MAX as f64 {
+        i64::MAX
+    } else if v <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        v as i64
+    }
+}
+
+/// `fcmpl`/`fcmpg`/`dcmpl`/`dcmpg`: NaN pushes -1 or +1 per variant.
+fn fp_cmp(a: f64, b: f64, greater_on_nan: bool) -> i32 {
+    if a.is_nan() || b.is_nan() {
+        if greater_on_nan {
+            1
+        } else {
+            -1
+        }
+    } else if a < b {
+        -1
+    } else if a > b {
+        1
+    } else {
+        0
+    }
+}
+
+/// The runtime class id of a heap object.
+pub fn runtime_class_of(state: &mut JvmState, obj: ObjRef) -> Result<ClassId, StepResult> {
+    let name = match state.heap.get(obj) {
+        HeapObj::Instance { class, .. } => return Ok(*class),
+        HeapObj::JavaString(_) => "java/lang/String".to_string(),
+        HeapObj::StringBuilder(_) => "java/lang/StringBuilder".to_string(),
+        other => other.array_class_name().expect("array"),
+    };
+    if name.starts_with('[') {
+        state
+            .registry
+            .ensure_array_class(&name)
+            .map_err(|_| StepResult::NeedClass(name))
+    } else {
+        state
+            .registry
+            .lookup(&name)
+            .ok_or(StepResult::NeedClass(name))
+    }
+}
+
+/// Look up a class, requesting a load if undefined.
+pub fn ensure_class(state: &mut JvmState, name: &str) -> Result<ClassId, StepResult> {
+    if name.starts_with('[') {
+        return state
+            .registry
+            .ensure_array_class(name)
+            .map_err(|_| StepResult::NeedClass(name.to_string()));
+    }
+    state
+        .registry
+        .lookup(name)
+        .ok_or_else(|| StepResult::NeedClass(name.to_string()))
+}
+
+enum InitAction {
+    Ready,
+    Pushed,
+}
+
+/// Ensure a class (and its superclasses) are initialized; pushes the
+/// outermost pending `<clinit>` frame if needed (the caller's current
+/// instruction retries afterwards).
+fn ensure_initialized(
+    state: &mut JvmState,
+    frames: &mut Vec<Frame>,
+    tid: ThreadId,
+    class: ClassId,
+) -> InitAction {
+    // Find the outermost un-initialized ancestor.
+    let mut chain = Vec::new();
+    let mut cur = Some(class);
+    while let Some(id) = cur {
+        chain.push(id);
+        cur = state.registry.get(id).super_id;
+    }
+    for &id in chain.iter().rev() {
+        match state.registry.get(id).clinit {
+            ClinitState::Initialized => continue,
+            ClinitState::InProgress(owner) if owner == tid.0 => continue,
+            ClinitState::InProgress(_) => continue, // simplification: no cross-thread wait
+            ClinitState::NotStarted => {
+                // Look for a <clinit>.
+                let clinit = state.registry.get(id).cf.as_ref().and_then(|cf| {
+                    cf.methods
+                        .iter()
+                        .position(|m| m.name == "<clinit>" && m.descriptor == "()V")
+                });
+                state.registry.get_mut(id).clinit = match clinit {
+                    None => ClinitState::Initialized,
+                    Some(_) => ClinitState::InProgress(tid.0),
+                };
+                if let Some(midx) = clinit {
+                    let blob = state.code_blob(id, midx).expect("clinit has code");
+                    frames.push(Frame::new(blob));
+                    return InitAction::Pushed;
+                }
+            }
+        }
+    }
+    InitAction::Ready
+}
+
+/// Allocate an instance with its field dictionary pre-populated (§6.7).
+pub fn alloc_instance(state: &mut JvmState, class: ClassId) -> ObjRef {
+    state.engine.charge(Cost::Alloc);
+    let layout = state.registry.instance_field_layout(class);
+    state.engine.charge_n(Cost::MapOp, layout.len() as u64);
+    let fields = layout
+        .into_iter()
+        .map(|(key, desc)| (key, Value::default_for(&desc)))
+        .collect();
+    state.heap.alloc(HeapObj::Instance { class, fields })
+}
+
+fn alloc_multi(state: &mut JvmState, desc: &str, sizes: &[i32]) -> ObjRef {
+    let len = sizes[0] as usize;
+    if sizes.len() == 1 {
+        // Innermost dimension: choose representation by component.
+        let component = &desc[1..];
+        return match component.as_bytes().first() {
+            Some(b'I') => state.heap.alloc(HeapObj::ArrayInt(vec![0; len])),
+            Some(b'J') => state.heap.alloc(HeapObj::ArrayLong(vec![0; len])),
+            Some(b'F') => state.heap.alloc(HeapObj::ArrayFloat(vec![0.0; len])),
+            Some(b'D') => state.heap.alloc(HeapObj::ArrayDouble(vec![0.0; len])),
+            Some(b'B') | Some(b'Z') => state.heap.alloc(HeapObj::ArrayByte(vec![0; len])),
+            Some(b'C') => state.heap.alloc(HeapObj::ArrayChar(vec![0; len])),
+            Some(b'S') => state.heap.alloc(HeapObj::ArrayShort(vec![0; len])),
+            _ => {
+                let comp = component
+                    .strip_prefix('L')
+                    .map(|s| s.trim_end_matches(';').to_string())
+                    .unwrap_or_else(|| component.to_string());
+                state.heap.alloc(HeapObj::ArrayRef {
+                    component: comp,
+                    data: vec![None; len],
+                })
+            }
+        };
+    }
+    let inner_desc = &desc[1..];
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        data.push(Some(alloc_multi(state, inner_desc, &sizes[1..])));
+    }
+    state.heap.alloc(HeapObj::ArrayRef {
+        component: inner_desc.to_string(),
+        data,
+    })
+}
+
+/// A java/lang/Class mirror object for `name` (cached).
+pub fn class_object(state: &mut JvmState, name: &str) -> ObjRef {
+    let key = format!("\u{0}class:{name}");
+    if let Some(&r) = state.string_pool.get(&key) {
+        return r;
+    }
+    let class_id = state.registry.lookup("java/lang/Class");
+    let r = match class_id {
+        Some(cid) => {
+            let name_ref = state.intern_string(name);
+            let mut fields = std::collections::HashMap::new();
+            fields.insert(
+                "java/lang/Class.name".to_string(),
+                Value::Ref(Some(name_ref)),
+            );
+            state.heap.alloc(HeapObj::Instance { class: cid, fields })
+        }
+        None => state.heap.alloc_string(name),
+    };
+    state.string_pool.insert(key, r);
+    r
+}
+
+// ----------------------------------------------------------------
+// Monitors (§6.2 context-switch points)
+// ----------------------------------------------------------------
+
+/// Try to acquire a monitor; true on success (including recursion).
+pub fn try_enter_monitor(state: &mut JvmState, obj: ObjRef, tid: ThreadId) -> bool {
+    let m = state.monitors.entry(obj).or_default();
+    match &mut m.owner {
+        None => {
+            m.owner = Some((tid, 1));
+            true
+        }
+        Some((owner, count)) if *owner == tid => {
+            *count += 1;
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Queue the thread on a contended monitor.
+pub fn queue_on_monitor(state: &mut JvmState, obj: ObjRef, tid: ThreadId) {
+    let m = state.monitors.entry(obj).or_default();
+    if !m.entry_queue.contains(&tid) {
+        m.entry_queue.push_back(tid);
+    }
+}
+
+/// Release one recursion level; wakes the next queued thread when the
+/// monitor becomes free.
+pub fn exit_monitor(
+    state: &mut JvmState,
+    ctx: &mut ThreadContext<'_>,
+    obj: ObjRef,
+    tid: ThreadId,
+) -> Result<(), String> {
+    let m = state
+        .monitors
+        .get_mut(&obj)
+        .ok_or_else(|| "monitor not held".to_string())?;
+    match &mut m.owner {
+        Some((owner, count)) if *owner == tid => {
+            *count -= 1;
+            if *count == 0 {
+                m.owner = None;
+                if let Some(next) = m.entry_queue.pop_front() {
+                    ctx.wake(next);
+                }
+            }
+            Ok(())
+        }
+        _ => Err("monitor owned by another thread".to_string()),
+    }
+}
+
+// ----------------------------------------------------------------
+// Exceptions (§6.6)
+// ----------------------------------------------------------------
+
+/// Allocate and throw a VM exception by class name.
+pub fn throw_vm(
+    state: &mut JvmState,
+    frames: &mut Vec<Frame>,
+    ctx: &mut ThreadContext<'_>,
+    tid: ThreadId,
+    class_name: &str,
+    message: &str,
+) -> StepResult {
+    let ex = make_exception(state, class_name, message);
+    dispatch_exception(state, frames, ctx, tid, ex)
+}
+
+/// Build an exception instance (class must be defined — the runtime
+/// library guarantees the VM exception classes are).
+pub fn make_exception(state: &mut JvmState, class_name: &str, message: &str) -> ObjRef {
+    let msg_ref = state.intern_string(message);
+    match state.registry.lookup(class_name) {
+        Some(cid) => {
+            let r = alloc_instance(state, cid);
+            if let HeapObj::Instance { fields, .. } = state.heap.get_mut(r) {
+                fields.insert(
+                    "java/lang/Throwable.message".to_string(),
+                    Value::Ref(Some(msg_ref)),
+                );
+            }
+            r
+        }
+        // Bootstrap fallback: a bare string stands in for the object.
+        None => state.heap.alloc_string(format!("{class_name}: {message}")),
+    }
+}
+
+/// Walk the virtual stack for a handler — "DoppioJVM emulates JVM
+/// exception handling semantics by iterating through its virtual stack
+/// representation until it finds a stack frame with an applicable
+/// exception handler, or until it empties the stack".
+pub fn dispatch_exception(
+    state: &mut JvmState,
+    frames: &mut Vec<Frame>,
+    ctx: &mut ThreadContext<'_>,
+    tid: ThreadId,
+    ex: ObjRef,
+) -> StepResult {
+    let ex_class = runtime_class_of(state, ex).ok();
+    while let Some(frame) = frames.last_mut() {
+        let pc = frame.pc as u16;
+        let code = frame.code.clone();
+        let mut matched = None;
+        for entry in &code.exceptions {
+            if pc < entry.start_pc || pc >= entry.end_pc {
+                continue;
+            }
+            let applies = if entry.catch_type == 0 {
+                true
+            } else {
+                let cf = state
+                    .registry
+                    .get(code.class)
+                    .cf
+                    .as_ref()
+                    .expect("class file");
+                match (cf.constant_pool.class_name(entry.catch_type), ex_class) {
+                    (Ok(catch_name), Some(exc)) => {
+                        let catch_name = catch_name.to_string();
+                        state.registry.is_assignable(exc, &catch_name)
+                    }
+                    _ => false,
+                }
+            };
+            if applies {
+                matched = Some(entry.handler_pc);
+                break;
+            }
+        }
+        if let Some(handler_pc) = matched {
+            let frame = frames.last_mut().expect("frame");
+            frame.stack.clear();
+            frame.push(Value::Ref(Some(ex)));
+            frame.pc = handler_pc as usize;
+            return StepResult::Continue;
+        }
+        // Unwind: release a synchronized method's monitor.
+        let popped = frames.pop().expect("frame");
+        if popped.code.name == "<clinit>" {
+            state.registry.get_mut(popped.code.class).clinit = ClinitState::Initialized;
+        }
+        if let Some(mon) = popped.held_monitor {
+            let _ = exit_monitor(state, ctx, mon, tid);
+        }
+    }
+    StepResult::Uncaught(ex)
+}
+
+// ----------------------------------------------------------------
+// Calls and returns
+// ----------------------------------------------------------------
+
+/// Pop a frame, delivering `value` to the caller.
+pub fn do_return(
+    state: &mut JvmState,
+    frames: &mut Vec<Frame>,
+    ctx: &mut ThreadContext<'_>,
+    tid: ThreadId,
+    value: Option<Value>,
+) -> StepResult {
+    let popped = frames.pop().expect("returning frame");
+    if popped.code.name == "<clinit>" {
+        state.registry.get_mut(popped.code.class).clinit = ClinitState::Initialized;
+    }
+    if let Some(mon) = popped.held_monitor {
+        let _ = exit_monitor(state, ctx, mon, tid);
+    }
+    match frames.last_mut() {
+        None => StepResult::Finished,
+        Some(caller) => {
+            if let Some(v) = value {
+                caller.push(v);
+            }
+            StepResult::CallBoundary
+        }
+    }
+}
+
+/// Execute one of the four invoke instructions at `pc`.
+fn invoke(
+    state: &mut JvmState,
+    frames: &mut Vec<Frame>,
+    ctx: &mut ThreadContext<'_>,
+    tid: ThreadId,
+    opcode: u8,
+    pc: usize,
+    next_pc: usize,
+) -> StepResult {
+    state.engine.charge(Cost::Call);
+    let code = frames.last().expect("frame").code.clone();
+    let cf = state
+        .registry
+        .get(code.class)
+        .cf
+        .as_ref()
+        .expect("class file");
+    let idx = u16::from_be_bytes([code.bytecode[pc + 1], code.bytecode[pc + 2]]);
+    let (cname, mname, mdesc) = match cf.constant_pool.member_ref(idx) {
+        Ok(t) => (t.0.to_string(), t.1.to_string(), t.2.to_string()),
+        Err(e) => {
+            return throw_vm(
+                state,
+                frames,
+                ctx,
+                tid,
+                "java/lang/InternalError",
+                &e.to_string(),
+            )
+        }
+    };
+    let ref_class = match ensure_class(state, &cname) {
+        Ok(id) => id,
+        Err(r) => return r,
+    };
+    if opcode == op::INVOKESTATIC {
+        match ensure_initialized(state, frames, tid, ref_class) {
+            InitAction::Ready => {}
+            InitAction::Pushed => return StepResult::CallBoundary,
+        }
+    }
+
+    let desc = match doppio_classfile::descriptor::parse_method_descriptor(&mdesc) {
+        Ok(d) => d,
+        Err(e) => {
+            return throw_vm(
+                state,
+                frames,
+                ctx,
+                tid,
+                "java/lang/InternalError",
+                &e.to_string(),
+            )
+        }
+    };
+    let arg_slots = desc.param_slots() as usize;
+    let has_receiver = opcode != op::INVOKESTATIC;
+
+    // Select the target method.
+    let target = if opcode == op::INVOKEVIRTUAL || opcode == op::INVOKEINTERFACE {
+        // Peek the receiver under the arguments for dynamic dispatch.
+        let frame = frames.last().expect("frame");
+        let recv = match frame.peek(arg_slots) {
+            Value::Ref(Some(r)) => *r,
+            Value::Ref(None) => {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/NullPointerException",
+                    &format!("invoke {mname}"),
+                );
+            }
+            other => {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/InternalError",
+                    &format!("receiver is {other:?}"),
+                )
+            }
+        };
+        let runtime_class = match runtime_class_of(state, recv) {
+            Ok(c) => c,
+            Err(r) => return r,
+        };
+        // §6.7's method dictionary lookup.
+        state.engine.charge(Cost::MapOp);
+        state.registry.select_virtual(runtime_class, &mname, &mdesc)
+    } else {
+        if opcode == op::INVOKESPECIAL {
+            // invokespecial still null-checks its receiver.
+            let frame = frames.last().expect("frame");
+            if matches!(frame.peek(arg_slots), Value::Ref(None)) {
+                return throw_vm(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    "java/lang/NullPointerException",
+                    &format!("invokespecial {mname}"),
+                );
+            }
+        }
+        state.registry.resolve_method(ref_class, &mname, &mdesc)
+    };
+    let Some(target) = target else {
+        return throw_vm(
+            state,
+            frames,
+            ctx,
+            tid,
+            "java/lang/NoSuchMethodError",
+            &format!("{cname}.{mname}{mdesc}"),
+        );
+    };
+
+    let method_flags = {
+        let rc = state.registry.get(target.class);
+        rc.cf.as_ref().expect("method class").methods[target.index].access_flags
+    };
+
+    // Synchronized methods: acquire the monitor before popping args.
+    let mut acquired_monitor = None;
+    if method_flags & access::ACC_SYNCHRONIZED != 0 && mname != "<clinit>" {
+        let lock_obj = if method_flags & access::ACC_STATIC != 0 {
+            let cls_name = state.registry.get(target.class).name.clone();
+            class_object(state, &cls_name)
+        } else {
+            let frame = frames.last().expect("frame");
+            match frame.peek(arg_slots) {
+                Value::Ref(Some(r)) => *r,
+                _ => {
+                    return throw_vm(
+                        state,
+                        frames,
+                        ctx,
+                        tid,
+                        "java/lang/NullPointerException",
+                        "sync",
+                    )
+                }
+            }
+        };
+        if try_enter_monitor(state, lock_obj, tid) {
+            acquired_monitor = Some(lock_obj);
+        } else {
+            queue_on_monitor(state, lock_obj, tid);
+            return StepResult::MonitorBlocked;
+        }
+    }
+
+    // Pop arguments (and receiver) into a locals prefix.
+    let frame = frames.last_mut().expect("frame");
+    let total_slots = arg_slots + usize::from(has_receiver);
+    let split = frame.stack.len() - total_slots;
+    let args: Vec<Value> = frame.stack.split_off(split);
+    frame.pc = next_pc; // the call returns past the invoke
+
+    // Native?
+    if method_flags & access::ACC_NATIVE != 0 {
+        // Natives see logical values, not stack slots: drop the
+        // padding slots of wide arguments.
+        let args: Vec<Value> = args
+            .into_iter()
+            .filter(|v| !matches!(v, Value::Padding))
+            .collect();
+        let class_name = state.registry.get(target.class).name.clone();
+        let outcome = natives::call_native(
+            &mut NativeCtx {
+                state,
+                frames,
+                ctx,
+                tid,
+            },
+            &class_name,
+            &mname,
+            &mdesc,
+            args,
+        );
+        return natives::apply_outcome(state, frames, ctx, tid, outcome);
+    }
+
+    if frames.len() >= 8192 {
+        return throw_vm(
+            state,
+            frames,
+            ctx,
+            tid,
+            "java/lang/StackOverflowError",
+            &format!("invoking {mname}"),
+        );
+    }
+    let Some(blob) = state.code_blob(target.class, target.index) else {
+        return throw_vm(
+            state,
+            frames,
+            ctx,
+            tid,
+            "java/lang/AbstractMethodError",
+            &format!("{cname}.{mname}{mdesc}"),
+        );
+    };
+    let mut new_frame = Frame::new(blob);
+    new_frame.held_monitor = acquired_monitor;
+    // Copy argument slots verbatim (they are already slot-expanded).
+    new_frame.locals[..args.len()].copy_from_slice(&args);
+    frames.push(new_frame);
+    StepResult::CallBoundary
+}

@@ -1,0 +1,215 @@
+//! Shared JVM state: heap, classes, monitors, I/O, and the Doppio
+//! services the native methods bridge to (§6.3).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::{Rc, Weak};
+
+use doppio_core::ThreadId;
+use doppio_fs::FileSystem;
+use doppio_heap::UnmanagedHeap;
+use doppio_jsengine::Engine;
+use doppio_sockets::{DoppioSocket, Network};
+
+use crate::class::{ClassId, ClassRegistry};
+use crate::loader::LoaderState;
+use crate::object::Heap;
+use crate::value::ObjRef;
+
+/// A JVM monitor (the lock behind `monitorenter`/`synchronized`).
+#[derive(Debug, Default)]
+pub struct Monitor {
+    /// Owning thread and recursion count.
+    pub owner: Option<(ThreadId, u32)>,
+    /// Threads blocked trying to enter.
+    pub entry_queue: VecDeque<ThreadId>,
+    /// Threads in `Object.wait`, with the recursion count to restore.
+    pub wait_set: Vec<(ThreadId, u32)>,
+}
+
+/// A shared, precompiled view of one method body (built once per
+/// method, cached).
+#[derive(Debug)]
+pub struct CodeBlob {
+    /// Declaring class.
+    pub class: ClassId,
+    /// Index into the class's method list.
+    pub method_index: usize,
+    /// Method name (for traces).
+    pub name: String,
+    /// Method descriptor.
+    pub descriptor: String,
+    /// The bytecode.
+    pub bytecode: Vec<u8>,
+    /// Exception handlers.
+    pub exceptions: Vec<doppio_classfile::ExceptionEntry>,
+    /// Local slots.
+    pub max_locals: u16,
+    /// Whether the method is `synchronized`.
+    pub synchronized: bool,
+    /// Whether the method is `static`.
+    pub is_static: bool,
+    /// Line-number table.
+    pub line_numbers: Vec<(u16, u16)>,
+}
+
+/// Everything the JVM's threads share.
+#[allow(clippy::type_complexity)] // callback plumbing, not public API surface
+pub struct JvmState {
+    /// The simulated browser engine.
+    pub engine: Engine,
+    /// Defined classes.
+    pub registry: ClassRegistry,
+    /// The object heap.
+    pub heap: Heap,
+    /// Interned `String` constants (`ldc` of the same literal yields
+    /// the same object).
+    pub string_pool: HashMap<String, ObjRef>,
+    /// Monitors, lazily created per object.
+    pub monitors: HashMap<ObjRef, Monitor>,
+    /// Captured standard output.
+    pub stdout: Vec<u8>,
+    /// Captured standard error.
+    pub stderr: Vec<u8>,
+    /// Optional stdout tee (the §6.8 "custom functions to redirect
+    /// standard input and output").
+    pub stdout_hook: Option<Box<dyn FnMut(&str)>>,
+    /// Buffered standard input bytes.
+    pub stdin: VecDeque<u8>,
+    /// Whether stdin has reached end-of-file.
+    pub stdin_closed: bool,
+    /// The unmanaged heap backing `sun.misc.Unsafe` (§6.5).
+    pub unmanaged: UnmanagedHeap,
+    /// The Doppio file system the class loader and file natives use.
+    pub fs: FileSystem,
+    /// Optional socket fabric for the socket natives (§5.3).
+    pub network: Option<Network>,
+    /// Open sockets by descriptor.
+    pub sockets: Vec<Option<DoppioSocket>>,
+    /// Class-loading bookkeeping.
+    pub loader: LoaderState,
+    /// Classpath entries (directories on `fs`).
+    pub classpath: Vec<String>,
+    /// Method-code cache.
+    pub code_cache: HashMap<(ClassId, usize), Rc<CodeBlob>>,
+    /// `System.exit` code, if called.
+    pub exit_code: Option<i32>,
+    /// JavaScript-interop hook (§6.8 `eval`).
+    pub js_eval: Option<Box<dyn FnMut(&Engine, &str) -> String>>,
+    /// Instructions executed (all threads).
+    pub instructions: u64,
+    /// Whether to also perform suspend checks on backward branches
+    /// (§6.1 discusses instrumenting loop back edges; off by default,
+    /// matching DoppioJVM).
+    pub check_backedges: bool,
+    /// JVM threads that are live (indexes parallel the runtime's ids).
+    pub live_threads: usize,
+    /// Deterministic RNG state for `Math.random`.
+    pub rng_state: u64,
+    /// Threads blocked waiting for stdin bytes.
+    pub stdin_waiters: Vec<ThreadId>,
+    /// User-registered native methods (the §6.3 JNI path).
+    pub user_natives: HashMap<(String, String, String), crate::jvm::UserNative>,
+    /// `java/lang/Thread` objects per runtime thread id.
+    pub thread_objs: HashMap<usize, ObjRef>,
+    /// Inverse: runtime thread id per Thread object.
+    pub thread_of_obj: HashMap<ObjRef, usize>,
+    /// Runtime thread ids that have finished.
+    pub finished_threads: HashSet<usize>,
+    /// Threads blocked in `join`, keyed by the joined thread's id.
+    pub join_waiters: HashMap<usize, Vec<ThreadId>>,
+    /// Back-reference for natives that must spawn threads.
+    pub self_rc: Option<Weak<RefCell<JvmState>>>,
+}
+
+impl JvmState {
+    /// Fresh state over an engine and file system.
+    pub fn new(engine: &Engine, fs: FileSystem) -> JvmState {
+        JvmState {
+            engine: engine.clone(),
+            registry: ClassRegistry::new(),
+            heap: Heap::new(),
+            string_pool: HashMap::new(),
+            monitors: HashMap::new(),
+            stdout: Vec::new(),
+            stderr: Vec::new(),
+            stdout_hook: None,
+            stdin: VecDeque::new(),
+            stdin_closed: false,
+            unmanaged: UnmanagedHeap::new(engine, 16 * 1024 * 1024),
+            fs,
+            network: None,
+            sockets: Vec::new(),
+            loader: LoaderState::default(),
+            classpath: vec!["/classes".to_string()],
+            code_cache: HashMap::new(),
+            exit_code: None,
+            js_eval: None,
+            instructions: 0,
+            check_backedges: false,
+            live_threads: 0,
+            rng_state: 0x5DEECE66D,
+            stdin_waiters: Vec::new(),
+            user_natives: HashMap::new(),
+            thread_objs: HashMap::new(),
+            thread_of_obj: HashMap::new(),
+            finished_threads: HashSet::new(),
+            join_waiters: HashMap::new(),
+            self_rc: None,
+        }
+    }
+
+    /// Intern a string literal, returning its heap reference.
+    pub fn intern_string(&mut self, s: &str) -> ObjRef {
+        if let Some(&r) = self.string_pool.get(s) {
+            return r;
+        }
+        let r = self.heap.alloc_string(s);
+        self.string_pool.insert(s.to_string(), r);
+        r
+    }
+
+    /// Write to captured stdout (and the hook, if set).
+    pub fn write_stdout(&mut self, text: &str) {
+        self.stdout.extend_from_slice(text.as_bytes());
+        if let Some(hook) = &mut self.stdout_hook {
+            hook(text);
+        }
+    }
+
+    /// Captured stdout as UTF-8.
+    pub fn stdout_text(&self) -> String {
+        String::from_utf8_lossy(&self.stdout).into_owned()
+    }
+
+    /// Queue bytes on standard input.
+    pub fn push_stdin(&mut self, bytes: &[u8]) {
+        self.stdin.extend(bytes);
+    }
+
+    /// The code blob for a method, building it on first use.
+    pub fn code_blob(&mut self, class: ClassId, method_index: usize) -> Option<Rc<CodeBlob>> {
+        if let Some(b) = self.code_cache.get(&(class, method_index)) {
+            return Some(b.clone());
+        }
+        let rc = self.registry.get(class);
+        let cf = rc.cf.as_ref()?;
+        let m = cf.methods.get(method_index)?;
+        let code = m.code.as_ref()?;
+        let blob = Rc::new(CodeBlob {
+            class,
+            method_index,
+            name: m.name.clone(),
+            descriptor: m.descriptor.clone(),
+            bytecode: code.bytecode.clone(),
+            exceptions: code.exception_table.clone(),
+            max_locals: code.max_locals,
+            synchronized: m.access_flags & doppio_classfile::access::ACC_SYNCHRONIZED != 0
+                && m.name != "<clinit>",
+            is_static: m.is_static(),
+            line_numbers: code.line_numbers.clone(),
+        });
+        self.code_cache.insert((class, method_index), blob.clone());
+        Some(blob)
+    }
+}

@@ -1,0 +1,113 @@
+//! JVM values and operand-stack slot conventions.
+
+/// A reference into the JVM object heap.
+pub type ObjRef = usize;
+
+/// One JVM value. `long` and `double` occupy **two** operand-stack and
+/// local-variable slots, represented as the value followed by a
+/// [`Value::Padding`] slot — which makes the untyped stack shuffles
+/// (`dup2`, `pop2`, `dup2_x1`, ...) slot-accurate, exactly as the
+/// specification defines them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// `int` (also `boolean`, `byte`, `char`, `short` on the stack).
+    Int(i32),
+    /// `long` (first of two slots).
+    Long(i64),
+    /// `float`.
+    Float(f32),
+    /// `double` (first of two slots).
+    Double(f64),
+    /// A reference; `None` is `null`.
+    Ref(Option<ObjRef>),
+    /// The second slot of a `long`/`double`.
+    Padding,
+    /// A `returnAddress` (for `jsr`/`ret`).
+    RetAddr(usize),
+}
+
+impl Value {
+    /// Whether this value occupies two slots.
+    pub fn is_wide(&self) -> bool {
+        matches!(self, Value::Long(_) | Value::Double(_))
+    }
+
+    /// The `null` reference.
+    pub fn null() -> Value {
+        Value::Ref(None)
+    }
+
+    /// Extract an `int` (interpreter invariant: verified code).
+    pub fn as_int(&self) -> i32 {
+        match self {
+            Value::Int(v) => *v,
+            other => panic!("expected int, found {other:?}"),
+        }
+    }
+
+    /// Extract a `long`.
+    pub fn as_long(&self) -> i64 {
+        match self {
+            Value::Long(v) => *v,
+            other => panic!("expected long, found {other:?}"),
+        }
+    }
+
+    /// Extract a `float`.
+    pub fn as_float(&self) -> f32 {
+        match self {
+            Value::Float(v) => *v,
+            other => panic!("expected float, found {other:?}"),
+        }
+    }
+
+    /// Extract a `double`.
+    pub fn as_double(&self) -> f64 {
+        match self {
+            Value::Double(v) => *v,
+            other => panic!("expected double, found {other:?}"),
+        }
+    }
+
+    /// Extract a reference.
+    pub fn as_ref(&self) -> Option<ObjRef> {
+        match self {
+            Value::Ref(r) => *r,
+            other => panic!("expected reference, found {other:?}"),
+        }
+    }
+
+    /// Default value for a field/array of the given descriptor.
+    pub fn default_for(descriptor: &str) -> Value {
+        match descriptor.as_bytes().first() {
+            Some(b'J') => Value::Long(0),
+            Some(b'F') => Value::Float(0.0),
+            Some(b'D') => Value::Double(0.0),
+            Some(b'L') | Some(b'[') => Value::null(),
+            _ => Value::Int(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_values_are_wide() {
+        assert!(Value::Long(0).is_wide());
+        assert!(Value::Double(0.0).is_wide());
+        assert!(!Value::Int(0).is_wide());
+        assert!(!Value::Ref(None).is_wide());
+    }
+
+    #[test]
+    fn defaults_match_descriptors() {
+        assert_eq!(Value::default_for("I"), Value::Int(0));
+        assert_eq!(Value::default_for("Z"), Value::Int(0));
+        assert_eq!(Value::default_for("J"), Value::Long(0));
+        assert_eq!(Value::default_for("D"), Value::Double(0.0));
+        assert_eq!(Value::default_for("Ljava/lang/String;"), Value::null());
+        assert_eq!(Value::default_for("[I"), Value::null());
+    }
+}

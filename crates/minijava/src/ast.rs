@@ -1,0 +1,386 @@
+//! The MiniJava abstract syntax tree.
+//!
+//! MiniJava is the Java subset the benchmark workloads are written in:
+//! classes with single inheritance and constructors, static and
+//! instance members, the primitive types `int`/`long`/`boolean`/
+//! `char`/`byte`/`double`, `String`, arrays, and the usual statement
+//! and expression forms. It compiles to genuine JVM class files.
+
+/// A MiniJava type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Type {
+    /// `int`
+    Int,
+    /// `long`
+    Long,
+    /// `boolean`
+    Boolean,
+    /// `char`
+    Char,
+    /// `byte`
+    Byte,
+    /// `double`
+    Double,
+    /// `void`
+    Void,
+    /// `String`
+    Str,
+    /// A class type by source name.
+    Class(String),
+    /// `T[]`
+    Array(Box<Type>),
+    /// The type of `null` (assignable to any reference).
+    Null,
+}
+
+impl Type {
+    /// Whether this is a reference type.
+    pub fn is_reference(&self) -> bool {
+        matches!(
+            self,
+            Type::Str | Type::Class(_) | Type::Array(_) | Type::Null
+        )
+    }
+
+    /// Whether this is a numeric primitive.
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            Type::Int | Type::Long | Type::Char | Type::Byte | Type::Double
+        )
+    }
+}
+
+/// A whole compilation unit (one or more classes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The classes, in source order.
+    pub classes: Vec<ClassDecl>,
+}
+
+/// A class declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDecl {
+    /// Source name (no packages in MiniJava).
+    pub name: String,
+    /// Superclass source name (`None` = `Object`).
+    pub super_name: Option<String>,
+    /// Fields.
+    pub fields: Vec<FieldDecl>,
+    /// Methods.
+    pub methods: Vec<MethodDecl>,
+    /// Constructors.
+    pub ctors: Vec<CtorDecl>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A field declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDecl {
+    /// `static`?
+    pub is_static: bool,
+    /// Declared type.
+    pub ty: Type,
+    /// Name.
+    pub name: String,
+    /// Initializer (static fields only).
+    pub init: Option<Expr>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A method declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodDecl {
+    /// `static`?
+    pub is_static: bool,
+    /// `synchronized`?
+    pub is_synchronized: bool,
+    /// Return type.
+    pub ret: Type,
+    /// Name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(Type, String)>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A constructor declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtorDecl {
+    /// Parameters.
+    pub params: Vec<(Type, String)>,
+    /// Explicit `super(...)` arguments (default: zero-arg super).
+    pub super_args: Option<Vec<Expr>>,
+    /// Body (after the super call).
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+    /// `T x = e;`
+    VarDecl {
+        /// Declared type.
+        ty: Type,
+        /// Name.
+        name: String,
+        /// Initializer.
+        init: Option<Expr>,
+        /// Line.
+        line: u32,
+    },
+    /// `if (c) s else s`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Box<Stmt>,
+        /// Else branch.
+        els: Option<Box<Stmt>>,
+        /// Line.
+        line: u32,
+    },
+    /// `while (c) s`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Box<Stmt>,
+        /// Line.
+        line: u32,
+    },
+    /// `for (init; cond; update) s`
+    For {
+        /// Initializer.
+        init: Option<Box<Stmt>>,
+        /// Condition.
+        cond: Option<Expr>,
+        /// Update.
+        update: Option<Box<Stmt>>,
+        /// Body.
+        body: Box<Stmt>,
+        /// Line.
+        line: u32,
+    },
+    /// `return e;`
+    Return {
+        /// Value (None for void).
+        value: Option<Expr>,
+        /// Line.
+        line: u32,
+    },
+    /// `break;`
+    Break(u32),
+    /// `continue;`
+    Continue(u32),
+    /// An expression statement (call, assignment, `x++`).
+    Expr(Expr),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (numeric or string concatenation)
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `>>>`
+    Ushr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    LAnd,
+    /// `||`
+    LOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64, u32),
+    /// Long literal.
+    LongLit(i64, u32),
+    /// Double literal.
+    DoubleLit(f64, u32),
+    /// Character literal.
+    CharLit(char, u32),
+    /// String literal.
+    StrLit(String, u32),
+    /// `true`/`false`.
+    BoolLit(bool, u32),
+    /// `null`.
+    Null(u32),
+    /// A bare name: local, field of `this`, or class reference.
+    Var(String, u32),
+    /// `this`.
+    This(u32),
+    /// `target.name` (field access, or static field via class name).
+    Field {
+        /// The receiver expression.
+        target: Box<Expr>,
+        /// Member name.
+        name: String,
+        /// Line.
+        line: u32,
+    },
+    /// `array[index]`.
+    Index {
+        /// Array expression.
+        array: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Line.
+        line: u32,
+    },
+    /// `target.name(args)` or `name(args)`.
+    Call {
+        /// Receiver (None = implicit this / same-class static).
+        target: Option<Box<Expr>>,
+        /// Method name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Line.
+        line: u32,
+    },
+    /// `new C(args)`.
+    New {
+        /// Class source name.
+        class: String,
+        /// Constructor arguments.
+        args: Vec<Expr>,
+        /// Line.
+        line: u32,
+    },
+    /// `new T[len]`.
+    NewArray {
+        /// Element type.
+        ty: Type,
+        /// Length.
+        len: Box<Expr>,
+        /// Line.
+        line: u32,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        e: Box<Expr>,
+        /// Line.
+        line: u32,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        l: Box<Expr>,
+        /// Right operand.
+        r: Box<Expr>,
+        /// Line.
+        line: u32,
+    },
+    /// Assignment (statement position only). `op` is the compound
+    /// operator for `+=`/`-=`/`*=`.
+    Assign {
+        /// The lvalue (Var, Field, or Index).
+        target: Box<Expr>,
+        /// Compound operator.
+        op: Option<BinOp>,
+        /// Right-hand side.
+        value: Box<Expr>,
+        /// Line.
+        line: u32,
+    },
+    /// `x++` / `x--` (statement position only).
+    IncDec {
+        /// The lvalue.
+        target: Box<Expr>,
+        /// `true` = increment.
+        inc: bool,
+        /// Line.
+        line: u32,
+    },
+    /// Primitive cast `(T) e`.
+    Cast {
+        /// Target type.
+        ty: Type,
+        /// Operand.
+        e: Box<Expr>,
+        /// Line.
+        line: u32,
+    },
+}
+
+impl Expr {
+    /// The source line of this expression.
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::IntLit(_, l)
+            | Expr::LongLit(_, l)
+            | Expr::DoubleLit(_, l)
+            | Expr::CharLit(_, l)
+            | Expr::StrLit(_, l)
+            | Expr::BoolLit(_, l)
+            | Expr::Null(l)
+            | Expr::Var(_, l)
+            | Expr::This(l) => *l,
+            Expr::Field { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::New { line, .. }
+            | Expr::NewArray { line, .. }
+            | Expr::Unary { line, .. }
+            | Expr::Binary { line, .. }
+            | Expr::Assign { line, .. }
+            | Expr::IncDec { line, .. }
+            | Expr::Cast { line, .. } => *line,
+        }
+    }
+}

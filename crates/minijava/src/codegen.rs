@@ -1,0 +1,1806 @@
+//! Code generation: MiniJava AST → JVM class files.
+//!
+//! One pass per method: expressions are type-checked as they are
+//! emitted (an internal `infer` helper resolves types without
+//! emitting where generation order demands it, e.g. string
+//! concatenation). Locals are allocated on the fly; `max_locals` is the
+//! final watermark.
+
+use doppio_classfile::access::{ACC_PUBLIC, ACC_STATIC, ACC_SUPER, ACC_SYNCHRONIZED};
+use doppio_classfile::builder::{ClassBuilder, Label, MethodBuilder};
+use doppio_classfile::opcodes as op;
+use doppio_classfile::ClassFile;
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::table::{binary_name, descriptor, method_descriptor, ClassTable};
+
+/// Compile a parsed program to class files.
+pub fn compile_program(prog: &Program) -> Result<Vec<ClassFile>, CompileError> {
+    let table = ClassTable::build(prog)?;
+    prog.classes.iter().map(|c| gen_class(&table, c)).collect()
+}
+
+fn super_binary(table: &ClassTable, c: &ClassDecl) -> String {
+    match &c.super_name {
+        None => "java/lang/Object".to_string(),
+        Some(s) => binary_name(table, s),
+    }
+}
+
+fn gen_class(table: &ClassTable, c: &ClassDecl) -> Result<ClassFile, CompileError> {
+    let super_bin = super_binary(table, c);
+    let mut b = ClassBuilder::new(&c.name, &super_bin);
+    b.set_access(ACC_PUBLIC | ACC_SUPER);
+
+    for f in &c.fields {
+        let flags = if f.is_static {
+            ACC_PUBLIC | ACC_STATIC
+        } else {
+            ACC_PUBLIC
+        };
+        b.add_field(flags, &f.name, &descriptor(table, &f.ty));
+        if f.init.is_some() && !f.is_static {
+            return Err(CompileError::check(
+                f.line,
+                format!(
+                    "instance field {} has an initializer; assign it in a constructor",
+                    f.name
+                ),
+            ));
+        }
+    }
+
+    // <clinit> from static field initializers.
+    if c.fields.iter().any(|f| f.init.is_some()) {
+        let mut g = Gen::new(
+            table,
+            c,
+            MethodBuilder::new(ACC_STATIC, "<clinit>", "()V", 0),
+            true,
+            Type::Void,
+        );
+        for f in &c.fields {
+            if let Some(init) = &f.init {
+                let t = g.expr(init)?;
+                g.coerce(&t, &f.ty, f.line)?;
+                g.m.putstatic(&c.name, &f.name, &descriptor(table, &f.ty));
+            }
+        }
+        g.m.return_void();
+        g.finish(&mut b);
+    }
+
+    // Constructors (implicit default when none declared).
+    if c.ctors.is_empty() {
+        let mut m = MethodBuilder::new(ACC_PUBLIC, "<init>", "()V", 1);
+        m.aload(0);
+        m.invokespecial(&super_bin, "<init>", "()V");
+        m.return_void();
+        b.add_method(m);
+    }
+    for k in &c.ctors {
+        gen_ctor(table, c, k, &super_bin, &mut b)?;
+    }
+
+    for m in &c.methods {
+        gen_method(table, c, m, &mut b)?;
+    }
+    Ok(b.finish())
+}
+
+fn gen_ctor(
+    table: &ClassTable,
+    c: &ClassDecl,
+    k: &CtorDecl,
+    super_bin: &str,
+    b: &mut ClassBuilder,
+) -> Result<(), CompileError> {
+    let params: Vec<Type> = k.params.iter().map(|(t, _)| t.clone()).collect();
+    let desc = method_descriptor(table, &params, &Type::Void);
+    let mut g = Gen::new(
+        table,
+        c,
+        MethodBuilder::new(ACC_PUBLIC, "<init>", &desc, 0),
+        false,
+        Type::Void,
+    );
+    g.declare_this_and_params(&k.params);
+
+    // super(...) call.
+    g.m.aload(0);
+    let super_arg_types: Vec<Type> = match &k.super_args {
+        None => Vec::new(),
+        Some(args) => {
+            let mut ts = Vec::new();
+            for a in args {
+                ts.push(g.expr(a)?);
+            }
+            ts
+        }
+    };
+    // Resolve the super constructor.
+    let super_desc = match &c.super_name {
+        Some(s) if table.class(s).is_some() => {
+            let ctor = table.find_ctor(s, &super_arg_types).ok_or_else(|| {
+                CompileError::check(k.line, format!("no matching super constructor in {s}"))
+            })?;
+            // Coercions for super args would need re-ordering; require
+            // exact slots by re-checking assignability only.
+            method_descriptor(table, &ctor, &Type::Void)
+        }
+        _ => {
+            if !super_arg_types.is_empty() {
+                return Err(CompileError::check(
+                    k.line,
+                    "super(...) with arguments requires a user-defined superclass".into(),
+                ));
+            }
+            "()V".to_string()
+        }
+    };
+    g.m.invokespecial(super_bin, "<init>", &super_desc);
+
+    for s in &k.body {
+        g.stmt(s)?;
+    }
+    g.m.return_void();
+    g.finish(b);
+    Ok(())
+}
+
+fn gen_method(
+    table: &ClassTable,
+    c: &ClassDecl,
+    m: &MethodDecl,
+    b: &mut ClassBuilder,
+) -> Result<(), CompileError> {
+    let params: Vec<Type> = m.params.iter().map(|(t, _)| t.clone()).collect();
+    let desc = method_descriptor(table, &params, &m.ret);
+    let mut flags = if m.is_static {
+        ACC_PUBLIC | ACC_STATIC
+    } else {
+        ACC_PUBLIC
+    };
+    if m.is_synchronized {
+        flags |= ACC_SYNCHRONIZED;
+    }
+    let mut g = Gen::new(
+        table,
+        c,
+        MethodBuilder::new(flags, &m.name, &desc, 0),
+        m.is_static,
+        m.ret.clone(),
+    );
+    if m.is_static {
+        g.declare_params(&m.params);
+    } else {
+        g.declare_this_and_params(&m.params);
+    }
+    for s in &m.body {
+        g.stmt(s)?;
+    }
+    // Implicit return for void methods (and a safety net otherwise —
+    // the JVM traps a fall-off as an error at runtime).
+    if m.ret == Type::Void {
+        g.m.return_void();
+    } else {
+        // Unreachable if the program returns on all paths; emit a
+        // default return to satisfy the verifier-less interpreter.
+        g.default_value(&m.ret);
+        g.typed_return(&m.ret);
+    }
+    g.finish(b);
+    Ok(())
+}
+
+/// Slots a type occupies.
+fn slots(ty: &Type) -> u16 {
+    match ty {
+        Type::Long | Type::Double => 2,
+        _ => 1,
+    }
+}
+
+struct Gen<'a> {
+    table: &'a ClassTable,
+    class: &'a ClassDecl,
+    m: MethodBuilder,
+    scopes: Vec<Vec<(String, u16, Type)>>,
+    next_local: u16,
+    max_local: u16,
+    is_static: bool,
+    ret: Type,
+    loops: Vec<(Label, Label)>, // (continue target, break target)
+}
+
+impl<'a> Gen<'a> {
+    fn new(
+        table: &'a ClassTable,
+        class: &'a ClassDecl,
+        m: MethodBuilder,
+        is_static: bool,
+        ret: Type,
+    ) -> Gen<'a> {
+        Gen {
+            table,
+            class,
+            m,
+            scopes: vec![Vec::new()],
+            next_local: 0,
+            max_local: 0,
+            is_static,
+            ret,
+            loops: Vec::new(),
+        }
+    }
+
+    fn finish(mut self, b: &mut ClassBuilder) {
+        self.m
+            .set_max_locals(self.max_local.max(self.next_local).max(1));
+        b.add_method(self.m);
+    }
+
+    fn declare_this_and_params(&mut self, params: &[(Type, String)]) {
+        self.next_local = 1; // slot 0 = this
+        for (t, n) in params {
+            let idx = self.next_local;
+            self.next_local += slots(t);
+            self.scopes[0].push((n.clone(), idx, t.clone()));
+        }
+        self.max_local = self.next_local;
+    }
+
+    fn declare_params(&mut self, params: &[(Type, String)]) {
+        for (t, n) in params {
+            let idx = self.next_local;
+            self.next_local += slots(t);
+            self.scopes[0].push((n.clone(), idx, t.clone()));
+        }
+        self.max_local = self.next_local;
+    }
+
+    fn declare(&mut self, name: &str, ty: &Type) -> u16 {
+        let idx = self.next_local;
+        self.next_local += slots(ty);
+        self.max_local = self.max_local.max(self.next_local);
+        self.scopes
+            .last_mut()
+            .expect("scope")
+            .push((name.to_string(), idx, ty.clone()));
+        idx
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<(u16, Type)> {
+        for scope in self.scopes.iter().rev() {
+            for (n, idx, t) in scope.iter().rev() {
+                if n == name {
+                    return Some((*idx, t.clone()));
+                }
+            }
+        }
+        None
+    }
+
+    fn err(&self, line: u32, msg: impl Into<String>) -> CompileError {
+        CompileError::check(line, msg.into())
+    }
+
+    // ---- statements ----
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Block(body) => {
+                self.scopes.push(Vec::new());
+                let saved = self.next_local;
+                for st in body {
+                    self.stmt(st)?;
+                }
+                self.scopes.pop();
+                self.next_local = saved;
+                Ok(())
+            }
+            Stmt::VarDecl {
+                ty,
+                name,
+                init,
+                line,
+            } => {
+                self.m.line(*line as u16);
+                if self.lookup_local(name).is_some() {
+                    return Err(self.err(*line, format!("duplicate local {name}")));
+                }
+                let idx = self.declare(name, ty);
+                match init {
+                    Some(e) => {
+                        let t = self.expr(e)?;
+                        self.coerce(&t, ty, *line)?;
+                    }
+                    None => self.default_value(ty),
+                }
+                self.store_local(idx, ty);
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then,
+                els,
+                line,
+            } => {
+                self.m.line(*line as u16);
+                let else_l = self.m.new_label();
+                let end_l = self.m.new_label();
+                self.condition(cond, *line)?;
+                self.m.branch(op::IFEQ, else_l);
+                self.stmt(then)?;
+                if els.is_some() {
+                    self.m.goto_(end_l);
+                }
+                self.m.bind(else_l);
+                if let Some(e) = els {
+                    self.stmt(e)?;
+                    self.m.bind(end_l);
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body, line } => {
+                self.m.line(*line as u16);
+                let top = self.m.new_label();
+                let done = self.m.new_label();
+                self.m.bind(top);
+                self.condition(cond, *line)?;
+                self.m.branch(op::IFEQ, done);
+                self.loops.push((top, done));
+                self.stmt(body)?;
+                self.loops.pop();
+                self.m.goto_(top);
+                self.m.bind(done);
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+                line,
+            } => {
+                self.m.line(*line as u16);
+                self.scopes.push(Vec::new());
+                let saved = self.next_local;
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                let top = self.m.new_label();
+                let cont = self.m.new_label();
+                let done = self.m.new_label();
+                self.m.bind(top);
+                if let Some(c) = cond {
+                    self.condition(c, *line)?;
+                    self.m.branch(op::IFEQ, done);
+                }
+                self.loops.push((cont, done));
+                self.stmt(body)?;
+                self.loops.pop();
+                self.m.bind(cont);
+                if let Some(u) = update {
+                    self.stmt(u)?;
+                }
+                self.m.goto_(top);
+                self.m.bind(done);
+                self.scopes.pop();
+                self.next_local = saved;
+                Ok(())
+            }
+            Stmt::Return { value, line } => {
+                self.m.line(*line as u16);
+                match (&self.ret.clone(), value) {
+                    (Type::Void, None) => self.m.return_void(),
+                    (Type::Void, Some(_)) => {
+                        return Err(self.err(*line, "void method returns a value"))
+                    }
+                    (_, None) => return Err(self.err(*line, "missing return value")),
+                    (ret, Some(e)) => {
+                        let t = self.expr(e)?;
+                        let ret = ret.clone();
+                        self.coerce(&t, &ret, *line)?;
+                        self.typed_return(&ret);
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Break(line) => {
+                let (_, brk) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| self.err(*line, "break outside a loop"))?;
+                self.m.goto_(brk);
+                Ok(())
+            }
+            Stmt::Continue(line) => {
+                let (cont, _) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| self.err(*line, "continue outside a loop"))?;
+                self.m.goto_(cont);
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.m.line(e.line() as u16);
+                match e {
+                    Expr::Assign { .. } | Expr::IncDec { .. } => {
+                        self.assignment(e)?;
+                    }
+                    _ => {
+                        let t = self.expr(e)?;
+                        match slots(&t) {
+                            _ if t == Type::Void => {}
+                            2 => self.m.simple(op::POP2),
+                            _ => self.m.pop(),
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Emit a boolean condition value.
+    fn condition(&mut self, e: &Expr, line: u32) -> Result<(), CompileError> {
+        let t = self.expr(e)?;
+        if t != Type::Boolean {
+            return Err(self.err(line, format!("condition is {t:?}, not boolean")));
+        }
+        Ok(())
+    }
+
+    fn default_value(&mut self, ty: &Type) {
+        match ty {
+            Type::Long => self.m.ldc_long(0),
+            Type::Double => self.m.ldc_double(0.0),
+            Type::Int | Type::Boolean | Type::Char | Type::Byte => self.m.ldc_int(0),
+            _ => self.m.aconst_null(),
+        }
+    }
+
+    fn typed_return(&mut self, ty: &Type) {
+        match ty {
+            Type::Long => self.m.lreturn(),
+            Type::Double => self.m.dreturn(),
+            Type::Int | Type::Boolean | Type::Char | Type::Byte => self.m.ireturn(),
+            Type::Void => self.m.return_void(),
+            _ => self.m.areturn(),
+        }
+    }
+
+    fn store_local(&mut self, idx: u16, ty: &Type) {
+        match ty {
+            Type::Long => self.m.lstore(idx),
+            Type::Double => self.m.dstore(idx),
+            Type::Int | Type::Boolean | Type::Char | Type::Byte => self.m.istore(idx),
+            _ => self.m.astore(idx),
+        }
+    }
+
+    fn load_local(&mut self, idx: u16, ty: &Type) {
+        match ty {
+            Type::Long => self.m.lload(idx),
+            Type::Double => self.m.dload(idx),
+            Type::Int | Type::Boolean | Type::Char | Type::Byte => self.m.iload(idx),
+            _ => self.m.aload(idx),
+        }
+    }
+
+    /// Emit a widening conversion from `from` to `to`.
+    fn coerce(&mut self, from: &Type, to: &Type, line: u32) -> Result<(), CompileError> {
+        if from == to || !self.needs_conversion(from, to) {
+            if self.table.assignable(from, to) || from == to {
+                return Ok(());
+            }
+            return Err(self.err(line, format!("cannot assign {from:?} to {to:?}")));
+        }
+        match (from, to) {
+            (Type::Int | Type::Char | Type::Byte | Type::Boolean, Type::Long) => {
+                self.m.simple(op::I2L)
+            }
+            (Type::Int | Type::Char | Type::Byte, Type::Double) => self.m.simple(op::I2D),
+            (Type::Long, Type::Double) => self.m.simple(op::L2D),
+            _ => return Err(self.err(line, format!("cannot convert {from:?} to {to:?}"))),
+        }
+        Ok(())
+    }
+
+    fn needs_conversion(&self, from: &Type, to: &Type) -> bool {
+        matches!(
+            (from, to),
+            (
+                Type::Int | Type::Char | Type::Byte | Type::Boolean,
+                Type::Long
+            ) | (Type::Int | Type::Char | Type::Byte, Type::Double)
+                | (Type::Long, Type::Double)
+        )
+    }
+
+    // ---- assignments ----
+
+    fn assignment(&mut self, e: &Expr) -> Result<(), CompileError> {
+        match e {
+            Expr::IncDec { target, inc, line } => {
+                let delta = if *inc { 1i16 } else { -1 };
+                // Fast path: integer local.
+                if let Expr::Var(name, _) = target.as_ref() {
+                    if let Some((idx, Type::Int)) = self.lookup_local(name) {
+                        self.m.iinc(idx, delta);
+                        return Ok(());
+                    }
+                }
+                let value = Expr::Binary {
+                    op: if *inc { BinOp::Add } else { BinOp::Sub },
+                    l: target.clone(),
+                    r: Box::new(Expr::IntLit(1, *line)),
+                    line: *line,
+                };
+                self.assign_to(target, &value, *line)
+            }
+            Expr::Assign {
+                target,
+                op: Some(binop),
+                value,
+                line,
+            } => {
+                let combined = Expr::Binary {
+                    op: *binop,
+                    l: target.clone(),
+                    r: value.clone(),
+                    line: *line,
+                };
+                self.assign_to(target, &combined, *line)
+            }
+            Expr::Assign {
+                target,
+                op: None,
+                value,
+                line,
+            } => self.assign_to(target, value, *line),
+            _ => unreachable!("assignment() called on non-assignment"),
+        }
+    }
+
+    fn assign_to(&mut self, target: &Expr, value: &Expr, line: u32) -> Result<(), CompileError> {
+        match target {
+            Expr::Var(name, _) => {
+                if let Some((idx, ty)) = self.lookup_local(name) {
+                    let t = self.expr(value)?;
+                    self.coerce(&t, &ty, line)?;
+                    self.store_local(idx, &ty);
+                    return Ok(());
+                }
+                // Field of this / static field of this class.
+                let (decl, ty, is_static) = self
+                    .table
+                    .find_field(&self.class.name, name)
+                    .ok_or_else(|| self.err(line, format!("unknown variable {name}")))?;
+                let desc = descriptor(self.table, &ty);
+                if is_static {
+                    let t = self.expr(value)?;
+                    self.coerce(&t, &ty, line)?;
+                    self.m.putstatic(&decl, name, &desc);
+                } else {
+                    if self.is_static {
+                        return Err(
+                            self.err(line, format!("instance field {name} in static context"))
+                        );
+                    }
+                    self.m.aload(0);
+                    let t = self.expr(value)?;
+                    self.coerce(&t, &ty, line)?;
+                    self.m.putfield(&decl, name, &desc);
+                }
+                Ok(())
+            }
+            Expr::Field {
+                target: ftarget,
+                name,
+                line: fline,
+            } => {
+                // Static field via class name?
+                if let Expr::Var(cls, _) = ftarget.as_ref() {
+                    if self.lookup_local(cls).is_none() && self.table.class(cls).is_some() {
+                        let (decl, ty, is_static) =
+                            self.table.find_field(cls, name).ok_or_else(|| {
+                                self.err(*fline, format!("unknown field {cls}.{name}"))
+                            })?;
+                        if !is_static {
+                            return Err(self.err(*fline, format!("{cls}.{name} is not static")));
+                        }
+                        let t = self.expr(value)?;
+                        self.coerce(&t, &ty, line)?;
+                        let desc = descriptor(self.table, &ty);
+                        self.m.putstatic(&decl, name, &desc);
+                        return Ok(());
+                    }
+                }
+                let tt = self.expr(ftarget)?;
+                let Type::Class(cname) = &tt else {
+                    return Err(self.err(*fline, format!("cannot assign field of {tt:?}")));
+                };
+                let (decl, ty, is_static) = self
+                    .table
+                    .find_field(cname, name)
+                    .ok_or_else(|| self.err(*fline, format!("unknown field {cname}.{name}")))?;
+                if is_static {
+                    return Err(self.err(*fline, "static field via instance".to_string()));
+                }
+                let t = self.expr(value)?;
+                self.coerce(&t, &ty, line)?;
+                let desc = descriptor(self.table, &ty);
+                self.m.putfield(&decl, name, &desc);
+                Ok(())
+            }
+            Expr::Index {
+                array,
+                index,
+                line: iline,
+            } => {
+                let at = self.expr(array)?;
+                let Type::Array(elem) = at else {
+                    return Err(self.err(*iline, format!("indexing non-array {at:?}")));
+                };
+                let it = self.expr(index)?;
+                self.coerce(&it, &Type::Int, *iline)?;
+                let t = self.expr(value)?;
+                self.coerce(&t, &elem, line)?;
+                self.array_store(&elem);
+                Ok(())
+            }
+            _ => Err(self.err(line, "invalid assignment target")),
+        }
+    }
+
+    fn array_store(&mut self, elem: &Type) {
+        match elem {
+            Type::Int => self.m.simple(op::IASTORE),
+            Type::Long => self.m.simple(op::LASTORE),
+            Type::Double => self.m.simple(op::DASTORE),
+            Type::Char => self.m.simple(op::CASTORE),
+            Type::Byte | Type::Boolean => self.m.simple(op::BASTORE),
+            _ => self.m.simple(op::AASTORE),
+        }
+    }
+
+    fn array_load(&mut self, elem: &Type) {
+        match elem {
+            Type::Int => self.m.simple(op::IALOAD),
+            Type::Long => self.m.simple(op::LALOAD),
+            Type::Double => self.m.simple(op::DALOAD),
+            Type::Char => self.m.simple(op::CALOAD),
+            Type::Byte | Type::Boolean => self.m.simple(op::BALOAD),
+            _ => self.m.simple(op::AALOAD),
+        }
+    }
+
+    // ---- type inference (no emission) ----
+
+    /// The type an expression will have, without generating code.
+    fn infer(&self, e: &Expr) -> Result<Type, CompileError> {
+        Ok(match e {
+            Expr::IntLit(..) => Type::Int,
+            Expr::LongLit(..) => Type::Long,
+            Expr::DoubleLit(..) => Type::Double,
+            Expr::CharLit(..) => Type::Char,
+            Expr::StrLit(..) => Type::Str,
+            Expr::BoolLit(..) => Type::Boolean,
+            Expr::Null(_) => Type::Null,
+            Expr::This(line) => {
+                if self.is_static {
+                    return Err(self.err(*line, "this in a static context"));
+                }
+                Type::Class(self.class.name.clone())
+            }
+            Expr::Var(name, line) => {
+                if let Some((_, t)) = self.lookup_local(name) {
+                    t
+                } else if let Some((_, t, _)) = self.table.find_field(&self.class.name, name) {
+                    t
+                } else {
+                    return Err(self.err(*line, format!("unknown variable {name}")));
+                }
+            }
+            Expr::Field { target, name, line } => {
+                if name == "length" {
+                    if let Ok(Type::Array(_)) = self.infer(target) {
+                        return Ok(Type::Int);
+                    }
+                }
+                if let Expr::Var(cls, _) = target.as_ref() {
+                    if self.lookup_local(cls).is_none() && self.table.class(cls).is_some() {
+                        if let Some((_, t, true)) = self.table.find_field(cls, name) {
+                            return Ok(t);
+                        }
+                    }
+                }
+                let tt = self.infer(target)?;
+                match &tt {
+                    Type::Class(c) => self
+                        .table
+                        .find_field(c, name)
+                        .map(|(_, t, _)| t)
+                        .ok_or_else(|| self.err(*line, format!("unknown field {c}.{name}")))?,
+                    other => return Err(self.err(*line, format!("no field {name} on {other:?}"))),
+                }
+            }
+            Expr::Index { array, line, .. } => match self.infer(array)? {
+                Type::Array(t) => *t,
+                other => return Err(self.err(*line, format!("indexing non-array {other:?}"))),
+            },
+            Expr::Call { .. } => self.infer_call(e)?,
+            Expr::New { class, line, .. } => {
+                if class == "String" {
+                    return Ok(Type::Str);
+                }
+                if self.table.class(class).is_none()
+                    && class != "StringBuilder"
+                    && class != "Object"
+                    && class != "Thread"
+                {
+                    return Err(self.err(*line, format!("unknown class {class}")));
+                }
+                Type::Class(class.clone())
+            }
+            Expr::NewArray { ty, .. } => Type::Array(Box::new(ty.clone())),
+            Expr::Unary { op: UnOp::Not, .. } => Type::Boolean,
+            Expr::Unary {
+                op: UnOp::Neg, e, ..
+            } => self.infer(e)?,
+            Expr::Binary { op, l, r, line } => match op {
+                BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::LAnd
+                | BinOp::LOr => Type::Boolean,
+                BinOp::Add => {
+                    let lt = self.infer(l)?;
+                    let rt = self.infer(r)?;
+                    if lt == Type::Str || rt == Type::Str {
+                        Type::Str
+                    } else {
+                        self.promoted(&lt, &rt, *line)?
+                    }
+                }
+                _ => {
+                    let lt = self.infer(l)?;
+                    let rt = self.infer(r)?;
+                    if matches!(op, BinOp::Shl | BinOp::Shr | BinOp::Ushr) {
+                        self.promote_shift(&lt)
+                    } else {
+                        self.promoted(&lt, &rt, *line)?
+                    }
+                }
+            },
+            Expr::Assign { .. } | Expr::IncDec { .. } => Type::Void,
+            Expr::Cast { ty, .. } => ty.clone(),
+        })
+    }
+
+    fn promote_shift(&self, lt: &Type) -> Type {
+        if *lt == Type::Long {
+            Type::Long
+        } else {
+            Type::Int
+        }
+    }
+
+    fn promoted(&self, l: &Type, r: &Type, line: u32) -> Result<Type, CompileError> {
+        use Type::*;
+        Ok(match (l, r) {
+            (Double, _) | (_, Double) if l.is_numeric() && r.is_numeric() => Double,
+            (Long, _) | (_, Long) if l.is_numeric() && r.is_numeric() => Long,
+            (a, b) if a.is_numeric() && b.is_numeric() => Int,
+            (Boolean, Boolean) => Boolean, // & | ^ on booleans
+            _ => return Err(self.err(line, format!("operator not applicable to {l:?} and {r:?}"))),
+        })
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self, e: &Expr) -> Result<Type, CompileError> {
+        match e {
+            Expr::IntLit(v, _) => {
+                self.m.ldc_int(*v as i32);
+                Ok(Type::Int)
+            }
+            Expr::LongLit(v, _) => {
+                self.m.ldc_long(*v);
+                Ok(Type::Long)
+            }
+            Expr::DoubleLit(v, _) => {
+                self.m.ldc_double(*v);
+                Ok(Type::Double)
+            }
+            Expr::CharLit(c, _) => {
+                self.m.ldc_int(*c as i32);
+                Ok(Type::Char)
+            }
+            Expr::StrLit(s, _) => {
+                self.m.ldc_string(s);
+                Ok(Type::Str)
+            }
+            Expr::BoolLit(v, _) => {
+                self.m.ldc_int(i32::from(*v));
+                Ok(Type::Boolean)
+            }
+            Expr::Null(_) => {
+                self.m.aconst_null();
+                Ok(Type::Null)
+            }
+            Expr::This(line) => {
+                if self.is_static {
+                    return Err(self.err(*line, "this in a static context"));
+                }
+                self.m.aload(0);
+                Ok(Type::Class(self.class.name.clone()))
+            }
+            Expr::Var(name, line) => {
+                if let Some((idx, t)) = self.lookup_local(name) {
+                    self.load_local(idx, &t);
+                    return Ok(t);
+                }
+                let (decl, ty, is_static) = self
+                    .table
+                    .find_field(&self.class.name, name)
+                    .ok_or_else(|| self.err(*line, format!("unknown variable {name}")))?;
+                let desc = descriptor(self.table, &ty);
+                if is_static {
+                    self.m.getstatic(&decl, name, &desc);
+                } else {
+                    if self.is_static {
+                        return Err(
+                            self.err(*line, format!("instance field {name} in static context"))
+                        );
+                    }
+                    self.m.aload(0);
+                    self.m.getfield(&decl, name, &desc);
+                }
+                Ok(ty)
+            }
+            Expr::Field { target, name, line } => {
+                // array.length
+                if name == "length" {
+                    if let Ok(Type::Array(_)) = self.infer(target) {
+                        self.expr(target)?;
+                        self.m.arraylength();
+                        return Ok(Type::Int);
+                    }
+                }
+                // Static field via class name.
+                if let Expr::Var(cls, _) = target.as_ref() {
+                    if self.lookup_local(cls).is_none() && self.table.class(cls).is_some() {
+                        let (decl, ty, is_static) =
+                            self.table.find_field(cls, name).ok_or_else(|| {
+                                self.err(*line, format!("unknown field {cls}.{name}"))
+                            })?;
+                        if !is_static {
+                            return Err(self.err(*line, format!("{cls}.{name} is not static")));
+                        }
+                        let desc = descriptor(self.table, &ty);
+                        self.m.getstatic(&decl, name, &desc);
+                        return Ok(ty);
+                    }
+                }
+                let tt = self.expr(target)?;
+                let Type::Class(cname) = &tt else {
+                    return Err(self.err(*line, format!("no field {name} on {tt:?}")));
+                };
+                let (decl, ty, is_static) = self
+                    .table
+                    .find_field(cname, name)
+                    .ok_or_else(|| self.err(*line, format!("unknown field {cname}.{name}")))?;
+                if is_static {
+                    return Err(self.err(*line, "static field via instance".to_string()));
+                }
+                let desc = descriptor(self.table, &ty);
+                self.m.getfield(&decl, name, &desc);
+                Ok(ty)
+            }
+            Expr::Index { array, index, line } => {
+                let at = self.expr(array)?;
+                let Type::Array(elem) = at else {
+                    return Err(self.err(*line, format!("indexing non-array {at:?}")));
+                };
+                let it = self.expr(index)?;
+                self.coerce(&it, &Type::Int, *line)?;
+                self.array_load(&elem);
+                Ok(*elem)
+            }
+            Expr::New { class, args, line } => {
+                let bin = binary_name(self.table, class);
+                self.m.new_object(&bin);
+                self.m.dup();
+                if let Some(info) = self.table.class(class) {
+                    let arg_types = self.infer_args(args)?;
+                    let ctor = self.table.find_ctor(class, &arg_types).ok_or_else(|| {
+                        self.err(*line, format!("no matching constructor for {class}"))
+                    })?;
+                    for (a, want) in args.iter().zip(&ctor) {
+                        let t = self.expr(a)?;
+                        self.coerce(&t, want, *line)?;
+                    }
+                    let desc = method_descriptor(self.table, &ctor, &Type::Void);
+                    self.m.invokespecial(&info.name, "<init>", &desc);
+                } else {
+                    // Builtin constructible classes.
+                    match (class.as_str(), args.len()) {
+                        ("StringBuilder", 0) | ("Object", 0) | ("Thread", 0) => {
+                            self.m.invokespecial(&bin, "<init>", "()V");
+                        }
+                        ("String", 1) => {
+                            let t = self.expr(&args[0])?;
+                            let desc = match &t {
+                                Type::Array(e) if **e == Type::Byte => "([B)V",
+                                Type::Array(e) if **e == Type::Char => "([C)V",
+                                other => {
+                                    return Err(self.err(
+                                        *line,
+                                        format!(
+                                            "new String(...) takes byte[] or char[], got {other:?}"
+                                        ),
+                                    ))
+                                }
+                            };
+                            self.m.invokespecial(&bin, "<init>", desc);
+                            return Ok(Type::Str);
+                        }
+                        _ => {
+                            return Err(self.err(
+                                *line,
+                                format!("cannot construct {class} with {} args", args.len()),
+                            ))
+                        }
+                    }
+                }
+                Ok(Type::Class(class.clone()))
+            }
+            Expr::NewArray { ty, len, line } => {
+                let lt = self.expr(len)?;
+                self.coerce(&lt, &Type::Int, *line)?;
+                match ty {
+                    Type::Int => self.m.newarray(10),
+                    Type::Long => self.m.newarray(11),
+                    Type::Double => self.m.newarray(7),
+                    Type::Char => self.m.newarray(5),
+                    Type::Byte => self.m.newarray(8),
+                    Type::Boolean => self.m.newarray(4),
+                    Type::Str => self.m.anewarray("java/lang/String"),
+                    Type::Class(c) => {
+                        let bin = binary_name(self.table, c);
+                        self.m.anewarray(&bin);
+                    }
+                    other => {
+                        return Err(self.err(*line, format!("cannot allocate array of {other:?}")))
+                    }
+                }
+                Ok(Type::Array(Box::new(ty.clone())))
+            }
+            Expr::Unary { op, e, line } => match op {
+                UnOp::Neg => {
+                    let t = self.expr(e)?;
+                    match t {
+                        Type::Int | Type::Char | Type::Byte => {
+                            self.m.ineg();
+                            Ok(Type::Int)
+                        }
+                        Type::Long => {
+                            self.m.simple(op::LNEG);
+                            Ok(Type::Long)
+                        }
+                        Type::Double => {
+                            self.m.simple(op::DNEG);
+                            Ok(Type::Double)
+                        }
+                        other => Err(self.err(*line, format!("cannot negate {other:?}"))),
+                    }
+                }
+                UnOp::Not => {
+                    let t = self.expr(e)?;
+                    if t != Type::Boolean {
+                        return Err(self.err(*line, format!("! on {t:?}")));
+                    }
+                    self.m.ldc_int(1);
+                    self.m.simple(op::IXOR);
+                    Ok(Type::Boolean)
+                }
+            },
+            Expr::Binary { op, l, r, line } => self.binary(*op, l, r, *line),
+            Expr::Call { .. } => self.call(e),
+            Expr::Cast { ty, e, line } => {
+                let from = self.expr(e)?;
+                self.primitive_cast(&from, ty, *line)?;
+                Ok(ty.clone())
+            }
+            Expr::Assign { line, .. } | Expr::IncDec { line, .. } => Err(self.err(
+                *line,
+                "assignment is a statement in MiniJava, not an expression",
+            )),
+        }
+    }
+
+    fn primitive_cast(&mut self, from: &Type, to: &Type, line: u32) -> Result<(), CompileError> {
+        use Type::*;
+        let e = |g: &Gen<'_>| g.err(line, format!("cannot cast {from:?} to {to:?}"));
+        // Normalize the source to int/long/double category first.
+        match (from, to) {
+            (a, b) if a == b => {}
+            (Int | Char | Byte | Boolean, Int) => {}
+            (Int | Char | Byte, Long) => self.m.simple(op::I2L),
+            (Int | Char | Byte, Double) => self.m.simple(op::I2D),
+            (Int | Byte, Char) => self.m.simple(op::I2C),
+            (Int | Char, Byte) => self.m.simple(op::I2B),
+            (Long, Int) => self.m.simple(op::L2I),
+            (Long, Double) => self.m.simple(op::L2D),
+            (Long, Char) => {
+                self.m.simple(op::L2I);
+                self.m.simple(op::I2C);
+            }
+            (Long, Byte) => {
+                self.m.simple(op::L2I);
+                self.m.simple(op::I2B);
+            }
+            (Double, Int) => self.m.simple(op::D2I),
+            (Double, Long) => self.m.simple(op::D2L),
+            (Double, Char) => {
+                self.m.simple(op::D2I);
+                self.m.simple(op::I2C);
+            }
+            _ => return Err(e(self)),
+        }
+        Ok(())
+    }
+
+    fn binary(&mut self, bop: BinOp, l: &Expr, r: &Expr, line: u32) -> Result<Type, CompileError> {
+        use BinOp::*;
+        match bop {
+            LAnd | LOr => {
+                // Short circuit, producing a boolean value.
+                let short = self.m.new_label();
+                let end = self.m.new_label();
+                let lt = self.expr(l)?;
+                if lt != Type::Boolean {
+                    return Err(self.err(line, format!("&&/|| on {lt:?}")));
+                }
+                let branch_op = if bop == LAnd { op::IFEQ } else { op::IFNE };
+                self.m.branch(branch_op, short);
+                let rt = self.expr(r)?;
+                if rt != Type::Boolean {
+                    return Err(self.err(line, format!("&&/|| on {rt:?}")));
+                }
+                self.m.goto_(end);
+                self.m.bind(short);
+                self.m.ldc_int(i32::from(bop == LOr));
+                self.m.bind(end);
+                Ok(Type::Boolean)
+            }
+            Add => {
+                let lt = self.infer(l)?;
+                let rt = self.infer(r)?;
+                if lt == Type::Str || rt == Type::Str {
+                    return self.concat(l, r);
+                }
+                self.arith(bop, l, r, line)
+            }
+            Sub | Mul | Div | Rem | And | Or | Xor => self.arith(bop, l, r, line),
+            Shl | Shr | Ushr => {
+                let lt = self.expr(l)?;
+                let result = self.promote_shift(&lt);
+                if lt != result {
+                    self.coerce(&lt, &result, line)?;
+                }
+                let rt = self.expr(r)?;
+                // Shift distance is always int.
+                if rt == Type::Long {
+                    self.m.simple(op::L2I);
+                } else if !matches!(rt, Type::Int | Type::Char | Type::Byte) {
+                    return Err(self.err(line, format!("shift distance is {rt:?}")));
+                }
+                let code = match (bop, &result) {
+                    (Shl, Type::Int) => op::ISHL,
+                    (Shr, Type::Int) => op::ISHR,
+                    (Ushr, Type::Int) => op::IUSHR,
+                    (Shl, _) => op::LSHL,
+                    (Shr, _) => op::LSHR,
+                    (Ushr, _) => op::LUSHR,
+                    _ => unreachable!(),
+                };
+                self.m.simple(code);
+                Ok(result)
+            }
+            Lt | Le | Gt | Ge | Eq | Ne => self.comparison(bop, l, r, line),
+        }
+    }
+
+    fn arith(&mut self, bop: BinOp, l: &Expr, r: &Expr, line: u32) -> Result<Type, CompileError> {
+        use BinOp::*;
+        let lt0 = self.infer(l)?;
+        let rt0 = self.infer(r)?;
+        let result = self.promoted(&lt0, &rt0, line)?;
+        let lt = self.expr(l)?;
+        self.coerce(&lt, &result, line).or_else(|_| {
+            if lt == result {
+                Ok(())
+            } else {
+                Err(self.err(line, format!("operand {lt:?} vs {result:?}")))
+            }
+        })?;
+        let rt = self.expr(r)?;
+        self.coerce(&rt, &result, line).or_else(|_| {
+            if rt == result {
+                Ok(())
+            } else {
+                Err(self.err(line, format!("operand {rt:?} vs {result:?}")))
+            }
+        })?;
+        let code = match (&result, bop) {
+            (Type::Int | Type::Boolean, Add) => op::IADD,
+            (Type::Int | Type::Boolean, Sub) => op::ISUB,
+            (Type::Int | Type::Boolean, Mul) => op::IMUL,
+            (Type::Int | Type::Boolean, Div) => op::IDIV,
+            (Type::Int | Type::Boolean, Rem) => op::IREM,
+            (Type::Int | Type::Boolean, And) => op::IAND,
+            (Type::Int | Type::Boolean, Or) => op::IOR,
+            (Type::Int | Type::Boolean, Xor) => op::IXOR,
+            (Type::Long, Add) => op::LADD,
+            (Type::Long, Sub) => op::LSUB,
+            (Type::Long, Mul) => op::LMUL,
+            (Type::Long, Div) => op::LDIV,
+            (Type::Long, Rem) => op::LREM,
+            (Type::Long, And) => op::LAND,
+            (Type::Long, Or) => op::LOR,
+            (Type::Long, Xor) => op::LXOR,
+            (Type::Double, Add) => op::DADD,
+            (Type::Double, Sub) => op::DSUB,
+            (Type::Double, Mul) => op::DMUL,
+            (Type::Double, Div) => op::DDIV,
+            (Type::Double, Rem) => op::DREM,
+            _ => {
+                return Err(self.err(
+                    line,
+                    format!("operator {bop:?} not applicable to {result:?}"),
+                ))
+            }
+        };
+        self.m.simple(code);
+        Ok(if result == Type::Boolean {
+            Type::Boolean
+        } else {
+            result
+        })
+    }
+
+    fn comparison(
+        &mut self,
+        bop: BinOp,
+        l: &Expr,
+        r: &Expr,
+        line: u32,
+    ) -> Result<Type, CompileError> {
+        use BinOp::*;
+        let lt0 = self.infer(l)?;
+        let rt0 = self.infer(r)?;
+        let truel = self.m.new_label();
+        let end = self.m.new_label();
+        if lt0.is_reference() || rt0.is_reference() || lt0 == Type::Null || rt0 == Type::Null {
+            if !matches!(bop, Eq | Ne) {
+                return Err(self.err(line, "ordering comparison on references".to_string()));
+            }
+            self.expr(l)?;
+            self.expr(r)?;
+            let code = if bop == Eq {
+                op::IF_ACMPEQ
+            } else {
+                op::IF_ACMPNE
+            };
+            self.m.branch(code, truel);
+        } else if lt0 == Type::Boolean && rt0 == Type::Boolean {
+            if !matches!(bop, Eq | Ne) {
+                return Err(self.err(line, "ordering comparison on booleans".to_string()));
+            }
+            self.expr(l)?;
+            self.expr(r)?;
+            let code = if bop == Eq {
+                op::IF_ICMPEQ
+            } else {
+                op::IF_ICMPNE
+            };
+            self.m.branch(code, truel);
+        } else {
+            let prom = self.promoted(&lt0, &rt0, line)?;
+            let lt = self.expr(l)?;
+            self.coerce(&lt, &prom, line).ok();
+            let rt = self.expr(r)?;
+            self.coerce(&rt, &prom, line).ok();
+            match prom {
+                Type::Long => {
+                    self.m.simple(op::LCMP);
+                    self.m.branch(zero_branch(bop), truel);
+                }
+                Type::Double => {
+                    self.m.simple(op::DCMPL);
+                    self.m.branch(zero_branch(bop), truel);
+                }
+                _ => {
+                    self.m.branch(icmp_branch(bop), truel);
+                }
+            }
+        }
+        self.m.ldc_int(0);
+        self.m.goto_(end);
+        self.m.bind(truel);
+        self.m.ldc_int(1);
+        self.m.bind(end);
+        Ok(Type::Boolean)
+    }
+
+    fn concat(&mut self, l: &Expr, r: &Expr) -> Result<Type, CompileError> {
+        const SB: &str = "java/lang/StringBuilder";
+        self.m.new_object(SB);
+        self.m.dup();
+        self.m.invokespecial(SB, "<init>", "()V");
+        for side in [l, r] {
+            let t = self.expr(side)?;
+            let desc = match t {
+                Type::Str => "(Ljava/lang/String;)Ljava/lang/StringBuilder;",
+                Type::Int | Type::Byte => "(I)Ljava/lang/StringBuilder;",
+                Type::Char => "(C)Ljava/lang/StringBuilder;",
+                Type::Boolean => "(Z)Ljava/lang/StringBuilder;",
+                Type::Long => "(J)Ljava/lang/StringBuilder;",
+                Type::Double => "(D)Ljava/lang/StringBuilder;",
+                _ => "(Ljava/lang/Object;)Ljava/lang/StringBuilder;",
+            };
+            self.m.invokevirtual(SB, "append", desc);
+        }
+        self.m.invokevirtual(SB, "toString", "()Ljava/lang/String;");
+        Ok(Type::Str)
+    }
+
+    fn infer_args(&self, args: &[Expr]) -> Result<Vec<Type>, CompileError> {
+        args.iter().map(|a| self.infer(a)).collect()
+    }
+
+    fn infer_call(&self, e: &Expr) -> Result<Type, CompileError> {
+        let Expr::Call {
+            target,
+            name,
+            args,
+            line,
+        } = e
+        else {
+            unreachable!()
+        };
+        let arg_types = self.infer_args(args)?;
+        // System.out.println / print
+        if let Some(t) = target {
+            if is_system_out(t) {
+                return Ok(Type::Void);
+            }
+            if let Expr::Var(cls, _) = t.as_ref() {
+                if self.lookup_local(cls).is_none() && self.table.is_class_name(cls) {
+                    if let Some((_, sig)) = self.table.find_method(cls, name, &arg_types) {
+                        return Ok(sig.ret);
+                    }
+                    if let Some((_, _, _, ret)) = builtin_static(cls, name, &arg_types) {
+                        return Ok(ret);
+                    }
+                    return Err(self.err(*line, format!("unknown method {cls}.{name}")));
+                }
+            }
+            let tt = self.infer(t)?;
+            return self.infer_instance_call(&tt, name, &arg_types, *line);
+        }
+        if let Some((_, sig)) = self.table.find_method(&self.class.name, name, &arg_types) {
+            return Ok(sig.ret);
+        }
+        Err(self.err(*line, format!("unknown method {name}")))
+    }
+
+    fn infer_instance_call(
+        &self,
+        recv: &Type,
+        name: &str,
+        args: &[Type],
+        line: u32,
+    ) -> Result<Type, CompileError> {
+        match recv {
+            Type::Str => builtin_string_method(name, args)
+                .map(|(_, _, ret)| ret)
+                .ok_or_else(|| self.err(line, format!("unknown String method {name}"))),
+            Type::Class(c) => {
+                if let Some((_, sig)) = self.table.find_method(c, name, args) {
+                    return Ok(sig.ret);
+                }
+                if let Some((_, _, ret)) = builtin_instance(self.table, c, name, args) {
+                    return Ok(ret);
+                }
+                Err(self.err(line, format!("unknown method {c}.{name}")))
+            }
+            other => Err(self.err(line, format!("no method {name} on {other:?}"))),
+        }
+    }
+
+    fn call(&mut self, e: &Expr) -> Result<Type, CompileError> {
+        let Expr::Call {
+            target,
+            name,
+            args,
+            line,
+        } = e
+        else {
+            unreachable!()
+        };
+        let line = *line;
+        let arg_types = self.infer_args(args)?;
+
+        if let Some(t) = target {
+            // System.out.println(x) and friends.
+            if is_system_out(t) {
+                return self.system_out_call(t, name, args, line);
+            }
+            // Static call via class name.
+            if let Expr::Var(cls, _) = t.as_ref() {
+                if self.lookup_local(cls).is_none() && self.table.is_class_name(cls) {
+                    // User static method.
+                    if let Some((decl, sig)) = self.table.find_method(cls, name, &arg_types) {
+                        if !sig.is_static {
+                            return Err(self.err(line, format!("{cls}.{name} is not static")));
+                        }
+                        self.emit_args(args, &sig.params, line)?;
+                        let desc = method_descriptor(self.table, &sig.params, &sig.ret);
+                        self.m.invokestatic(&decl, name, &desc);
+                        return Ok(sig.ret);
+                    }
+                    // Builtin static.
+                    if let Some((bin, desc, params, ret)) = builtin_static(cls, name, &arg_types) {
+                        self.emit_args(args, &params, line)?;
+                        self.m.invokestatic(&bin, name, &desc);
+                        return Ok(ret);
+                    }
+                    return Err(self.err(line, format!("unknown method {cls}.{name}")));
+                }
+            }
+            // Instance call.
+            let tt = self.expr(t)?;
+            return self.instance_call(&tt, name, args, &arg_types, line);
+        }
+
+        // Unqualified call: method of the current class.
+        let (decl, sig) = self
+            .table
+            .find_method(&self.class.name, name, &arg_types)
+            .ok_or_else(|| self.err(line, format!("unknown method {name}")))?;
+        if sig.is_static {
+            self.emit_args(args, &sig.params, line)?;
+            let desc = method_descriptor(self.table, &sig.params, &sig.ret);
+            self.m.invokestatic(&decl, name, &desc);
+        } else {
+            if self.is_static {
+                return Err(self.err(line, format!("instance method {name} in static context")));
+            }
+            self.m.aload(0);
+            self.emit_args(args, &sig.params, line)?;
+            let desc = method_descriptor(self.table, &sig.params, &sig.ret);
+            self.m.invokevirtual(&decl, name, &desc);
+        }
+        Ok(sig.ret)
+    }
+
+    fn emit_args(&mut self, args: &[Expr], params: &[Type], line: u32) -> Result<(), CompileError> {
+        if args.len() != params.len() {
+            return Err(self.err(line, "argument count mismatch".to_string()));
+        }
+        for (a, p) in args.iter().zip(params) {
+            let t = self.expr(a)?;
+            self.coerce(&t, p, line)?;
+        }
+        Ok(())
+    }
+
+    fn system_out_call(
+        &mut self,
+        target: &Expr,
+        name: &str,
+        args: &[Expr],
+        line: u32,
+    ) -> Result<Type, CompileError> {
+        let Expr::Field { name: stream, .. } = target else {
+            unreachable!()
+        };
+        if name != "println" && name != "print" {
+            return Err(self.err(line, format!("unknown PrintStream method {name}")));
+        }
+        self.m
+            .getstatic("java/lang/System", stream, "Ljava/io/PrintStream;");
+        let desc = match args.len() {
+            0 => {
+                if name != "println" {
+                    return Err(self.err(line, "print() needs an argument".to_string()));
+                }
+                "()V".to_string()
+            }
+            1 => {
+                let t = self.expr(&args[0])?;
+                match t {
+                    Type::Str => "(Ljava/lang/String;)V",
+                    Type::Int | Type::Byte => "(I)V",
+                    Type::Char => "(C)V",
+                    Type::Boolean => "(Z)V",
+                    Type::Long => "(J)V",
+                    Type::Double => "(D)V",
+                    _ => "(Ljava/lang/Object;)V",
+                }
+                .to_string()
+            }
+            _ => return Err(self.err(line, "too many arguments".to_string())),
+        };
+        self.m.invokevirtual("java/io/PrintStream", name, &desc);
+        Ok(Type::Void)
+    }
+
+    fn instance_call(
+        &mut self,
+        recv: &Type,
+        name: &str,
+        args: &[Expr],
+        arg_types: &[Type],
+        line: u32,
+    ) -> Result<Type, CompileError> {
+        match recv {
+            Type::Str => {
+                let (desc, params, ret) = builtin_string_method(name, arg_types)
+                    .ok_or_else(|| self.err(line, format!("unknown String method {name}")))?;
+                self.emit_args(args, &params, line)?;
+                self.m.invokevirtual("java/lang/String", name, &desc);
+                Ok(ret)
+            }
+            Type::Class(c) => {
+                // User method (walking the chain).
+                if let Some((decl, sig)) = self.table.find_method(c, name, arg_types) {
+                    if sig.is_static {
+                        return Err(self.err(line, format!("static method {name} via instance")));
+                    }
+                    self.emit_args(args, &sig.params, line)?;
+                    let desc = method_descriptor(self.table, &sig.params, &sig.ret);
+                    self.m.invokevirtual(&decl, name, &desc);
+                    return Ok(sig.ret);
+                }
+                // Builtin instance methods (Object/Thread/StringBuilder).
+                if let Some((bin_and_desc, params, ret)) =
+                    builtin_instance(self.table, c, name, arg_types)
+                {
+                    self.emit_args(args, &params, line)?;
+                    let (bin, desc) = bin_and_desc;
+                    self.m.invokevirtual(&bin, name, &desc);
+                    return Ok(ret);
+                }
+                Err(self.err(line, format!("unknown method {c}.{name}")))
+            }
+            other => Err(self.err(line, format!("no method {name} on {other:?}"))),
+        }
+    }
+}
+
+fn is_system_out(e: &Expr) -> bool {
+    matches!(e, Expr::Field { target, name, .. }
+        if matches!(target.as_ref(), Expr::Var(v, _) if v == "System")
+            && (name == "out" || name == "err"))
+}
+
+fn icmp_branch(bop: BinOp) -> u8 {
+    match bop {
+        BinOp::Lt => op::IF_ICMPLT,
+        BinOp::Le => op::IF_ICMPLE,
+        BinOp::Gt => op::IF_ICMPGT,
+        BinOp::Ge => op::IF_ICMPGE,
+        BinOp::Eq => op::IF_ICMPEQ,
+        _ => op::IF_ICMPNE,
+    }
+}
+
+fn zero_branch(bop: BinOp) -> u8 {
+    match bop {
+        BinOp::Lt => op::IFLT,
+        BinOp::Le => op::IFLE,
+        BinOp::Gt => op::IFGT,
+        BinOp::Ge => op::IFGE,
+        BinOp::Eq => op::IFEQ,
+        _ => op::IFNE,
+    }
+}
+
+/// Built-in static methods: `(binary class, descriptor, params, ret)`.
+fn builtin_static(
+    cls: &str,
+    name: &str,
+    args: &[Type],
+) -> Option<(String, String, Vec<Type>, Type)> {
+    use Type::*;
+    let numeric = |t: &Type| -> Type {
+        match t {
+            Double => Double,
+            Long => Long,
+            _ => Int,
+        }
+    };
+    let r = |bin: &str, desc: &str, params: Vec<Type>, ret: Type| {
+        Some((bin.to_string(), desc.to_string(), params, ret))
+    };
+    match (cls, name) {
+        ("Math", "sqrt") => r("java/lang/Math", "(D)D", vec![Double], Double),
+        ("Math", "floor") => r("java/lang/Math", "(D)D", vec![Double], Double),
+        ("Math", "ceil") => r("java/lang/Math", "(D)D", vec![Double], Double),
+        ("Math", "log") => r("java/lang/Math", "(D)D", vec![Double], Double),
+        ("Math", "sin") => r("java/lang/Math", "(D)D", vec![Double], Double),
+        ("Math", "cos") => r("java/lang/Math", "(D)D", vec![Double], Double),
+        ("Math", "pow") => r("java/lang/Math", "(DD)D", vec![Double, Double], Double),
+        ("Math", "random") => r("java/lang/Math", "()D", vec![], Double),
+        ("Math", "abs") => {
+            let t = numeric(args.first()?);
+            let d = match t {
+                Double => "(D)D",
+                Long => "(J)J",
+                _ => "(I)I",
+            };
+            r("java/lang/Math", d, vec![t.clone()], t)
+        }
+        ("Math", "max") | ("Math", "min") => {
+            let t = match (numeric(args.first()?), numeric(args.get(1)?)) {
+                (Double, _) | (_, Double) => Double,
+                (Long, _) | (_, Long) => Long,
+                _ => Int,
+            };
+            let d = match t {
+                Double => "(DD)D",
+                Long => "(JJ)J",
+                _ => "(II)I",
+            };
+            r("java/lang/Math", d, vec![t.clone(), t.clone()], t)
+        }
+        ("Integer", "parseInt") => r("java/lang/Integer", "(Ljava/lang/String;)I", vec![Str], Int),
+        ("Integer", "toString") => r("java/lang/Integer", "(I)Ljava/lang/String;", vec![Int], Str),
+        ("Integer", "toHexString") => {
+            r("java/lang/Integer", "(I)Ljava/lang/String;", vec![Int], Str)
+        }
+        ("Long", "parseLong") => r("java/lang/Long", "(Ljava/lang/String;)J", vec![Str], Long),
+        ("Long", "toString") => r("java/lang/Long", "(J)Ljava/lang/String;", vec![Long], Str),
+        ("Double", "parseDouble") => r(
+            "java/lang/Double",
+            "(Ljava/lang/String;)D",
+            vec![Str],
+            Double,
+        ),
+        ("Double", "toString") => r(
+            "java/lang/Double",
+            "(D)Ljava/lang/String;",
+            vec![Double],
+            Str,
+        ),
+        ("String", "valueOf") => {
+            let t = args.first()?;
+            let (d, p) = match t {
+                Int | Byte => ("(I)Ljava/lang/String;", Int),
+                Char => ("(C)Ljava/lang/String;", Char),
+                Boolean => ("(Z)Ljava/lang/String;", Boolean),
+                Long => ("(J)Ljava/lang/String;", Long),
+                Double => ("(D)Ljava/lang/String;", Double),
+                _ => return None,
+            };
+            r("java/lang/String", d, vec![p], Str)
+        }
+        ("System", "currentTimeMillis") => r("java/lang/System", "()J", vec![], Long),
+        ("System", "nanoTime") => r("java/lang/System", "()J", vec![], Long),
+        ("System", "exit") => r("java/lang/System", "(I)V", vec![Int], Void),
+        ("System", "arraycopy") => {
+            let arr = args.first()?.clone();
+            r(
+                "java/lang/System",
+                "(Ljava/lang/Object;ILjava/lang/Object;II)V",
+                vec![arr.clone(), Int, arr, Int, Int],
+                Void,
+            )
+        }
+        ("Thread", "sleep") => r("java/lang/Thread", "(J)V", vec![Long], Void),
+        ("Thread", "yield") => r("java/lang/Thread", "()V", vec![], Void),
+        ("Thread", "currentThread") => r(
+            "java/lang/Thread",
+            "()Ljava/lang/Thread;",
+            vec![],
+            Class("Thread".into()),
+        ),
+        ("Console", "readLine") => r(
+            "doppio/runtime/Console",
+            "()Ljava/lang/String;",
+            vec![],
+            Str,
+        ),
+        ("Console", "readByte") => r("doppio/runtime/Console", "()I", vec![], Int),
+        ("FileSystem", "readFileBytes") => r(
+            "doppio/runtime/FileSystem",
+            "(Ljava/lang/String;)[B",
+            vec![Str],
+            Array(Box::new(Byte)),
+        ),
+        ("FileSystem", "writeFileBytes") => r(
+            "doppio/runtime/FileSystem",
+            "(Ljava/lang/String;[B)V",
+            vec![Str, Array(Box::new(Byte))],
+            Void,
+        ),
+        ("FileSystem", "listDir") => r(
+            "doppio/runtime/FileSystem",
+            "(Ljava/lang/String;)[Ljava/lang/String;",
+            vec![Str],
+            Array(Box::new(Str)),
+        ),
+        ("FileSystem", "exists") => r(
+            "doppio/runtime/FileSystem",
+            "(Ljava/lang/String;)Z",
+            vec![Str],
+            Boolean,
+        ),
+        ("FileSystem", "fileSize") => r(
+            "doppio/runtime/FileSystem",
+            "(Ljava/lang/String;)I",
+            vec![Str],
+            Int,
+        ),
+        ("FileSystem", "mkdir") => r(
+            "doppio/runtime/FileSystem",
+            "(Ljava/lang/String;)V",
+            vec![Str],
+            Void,
+        ),
+        ("FileSystem", "unlink") => r(
+            "doppio/runtime/FileSystem",
+            "(Ljava/lang/String;)V",
+            vec![Str],
+            Void,
+        ),
+        ("JS", "eval") => r(
+            "doppio/runtime/JS",
+            "(Ljava/lang/String;)Ljava/lang/String;",
+            vec![Str],
+            Str,
+        ),
+        ("Socket", "connect") => r(
+            "doppio/net/Socket",
+            "(Ljava/lang/String;I)I",
+            vec![Str, Int],
+            Int,
+        ),
+        ("Socket", "write") => r(
+            "doppio/net/Socket",
+            "(I[B)V",
+            vec![Int, Array(Box::new(Byte))],
+            Void,
+        ),
+        ("Socket", "available") => r("doppio/net/Socket", "(I)I", vec![Int], Int),
+        ("Socket", "read") => r(
+            "doppio/net/Socket",
+            "(II)[B",
+            vec![Int, Int],
+            Array(Box::new(Byte)),
+        ),
+        ("Socket", "close") => r("doppio/net/Socket", "(I)V", vec![Int], Void),
+        _ => None,
+    }
+}
+
+/// Built-in `String` instance methods: `(descriptor, params, ret)`.
+fn builtin_string_method(name: &str, args: &[Type]) -> Option<(String, Vec<Type>, Type)> {
+    use Type::*;
+    let r = |d: &str, p: Vec<Type>, ret: Type| Some((d.to_string(), p, ret));
+    match (name, args.len()) {
+        ("length", 0) => r("()I", vec![], Int),
+        ("hashCode", 0) => r("()I", vec![], Int),
+        ("charAt", 1) => r("(I)C", vec![Int], Char),
+        ("equals", 1) => r("(Ljava/lang/Object;)Z", vec![args[0].clone()], Boolean),
+        ("compareTo", 1) => r("(Ljava/lang/String;)I", vec![Str], Int),
+        ("concat", 1) => r("(Ljava/lang/String;)Ljava/lang/String;", vec![Str], Str),
+        ("substring", 1) => r("(I)Ljava/lang/String;", vec![Int], Str),
+        ("substring", 2) => r("(II)Ljava/lang/String;", vec![Int, Int], Str),
+        ("startsWith", 1) => r("(Ljava/lang/String;)Z", vec![Str], Boolean),
+        ("indexOf", 1) => match args[0] {
+            Str => r("(Ljava/lang/String;)I", vec![Str], Int),
+            _ => r("(I)I", vec![Int], Int),
+        },
+        ("toCharArray", 0) => r("()[C", vec![], Array(Box::new(Char))),
+        ("getBytes", 0) => r("()[B", vec![], Array(Box::new(Byte))),
+        ("intern", 0) => r("()Ljava/lang/String;", vec![], Str),
+        ("toString", 0) => r("()Ljava/lang/String;", vec![], Str),
+        _ => None,
+    }
+}
+
+/// Built-in instance methods on class types: `((binary class,
+/// descriptor), params, ret)`.
+fn builtin_instance(
+    table: &ClassTable,
+    cls: &str,
+    name: &str,
+    args: &[Type],
+) -> Option<((String, String), Vec<Type>, Type)> {
+    use Type::*;
+    let r = |bin: &str, d: &str, p: Vec<Type>, ret: Type| {
+        Some(((bin.to_string(), d.to_string()), p, ret))
+    };
+    // Thread methods, available on Thread and its user subclasses.
+    let is_threadish = cls == "Thread"
+        || table.is_subclass(cls, "Thread")
+        || table
+            .class(cls)
+            .map(|_| {
+                // user class whose chain ends in "Thread"
+                let mut cur = Some(cls.to_string());
+                while let Some(c) = cur {
+                    match table.class(&c) {
+                        Some(i) => cur = i.super_name.clone(),
+                        None => return c == "Thread",
+                    }
+                }
+                false
+            })
+            .unwrap_or(false);
+    if is_threadish {
+        match (name, args.len()) {
+            ("start", 0) => return r("java/lang/Thread", "()V", vec![], Void),
+            ("join", 0) => return r("java/lang/Thread", "()V", vec![], Void),
+            ("isAlive", 0) => return r("java/lang/Thread", "()Z", vec![], Boolean),
+            ("run", 0) => return r("java/lang/Thread", "()V", vec![], Void),
+            _ => {}
+        }
+    }
+    if cls == "StringBuilder" {
+        match (name, args.first()) {
+            ("toString", None) => {
+                return r(
+                    "java/lang/StringBuilder",
+                    "()Ljava/lang/String;",
+                    vec![],
+                    Str,
+                )
+            }
+            ("length", None) => return r("java/lang/StringBuilder", "()I", vec![], Int),
+            ("append", Some(t)) => {
+                let sb = Class("StringBuilder".into());
+                let (d, p) = match t {
+                    Str => ("(Ljava/lang/String;)Ljava/lang/StringBuilder;", Str),
+                    Int | Byte => ("(I)Ljava/lang/StringBuilder;", Int),
+                    Char => ("(C)Ljava/lang/StringBuilder;", Char),
+                    Boolean => ("(Z)Ljava/lang/StringBuilder;", Boolean),
+                    Long => ("(J)Ljava/lang/StringBuilder;", Long),
+                    Double => ("(D)Ljava/lang/StringBuilder;", Double),
+                    other => (
+                        "(Ljava/lang/Object;)Ljava/lang/StringBuilder;",
+                        other.clone(),
+                    ),
+                };
+                return r("java/lang/StringBuilder", d, vec![p], sb);
+            }
+            _ => {}
+        }
+    }
+    // Object methods, on any class type.
+    match (name, args.len()) {
+        ("hashCode", 0) => r("java/lang/Object", "()I", vec![], Int),
+        ("toString", 0) => r("java/lang/Object", "()Ljava/lang/String;", vec![], Str),
+        ("equals", 1) => r(
+            "java/lang/Object",
+            "(Ljava/lang/Object;)Z",
+            vec![args[0].clone()],
+            Boolean,
+        ),
+        ("wait", 0) => r("java/lang/Object", "()V", vec![], Void),
+        ("notify", 0) => r("java/lang/Object", "()V", vec![], Void),
+        ("notifyAll", 0) => r("java/lang/Object", "()V", vec![], Void),
+        _ => None,
+    }
+}

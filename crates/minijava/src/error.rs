@@ -1,0 +1,83 @@
+//! Compiler errors.
+
+use std::fmt;
+
+/// Compilation phase that produced the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Lexing.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Type checking / resolution.
+    Check,
+    /// Code generation.
+    Codegen,
+}
+
+/// A MiniJava compilation error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    /// The phase.
+    pub phase: Phase,
+    /// 1-based source line (0 = unknown).
+    pub line: u32,
+    /// Message.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Lexer error.
+    pub fn lex(line: u32, message: String) -> CompileError {
+        CompileError {
+            phase: Phase::Lex,
+            line,
+            message,
+        }
+    }
+
+    /// Parser error.
+    pub fn parse(line: u32, message: String) -> CompileError {
+        CompileError {
+            phase: Phase::Parse,
+            line,
+            message,
+        }
+    }
+
+    /// Type/resolution error.
+    pub fn check(line: u32, message: String) -> CompileError {
+        CompileError {
+            phase: Phase::Check,
+            line,
+            message,
+        }
+    }
+
+    /// Code generation error.
+    pub fn codegen(line: u32, message: String) -> CompileError {
+        CompileError {
+            phase: Phase::Codegen,
+            line,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Check => "type",
+            Phase::Codegen => "codegen",
+        };
+        if self.line > 0 {
+            write!(f, "{phase} error at line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{phase} error: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}

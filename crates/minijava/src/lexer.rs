@@ -1,0 +1,310 @@
+//! The MiniJava lexer.
+
+use crate::error::CompileError;
+use crate::token::{Spanned, Tok};
+
+/// Tokenize MiniJava source.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let err = |line: u32, msg: String| CompileError::lex(line, msg);
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= bytes.len() {
+                    return Err(err(line, "unterminated block comment".into()));
+                }
+                i += 2;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                let mut hex = false;
+                if c == '0' && matches!(bytes.get(i + 1), Some('x') | Some('X')) {
+                    hex = true;
+                    i += 2;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    if i < bytes.len()
+                        && bytes[i] == '.'
+                        && bytes.get(i + 1).is_some_and(char::is_ascii_digit)
+                    {
+                        is_float = true;
+                        i += 1;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                    if matches!(bytes.get(i), Some('e') | Some('E')) {
+                        is_float = true;
+                        i += 1;
+                        if matches!(bytes.get(i), Some('+') | Some('-')) {
+                            i += 1;
+                        }
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| err(line, format!("bad double literal {text}")))?;
+                    out.push(Spanned {
+                        tok: Tok::Double(v),
+                        line,
+                    });
+                } else {
+                    let v = if hex {
+                        i64::from_str_radix(&text[2..], 16)
+                    } else {
+                        text.parse()
+                    }
+                    .map_err(|_| err(line, format!("bad integer literal {text}")))?;
+                    if matches!(bytes.get(i), Some('L') | Some('l')) {
+                        i += 1;
+                        out.push(Spanned {
+                            tok: Tok::Long(v),
+                            line,
+                        });
+                    } else {
+                        out.push(Spanned {
+                            tok: Tok::Int(v),
+                            line,
+                        });
+                    }
+                }
+            }
+            c if c.is_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '$')
+                {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                out.push(Spanned {
+                    tok: Tok::Ident(text),
+                    line,
+                });
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None | Some('\n') => {
+                            return Err(err(line, "unterminated string literal".into()))
+                        }
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            i += 1;
+                            let esc = bytes
+                                .get(i)
+                                .ok_or_else(|| err(line, "dangling escape".into()))?;
+                            s.push(unescape(*esc, line)?);
+                            i += 1;
+                        }
+                        Some(c2) => {
+                            s.push(*c2);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line,
+                });
+            }
+            '\'' => {
+                i += 1;
+                let c2 = *bytes
+                    .get(i)
+                    .ok_or_else(|| err(line, "unterminated char literal".into()))?;
+                let value = if c2 == '\\' {
+                    i += 1;
+                    let esc = bytes
+                        .get(i)
+                        .ok_or_else(|| err(line, "dangling escape".into()))?;
+                    unescape(*esc, line)?
+                } else {
+                    c2
+                };
+                i += 1;
+                if bytes.get(i) != Some(&'\'') {
+                    return Err(err(line, "unterminated char literal".into()));
+                }
+                i += 1;
+                out.push(Spanned {
+                    tok: Tok::Char(value),
+                    line,
+                });
+            }
+            _ => {
+                let two: String = bytes[i..bytes.len().min(i + 2)].iter().collect();
+                let three: String = bytes[i..bytes.len().min(i + 3)].iter().collect();
+                let (tok, width) = if three == ">>>" {
+                    (Tok::Ushr, 3)
+                } else {
+                    match two.as_str() {
+                        "<=" => (Tok::Le, 2),
+                        ">=" => (Tok::Ge, 2),
+                        "==" => (Tok::EqEq, 2),
+                        "!=" => (Tok::Ne, 2),
+                        "&&" => (Tok::AndAnd, 2),
+                        "||" => (Tok::OrOr, 2),
+                        "<<" => (Tok::Shl, 2),
+                        ">>" => (Tok::Shr, 2),
+                        "++" => (Tok::PlusPlus, 2),
+                        "--" => (Tok::MinusMinus, 2),
+                        "+=" => (Tok::PlusAssign, 2),
+                        "-=" => (Tok::MinusAssign, 2),
+                        "*=" => (Tok::StarAssign, 2),
+                        _ => {
+                            let t = match c {
+                                '(' => Tok::LParen,
+                                ')' => Tok::RParen,
+                                '{' => Tok::LBrace,
+                                '}' => Tok::RBrace,
+                                '[' => Tok::LBracket,
+                                ']' => Tok::RBracket,
+                                ';' => Tok::Semi,
+                                ',' => Tok::Comma,
+                                '.' => Tok::Dot,
+                                '=' => Tok::Assign,
+                                '+' => Tok::Plus,
+                                '-' => Tok::Minus,
+                                '*' => Tok::Star,
+                                '/' => Tok::Slash,
+                                '%' => Tok::Percent,
+                                '!' => Tok::Bang,
+                                '<' => Tok::Lt,
+                                '>' => Tok::Gt,
+                                '&' => Tok::Amp,
+                                '|' => Tok::Pipe,
+                                '^' => Tok::Caret,
+                                other => {
+                                    return Err(err(
+                                        line,
+                                        format!("unexpected character {other:?}"),
+                                    ))
+                                }
+                            };
+                            (t, 1)
+                        }
+                    }
+                };
+                out.push(Spanned { tok, line });
+                i += width;
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+fn unescape(c: char, line: u32) -> Result<char, CompileError> {
+    Ok(match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        '\\' => '\\',
+        '\'' => '\'',
+        '"' => '"',
+        other => return Err(CompileError::lex(line, format!("unknown escape \\{other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_literals() {
+        assert_eq!(
+            toks("42 7L 3.25 'x' \"hi\\n\" 0xFF"),
+            vec![
+                Tok::Int(42),
+                Tok::Long(7),
+                Tok::Double(3.25),
+                Tok::Char('x'),
+                Tok::Str("hi\n".into()),
+                Tok::Int(255),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_longest_first() {
+        assert_eq!(
+            toks("a >>> b >> c > d >= e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ushr,
+                Tok::Ident("b".into()),
+                Tok::Shr,
+                Tok::Ident("c".into()),
+                Tok::Gt,
+                Tok::Ident("d".into()),
+                Tok::Ge,
+                Tok::Ident("e".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_counts_lines() {
+        let ts = lex("a // one\n/* two\nthree */ b").unwrap();
+        assert_eq!(ts[0].tok, Tok::Ident("a".into()));
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].tok, Tok::Ident("b".into()));
+        assert_eq!(ts[1].line, 3);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(lex("\"open").is_err());
+        assert!(lex("'ab'").is_err());
+        assert!(lex("#").is_err());
+    }
+}

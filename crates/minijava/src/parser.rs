@@ -1,0 +1,847 @@
+//! Recursive-descent parser for MiniJava.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::token::{Spanned, Tok};
+
+/// Parse a compilation unit.
+pub fn parse(tokens: Vec<Spanned>) -> Result<Program, CompileError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut classes = Vec::new();
+    while p.peek() != &Tok::Eof {
+        classes.push(p.class_decl()?);
+    }
+    Ok(Program { classes })
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek_at(&self, n: usize) -> &Tok {
+        self.tokens
+            .get(self.pos + n)
+            .map(|s| &s.tok)
+            .unwrap_or(&Tok::Eof)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::parse(self.line(), msg.into())
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), CompileError> {
+        if self.peek() == &want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{want}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    // ---- declarations ----
+
+    fn class_decl(&mut self) -> Result<ClassDecl, CompileError> {
+        let line = self.line();
+        if !self.eat_kw("class") {
+            return Err(self.err("expected `class`"));
+        }
+        let name = self.expect_ident()?;
+        let super_name = if self.eat_kw("extends") {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        self.expect(Tok::LBrace)?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        let mut ctors = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            self.member(&name, &mut fields, &mut methods, &mut ctors)?;
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(ClassDecl {
+            name,
+            super_name,
+            fields,
+            methods,
+            ctors,
+            line,
+        })
+    }
+
+    fn member(
+        &mut self,
+        class_name: &str,
+        fields: &mut Vec<FieldDecl>,
+        methods: &mut Vec<MethodDecl>,
+        ctors: &mut Vec<CtorDecl>,
+    ) -> Result<(), CompileError> {
+        let line = self.line();
+        // Ignore access modifiers (everything is public in MiniJava).
+        loop {
+            if self.eat_kw("public")
+                || self.eat_kw("private")
+                || self.eat_kw("protected")
+                || self.eat_kw("final")
+            {
+                continue;
+            }
+            break;
+        }
+        let is_static = self.eat_kw("static");
+        let is_synchronized = self.eat_kw("synchronized");
+
+        // Constructor: ClassName (
+        if let Tok::Ident(id) = self.peek() {
+            if id == class_name && self.peek_at(1) == &Tok::LParen && !is_static {
+                self.bump();
+                let params = self.params()?;
+                let (super_args, body) = self.ctor_body()?;
+                ctors.push(CtorDecl {
+                    params,
+                    super_args,
+                    body,
+                    line,
+                });
+                return Ok(());
+            }
+        }
+
+        let ty = self.parse_type()?;
+        let name = self.expect_ident()?;
+        if self.peek() == &Tok::LParen {
+            let params = self.params()?;
+            let body = self.block()?;
+            methods.push(MethodDecl {
+                is_static,
+                is_synchronized,
+                ret: ty,
+                name,
+                params,
+                body,
+                line,
+            });
+        } else {
+            let init = if self.peek() == &Tok::Assign {
+                self.bump();
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(Tok::Semi)?;
+            fields.push(FieldDecl {
+                is_static,
+                ty,
+                name,
+                init,
+                line,
+            });
+        }
+        Ok(())
+    }
+
+    fn params(&mut self) -> Result<Vec<(Type, String)>, CompileError> {
+        self.expect(Tok::LParen)?;
+        let mut out = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                let ty = self.parse_type()?;
+                let name = self.expect_ident()?;
+                out.push((ty, name));
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(out)
+    }
+
+    fn ctor_body(&mut self) -> Result<(Option<Vec<Expr>>, Vec<Stmt>), CompileError> {
+        self.expect(Tok::LBrace)?;
+        // Optional `super(args);` as the first statement.
+        let super_args = if self.is_kw("super") && self.peek_at(1) == &Tok::LParen {
+            self.bump();
+            let args = self.call_args()?;
+            self.expect(Tok::Semi)?;
+            Some(args)
+        } else {
+            None
+        };
+        let mut body = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            body.push(self.stmt()?);
+        }
+        self.expect(Tok::RBrace)?;
+        Ok((super_args, body))
+    }
+
+    fn parse_type(&mut self) -> Result<Type, CompileError> {
+        let base = match self.bump() {
+            Tok::Ident(s) => match s.as_str() {
+                "int" => Type::Int,
+                "long" => Type::Long,
+                "boolean" => Type::Boolean,
+                "char" => Type::Char,
+                "byte" => Type::Byte,
+                "double" => Type::Double,
+                "void" => Type::Void,
+                "String" => Type::Str,
+                _ => Type::Class(s),
+            },
+            other => return Err(self.err(format!("expected a type, found `{other}`"))),
+        };
+        let mut ty = base;
+        while self.peek() == &Tok::LBracket && self.peek_at(1) == &Tok::RBracket {
+            self.bump();
+            self.bump();
+            ty = Type::Array(Box::new(ty));
+        }
+        Ok(ty)
+    }
+
+    // ---- statements ----
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(Tok::LBrace)?;
+        let mut out = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            out.push(self.stmt()?);
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(out)
+    }
+
+    /// Does the token stream at the cursor start a variable declaration?
+    fn starts_decl(&self) -> bool {
+        match self.peek() {
+            Tok::Ident(s) => {
+                if matches!(
+                    s.as_str(),
+                    "int" | "long" | "boolean" | "char" | "byte" | "double" | "String"
+                ) {
+                    return true;
+                }
+                // `Foo x` or `Foo[] x`
+                match (self.peek_at(1), self.peek_at(2), self.peek_at(3)) {
+                    (Tok::Ident(_), _, _) => s.chars().next().is_some_and(char::is_uppercase),
+                    (Tok::LBracket, Tok::RBracket, Tok::Ident(_)) => true,
+                    _ => false,
+                }
+            }
+            _ => false,
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::LBrace => Ok(Stmt::Block(self.block()?)),
+            Tok::Ident(kw) => match kw.as_str() {
+                "if" => {
+                    self.bump();
+                    self.expect(Tok::LParen)?;
+                    let cond = self.expr()?;
+                    self.expect(Tok::RParen)?;
+                    let then = Box::new(self.stmt()?);
+                    let els = if self.eat_kw("else") {
+                        Some(Box::new(self.stmt()?))
+                    } else {
+                        None
+                    };
+                    Ok(Stmt::If {
+                        cond,
+                        then,
+                        els,
+                        line,
+                    })
+                }
+                "while" => {
+                    self.bump();
+                    self.expect(Tok::LParen)?;
+                    let cond = self.expr()?;
+                    self.expect(Tok::RParen)?;
+                    Ok(Stmt::While {
+                        cond,
+                        body: Box::new(self.stmt()?),
+                        line,
+                    })
+                }
+                "for" => {
+                    self.bump();
+                    self.expect(Tok::LParen)?;
+                    let init = if self.peek() == &Tok::Semi {
+                        self.bump();
+                        None
+                    } else {
+                        let s = self.simple_stmt()?;
+                        self.expect(Tok::Semi)?;
+                        Some(Box::new(s))
+                    };
+                    let cond = if self.peek() == &Tok::Semi {
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
+                    self.expect(Tok::Semi)?;
+                    let update = if self.peek() == &Tok::RParen {
+                        None
+                    } else {
+                        Some(Box::new(self.simple_stmt()?))
+                    };
+                    self.expect(Tok::RParen)?;
+                    Ok(Stmt::For {
+                        init,
+                        cond,
+                        update,
+                        body: Box::new(self.stmt()?),
+                        line,
+                    })
+                }
+                "return" => {
+                    self.bump();
+                    let value = if self.peek() == &Tok::Semi {
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
+                    self.expect(Tok::Semi)?;
+                    Ok(Stmt::Return { value, line })
+                }
+                "break" => {
+                    self.bump();
+                    self.expect(Tok::Semi)?;
+                    Ok(Stmt::Break(line))
+                }
+                "continue" => {
+                    self.bump();
+                    self.expect(Tok::Semi)?;
+                    Ok(Stmt::Continue(line))
+                }
+                _ => {
+                    let s = self.simple_stmt()?;
+                    self.expect(Tok::Semi)?;
+                    Ok(s)
+                }
+            },
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(Tok::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// A declaration, assignment, inc/dec, or call — without the `;`.
+    fn simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        if self.starts_decl() {
+            let ty = self.parse_type()?;
+            let name = self.expect_ident()?;
+            let init = if self.peek() == &Tok::Assign {
+                self.bump();
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::VarDecl {
+                ty,
+                name,
+                init,
+                line,
+            });
+        }
+        let e = self.expr()?;
+        match self.peek() {
+            Tok::Assign | Tok::PlusAssign | Tok::MinusAssign | Tok::StarAssign => {
+                let op = match self.bump() {
+                    Tok::PlusAssign => Some(BinOp::Add),
+                    Tok::MinusAssign => Some(BinOp::Sub),
+                    Tok::StarAssign => Some(BinOp::Mul),
+                    _ => None,
+                };
+                let value = self.expr()?;
+                Ok(Stmt::Expr(Expr::Assign {
+                    target: Box::new(e),
+                    op,
+                    value: Box::new(value),
+                    line,
+                }))
+            }
+            _ => Ok(Stmt::Expr(e)),
+        }
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut l = self.and_expr()?;
+        while self.peek() == &Tok::OrOr {
+            let line = self.line();
+            self.bump();
+            let r = self.and_expr()?;
+            l = Expr::Binary {
+                op: BinOp::LOr,
+                l: Box::new(l),
+                r: Box::new(r),
+                line,
+            };
+        }
+        Ok(l)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut l = self.bitor_expr()?;
+        while self.peek() == &Tok::AndAnd {
+            let line = self.line();
+            self.bump();
+            let r = self.bitor_expr()?;
+            l = Expr::Binary {
+                op: BinOp::LAnd,
+                l: Box::new(l),
+                r: Box::new(r),
+                line,
+            };
+        }
+        Ok(l)
+    }
+
+    fn bitor_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[(Tok::Pipe, BinOp::Or)], Self::bitxor_expr)
+    }
+
+    fn bitxor_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[(Tok::Caret, BinOp::Xor)], Self::bitand_expr)
+    }
+
+    fn bitand_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[(Tok::Amp, BinOp::And)], Self::eq_expr)
+    }
+
+    fn eq_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            &[(Tok::EqEq, BinOp::Eq), (Tok::Ne, BinOp::Ne)],
+            Self::rel_expr,
+        )
+    }
+
+    fn rel_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            &[
+                (Tok::Lt, BinOp::Lt),
+                (Tok::Le, BinOp::Le),
+                (Tok::Gt, BinOp::Gt),
+                (Tok::Ge, BinOp::Ge),
+            ],
+            Self::shift_expr,
+        )
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            &[
+                (Tok::Shl, BinOp::Shl),
+                (Tok::Shr, BinOp::Shr),
+                (Tok::Ushr, BinOp::Ushr),
+            ],
+            Self::add_expr,
+        )
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            &[(Tok::Plus, BinOp::Add), (Tok::Minus, BinOp::Sub)],
+            Self::mul_expr,
+        )
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            &[
+                (Tok::Star, BinOp::Mul),
+                (Tok::Slash, BinOp::Div),
+                (Tok::Percent, BinOp::Rem),
+            ],
+            Self::unary_expr,
+        )
+    }
+
+    fn binary_level(
+        &mut self,
+        ops: &[(Tok, BinOp)],
+        next: fn(&mut Self) -> Result<Expr, CompileError>,
+    ) -> Result<Expr, CompileError> {
+        let mut l = next(self)?;
+        'outer: loop {
+            for (tok, op) in ops {
+                if self.peek() == tok {
+                    let line = self.line();
+                    self.bump();
+                    let r = next(self)?;
+                    l = Expr::Binary {
+                        op: *op,
+                        l: Box::new(l),
+                        r: Box::new(r),
+                        line,
+                    };
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        Ok(l)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    e: Box::new(e),
+                    line,
+                })
+            }
+            Tok::Bang => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    e: Box::new(e),
+                    line,
+                })
+            }
+            // Primitive cast: `(int) e` etc.
+            Tok::LParen => {
+                if let Tok::Ident(s) = self.peek_at(1) {
+                    if matches!(s.as_str(), "int" | "long" | "char" | "byte" | "double")
+                        && self.peek_at(2) == &Tok::RParen
+                    {
+                        self.bump();
+                        let ty = self.parse_type()?;
+                        self.expect(Tok::RParen)?;
+                        let e = self.unary_expr()?;
+                        return Ok(Expr::Cast {
+                            ty,
+                            e: Box::new(e),
+                            line,
+                        });
+                    }
+                }
+                self.postfix_expr()
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary()?;
+        loop {
+            let line = self.line();
+            match self.peek() {
+                Tok::Dot => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    if self.peek() == &Tok::LParen {
+                        let args = self.call_args()?;
+                        e = Expr::Call {
+                            target: Some(Box::new(e)),
+                            name,
+                            args,
+                            line,
+                        };
+                    } else {
+                        e = Expr::Field {
+                            target: Box::new(e),
+                            name,
+                            line,
+                        };
+                    }
+                }
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    e = Expr::Index {
+                        array: Box::new(e),
+                        index: Box::new(idx),
+                        line,
+                    };
+                }
+                Tok::PlusPlus => {
+                    self.bump();
+                    e = Expr::IncDec {
+                        target: Box::new(e),
+                        inc: true,
+                        line,
+                    };
+                }
+                Tok::MinusMinus => {
+                    self.bump();
+                    e = Expr::IncDec {
+                        target: Box::new(e),
+                        inc: false,
+                        line,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, CompileError> {
+        self.expect(Tok::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                args.push(self.expr()?);
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::IntLit(v, line)),
+            Tok::Long(v) => Ok(Expr::LongLit(v, line)),
+            Tok::Double(v) => Ok(Expr::DoubleLit(v, line)),
+            Tok::Char(c) => Ok(Expr::CharLit(c, line)),
+            Tok::Str(s) => Ok(Expr::StrLit(s, line)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(id) => match id.as_str() {
+                "true" => Ok(Expr::BoolLit(true, line)),
+                "false" => Ok(Expr::BoolLit(false, line)),
+                "null" => Ok(Expr::Null(line)),
+                "this" => Ok(Expr::This(line)),
+                "new" => {
+                    let ty = self.parse_type_base()?;
+                    if self.peek() == &Tok::LBracket {
+                        self.bump();
+                        let len = self.expr()?;
+                        self.expect(Tok::RBracket)?;
+                        // `new T[n][]`... only single-dimension news.
+                        Ok(Expr::NewArray {
+                            ty,
+                            len: Box::new(len),
+                            line,
+                        })
+                    } else {
+                        let class = match ty {
+                            Type::Class(c) => c,
+                            Type::Str => "String".to_string(),
+                            other => {
+                                return Err(self.err(format!("cannot construct {other:?} with new")))
+                            }
+                        };
+                        let args = self.call_args()?;
+                        Ok(Expr::New { class, args, line })
+                    }
+                }
+                _ => {
+                    if self.peek() == &Tok::LParen {
+                        let args = self.call_args()?;
+                        Ok(Expr::Call {
+                            target: None,
+                            name: id,
+                            args,
+                            line,
+                        })
+                    } else {
+                        Ok(Expr::Var(id, line))
+                    }
+                }
+            },
+            other => Err(CompileError::parse(
+                line,
+                format!("unexpected token `{other}` in expression"),
+            )),
+        }
+    }
+
+    /// A type without trailing `[]` (for `new`).
+    fn parse_type_base(&mut self) -> Result<Type, CompileError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(match s.as_str() {
+                "int" => Type::Int,
+                "long" => Type::Long,
+                "boolean" => Type::Boolean,
+                "char" => Type::Char,
+                "byte" => Type::Byte,
+                "double" => Type::Double,
+                "String" => Type::Str,
+                _ => Type::Class(s),
+            }),
+            other => Err(self.err(format!("expected a type after new, found `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_a_small_class() {
+        let p = parse_src(
+            "class Point {
+                 int x;
+                 static int count = 0;
+                 Point(int x) { this.x = x; }
+                 int getX() { return x; }
+                 static void main(String[] args) {
+                     Point p = new Point(3);
+                     System.out.println(p.getX());
+                 }
+             }",
+        );
+        assert_eq!(p.classes.len(), 1);
+        let c = &p.classes[0];
+        assert_eq!(c.name, "Point");
+        assert_eq!(c.fields.len(), 2);
+        assert!(c.fields[1].is_static);
+        assert!(c.fields[1].init.is_some());
+        assert_eq!(c.ctors.len(), 1);
+        assert_eq!(c.methods.len(), 2);
+    }
+
+    #[test]
+    fn parses_inheritance_and_super() {
+        let p = parse_src(
+            "class B extends A {
+                 B(int v) { super(v); this.w = v; }
+                 int w;
+             }",
+        );
+        let c = &p.classes[0];
+        assert_eq!(c.super_name.as_deref(), Some("A"));
+        assert!(c.ctors[0].super_args.is_some());
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let p = parse_src(
+            "class C { static int f(int n) {
+                 int acc = 0;
+                 for (int i = 0; i < n; i++) {
+                     if (i % 2 == 0) { acc += i; } else { acc -= 1; }
+                     while (acc > 100) { acc = acc / 2; break; }
+                 }
+                 return acc;
+             } }",
+        );
+        assert_eq!(p.classes[0].methods.len(), 1);
+    }
+
+    #[test]
+    fn distinguishes_decl_from_index_assignment() {
+        let p = parse_src(
+            "class C { static void f() {
+                 int[] a = new int[10];
+                 a[0] = 1;
+                 Foo b = null;
+                 Foo[] cs = new Foo[2];
+             } }",
+        );
+        let body = &p.classes[0].methods[0].body;
+        assert!(matches!(body[0], Stmt::VarDecl { .. }));
+        assert!(matches!(body[1], Stmt::Expr(Expr::Assign { .. })));
+        assert!(matches!(body[2], Stmt::VarDecl { .. }));
+        assert!(matches!(body[3], Stmt::VarDecl { .. }));
+    }
+
+    #[test]
+    fn precedence_binds_correctly() {
+        let p = parse_src(
+            "class C { static int f() { return 1 + 2 * 3 << 1 < 4 == true && false || true; } }",
+        );
+        // Just ensure it parses into the expected top-level operator.
+        let body = &p.classes[0].methods[0].body;
+        let Stmt::Return { value: Some(e), .. } = &body[0] else {
+            panic!("expected return")
+        };
+        assert!(matches!(e, Expr::Binary { op: BinOp::LOr, .. }));
+    }
+
+    #[test]
+    fn parses_casts_and_string_literals() {
+        let p = parse_src(
+            "class C { static void f() {
+                 long x = 5L;
+                 int y = (int) x;
+                 char c = (char) (y + 65);
+                 String s = \"a\" + y + c;
+             } }",
+        );
+        let body = &p.classes[0].methods[0].body;
+        assert_eq!(body.len(), 4);
+    }
+
+    #[test]
+    fn reports_errors_with_lines() {
+        let err = parse(lex("class C {\n int f( { }\n}").unwrap()).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

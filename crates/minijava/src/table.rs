@@ -1,0 +1,266 @@
+//! The class symbol table: declared classes, their members, and the
+//! built-in runtime classes MiniJava programs may reference.
+
+use std::collections::HashMap;
+
+use crate::ast::{ClassDecl, Program, Type};
+use crate::error::CompileError;
+
+/// A method signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodSig {
+    /// `static`?
+    pub is_static: bool,
+    /// Name.
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// Return type.
+    pub ret: Type,
+}
+
+/// Information about one user class.
+#[derive(Debug, Clone)]
+pub struct ClassInfo {
+    /// Source name.
+    pub name: String,
+    /// Superclass source name (`None` = Object).
+    pub super_name: Option<String>,
+    /// Fields: (is_static, type, name).
+    pub fields: Vec<(bool, Type, String)>,
+    /// Methods.
+    pub methods: Vec<MethodSig>,
+    /// Constructor parameter lists.
+    pub ctors: Vec<Vec<Type>>,
+}
+
+/// The symbol table of a compilation unit.
+#[derive(Debug, Default)]
+pub struct ClassTable {
+    classes: HashMap<String, ClassInfo>,
+}
+
+impl ClassTable {
+    /// Collect declarations from a parsed program.
+    pub fn build(prog: &Program) -> Result<ClassTable, CompileError> {
+        let mut t = ClassTable::default();
+        for c in &prog.classes {
+            if t.classes.contains_key(&c.name) {
+                return Err(CompileError::check(
+                    c.line,
+                    format!("duplicate class {}", c.name),
+                ));
+            }
+            t.classes.insert(c.name.clone(), Self::info_of(c));
+        }
+        // Validate superclasses exist (or are the builtin Thread/Object).
+        for c in &prog.classes {
+            if let Some(s) = &c.super_name {
+                if !t.classes.contains_key(s) && !matches!(s.as_str(), "Thread" | "Object") {
+                    return Err(CompileError::check(
+                        c.line,
+                        format!("unknown superclass {s}"),
+                    ));
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    fn info_of(c: &ClassDecl) -> ClassInfo {
+        let mut ctors: Vec<Vec<Type>> = c
+            .ctors
+            .iter()
+            .map(|k| k.params.iter().map(|(t, _)| t.clone()).collect())
+            .collect();
+        if ctors.is_empty() {
+            ctors.push(Vec::new()); // implicit default constructor
+        }
+        ClassInfo {
+            name: c.name.clone(),
+            super_name: c.super_name.clone(),
+            fields: c
+                .fields
+                .iter()
+                .map(|f| (f.is_static, f.ty.clone(), f.name.clone()))
+                .collect(),
+            methods: c
+                .methods
+                .iter()
+                .map(|m| MethodSig {
+                    is_static: m.is_static,
+                    name: m.name.clone(),
+                    params: m.params.iter().map(|(t, _)| t.clone()).collect(),
+                    ret: m.ret.clone(),
+                })
+                .collect(),
+            ctors,
+        }
+    }
+
+    /// Look up a user class.
+    pub fn class(&self, name: &str) -> Option<&ClassInfo> {
+        self.classes.get(name)
+    }
+
+    /// Whether `name` is a class the program can reference (user class
+    /// or builtin service class).
+    pub fn is_class_name(&self, name: &str) -> bool {
+        self.classes.contains_key(name) || is_builtin_class(name)
+    }
+
+    /// Find an instance field, walking the superclass chain. Returns
+    /// `(declaring source class, type, is_static)`.
+    pub fn find_field(&self, class: &str, field: &str) -> Option<(String, Type, bool)> {
+        let mut cur = Some(class.to_string());
+        while let Some(cname) = cur {
+            let info = self.classes.get(&cname)?;
+            if let Some((is_static, ty, _)) = info.fields.iter().find(|(_, _, n)| n == field) {
+                return Some((cname, ty.clone(), *is_static));
+            }
+            cur = info.super_name.clone();
+        }
+        None
+    }
+
+    /// Find a method by name and applicable argument types, walking the
+    /// superclass chain. Returns `(declaring source class, signature)`.
+    pub fn find_method(
+        &self,
+        class: &str,
+        name: &str,
+        args: &[Type],
+    ) -> Option<(String, MethodSig)> {
+        let mut cur = Some(class.to_string());
+        while let Some(cname) = cur {
+            let info = self.classes.get(&cname)?;
+            for m in &info.methods {
+                if m.name == name && params_applicable(self, &m.params, args) {
+                    return Some((cname, m.clone()));
+                }
+            }
+            cur = info.super_name.clone();
+        }
+        None
+    }
+
+    /// Find an applicable constructor.
+    pub fn find_ctor(&self, class: &str, args: &[Type]) -> Option<Vec<Type>> {
+        let info = self.classes.get(class)?;
+        info.ctors
+            .iter()
+            .find(|p| params_applicable(self, p, args))
+            .cloned()
+    }
+
+    /// Is `sub` (a source class name) a subclass of `sup`?
+    pub fn is_subclass(&self, sub: &str, sup: &str) -> bool {
+        if sup == "Object" {
+            return true;
+        }
+        let mut cur = Some(sub.to_string());
+        while let Some(c) = cur {
+            if c == sup {
+                return true;
+            }
+            cur = self.classes.get(&c).and_then(|i| i.super_name.clone());
+        }
+        false
+    }
+
+    /// Can a value of `from` be passed where `to` is expected
+    /// (identity, widening, subtyping, null)?
+    pub fn assignable(&self, from: &Type, to: &Type) -> bool {
+        if from == to {
+            return true;
+        }
+        match (from, to) {
+            (Type::Null, t) if t.is_reference() => true,
+            // Widening primitive conversions.
+            (Type::Int | Type::Char | Type::Byte, Type::Int) => true,
+            (Type::Int | Type::Char | Type::Byte, Type::Long) => true,
+            (Type::Int | Type::Char | Type::Byte | Type::Long, Type::Double) => true,
+            (Type::Byte, Type::Char) | (Type::Char, Type::Byte) => false,
+            (Type::Class(a), Type::Class(b)) => self.is_subclass(a, b),
+            (Type::Str, Type::Class(b)) => b == "Object",
+            (Type::Array(_), Type::Class(b)) => b == "Object",
+            _ => false,
+        }
+    }
+}
+
+fn params_applicable(t: &ClassTable, params: &[Type], args: &[Type]) -> bool {
+    params.len() == args.len() && params.iter().zip(args).all(|(p, a)| t.assignable(a, p))
+}
+
+/// Built-in service classes MiniJava programs may name.
+pub fn is_builtin_class(name: &str) -> bool {
+    matches!(
+        name,
+        "System"
+            | "Math"
+            | "Integer"
+            | "Long"
+            | "Double"
+            | "String"
+            | "StringBuilder"
+            | "Thread"
+            | "Object"
+            | "Console"
+            | "FileSystem"
+            | "JS"
+            | "Socket"
+    )
+}
+
+/// Binary (JVM) name of a source class name.
+pub fn binary_name(table: &ClassTable, name: &str) -> String {
+    if table.class(name).is_some() {
+        return name.to_string();
+    }
+    match name {
+        "System" => "java/lang/System",
+        "Math" => "java/lang/Math",
+        "Integer" => "java/lang/Integer",
+        "Long" => "java/lang/Long",
+        "Double" => "java/lang/Double",
+        "String" => "java/lang/String",
+        "StringBuilder" => "java/lang/StringBuilder",
+        "Thread" => "java/lang/Thread",
+        "Object" => "java/lang/Object",
+        "Console" => "doppio/runtime/Console",
+        "FileSystem" => "doppio/runtime/FileSystem",
+        "JS" => "doppio/runtime/JS",
+        "Socket" => "doppio/net/Socket",
+        other => other,
+    }
+    .to_string()
+}
+
+/// JVM descriptor of a MiniJava type.
+pub fn descriptor(table: &ClassTable, ty: &Type) -> String {
+    match ty {
+        Type::Int => "I".into(),
+        Type::Long => "J".into(),
+        Type::Boolean => "Z".into(),
+        Type::Char => "C".into(),
+        Type::Byte => "B".into(),
+        Type::Double => "D".into(),
+        Type::Void => "V".into(),
+        Type::Str => "Ljava/lang/String;".into(),
+        Type::Null => "Ljava/lang/Object;".into(),
+        Type::Class(c) => format!("L{};", binary_name(table, c)),
+        Type::Array(t) => format!("[{}", descriptor(table, t)),
+    }
+}
+
+/// Method descriptor from parameter and return types.
+pub fn method_descriptor(table: &ClassTable, params: &[Type], ret: &Type) -> String {
+    let mut s = String::from("(");
+    for p in params {
+        s.push_str(&descriptor(table, p));
+    }
+    s.push(')');
+    s.push_str(&descriptor(table, ret));
+    s
+}

@@ -1,0 +1,161 @@
+//! Tokens of the MiniJava language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals
+    /// Integer literal (no suffix).
+    Int(i64),
+    /// Long literal (`L` suffix).
+    Long(i64),
+    /// Double literal.
+    Double(f64),
+    /// Character literal.
+    Char(char),
+    /// String literal.
+    Str(String),
+    /// Identifier or keyword.
+    Ident(String),
+    // Punctuation and operators
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `>>>`
+    Ushr,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Long(v) => write!(f, "{v}L"),
+            Tok::Double(v) => write!(f, "{v}"),
+            Tok::Char(c) => write!(f, "{c:?}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            other => write!(f, "{}", other.symbol()),
+        }
+    }
+}
+
+impl Tok {
+    fn symbol(&self) -> &'static str {
+        match self {
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::Semi => ";",
+            Tok::Comma => ",",
+            Tok::Dot => ".",
+            Tok::Assign => "=",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Percent => "%",
+            Tok::Bang => "!",
+            Tok::Lt => "<",
+            Tok::Gt => ">",
+            Tok::Le => "<=",
+            Tok::Ge => ">=",
+            Tok::EqEq => "==",
+            Tok::Ne => "!=",
+            Tok::AndAnd => "&&",
+            Tok::OrOr => "||",
+            Tok::Amp => "&",
+            Tok::Pipe => "|",
+            Tok::Caret => "^",
+            Tok::Shl => "<<",
+            Tok::Shr => ">>",
+            Tok::Ushr => ">>>",
+            Tok::PlusPlus => "++",
+            Tok::MinusMinus => "--",
+            Tok::PlusAssign => "+=",
+            Tok::MinusAssign => "-=",
+            Tok::StarAssign => "*=",
+            Tok::Eof => "<eof>",
+            _ => "<tok>",
+        }
+    }
+}
+
+/// A token with its source line (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}

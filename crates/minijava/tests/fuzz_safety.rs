@@ -1,0 +1,31 @@
+//! The compiler must never panic: any input yields Ok or a proper
+//! CompileError.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn lexer_and_parser_never_panic(src in "\\PC*") {
+        let _ = doppio_minijava::compile(&src);
+    }
+
+    #[test]
+    fn almost_java_never_panics(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("class".to_string()), Just("{".to_string()), Just("}".to_string()),
+                Just("(".to_string()), Just(")".to_string()), Just(";".to_string()),
+                Just("int".to_string()), Just("static".to_string()), Just("return".to_string()),
+                Just("if".to_string()), Just("while".to_string()), Just("=".to_string()),
+                Just("+".to_string()), Just("Main".to_string()), Just("x".to_string()),
+                Just("42".to_string()), Just("\"s\"".to_string()), Just("new".to_string()),
+                Just("[".to_string()), Just("]".to_string()), Just(".".to_string()),
+            ],
+            0..60,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = doppio_minijava::compile(&src);
+    }
+}

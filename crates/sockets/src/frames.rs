@@ -1,0 +1,346 @@
+//! WebSocket data framing (RFC 6455 §5).
+//!
+//! "Once the handshake completes, the JavaScript application can send
+//! and receive WebSocket messages, which are encapsulated in WebSocket
+//! data frames" (§5.3). Existing TCP programs expect raw bytes, so the
+//! Websockify bridge must encode and decode these frames; this module
+//! is the codec both ends share.
+
+use std::fmt;
+
+/// Frame opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Continuation of a fragmented message.
+    Continuation,
+    /// UTF-8 text payload.
+    Text,
+    /// Binary payload.
+    Binary,
+    /// Connection close.
+    Close,
+    /// Ping.
+    Ping,
+    /// Pong.
+    Pong,
+}
+
+impl Opcode {
+    fn to_bits(self) -> u8 {
+        match self {
+            Opcode::Continuation => 0x0,
+            Opcode::Text => 0x1,
+            Opcode::Binary => 0x2,
+            Opcode::Close => 0x8,
+            Opcode::Ping => 0x9,
+            Opcode::Pong => 0xA,
+        }
+    }
+
+    fn from_bits(b: u8) -> Option<Opcode> {
+        Some(match b {
+            0x0 => Opcode::Continuation,
+            0x1 => Opcode::Text,
+            0x2 => Opcode::Binary,
+            0x8 => Opcode::Close,
+            0x9 => Opcode::Ping,
+            0xA => Opcode::Pong,
+            _ => return None,
+        })
+    }
+}
+
+/// One WebSocket frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Final fragment of the message?
+    pub fin: bool,
+    /// Frame type.
+    pub opcode: Opcode,
+    /// Unmasked payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A final binary frame.
+    pub fn binary(payload: Vec<u8>) -> Frame {
+        Frame {
+            fin: true,
+            opcode: Opcode::Binary,
+            payload,
+        }
+    }
+
+    /// A final text frame.
+    pub fn text(s: &str) -> Frame {
+        Frame {
+            fin: true,
+            opcode: Opcode::Text,
+            payload: s.as_bytes().to_vec(),
+        }
+    }
+
+    /// A close frame.
+    pub fn close() -> Frame {
+        Frame {
+            fin: true,
+            opcode: Opcode::Close,
+            payload: Vec::new(),
+        }
+    }
+}
+
+/// Frame codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Reserved/unknown opcode bits.
+    BadOpcode(u8),
+    /// The buffer ended mid-frame (wait for more bytes).
+    Incomplete,
+    /// A server-bound frame arrived unmasked (RFC 6455 requires client
+    /// frames to be masked).
+    UnmaskedClientFrame,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadOpcode(b) => write!(f, "unknown opcode {b:#x}"),
+            FrameError::Incomplete => write!(f, "incomplete frame"),
+            FrameError::UnmaskedClientFrame => write!(f, "client frame was not masked"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encode a frame. `mask` must be `Some` for client→server frames
+/// (browsers always mask) and `None` for server→client frames.
+pub fn encode(frame: &Frame, mask: Option<[u8; 4]>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(frame.payload.len() + 14);
+    let b0 = (u8::from(frame.fin) << 7) | frame.opcode.to_bits();
+    out.push(b0);
+    let masked_bit = if mask.is_some() { 0x80 } else { 0 };
+    let len = frame.payload.len();
+    if len < 126 {
+        out.push(masked_bit | len as u8);
+    } else if len <= u16::MAX as usize {
+        out.push(masked_bit | 126);
+        out.extend_from_slice(&(len as u16).to_be_bytes());
+    } else {
+        out.push(masked_bit | 127);
+        out.extend_from_slice(&(len as u64).to_be_bytes());
+    }
+    match mask {
+        None => out.extend_from_slice(&frame.payload),
+        Some(key) => {
+            out.extend_from_slice(&key);
+            out.extend(
+                frame
+                    .payload
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| b ^ key[i % 4]),
+            );
+        }
+    }
+    out
+}
+
+/// Decode one frame from the front of `buf`. On success returns the
+/// frame and how many bytes it consumed. `require_mask` enforces the
+/// client-must-mask rule (set on the server side).
+pub fn decode(buf: &[u8], require_mask: bool) -> Result<(Frame, usize), FrameError> {
+    if buf.len() < 2 {
+        return Err(FrameError::Incomplete);
+    }
+    let fin = buf[0] & 0x80 != 0;
+    let opcode = Opcode::from_bits(buf[0] & 0x0F).ok_or(FrameError::BadOpcode(buf[0] & 0x0F))?;
+    let masked = buf[1] & 0x80 != 0;
+    if require_mask && !masked {
+        return Err(FrameError::UnmaskedClientFrame);
+    }
+    let (len, mut offset) = match buf[1] & 0x7F {
+        126 => {
+            if buf.len() < 4 {
+                return Err(FrameError::Incomplete);
+            }
+            (u16::from_be_bytes([buf[2], buf[3]]) as usize, 4)
+        }
+        127 => {
+            if buf.len() < 10 {
+                return Err(FrameError::Incomplete);
+            }
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&buf[2..10]);
+            (u64::from_be_bytes(raw) as usize, 10)
+        }
+        small => (small as usize, 2),
+    };
+    let mask = if masked {
+        if buf.len() < offset + 4 {
+            return Err(FrameError::Incomplete);
+        }
+        let key = [
+            buf[offset],
+            buf[offset + 1],
+            buf[offset + 2],
+            buf[offset + 3],
+        ];
+        offset += 4;
+        Some(key)
+    } else {
+        None
+    };
+    if buf.len() < offset + len {
+        return Err(FrameError::Incomplete);
+    }
+    let mut payload = buf[offset..offset + len].to_vec();
+    if let Some(key) = mask {
+        for (i, b) in payload.iter_mut().enumerate() {
+            *b ^= key[i % 4];
+        }
+    }
+    Ok((
+        Frame {
+            fin,
+            opcode,
+            payload,
+        },
+        offset + len,
+    ))
+}
+
+/// A streaming decoder: feed bytes, pull complete frames.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    require_mask: bool,
+}
+
+impl FrameDecoder {
+    /// Decoder for server→client traffic (unmasked frames).
+    pub fn for_client() -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            require_mask: false,
+        }
+    }
+
+    /// Decoder for client→server traffic (masked frames enforced).
+    pub fn for_server() -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            require_mask: true,
+        }
+    }
+
+    /// Append received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pull the next complete frame, if one is buffered.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        match decode(&self.buf, self.require_mask) {
+            Ok((frame, consumed)) => {
+                self.buf.drain(..consumed);
+                Ok(Some(frame))
+            }
+            Err(FrameError::Incomplete) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_unmasked() {
+        for payload_len in [0usize, 1, 125, 126, 127, 65535, 65536, 70000] {
+            let frame = Frame::binary(vec![0xAB; payload_len]);
+            let bytes = encode(&frame, None);
+            let (decoded, used) = decode(&bytes, false).unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn round_trips_masked() {
+        let frame = Frame::text("hello websocket");
+        let bytes = encode(&frame, Some([1, 2, 3, 4]));
+        // Masked payload differs from the plaintext on the wire.
+        assert!(!bytes
+            .windows(frame.payload.len())
+            .any(|w| w == frame.payload.as_slice()));
+        let (decoded, _) = decode(&bytes, true).unwrap();
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn server_rejects_unmasked_client_frames() {
+        let bytes = encode(&Frame::text("x"), None);
+        assert_eq!(
+            decode(&bytes, true).unwrap_err(),
+            FrameError::UnmaskedClientFrame
+        );
+    }
+
+    #[test]
+    fn incomplete_frames_wait_for_more_bytes() {
+        let bytes = encode(&Frame::binary(vec![9; 300]), None);
+        for cut in [0, 1, 2, 3, 150] {
+            assert_eq!(
+                decode(&bytes[..cut], false).unwrap_err(),
+                FrameError::Incomplete
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_decoder_handles_fragmented_arrivals() {
+        let f1 = Frame::binary(vec![1, 2, 3]);
+        let f2 = Frame::text("ok");
+        let mut wire = encode(&f1, Some([9, 9, 9, 9]));
+        wire.extend(encode(&f2, Some([7, 7, 7, 7])));
+
+        let mut dec = FrameDecoder::for_server();
+        let mut got = Vec::new();
+        for chunk in wire.chunks(3) {
+            dec.feed(chunk);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, vec![f1, f2]);
+    }
+
+    #[test]
+    fn close_ping_pong_opcodes_survive() {
+        for f in [
+            Frame::close(),
+            Frame {
+                fin: true,
+                opcode: Opcode::Ping,
+                payload: b"p".to_vec(),
+            },
+            Frame {
+                fin: false,
+                opcode: Opcode::Continuation,
+                payload: vec![],
+            },
+        ] {
+            let bytes = encode(&f, None);
+            assert_eq!(decode(&bytes, false).unwrap().0, f);
+        }
+    }
+
+    #[test]
+    fn bad_opcode_is_an_error() {
+        let bytes = vec![0x83, 0x00]; // opcode 0x3 is reserved
+        assert_eq!(decode(&bytes, false).unwrap_err(), FrameError::BadOpcode(3));
+    }
+}

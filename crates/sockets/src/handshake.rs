@@ -1,0 +1,186 @@
+//! The WebSocket opening handshake (RFC 6455 §4).
+//!
+//! "Newly-opened WebSockets perform a standardized handshake that
+//! 'promote' an HTTP connection to the WebSocket server to a WebSocket
+//! connection" (§5.3). The client sends an HTTP/1.1 Upgrade request
+//! with a random `Sec-WebSocket-Key`; the server answers `101
+//! Switching Protocols` with `Sec-WebSocket-Accept` =
+//! base64(SHA-1(key ‖ GUID)).
+
+use crate::sha1::sha1;
+
+/// The protocol GUID every WebSocket server concatenates to the key.
+pub const WS_GUID: &str = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11";
+
+const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+fn base64(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    for chunk in bytes.chunks(3) {
+        let b = [
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        ];
+        let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        out.push(B64[(n >> 18) as usize & 63] as char);
+        out.push(B64[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            B64[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Compute `Sec-WebSocket-Accept` for a client key.
+pub fn accept_key(client_key: &str) -> String {
+    let digest = sha1(format!("{client_key}{WS_GUID}").as_bytes());
+    base64(&digest)
+}
+
+/// Generate a client key from a 16-byte nonce.
+pub fn client_key(nonce: [u8; 16]) -> String {
+    base64(&nonce)
+}
+
+/// Build the client's HTTP Upgrade request.
+pub fn request(host: &str, path: &str, key: &str) -> Vec<u8> {
+    format!(
+        "GET {path} HTTP/1.1\r\n\
+         Host: {host}\r\n\
+         Upgrade: websocket\r\n\
+         Connection: Upgrade\r\n\
+         Sec-WebSocket-Key: {key}\r\n\
+         Sec-WebSocket-Version: 13\r\n\r\n"
+    )
+    .into_bytes()
+}
+
+/// Build the server's `101 Switching Protocols` response.
+pub fn response(key: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 101 Switching Protocols\r\n\
+         Upgrade: websocket\r\n\
+         Connection: Upgrade\r\n\
+         Sec-WebSocket-Accept: {}\r\n\r\n",
+        accept_key(key)
+    )
+    .into_bytes()
+}
+
+/// Extract a header value (case-insensitive name) from an HTTP head.
+fn header<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    head.lines().find_map(|l| {
+        let (n, v) = l.split_once(':')?;
+        if n.trim().eq_ignore_ascii_case(name) {
+            Some(v.trim())
+        } else {
+            None
+        }
+    })
+}
+
+/// Parse and validate a client Upgrade request (server side). Returns
+/// the client key.
+pub fn parse_request(bytes: &[u8]) -> Result<String, String> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "request is not UTF-8".to_string())?;
+    let head = text
+        .split("\r\n\r\n")
+        .next()
+        .ok_or_else(|| "missing header terminator".to_string())?;
+    if !head.starts_with("GET ") {
+        return Err("not a GET request".into());
+    }
+    let upgrade = header(head, "Upgrade").unwrap_or_default();
+    if !upgrade.eq_ignore_ascii_case("websocket") {
+        return Err(format!("Upgrade header is {upgrade:?}, not websocket"));
+    }
+    header(head, "Sec-WebSocket-Key")
+        .map(str::to_string)
+        .ok_or_else(|| "missing Sec-WebSocket-Key".into())
+}
+
+/// Validate a server handshake response against the key we sent
+/// (client side).
+pub fn check_response(bytes: &[u8], sent_key: &str) -> Result<(), String> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "response is not UTF-8".to_string())?;
+    let head = text
+        .split("\r\n\r\n")
+        .next()
+        .ok_or_else(|| "missing header terminator".to_string())?;
+    if !head.starts_with("HTTP/1.1 101") {
+        return Err(format!(
+            "expected 101 Switching Protocols, got {:?}",
+            head.lines().next().unwrap_or_default()
+        ));
+    }
+    let got = header(head, "Sec-WebSocket-Accept").unwrap_or_default();
+    let want = accept_key(sent_key);
+    if got == want {
+        Ok(())
+    } else {
+        Err(format!("bad accept key: got {got:?}, want {want:?}"))
+    }
+}
+
+/// Bytes of the handshake head (up to and including `\r\n\r\n`), if
+/// fully buffered.
+pub fn head_len(bytes: &[u8]) -> Option<usize> {
+    bytes
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc6455_accept_key_example() {
+        // The worked example from RFC 6455 §1.3.
+        assert_eq!(
+            accept_key("dGhlIHNhbXBsZSBub25jZQ=="),
+            "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        );
+    }
+
+    #[test]
+    fn request_response_round_trip() {
+        let key = client_key([7u8; 16]);
+        let req = request("example.com:8080", "/chat", &key);
+        let parsed = parse_request(&req).unwrap();
+        assert_eq!(parsed, key);
+        let resp = response(&parsed);
+        check_response(&resp, &key).unwrap();
+    }
+
+    #[test]
+    fn tampered_accept_key_is_rejected() {
+        let key = client_key([1u8; 16]);
+        let mut resp = response(&key);
+        // Corrupt one byte of the accept key.
+        let pos = resp.len() - 6;
+        resp[pos] = resp[pos].wrapping_add(1);
+        assert!(check_response(&resp, &key).is_err());
+    }
+
+    #[test]
+    fn non_upgrade_requests_are_rejected() {
+        assert!(parse_request(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n").is_err());
+        assert!(parse_request(b"POST / HTTP/1.1\r\nUpgrade: websocket\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn head_len_finds_terminator() {
+        assert_eq!(head_len(b"abc\r\n\r\nrest"), Some(7));
+        assert_eq!(head_len(b"abc\r\n"), None);
+    }
+}

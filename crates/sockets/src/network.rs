@@ -1,0 +1,400 @@
+//! The simulated TCP network fabric.
+//!
+//! The paper's evaluation machines sat on a real network with native
+//! socket servers (wrapped by Websockify). Here, "native hosts" are
+//! in-process [`TcpServerApp`]s registered on ports of a [`Network`];
+//! connections are pairs of latency-delayed byte pipes driven by the
+//! engine's event loop. Both the WebSocket client emulation and the
+//! Websockify bridge run over this fabric.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use doppio_jsengine::Engine;
+
+/// Identifies one TCP connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConnId(pub u64);
+
+/// Errors from the network fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Nothing listens on the requested port.
+    ConnectionRefused(u16),
+    /// The connection is closed.
+    Closed(ConnId),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::ConnectionRefused(p) => write!(f, "connection refused on port {p}"),
+            NetError::Closed(id) => write!(f, "connection {} is closed", id.0),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A server application running on a "native host" — e.g. an echo
+/// server, a chat daemon, or the Websockify bridge.
+pub trait TcpServerApp {
+    /// A new connection was accepted.
+    fn on_connect(&self, engine: &Engine, conn: ServerConn);
+    /// Bytes arrived from the client.
+    fn on_data(&self, engine: &Engine, conn: ServerConn, data: Vec<u8>);
+    /// The client closed the connection.
+    fn on_close(&self, engine: &Engine, conn: ConnId);
+}
+
+/// Client-side event handlers for a connection.
+#[allow(clippy::type_complexity)] // callback plumbing, not public API surface
+#[derive(Default)]
+pub struct ClientHandlers {
+    /// Connection established.
+    pub on_connect: Option<Box<dyn FnOnce(&Engine)>>,
+    /// Bytes arrived from the server.
+    pub on_data: Option<Box<dyn FnMut(&Engine, Vec<u8>)>>,
+    /// The server closed the connection.
+    pub on_close: Option<Box<dyn FnOnce(&Engine)>>,
+}
+
+struct ConnState {
+    server_port: u16,
+    open: bool,
+    handlers: ClientHandlers,
+}
+
+struct NetInner {
+    engine: Engine,
+    servers: HashMap<u16, Rc<dyn TcpServerApp>>,
+    conns: HashMap<ConnId, ConnState>,
+    next_id: u64,
+    latency_ns: u64,
+    ns_per_kib: u64,
+}
+
+/// The network fabric. Cheaply cloneable handle.
+#[derive(Clone)]
+pub struct Network {
+    inner: Rc<RefCell<NetInner>>,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Network")
+            .field("servers", &inner.servers.len())
+            .field("connections", &inner.conns.len())
+            .finish()
+    }
+}
+
+impl Network {
+    /// A fabric with LAN-ish defaults (0.4 ms one-way latency,
+    /// ~60 MB/s).
+    pub fn new(engine: &Engine) -> Network {
+        Network::with_latency(engine, 400_000, 16_000)
+    }
+
+    /// A fabric with an explicit latency/bandwidth model.
+    pub fn with_latency(engine: &Engine, latency_ns: u64, ns_per_kib: u64) -> Network {
+        Network {
+            inner: Rc::new(RefCell::new(NetInner {
+                engine: engine.clone(),
+                servers: HashMap::new(),
+                conns: HashMap::new(),
+                next_id: 1,
+                latency_ns,
+                ns_per_kib,
+            })),
+        }
+    }
+
+    /// Register a server application listening on `port`.
+    pub fn listen(&self, port: u16, app: Rc<dyn TcpServerApp>) {
+        self.inner.borrow_mut().servers.insert(port, app);
+    }
+
+    /// Remove the listener on `port` (existing connections survive).
+    pub fn unlisten(&self, port: u16) {
+        self.inner.borrow_mut().servers.remove(&port);
+    }
+
+    fn transfer_delay(&self, bytes: usize) -> u64 {
+        let inner = self.inner.borrow();
+        inner.latency_ns + inner.ns_per_kib * (bytes as u64).div_ceil(1024)
+    }
+
+    /// Open a connection to `port`. The server's `on_connect` and the
+    /// client's `on_connect` both fire after one network latency.
+    pub fn connect(&self, port: u16, handlers: ClientHandlers) -> Result<ConnId, NetError> {
+        let (id, app) = {
+            let mut inner = self.inner.borrow_mut();
+            let app = inner
+                .servers
+                .get(&port)
+                .cloned()
+                .ok_or(NetError::ConnectionRefused(port))?;
+            let id = ConnId(inner.next_id);
+            inner.next_id += 1;
+            inner.conns.insert(
+                id,
+                ConnState {
+                    server_port: port,
+                    open: true,
+                    handlers,
+                },
+            );
+            (id, app)
+        };
+        let net = self.clone();
+        let delay = self.transfer_delay(0);
+        let engine = self.inner.borrow().engine.clone();
+        engine.complete_async_after(delay, move |e| {
+            app.on_connect(
+                e,
+                ServerConn {
+                    net: net.clone(),
+                    id,
+                },
+            );
+            let cb = net
+                .inner
+                .borrow_mut()
+                .conns
+                .get_mut(&id)
+                .and_then(|c| c.handlers.on_connect.take());
+            if let Some(cb) = cb {
+                cb(e);
+            }
+        });
+        Ok(id)
+    }
+
+    /// Send client→server bytes.
+    pub fn client_send(&self, id: ConnId, data: Vec<u8>) -> Result<(), NetError> {
+        let (app, engine) = {
+            let inner = self.inner.borrow();
+            let conn = inner.conns.get(&id).ok_or(NetError::Closed(id))?;
+            if !conn.open {
+                return Err(NetError::Closed(id));
+            }
+            let app = inner
+                .servers
+                .get(&conn.server_port)
+                .cloned()
+                .ok_or(NetError::Closed(id))?;
+            (app, inner.engine.clone())
+        };
+        let delay = self.transfer_delay(data.len());
+        let net = self.clone();
+        // Data already in flight is delivered even if the connection
+        // closes meanwhile — TCP flushes queued segments before FIN.
+        engine.complete_async_after(delay, move |e| {
+            app.on_data(
+                e,
+                ServerConn {
+                    net: net.clone(),
+                    id,
+                },
+                data,
+            );
+        });
+        Ok(())
+    }
+
+    /// Send server→client bytes.
+    fn server_send(&self, id: ConnId, data: Vec<u8>) {
+        let (engine, open) = {
+            let inner = self.inner.borrow();
+            let open = inner.conns.get(&id).map(|c| c.open).unwrap_or(false);
+            (inner.engine.clone(), open)
+        };
+        if !open {
+            return; // sender-side check: no writes after close
+        }
+        let delay = self.transfer_delay(data.len());
+        let net = self.clone();
+        engine.complete_async_after(delay, move |e| {
+            // Take the handler out, call it, put it back: it must not
+            // be invoked while the fabric is borrowed.
+            let handler = net
+                .inner
+                .borrow_mut()
+                .conns
+                .get_mut(&id)
+                .and_then(|c| c.handlers.on_data.take());
+            if let Some(mut h) = handler {
+                h(e, data);
+                if let Some(c) = net.inner.borrow_mut().conns.get_mut(&id) {
+                    if c.handlers.on_data.is_none() {
+                        c.handlers.on_data = Some(h);
+                    }
+                }
+            }
+        });
+    }
+
+    /// Close from the client side: notifies the server app.
+    pub fn client_close(&self, id: ConnId) {
+        let info = {
+            let mut inner = self.inner.borrow_mut();
+            match inner.conns.get_mut(&id) {
+                Some(c) if c.open => {
+                    c.open = false;
+                    Some((c.server_port, inner.engine.clone()))
+                }
+                _ => None,
+            }
+        };
+        if let Some((port, engine)) = info {
+            let app = self.inner.borrow().servers.get(&port).cloned();
+            let delay = self.transfer_delay(0);
+            if let Some(app) = app {
+                engine.complete_async_after(delay, move |e| app.on_close(e, id));
+            }
+        }
+    }
+
+    /// Close from the server side: notifies the client handler.
+    fn server_close(&self, id: ConnId) {
+        let (engine, handler) = {
+            let mut inner = self.inner.borrow_mut();
+            let engine = inner.engine.clone();
+            let handler = match inner.conns.get_mut(&id) {
+                Some(c) if c.open => {
+                    c.open = false;
+                    c.handlers.on_close.take()
+                }
+                _ => None,
+            };
+            (engine, handler)
+        };
+        if let Some(cb) = handler {
+            let delay = self.transfer_delay(0);
+            engine.complete_async_after(delay, move |e| cb(e));
+        }
+    }
+
+    /// Whether a connection is currently open.
+    pub fn is_open(&self, id: ConnId) -> bool {
+        self.inner
+            .borrow()
+            .conns
+            .get(&id)
+            .map(|c| c.open)
+            .unwrap_or(false)
+    }
+}
+
+/// The server side of one connection (handed to [`TcpServerApp`]s).
+#[derive(Clone)]
+pub struct ServerConn {
+    net: Network,
+    id: ConnId,
+}
+
+impl ServerConn {
+    /// This connection's id.
+    pub fn id(&self) -> ConnId {
+        self.id
+    }
+
+    /// Send bytes to the client.
+    pub fn send(&self, data: Vec<u8>) {
+        self.net.server_send(self.id, data);
+    }
+
+    /// Close the connection.
+    pub fn close(&self) {
+        self.net.server_close(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppio_jsengine::Browser;
+
+    /// Echoes every byte back.
+    struct Echo;
+    impl TcpServerApp for Echo {
+        fn on_connect(&self, _e: &Engine, _c: ServerConn) {}
+        fn on_data(&self, _e: &Engine, c: ServerConn, data: Vec<u8>) {
+            c.send(data);
+        }
+        fn on_close(&self, _e: &Engine, _c: ConnId) {}
+    }
+
+    #[test]
+    fn echo_round_trip() {
+        let engine = Engine::new(Browser::Chrome);
+        let net = Network::new(&engine);
+        net.listen(7, Rc::new(Echo));
+
+        let received = Rc::new(RefCell::new(Vec::new()));
+        let r = received.clone();
+        let id = net
+            .connect(
+                7,
+                ClientHandlers {
+                    on_connect: None,
+                    on_data: Some(Box::new(move |_, d| r.borrow_mut().extend(d))),
+                    on_close: None,
+                },
+            )
+            .unwrap();
+        net.client_send(id, vec![1, 2, 3]).unwrap();
+        engine.run_until_idle();
+        assert_eq!(*received.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn refused_when_no_listener() {
+        let engine = Engine::new(Browser::Chrome);
+        let net = Network::new(&engine);
+        assert_eq!(
+            net.connect(9999, ClientHandlers::default()).unwrap_err(),
+            NetError::ConnectionRefused(9999)
+        );
+    }
+
+    #[test]
+    fn close_stops_delivery_and_notifies() {
+        let engine = Engine::new(Browser::Chrome);
+        let net = Network::new(&engine);
+        net.listen(7, Rc::new(Echo));
+        let id = net.connect(7, ClientHandlers::default()).unwrap();
+        engine.run_until_idle();
+        assert!(net.is_open(id));
+        net.client_close(id);
+        assert!(!net.is_open(id));
+        assert!(net.client_send(id, vec![1]).is_err());
+    }
+
+    #[test]
+    fn transfers_cost_latency_and_bandwidth() {
+        let engine = Engine::new(Browser::Chrome);
+        let net = Network::with_latency(&engine, 1_000_000, 10_000);
+        net.listen(7, Rc::new(Echo));
+        let done_at = Rc::new(RefCell::new(0u64));
+        let d = done_at.clone();
+        let id = net
+            .connect(
+                7,
+                ClientHandlers {
+                    on_connect: None,
+                    on_data: Some(Box::new(move |e, _| *d.borrow_mut() = e.now_ns())),
+                    on_close: None,
+                },
+            )
+            .unwrap();
+        net.client_send(id, vec![0; 100 * 1024]).unwrap();
+        engine.run_until_idle();
+        // Round trip: 2 × (1 ms + 100 KiB × 10 µs/KiB) = 2 × 2 ms.
+        assert!(*done_at.borrow() >= 4_000_000);
+    }
+}

@@ -1,0 +1,113 @@
+//! SHA-1, as required by the WebSocket opening handshake (RFC 6455
+//! computes `Sec-WebSocket-Accept` as the base64 of the SHA-1 of the
+//! client key concatenated with a fixed GUID).
+//!
+//! SHA-1 is cryptographically broken for collision resistance, but the
+//! WebSocket handshake only uses it as a protocol-level checksum — the
+//! same reason browsers still ship it there.
+
+/// Compute the SHA-1 digest of `data`.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+    // Pad: 0x80, zeros, then the 64-bit big-endian bit length.
+    let bit_len = (data.len() as u64) * 8;
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    for chunk in msg.chunks_exact(64) {
+        let mut w = [0u32; 80];
+        for (i, word) in chunk.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Hex-encode a digest (for tests and diagnostics).
+pub fn to_hex(digest: &[u8]) -> String {
+    digest.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc3174_test_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+            (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+            ),
+            (
+                b"The quick brown fox jumps over the lazy dog",
+                "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12",
+            ),
+        ];
+        for (input, expect) in cases {
+            assert_eq!(to_hex(&sha1(input)), *expect);
+        }
+    }
+
+    #[test]
+    fn million_a_vector() {
+        let input = vec![b'a'; 1_000_000];
+        assert_eq!(
+            to_hex(&sha1(&input)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn length_boundaries_around_block_size() {
+        // Exercise padding at 55/56/63/64/65 bytes (the tricky edges).
+        for n in [55usize, 56, 63, 64, 65] {
+            let input = vec![0x61; n];
+            let d = sha1(&input);
+            assert_eq!(d.len(), 20);
+            // Determinism.
+            assert_eq!(sha1(&input), d);
+        }
+    }
+}

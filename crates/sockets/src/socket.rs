@@ -1,0 +1,164 @@
+//! Doppio's Unix-style client socket API (§5.3).
+//!
+//! "DOPPIO resolves the client side of the issue by emulating a Unix
+//! socket API in terms of WebSocket functionality." A [`DoppioSocket`]
+//! looks like a plain byte-stream socket — `connect`, `send`, `recv`,
+//! `close` — while the wire actually carries WebSocket frames to a
+//! Websockify bridge in front of the unmodified server. Incoming
+//! frames land in a receive buffer; language runtimes layer *blocking*
+//! reads on top with `doppio_core`'s async→sync bridge (§4.2), using
+//! [`DoppioSocket::set_data_waker`] to be woken when bytes arrive.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use doppio_jsengine::Engine;
+
+use crate::frames::Frame;
+use crate::network::Network;
+use crate::websocket::{WebSocket, WsError, WsHandlers, WsState};
+
+/// Socket lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketState {
+    /// Handshake still in flight.
+    Connecting,
+    /// Connected.
+    Open,
+    /// Closed.
+    Closed,
+}
+
+#[allow(clippy::type_complexity)] // callback plumbing, not public API surface
+struct SockInner {
+    recv_buf: VecDeque<u8>,
+    state: SocketState,
+    waker: Option<Box<dyn FnMut(&Engine)>>,
+    ws: Option<WebSocket>,
+}
+
+/// A Unix-style client socket over WebSockets.
+#[derive(Clone)]
+pub struct DoppioSocket {
+    inner: Rc<RefCell<SockInner>>,
+}
+
+impl DoppioSocket {
+    /// Connect to `port` (a Websockify bridge) on the fabric.
+    pub fn connect(engine: &Engine, net: &Network, port: u16) -> Result<DoppioSocket, WsError> {
+        let sock = DoppioSocket {
+            inner: Rc::new(RefCell::new(SockInner {
+                recv_buf: VecDeque::new(),
+                state: SocketState::Connecting,
+                waker: None,
+                ws: None,
+            })),
+        };
+        let s_open = sock.clone();
+        let s_msg = sock.clone();
+        let s_close = sock.clone();
+        let ws = WebSocket::connect(
+            engine,
+            net,
+            port,
+            WsHandlers {
+                on_open: Some(Box::new(move |e: &Engine| {
+                    s_open.inner.borrow_mut().state = SocketState::Open;
+                    s_open.wake(e);
+                })),
+                on_message: Some(Box::new(move |e: &Engine, frame: Frame| {
+                    s_msg.inner.borrow_mut().recv_buf.extend(frame.payload);
+                    s_msg.wake(e);
+                })),
+                on_close: Some(Box::new(move |e: &Engine| {
+                    s_close.inner.borrow_mut().state = SocketState::Closed;
+                    s_close.wake(e);
+                })),
+            },
+        )?;
+        sock.inner.borrow_mut().ws = Some(ws);
+        Ok(sock)
+    }
+
+    fn wake(&self, engine: &Engine) {
+        let waker = self.inner.borrow_mut().waker.take();
+        if let Some(mut w) = waker {
+            w(engine);
+            let mut inner = self.inner.borrow_mut();
+            if inner.waker.is_none() {
+                inner.waker = Some(w);
+            }
+        }
+    }
+
+    /// Register a callback fired whenever data arrives, the connection
+    /// opens, or it closes — the hook blocking `recv` wrappers use to
+    /// wake their guest thread.
+    pub fn set_data_waker(&self, waker: Box<dyn FnMut(&Engine)>) {
+        self.inner.borrow_mut().waker = Some(waker);
+    }
+
+    /// Remove the waker.
+    pub fn clear_data_waker(&self) {
+        self.inner.borrow_mut().waker = None;
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SocketState {
+        self.inner.borrow().state
+    }
+
+    /// Bytes available to read without blocking.
+    pub fn available(&self) -> usize {
+        self.inner.borrow().recv_buf.len()
+    }
+
+    /// Send bytes (wrapped into one binary WebSocket frame).
+    pub fn send(&self, data: &[u8]) -> Result<(), WsError> {
+        let ws = self.inner.borrow().ws.clone();
+        match ws {
+            Some(ws) if ws.state() == WsState::Open => ws.send_binary(data.to_vec()),
+            _ => Err(WsError::NotOpen),
+        }
+    }
+
+    /// Non-blocking read of up to `max` buffered bytes. Returns an
+    /// empty vector when nothing is buffered (callers distinguish EOF
+    /// via [`state`](Self::state)).
+    pub fn recv(&self, max: usize) -> Vec<u8> {
+        let mut inner = self.inner.borrow_mut();
+        let n = max.min(inner.recv_buf.len());
+        inner.recv_buf.drain(..n).collect()
+    }
+
+    /// Close the socket.
+    pub fn close(&self) {
+        let ws = self.inner.borrow().ws.clone();
+        if let Some(ws) = ws {
+            ws.close();
+        }
+        self.inner.borrow_mut().state = SocketState::Closed;
+    }
+
+    /// Whether this socket runs through the Flash shim.
+    pub fn via_flash_shim(&self) -> bool {
+        self.inner
+            .borrow()
+            .ws
+            .as_ref()
+            .map(WebSocket::via_flash_shim)
+            .unwrap_or(false)
+    }
+}
+
+impl fmt::Debug for DoppioSocket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("DoppioSocket")
+            .field("state", &inner.state)
+            .field("buffered", &inner.recv_buf.len())
+            .finish()
+    }
+}

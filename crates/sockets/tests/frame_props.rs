@@ -1,0 +1,63 @@
+//! Property tests on the WebSocket wire format.
+
+use proptest::prelude::*;
+
+use doppio_sockets::frames::{decode, encode, Frame, FrameDecoder, Opcode};
+use doppio_sockets::handshake;
+
+proptest! {
+    #[test]
+    fn frames_round_trip_any_payload(payload: Vec<u8>, mask: Option<[u8; 4]>, fin: bool) {
+        let frame = Frame { fin, opcode: Opcode::Binary, payload };
+        let wire = encode(&frame, mask);
+        let (decoded, used) = decode(&wire, mask.is_some()).unwrap();
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn streaming_decoder_is_chunking_invariant(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..300), 1..8),
+        chunk in 1usize..17,
+    ) {
+        // However the wire bytes arrive, the same frames come out.
+        let frames: Vec<Frame> = payloads.into_iter().map(Frame::binary).collect();
+        let mut wire = Vec::new();
+        for (i, f) in frames.iter().enumerate() {
+            wire.extend(encode(f, Some([i as u8, 7, 13, 21])));
+        }
+        let mut dec = FrameDecoder::for_server();
+        let mut got = Vec::new();
+        for piece in wire.chunks(chunk) {
+            dec.feed(piece);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        prop_assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn truncated_frames_never_panic_and_are_incomplete(payload in proptest::collection::vec(any::<u8>(), 0..300), cut_frac in 0.0f64..1.0) {
+        let wire = encode(&Frame::binary(payload), None);
+        let cut = ((wire.len() as f64) * cut_frac) as usize;
+        if cut < wire.len() {
+            // Any strict prefix either decodes nothing (incomplete) —
+            // never a wrong frame, never a panic.
+            let r = decode(&wire[..cut], false);
+            prop_assert!(r.is_err());
+        }
+    }
+
+    #[test]
+    fn handshake_accept_key_is_deterministic_and_sensitive(nonce: [u8; 16], flip in 0usize..16) {
+        let key = handshake::client_key(nonce);
+        let a1 = handshake::accept_key(&key);
+        let a2 = handshake::accept_key(&key);
+        prop_assert_eq!(&a1, &a2);
+        let mut other = nonce;
+        other[flip] = other[flip].wrapping_add(1);
+        let key2 = handshake::client_key(other);
+        prop_assert_ne!(a1, handshake::accept_key(&key2));
+    }
+}

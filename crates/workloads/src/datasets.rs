@@ -1,0 +1,127 @@
+//! Synthetic input datasets for the file-driven workloads.
+//!
+//! The paper's `javap` benchmark reads "the compiled class files of
+//! javac, which comprises 491 class files", and its `javac` benchmark
+//! compiles "the 19 source files of javap". OpenJDK is not available,
+//! so these generators produce inputs with the same character: a
+//! directory of genuine class files of varied size for `disasm`, and a
+//! set of expression source files for `compilerbench`. Generation is
+//! seeded and deterministic.
+
+use doppio_classfile::access::{ACC_PUBLIC, ACC_STATIC};
+use doppio_classfile::builder::{ClassBuilder, MethodBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate `count` synthetic class files: `(file name, bytes)`.
+///
+/// Classes vary in field count, method count, method size, and string
+/// constants, giving a realistic class-file size distribution.
+pub fn synth_class_files(count: usize, seed: u64) -> Vec<(String, Vec<u8>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let name = format!("Synth{i:04}");
+        let mut b = ClassBuilder::new(&name, "java/lang/Object");
+        let fields = rng.gen_range(2..20);
+        for f in 0..fields {
+            let ty = ["I", "J", "Ljava/lang/String;", "[B", "D"][rng.gen_range(0..5)];
+            b.add_field(ACC_PUBLIC, &format!("field{f}"), ty);
+        }
+        let methods = rng.gen_range(3..24);
+        for mi in 0..methods {
+            let mut m =
+                MethodBuilder::new(ACC_PUBLIC | ACC_STATIC, &format!("method{mi}"), "(I)I", 2);
+            // A small arithmetic body of random length.
+            let body = rng.gen_range(4..60);
+            m.iload(0);
+            for _ in 0..body {
+                m.ldc_int(rng.gen_range(-1000..1000));
+                m.iadd();
+            }
+            m.ireturn();
+            b.add_method(m);
+            // String constants pad the pool like real string tables
+            // and symbol names do (class files are mostly constant
+            // pool by bytes).
+            if rng.gen_bool(0.7) {
+                let mut s = MethodBuilder::new(
+                    ACC_PUBLIC | ACC_STATIC,
+                    &format!("name{mi}"),
+                    "()Ljava/lang/String;",
+                    0,
+                );
+                let text: String = (0..rng.gen_range(200..1400))
+                    .map(|_| rng.gen_range(b'a'..=b'z') as char)
+                    .collect();
+                s.ldc_string(&text);
+                s.areturn();
+                b.add_method(s);
+            }
+        }
+        out.push((format!("{name}.class"), b.finish().to_bytes()));
+    }
+    out
+}
+
+/// Generate `files` expression source files of `lines` lines each.
+pub fn expression_sources(files: usize, lines: usize, seed: u64) -> Vec<(String, String)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..files)
+        .map(|i| {
+            let mut text = String::new();
+            for _ in 0..lines {
+                text.push_str(&gen_expr(&mut rng, 3));
+                text.push('\n');
+            }
+            (format!("prog{i:02}.expr"), text)
+        })
+        .collect()
+}
+
+fn gen_expr(rng: &mut StdRng, depth: u32) -> String {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return rng.gen_range(0..100).to_string();
+    }
+    let op = ['+', '-', '*', '/'][rng.gen_range(0..4)];
+    let l = gen_expr(rng, depth - 1);
+    let r = gen_expr(rng, depth - 1);
+    if rng.gen_bool(0.5) {
+        format!("({l} {op} {r})")
+    } else {
+        format!("{l} {op} {r}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_files_are_valid_and_deterministic() {
+        let a = synth_class_files(10, 42);
+        let b = synth_class_files(10, 42);
+        assert_eq!(a, b);
+        for (name, bytes) in &a {
+            let cf = doppio_classfile::parse(bytes).expect(name);
+            assert!(!cf.methods.is_empty());
+        }
+        // Sizes vary.
+        let sizes: Vec<usize> = a.iter().map(|(_, b)| b.len()).collect();
+        assert!(sizes.iter().max() > sizes.iter().min());
+    }
+
+    #[test]
+    fn expressions_are_parseable_shapes() {
+        let files = expression_sources(3, 5, 7);
+        assert_eq!(files.len(), 3);
+        for (_, text) in &files {
+            assert_eq!(text.lines().count(), 5);
+            for line in text.lines() {
+                assert!(line
+                    .chars()
+                    .all(|c| c.is_ascii_digit() || " +-*/()".contains(c)));
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # Doppio (Rust reproduction)
+//!
+//! A faithful Rust reproduction of **"Doppio: Breaking the Browser
+//! Language Barrier"** (John Vilk and Emery D. Berger, PLDI 2014).
+//!
+//! Doppio is a runtime system that lets unmodified applications written
+//! in conventional programming languages run inside a web browser. This
+//! workspace rebuilds the whole stack over a *simulated* browser
+//! substrate (see `DESIGN.md` for the substitution record):
+//!
+//! * [`jsengine`] — the simulated single-threaded browser environment:
+//!   event loop, virtual clock, browser profiles, storage mechanisms.
+//! * [`buffer`] — the Node-style `Buffer` module (§5.1).
+//! * [`heap`] — the unmanaged heap: a first-fit allocator (§5.2).
+//! * [`core`] — the execution environment: suspend-and-resume, event
+//!   segmentation, cooperative threads, async→sync bridging (§4).
+//! * [`fs`] — the file system with pluggable storage backends (§5.1).
+//! * [`sockets`] — TCP sockets over emulated WebSockets (§5.3).
+//! * [`classfile`] — JVM class-file reading/writing.
+//! * [`jvm`] — DoppioJVM, the JVM interpreter case study (§6).
+//! * [`minijava`] — a Java-subset compiler used to author workloads.
+//! * [`workloads`] — the benchmark programs of §7.
+//!
+//! # Quick start
+//!
+//! Run a JVM program inside a simulated Chrome:
+//!
+//! ```
+//! use doppio::jsengine::{Browser, Engine};
+//!
+//! let engine = Engine::new(Browser::Chrome);
+//! assert_eq!(engine.browser(), Browser::Chrome);
+//! ```
+//!
+//! See `examples/quickstart.rs` for the full pipeline: compile MiniJava
+//! source to class files, mount them on the Doppio file system, and run
+//! them in DoppioJVM under event segmentation.
+
+pub use doppio_buffer as buffer;
+pub use doppio_classfile as classfile;
+pub use doppio_core as core;
+pub use doppio_fs as fs;
+pub use doppio_heap as heap;
+pub use doppio_jsengine as jsengine;
+pub use doppio_jvm as jvm;
+pub use doppio_minijava as minijava;
+pub use doppio_sockets as sockets;
+pub use doppio_workloads as workloads;

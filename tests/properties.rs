@@ -1,0 +1,225 @@
+//! Property-based tests over the core data structures and, most
+//! importantly, a differential test of the whole pipeline: random
+//! arithmetic programs are compiled by MiniJava, interpreted by
+//! DoppioJVM in the simulated browser, and checked against a direct
+//! Rust evaluation of the same expression.
+
+use proptest::prelude::*;
+
+use doppio::buffer::encoding::{bytes_to_js, js_to_bytes};
+use doppio::buffer::{Encoding, Int64};
+use doppio::fs::{backends, path, FileSystem};
+use doppio::heap::UnmanagedHeap;
+use doppio::jsengine::{Browser, Engine};
+use doppio::jvm::{fsutil, Jvm};
+use doppio::minijava::compile_to_bytes;
+
+// ----------------------------------------------------------------
+// Software Int64 vs the native i64 oracle
+// ----------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn int64_matches_native_semantics(a: i64, b: i64, n in 0u32..128) {
+        let (x, y) = (Int64::from_i64(a), Int64::from_i64(b));
+        prop_assert_eq!(x.add(y).to_i64(), a.wrapping_add(b));
+        prop_assert_eq!(x.sub(y).to_i64(), a.wrapping_sub(b));
+        prop_assert_eq!(x.mul(y).to_i64(), a.wrapping_mul(b));
+        if b != 0 {
+            prop_assert_eq!(x.div(y).unwrap().to_i64(), a.wrapping_div(b));
+            prop_assert_eq!(x.rem(y).unwrap().to_i64(), a.wrapping_rem(b));
+        }
+        prop_assert_eq!(x.shl(n).to_i64(), a.wrapping_shl(n & 63));
+        prop_assert_eq!(x.shr(n).to_i64(), a.wrapping_shr(n & 63));
+        prop_assert_eq!(x.ushr(n).to_i64(), ((a as u64).wrapping_shr(n & 63)) as i64);
+        prop_assert_eq!(x.compare(y), a.cmp(&b));
+    }
+}
+
+// ----------------------------------------------------------------
+// Buffer encodings round-trip arbitrary bytes
+// ----------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn encodings_round_trip(bytes: Vec<u8>, validates: bool) {
+        for enc in [Encoding::Base64, Encoding::Hex, Encoding::Latin1, Encoding::BinaryString] {
+            let js = bytes_to_js(enc, &bytes, validates);
+            let back = js_to_bytes(enc, &js, validates).unwrap();
+            prop_assert_eq!(&back, &bytes, "encoding {:?}", enc);
+        }
+    }
+
+    #[test]
+    fn binary_string_is_dense_only_without_validation(bytes in proptest::collection::vec(any::<u8>(), 2..512)) {
+        let packed = bytes_to_js(Encoding::BinaryString, &bytes, false);
+        let plain = bytes_to_js(Encoding::BinaryString, &bytes, true);
+        prop_assert!(packed.len() <= plain.len() / 2 + 2);
+        prop_assert!(plain.is_valid_utf16());
+    }
+}
+
+// ----------------------------------------------------------------
+// Allocator invariants under arbitrary operation sequences
+// ----------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn allocator_blocks_never_overlap(ops in proptest::collection::vec((any::<bool>(), 1usize..512), 1..120)) {
+        let engine = Engine::native();
+        let mut heap = UnmanagedHeap::new(&engine, 64 * 1024);
+        let mut live: Vec<(usize, usize)> = Vec::new(); // (addr, size)
+        for (i, (alloc, size)) in ops.into_iter().enumerate() {
+            if alloc || live.is_empty() {
+                if let Ok(p) = heap.malloc(size) {
+                    let rounded = size.div_ceil(4) * 4;
+                    // No overlap with any live block.
+                    for &(a, s) in &live {
+                        prop_assert!(p + rounded <= a || a + s <= p,
+                            "block {p}+{rounded} overlaps {a}+{s}");
+                    }
+                    // Writes to this block don't disturb the others.
+                    heap.write_i32(p, i as i32).unwrap();
+                    live.push((p, rounded));
+                }
+            } else {
+                let idx = size % live.len();
+                let (a, _) = live.remove(idx);
+                heap.free(a).unwrap();
+            }
+        }
+        // All remaining blocks still readable; double-free rejected.
+        for &(a, _) in &live {
+            prop_assert!(heap.read_i32(a).is_ok());
+        }
+        for &(a, _) in &live {
+            heap.free(a).unwrap();
+            prop_assert!(heap.free(a).is_err());
+        }
+        // Full capacity recovered.
+        prop_assert_eq!(heap.largest_free_block(), 64 * 1024);
+    }
+}
+
+// ----------------------------------------------------------------
+// Path algebra laws
+// ----------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn normalize_is_idempotent(segs in proptest::collection::vec("[a-z.]{1,6}", 0..8), abs: bool) {
+        let p = format!("{}{}", if abs { "/" } else { "" }, segs.join("/"));
+        let once = path::normalize(&p);
+        prop_assert_eq!(path::normalize(&once), once.clone());
+        // Absolute inputs stay absolute; `..` never survives in them.
+        if abs {
+            prop_assert!(path::is_absolute(&once));
+            prop_assert!(!path::components(&once).iter().any(|c| c == ".."));
+        }
+    }
+
+    #[test]
+    fn dirname_basename_recompose(segs in proptest::collection::vec("[a-z]{1,6}", 1..6)) {
+        let p = format!("/{}", segs.join("/"));
+        let recomposed = path::join(&[&path::dirname(&p), &path::basename(&p)]);
+        prop_assert_eq!(recomposed, p);
+    }
+}
+
+// ----------------------------------------------------------------
+// Event-loop ordering law
+// ----------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn timers_fire_in_deadline_order(delays in proptest::collection::vec(0u32..50, 1..20)) {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let engine = Engine::new(Browser::Chrome);
+        let fired: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut expect: Vec<(u64, usize)> = Vec::new();
+        for (i, d) in delays.iter().enumerate() {
+            let clamped = (*d as f64).max(4.0); // the 4 ms clamp
+            expect.push(((clamped * 1e6) as u64, i));
+            let f = fired.clone();
+            engine.set_timeout(*d as f64, move |e| {
+                f.borrow_mut().push((e.now_ns(), i));
+            });
+        }
+        engine.run_until_idle();
+        expect.sort();
+        let got = fired.borrow();
+        prop_assert_eq!(got.len(), expect.len());
+        // Firing order matches deadline order (FIFO among equals).
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert_eq!(g.1, e.1);
+            prop_assert!(g.0 >= e.0, "fired before its deadline");
+        }
+    }
+}
+
+// ----------------------------------------------------------------
+// Differential pipeline test: MiniJava + DoppioJVM vs a Rust oracle
+// ----------------------------------------------------------------
+
+/// A tiny expression AST we can both print as Java and evaluate.
+#[derive(Debug, Clone)]
+enum E {
+    Lit(i32),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+}
+
+impl E {
+    fn to_java(&self) -> String {
+        match self {
+            E::Lit(v) => format!("({v})"),
+            E::Add(a, b) => format!("({} + {})", a.to_java(), b.to_java()),
+            E::Sub(a, b) => format!("({} - {})", a.to_java(), b.to_java()),
+            E::Mul(a, b) => format!("({} * {})", a.to_java(), b.to_java()),
+        }
+    }
+
+    fn eval(&self) -> i32 {
+        match self {
+            E::Lit(v) => *v,
+            E::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            E::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            E::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = any::<i16>().prop_map(|v| E::Lit(v as i32));
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn jvm_agrees_with_rust_on_random_arithmetic(e in arb_expr()) {
+        let expected = e.eval();
+        let src = format!(
+            "class Main {{ static void main(String[] args) {{ System.out.println({}); }} }}",
+            e.to_java()
+        );
+        let classes = compile_to_bytes(&src).unwrap();
+        let engine = Engine::new(Browser::Chrome);
+        let fs = FileSystem::new(&engine, backends::in_memory(&engine));
+        fsutil::mount_class_files(&engine, &fs, "/classes", &classes);
+        let jvm = Jvm::new(&engine, fs);
+        jvm.launch("Main", &[]);
+        let r = jvm.run_to_completion().unwrap();
+        prop_assert_eq!(r.stdout.trim(), expected.to_string());
+    }
+}
