@@ -60,3 +60,62 @@ mod tests {
         assert_eq!(ms(1_500_000), "1.5 ms");
     }
 }
+
+/// A tiny fixed-budget micro-benchmark harness.
+///
+/// The build is fully offline, so instead of an external bench
+/// framework the `benches/` targets use this: size a batch to a few
+/// milliseconds, take several measured batches, keep the fastest
+/// (least scheduler noise), and print one line per benchmark.
+pub mod harness {
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    /// Minimum wall time a measured batch should cover.
+    const BATCH_NS: u128 = 10_000_000;
+    /// Measured batches per benchmark (the fastest wins).
+    const BATCHES: u32 = 5;
+
+    /// Measure `f` and return the best observed ns/iter. `f` must
+    /// return a value derived from its work so it can't be optimized
+    /// away (it is `black_box`ed here).
+    pub fn measure<T>(mut f: impl FnMut() -> T) -> f64 {
+        // Grow the batch until it covers BATCH_NS of wall time.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            if t0.elapsed().as_nanos() >= BATCH_NS || iters >= 1 << 22 {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..BATCHES {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            best = best.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        best
+    }
+
+    /// Run and report one benchmark; returns ns/iter.
+    pub fn bench<T>(group: &str, name: &str, f: impl FnMut() -> T) -> f64 {
+        let ns = measure(f);
+        println!("{group}/{name:<28} {:>12.1} ns/iter", ns);
+        ns
+    }
+
+    /// Like [`bench`] but also reports throughput for `bytes` of work
+    /// per iteration.
+    pub fn bench_bytes<T>(group: &str, name: &str, bytes: u64, f: impl FnMut() -> T) -> f64 {
+        let ns = measure(f);
+        let mibps = bytes as f64 * 1e9 / ns / (1024.0 * 1024.0);
+        println!("{group}/{name:<28} {ns:>12.1} ns/iter  {mibps:>9.1} MiB/s");
+        ns
+    }
+}

@@ -17,8 +17,16 @@ use std::rc::Rc;
 
 use doppio_jsengine::profile::ResumeMechanism;
 use doppio_jsengine::Engine;
+use doppio_trace::{cat, ArgValue};
 
 use crate::suspend::{SuspendTimer, DEFAULT_TIME_SLICE_NS};
+
+/// Trace lane for runtime-wide events (suspension intervals, timer
+/// adjustments). Lane 0 is the browser event loop; guest threads get
+/// `THREAD_LANE_BASE + thread_id`.
+const RUNTIME_LANE: u32 = 1;
+/// First trace lane used for per-thread slices.
+const THREAD_LANE_BASE: u32 = 2;
 
 /// Identifies a thread in the runtime's thread pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -209,6 +217,9 @@ impl DoppioRuntime {
         scheduler: Box<dyn Scheduler>,
         time_slice_ns: u64,
     ) -> DoppioRuntime {
+        if engine.tracer().enabled() {
+            engine.tracer().name_lane(RUNTIME_LANE, "doppio runtime");
+        }
         DoppioRuntime {
             engine: engine.clone(),
             inner: Rc::new(RefCell::new(Inner {
@@ -231,10 +242,18 @@ impl DoppioRuntime {
     /// Add a thread to the pool (Ready). Threads added after
     /// [`start`](Self::start) begin running on the next tick.
     pub fn spawn(&self, name: impl Into<String>, thread: Box<dyn GuestThread>) -> ThreadId {
+        let name = name.into();
         let mut inner = self.inner.borrow_mut();
         let id = ThreadId(inner.threads.len());
+        let tracer = self.engine.tracer();
+        if tracer.enabled() {
+            tracer.name_lane(
+                THREAD_LANE_BASE + id.0 as u32,
+                format!("thread {}: {name}", id.0),
+            );
+        }
         inner.threads.push(Slot {
-            name: name.into(),
+            name,
             state: ThreadState::Ready,
             wake_pending: false,
             thread: Some(thread),
@@ -367,6 +386,14 @@ impl DoppioRuntime {
             inner.tick_scheduled = false;
             if let Some(t0) = inner.suspend_started_at.take() {
                 inner.stats.suspended_ns += now.saturating_sub(t0);
+                self.engine.tracer().complete(
+                    cat::CORE,
+                    "suspended",
+                    t0,
+                    now.saturating_sub(t0),
+                    RUNTIME_LANE,
+                    vec![],
+                );
             }
             inner.timer.reset_window(now);
             let ready: Vec<ThreadId> = inner
@@ -390,7 +417,27 @@ impl DoppioRuntime {
         };
 
         let mut ctx = self.make_ctx(id);
+        let slice_start = self.engine.now_ns();
         let step = thread.run(&mut ctx);
+        let tracer = self.engine.tracer();
+        if tracer.enabled() {
+            let step_name = match step {
+                ThreadStep::Finished => "finished",
+                ThreadStep::Yielded => "yielded",
+                ThreadStep::Blocked => "blocked",
+            };
+            tracer.complete(
+                cat::CORE,
+                "slice",
+                slice_start,
+                self.engine.now_ns() - slice_start,
+                THREAD_LANE_BASE + id.0 as u32,
+                vec![
+                    ("thread", ArgValue::U64(id.0 as u64)),
+                    ("step", ArgValue::from(step_name)),
+                ],
+            );
+        }
 
         let any_ready = {
             let mut inner = self.inner.borrow_mut();
@@ -456,11 +503,40 @@ impl ThreadContext<'_> {
         self.thread_id
     }
 
+    /// The trace lane (Chrome `tid`) this thread's slices render on.
+    /// Guest language runtimes use this to put their own trace events
+    /// on the same lane as the scheduler's slice spans.
+    pub fn trace_lane(&self) -> u32 {
+        THREAD_LANE_BASE + self.thread_id.0 as u32
+    }
+
     /// One suspend check (§4.1). When this returns `true` the thread
     /// must save its state and return [`ThreadStep::Yielded`].
     pub fn should_suspend(&mut self) -> bool {
         let now = self.runtime.engine.now_ns();
-        self.runtime.inner.borrow_mut().timer.check(now)
+        let mut inner = self.runtime.inner.borrow_mut();
+        let fired = inner.timer.check(now);
+        if fired {
+            // The timer just recalibrated its counter; record the
+            // adjustment so traces show segmentation adapting.
+            let tracer = self.runtime.engine.tracer();
+            if tracer.enabled() {
+                let counter = inner.timer.counter_initial();
+                let avg = inner.timer.avg_ns_per_check();
+                drop(inner);
+                tracer.instant(
+                    cat::CORE,
+                    "suspend_timer.adjust",
+                    now,
+                    RUNTIME_LANE,
+                    vec![
+                        ("counter", ArgValue::U64(counter)),
+                        ("avg_ns_per_check", ArgValue::F64(avg)),
+                    ],
+                );
+            }
+        }
+        fired
     }
 
     /// Begin a blocking call over an asynchronous browser API (§4.2).

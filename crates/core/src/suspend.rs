@@ -68,6 +68,13 @@ impl SuspendTimer {
         self.avg_ns_per_check
     }
 
+    /// The counter value the last recalibration chose (how many checks
+    /// the timer lets a program run between suspensions). Exposed so
+    /// the runtime can trace adjustment events.
+    pub fn counter_initial(&self) -> u64 {
+        self.counter_initial
+    }
+
     /// One suspend check. Returns `true` when the program should
     /// suspend (the counter reached zero); the counter recalibrates on
     /// that boundary.

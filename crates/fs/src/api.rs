@@ -27,6 +27,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use doppio_jsengine::{Cost, Engine};
+use doppio_trace::{cat, ArgValue, Counter, MetricsRegistry, Snapshot};
 
 use crate::backend::{deliver, FsCallback, OpenFlags, SharedBackend, Stat};
 use crate::error::{Errno, FsError, FsResult};
@@ -51,6 +52,11 @@ struct OpenFile {
 /// Aggregate operation counters (Figure 6 reports these workload
 /// characteristics: "3185 file system operations, touches 1560 unique
 /// files, reads over 10.5 megabytes...").
+///
+/// Since the `doppio-trace` redesign this is a [`Snapshot`] view over
+/// the engine's shared [`MetricsRegistry`] (the `fs.*` counters), not
+/// independent bookkeeping. All file systems attached to the same
+/// engine aggregate into the same counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FsStats {
     /// Total frontend operations performed.
@@ -67,13 +73,54 @@ pub struct FsStats {
     pub flushes: u64,
 }
 
+impl Snapshot for FsStats {
+    fn prefix() -> &'static str {
+        "fs"
+    }
+
+    fn from_registry(reg: &MetricsRegistry) -> FsStats {
+        FsStats {
+            ops: reg.get("fs.ops"),
+            bytes_read: reg.get("fs.bytes_read"),
+            bytes_written: reg.get("fs.bytes_written"),
+            opens: reg.get("fs.opens"),
+            closes: reg.get("fs.closes"),
+            flushes: reg.get("fs.flushes"),
+        }
+    }
+}
+
+/// Counter handles resolved once at construction (see
+/// `EngineCounters` in the jsengine for the pattern).
+struct FsCounters {
+    ops: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
+    opens: Counter,
+    closes: Counter,
+    flushes: Counter,
+}
+
+impl FsCounters {
+    fn new(reg: &MetricsRegistry) -> FsCounters {
+        FsCounters {
+            ops: reg.counter("fs.ops"),
+            bytes_read: reg.counter("fs.bytes_read"),
+            bytes_written: reg.counter("fs.bytes_written"),
+            opens: reg.counter("fs.opens"),
+            closes: reg.counter("fs.closes"),
+            flushes: reg.counter("fs.flushes"),
+        }
+    }
+}
+
 struct FsInner {
     engine: Engine,
     backend: SharedBackend,
     files: HashMap<u32, OpenFile>,
     next_fd: u32,
     cwd: String,
-    stats: FsStats,
+    counters: FsCounters,
 }
 
 /// The file system frontend. Cheaply cloneable handle.
@@ -86,9 +133,58 @@ pub struct FileSystem {
 /// the in-memory image, so they complete on the next event-loop turn).
 const FRONTEND_LATENCY_NS: u64 = 2_000;
 
+/// Wrap an operation callback in a trace span: the span covers the
+/// whole asynchronous operation, from the frontend call to callback
+/// delivery, tagged with the backend name, success, and a byte count
+/// for data-moving operations. When tracing is off the callback is
+/// returned untouched (no allocation, no clock reads).
+fn trace_op<T: 'static>(
+    engine: &Engine,
+    name: &'static str,
+    backend: &'static str,
+    bytes_of: impl Fn(&FsResult<T>) -> u64 + 'static,
+    cb: FsCallback<T>,
+) -> FsCallback<T> {
+    if !engine.tracer().enabled() {
+        return cb;
+    }
+    let tracer = engine.tracer().clone();
+    let start = engine.now_ns();
+    Box::new(move |e: &Engine, r: FsResult<T>| {
+        let bytes = bytes_of(&r);
+        let mut args = vec![
+            ("backend", ArgValue::from(backend)),
+            ("ok", ArgValue::Bool(r.is_ok())),
+        ];
+        if bytes > 0 {
+            args.push(("bytes", ArgValue::U64(bytes)));
+        }
+        tracer.complete(
+            cat::FS,
+            name,
+            start,
+            e.now_ns().saturating_sub(start),
+            0,
+            args,
+        );
+        cb(e, r);
+    })
+}
+
+/// [`trace_op`] for operations that move no payload bytes.
+fn trace_op_plain<T: 'static>(
+    engine: &Engine,
+    name: &'static str,
+    backend: &'static str,
+    cb: FsCallback<T>,
+) -> FsCallback<T> {
+    trace_op(engine, name, backend, |_| 0, cb)
+}
+
 impl FileSystem {
     /// Create a file system over `backend` with working directory `/`.
     pub fn new(engine: &Engine, backend: SharedBackend) -> FileSystem {
+        let counters = FsCounters::new(engine.metrics());
         FileSystem {
             inner: Rc::new(RefCell::new(FsInner {
                 engine: engine.clone(),
@@ -96,19 +192,21 @@ impl FileSystem {
                 files: HashMap::new(),
                 next_fd: 3, // 0-2 notionally stdin/stdout/stderr
                 cwd: "/".to_string(),
-                stats: FsStats::default(),
+                counters,
             })),
         }
     }
 
-    /// Operation counters.
+    /// Operation counters — a view over the engine's shared metrics
+    /// registry (`fs.*`), kept for compatibility.
     pub fn stats(&self) -> FsStats {
-        self.inner.borrow().stats
+        self.inner.borrow().engine.metrics().snapshot()
     }
 
-    /// Reset operation counters.
+    /// Reset the `fs.*` counters. A view over
+    /// [`MetricsRegistry::reset_prefix`], kept for compatibility.
     pub fn reset_stats(&self) {
-        self.inner.borrow_mut().stats = FsStats::default();
+        self.inner.borrow().engine.metrics().reset_prefix("fs.");
     }
 
     /// The backend serving this file system.
@@ -137,8 +235,8 @@ impl FileSystem {
     }
 
     fn begin_op(&self) -> (Engine, SharedBackend) {
-        let mut inner = self.inner.borrow_mut();
-        inner.stats.ops += 1;
+        let inner = self.inner.borrow();
+        inner.counters.ops.inc();
         inner.engine.charge(Cost::FsCall);
         (inner.engine.clone(), inner.backend.clone())
     }
@@ -148,7 +246,8 @@ impl FileSystem {
     /// `fs.stat`.
     pub fn stat(&self, p: &str, cb: impl FnOnce(&Engine, FsResult<Stat>) + 'static) {
         let (engine, backend) = self.begin_op();
-        backend.stat(&engine, &self.resolve(p), Box::new(cb));
+        let cb = trace_op_plain(&engine, "stat", backend.name(), Box::new(cb));
+        backend.stat(&engine, &self.resolve(p), cb);
     }
 
     /// `fs.exists`.
@@ -160,10 +259,11 @@ impl FileSystem {
     /// loading the file image into memory.
     pub fn open(&self, p: &str, flags: &str, cb: impl FnOnce(&Engine, FsResult<Fd>) + 'static) {
         let (engine, backend) = self.begin_op();
+        let cb = trace_op_plain(&engine, "open", backend.name(), Box::new(cb));
         let parsed = match OpenFlags::parse(flags) {
             Ok(f) => f,
             Err(e) => {
-                deliver(&engine, FRONTEND_LATENCY_NS, Box::new(cb), Err(e));
+                deliver(&engine, FRONTEND_LATENCY_NS, cb, Err(e));
                 return;
             }
         };
@@ -180,7 +280,7 @@ impl FileSystem {
                     let mut inner = fs.inner.borrow_mut();
                     let id = inner.next_fd;
                     inner.next_fd += 1;
-                    inner.stats.opens += 1;
+                    inner.counters.opens.inc();
                     let pos = if parsed.append { data.len() } else { 0 };
                     inner.files.insert(
                         id,
@@ -202,21 +302,28 @@ impl FileSystem {
     fn with_file<T>(
         &self,
         fd: &Fd,
-        f: impl FnOnce(&mut OpenFile, &mut FsStats) -> FsResult<T>,
+        f: impl FnOnce(&mut OpenFile, &FsCounters) -> FsResult<T>,
     ) -> FsResult<T> {
         let mut inner = self.inner.borrow_mut();
         let inner = &mut *inner;
         match inner.files.get_mut(&fd.0 .0) {
             None => Err(FsError::new(Errno::Ebadf, format!("fd {}", fd.0 .0))),
-            Some(file) => f(file, &mut inner.stats),
+            Some(file) => f(file, &inner.counters),
         }
     }
 
     /// `fs.read`: up to `len` bytes from the descriptor's position.
     /// Empty result means end-of-file.
     pub fn read(&self, fd: &Fd, len: usize, cb: impl FnOnce(&Engine, FsResult<Vec<u8>>) + 'static) {
-        let (engine, _) = self.begin_op();
-        let result = self.with_file(fd, |file, stats| {
+        let (engine, backend) = self.begin_op();
+        let cb = trace_op(
+            &engine,
+            "read",
+            backend.name(),
+            |r: &FsResult<Vec<u8>>| r.as_ref().map(|c| c.len() as u64).unwrap_or(0),
+            Box::new(cb),
+        );
+        let result = self.with_file(fd, |file, counters| {
             if !file.flags.read {
                 return Err(FsError::new(Errno::Eacces, &file.path)
                     .with_detail("descriptor not open for reading"));
@@ -224,13 +331,13 @@ impl FileSystem {
             let end = (file.pos + len).min(file.data.len());
             let chunk = file.data[file.pos..end].to_vec();
             file.pos = end;
-            stats.bytes_read += chunk.len() as u64;
+            counters.bytes_read.add(chunk.len() as u64);
             Ok(chunk)
         });
         if let Ok(chunk) = &result {
             engine.charge_n(Cost::TypedArrayByte, chunk.len() as u64);
         }
-        deliver(&engine, FRONTEND_LATENCY_NS, Box::new(cb), result);
+        deliver(&engine, FRONTEND_LATENCY_NS, cb, result);
     }
 
     /// `fs.read` at an explicit position (positional read; does not
@@ -242,14 +349,21 @@ impl FileSystem {
         len: usize,
         cb: impl FnOnce(&Engine, FsResult<Vec<u8>>) + 'static,
     ) {
-        let (engine, _) = self.begin_op();
-        let result = self.with_file(fd, |file, stats| {
+        let (engine, backend) = self.begin_op();
+        let cb = trace_op(
+            &engine,
+            "pread",
+            backend.name(),
+            |r: &FsResult<Vec<u8>>| r.as_ref().map(|c| c.len() as u64).unwrap_or(0),
+            Box::new(cb),
+        );
+        let result = self.with_file(fd, |file, counters| {
             if !file.flags.read {
                 return Err(FsError::new(Errno::Eacces, &file.path));
             }
             let start = pos.min(file.data.len());
             let end = (start + len).min(file.data.len());
-            stats.bytes_read += (end - start) as u64;
+            counters.bytes_read.add((end - start) as u64);
             Ok(file.data[start..end].to_vec())
         });
         deliver(&engine, FRONTEND_LATENCY_NS, Box::new(cb), result);
@@ -258,10 +372,17 @@ impl FileSystem {
     /// `fs.write`: append/overwrite at the descriptor position,
     /// returning bytes written. The image is flushed on close.
     pub fn write(&self, fd: &Fd, data: &[u8], cb: impl FnOnce(&Engine, FsResult<usize>) + 'static) {
-        let (engine, _) = self.begin_op();
+        let (engine, backend) = self.begin_op();
+        let cb = trace_op(
+            &engine,
+            "write",
+            backend.name(),
+            |r: &FsResult<usize>| r.as_ref().map(|n| *n as u64).unwrap_or(0),
+            Box::new(cb),
+        );
         engine.charge_n(Cost::TypedArrayByte, data.len() as u64);
         let data = data.to_vec();
-        let result = self.with_file(fd, |file, stats| {
+        let result = self.with_file(fd, |file, counters| {
             if !file.flags.write {
                 return Err(FsError::new(Errno::Eacces, &file.path)
                     .with_detail("descriptor not open for writing"));
@@ -276,7 +397,7 @@ impl FileSystem {
             file.data[file.pos..end].copy_from_slice(&data);
             file.pos = end;
             file.dirty = true;
-            stats.bytes_written += data.len() as u64;
+            counters.bytes_written.add(data.len() as u64);
             Ok(data.len())
         });
         deliver(&engine, FRONTEND_LATENCY_NS, Box::new(cb), result);
@@ -324,9 +445,10 @@ impl FileSystem {
     /// release the descriptor.
     pub fn close(&self, fd: &Fd, cb: impl FnOnce(&Engine, FsResult<()>) + 'static) {
         let (engine, backend) = self.begin_op();
+        let cb = trace_op_plain(&engine, "close", backend.name(), Box::new(cb));
         let removed = {
             let mut inner = self.inner.borrow_mut();
-            inner.stats.closes += 1;
+            inner.counters.closes.inc();
             inner.files.remove(&fd.0 .0)
         };
         let Some(file) = removed else {
@@ -341,7 +463,7 @@ impl FileSystem {
         let fs = self.clone();
         let path = file.path.clone();
         if file.dirty {
-            fs.inner.borrow_mut().stats.flushes += 1;
+            fs.inner.borrow().counters.flushes.inc();
             let backend2 = backend.clone();
             let path2 = path.clone();
             backend.sync(
@@ -361,42 +483,43 @@ impl FileSystem {
     /// `fs.rename`.
     pub fn rename(&self, from: &str, to: &str, cb: impl FnOnce(&Engine, FsResult<()>) + 'static) {
         let (engine, backend) = self.begin_op();
-        backend.rename(
-            &engine,
-            &self.resolve(from),
-            &self.resolve(to),
-            Box::new(cb),
-        );
+        let cb = trace_op_plain(&engine, "rename", backend.name(), Box::new(cb));
+        backend.rename(&engine, &self.resolve(from), &self.resolve(to), cb);
     }
 
     /// `fs.unlink`.
     pub fn unlink(&self, p: &str, cb: impl FnOnce(&Engine, FsResult<()>) + 'static) {
         let (engine, backend) = self.begin_op();
-        backend.unlink(&engine, &self.resolve(p), Box::new(cb));
+        let cb = trace_op_plain(&engine, "unlink", backend.name(), Box::new(cb));
+        backend.unlink(&engine, &self.resolve(p), cb);
     }
 
     /// `fs.mkdir` (parent must exist, as in Node).
     pub fn mkdir(&self, p: &str, cb: impl FnOnce(&Engine, FsResult<()>) + 'static) {
         let (engine, backend) = self.begin_op();
-        backend.mkdir(&engine, &self.resolve(p), Box::new(cb));
+        let cb = trace_op_plain(&engine, "mkdir", backend.name(), Box::new(cb));
+        backend.mkdir(&engine, &self.resolve(p), cb);
     }
 
     /// `fs.rmdir`.
     pub fn rmdir(&self, p: &str, cb: impl FnOnce(&Engine, FsResult<()>) + 'static) {
         let (engine, backend) = self.begin_op();
-        backend.rmdir(&engine, &self.resolve(p), Box::new(cb));
+        let cb = trace_op_plain(&engine, "rmdir", backend.name(), Box::new(cb));
+        backend.rmdir(&engine, &self.resolve(p), cb);
     }
 
     /// `fs.readdir`.
     pub fn readdir(&self, p: &str, cb: impl FnOnce(&Engine, FsResult<Vec<String>>) + 'static) {
         let (engine, backend) = self.begin_op();
-        backend.readdir(&engine, &self.resolve(p), Box::new(cb));
+        let cb = trace_op_plain(&engine, "readdir", backend.name(), Box::new(cb));
+        backend.readdir(&engine, &self.resolve(p), cb);
     }
 
     /// `fs.utimes` (optional backend operation).
     pub fn utimes(&self, p: &str, mtime_ns: u64, cb: impl FnOnce(&Engine, FsResult<()>) + 'static) {
         let (engine, backend) = self.begin_op();
-        backend.utimes(&engine, &self.resolve(p), mtime_ns, Box::new(cb));
+        let cb = trace_op_plain(&engine, "utimes", backend.name(), Box::new(cb));
+        backend.utimes(&engine, &self.resolve(p), mtime_ns, cb);
     }
 
     // ---- redundant API surface, mapped onto the core ops ----

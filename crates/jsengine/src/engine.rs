@@ -6,10 +6,12 @@ use std::collections::HashSet;
 use std::fmt;
 use std::rc::Rc;
 
+use doppio_trace::{cat, ArgValue, Counter, MetricsRegistry, TraceSink, Tracer};
+
 use crate::error::{EngineError, EngineResult};
 use crate::event_loop::{EventKind, EventQueue, ScheduledEvent};
 use crate::memory::MemoryModel;
-use crate::profile::{Browser, BrowserProfile, Cost};
+use crate::profile::{Browser, BrowserProfile, Cost, COST_CATEGORIES};
 use crate::stats::EngineStats;
 use crate::storage::StorageSet;
 
@@ -44,10 +46,152 @@ struct Inner {
     seq: Cell<u64>,
     queue: RefCell<EventQueue>,
     cancelled: RefCell<HashSet<u64>>,
-    stats: RefCell<EngineStats>,
+    metrics: MetricsRegistry,
+    counters: EngineCounters,
+    tracer: Tracer,
+    rng_state: Cell<u64>,
     memory: RefCell<MemoryModel>,
     storage: RefCell<StorageSet>,
     event_depth: Cell<u32>,
+}
+
+/// Counter handles resolved once at construction, so the charge path
+/// costs the same as the direct field increments it replaced. The
+/// registry (`engine.*` names) is the source of truth; see
+/// [`EngineStats`] for the snapshot view.
+struct EngineCounters {
+    events_run: Counter,
+    watchdog_kills: Counter,
+    max_event_ns: Counter,
+    total_event_ns: Counter,
+    ops: [Counter; COST_CATEGORIES],
+    ns: [Counter; COST_CATEGORIES],
+    events_by_kind: [Counter; 5],
+}
+
+impl EngineCounters {
+    fn new(reg: &MetricsRegistry) -> EngineCounters {
+        EngineCounters {
+            events_run: reg.counter("engine.events_run"),
+            watchdog_kills: reg.counter("engine.watchdog_kills"),
+            max_event_ns: reg.counter("engine.max_event_ns"),
+            total_event_ns: reg.counter("engine.total_event_ns"),
+            ops: std::array::from_fn(|i| {
+                reg.counter(&format!("engine.ops.{}", Cost::ALL[i].name()))
+            }),
+            ns: std::array::from_fn(|i| reg.counter(&format!("engine.ns.{}", Cost::ALL[i].name()))),
+            events_by_kind: std::array::from_fn(|i| {
+                reg.counter(&format!("engine.events.{}", EventKind::ALL[i].name()))
+            }),
+        }
+    }
+}
+
+/// Configures and constructs an [`Engine`].
+///
+/// Replaces positional construction: profile, trace sink, watchdog
+/// threshold, metrics registry, and RNG seed are all independent knobs,
+/// so adding one no longer ripples a parameter through every call site.
+///
+/// ```
+/// use doppio_jsengine::{Browser, EngineBuilder};
+///
+/// let engine = EngineBuilder::new(Browser::Chrome)
+///     .rng_seed(7)
+///     .watchdog_limit_ns(None) // disable the watchdog
+///     .build();
+/// assert_eq!(engine.browser(), Browser::Chrome);
+/// ```
+#[derive(Debug)]
+pub struct EngineBuilder {
+    profile: BrowserProfile,
+    tracer: Tracer,
+    metrics: MetricsRegistry,
+    watchdog_override: Option<Option<u64>>,
+    rng_seed: u64,
+}
+
+impl EngineBuilder {
+    /// Start from the stock profile of `browser`.
+    pub fn new(browser: Browser) -> EngineBuilder {
+        EngineBuilder::with_profile(BrowserProfile::of(browser))
+    }
+
+    /// Start from a custom profile (the §8 ablation experiments).
+    pub fn with_profile(profile: BrowserProfile) -> EngineBuilder {
+        EngineBuilder {
+            profile,
+            tracer: Tracer::disabled(),
+            metrics: MetricsRegistry::new(),
+            watchdog_override: None,
+            rng_seed: 0,
+        }
+    }
+
+    /// Record trace events into `sink`. Equivalent to
+    /// `tracer(Tracer::new(sink))`.
+    pub fn trace_sink(self, sink: Rc<dyn TraceSink>) -> EngineBuilder {
+        self.tracer(Tracer::new(sink))
+    }
+
+    /// Use an existing tracer handle (e.g. one shared with another
+    /// engine).
+    pub fn tracer(mut self, tracer: Tracer) -> EngineBuilder {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Use an existing metrics registry instead of a fresh one (lets
+    /// several engines aggregate into one set of counters).
+    pub fn metrics(mut self, metrics: MetricsRegistry) -> EngineBuilder {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Override the profile's watchdog threshold: `Some(ns)` to set a
+    /// limit, `None` to disable the watchdog entirely.
+    pub fn watchdog_limit_ns(mut self, limit: Option<u64>) -> EngineBuilder {
+        self.watchdog_override = Some(limit);
+        self
+    }
+
+    /// Seed for the engine's deterministic RNG (see
+    /// [`Engine::random_u64`]). Defaults to 0.
+    pub fn rng_seed(mut self, seed: u64) -> EngineBuilder {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Construct the engine.
+    pub fn build(self) -> Engine {
+        let mut profile = self.profile;
+        if let Some(limit) = self.watchdog_override {
+            profile.watchdog_limit_ns = limit;
+        }
+        let memory = MemoryModel::new(profile.leaks_typed_arrays, profile.paging_threshold_bytes);
+        let storage = StorageSet::for_profile(&profile);
+        let counters = EngineCounters::new(&self.metrics);
+        let tracer = self.tracer;
+        if tracer.enabled() {
+            tracer.name_lane(0, "browser event loop");
+        }
+        Engine {
+            inner: Rc::new(Inner {
+                profile,
+                clock_ns: Cell::new(0),
+                seq: Cell::new(0),
+                queue: RefCell::new(EventQueue::default()),
+                cancelled: RefCell::new(HashSet::new()),
+                metrics: self.metrics,
+                counters,
+                tracer,
+                rng_state: Cell::new(self.rng_seed),
+                memory: RefCell::new(memory),
+                storage: RefCell::new(storage),
+                event_depth: Cell::new(0),
+            }),
+        }
+    }
 }
 
 impl fmt::Debug for Engine {
@@ -75,21 +219,12 @@ impl Engine {
     /// Create an engine from a custom profile (used by the §8 ablation
     /// experiments, which toggle proposed browser extensions).
     pub fn with_profile(profile: BrowserProfile) -> Engine {
-        let memory = MemoryModel::new(profile.leaks_typed_arrays, profile.paging_threshold_bytes);
-        let storage = StorageSet::for_profile(&profile);
-        Engine {
-            inner: Rc::new(Inner {
-                profile,
-                clock_ns: Cell::new(0),
-                seq: Cell::new(0),
-                queue: RefCell::new(EventQueue::default()),
-                cancelled: RefCell::new(HashSet::new()),
-                stats: RefCell::new(EngineStats::default()),
-                memory: RefCell::new(memory),
-                storage: RefCell::new(storage),
-                event_depth: Cell::new(0),
-            }),
-        }
+        EngineBuilder::with_profile(profile).build()
+    }
+
+    /// Start configuring an engine; see [`EngineBuilder`].
+    pub fn builder(browser: Browser) -> EngineBuilder {
+        EngineBuilder::new(browser)
     }
 
     /// The active browser profile.
@@ -131,9 +266,8 @@ impl Engine {
         let raw = unit.saturating_mul(n);
         let cost = self.inner.memory.borrow().apply_paging(raw);
         self.inner.clock_ns.set(self.inner.clock_ns.get() + cost);
-        let mut stats = self.inner.stats.borrow_mut();
-        stats.ops[kind as usize] += n;
-        stats.ns[kind as usize] += cost;
+        self.inner.counters.ops[kind as usize].add(n);
+        self.inner.counters.ns[kind as usize].add(cost);
     }
 
     /// Advance the clock without attributing the time to an operation
@@ -266,6 +400,7 @@ impl Engine {
         if ev.due_ns > self.now_ns() {
             self.inner.clock_ns.set(ev.due_ns);
         }
+        let dispatch_start = self.now_ns();
         self.charge(Cost::EventDispatch);
         let start = self.now_ns();
         self.inner.event_depth.set(self.inner.event_depth.get() + 1);
@@ -273,18 +408,34 @@ impl Engine {
         self.inner.event_depth.set(self.inner.event_depth.get() - 1);
         let elapsed = self.now_ns() - start;
 
-        let mut stats = self.inner.stats.borrow_mut();
-        stats.events_run += 1;
-        stats.events_by_kind[ev.kind.index()] += 1;
-        stats.total_event_ns += elapsed;
-        stats.max_event_ns = stats.max_event_ns.max(elapsed);
+        let counters = &self.inner.counters;
+        counters.events_run.inc();
+        counters.events_by_kind[ev.kind.index()].inc();
+        counters.total_event_ns.add(elapsed);
+        counters.max_event_ns.record_max(elapsed);
+        let mut killed = false;
         if let Some(limit) = self.inner.profile.watchdog_limit_ns {
             if elapsed > limit {
                 // A real browser would have killed the page's script;
                 // we record the violation so tests and benches can
                 // assert Doppio's segmentation prevents it.
-                stats.watchdog_kills += 1;
+                counters.watchdog_kills.inc();
+                killed = true;
             }
+        }
+        if self.inner.tracer.enabled() {
+            let mut args = vec![("kind", ArgValue::from(ev.kind.name()))];
+            if killed {
+                args.push(("watchdog_kill", ArgValue::Bool(true)));
+            }
+            self.inner.tracer.complete(
+                cat::ENGINE,
+                ev.kind.name(),
+                dispatch_start,
+                self.now_ns() - dispatch_start,
+                0,
+                args,
+            );
         }
         true
     }
@@ -320,17 +471,46 @@ impl Engine {
     }
 
     // ----------------------------------------------------------------
-    // Statistics and memory accounting
+    // Statistics, tracing and memory accounting
     // ----------------------------------------------------------------
 
-    /// A snapshot of the engine's counters.
-    pub fn stats(&self) -> EngineStats {
-        self.inner.stats.borrow().clone()
+    /// The shared metrics registry. Every subsystem attached to this
+    /// engine (fs, sockets, jvm) registers its counters here; snapshot
+    /// views are available via
+    /// [`MetricsRegistry::snapshot`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
     }
 
-    /// Reset all counters (the clock keeps running).
+    /// The trace recorder. Subsystems check
+    /// [`Tracer::enabled`] before constructing span
+    /// arguments, so a disabled tracer costs one branch per site.
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// A snapshot of the engine's counters — a view over
+    /// [`Engine::metrics`], kept for compatibility.
+    pub fn stats(&self) -> EngineStats {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Reset the engine's counters (the clock keeps running). A view
+    /// over [`MetricsRegistry::reset_prefix`], kept for compatibility;
+    /// other subsystems' counters are untouched.
     pub fn reset_stats(&self) {
-        *self.inner.stats.borrow_mut() = EngineStats::default();
+        self.inner.metrics.reset_prefix("engine.");
+    }
+
+    /// Next value of the engine's deterministic RNG (SplitMix64, seeded
+    /// via [`EngineBuilder::rng_seed`]). Simulated nondeterminism —
+    /// jittered latencies, dropped frames — draws from here so runs
+    /// stay reproducible.
+    pub fn random_u64(&self) -> u64 {
+        let mut s = self.inner.rng_state.get();
+        let v = doppio_prng::split_mix64(&mut s);
+        self.inner.rng_state.set(s);
+        v
     }
 
     /// Record a typed-array allocation (Buffer and heap backings call
@@ -479,6 +659,55 @@ mod tests {
         // First event fully completes (1,2) before the next queued event
         // (10), and the nested message lands after both.
         assert_eq!(*order.borrow(), vec![1, 2, 10, 3]);
+    }
+
+    #[test]
+    fn builder_watchdog_override_and_seed() {
+        let e = EngineBuilder::new(Browser::Chrome)
+            .watchdog_limit_ns(None)
+            .rng_seed(99)
+            .build();
+        e.send_message(|eng| eng.advance_ns(600_000_000_000));
+        e.run_until_idle();
+        assert_eq!(e.stats().watchdog_kills, 0, "watchdog disabled");
+
+        let f = EngineBuilder::new(Browser::Chrome).rng_seed(99).build();
+        assert_eq!(e.random_u64(), f.random_u64(), "same seed, same stream");
+        let g = EngineBuilder::new(Browser::Chrome).rng_seed(100).build();
+        assert_ne!(f.random_u64(), g.random_u64());
+    }
+
+    #[test]
+    fn stats_are_views_over_the_shared_registry() {
+        let e = Engine::new(Browser::Chrome);
+        e.charge_n(Cost::IntOp, 5);
+        assert_eq!(e.metrics().get("engine.ops.int_op"), 5);
+        assert_eq!(e.stats().ops[Cost::IntOp as usize], 5);
+        // A foreign counter survives an engine reset.
+        e.metrics().counter("fs.opens").add(2);
+        e.reset_stats();
+        assert_eq!(e.stats().total_ops(), 0);
+        assert_eq!(e.metrics().get("fs.opens"), 2);
+    }
+
+    #[test]
+    fn traced_engine_emits_one_span_per_event() {
+        let sink = Rc::new(doppio_trace::RingSink::with_capacity(64));
+        let e = EngineBuilder::new(Browser::Chrome)
+            .trace_sink(sink.clone())
+            .build();
+        e.send_message(|_| {});
+        e.set_timeout(10.0, |_| {});
+        e.run_until_idle();
+        let spans: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|ev| ev.phase == doppio_trace::Phase::Complete)
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "message");
+        assert_eq!(spans[1].name, "timer");
+        assert_eq!(spans[0].cat, cat::ENGINE);
     }
 
     #[test]

@@ -29,6 +29,27 @@ pub enum EventKind {
 }
 
 impl EventKind {
+    /// Every kind, in [`EventKind::index`] order.
+    pub const ALL: [EventKind; 5] = [
+        EventKind::Timer,
+        EventKind::Message,
+        EventKind::Immediate,
+        EventKind::AsyncCompletion,
+        EventKind::UserInput,
+    ];
+
+    /// Stable snake_case name, used in trace-span args and as the
+    /// counter-name suffix (`engine.events.<name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Timer => "timer",
+            EventKind::Message => "message",
+            EventKind::Immediate => "immediate",
+            EventKind::AsyncCompletion => "async_completion",
+            EventKind::UserInput => "user_input",
+        }
+    }
+
     /// Index into [`EngineStats::events_by_kind`](crate::EngineStats).
     pub fn index(self) -> usize {
         match self {

@@ -40,7 +40,7 @@ pub mod storage;
 
 mod engine;
 
-pub use engine::{Callback, Engine, TimerId};
+pub use engine::{Callback, Engine, EngineBuilder, TimerId};
 pub use error::{EngineError, EngineResult};
 pub use jsstring::JsString;
 pub use profile::{Browser, BrowserProfile, Cost};

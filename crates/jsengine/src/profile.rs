@@ -75,6 +75,53 @@ pub enum Cost {
     Branch,
 }
 
+impl Cost {
+    /// Every category, in index order (`ALL[i] as usize == i`).
+    pub const ALL: [Cost; COST_CATEGORIES] = [
+        Cost::Dispatch,
+        Cost::IntOp,
+        Cost::LongOp,
+        Cost::FloatOp,
+        Cost::FieldGet,
+        Cost::FieldPut,
+        Cost::ArrayGet,
+        Cost::ArrayPut,
+        Cost::Alloc,
+        Cost::Call,
+        Cost::StringOp,
+        Cost::TypedArrayByte,
+        Cost::JsArrayByte,
+        Cost::MapOp,
+        Cost::EventDispatch,
+        Cost::FsCall,
+        Cost::Branch,
+    ];
+
+    /// Stable snake_case name, used as the counter-name suffix in the
+    /// metrics registry (`engine.ops.<name>` / `engine.ns.<name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Cost::Dispatch => "dispatch",
+            Cost::IntOp => "int_op",
+            Cost::LongOp => "long_op",
+            Cost::FloatOp => "float_op",
+            Cost::FieldGet => "field_get",
+            Cost::FieldPut => "field_put",
+            Cost::ArrayGet => "array_get",
+            Cost::ArrayPut => "array_put",
+            Cost::Alloc => "alloc",
+            Cost::Call => "call",
+            Cost::StringOp => "string_op",
+            Cost::TypedArrayByte => "typed_array_byte",
+            Cost::JsArrayByte => "js_array_byte",
+            Cost::MapOp => "map_op",
+            Cost::EventDispatch => "event_dispatch",
+            Cost::FsCall => "fs_call",
+            Cost::Branch => "branch",
+        }
+    }
+}
+
 /// Number of cost categories (length of the cost table).
 pub const COST_CATEGORIES: usize = 17;
 

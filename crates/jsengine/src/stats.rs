@@ -1,6 +1,17 @@
 //! Execution statistics collected by the engine.
+//!
+//! Since the `doppio-trace` redesign the engine no longer owns these
+//! counters: the source of truth is the shared
+//! [`MetricsRegistry`](doppio_trace::MetricsRegistry) under the
+//! `engine.` prefix, and [`EngineStats`] is a [`Snapshot`] *view*
+//! reconstructed from it on demand (`Engine::stats()` does exactly
+//! that). The struct shape is unchanged so existing callers keep
+//! working.
 
-use crate::profile::COST_CATEGORIES;
+use doppio_trace::{MetricsRegistry, Snapshot};
+
+use crate::event_loop::EventKind;
+use crate::profile::{Cost, COST_CATEGORIES};
 
 /// Counters the engine accumulates while running.
 ///
@@ -36,6 +47,30 @@ impl EngineStats {
     /// Total virtual nanoseconds charged across all categories.
     pub fn total_charged_ns(&self) -> u64 {
         self.ns.iter().sum()
+    }
+}
+
+impl Snapshot for EngineStats {
+    fn prefix() -> &'static str {
+        "engine"
+    }
+
+    fn from_registry(reg: &MetricsRegistry) -> EngineStats {
+        let mut s = EngineStats {
+            events_run: reg.get("engine.events_run"),
+            watchdog_kills: reg.get("engine.watchdog_kills"),
+            max_event_ns: reg.get("engine.max_event_ns"),
+            total_event_ns: reg.get("engine.total_event_ns"),
+            ..EngineStats::default()
+        };
+        for kind in Cost::ALL {
+            s.ops[kind as usize] = reg.get(&format!("engine.ops.{}", kind.name()));
+            s.ns[kind as usize] = reg.get(&format!("engine.ns.{}", kind.name()));
+        }
+        for kind in EventKind::ALL {
+            s.events_by_kind[kind.index()] = reg.get(&format!("engine.events.{}", kind.name()));
+        }
+        s
     }
 }
 

@@ -1,25 +1,39 @@
-//! Property tests on the storage quota accounting.
-
-use proptest::prelude::*;
+//! Randomized tests on the storage quota accounting (fixed-seed
+//! SplitMix64 loops; the build is offline, so no proptest).
 
 use doppio_jsengine::storage::{utf16_bytes, SyncMechanism};
 use doppio_jsengine::{Browser, Engine};
+use doppio_prng::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn quota_accounting_is_exact_under_arbitrary_ops(
-        ops in proptest::collection::vec(
-            (0u8..3, "[a-e]", proptest::collection::vec(any::<char>(), 0..64)),
-            1..60,
-        )
-    ) {
+/// A uniformly random Unicode scalar value (any plane, surrogates
+/// excluded), so values exercise both UTF-16 code-unit widths.
+fn random_char(rng: &mut SplitMix64) -> char {
+    loop {
+        if let Some(c) = char::from_u32(rng.gen_range(0u32..0x11_0000)) {
+            return c;
+        }
+    }
+}
+
+#[test]
+fn quota_accounting_is_exact_under_arbitrary_ops() {
+    let mut rng = SplitMix64::new(0x5709);
+    for case in 0..64 {
         let engine = Engine::new(Browser::Chrome);
         let mut model: std::collections::BTreeMap<String, String> = Default::default();
+        let nops = rng.gen_range(1usize..60);
+        let ops: Vec<(u8, String, String)> = (0..nops)
+            .map(|_| {
+                let kind = rng.gen_range(0u8..3);
+                let key = (b'a' + rng.gen_range(0u8..5)) as char;
+                let vlen = rng.gen_range(0usize..64);
+                let value: String = (0..vlen).map(|_| random_char(&mut rng)).collect();
+                (kind, key.to_string(), value)
+            })
+            .collect();
         engine.with_storage(|s, _| {
             let store = s.sync_store(SyncMechanism::LocalStorage);
-            for (kind, key, value_chars) in ops {
-                let value: String = value_chars.into_iter().collect();
+            for (kind, key, value) in ops {
                 match kind {
                     0 => {
                         if store.set_item("Chrome", &key, &value).is_ok() {
@@ -32,7 +46,7 @@ proptest! {
                     }
                     _ => {
                         let got = store.get_item("Chrome", &key).unwrap();
-                        prop_assert_eq!(got.as_ref(), model.get(&key));
+                        assert_eq!(got.as_ref(), model.get(&key), "case {case}");
                     }
                 }
                 // Invariant: used_bytes equals the model's footprint
@@ -41,10 +55,9 @@ proptest! {
                     .iter()
                     .map(|(k, v)| utf16_bytes(k) + utf16_bytes(v))
                     .sum();
-                prop_assert_eq!(store.used_bytes(), expect);
-                prop_assert!(store.used_bytes() <= store.quota_bytes());
+                assert_eq!(store.used_bytes(), expect, "case {case}");
+                assert!(store.used_bytes() <= store.quota_bytes(), "case {case}");
             }
-            Ok(())
-        })?;
+        });
     }
 }

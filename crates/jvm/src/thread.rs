@@ -10,6 +10,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use doppio_core::{AsyncCell, GuestThread, ThreadContext, ThreadStep};
+use doppio_trace::{cat, ArgValue};
 
 use crate::frame::Frame;
 use crate::interp::{self, StepResult};
@@ -156,6 +157,7 @@ impl GuestThread for JvmThread {
                 StepResult::CallBoundary => {
                     // §6.1: suspend checks at method call boundaries.
                     if hosted && ctx.should_suspend() {
+                        trace_method_sample(&state, &self.frames, ctx);
                         return ThreadStep::Yielded;
                     }
                 }
@@ -169,6 +171,29 @@ impl GuestThread for JvmThread {
 
     fn name(&self) -> &str {
         &self.name
+    }
+}
+
+/// Sampled method profiling: when a suspend check fires at a call
+/// boundary, record the method the thread is executing. The adaptive
+/// suspend timer fires roughly once per time slice, so this yields a
+/// time-based sample with no extra fast-path bookkeeping (§6.1).
+fn trace_method_sample(state: &JvmState, frames: &[Frame], ctx: &ThreadContext<'_>) {
+    let tracer = state.engine.tracer();
+    if !tracer.enabled() {
+        return;
+    }
+    if let Some(frame) = frames.last() {
+        tracer.instant(
+            cat::JVM,
+            frame.code.name.clone(),
+            state.engine.now_ns(),
+            ctx.trace_lane(),
+            vec![(
+                "descriptor",
+                ArgValue::Str(frame.code.descriptor.clone().into()),
+            )],
+        );
     }
 }
 
@@ -192,6 +217,7 @@ impl JvmThread {
             StepResult::CallBoundary => {
                 let hosted = state.engine.profile().watchdog_limit_ns.is_some();
                 if hosted && ctx.should_suspend() {
+                    trace_method_sample(state, &self.frames, ctx);
                     ControlFlow::Out(ThreadStep::Yielded)
                 } else {
                     ControlFlow::Go

@@ -1,31 +1,41 @@
 //! The compiler must never panic: any input yields Ok or a proper
-//! CompileError.
+//! CompileError. (Fixed-seed SplitMix64 fuzz loops; the build is
+//! offline, so no proptest.)
 
-use proptest::prelude::*;
+use doppio_prng::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-    #[test]
-    fn lexer_and_parser_never_panic(src in "\\PC*") {
+/// A uniformly random Unicode scalar value (surrogates excluded).
+fn random_char(rng: &mut SplitMix64) -> char {
+    loop {
+        if let Some(c) = char::from_u32(rng.gen_range(0u32..0x11_0000)) {
+            return c;
+        }
+    }
+}
+
+#[test]
+fn lexer_and_parser_never_panic() {
+    let mut rng = SplitMix64::new(0x1e8e);
+    for _ in 0..256 {
+        let len = rng.gen_range(0usize..200);
+        let src: String = (0..len).map(|_| random_char(&mut rng)).collect();
         let _ = doppio_minijava::compile(&src);
     }
+}
 
-    #[test]
-    fn almost_java_never_panics(
-        tokens in proptest::collection::vec(
-            prop_oneof![
-                Just("class".to_string()), Just("{".to_string()), Just("}".to_string()),
-                Just("(".to_string()), Just(")".to_string()), Just(";".to_string()),
-                Just("int".to_string()), Just("static".to_string()), Just("return".to_string()),
-                Just("if".to_string()), Just("while".to_string()), Just("=".to_string()),
-                Just("+".to_string()), Just("Main".to_string()), Just("x".to_string()),
-                Just("42".to_string()), Just("\"s\"".to_string()), Just("new".to_string()),
-                Just("[".to_string()), Just("]".to_string()), Just(".".to_string()),
-            ],
-            0..60,
-        )
-    ) {
-        let src = tokens.join(" ");
+#[test]
+fn almost_java_never_panics() {
+    const TOKENS: [&str; 21] = [
+        "class", "{", "}", "(", ")", ";", "int", "static", "return", "if", "while", "=", "+",
+        "Main", "x", "42", "\"s\"", "new", "[", "]", ".",
+    ];
+    let mut rng = SplitMix64::new(0xa1a);
+    for _ in 0..256 {
+        let len = rng.gen_range(0usize..60);
+        let src = (0..len)
+            .map(|_| TOKENS[rng.gen_range(0..TOKENS.len())])
+            .collect::<Vec<_>>()
+            .join(" ");
         let _ = doppio_minijava::compile(&src);
     }
 }

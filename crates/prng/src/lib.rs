@@ -1,0 +1,174 @@
+//! A small, deterministic, dependency-free PRNG.
+//!
+//! The workspace needs seeded randomness in three places: synthetic
+//! dataset generation (`doppio-workloads`), randomized property tests,
+//! and benchmark input shuffling. The build environment has no network
+//! access to crates.io, so instead of the `rand` crate we use SplitMix64
+//! (Steele, Lea & Flood, OOPSLA 2014): a 64-bit state, full period,
+//! passes BigCrush, and — most importantly here — identical output on
+//! every platform, which keeps generated datasets byte-for-byte
+//! reproducible across runs.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Advance a raw SplitMix64 state and return the next output.
+#[inline]
+pub fn split_mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded SplitMix64 generator with `rand`-flavoured helpers.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator starting from `seed`. Equal seeds yield equal
+    /// streams on every platform.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        split_mix64(&mut self.state)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniform sample from a range; mirrors `rand::Rng::gen_range`.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Out {
+        range.sample(self)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = (self.next_u64() % (i as u64 + 1)) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Ranges [`SplitMix64::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Out;
+    /// Draw one uniform sample.
+    fn sample(self, rng: &mut SplitMix64) -> Self::Out;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Out = $t;
+            #[inline]
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Out = $t;
+            #[inline]
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl SampleRange for Range<f64> {
+    type Out = f64;
+    #[inline]
+    fn sample(self, rng: &mut SplitMix64) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_vector() {
+        // Reference outputs of SplitMix64 seeded with 0, from the
+        // published C implementation (Vigna, 2015).
+        let mut s = 0u64;
+        assert_eq!(split_mix64(&mut s), 0xe220a8397b1dcdaf);
+        assert_eq!(split_mix64(&mut s), 0x6e789e6aa1b965f4);
+        assert_eq!(split_mix64(&mut s), 0x06c45d188009454f);
+        // The struct wraps the same function.
+        let mut a = SplitMix64::new(0);
+        assert_eq!(a.next_u64(), 0xe220a8397b1dcdaf);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let v = rng.gen_range(-50i32..50);
+            assert!((-50..50).contains(&v));
+            let v = rng.gen_range(b'a'..=b'z');
+            assert!(v.is_ascii_lowercase());
+            let f = rng.gen_range(1.0f64..4.0);
+            assert!((1.0..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SplitMix64::new(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = SplitMix64::new(5);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "shuffle should move something");
+    }
+}

@@ -26,6 +26,18 @@ pub enum Opcode {
 }
 
 impl Opcode {
+    /// Lower-case opcode name (used to tag trace events).
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Continuation => "continuation",
+            Opcode::Text => "text",
+            Opcode::Binary => "binary",
+            Opcode::Close => "close",
+            Opcode::Ping => "ping",
+            Opcode::Pong => "pong",
+        }
+    }
+
     fn to_bits(self) -> u8 {
         match self {
             Opcode::Continuation => 0x0,

@@ -13,6 +13,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use doppio_jsengine::{Cost, Engine};
+use doppio_trace::{cat, ArgValue};
 
 use crate::frames::{encode, Frame, FrameDecoder, Opcode};
 use crate::handshake;
@@ -81,6 +82,7 @@ struct WsInner {
     handlers: WsHandlers,
     mask_counter: u32,
     via_flash_shim: bool,
+    connect_started_ns: u64,
 }
 
 /// A client WebSocket. Cheaply cloneable handle.
@@ -126,6 +128,7 @@ impl WebSocket {
                 handlers,
                 mask_counter: 1,
                 via_flash_shim,
+                connect_started_ns: engine.now_ns(),
             })),
         };
 
@@ -200,6 +203,19 @@ impl WebSocket {
             inner.engine.advance_ns(FLASH_SHIM_MSG_NS);
         }
         let id = inner.conn.ok_or(WsError::NotOpen)?;
+        let tracer = inner.engine.tracer();
+        if tracer.enabled() {
+            tracer.instant(
+                cat::NET,
+                "frame_send",
+                inner.engine.now_ns(),
+                0,
+                vec![
+                    ("bytes", ArgValue::U64(frame.payload.len() as u64)),
+                    ("opcode", ArgValue::from(frame.opcode.name())),
+                ],
+            );
+        }
         inner.net.client_send(id, encode(&frame, Some(mask)))?;
         Ok(())
     }
@@ -248,7 +264,20 @@ impl WebSocket {
                                 Ok(()) => {
                                     inner.state = WsState::Open;
                                     let cb = inner.handlers.on_open.take();
+                                    let started = inner.connect_started_ns;
+                                    let shim = inner.via_flash_shim;
                                     drop(inner);
+                                    let tracer = engine.tracer();
+                                    if tracer.enabled() {
+                                        tracer.complete(
+                                            cat::NET,
+                                            "handshake",
+                                            started,
+                                            engine.now_ns().saturating_sub(started),
+                                            0,
+                                            vec![("flash_shim", ArgValue::Bool(shim))],
+                                        );
+                                    }
                                     if let Some(cb) = cb {
                                         cb(engine);
                                     }
@@ -319,6 +348,19 @@ impl WebSocket {
             Opcode::Text | Opcode::Binary | Opcode::Continuation => {
                 if self.inner.borrow().via_flash_shim {
                     engine.advance_ns(FLASH_SHIM_MSG_NS);
+                }
+                let tracer = engine.tracer();
+                if tracer.enabled() {
+                    tracer.instant(
+                        cat::NET,
+                        "frame_recv",
+                        engine.now_ns(),
+                        0,
+                        vec![
+                            ("bytes", ArgValue::U64(frame.payload.len() as u64)),
+                            ("opcode", ArgValue::from(frame.opcode.name())),
+                        ],
+                    );
                 }
                 let handler = self.inner.borrow_mut().handlers.on_message.take();
                 if let Some(mut h) = handler {

@@ -1,27 +1,61 @@
-//! Property tests on the WebSocket wire format.
+//! Randomized tests on the WebSocket wire format (fixed-seed
+//! SplitMix64 loops; the build is offline, so no proptest).
 
-use proptest::prelude::*;
-
+use doppio_prng::SplitMix64;
 use doppio_sockets::frames::{decode, encode, Frame, FrameDecoder, Opcode};
 use doppio_sockets::handshake;
 
-proptest! {
-    #[test]
-    fn frames_round_trip_any_payload(payload: Vec<u8>, mask: Option<[u8; 4]>, fin: bool) {
-        let frame = Frame { fin, opcode: Opcode::Binary, payload };
+fn random_bytes(rng: &mut SplitMix64, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.gen_range(0u8..=255)).collect()
+}
+
+#[test]
+fn frames_round_trip_any_payload() {
+    let mut rng = SplitMix64::new(0xf4a3);
+    for case in 0..256 {
+        // Payload lengths straddle the 7-bit/16-bit/64-bit encodings.
+        let len = match rng.gen_range(0u32..3) {
+            0 => rng.gen_range(0usize..126),
+            1 => rng.gen_range(126usize..=65536),
+            _ => rng.gen_range(65537usize..100_000),
+        };
+        let payload = random_bytes(&mut rng, len);
+        let mask = if rng.gen_bool(0.5) {
+            Some([
+                rng.gen_range(0u8..=255),
+                rng.gen_range(0u8..=255),
+                rng.gen_range(0u8..=255),
+                rng.gen_range(0u8..=255),
+            ])
+        } else {
+            None
+        };
+        let fin = rng.gen_bool(0.5);
+        let frame = Frame {
+            fin,
+            opcode: Opcode::Binary,
+            payload,
+        };
         let wire = encode(&frame, mask);
         let (decoded, used) = decode(&wire, mask.is_some()).unwrap();
-        prop_assert_eq!(used, wire.len());
-        prop_assert_eq!(decoded, frame);
+        assert_eq!(used, wire.len(), "case {case}");
+        assert_eq!(decoded, frame, "case {case}");
     }
+}
 
-    #[test]
-    fn streaming_decoder_is_chunking_invariant(
-        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..300), 1..8),
-        chunk in 1usize..17,
-    ) {
+#[test]
+fn streaming_decoder_is_chunking_invariant() {
+    let mut rng = SplitMix64::new(0x57e4);
+    for case in 0..128 {
         // However the wire bytes arrive, the same frames come out.
-        let frames: Vec<Frame> = payloads.into_iter().map(Frame::binary).collect();
+        let nframes = rng.gen_range(1usize..8);
+        let frames: Vec<Frame> = (0..nframes)
+            .map(|_| {
+                let len = rng.gen_range(0usize..300);
+                Frame::binary(random_bytes(&mut rng, len))
+            })
+            .collect();
+        let chunk = rng.gen_range(1usize..17);
         let mut wire = Vec::new();
         for (i, f) in frames.iter().enumerate() {
             wire.extend(encode(f, Some([i as u8, 7, 13, 21])));
@@ -34,30 +68,42 @@ proptest! {
                 got.push(f);
             }
         }
-        prop_assert_eq!(got, frames);
+        assert_eq!(got, frames, "case {case}, chunk {chunk}");
     }
+}
 
-    #[test]
-    fn truncated_frames_never_panic_and_are_incomplete(payload in proptest::collection::vec(any::<u8>(), 0..300), cut_frac in 0.0f64..1.0) {
-        let wire = encode(&Frame::binary(payload), None);
-        let cut = ((wire.len() as f64) * cut_frac) as usize;
+#[test]
+fn truncated_frames_never_panic_and_are_incomplete() {
+    let mut rng = SplitMix64::new(0x7a0c);
+    for case in 0..256 {
+        let len = rng.gen_range(0usize..300);
+        let wire = encode(&Frame::binary(random_bytes(&mut rng, len)), None);
+        let cut = ((wire.len() as f64) * rng.next_f64()) as usize;
         if cut < wire.len() {
             // Any strict prefix either decodes nothing (incomplete) —
             // never a wrong frame, never a panic.
             let r = decode(&wire[..cut], false);
-            prop_assert!(r.is_err());
+            assert!(r.is_err(), "case {case}, cut {cut}");
         }
     }
+}
 
-    #[test]
-    fn handshake_accept_key_is_deterministic_and_sensitive(nonce: [u8; 16], flip in 0usize..16) {
+#[test]
+fn handshake_accept_key_is_deterministic_and_sensitive() {
+    let mut rng = SplitMix64::new(0x4a5d);
+    for case in 0..128 {
+        let mut nonce = [0u8; 16];
+        for b in nonce.iter_mut() {
+            *b = rng.gen_range(0u8..=255);
+        }
+        let flip = rng.gen_range(0usize..16);
         let key = handshake::client_key(nonce);
         let a1 = handshake::accept_key(&key);
         let a2 = handshake::accept_key(&key);
-        prop_assert_eq!(&a1, &a2);
+        assert_eq!(&a1, &a2, "case {case}");
         let mut other = nonce;
         other[flip] = other[flip].wrapping_add(1);
         let key2 = handshake::client_key(other);
-        prop_assert_ne!(a1, handshake::accept_key(&key2));
+        assert_ne!(a1, handshake::accept_key(&key2), "case {case}");
     }
 }

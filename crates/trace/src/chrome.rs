@@ -1,0 +1,195 @@
+//! Chrome `trace_event` JSON exporter.
+//!
+//! Emits the "JSON object format" (`{"traceEvents": [...]}`) understood
+//! by `chrome://tracing` and Perfetto's legacy importer. Timestamps in
+//! that format are **microseconds**; ours are virtual nanoseconds, so
+//! values are written as fractional micros to preserve ns precision.
+
+use std::fmt::Write as _;
+
+use crate::{ArgValue, Phase, TraceEvent};
+
+/// Serialize `events` as a complete Chrome trace JSON document.
+///
+/// `dropped` (from the ring buffer) is recorded in the top-level
+/// `metadata` object so truncated traces are detectable.
+pub fn export(events: &[TraceEvent], dropped: u64) -> String {
+    let mut out = String::with_capacity(events.len() * 120 + 128);
+    out.push_str("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_event(&mut out, ev);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\",\"metadata\":{");
+    let _ = write!(out, "\"clock\":\"virtual\",\"dropped_events\":{dropped}");
+    out.push_str("}}");
+    out
+}
+
+fn write_event(out: &mut String, ev: &TraceEvent) {
+    let ph = match ev.phase {
+        Phase::Complete => "X",
+        Phase::Instant => "i",
+        Phase::Counter => "C",
+        Phase::Metadata => "M",
+    };
+    out.push_str("{\"name\":");
+    write_str(out, &ev.name);
+    out.push_str(",\"cat\":");
+    write_str(out, ev.cat);
+    let _ = write!(out, ",\"ph\":\"{ph}\",\"ts\":");
+    write_micros(out, ev.ts_ns);
+    if ev.phase == Phase::Complete {
+        out.push_str(",\"dur\":");
+        write_micros(out, ev.dur_ns);
+    }
+    if ev.phase == Phase::Instant {
+        // Thread-scoped instant: renders as a tick on its lane.
+        out.push_str(",\"s\":\"t\"");
+    }
+    let _ = write!(out, ",\"pid\":1,\"tid\":{}", ev.tid);
+    if !ev.args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in ev.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(out, k);
+            out.push(':');
+            write_arg(out, v);
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Write `ns` as microseconds with nanosecond precision, avoiding
+/// float formatting (exact, and stable across platforms).
+fn write_micros(out: &mut String, ns: u64) {
+    let whole = ns / 1000;
+    let frac = ns % 1000;
+    if frac == 0 {
+        let _ = write!(out, "{whole}");
+    } else {
+        let _ = write!(out, "{whole}.{frac:03}");
+    }
+}
+
+fn write_arg(out: &mut String, v: &ArgValue) {
+    match v {
+        ArgValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        ArgValue::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        ArgValue::F64(x) if x.is_finite() => {
+            let _ = write!(out, "{x}");
+        }
+        // JSON has no NaN/Inf; stringify them rather than corrupt
+        // the document.
+        ArgValue::F64(x) => write_str(out, &x.to_string()),
+        ArgValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        ArgValue::Str(s) => write_str(out, s),
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Convenience: export straight from a [`RingSink`](crate::RingSink).
+pub fn export_sink(sink: &crate::RingSink) -> String {
+    export(&sink.events(), sink.dropped())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Json};
+    use std::borrow::Cow;
+
+    fn ev(name: &'static str, phase: Phase, ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            name: Cow::Borrowed(name),
+            cat: "engine",
+            phase,
+            ts_ns: ts,
+            dur_ns: dur,
+            tid: 0,
+            args: vec![],
+        }
+    }
+
+    #[test]
+    fn export_parses_and_round_trips_fields() {
+        let mut e = ev("dispatch", Phase::Complete, 1_234_567, 2_500);
+        e.args = vec![
+            ("kind", "timer".into()),
+            ("n", 42u64.into()),
+            ("killed", false.into()),
+        ];
+        let doc = export(&[e, ev("mark", Phase::Instant, 5_000, 0)], 3);
+        let v = json::parse(&doc).expect("exporter output must be valid JSON");
+        let evs = v.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert_eq!(evs.len(), 2);
+        let first = &evs[0];
+        assert_eq!(first.get("name").unwrap().as_str(), Some("dispatch"));
+        assert_eq!(first.get("ph").unwrap().as_str(), Some("X"));
+        // 1_234_567 ns == 1234.567 us
+        assert_eq!(first.get("ts").unwrap().as_f64(), Some(1234.567));
+        assert_eq!(first.get("dur").unwrap().as_f64(), Some(2.5));
+        let args = first.get("args").unwrap();
+        assert_eq!(args.get("kind").unwrap().as_str(), Some("timer"));
+        assert_eq!(args.get("n").unwrap().as_f64(), Some(42.0));
+        assert_eq!(evs[1].get("s").unwrap().as_str(), Some("t"));
+        assert_eq!(
+            v.get("metadata")
+                .unwrap()
+                .get("dropped_events")
+                .unwrap()
+                .as_f64(),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut e = ev("q", Phase::Instant, 0, 0);
+        e.args = vec![("path", String::from("/tmp/\"x\"\n\\y").into())];
+        let doc = export(&[e], 0);
+        let v = json::parse(&doc).expect("escaped output parses");
+        let evs = v.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            evs[0].get("args").unwrap().get("path").unwrap().as_str(),
+            Some("/tmp/\"x\"\n\\y")
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let v = json::parse(&export(&[], 0)).unwrap();
+        assert_eq!(
+            v.get("traceEvents").and_then(Json::as_array).map(Vec::len),
+            Some(0)
+        );
+    }
+}

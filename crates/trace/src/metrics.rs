@@ -1,0 +1,212 @@
+//! The shared counter registry.
+//!
+//! Before this crate, every subsystem kept its own stats struct
+//! (`EngineStats`, `FsStats`, …) with duplicated `stats()` /
+//! `reset_stats()` plumbing. Here the source of truth is a single
+//! [`MetricsRegistry`] of named [`Counter`]s; the old structs survive as
+//! [`Snapshot`] *views* reconstructed from the registry on demand.
+//!
+//! Naming convention: dot-separated, subsystem-prefixed —
+//! `engine.events_run`, `engine.ops.event_dispatch`, `fs.bytes_read`.
+//! A subsystem resets itself with [`MetricsRegistry::reset_prefix`].
+//!
+//! Hot paths never do string lookups: they resolve a [`Counter`] handle
+//! once (at construction) and bump it through an `Rc<Cell<u64>>`, which
+//! costs the same as the old direct field increment.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A named `u64` cell; cloning shares the underlying value.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().wrapping_add(n));
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.set(v);
+    }
+
+    /// Raise the value to `v` if `v` is larger (running maximum).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        if v > self.0.get() {
+            self.0.set(v);
+        }
+    }
+}
+
+/// A view over the registry that a subsystem can materialize on demand.
+///
+/// Implemented by `EngineStats` and `FsStats`: `from_registry` reads the
+/// subsystem's counters back into the familiar struct shape, so legacy
+/// callers keep their field access while the registry stays the single
+/// source of truth.
+pub trait Snapshot: Sized {
+    /// Counter-name prefix this view reads (e.g. `"engine"`).
+    fn prefix() -> &'static str;
+
+    /// Build the view from the registry's current counter values.
+    fn from_registry(reg: &MetricsRegistry) -> Self;
+}
+
+/// Shared registry of named counters. Cloning shares the map; the
+/// handle is designed to live inside `Engine` and be reachable from
+/// every subsystem attached to it.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Rc<RefCell<BTreeMap<String, Counter>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter named `name`. The returned handle
+    /// shares the value: hold it and bump it without further lookups.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.borrow_mut();
+        if let Some(c) = map.get(name) {
+            return c.clone();
+        }
+        let c = Counter::default();
+        map.insert(name.to_string(), c.clone());
+        c
+    }
+
+    /// Current value of `name`, or 0 if it was never registered.
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner.borrow().get(name).map(|c| c.get()).unwrap_or(0)
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.borrow().keys().cloned().collect()
+    }
+
+    /// `(name, value)` for every counter whose name starts with
+    /// `prefix`, sorted by name.
+    pub fn with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
+        self.inner
+            .borrow()
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect()
+    }
+
+    /// Zero every counter whose name starts with `prefix`. Handles
+    /// held by hot paths stay valid — they share the zeroed cells.
+    pub fn reset_prefix(&self, prefix: &str) {
+        for (k, c) in self.inner.borrow().iter() {
+            if k.starts_with(prefix) {
+                c.set(0);
+            }
+        }
+    }
+
+    /// Materialize a subsystem's [`Snapshot`] view.
+    pub fn snapshot<S: Snapshot>(&self) -> S {
+        S::from_registry(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_values() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("engine.events_run");
+        let b = reg.counter("engine.events_run");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(reg.get("engine.events_run"), 4);
+        assert_eq!(reg.get("engine.never_touched"), 0);
+    }
+
+    #[test]
+    fn record_max_keeps_running_maximum() {
+        let c = Counter::default();
+        c.record_max(7);
+        c.record_max(3);
+        assert_eq!(c.get(), 7);
+        c.record_max(9);
+        assert_eq!(c.get(), 9);
+    }
+
+    #[test]
+    fn reset_prefix_zeroes_only_that_subsystem() {
+        let reg = MetricsRegistry::new();
+        let e = reg.counter("engine.events_run");
+        let f = reg.counter("fs.bytes_read");
+        e.add(10);
+        f.add(20);
+        reg.reset_prefix("engine.");
+        assert_eq!(e.get(), 0, "live handle sees the reset");
+        assert_eq!(reg.get("fs.bytes_read"), 20);
+    }
+
+    #[test]
+    fn with_prefix_lists_sorted_pairs() {
+        let reg = MetricsRegistry::new();
+        reg.counter("fs.opens").add(2);
+        reg.counter("fs.bytes_read").add(9);
+        reg.counter("engine.events_run").add(1);
+        let fs = reg.with_prefix("fs.");
+        assert_eq!(
+            fs,
+            vec![
+                ("fs.bytes_read".to_string(), 9),
+                ("fs.opens".to_string(), 2)
+            ]
+        );
+    }
+
+    struct FakeView {
+        opens: u64,
+    }
+    impl Snapshot for FakeView {
+        fn prefix() -> &'static str {
+            "fs"
+        }
+        fn from_registry(reg: &MetricsRegistry) -> Self {
+            FakeView {
+                opens: reg.get("fs.opens"),
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_builds_views() {
+        let reg = MetricsRegistry::new();
+        reg.counter("fs.opens").add(5);
+        let v: FakeView = reg.snapshot();
+        assert_eq!(FakeView::prefix(), "fs");
+        assert_eq!(v.opens, 5);
+    }
+}

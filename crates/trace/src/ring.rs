@@ -1,0 +1,143 @@
+//! Fixed-capacity event storage.
+//!
+//! Traces of long simulated runs can produce millions of events; the
+//! recorder must not turn a bounded simulation into unbounded memory.
+//! [`RingBuffer`] keeps the most recent `capacity` events and counts the
+//! ones it evicted, so the exporter can report truncation honestly.
+
+use crate::TraceEvent;
+
+/// A circular buffer of [`TraceEvent`]s that overwrites its oldest
+/// entries once full.
+#[derive(Debug)]
+pub struct RingBuffer {
+    slots: Vec<Option<TraceEvent>>,
+    /// Index of the next slot to write.
+    head: usize,
+    len: usize,
+    dropped: u64,
+}
+
+impl RingBuffer {
+    /// A ring holding at most `capacity` events. `capacity` must be
+    /// non-zero.
+    pub fn new(capacity: usize) -> RingBuffer {
+        assert!(capacity > 0, "ring capacity must be non-zero");
+        RingBuffer {
+            slots: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest if full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.slots[self.head].is_some() {
+            self.dropped += 1;
+        } else {
+            self.len += 1;
+        }
+        self.slots[self.head] = Some(ev);
+        self.head = (self.head + 1) % self.slots.len();
+    }
+
+    /// Number of events currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum number of events the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// How many events were evicted to make room for newer ones.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The stored events, oldest first.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        let cap = self.slots.len();
+        // Oldest event sits at `head` once the ring has wrapped, at 0
+        // otherwise.
+        let start = if self.len == cap { self.head } else { 0 };
+        (0..self.len)
+            .filter_map(|i| self.slots[(start + i) % cap].clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Phase;
+    use std::borrow::Cow;
+
+    fn ev(ts: u64) -> TraceEvent {
+        TraceEvent {
+            name: Cow::Borrowed("e"),
+            cat: "engine",
+            phase: Phase::Instant,
+            ts_ns: ts,
+            dur_ns: 0,
+            tid: 0,
+            args: vec![],
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_keeping_newest() {
+        let mut r = RingBuffer::new(4);
+        for ts in 0..4 {
+            r.push(ev(ts));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 0);
+        let ts: Vec<u64> = r.to_vec().iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![0, 1, 2, 3]);
+
+        // Two more pushes evict the two oldest.
+        r.push(ev(4));
+        r.push(ev(5));
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 2);
+        let ts: Vec<u64> = r.to_vec().iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn wraps_many_times() {
+        let mut r = RingBuffer::new(3);
+        for ts in 0..100 {
+            r.push(ev(ts));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 97);
+        let ts: Vec<u64> = r.to_vec().iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![97, 98, 99]);
+    }
+
+    #[test]
+    fn partial_fill_preserves_order() {
+        let mut r = RingBuffer::new(8);
+        r.push(ev(10));
+        r.push(ev(20));
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        let ts: Vec<u64> = r.to_vec().iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![10, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        RingBuffer::new(0);
+    }
+}

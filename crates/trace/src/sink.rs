@@ -1,0 +1,78 @@
+//! Where recorded events go.
+//!
+//! [`Tracer`](crate::Tracer) writes through an `Rc<dyn TraceSink>`. Two
+//! implementations cover the workspace's needs: [`NullSink`] (tracing
+//! off — the common case, and the one the bench suite proves is free)
+//! and [`RingSink`] (tracing on, bounded memory).
+
+use std::cell::RefCell;
+
+use crate::ring::RingBuffer;
+use crate::TraceEvent;
+
+/// Destination for trace events.
+pub trait TraceSink {
+    /// Store one event.
+    fn record(&self, ev: TraceEvent);
+
+    /// Whether this sink wants events at all. `Tracer` caches this
+    /// answer at construction, so a sink cannot toggle mid-run.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// Discards everything; `enabled()` is `false` so tracers built on it
+/// skip event construction entirely.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _ev: TraceEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Records into a fixed-capacity [`RingBuffer`]; the default sink for
+/// `--trace` runs.
+#[derive(Debug)]
+pub struct RingSink {
+    ring: RefCell<RingBuffer>,
+}
+
+impl RingSink {
+    /// A sink whose ring holds at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> RingSink {
+        RingSink {
+            ring: RefCell::new(RingBuffer::new(capacity)),
+        }
+    }
+
+    /// Snapshot of the recorded events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.borrow().to_vec()
+    }
+
+    /// How many events the ring evicted for lack of space.
+    pub fn dropped(&self) -> u64 {
+        self.ring.borrow().dropped()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, ev: TraceEvent) {
+        self.ring.borrow_mut().push(ev);
+    }
+}
+
+/// A generous default ring size: at ~100 bytes/event this caps trace
+/// memory near 100 MB while holding several minutes of simulated run.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 20;
+
+impl Default for RingSink {
+    fn default() -> RingSink {
+        RingSink::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+}

@@ -10,22 +10,21 @@
 
 use doppio_classfile::access::{ACC_PUBLIC, ACC_STATIC};
 use doppio_classfile::builder::{ClassBuilder, MethodBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use doppio_prng::SplitMix64;
 
 /// Generate `count` synthetic class files: `(file name, bytes)`.
 ///
 /// Classes vary in field count, method count, method size, and string
 /// constants, giving a realistic class-file size distribution.
 pub fn synth_class_files(count: usize, seed: u64) -> Vec<(String, Vec<u8>)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut out = Vec::with_capacity(count);
     for i in 0..count {
         let name = format!("Synth{i:04}");
         let mut b = ClassBuilder::new(&name, "java/lang/Object");
         let fields = rng.gen_range(2..20);
         for f in 0..fields {
-            let ty = ["I", "J", "Ljava/lang/String;", "[B", "D"][rng.gen_range(0..5)];
+            let ty = ["I", "J", "Ljava/lang/String;", "[B", "D"][rng.gen_range(0..5usize)];
             b.add_field(ACC_PUBLIC, &format!("field{f}"), ty);
         }
         let methods = rng.gen_range(3..24);
@@ -66,7 +65,7 @@ pub fn synth_class_files(count: usize, seed: u64) -> Vec<(String, Vec<u8>)> {
 
 /// Generate `files` expression source files of `lines` lines each.
 pub fn expression_sources(files: usize, lines: usize, seed: u64) -> Vec<(String, String)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     (0..files)
         .map(|i| {
             let mut text = String::new();
@@ -79,11 +78,11 @@ pub fn expression_sources(files: usize, lines: usize, seed: u64) -> Vec<(String,
         .collect()
 }
 
-fn gen_expr(rng: &mut StdRng, depth: u32) -> String {
+fn gen_expr(rng: &mut SplitMix64, depth: u32) -> String {
     if depth == 0 || rng.gen_bool(0.3) {
-        return rng.gen_range(0..100).to_string();
+        return rng.gen_range(0..100i32).to_string();
     }
-    let op = ['+', '-', '*', '/'][rng.gen_range(0..4)];
+    let op = ['+', '-', '*', '/'][rng.gen_range(0..4usize)];
     let l = gen_expr(rng, depth - 1);
     let r = gen_expr(rng, depth - 1);
     if rng.gen_bool(0.5) {

@@ -16,8 +16,7 @@ use std::rc::Rc;
 
 use doppio_fs::FileSystem;
 use doppio_jsengine::Engine;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use doppio_prng::SplitMix64;
 
 /// One recorded operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,7 +88,7 @@ impl Trace {
 /// Synthesize the javac-shaped trace with the paper's aggregates:
 /// 3185 operations, 1560 unique files, ~10.5 MB read, ~97 KB written.
 pub fn javac_trace(seed: u64) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     const READ_FILES: usize = 1535;
     const WRITE_FILES: usize = 25;
     const STATS: usize = 1525;

@@ -4,6 +4,12 @@
 //! gets killed by the watchdog.
 //!
 //! Run with: `cargo run --example responsive_page`
+//!
+//! Pass `--trace out.json` to record the segmented run as a Chrome
+//! `trace_event` JSON file; open it in Perfetto (ui.perfetto.dev) or
+//! `chrome://tracing` to see event spans, per-thread slices, and
+//! suspend-timer adjustments on the virtual clock (see
+//! `docs/observability.md`).
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -12,6 +18,7 @@ use doppio::fs::{backends, FileSystem};
 use doppio::jsengine::{Browser, Cost, Engine};
 use doppio::jvm::{fsutil, Jvm};
 use doppio::minijava::compile_to_bytes;
+use doppio::trace::{chrome, RingSink};
 
 const CRUNCHER: &str = r#"
     class Main {
@@ -25,6 +32,12 @@ const CRUNCHER: &str = r#"
 "#;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| args.get(i + 1).expect("--trace needs a file path").clone());
+
     // --- Without Doppio: one monolithic event. ---
     let plain = Engine::new(Browser::Chrome);
     plain.send_message(|e| {
@@ -38,7 +51,13 @@ fn main() {
     );
 
     // --- With Doppio: the same scale of work, segmented. ---
-    let engine = Engine::new(Browser::Chrome);
+    let sink = trace_path.as_ref().map(|_| Rc::new(RingSink::default()));
+    let engine = match &sink {
+        Some(sink) => Engine::builder(Browser::Chrome)
+            .trace_sink(sink.clone())
+            .build(),
+        None => Engine::new(Browser::Chrome),
+    };
     let fs = FileSystem::new(&engine, backends::in_memory(&engine));
     let classes = compile_to_bytes(CRUNCHER).expect("compiles");
     fsutil::mount_class_files(&engine, &fs, "/classes", &classes);
@@ -91,6 +110,15 @@ fn main() {
         result_stats.max_event_ns as f64 / 1e6
     );
     println!("stdout: {}", jvm.with_state(|s| s.stdout_text()).trim());
+
+    if let (Some(path), Some(sink)) = (&trace_path, &sink) {
+        let doc = chrome::export_sink(sink);
+        std::fs::write(path, &doc).expect("write trace file");
+        println!(
+            "wrote {} trace events to {path} (open in ui.perfetto.dev)",
+            sink.events().len()
+        );
+    }
 
     assert_eq!(result_stats.watchdog_kills, 0);
     assert!(plain.stats().watchdog_kills > 0);

@@ -20,6 +20,11 @@
 //! * [`jvm`] — DoppioJVM, the JVM interpreter case study (§6).
 //! * [`minijava`] — a Java-subset compiler used to author workloads.
 //! * [`workloads`] — the benchmark programs of §7.
+//! * [`trace`] — the structured tracing layer: spans and counters on
+//!   the virtual clock, exported as Chrome `trace_event` JSON (see
+//!   `docs/observability.md`).
+//! * [`prng`] — a small deterministic PRNG (SplitMix64) used by
+//!   workload generators and randomized tests.
 //!
 //! # Quick start
 //!
@@ -44,5 +49,7 @@ pub use doppio_heap as heap;
 pub use doppio_jsengine as jsengine;
 pub use doppio_jvm as jvm;
 pub use doppio_minijava as minijava;
+pub use doppio_prng as prng;
 pub use doppio_sockets as sockets;
+pub use doppio_trace as trace;
 pub use doppio_workloads as workloads;

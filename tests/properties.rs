@@ -1,10 +1,13 @@
-//! Property-based tests over the core data structures and, most
+//! Randomized property tests over the core data structures and, most
 //! importantly, a differential test of the whole pipeline: random
 //! arithmetic programs are compiled by MiniJava, interpreted by
 //! DoppioJVM in the simulated browser, and checked against a direct
 //! Rust evaluation of the same expression.
-
-use proptest::prelude::*;
+//!
+//! The build is fully offline, so instead of a property-testing
+//! framework these drive fixed-seed [`SplitMix64`] loops: every case a
+//! CI run sees is exactly reproducible from the seed printed in the
+//! assertion message.
 
 use doppio::buffer::encoding::{bytes_to_js, js_to_bytes};
 use doppio::buffer::{Encoding, Int64};
@@ -13,26 +16,35 @@ use doppio::heap::UnmanagedHeap;
 use doppio::jsengine::{Browser, Engine};
 use doppio::jvm::{fsutil, Jvm};
 use doppio::minijava::compile_to_bytes;
+use doppio::prng::SplitMix64;
 
 // ----------------------------------------------------------------
 // Software Int64 vs the native i64 oracle
 // ----------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn int64_matches_native_semantics(a: i64, b: i64, n in 0u32..128) {
+#[test]
+fn int64_matches_native_semantics() {
+    let mut rng = SplitMix64::new(0x1641);
+    for case in 0..512 {
+        let a = rng.next_u64() as i64;
+        let b = rng.next_u64() as i64;
+        let n = rng.gen_range(0u32..128);
         let (x, y) = (Int64::from_i64(a), Int64::from_i64(b));
-        prop_assert_eq!(x.add(y).to_i64(), a.wrapping_add(b));
-        prop_assert_eq!(x.sub(y).to_i64(), a.wrapping_sub(b));
-        prop_assert_eq!(x.mul(y).to_i64(), a.wrapping_mul(b));
+        assert_eq!(x.add(y).to_i64(), a.wrapping_add(b), "case {case}");
+        assert_eq!(x.sub(y).to_i64(), a.wrapping_sub(b), "case {case}");
+        assert_eq!(x.mul(y).to_i64(), a.wrapping_mul(b), "case {case}");
         if b != 0 {
-            prop_assert_eq!(x.div(y).unwrap().to_i64(), a.wrapping_div(b));
-            prop_assert_eq!(x.rem(y).unwrap().to_i64(), a.wrapping_rem(b));
+            assert_eq!(x.div(y).unwrap().to_i64(), a.wrapping_div(b), "case {case}");
+            assert_eq!(x.rem(y).unwrap().to_i64(), a.wrapping_rem(b), "case {case}");
         }
-        prop_assert_eq!(x.shl(n).to_i64(), a.wrapping_shl(n & 63));
-        prop_assert_eq!(x.shr(n).to_i64(), a.wrapping_shr(n & 63));
-        prop_assert_eq!(x.ushr(n).to_i64(), ((a as u64).wrapping_shr(n & 63)) as i64);
-        prop_assert_eq!(x.compare(y), a.cmp(&b));
+        assert_eq!(x.shl(n).to_i64(), a.wrapping_shl(n & 63), "case {case}");
+        assert_eq!(x.shr(n).to_i64(), a.wrapping_shr(n & 63), "case {case}");
+        assert_eq!(
+            x.ushr(n).to_i64(),
+            ((a as u64).wrapping_shr(n & 63)) as i64,
+            "case {case}"
+        );
+        assert_eq!(x.compare(y), a.cmp(&b), "case {case}");
     }
 }
 
@@ -40,22 +52,40 @@ proptest! {
 // Buffer encodings round-trip arbitrary bytes
 // ----------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn encodings_round_trip(bytes: Vec<u8>, validates: bool) {
-        for enc in [Encoding::Base64, Encoding::Hex, Encoding::Latin1, Encoding::BinaryString] {
+fn random_bytes(rng: &mut SplitMix64, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.gen_range(0u8..=255)).collect()
+}
+
+#[test]
+fn encodings_round_trip() {
+    let mut rng = SplitMix64::new(0xb0f);
+    for case in 0..256 {
+        let len = rng.gen_range(0usize..512);
+        let bytes = random_bytes(&mut rng, len);
+        let validates = rng.gen_bool(0.5);
+        for enc in [
+            Encoding::Base64,
+            Encoding::Hex,
+            Encoding::Latin1,
+            Encoding::BinaryString,
+        ] {
             let js = bytes_to_js(enc, &bytes, validates);
             let back = js_to_bytes(enc, &js, validates).unwrap();
-            prop_assert_eq!(&back, &bytes, "encoding {:?}", enc);
+            assert_eq!(&back, &bytes, "case {case}, encoding {enc:?}");
         }
     }
+}
 
-    #[test]
-    fn binary_string_is_dense_only_without_validation(bytes in proptest::collection::vec(any::<u8>(), 2..512)) {
+#[test]
+fn binary_string_is_dense_only_without_validation() {
+    let mut rng = SplitMix64::new(0xdeb5);
+    for case in 0..256 {
+        let len = rng.gen_range(2usize..512);
+        let bytes = random_bytes(&mut rng, len);
         let packed = bytes_to_js(Encoding::BinaryString, &bytes, false);
         let plain = bytes_to_js(Encoding::BinaryString, &bytes, true);
-        prop_assert!(packed.len() <= plain.len() / 2 + 2);
-        prop_assert!(plain.is_valid_utf16());
+        assert!(packed.len() <= plain.len() / 2 + 2, "case {case}");
+        assert!(plain.is_valid_utf16(), "case {case}");
     }
 }
 
@@ -63,21 +93,26 @@ proptest! {
 // Allocator invariants under arbitrary operation sequences
 // ----------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn allocator_blocks_never_overlap(ops in proptest::collection::vec((any::<bool>(), 1usize..512), 1..120)) {
+#[test]
+fn allocator_blocks_never_overlap() {
+    let mut rng = SplitMix64::new(0xa110c);
+    for case in 0..64 {
         let engine = Engine::native();
         let mut heap = UnmanagedHeap::new(&engine, 64 * 1024);
         let mut live: Vec<(usize, usize)> = Vec::new(); // (addr, size)
-        for (i, (alloc, size)) in ops.into_iter().enumerate() {
+        let ops = rng.gen_range(1usize..120);
+        for i in 0..ops {
+            let alloc = rng.gen_bool(0.5);
+            let size = rng.gen_range(1usize..512);
             if alloc || live.is_empty() {
                 if let Ok(p) = heap.malloc(size) {
                     let rounded = size.div_ceil(4) * 4;
                     // No overlap with any live block.
                     for &(a, s) in &live {
-                        prop_assert!(p + rounded <= a || a + s <= p,
-                            "block {p}+{rounded} overlaps {a}+{s}");
+                        assert!(
+                            p + rounded <= a || a + s <= p,
+                            "case {case}: block {p}+{rounded} overlaps {a}+{s}"
+                        );
                     }
                     // Writes to this block don't disturb the others.
                     heap.write_i32(p, i as i32).unwrap();
@@ -91,14 +126,14 @@ proptest! {
         }
         // All remaining blocks still readable; double-free rejected.
         for &(a, _) in &live {
-            prop_assert!(heap.read_i32(a).is_ok());
+            assert!(heap.read_i32(a).is_ok(), "case {case}");
         }
         for &(a, _) in &live {
             heap.free(a).unwrap();
-            prop_assert!(heap.free(a).is_err());
+            assert!(heap.free(a).is_err(), "case {case}");
         }
         // Full capacity recovered.
-        prop_assert_eq!(heap.largest_free_block(), 64 * 1024);
+        assert_eq!(heap.largest_free_block(), 64 * 1024, "case {case}");
     }
 }
 
@@ -106,24 +141,47 @@ proptest! {
 // Path algebra laws
 // ----------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn normalize_is_idempotent(segs in proptest::collection::vec("[a-z.]{1,6}", 0..8), abs: bool) {
+fn random_segment(rng: &mut SplitMix64, alphabet: &[u8]) -> String {
+    let len = rng.gen_range(1usize..=6);
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())] as char)
+        .collect()
+}
+
+#[test]
+fn normalize_is_idempotent() {
+    let mut rng = SplitMix64::new(0x9a7);
+    for case in 0..256 {
+        let nsegs = rng.gen_range(0usize..8);
+        let segs: Vec<String> = (0..nsegs)
+            .map(|_| random_segment(&mut rng, b"abcdefghijklmnopqrstuvwxyz."))
+            .collect();
+        let abs = rng.gen_bool(0.5);
         let p = format!("{}{}", if abs { "/" } else { "" }, segs.join("/"));
         let once = path::normalize(&p);
-        prop_assert_eq!(path::normalize(&once), once.clone());
+        assert_eq!(path::normalize(&once), once.clone(), "case {case}: {p:?}");
         // Absolute inputs stay absolute; `..` never survives in them.
         if abs {
-            prop_assert!(path::is_absolute(&once));
-            prop_assert!(!path::components(&once).iter().any(|c| c == ".."));
+            assert!(path::is_absolute(&once), "case {case}: {p:?}");
+            assert!(
+                !path::components(&once).iter().any(|c| c == ".."),
+                "case {case}: {p:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn dirname_basename_recompose(segs in proptest::collection::vec("[a-z]{1,6}", 1..6)) {
+#[test]
+fn dirname_basename_recompose() {
+    let mut rng = SplitMix64::new(0xd1b);
+    for case in 0..256 {
+        let nsegs = rng.gen_range(1usize..6);
+        let segs: Vec<String> = (0..nsegs)
+            .map(|_| random_segment(&mut rng, b"abcdefghijklmnopqrstuvwxyz"))
+            .collect();
         let p = format!("/{}", segs.join("/"));
         let recomposed = path::join(&[&path::dirname(&p), &path::basename(&p)]);
-        prop_assert_eq!(recomposed, p);
+        assert_eq!(recomposed, p, "case {case}");
     }
 }
 
@@ -131,31 +189,33 @@ proptest! {
 // Event-loop ordering law
 // ----------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn timers_fire_in_deadline_order(delays in proptest::collection::vec(0u32..50, 1..20)) {
-        use std::cell::RefCell;
-        use std::rc::Rc;
+#[test]
+fn timers_fire_in_deadline_order() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    let mut rng = SplitMix64::new(0x71e5);
+    for case in 0..64 {
         let engine = Engine::new(Browser::Chrome);
         let fired: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
         let mut expect: Vec<(u64, usize)> = Vec::new();
-        for (i, d) in delays.iter().enumerate() {
-            let clamped = (*d as f64).max(4.0); // the 4 ms clamp
+        let n = rng.gen_range(1usize..20);
+        for i in 0..n {
+            let d = rng.gen_range(0u32..50);
+            let clamped = (d as f64).max(4.0); // the 4 ms clamp
             expect.push(((clamped * 1e6) as u64, i));
             let f = fired.clone();
-            engine.set_timeout(*d as f64, move |e| {
+            engine.set_timeout(d as f64, move |e| {
                 f.borrow_mut().push((e.now_ns(), i));
             });
         }
         engine.run_until_idle();
         expect.sort();
         let got = fired.borrow();
-        prop_assert_eq!(got.len(), expect.len());
+        assert_eq!(got.len(), expect.len(), "case {case}");
         // Firing order matches deadline order (FIFO among equals).
         for (g, e) in got.iter().zip(&expect) {
-            prop_assert_eq!(g.1, e.1);
-            prop_assert!(g.0 >= e.0, "fired before its deadline");
+            assert_eq!(g.1, e.1, "case {case}");
+            assert!(g.0 >= e.0, "case {case}: fired before its deadline");
         }
     }
 }
@@ -193,21 +253,24 @@ impl E {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = any::<i16>().prop_map(|v| E::Lit(v as i32));
-    leaf.prop_recursive(5, 64, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-        ]
-    })
+fn random_expr(rng: &mut SplitMix64, depth: u32) -> E {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return E::Lit(rng.gen_range(-32768i32..32768));
+    }
+    let a = Box::new(random_expr(rng, depth - 1));
+    let b = Box::new(random_expr(rng, depth - 1));
+    match rng.gen_range(0u32..3) {
+        0 => E::Add(a, b),
+        1 => E::Sub(a, b),
+        _ => E::Mul(a, b),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    #[test]
-    fn jvm_agrees_with_rust_on_random_arithmetic(e in arb_expr()) {
+#[test]
+fn jvm_agrees_with_rust_on_random_arithmetic() {
+    let mut rng = SplitMix64::new(0x2a17);
+    for case in 0..24 {
+        let e = random_expr(&mut rng, 5);
         let expected = e.eval();
         let src = format!(
             "class Main {{ static void main(String[] args) {{ System.out.println({}); }} }}",
@@ -220,6 +283,6 @@ proptest! {
         let jvm = Jvm::new(&engine, fs);
         jvm.launch("Main", &[]);
         let r = jvm.run_to_completion().unwrap();
-        prop_assert_eq!(r.stdout.trim(), expected.to_string());
+        assert_eq!(r.stdout.trim(), expected.to_string(), "case {case}: {src}");
     }
 }
