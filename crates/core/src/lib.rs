@@ -55,8 +55,8 @@ pub mod runtime;
 pub mod suspend;
 
 pub use runtime::{
-    AsyncCell, AsyncResolver, DoppioRuntime, GuestThread, RoundRobinScheduler, RuntimeError,
-    RuntimeStats, Scheduler, ThreadContext, ThreadId, ThreadState, ThreadStep,
+    AsyncCell, AsyncResolver, BlockTimeout, DoppioRuntime, GuestThread, RoundRobinScheduler,
+    RuntimeError, RuntimeStats, Scheduler, ThreadContext, ThreadId, ThreadState, ThreadStep,
 };
 pub use suspend::{SuspendTimer, DEFAULT_TIME_SLICE_NS};
 
@@ -238,6 +238,59 @@ mod tests {
         );
         rt.run_to_completion().unwrap();
         assert_eq!(*result.borrow(), Some(42));
+    }
+
+    #[test]
+    fn block_on_timeout_wakes_with_an_error_when_the_value_never_comes() {
+        let engine = Engine::new(Browser::Chrome);
+        let rt = DoppioRuntime::new(&engine);
+        let result: Rc<RefCell<Option<Result<u32, BlockTimeout>>>> = Rc::new(RefCell::new(None));
+        let out = result.clone();
+        let mut pending: Option<AsyncCell<Result<u32, BlockTimeout>>> = None;
+        rt.spawn(
+            "waiter",
+            Box::new(FnThread::new(move |ctx| {
+                if let Some(cell) = pending.take() {
+                    *out.borrow_mut() = Some(cell.take().expect("woken with a result"));
+                    return ThreadStep::Finished;
+                }
+                // The resolver is dropped unfired: only the deadline
+                // can wake this thread.
+                let cell = ctx.block_on_timeout(5_000_000, |_, _resolver| {});
+                pending = Some(cell);
+                ThreadStep::Blocked
+            })),
+        );
+        rt.run_to_completion().unwrap();
+        assert_eq!(*result.borrow(), Some(Err(BlockTimeout)));
+    }
+
+    #[test]
+    fn block_on_timeout_value_beats_a_later_deadline() {
+        let engine = Engine::new(Browser::Chrome);
+        let rt = DoppioRuntime::new(&engine);
+        let result: Rc<RefCell<Option<Result<u32, BlockTimeout>>>> = Rc::new(RefCell::new(None));
+        let out = result.clone();
+        let mut pending: Option<AsyncCell<Result<u32, BlockTimeout>>> = None;
+        rt.spawn(
+            "waiter",
+            Box::new(FnThread::new(move |ctx| {
+                if let Some(cell) = pending.take() {
+                    *out.borrow_mut() = Some(cell.take().expect("woken with a result"));
+                    return ThreadStep::Finished;
+                }
+                let cell = ctx.block_on_timeout(10_000_000, |engine, resolver| {
+                    engine.complete_async_after(1_000_000, move |_| resolver.resolve(99));
+                });
+                pending = Some(cell);
+                ThreadStep::Blocked
+            })),
+        );
+        // The late deadline still fires on the event loop; it must be a
+        // no-op against the already-delivered value.
+        rt.run_to_completion().unwrap();
+        engine.run_until_idle();
+        assert_eq!(*result.borrow(), Some(Ok(99)));
     }
 
     #[test]

@@ -553,11 +553,73 @@ impl ThreadContext<'_> {
         start: impl FnOnce(&Engine, AsyncResolver<T>),
     ) -> AsyncCell<T> {
         let cell = AsyncCell(Rc::new(RefCell::new(None)));
+        let dest = cell.0.clone();
         let resolver = AsyncResolver {
-            cell: cell.0.clone(),
+            sink: Box::new(move |v| *dest.borrow_mut() = Some(v)),
             runtime: self.runtime.clone(),
             thread: self.thread_id,
         };
+        start(self.runtime.engine(), resolver);
+        cell
+    }
+
+    /// [`block_on`](Self::block_on) with a deadline: if the resolver
+    /// has not fired within `timeout_ns` of virtual time, the cell
+    /// resolves to `Err(BlockTimeout)` and the thread is woken anyway.
+    /// Whichever of the two outcomes lands first wins; the loser is
+    /// discarded (a late value never overwrites a delivered timeout,
+    /// and vice versa).
+    ///
+    /// This is how guest runtimes bound blocking I/O over a faulty
+    /// substrate — e.g. a socket `recv` that must not hang forever when
+    /// the fault plan ate the reply. Fired timeouts emit a
+    /// `fault`-category trace instant.
+    pub fn block_on_timeout<T: 'static>(
+        &mut self,
+        timeout_ns: u64,
+        start: impl FnOnce(&Engine, AsyncResolver<T>),
+    ) -> AsyncCell<Result<T, BlockTimeout>> {
+        let cell = AsyncCell(Rc::new(RefCell::new(None)));
+        let settled = Rc::new(std::cell::Cell::new(false));
+
+        let dest = cell.0.clone();
+        let s = settled.clone();
+        let resolver = AsyncResolver {
+            sink: Box::new(move |v| {
+                if !s.replace(true) {
+                    *dest.borrow_mut() = Some(Ok(v));
+                }
+            }),
+            runtime: self.runtime.clone(),
+            thread: self.thread_id,
+        };
+
+        let dest = cell.0.clone();
+        let runtime = self.runtime.clone();
+        let thread = self.thread_id;
+        self.runtime
+            .engine()
+            .complete_async_after(timeout_ns, move |e| {
+                if settled.replace(true) {
+                    return; // value arrived first
+                }
+                let tracer = e.tracer();
+                if tracer.enabled() {
+                    tracer.instant(
+                        cat::FAULT,
+                        "block_on_timeout",
+                        e.now_ns(),
+                        RUNTIME_LANE,
+                        vec![
+                            ("thread", ArgValue::U64(thread.0 as u64)),
+                            ("timeout_ns", ArgValue::U64(timeout_ns)),
+                        ],
+                    );
+                }
+                *dest.borrow_mut() = Some(Err(BlockTimeout));
+                runtime.wake(thread);
+            });
+
         start(self.runtime.engine(), resolver);
         cell
     }
@@ -575,7 +637,7 @@ impl ThreadContext<'_> {
 
 /// Receives the value a blocked thread is waiting for.
 pub struct AsyncResolver<T> {
-    cell: Rc<RefCell<Option<T>>>,
+    sink: Box<dyn FnOnce(T)>,
     runtime: DoppioRuntime,
     thread: ThreadId,
 }
@@ -583,10 +645,23 @@ pub struct AsyncResolver<T> {
 impl<T> AsyncResolver<T> {
     /// Deliver the value and wake the waiting thread.
     pub fn resolve(self, value: T) {
-        *self.cell.borrow_mut() = Some(value);
+        (self.sink)(value);
         self.runtime.wake(self.thread);
     }
 }
+
+/// The deadline of [`ThreadContext::block_on_timeout`] fired before the
+/// asynchronous operation resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockTimeout;
+
+impl std::fmt::Display for BlockTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "blocking call timed out")
+    }
+}
+
+impl std::error::Error for BlockTimeout {}
 
 /// Where a blocked thread finds its delivered value after waking.
 #[derive(Debug)]

@@ -1,0 +1,555 @@
+//! # doppio-faults — deterministic fault injection for the simulation
+//!
+//! The paper's whole premise (§4–§6) is keeping unmodified programs
+//! correct on top of an unreliable, asynchronous substrate — yet a
+//! perfectly reliable simulated fabric never exercises any error path.
+//! This crate supplies the missing unreliability, *deterministically*:
+//! a [`FaultPlan`] is seeded with a [`SplitMix64`] stream and driven by
+//! the engine's virtual clock, so the exact same faults fire at the
+//! exact same virtual instants on every run with the same seed — a
+//! property the paper's real-browser evaluation never had.
+//!
+//! Two consumers query the plan at their delivery decision points:
+//!
+//! * the network fabric (`doppio-sockets`) asks [`FaultPlan::net_fault`]
+//!   per transmission and may be told to drop the segment, reset the
+//!   connection, add a latency spike, or split the delivery in two
+//!   (partial delivery / TCP segmentation);
+//! * any fs backend wrapped by `doppio-fs`'s `FaultyBackend` asks
+//!   [`FaultPlan::fs_fault`] per operation and may be told to fail with
+//!   a transient `EIO`, a `QuotaExceeded` (`ENOSPC`), or to complete
+//!   slowly.
+//!
+//! Every injected fault is recorded in the plan's log and emitted as a
+//! `fault`-category instant through `doppio-trace`, so a Perfetto trace
+//! shows exactly which fault fired and how the stack recovered.
+//!
+//! The crate also hosts the client-side recovery policies the paper
+//! assumes the source language provides: [`BackoffPolicy`] (seeded
+//! exponential backoff with jitter, shared by `DoppioSocket` reconnect
+//! and the fs frontend) and [`RetryPolicy`].
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use doppio_jsengine::Engine;
+use doppio_prng::SplitMix64;
+use doppio_trace::{cat, ArgValue};
+
+/// A fault the network fabric must apply to one transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// The segment vanishes (delivery never happens). Deliveries are
+    /// frame-aligned in this fabric, so a drop models clean loss of one
+    /// application write.
+    Drop,
+    /// The connection is reset: both sides observe an abrupt close.
+    Reset,
+    /// The delivery is delayed by the given extra virtual nanoseconds.
+    LatencySpike(u64),
+    /// Partial delivery: the segment arrives split at the given byte
+    /// offset, as two separately delayed deliveries.
+    Split(usize),
+}
+
+impl NetFault {
+    /// Stable name for logs and trace args.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetFault::Drop => "drop",
+            NetFault::Reset => "reset",
+            NetFault::LatencySpike(_) => "latency_spike",
+            NetFault::Split(_) => "partial_delivery",
+        }
+    }
+}
+
+/// A fault a wrapped fs backend must apply to one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsFault {
+    /// Fail with a transient I/O error (`EIO`).
+    TransientEio,
+    /// Fail with a storage-quota error (`ENOSPC`), as `localStorage`
+    /// raises when its 5 MB budget is exhausted.
+    QuotaExceeded,
+    /// Complete, but only after the given extra virtual nanoseconds.
+    SlowCompletion(u64),
+}
+
+impl FsFault {
+    /// Stable name for logs and trace args.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FsFault::TransientEio => "transient_eio",
+            FsFault::QuotaExceeded => "quota_exceeded",
+            FsFault::SlowCompletion(_) => "slow_completion",
+        }
+    }
+}
+
+/// Per-kind fault probabilities and magnitudes. All probabilities are
+/// per *decision point* (one transmission, one fs operation) and
+/// default to zero — an empty config injects nothing.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Probability a transmission is dropped.
+    pub net_drop_p: f64,
+    /// Probability a transmission resets the connection.
+    pub net_reset_p: f64,
+    /// Probability a transmission suffers a latency spike.
+    pub net_spike_p: f64,
+    /// Spike magnitude range, virtual ns (inclusive bounds).
+    pub net_spike_ns: (u64, u64),
+    /// Probability a multi-byte transmission is split in two.
+    pub net_split_p: f64,
+    /// Probability an fs operation fails with transient `EIO`.
+    pub fs_eio_p: f64,
+    /// Probability a *write* fs operation fails with `ENOSPC`.
+    pub fs_quota_p: f64,
+    /// Probability an fs operation completes slowly.
+    pub fs_slow_p: f64,
+    /// Slow-completion magnitude range, virtual ns (inclusive bounds).
+    pub fs_slow_ns: (u64, u64),
+    /// Hard cap on injected network faults (recovery budget).
+    pub max_net_faults: u32,
+    /// Hard cap on injected fs faults (recovery budget).
+    pub max_fs_faults: u32,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            net_drop_p: 0.0,
+            net_reset_p: 0.0,
+            net_spike_p: 0.0,
+            net_spike_ns: (1_000_000, 20_000_000),
+            net_split_p: 0.0,
+            fs_eio_p: 0.0,
+            fs_quota_p: 0.0,
+            fs_slow_p: 0.0,
+            fs_slow_ns: (1_000_000, 20_000_000),
+            max_net_faults: u32::MAX,
+            max_fs_faults: u32::MAX,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A light mixed workload: occasional faults of every kind, bounded
+    /// so workloads with retry/backoff always recover.
+    pub fn light() -> FaultConfig {
+        FaultConfig {
+            net_drop_p: 0.02,
+            net_reset_p: 0.01,
+            net_spike_p: 0.05,
+            net_split_p: 0.05,
+            fs_eio_p: 0.02,
+            fs_quota_p: 0.01,
+            fs_slow_p: 0.05,
+            max_net_faults: 64,
+            max_fs_faults: 256,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// An aggressive profile for stress tests: every kind fires often.
+    pub fn chaos() -> FaultConfig {
+        FaultConfig {
+            net_drop_p: 0.10,
+            net_reset_p: 0.05,
+            net_spike_p: 0.15,
+            net_split_p: 0.15,
+            fs_eio_p: 0.10,
+            fs_quota_p: 0.05,
+            fs_slow_p: 0.15,
+            max_net_faults: 512,
+            max_fs_faults: 2048,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// One recorded injection, in decision order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Virtual timestamp of the decision.
+    pub ts_ns: u64,
+    /// Fault kind name (`"drop"`, `"transient_eio"`, ...).
+    pub kind: &'static str,
+    /// Decision-point detail (direction + bytes, or op + path).
+    pub detail: String,
+}
+
+struct PlanInner {
+    rng: SplitMix64,
+    cfg: FaultConfig,
+    net_injected: u32,
+    fs_injected: u32,
+    log: Vec<FaultRecord>,
+}
+
+/// A seeded, virtual-clock-driven fault plan. Cheaply cloneable; all
+/// clones share one PRNG stream and one log, so a single plan can be
+/// injected into the network fabric and several backends at once while
+/// staying fully deterministic.
+#[derive(Clone)]
+pub struct FaultPlan {
+    inner: Rc<RefCell<PlanInner>>,
+}
+
+impl FaultPlan {
+    /// A plan drawing from `seed` under `cfg`. Equal seeds and equal
+    /// decision sequences produce identical fault sequences.
+    pub fn new(seed: u64, cfg: FaultConfig) -> FaultPlan {
+        FaultPlan {
+            inner: Rc::new(RefCell::new(PlanInner {
+                rng: SplitMix64::new(seed),
+                cfg,
+                net_injected: 0,
+                fs_injected: 0,
+                log: Vec::new(),
+            })),
+        }
+    }
+
+    /// Decide the fate of one network transmission of `bytes` payload
+    /// bytes in direction `dir` (`"c2s"` / `"s2c"`). Returns `None` for
+    /// normal delivery. The decision is logged and traced.
+    pub fn net_fault(&self, engine: &Engine, dir: &'static str, bytes: usize) -> Option<NetFault> {
+        let fault = {
+            let mut p = self.inner.borrow_mut();
+            if p.net_injected >= p.cfg.max_net_faults {
+                return None;
+            }
+            let cfg = p.cfg.clone();
+            // Fixed evaluation order keeps the stream reproducible.
+            let fault = if p.rng.gen_bool(cfg.net_reset_p) {
+                Some(NetFault::Reset)
+            } else if p.rng.gen_bool(cfg.net_drop_p) {
+                Some(NetFault::Drop)
+            } else if p.rng.gen_bool(cfg.net_spike_p) {
+                let (lo, hi) = cfg.net_spike_ns;
+                Some(NetFault::LatencySpike(p.rng.gen_range(lo..=hi)))
+            } else if bytes > 1 && p.rng.gen_bool(cfg.net_split_p) {
+                let at = p.rng.gen_range(1..bytes);
+                Some(NetFault::Split(at))
+            } else {
+                None
+            };
+            if let Some(f) = fault {
+                p.net_injected += 1;
+                p.log.push(FaultRecord {
+                    ts_ns: engine.now_ns(),
+                    kind: f.name(),
+                    detail: format!("{dir} {bytes}B"),
+                });
+            }
+            fault
+        };
+        if let Some(f) = fault {
+            let tracer = engine.tracer();
+            if tracer.enabled() {
+                tracer.instant(
+                    cat::FAULT,
+                    "net_fault",
+                    engine.now_ns(),
+                    0,
+                    vec![
+                        ("kind", ArgValue::from(f.name())),
+                        ("dir", ArgValue::from(dir)),
+                        ("bytes", ArgValue::U64(bytes as u64)),
+                    ],
+                );
+            }
+        }
+        fault
+    }
+
+    /// Decide the fate of one fs backend operation `op` on `path`.
+    /// `writes` marks data-mutating operations — only those can draw a
+    /// quota fault. Returns `None` for normal completion.
+    pub fn fs_fault(
+        &self,
+        engine: &Engine,
+        op: &'static str,
+        path: &str,
+        writes: bool,
+    ) -> Option<FsFault> {
+        let fault = {
+            let mut p = self.inner.borrow_mut();
+            if p.fs_injected >= p.cfg.max_fs_faults {
+                return None;
+            }
+            let cfg = p.cfg.clone();
+            let fault = if p.rng.gen_bool(cfg.fs_eio_p) {
+                Some(FsFault::TransientEio)
+            } else if writes && p.rng.gen_bool(cfg.fs_quota_p) {
+                Some(FsFault::QuotaExceeded)
+            } else if p.rng.gen_bool(cfg.fs_slow_p) {
+                let (lo, hi) = cfg.fs_slow_ns;
+                Some(FsFault::SlowCompletion(p.rng.gen_range(lo..=hi)))
+            } else {
+                None
+            };
+            if let Some(f) = fault {
+                p.fs_injected += 1;
+                p.log.push(FaultRecord {
+                    ts_ns: engine.now_ns(),
+                    kind: f.name(),
+                    detail: format!("{op} {path}"),
+                });
+            }
+            fault
+        };
+        if let Some(f) = fault {
+            let tracer = engine.tracer();
+            if tracer.enabled() {
+                tracer.instant(
+                    cat::FAULT,
+                    "fs_fault",
+                    engine.now_ns(),
+                    0,
+                    vec![
+                        ("kind", ArgValue::from(f.name())),
+                        ("op", ArgValue::from(op)),
+                        ("path", ArgValue::from(path.to_string())),
+                    ],
+                );
+            }
+        }
+        fault
+    }
+
+    /// Network faults injected so far.
+    pub fn net_injected(&self) -> u32 {
+        self.inner.borrow().net_injected
+    }
+
+    /// Fs faults injected so far.
+    pub fn fs_injected(&self) -> u32 {
+        self.inner.borrow().fs_injected
+    }
+
+    /// The full injection log, in decision order.
+    pub fn log(&self) -> Vec<FaultRecord> {
+        self.inner.borrow().log.clone()
+    }
+
+    /// The distinct fault kinds that have fired.
+    pub fn kinds_fired(&self) -> BTreeSet<&'static str> {
+        self.inner.borrow().log.iter().map(|r| r.kind).collect()
+    }
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let p = self.inner.borrow();
+        f.debug_struct("FaultPlan")
+            .field("net_injected", &p.net_injected)
+            .field("fs_injected", &p.fs_injected)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Seeded exponential backoff with jitter.
+///
+/// `delay_ns(attempt, rand)` is a pure function of its inputs: callers
+/// pass a draw from a deterministic stream (typically
+/// `Engine::random_u64`), so backoff schedules replay exactly under the
+/// same seed. The delay for attempt *n* (0-based) is drawn uniformly
+/// from `[cap·(1−jitter), cap]` where
+/// `cap = min(base·multiplier^n, max)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// First-attempt delay, virtual ns.
+    pub base_ns: u64,
+    /// Ceiling on any delay, virtual ns.
+    pub max_ns: u64,
+    /// Exponential growth factor per attempt.
+    pub multiplier: u32,
+    /// Jitter fraction in `[0, 1]`: 0 = fixed schedule, 1 = full jitter.
+    pub jitter: f64,
+}
+
+impl Default for BackoffPolicy {
+    /// 10 ms virtual base, doubling, 2 s cap, half jitter.
+    fn default() -> BackoffPolicy {
+        BackoffPolicy {
+            base_ns: 10_000_000,
+            max_ns: 2_000_000_000,
+            multiplier: 2,
+            jitter: 0.5,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay before retry number `attempt` (0-based), using `rand`
+    /// as the jitter draw.
+    pub fn delay_ns(&self, attempt: u32, rand: u64) -> u64 {
+        let cap = self
+            .base_ns
+            .saturating_mul((self.multiplier as u64).saturating_pow(attempt))
+            .min(self.max_ns);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let span = (cap as f64 * jitter) as u64;
+        if span == 0 {
+            cap
+        } else {
+            cap - span + rand % (span + 1)
+        }
+    }
+}
+
+/// Retry policy for transient failures: how many total attempts to
+/// make, and how to space them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Spacing between attempts.
+    pub backoff: BackoffPolicy,
+}
+
+impl Default for RetryPolicy {
+    /// Five attempts on the default backoff schedule.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            backoff: BackoffPolicy::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppio_jsengine::Browser;
+
+    #[test]
+    fn empty_config_injects_nothing() {
+        let engine = Engine::new(Browser::Chrome);
+        let plan = FaultPlan::new(1, FaultConfig::default());
+        for i in 0..1000 {
+            assert_eq!(plan.net_fault(&engine, "c2s", i), None);
+            assert_eq!(plan.fs_fault(&engine, "stat", "/x", i % 2 == 0), None);
+        }
+        assert_eq!(plan.net_injected(), 0);
+        assert_eq!(plan.fs_injected(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_decision_sequence() {
+        let engine = Engine::new(Browser::Chrome);
+        let run = |seed| {
+            let plan = FaultPlan::new(seed, FaultConfig::chaos());
+            let mut out = Vec::new();
+            for i in 0..500 {
+                out.push(format!("{:?}", plan.net_fault(&engine, "c2s", 64 + i)));
+                out.push(format!(
+                    "{:?}",
+                    plan.fs_fault(&engine, "open", "/a/b", i % 3 == 0)
+                ));
+            }
+            (out, plan.log())
+        };
+        let (a, la) = run(42);
+        let (b, lb) = run(42);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+        let (c, _) = run(43);
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn budget_caps_injection() {
+        let engine = Engine::new(Browser::Chrome);
+        let cfg = FaultConfig {
+            net_drop_p: 1.0,
+            max_net_faults: 3,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::new(7, cfg);
+        let fired = (0..100)
+            .filter(|_| plan.net_fault(&engine, "c2s", 10).is_some())
+            .count();
+        assert_eq!(fired, 3);
+        assert_eq!(plan.net_injected(), 3);
+    }
+
+    #[test]
+    fn quota_faults_only_hit_writes() {
+        let engine = Engine::new(Browser::Chrome);
+        let cfg = FaultConfig {
+            fs_quota_p: 1.0,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::new(9, cfg);
+        for _ in 0..50 {
+            assert_eq!(plan.fs_fault(&engine, "stat", "/x", false), None);
+        }
+        assert_eq!(
+            plan.fs_fault(&engine, "sync", "/x", true),
+            Some(FsFault::QuotaExceeded)
+        );
+    }
+
+    #[test]
+    fn split_points_stay_inside_the_payload() {
+        let engine = Engine::new(Browser::Chrome);
+        let cfg = FaultConfig {
+            net_split_p: 1.0,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::new(11, cfg);
+        for bytes in 2..200 {
+            match plan.net_fault(&engine, "s2c", bytes) {
+                Some(NetFault::Split(at)) => assert!(at >= 1 && at < bytes),
+                other => panic!("expected split, got {other:?}"),
+            }
+        }
+        // Single-byte segments cannot be split.
+        assert_eq!(plan.net_fault(&engine, "s2c", 1), None);
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let p = BackoffPolicy {
+            base_ns: 1_000,
+            max_ns: 16_000,
+            multiplier: 2,
+            jitter: 0.0,
+        };
+        assert_eq!(p.delay_ns(0, 0), 1_000);
+        assert_eq!(p.delay_ns(1, 0), 2_000);
+        assert_eq!(p.delay_ns(3, 0), 8_000);
+        assert_eq!(p.delay_ns(10, 0), 16_000, "capped at max");
+
+        let j = BackoffPolicy { jitter: 1.0, ..p };
+        for attempt in 0..8 {
+            let cap = p.delay_ns(attempt, 0);
+            for rand in [0u64, 1, 999, u64::MAX] {
+                let d = j.delay_ns(attempt, rand);
+                assert!(d <= cap, "jittered {d} above cap {cap}");
+                assert_eq!(
+                    d,
+                    j.delay_ns(attempt, rand),
+                    "same draw, same delay (deterministic)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_at_max() {
+        let p = BackoffPolicy {
+            base_ns: u64::MAX / 2,
+            max_ns: u64::MAX,
+            multiplier: 3,
+            jitter: 0.0,
+        };
+        // multiplier^attempt overflows; delay must saturate, not wrap.
+        assert_eq!(p.delay_ns(60, 0), u64::MAX);
+    }
+}

@@ -26,6 +26,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use doppio_faults::RetryPolicy;
 use doppio_jsengine::{Cost, Engine};
 use doppio_trace::{cat, ArgValue, Counter, MetricsRegistry, Snapshot};
 
@@ -71,6 +72,9 @@ pub struct FsStats {
     pub closes: u64,
     /// Sync-on-close flushes that actually wrote data.
     pub flushes: u64,
+    /// Backend operations re-issued by the retry policy after a
+    /// transient failure.
+    pub retries: u64,
 }
 
 impl Snapshot for FsStats {
@@ -86,6 +90,7 @@ impl Snapshot for FsStats {
             opens: reg.get("fs.opens"),
             closes: reg.get("fs.closes"),
             flushes: reg.get("fs.flushes"),
+            retries: reg.get("fs.retries"),
         }
     }
 }
@@ -99,6 +104,7 @@ struct FsCounters {
     opens: Counter,
     closes: Counter,
     flushes: Counter,
+    retries: Counter,
 }
 
 impl FsCounters {
@@ -110,6 +116,7 @@ impl FsCounters {
             opens: reg.counter("fs.opens"),
             closes: reg.counter("fs.closes"),
             flushes: reg.counter("fs.flushes"),
+            retries: reg.counter("fs.retries"),
         }
     }
 }
@@ -121,6 +128,7 @@ struct FsInner {
     next_fd: u32,
     cwd: String,
     counters: FsCounters,
+    retry: Option<RetryPolicy>,
 }
 
 /// The file system frontend. Cheaply cloneable handle.
@@ -181,6 +189,55 @@ fn trace_op_plain<T: 'static>(
     trace_op(engine, name, backend, |_| 0, cb)
 }
 
+/// A backend operation that can be re-issued for each retry attempt.
+type RetryableOp<T> = Rc<dyn Fn(&Engine, FsCallback<T>)>;
+
+/// Issue attempt number `attempt` (0-based) of a backend operation.
+/// A transient failure with attempts remaining schedules the next try
+/// after a seeded backoff delay (jitter drawn from the engine's
+/// deterministic stream); anything else — success, a permanent error,
+/// or budget exhaustion — flows to `cb` unchanged.
+fn retry_attempt<T: 'static>(
+    fs: FileSystem,
+    op: &'static str,
+    run: RetryableOp<T>,
+    policy: RetryPolicy,
+    attempt: u32,
+    engine: &Engine,
+    cb: FsCallback<T>,
+) {
+    let run2 = run.clone();
+    let fs2 = fs.clone();
+    run(
+        engine,
+        Box::new(move |e, r| match r {
+            Err(err) if err.errno.is_transient() && attempt + 1 < policy.max_attempts => {
+                let delay = policy.backoff.delay_ns(attempt, e.random_u64());
+                fs2.inner.borrow().counters.retries.inc();
+                let tracer = e.tracer();
+                if tracer.enabled() {
+                    tracer.instant(
+                        cat::FAULT,
+                        "fs_retry",
+                        e.now_ns(),
+                        0,
+                        vec![
+                            ("op", ArgValue::from(op)),
+                            ("errno", ArgValue::from(err.errno.code())),
+                            ("attempt", ArgValue::U64(u64::from(attempt + 1))),
+                            ("delay_ns", ArgValue::U64(delay)),
+                        ],
+                    );
+                }
+                e.complete_async_after(delay, move |e2| {
+                    retry_attempt(fs2, op, run2, policy, attempt + 1, e2, cb)
+                });
+            }
+            other => cb(e, other),
+        }),
+    );
+}
+
 impl FileSystem {
     /// Create a file system over `backend` with working directory `/`.
     pub fn new(engine: &Engine, backend: SharedBackend) -> FileSystem {
@@ -193,8 +250,18 @@ impl FileSystem {
                 next_fd: 3, // 0-2 notionally stdin/stdout/stderr
                 cwd: "/".to_string(),
                 counters,
+                retry: None,
             })),
         }
+    }
+
+    /// Retry transient backend failures (`EIO`, `ENOSPC`) under
+    /// `policy`, spacing attempts with its seeded backoff. `None`
+    /// (the default) surfaces every backend error directly. Each
+    /// re-issued attempt bumps the `fs.retries` counter and emits a
+    /// `fault`-category `fs_retry` trace instant.
+    pub fn set_retry_policy(&self, policy: Option<RetryPolicy>) {
+        self.inner.borrow_mut().retry = policy;
     }
 
     /// Operation counters — a view over the engine's shared metrics
@@ -241,13 +308,31 @@ impl FileSystem {
         (inner.engine.clone(), inner.backend.clone())
     }
 
+    /// Run a (re-issuable) backend operation under the retry policy,
+    /// if one is set.
+    fn run_op<T: 'static>(
+        &self,
+        engine: &Engine,
+        op: &'static str,
+        run: RetryableOp<T>,
+        cb: FsCallback<T>,
+    ) {
+        let retry = self.inner.borrow().retry;
+        match retry {
+            None => run(engine, cb),
+            Some(policy) => retry_attempt(self.clone(), op, run, policy, 0, engine, cb),
+        }
+    }
+
     // ---- core operations ----
 
     /// `fs.stat`.
     pub fn stat(&self, p: &str, cb: impl FnOnce(&Engine, FsResult<Stat>) + 'static) {
         let (engine, backend) = self.begin_op();
         let cb = trace_op_plain(&engine, "stat", backend.name(), Box::new(cb));
-        backend.stat(&engine, &self.resolve(p), cb);
+        let path = self.resolve(p);
+        let run: RetryableOp<Stat> = Rc::new(move |e, cb| backend.stat(e, &path, cb));
+        self.run_op(&engine, "stat", run, cb);
     }
 
     /// `fs.exists`.
@@ -270,10 +355,12 @@ impl FileSystem {
         let resolved = self.resolve(p);
         let resolved_for_call = resolved.clone();
         let fs = self.clone();
-        backend.open(
+        let run: RetryableOp<Vec<u8>> =
+            Rc::new(move |e, cb| backend.open(e, &resolved_for_call, parsed, cb));
+        self.run_op(
             &engine,
-            &resolved_for_call,
-            parsed,
+            "open",
+            run,
             Box::new(move |e, result| match result {
                 Err(err) => cb(e, Err(err)),
                 Ok(data) => {
@@ -466,10 +553,15 @@ impl FileSystem {
             fs.inner.borrow().counters.flushes.inc();
             let backend2 = backend.clone();
             let path2 = path.clone();
-            backend.sync(
+            let data = file.data;
+            // Re-issuable flush: whole-blob sync is idempotent, so a
+            // retried attempt just writes the same image again.
+            let run: RetryableOp<()> =
+                Rc::new(move |e, cb| backend.sync(e, &path, data.clone(), cb));
+            fs.clone().run_op(
                 &engine,
-                &path,
-                file.data,
+                "sync",
+                run,
                 Box::new(move |e, r| match r {
                     Err(err) => cb(e, Err(err)),
                     Ok(()) => backend2.close(e, &path2, Box::new(cb)),
@@ -484,42 +576,54 @@ impl FileSystem {
     pub fn rename(&self, from: &str, to: &str, cb: impl FnOnce(&Engine, FsResult<()>) + 'static) {
         let (engine, backend) = self.begin_op();
         let cb = trace_op_plain(&engine, "rename", backend.name(), Box::new(cb));
-        backend.rename(&engine, &self.resolve(from), &self.resolve(to), cb);
+        let (from, to) = (self.resolve(from), self.resolve(to));
+        let run: RetryableOp<()> = Rc::new(move |e, cb| backend.rename(e, &from, &to, cb));
+        self.run_op(&engine, "rename", run, cb);
     }
 
     /// `fs.unlink`.
     pub fn unlink(&self, p: &str, cb: impl FnOnce(&Engine, FsResult<()>) + 'static) {
         let (engine, backend) = self.begin_op();
         let cb = trace_op_plain(&engine, "unlink", backend.name(), Box::new(cb));
-        backend.unlink(&engine, &self.resolve(p), cb);
+        let path = self.resolve(p);
+        let run: RetryableOp<()> = Rc::new(move |e, cb| backend.unlink(e, &path, cb));
+        self.run_op(&engine, "unlink", run, cb);
     }
 
     /// `fs.mkdir` (parent must exist, as in Node).
     pub fn mkdir(&self, p: &str, cb: impl FnOnce(&Engine, FsResult<()>) + 'static) {
         let (engine, backend) = self.begin_op();
         let cb = trace_op_plain(&engine, "mkdir", backend.name(), Box::new(cb));
-        backend.mkdir(&engine, &self.resolve(p), cb);
+        let path = self.resolve(p);
+        let run: RetryableOp<()> = Rc::new(move |e, cb| backend.mkdir(e, &path, cb));
+        self.run_op(&engine, "mkdir", run, cb);
     }
 
     /// `fs.rmdir`.
     pub fn rmdir(&self, p: &str, cb: impl FnOnce(&Engine, FsResult<()>) + 'static) {
         let (engine, backend) = self.begin_op();
         let cb = trace_op_plain(&engine, "rmdir", backend.name(), Box::new(cb));
-        backend.rmdir(&engine, &self.resolve(p), cb);
+        let path = self.resolve(p);
+        let run: RetryableOp<()> = Rc::new(move |e, cb| backend.rmdir(e, &path, cb));
+        self.run_op(&engine, "rmdir", run, cb);
     }
 
     /// `fs.readdir`.
     pub fn readdir(&self, p: &str, cb: impl FnOnce(&Engine, FsResult<Vec<String>>) + 'static) {
         let (engine, backend) = self.begin_op();
         let cb = trace_op_plain(&engine, "readdir", backend.name(), Box::new(cb));
-        backend.readdir(&engine, &self.resolve(p), cb);
+        let path = self.resolve(p);
+        let run: RetryableOp<Vec<String>> = Rc::new(move |e, cb| backend.readdir(e, &path, cb));
+        self.run_op(&engine, "readdir", run, cb);
     }
 
     /// `fs.utimes` (optional backend operation).
     pub fn utimes(&self, p: &str, mtime_ns: u64, cb: impl FnOnce(&Engine, FsResult<()>) + 'static) {
         let (engine, backend) = self.begin_op();
         let cb = trace_op_plain(&engine, "utimes", backend.name(), Box::new(cb));
-        backend.utimes(&engine, &self.resolve(p), mtime_ns, cb);
+        let path = self.resolve(p);
+        let run: RetryableOp<()> = Rc::new(move |e, cb| backend.utimes(e, &path, mtime_ns, cb));
+        self.run_op(&engine, "utimes", run, cb);
     }
 
     // ---- redundant API surface, mapped onto the core ops ----

@@ -1,9 +1,11 @@
 //! The concrete file-system backends (§5.1, Figure 2).
 
 pub mod blob;
+pub mod faulty;
 pub mod mount;
 
 pub use blob::{BlobBackend, BlobStore, DropboxStore, LocalStorageStore, MemoryStore, XhrStore};
+pub use faulty::FaultyBackend;
 pub use mount::MountableFs;
 
 use doppio_jsengine::Engine;
@@ -39,4 +41,9 @@ pub fn dropbox(engine: &Engine) -> SharedBackend {
 /// A mountable file system over `root`.
 pub fn mountable(root: SharedBackend) -> Rc<MountableFs> {
     Rc::new(MountableFs::new(root))
+}
+
+/// Wrap `inner` in a fault-injecting decorator drawing from `plan`.
+pub fn faulty(inner: SharedBackend, plan: doppio_faults::FaultPlan) -> SharedBackend {
+    Rc::new(FaultyBackend::new(inner, plan))
 }

@@ -6,10 +6,12 @@
 //! future, can be mounted into a Unix-style directory tree (e.g. an
 //! in-memory `/tmp`, server-backed `/sys`, Dropbox-backed `/home`).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use doppio_jsengine::Engine;
+use doppio_trace::{cat, ArgValue};
 
 use crate::backend::{deliver, Backend, FsCallback, OpenFlags, SharedBackend, Stat};
 use crate::error::{Errno, FsError, FsResult};
@@ -17,10 +19,20 @@ use crate::path;
 
 /// A backend that routes each path to the backend mounted at its
 /// longest matching mount point.
+///
+/// With [`set_fallthrough`](MountableFs::set_fallthrough) enabled,
+/// *read* operations (`stat`, read-only `open`, `readdir`) that fail
+/// with a transient `EIO` on the winning mount degrade gracefully:
+/// the next-shorter matching mount (ultimately the root backend) is
+/// tried instead, and each hand-off emits a `fault`-category
+/// `mount_fallthrough` trace event. Writes never fall through — a
+/// write landing on a different backend than the one that serves
+/// subsequent reads would corrupt the tree.
 pub struct MountableFs {
     root: SharedBackend,
     /// Mount point (normalized, absolute, not `/`) → backend.
     mounts: RefCell<BTreeMap<String, SharedBackend>>,
+    fallthrough: Cell<bool>,
 }
 
 impl MountableFs {
@@ -29,7 +41,13 @@ impl MountableFs {
         MountableFs {
             root,
             mounts: RefCell::new(BTreeMap::new()),
+            fallthrough: Cell::new(false),
         }
+    }
+
+    /// Enable or disable EIO fallthrough for read operations.
+    pub fn set_fallthrough(&self, enabled: bool) {
+        self.fallthrough.set(enabled);
     }
 
     /// Mount `backend` at `point` (absolute, not `/`). The mount point
@@ -80,6 +98,28 @@ impl MountableFs {
         }
     }
 
+    /// All routes that can serve `p`, best first: matching mounts from
+    /// longest to shortest prefix, then the root backend. The head is
+    /// exactly what [`route`](Self::route) returns.
+    fn route_candidates(&self, p: &str) -> Vec<(SharedBackend, String, String)> {
+        let mounts = self.mounts.borrow();
+        let mut matching: Vec<(&String, &SharedBackend)> = mounts
+            .iter()
+            .filter(|(point, _)| p == *point || p.starts_with(&format!("{point}/")))
+            .collect();
+        matching.sort_by_key(|(point, _)| std::cmp::Reverse(point.len()));
+        let mut out: Vec<(SharedBackend, String, String)> = matching
+            .into_iter()
+            .map(|(point, be)| {
+                let inner = &p[point.len()..];
+                let inner = if inner.is_empty() { "/" } else { inner };
+                (be.clone(), inner.to_string(), point.clone())
+            })
+            .collect();
+        out.push((self.root.clone(), p.to_string(), String::new()));
+        out
+    }
+
     /// Mount points that are immediate children of directory `dir`.
     fn child_mounts(&self, dir: &str) -> Vec<String> {
         let prefix = if dir == "/" {
@@ -102,17 +142,82 @@ impl MountableFs {
     }
 }
 
+/// One routing candidate: `(backend, path-within-backend, mount-point)`.
+type Route = (SharedBackend, String, String);
+
+/// A backend operation applied to one routing candidate, re-issuable
+/// per candidate as fallthrough walks the list.
+type RouteOp<T> = Rc<dyn Fn(&Engine, &Route, FsCallback<T>)>;
+
+/// Run `op` against `candidates[idx]`. On a transient `EIO` with
+/// another candidate remaining, emit a `mount_fallthrough` trace
+/// instant and degrade to the next one; any other outcome is final.
+fn run_with_fallthrough<T: 'static>(
+    engine: &Engine,
+    path: String,
+    candidates: Rc<Vec<Route>>,
+    idx: usize,
+    op: RouteOp<T>,
+    cb: FsCallback<T>,
+) {
+    let candidate = candidates[idx].clone();
+    let point = candidate.2.clone();
+    let op2 = op.clone();
+    op(
+        engine,
+        &candidate,
+        Box::new(move |e, r| match r {
+            Err(err) if err.errno == Errno::Eio && idx + 1 < candidates.len() => {
+                let tracer = e.tracer();
+                if tracer.enabled() {
+                    let from = if point.is_empty() {
+                        "/".to_string()
+                    } else {
+                        point.clone()
+                    };
+                    tracer.instant(
+                        cat::FAULT,
+                        "mount_fallthrough",
+                        e.now_ns(),
+                        0,
+                        vec![
+                            ("path", ArgValue::Str(path.clone().into())),
+                            ("from_mount", ArgValue::Str(from.into())),
+                        ],
+                    );
+                }
+                run_with_fallthrough(e, path, candidates, idx + 1, op2, cb);
+            }
+            other => cb(e, other),
+        }),
+    );
+}
+
 impl Backend for MountableFs {
     fn name(&self) -> &'static str {
         "Mountable"
     }
 
     fn stat(&self, engine: &Engine, p: &str, cb: FsCallback<Stat>) {
+        if self.fallthrough.get() {
+            let cands = Rc::new(self.route_candidates(p));
+            let op: RouteOp<Stat> = Rc::new(|e, (be, inner, _), cb| be.stat(e, inner, cb));
+            run_with_fallthrough(engine, p.to_string(), cands, 0, op, cb);
+            return;
+        }
         let (be, inner, _point) = self.route(p);
         be.stat(engine, &inner, cb);
     }
 
     fn open(&self, engine: &Engine, p: &str, flags: OpenFlags, cb: FsCallback<Vec<u8>>) {
+        let pure_read = !flags.write && !flags.create && !flags.truncate;
+        if self.fallthrough.get() && pure_read {
+            let cands = Rc::new(self.route_candidates(p));
+            let op: RouteOp<Vec<u8>> =
+                Rc::new(move |e, (be, inner, _), cb| be.open(e, inner, flags, cb));
+            run_with_fallthrough(engine, p.to_string(), cands, 0, op, cb);
+            return;
+        }
         let (be, inner, _) = self.route(p);
         be.open(engine, &inner, flags, cb);
     }
@@ -170,27 +275,47 @@ impl Backend for MountableFs {
     }
 
     fn readdir(&self, engine: &Engine, p: &str, cb: FsCallback<Vec<String>>) {
-        let (be, inner, point) = self.route(p);
-        let extra = if point.is_empty() {
-            self.child_mounts(p)
-        } else {
-            Vec::new()
+        // Mount points visible under `p` merge into the listing only
+        // when the root backend serves it (mounts shadow their subtree).
+        let child_mounts = self.child_mounts(p);
+        let merge = move |point: &str, result: FsResult<Vec<String>>| {
+            let extra = if point.is_empty() {
+                child_mounts.clone()
+            } else {
+                Vec::new()
+            };
+            result.map(|mut names| {
+                for m in extra {
+                    if !names.contains(&m) {
+                        names.push(m);
+                    }
+                }
+                names.sort();
+                names
+            })
         };
+        if self.fallthrough.get() {
+            let cands = Rc::new(self.route_candidates(p));
+            let op: RouteOp<Vec<String>> = {
+                let merge = Rc::new(merge);
+                Rc::new(move |e, (be, inner, point), cb| {
+                    let merge = merge.clone();
+                    let point = point.clone();
+                    be.readdir(
+                        e,
+                        inner,
+                        Box::new(move |e2, result| cb(e2, merge(&point, result))),
+                    );
+                })
+            };
+            run_with_fallthrough(engine, p.to_string(), cands, 0, op, cb);
+            return;
+        }
+        let (be, inner, point) = self.route(p);
         be.readdir(
             engine,
             &inner,
-            Box::new(move |e, result| {
-                let merged = result.map(|mut names| {
-                    for m in extra {
-                        if !names.contains(&m) {
-                            names.push(m);
-                        }
-                    }
-                    names.sort();
-                    names
-                });
-                cb(e, merged);
-            }),
+            Box::new(move |e, result| cb(e, merge(&point, result))),
         );
     }
 

@@ -37,6 +37,16 @@ pub enum Errno {
 }
 
 impl Errno {
+    /// Whether the error is plausibly transient — the kind a retry
+    /// policy may recover from. `EIO` covers flaky transports (cloud
+    /// storage over a faulty network); `ENOSPC` covers quota pressure
+    /// that eviction or a background flush may relieve. Everything
+    /// else (missing files, bad descriptors, permissions) is a stable
+    /// property of the request and retrying cannot help.
+    pub fn is_transient(self) -> bool {
+        matches!(self, Errno::Eio | Errno::Enospc)
+    }
+
     /// The conventional uppercase code string (`"ENOENT"` etc.).
     pub fn code(self) -> &'static str {
         match self {

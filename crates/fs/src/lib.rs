@@ -380,6 +380,92 @@ mod tests {
     }
 
     #[test]
+    fn retry_policy_recovers_from_a_transient_eio() {
+        use doppio_faults::{FaultConfig, FaultPlan, RetryPolicy};
+        let engine = Engine::new(Browser::Chrome);
+        // Every op fails with EIO until the single-fault budget runs out.
+        let plan = FaultPlan::new(
+            11,
+            FaultConfig {
+                fs_eio_p: 1.0,
+                max_fs_faults: 1,
+                ..FaultConfig::default()
+            },
+        );
+        let fs = FileSystem::new(
+            &engine,
+            backends::faulty(backends::in_memory(&engine), plan.clone()),
+        );
+        fs.set_retry_policy(Some(RetryPolicy::default()));
+        wait!(engine, |cb| fs.write_file("/f", b"persisted".to_vec(), cb)).unwrap();
+        assert_eq!(
+            wait!(engine, |cb| fs.read_file("/f", cb)).unwrap(),
+            b"persisted"
+        );
+        assert_eq!(plan.fs_injected(), 1);
+        assert!(fs.stats().retries >= 1, "a retry absorbed the fault");
+    }
+
+    #[test]
+    fn retry_policy_gives_up_on_permanent_errors() {
+        use doppio_faults::RetryPolicy;
+        let (engine, fs) = mem_fs();
+        fs.set_retry_policy(Some(RetryPolicy::default()));
+        let err = wait!(engine, |cb| fs.read_file("/nope", cb)).unwrap_err();
+        assert_eq!(err.errno, Errno::Enoent);
+        assert_eq!(fs.stats().retries, 0, "ENOENT must not be retried");
+    }
+
+    #[test]
+    fn mount_fallthrough_degrades_reads_to_the_root_backend() {
+        use doppio_faults::{FaultConfig, FaultPlan};
+        let engine = Engine::new(Browser::Chrome);
+        let root = backends::in_memory(&engine);
+        // Seed the root backend with a shadowed copy of the data.
+        {
+            let fs = FileSystem::new(&engine, root.clone());
+            wait!(engine, |cb| fs.mkdir("/data", cb)).unwrap();
+            wait!(engine, |cb| fs.write_file(
+                "/data/f",
+                b"backup".to_vec(),
+                cb
+            ))
+            .unwrap();
+        }
+        // Mount a permanently failing backend over /data.
+        let broken = backends::faulty(
+            backends::in_memory(&engine),
+            FaultPlan::new(
+                5,
+                FaultConfig {
+                    fs_eio_p: 1.0,
+                    ..FaultConfig::default()
+                },
+            ),
+        );
+        let mnt = backends::mountable(root);
+        mnt.mount("/data", broken).unwrap();
+        let fs = FileSystem::new(&engine, mnt.clone());
+
+        // Without fallthrough the mount's EIO is final.
+        let err = wait!(engine, |cb| fs.read_file("/data/f", cb)).unwrap_err();
+        assert_eq!(err.errno, Errno::Eio);
+
+        // With fallthrough, reads degrade to the root backend's copy.
+        mnt.set_fallthrough(true);
+        assert_eq!(
+            wait!(engine, |cb| fs.read_file("/data/f", cb)).unwrap(),
+            b"backup"
+        );
+        assert!(wait!(engine, |cb| fs.stat("/data/f", cb))
+            .unwrap()
+            .is_file());
+        // Writes must not fall through: the mount stays authoritative.
+        let err = wait!(engine, |cb| fs.write_file("/data/g", vec![1], cb)).unwrap_err();
+        assert_eq!(err.errno, Errno::Eio);
+    }
+
+    #[test]
     fn ftruncate_shrinks_and_zero_extends() {
         let (engine, fs) = mem_fs();
         wait!(engine, |cb| fs.write_file("/f", b"abcdef".to_vec(), cb)).unwrap();

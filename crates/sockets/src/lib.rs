@@ -47,7 +47,7 @@ pub mod websockify;
 
 pub use frames::{Frame, FrameDecoder, FrameError, Opcode};
 pub use network::{ClientHandlers, ConnId, NetError, Network, ServerConn, TcpServerApp};
-pub use socket::{DoppioSocket, SocketState};
+pub use socket::{DoppioSocket, SocketConfig, SocketState};
 pub use websocket::{WebSocket, WsError, WsHandlers, WsState};
 pub use websockify::Websockify;
 
@@ -237,6 +237,127 @@ mod tests {
             got.extend(chunk);
         }
         assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn robust_socket_reconnects_after_injected_reset() {
+        use doppio_faults::{FaultConfig, FaultPlan};
+        use socket::SocketConfig;
+        let engine = Engine::new(Browser::Chrome);
+        let net = bridge_setup(&engine);
+        let sock = DoppioSocket::connect_with(
+            &engine,
+            &net,
+            8080,
+            SocketConfig {
+                max_reconnects: 3,
+                queue_while_connecting: true,
+                ..SocketConfig::default()
+            },
+        )
+        .unwrap();
+        engine.run_until_idle();
+        assert_eq!(sock.state(), SocketState::Open);
+
+        // One reset, then the fabric heals (fault budget of 1).
+        net.set_faults(FaultPlan::new(
+            42,
+            FaultConfig {
+                net_reset_p: 1.0,
+                max_net_faults: 1,
+                ..FaultConfig::default()
+            },
+        ));
+        sock.send(b"lost to the reset").unwrap();
+        engine.run_until_idle();
+        // The socket re-dialed and came back up on its own.
+        assert_eq!(sock.state(), SocketState::Open);
+        assert_eq!(sock.reconnects(), 1);
+        sock.send(b"after recovery").unwrap();
+        engine.run_until_idle();
+        assert_eq!(sock.recv(64), b"after recovery");
+    }
+
+    #[test]
+    fn connect_timeout_gives_up_on_a_silent_server() {
+        use socket::SocketConfig;
+        /// Accepts connections but never answers the handshake.
+        struct BlackHole;
+        impl TcpServerApp for BlackHole {
+            fn on_connect(&self, _: &Engine, _: ServerConn) {}
+            fn on_data(&self, _: &Engine, _: ServerConn, _d: Vec<u8>) {}
+            fn on_close(&self, _: &Engine, _: ConnId) {}
+        }
+        let engine = Engine::new(Browser::Chrome);
+        let net = Network::new(&engine);
+        net.listen(8080, Rc::new(BlackHole));
+        let sock = DoppioSocket::connect_with(
+            &engine,
+            &net,
+            8080,
+            SocketConfig {
+                connect_timeout_ns: Some(500_000_000),
+                max_reconnects: 2,
+                ..SocketConfig::default()
+            },
+        )
+        .unwrap();
+        engine.run_until_idle();
+        // Initial dial plus both re-dials timed out; the socket gave up.
+        assert_eq!(sock.state(), SocketState::Closed);
+        assert_eq!(sock.reconnects(), 2);
+    }
+
+    #[test]
+    fn sends_queued_while_connecting_flush_on_open() {
+        use socket::SocketConfig;
+        let engine = Engine::new(Browser::Chrome);
+        let net = bridge_setup(&engine);
+        let sock = DoppioSocket::connect_with(
+            &engine,
+            &net,
+            8080,
+            SocketConfig {
+                queue_while_connecting: true,
+                ..SocketConfig::default()
+            },
+        )
+        .unwrap();
+        // Sent before the handshake completes: queued, not an error.
+        sock.send(b"early bird").unwrap();
+        engine.run_until_idle();
+        assert_eq!(sock.state(), SocketState::Open);
+        assert_eq!(sock.recv(64), b"early bird");
+    }
+
+    #[test]
+    fn send_timeout_fails_a_socket_that_cannot_flush() {
+        use socket::SocketConfig;
+        /// Accepts connections but never answers the handshake.
+        struct BlackHole;
+        impl TcpServerApp for BlackHole {
+            fn on_connect(&self, _: &Engine, _: ServerConn) {}
+            fn on_data(&self, _: &Engine, _: ServerConn, _d: Vec<u8>) {}
+            fn on_close(&self, _: &Engine, _: ConnId) {}
+        }
+        let engine = Engine::new(Browser::Chrome);
+        let net = Network::new(&engine);
+        net.listen(8080, Rc::new(BlackHole));
+        let sock = DoppioSocket::connect_with(
+            &engine,
+            &net,
+            8080,
+            SocketConfig {
+                queue_while_connecting: true,
+                send_timeout_ns: Some(2_000_000_000),
+                ..SocketConfig::default()
+            },
+        )
+        .unwrap();
+        sock.send(b"never flushes").unwrap();
+        engine.run_until_idle();
+        assert_eq!(sock.state(), SocketState::Closed);
+        assert!(sock.send(b"more").is_err());
     }
 
     #[test]

@@ -6,12 +6,19 @@
 //! connections are pairs of latency-delayed byte pipes driven by the
 //! engine's event loop. Both the WebSocket client emulation and the
 //! Websockify bridge run over this fabric.
+//!
+//! The fabric is perfectly reliable by default. Attach a seeded
+//! [`FaultPlan`] with [`Network::set_faults`] and every transmission
+//! becomes a deterministic fault-decision point: segments can be
+//! dropped, delayed, split in two (partial delivery), or escalate to a
+//! connection reset — reproducibly, from the plan's seed.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
+use doppio_faults::{FaultPlan, NetFault};
 use doppio_jsengine::Engine;
 
 /// Identifies one TCP connection.
@@ -45,7 +52,8 @@ pub trait TcpServerApp {
     fn on_connect(&self, engine: &Engine, conn: ServerConn);
     /// Bytes arrived from the client.
     fn on_data(&self, engine: &Engine, conn: ServerConn, data: Vec<u8>);
-    /// The client closed the connection.
+    /// The connection closed (client-initiated, server-initiated, or a
+    /// fabric reset) — fired exactly once per established connection.
     fn on_close(&self, engine: &Engine, conn: ConnId);
 }
 
@@ -57,13 +65,23 @@ pub struct ClientHandlers {
     pub on_connect: Option<Box<dyn FnOnce(&Engine)>>,
     /// Bytes arrived from the server.
     pub on_data: Option<Box<dyn FnMut(&Engine, Vec<u8>)>>,
-    /// The server closed the connection.
+    /// The connection closed (server-initiated or a fabric reset).
     pub on_close: Option<Box<dyn FnOnce(&Engine)>>,
 }
 
 struct ConnState {
     server_port: u16,
     open: bool,
+    /// Whether the server app's `on_connect` has been delivered; close
+    /// notifications to the app are suppressed before that.
+    server_connected: bool,
+    /// Whether the server app's `on_close` has been scheduled (fired at
+    /// most once per connection).
+    server_close_notified: bool,
+    /// Scheduled event-loop deliveries still in flight for this
+    /// connection. A closed connection is reaped only once this drains,
+    /// so handlers never observe a vanishing connection mid-delivery.
+    inflight: u32,
     handlers: ClientHandlers,
 }
 
@@ -74,6 +92,7 @@ struct NetInner {
     next_id: u64,
     latency_ns: u64,
     ns_per_kib: u64,
+    faults: Option<FaultPlan>,
 }
 
 /// The network fabric. Cheaply cloneable handle.
@@ -88,6 +107,7 @@ impl fmt::Debug for Network {
         f.debug_struct("Network")
             .field("servers", &inner.servers.len())
             .field("connections", &inner.conns.len())
+            .field("faults", &inner.faults.is_some())
             .finish()
     }
 }
@@ -109,8 +129,19 @@ impl Network {
                 next_id: 1,
                 latency_ns,
                 ns_per_kib,
+                faults: None,
             })),
         }
+    }
+
+    /// Attach a fault plan: every subsequent transmission consults it.
+    pub fn set_faults(&self, plan: FaultPlan) {
+        self.inner.borrow_mut().faults = Some(plan);
+    }
+
+    /// Detach the fault plan; the fabric becomes reliable again.
+    pub fn clear_faults(&self) {
+        self.inner.borrow_mut().faults = None;
     }
 
     /// Register a server application listening on `port`.
@@ -123,13 +154,56 @@ impl Network {
         self.inner.borrow_mut().servers.remove(&port);
     }
 
+    /// Connections currently tracked by the fabric. Closed connections
+    /// are reaped once their in-flight deliveries drain, so this
+    /// returns to zero on an idle fabric with everything closed.
+    pub fn conn_count(&self) -> usize {
+        self.inner.borrow().conns.len()
+    }
+
     fn transfer_delay(&self, bytes: usize) -> u64 {
         let inner = self.inner.borrow();
         inner.latency_ns + inner.ns_per_kib * (bytes as u64).div_ceil(1024)
     }
 
+    /// Schedule a delivery tied to `id`: the connection's in-flight
+    /// count holds the state alive until the callback has run, after
+    /// which a closed connection with nothing else in flight is reaped.
+    fn schedule(&self, id: ConnId, delay_ns: u64, f: impl FnOnce(&Engine, &Network) + 'static) {
+        let engine = {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(c) = inner.conns.get_mut(&id) {
+                c.inflight += 1;
+            }
+            inner.engine.clone()
+        };
+        let net = self.clone();
+        engine.complete_async_after(delay_ns, move |e| {
+            f(e, &net);
+            net.finish_delivery(id);
+        });
+    }
+
+    fn finish_delivery(&self, id: ConnId) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(c) = inner.conns.get_mut(&id) {
+            c.inflight = c.inflight.saturating_sub(1);
+            if !c.open && c.inflight == 0 {
+                // Both sides are done and nothing is in flight: drop the
+                // state (and the boxed handlers capturing engine Rcs).
+                inner.conns.remove(&id);
+            }
+        }
+    }
+
+    fn faults(&self) -> Option<FaultPlan> {
+        self.inner.borrow().faults.clone()
+    }
+
     /// Open a connection to `port`. The server's `on_connect` and the
-    /// client's `on_connect` both fire after one network latency.
+    /// client's `on_connect` both fire after one network latency —
+    /// unless the client closed during that latency, in which case the
+    /// connection never appears to establish on either side.
     pub fn connect(&self, port: u16, handlers: ClientHandlers) -> Result<ConnId, NetError> {
         let (id, app) = {
             let mut inner = self.inner.borrow_mut();
@@ -145,15 +219,32 @@ impl Network {
                 ConnState {
                     server_port: port,
                     open: true,
+                    server_connected: false,
+                    server_close_notified: false,
+                    inflight: 0,
                     handlers,
                 },
             );
             (id, app)
         };
-        let net = self.clone();
         let delay = self.transfer_delay(0);
-        let engine = self.inner.borrow().engine.clone();
-        engine.complete_async_after(delay, move |e| {
+        self.schedule(id, delay, move |e, net| {
+            // Check liveness at delivery time: a close issued during
+            // the connect latency must not surface as an established
+            // connection on either side.
+            let still_open = net
+                .inner
+                .borrow()
+                .conns
+                .get(&id)
+                .map(|c| c.open)
+                .unwrap_or(false);
+            if !still_open {
+                return;
+            }
+            if let Some(c) = net.inner.borrow_mut().conns.get_mut(&id) {
+                c.server_connected = true;
+            }
             app.on_connect(
                 e,
                 ServerConn {
@@ -174,6 +265,22 @@ impl Network {
         Ok(id)
     }
 
+    /// Deliver one client→server segment after `delay` (flushes even if
+    /// the connection closes meanwhile — TCP delivers queued segments
+    /// before FIN).
+    fn deliver_to_server(&self, id: ConnId, app: Rc<dyn TcpServerApp>, delay: u64, data: Vec<u8>) {
+        self.schedule(id, delay, move |e, net| {
+            app.on_data(
+                e,
+                ServerConn {
+                    net: net.clone(),
+                    id,
+                },
+                data,
+            );
+        });
+    }
+
     /// Send client→server bytes.
     pub fn client_send(&self, id: ConnId, data: Vec<u8>) -> Result<(), NetError> {
         let (app, engine) = {
@@ -189,36 +296,36 @@ impl Network {
                 .ok_or(NetError::Closed(id))?;
             (app, inner.engine.clone())
         };
-        let delay = self.transfer_delay(data.len());
-        let net = self.clone();
-        // Data already in flight is delivered even if the connection
-        // closes meanwhile — TCP flushes queued segments before FIN.
-        engine.complete_async_after(delay, move |e| {
-            app.on_data(
-                e,
-                ServerConn {
-                    net: net.clone(),
-                    id,
-                },
-                data,
-            );
-        });
+        let mut delay = self.transfer_delay(data.len());
+        match self
+            .faults()
+            .and_then(|f| f.net_fault(&engine, "c2s", data.len()))
+        {
+            Some(NetFault::Drop) => return Ok(()),
+            Some(NetFault::Reset) => {
+                self.reset(id);
+                return Ok(());
+            }
+            Some(NetFault::LatencySpike(extra)) => delay += extra,
+            Some(NetFault::Split(at)) => {
+                // Partial delivery: the segment arrives in two pieces,
+                // each paying its own transfer time.
+                let (head, tail) = (data[..at].to_vec(), data[at..].to_vec());
+                let d1 = self.transfer_delay(head.len());
+                let d2 = d1 + self.transfer_delay(tail.len());
+                self.deliver_to_server(id, app.clone(), d1, head);
+                self.deliver_to_server(id, app, d2, tail);
+                return Ok(());
+            }
+            None => {}
+        }
+        self.deliver_to_server(id, app, delay, data);
         Ok(())
     }
 
-    /// Send server→client bytes.
-    fn server_send(&self, id: ConnId, data: Vec<u8>) {
-        let (engine, open) = {
-            let inner = self.inner.borrow();
-            let open = inner.conns.get(&id).map(|c| c.open).unwrap_or(false);
-            (inner.engine.clone(), open)
-        };
-        if !open {
-            return; // sender-side check: no writes after close
-        }
-        let delay = self.transfer_delay(data.len());
-        let net = self.clone();
-        engine.complete_async_after(delay, move |e| {
+    /// Deliver one server→client segment after `delay`.
+    fn deliver_to_client(&self, id: ConnId, delay: u64, data: Vec<u8>) {
+        self.schedule(id, delay, move |e, net| {
             // Take the handler out, call it, put it back: it must not
             // be invoked while the fabric is borrowed.
             let handler = net
@@ -238,44 +345,139 @@ impl Network {
         });
     }
 
-    /// Close from the client side: notifies the server app.
-    pub fn client_close(&self, id: ConnId) {
-        let info = {
-            let mut inner = self.inner.borrow_mut();
-            match inner.conns.get_mut(&id) {
-                Some(c) if c.open => {
-                    c.open = false;
-                    Some((c.server_port, inner.engine.clone()))
-                }
-                _ => None,
-            }
+    /// Send server→client bytes.
+    fn server_send(&self, id: ConnId, data: Vec<u8>) {
+        let (engine, open) = {
+            let inner = self.inner.borrow();
+            let open = inner.conns.get(&id).map(|c| c.open).unwrap_or(false);
+            (inner.engine.clone(), open)
         };
-        if let Some((port, engine)) = info {
-            let app = self.inner.borrow().servers.get(&port).cloned();
-            let delay = self.transfer_delay(0);
-            if let Some(app) = app {
-                engine.complete_async_after(delay, move |e| app.on_close(e, id));
+        if !open {
+            return; // sender-side check: no writes after close
+        }
+        let mut delay = self.transfer_delay(data.len());
+        match self
+            .faults()
+            .and_then(|f| f.net_fault(&engine, "s2c", data.len()))
+        {
+            Some(NetFault::Drop) => return,
+            Some(NetFault::Reset) => {
+                self.reset(id);
+                return;
             }
+            Some(NetFault::LatencySpike(extra)) => delay += extra,
+            Some(NetFault::Split(at)) => {
+                let (head, tail) = (data[..at].to_vec(), data[at..].to_vec());
+                let d1 = self.transfer_delay(head.len());
+                let d2 = d1 + self.transfer_delay(tail.len());
+                self.deliver_to_client(id, d1, head);
+                self.deliver_to_client(id, d2, tail);
+                return;
+            }
+            None => {}
+        }
+        self.deliver_to_client(id, delay, data);
+    }
+
+    /// Mark the connection closed. Returns `false` if it was already
+    /// closed (or never existed): close paths run at most once.
+    fn mark_closed(&self, id: ConnId) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        match inner.conns.get_mut(&id) {
+            Some(c) if c.open => {
+                c.open = false;
+                true
+            }
+            _ => false,
         }
     }
 
-    /// Close from the server side: notifies the client handler.
-    fn server_close(&self, id: ConnId) {
-        let (engine, handler) = {
+    /// Notify the server app that `id` closed, after `delay`. Fires at
+    /// most once, and only if the app saw `on_connect` first.
+    fn notify_server_close(&self, id: ConnId, delay: u64) {
+        let app = {
             let mut inner = self.inner.borrow_mut();
-            let engine = inner.engine.clone();
-            let handler = match inner.conns.get_mut(&id) {
-                Some(c) if c.open => {
-                    c.open = false;
-                    c.handlers.on_close.take()
-                }
-                _ => None,
+            let Some(c) = inner.conns.get_mut(&id) else {
+                return;
             };
-            (engine, handler)
+            if !c.server_connected || c.server_close_notified {
+                return;
+            }
+            c.server_close_notified = true;
+            let port = c.server_port;
+            inner.servers.get(&port).cloned()
         };
-        if let Some(cb) = handler {
-            let delay = self.transfer_delay(0);
-            engine.complete_async_after(delay, move |e| cb(e));
+        if let Some(app) = app {
+            self.schedule(id, delay, move |e, _net| app.on_close(e, id));
+        }
+    }
+
+    /// Notify the client handler that `id` closed, after `delay`. The
+    /// `FnOnce` handler is taken at delivery time, so this also fires
+    /// at most once.
+    fn notify_client_close(&self, id: ConnId, delay: u64) {
+        self.schedule(id, delay, move |e, net| {
+            let cb = net
+                .inner
+                .borrow_mut()
+                .conns
+                .get_mut(&id)
+                .and_then(|c| c.handlers.on_close.take());
+            if let Some(cb) = cb {
+                cb(e);
+            }
+        });
+    }
+
+    /// Close from the client side. Close is symmetric: the server app
+    /// hears about it after one network latency, and the client's own
+    /// `on_close` fires locally on the next turn.
+    pub fn client_close(&self, id: ConnId) {
+        if !self.mark_closed(id) {
+            return;
+        }
+        let remote = self.transfer_delay(0);
+        self.notify_server_close(id, remote);
+        self.notify_client_close(id, 0);
+        self.reap_if_drained(id);
+    }
+
+    /// Close from the server side. Symmetric with [`client_close`]:
+    /// the client handler hears about it after one network latency, and
+    /// the server app's own `on_close` fires locally on the next turn —
+    /// so apps like the Websockify bridge can release per-connection
+    /// state regardless of which side initiated the close.
+    fn server_close(&self, id: ConnId) {
+        if !self.mark_closed(id) {
+            return;
+        }
+        let remote = self.transfer_delay(0);
+        self.notify_client_close(id, remote);
+        self.notify_server_close(id, 0);
+        self.reap_if_drained(id);
+    }
+
+    /// Abrupt connection reset (fault injection): both sides observe a
+    /// close after one network latency.
+    pub fn reset(&self, id: ConnId) {
+        if !self.mark_closed(id) {
+            return;
+        }
+        let delay = self.transfer_delay(0);
+        self.notify_client_close(id, delay);
+        self.notify_server_close(id, delay);
+        self.reap_if_drained(id);
+    }
+
+    /// Reap immediately if the close paths scheduled nothing (e.g. a
+    /// connection closed before its connect delivery drained has its
+    /// in-flight count keeping it alive instead).
+    fn reap_if_drained(&self, id: ConnId) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(c) = inner.conns.get(&id) {
+            if !c.open && c.inflight == 0 {
+                inner.conns.remove(&id);
+            }
         }
     }
 
@@ -317,6 +519,7 @@ impl ServerConn {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use doppio_faults::FaultConfig;
     use doppio_jsengine::Browser;
 
     /// Echoes every byte back.
@@ -327,6 +530,39 @@ mod tests {
             c.send(data);
         }
         fn on_close(&self, _e: &Engine, _c: ConnId) {}
+    }
+
+    /// Records every lifecycle event it sees.
+    #[derive(Default)]
+    struct Witness {
+        connects: RefCell<Vec<ConnId>>,
+        closes: RefCell<Vec<ConnId>>,
+        data: RefCell<Vec<u8>>,
+    }
+    impl TcpServerApp for Witness {
+        fn on_connect(&self, _e: &Engine, c: ServerConn) {
+            self.connects.borrow_mut().push(c.id());
+        }
+        fn on_data(&self, _e: &Engine, _c: ServerConn, data: Vec<u8>) {
+            self.data.borrow_mut().extend(data);
+        }
+        fn on_close(&self, _e: &Engine, c: ConnId) {
+            self.closes.borrow_mut().push(c);
+        }
+    }
+
+    /// Closes the connection as soon as data arrives.
+    struct Slammer {
+        closes: RefCell<Vec<ConnId>>,
+    }
+    impl TcpServerApp for Slammer {
+        fn on_connect(&self, _e: &Engine, _c: ServerConn) {}
+        fn on_data(&self, _e: &Engine, c: ServerConn, _d: Vec<u8>) {
+            c.close();
+        }
+        fn on_close(&self, _e: &Engine, c: ConnId) {
+            self.closes.borrow_mut().push(c);
+        }
     }
 
     #[test]
@@ -396,5 +632,218 @@ mod tests {
         engine.run_until_idle();
         // Round trip: 2 × (1 ms + 100 KiB × 10 µs/KiB) = 2 × 2 ms.
         assert!(*done_at.borrow() >= 4_000_000);
+    }
+
+    /// Regression (lifecycle bug 1): closed connections used to stay in
+    /// `conns` forever, leaking `ConnState` and the boxed handlers that
+    /// capture engine `Rc`s.
+    #[test]
+    fn closed_connections_are_reaped_once_drained() {
+        let engine = Engine::new(Browser::Chrome);
+        let net = Network::new(&engine);
+        net.listen(7, Rc::new(Echo));
+        for _ in 0..10 {
+            let id = net.connect(7, ClientHandlers::default()).unwrap();
+            net.client_send(id, vec![1, 2, 3]).unwrap();
+            engine.run_until_idle();
+            assert_eq!(net.conn_count(), 1);
+            net.client_close(id);
+            engine.run_until_idle();
+            assert_eq!(net.conn_count(), 0, "closed conn must be reaped");
+        }
+    }
+
+    /// Regression (lifecycle bug 2): a server-initiated close used to
+    /// notify only the client handler; the `TcpServerApp` never saw
+    /// `on_close`, so bridge-style apps leaked per-connection state.
+    #[test]
+    fn server_initiated_close_notifies_the_server_app() {
+        let engine = Engine::new(Browser::Chrome);
+        let net = Network::new(&engine);
+        let app = Rc::new(Slammer {
+            closes: RefCell::new(Vec::new()),
+        });
+        net.listen(7, app.clone());
+        let id = net.connect(7, ClientHandlers::default()).unwrap();
+        engine.run_until_idle();
+        net.client_send(id, vec![9]).unwrap();
+        engine.run_until_idle();
+        assert_eq!(
+            *app.closes.borrow(),
+            vec![id],
+            "server app must get on_close for its own close, exactly once"
+        );
+        assert_eq!(net.conn_count(), 0);
+    }
+
+    /// Client-initiated close also reaches the server app (symmetric
+    /// close), exactly once.
+    #[test]
+    fn client_close_notifies_server_app_once() {
+        let engine = Engine::new(Browser::Chrome);
+        let net = Network::new(&engine);
+        let app = Rc::new(Witness::default());
+        net.listen(7, app.clone());
+        let id = net.connect(7, ClientHandlers::default()).unwrap();
+        engine.run_until_idle();
+        net.client_close(id);
+        net.client_close(id); // double close must not double notify
+        engine.run_until_idle();
+        assert_eq!(*app.closes.borrow(), vec![id]);
+    }
+
+    /// Regression (lifecycle bug 3): `connect`'s delayed delivery used
+    /// to fire `on_connect` on both sides even when `client_close` ran
+    /// during the connect latency.
+    #[test]
+    fn close_during_connect_latency_suppresses_establishment() {
+        let engine = Engine::new(Browser::Chrome);
+        let net = Network::new(&engine);
+        let app = Rc::new(Witness::default());
+        net.listen(7, app.clone());
+        let client_connected = Rc::new(RefCell::new(false));
+        let cc = client_connected.clone();
+        let id = net
+            .connect(
+                7,
+                ClientHandlers {
+                    on_connect: Some(Box::new(move |_| *cc.borrow_mut() = true)),
+                    on_data: None,
+                    on_close: None,
+                },
+            )
+            .unwrap();
+        // Close before the connect latency elapses.
+        net.client_close(id);
+        engine.run_until_idle();
+        assert!(
+            app.connects.borrow().is_empty(),
+            "server must not see a connection that closed during connect"
+        );
+        assert!(!*client_connected.borrow());
+        assert!(
+            app.closes.borrow().is_empty(),
+            "no on_close for a connection the app never saw"
+        );
+        assert_eq!(net.conn_count(), 0, "aborted conn must still be reaped");
+    }
+
+    #[test]
+    fn injected_reset_closes_both_sides() {
+        let engine = Engine::new(Browser::Chrome);
+        let net = Network::new(&engine);
+        let app = Rc::new(Witness::default());
+        net.listen(7, app.clone());
+        let plan = FaultPlan::new(
+            1,
+            FaultConfig {
+                net_reset_p: 1.0,
+                max_net_faults: 1,
+                ..FaultConfig::default()
+            },
+        );
+        let client_closed = Rc::new(RefCell::new(false));
+        let cc = client_closed.clone();
+        let id = net
+            .connect(
+                7,
+                ClientHandlers {
+                    on_connect: None,
+                    on_data: None,
+                    on_close: Some(Box::new(move |_| *cc.borrow_mut() = true)),
+                },
+            )
+            .unwrap();
+        engine.run_until_idle();
+        net.set_faults(plan.clone());
+        net.client_send(id, vec![1, 2, 3]).unwrap();
+        engine.run_until_idle();
+        assert!(!net.is_open(id));
+        assert!(*client_closed.borrow(), "client must see the reset");
+        assert_eq!(*app.closes.borrow(), vec![id], "server must see the reset");
+        assert!(
+            app.data.borrow().is_empty(),
+            "reset segment is not delivered"
+        );
+        assert_eq!(plan.net_injected(), 1);
+        assert_eq!(net.conn_count(), 0);
+    }
+
+    #[test]
+    fn injected_drop_loses_the_segment_but_keeps_the_conn() {
+        let engine = Engine::new(Browser::Chrome);
+        let net = Network::new(&engine);
+        let app = Rc::new(Witness::default());
+        net.listen(7, app.clone());
+        let id = net.connect(7, ClientHandlers::default()).unwrap();
+        engine.run_until_idle();
+        net.set_faults(FaultPlan::new(
+            1,
+            FaultConfig {
+                net_drop_p: 1.0,
+                max_net_faults: 1,
+                ..FaultConfig::default()
+            },
+        ));
+        net.client_send(id, b"lost".to_vec()).unwrap();
+        net.client_send(id, b"kept".to_vec()).unwrap();
+        engine.run_until_idle();
+        assert!(net.is_open(id));
+        assert_eq!(app.data.borrow().as_slice(), b"kept");
+    }
+
+    #[test]
+    fn injected_spike_delays_delivery() {
+        let engine = Engine::new(Browser::Chrome);
+        let net = Network::with_latency(&engine, 1_000_000, 0);
+        net.listen(7, Rc::new(Echo));
+        let done_at = Rc::new(RefCell::new(0u64));
+        let d = done_at.clone();
+        let id = net
+            .connect(
+                7,
+                ClientHandlers {
+                    on_connect: None,
+                    on_data: Some(Box::new(move |e, _| *d.borrow_mut() = e.now_ns())),
+                    on_close: None,
+                },
+            )
+            .unwrap();
+        engine.run_until_idle();
+        net.set_faults(FaultPlan::new(
+            3,
+            FaultConfig {
+                net_spike_p: 1.0,
+                net_spike_ns: (50_000_000, 50_000_000),
+                max_net_faults: 1,
+                ..FaultConfig::default()
+            },
+        ));
+        let t0 = engine.now_ns();
+        net.client_send(id, vec![7]).unwrap();
+        engine.run_until_idle();
+        // One spiked leg (≥50 ms) plus the normal return leg.
+        assert!(*done_at.borrow() >= t0 + 50_000_000 + 2_000_000);
+    }
+
+    #[test]
+    fn injected_split_preserves_bytes_and_order() {
+        let engine = Engine::new(Browser::Chrome);
+        let net = Network::new(&engine);
+        let app = Rc::new(Witness::default());
+        net.listen(7, app.clone());
+        let id = net.connect(7, ClientHandlers::default()).unwrap();
+        engine.run_until_idle();
+        net.set_faults(FaultPlan::new(
+            5,
+            FaultConfig {
+                net_split_p: 1.0,
+                max_net_faults: 1,
+                ..FaultConfig::default()
+            },
+        ));
+        net.client_send(id, b"abcdefgh".to_vec()).unwrap();
+        engine.run_until_idle();
+        assert_eq!(app.data.borrow().as_slice(), b"abcdefgh");
     }
 }

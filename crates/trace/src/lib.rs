@@ -52,6 +52,9 @@ pub mod cat {
     pub const NET: &str = "net";
     /// JVM sampled method entries.
     pub const JVM: &str = "jvm";
+    /// doppio-faults injections and the retry/backoff decisions they
+    /// trigger.
+    pub const FAULT: &str = "fault";
 }
 
 /// Trace event phase, mirroring the Chrome `trace_event` `ph` field.

@@ -25,6 +25,9 @@
 //!   `docs/observability.md`).
 //! * [`prng`] — a small deterministic PRNG (SplitMix64) used by
 //!   workload generators and randomized tests.
+//! * [`faults`] — seeded, virtual-clock-driven fault injection for the
+//!   network fabric and fs backends, plus the retry/backoff policies
+//!   that recover from it (see `docs/robustness.md`).
 //!
 //! # Quick start
 //!
@@ -44,6 +47,7 @@
 pub use doppio_buffer as buffer;
 pub use doppio_classfile as classfile;
 pub use doppio_core as core;
+pub use doppio_faults as faults;
 pub use doppio_fs as fs;
 pub use doppio_heap as heap;
 pub use doppio_jsengine as jsengine;
