@@ -6,8 +6,14 @@
 //! Reproduction: each macro workload runs once natively (the HotSpot
 //! analog) and once per simulated browser; rows report the virtual
 //! wall-clock slowdown. Note Safari's pathological `disasm` column —
-//! the typed-array leak of §7.1 pushes it into paging.
+//! the typed-array leak of §7.1 pushes it into paging. Per-workload
+//! virtual-clock cycles and interpreter cache hit rates are appended
+//! to `BENCH_interp.json`.
+//!
+//! Set `DOPPIO_BENCH_LIGHT=1` (the CI smoke profile) to skip the
+//! hosted-browser sweep and keep only the native measurements.
 
+use doppio_bench::results::{self, Section};
 use doppio_bench::{geomean, ratio, rule};
 use doppio_jsengine::Browser;
 use doppio_workloads::{run_workload, MACRO_WORKLOADS};
@@ -16,7 +22,10 @@ fn main() {
     println!("Figure 3: macro benchmarks, slowdown vs the native interpreter baseline");
     println!("(paper: Chrome 24x-42x slower, geomean 32x; Safari pathological on javap)\n");
 
-    let browsers = Browser::EVALUATED;
+    let light = results::light_profile();
+    let browsers: &[Browser] = if light { &[] } else { &Browser::EVALUATED };
+    let mut sections: Vec<(String, Section)> = Vec::new();
+
     print!("{:>14} |", "workload");
     for b in browsers {
         print!("{:>9}", b.name());
@@ -28,8 +37,9 @@ fn main() {
     for id in MACRO_WORKLOADS {
         let native = run_workload(id, Browser::Native);
         assert!(native.uncaught.is_none(), "{id} failed natively");
+        sections.push((format!("fig3_macro.{id}"), results::run_section(&native)));
         print!("{:>14} |", id);
-        for (i, b) in browsers.into_iter().enumerate() {
+        for (i, &b) in browsers.iter().enumerate() {
             let hosted = run_workload(id, b);
             assert_eq!(hosted.stdout, native.stdout, "{id} output differs on {b}");
             let slowdown = hosted.wall_ns as f64 / native.wall_ns as f64;
@@ -45,7 +55,13 @@ fn main() {
     }
     println!();
 
-    println!("\nShape checks:");
+    let path = results::write_sections(sections);
+    println!("\nresults appended to {}", path.display());
+
+    if light {
+        return;
+    }
+    println!("Shape checks:");
     let chrome = geomean(&per_browser[0]);
     println!(
         "  Chrome geomean {} (paper: ~32x; 24x-42x per-benchmark range)",

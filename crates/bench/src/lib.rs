@@ -61,6 +61,183 @@ mod tests {
     }
 }
 
+/// Machine-readable benchmark results (`BENCH_interp.json`).
+///
+/// Each figure binary appends its measurements as flat sections keyed
+/// `"<binary>.<workload>"` (e.g. `"fig4_micro.deltablue"`), merging
+/// into whatever other binaries already wrote, so running the whole
+/// suite accumulates one combined file at the repository root. Values
+/// are plain numbers: virtual-clock times, cache hit/miss counters and
+/// rates, and allocator scan lengths.
+pub mod results {
+    use std::collections::BTreeMap;
+    use std::path::PathBuf;
+
+    use doppio_trace::json::{self, Json};
+
+    /// One flat section of numeric measurements.
+    pub type Section = Vec<(String, f64)>;
+
+    /// Where the results file lives: `DOPPIO_BENCH_OUT` if set,
+    /// otherwise `BENCH_interp.json` at the repository root.
+    pub fn out_path() -> PathBuf {
+        match std::env::var_os("DOPPIO_BENCH_OUT") {
+            Some(p) => PathBuf::from(p),
+            None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_interp.json"),
+        }
+    }
+
+    /// True when the light profile is requested (CI smoke runs): skip
+    /// the slower browser sweeps and keep only the cheap measurements.
+    pub fn light_profile() -> bool {
+        std::env::var_os("DOPPIO_BENCH_LIGHT").is_some_and(|v| v != "0" && !v.is_empty())
+    }
+
+    /// Merge `sections` into the results file: sections written now
+    /// replace same-named ones from earlier runs, everything else is
+    /// preserved. Returns the path written.
+    pub fn write_sections(sections: Vec<(String, Section)>) -> PathBuf {
+        let path = out_path();
+        let mut merged: BTreeMap<String, Json> = match std::fs::read_to_string(&path) {
+            Ok(text) => match json::parse(&text) {
+                Ok(Json::Obj(m)) => m,
+                _ => BTreeMap::new(),
+            },
+            Err(_) => BTreeMap::new(),
+        };
+        for (name, section) in sections {
+            let obj: BTreeMap<String, Json> = section
+                .into_iter()
+                .map(|(k, v)| (k, Json::Num(v)))
+                .collect();
+            merged.insert(name, Json::Obj(obj));
+        }
+        let text = serialize(&Json::Obj(merged));
+        std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        path
+    }
+
+    /// Serialize a [`Json`] value (pretty, two-space indent, keys in
+    /// `BTreeMap` order — deterministic across runs).
+    pub fn serialize(v: &Json) -> String {
+        let mut out = String::new();
+        emit(v, 0, &mut out);
+        out.push('\n');
+        out
+    }
+
+    fn emit(v: &Json, indent: usize, out: &mut String) {
+        match v {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Str(s) => emit_str(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    emit(item, indent + 1, out);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(m) => {
+                if m.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, val)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    emit_str(k, out);
+                    out.push_str(": ");
+                    emit(val, indent + 1, out);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+
+    fn emit_str(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// The standard measurement section for one workload run.
+    pub fn run_section(r: &doppio_workloads::RunOutcome) -> Section {
+        let c = r.caches;
+        vec![
+            ("wall_ns".into(), r.wall_ns as f64),
+            ("cpu_ns".into(), r.cpu_ns as f64),
+            ("instructions".into(), r.instructions as f64),
+            ("cp_cache_hit".into(), c.cp_hit as f64),
+            ("cp_cache_miss".into(), c.cp_miss as f64),
+            ("cp_cache_hit_rate".into(), c.cp_hit_rate()),
+            ("icache_hit".into(), c.ic_hit as f64),
+            ("icache_miss".into(), c.ic_miss as f64),
+            ("icache_hit_rate".into(), c.ic_hit_rate()),
+        ]
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn serializer_round_trips_through_the_parser() {
+            let mut obj = BTreeMap::new();
+            obj.insert("a \"x\"\n".to_string(), Json::Num(1.5));
+            obj.insert(
+                "b".to_string(),
+                Json::Arr(vec![Json::Null, Json::Bool(true)]),
+            );
+            obj.insert("c".to_string(), Json::Obj(BTreeMap::new()));
+            let v = Json::Obj(obj);
+            let text = serialize(&v);
+            assert_eq!(json::parse(&text).unwrap(), v);
+        }
+
+        #[test]
+        fn integers_serialize_without_fraction() {
+            let mut s = String::new();
+            emit(&Json::Num(12345.0), 0, &mut s);
+            assert_eq!(s, "12345");
+        }
+    }
+}
+
 /// A tiny fixed-budget micro-benchmark harness.
 ///
 /// The build is fully offline, so instead of an external bench

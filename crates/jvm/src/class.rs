@@ -1,10 +1,12 @@
 //! Runtime class representation, registry, and resolution.
 
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use doppio_classfile::{access, ClassFile};
 
-use crate::value::Value;
+use crate::value::{ObjRef, Value};
 
 /// Index of a class in the registry.
 pub type ClassId = usize;
@@ -19,6 +21,66 @@ pub enum ClinitState {
     InProgress(usize),
     /// Done.
     Initialized,
+}
+
+/// A quickened constant-pool entry: the result of resolving a CP index
+/// once, cached per class so the interpreter's hot path never repeats
+/// the string-keyed lookup (HotSpot calls this CP quickening; the paper
+/// pays the full lookup on every `getfield`/`invoke*`).
+///
+/// Entries are only installed once the information they capture is
+/// final: `ldc` values and symbolic names never change, and field /
+/// class entries that imply "initialization already ran" are cached
+/// only after the `<clinit>` chain reached `Initialized` (a sticky
+/// state). Classes are never redefined in this registry (`define`
+/// rejects duplicates), so a cached entry cannot go stale; new
+/// *subclasses* invalidate call sites via receiver-class keying in the
+/// inline caches, not here.
+#[derive(Debug, Clone)]
+pub enum CpEntry {
+    /// `ldc`/`ldc_w`/`ldc2_w` of a numeric constant, decoded.
+    Value(Value),
+    /// `ldc` of a String or Class constant: the interned object, shared
+    /// across executions instead of re-allocated per hit.
+    Obj(ObjRef),
+    /// A resolved field reference (get/putfield, get/putstatic).
+    Field(Rc<ResolvedField>),
+    /// A resolved class reference (`new`, `checkcast`, `instanceof`,
+    /// `anewarray`, `multianewarray`).
+    Class(Rc<ClassConst>),
+}
+
+/// A field reference resolved to its declaring class, with the
+/// dictionary key and default value precomputed.
+#[derive(Debug)]
+pub struct ResolvedField {
+    /// Declaring class.
+    pub class: ClassId,
+    /// Dictionary key (`"DeclaringClass.fieldName"`).
+    pub key: Rc<str>,
+    /// Field descriptor.
+    pub descriptor: Rc<str>,
+    /// Default value for the descriptor (lazy `getfield` on a fresh
+    /// instance returns this without re-parsing the descriptor).
+    pub default: Value,
+    /// Whether the field is static.
+    pub is_static: bool,
+}
+
+/// A resolved class constant. `checkcast`/`instanceof`/`anewarray` only
+/// need the name (the target class may not even be loaded); `new` also
+/// records the id once the class is defined *and* initialized, so the
+/// hit path can skip the `<clinit>` protocol entirely.
+#[derive(Debug)]
+pub struct ClassConst {
+    /// Binary name from the constant pool.
+    pub name: Rc<str>,
+    /// Id of the class, filled once it is defined and its `<clinit>`
+    /// chain has run to completion (`Initialized` is sticky).
+    pub init_id: Cell<Option<ClassId>>,
+    /// The `java/lang/Class` mirror object, filled by the first `ldc`
+    /// of this constant (mirrors are pooled, so the handle is final).
+    pub mirror: Cell<Option<ObjRef>>,
 }
 
 /// A defined class.
@@ -40,6 +102,9 @@ pub struct RuntimeClass {
     pub statics: HashMap<String, Value>,
     /// Initialization state.
     pub clinit: ClinitState,
+    /// Quickened constant-pool entries, keyed by CP index, populated on
+    /// first use by the interpreter.
+    pub cp_cache: RefCell<HashMap<u16, CpEntry>>,
 }
 
 impl RuntimeClass {
@@ -162,6 +227,7 @@ impl ClassRegistry {
             array_component: None,
             statics,
             clinit: ClinitState::NotStarted,
+            cp_cache: RefCell::new(HashMap::new()),
         });
         Ok(id)
     }
@@ -190,6 +256,7 @@ impl ClassRegistry {
             array_component: Some(component),
             statics: HashMap::new(),
             clinit: ClinitState::Initialized,
+            cp_cache: RefCell::new(HashMap::new()),
         });
         Ok(id)
     }

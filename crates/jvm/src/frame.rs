@@ -136,6 +136,7 @@ mod tests {
             synchronized: false,
             is_static: true,
             line_numbers: vec![],
+            ics: std::cell::RefCell::new(std::collections::HashMap::new()),
         })
     }
 

@@ -14,15 +14,19 @@
 //! machinery: [`dispatch_exception`] walks the virtual frame stack for
 //! a handler, exactly as the paper describes.
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use doppio_classfile::{access, opcodes as op, Constant};
 use doppio_core::{ThreadContext, ThreadId};
 use doppio_jsengine::Cost;
+use doppio_trace::cat;
 
-use crate::class::{ClassId, ClinitState};
+use crate::class::{ClassConst, ClassId, ClinitState, CpEntry, ResolvedField};
 use crate::frame::Frame;
 use crate::natives::{self, NativeCtx, PendingNative};
 use crate::object::HeapObj;
-use crate::state::JvmState;
+use crate::state::{CallSite, JvmState};
 use crate::value::{ObjRef, Value};
 
 /// Outcome of executing one instruction.
@@ -141,61 +145,115 @@ pub fn step(
             } else {
                 u16_at!(1)
             };
-            let cf = state
+            // Fast path: the quickened entry holds the decoded value
+            // (or the already-interned object handle).
+            let cached = state
                 .registry
                 .get(code.class)
-                .cf
-                .as_ref()
-                .expect("code class");
-            let constant = match cf.constant_pool.get(idx) {
-                Ok(c) => c.clone(),
-                Err(e) => {
-                    return throw_vm(
-                        state,
-                        frames,
-                        ctx,
-                        tid,
-                        "java/lang/InternalError",
-                        &format!("bad ldc: {e}"),
-                    )
+                .cp_cache
+                .borrow()
+                .get(&idx)
+                .cloned();
+            match cached {
+                Some(CpEntry::Value(v)) => {
+                    state.perf.cp_hit.inc();
+                    if matches!(v, Value::Long(_)) {
+                        state.engine.charge(Cost::LongOp);
+                    }
+                    frame.push(v);
                 }
-            };
-            match constant {
-                Constant::Integer(v) => frame.push(Value::Int(v)),
-                Constant::Float(v) => frame.push(Value::Float(v)),
-                Constant::Long(v) => {
-                    state.engine.charge(Cost::LongOp);
-                    frame.push(Value::Long(v));
+                Some(CpEntry::Obj(r)) => {
+                    // Shared interned handle: one map-sized operation
+                    // instead of a per-character copy + pool probe.
+                    state.perf.cp_hit.inc();
+                    state.engine.charge(Cost::MapOp);
+                    frame.push(Value::Ref(Some(r)));
                 }
-                Constant::Double(v) => frame.push(Value::Double(v)),
-                Constant::String { .. } => {
-                    let s = cf.constant_pool.string(idx).unwrap_or_default().to_string();
-                    state.engine.charge_n(Cost::StringOp, s.len() as u64);
-                    let r = state.intern_string(&s);
-                    frames.last_mut().expect("frame").push(Value::Ref(Some(r)));
-                    frames.last_mut().expect("frame").pc = next_pc;
-                    return StepResult::Continue;
+                Some(CpEntry::Class(ref cc)) if cc.mirror.get().is_some() => {
+                    state.perf.cp_hit.inc();
+                    state.engine.charge(Cost::MapOp);
+                    frame.push(Value::Ref(cc.mirror.get()));
                 }
-                Constant::Class { .. } => {
-                    let name = cf
-                        .constant_pool
-                        .class_name(idx)
-                        .unwrap_or_default()
-                        .to_string();
-                    let r = class_object(state, &name);
-                    frames.last_mut().expect("frame").push(Value::Ref(Some(r)));
-                    frames.last_mut().expect("frame").pc = next_pc;
-                    return StepResult::Continue;
-                }
-                other => {
-                    return throw_vm(
-                        state,
-                        frames,
-                        ctx,
-                        tid,
-                        "java/lang/InternalError",
-                        &format!("ldc of unsupported constant {other:?}"),
-                    )
+                cached => {
+                    note_cp_miss(state, ctx, "ldc");
+                    let cf = state
+                        .registry
+                        .get(code.class)
+                        .cf
+                        .as_ref()
+                        .expect("code class");
+                    let constant = match cf.constant_pool.get(idx) {
+                        Ok(c) => c.clone(),
+                        Err(e) => {
+                            let msg = format!("bad ldc: {e}");
+                            return throw_vm(
+                                state,
+                                frames,
+                                ctx,
+                                tid,
+                                "java/lang/InternalError",
+                                &msg,
+                            );
+                        }
+                    };
+                    match constant {
+                        Constant::Integer(v) => {
+                            quicken(state, code.class, idx, CpEntry::Value(Value::Int(v)));
+                            frame.push(Value::Int(v));
+                        }
+                        Constant::Float(v) => {
+                            quicken(state, code.class, idx, CpEntry::Value(Value::Float(v)));
+                            frame.push(Value::Float(v));
+                        }
+                        Constant::Long(v) => {
+                            state.engine.charge(Cost::LongOp);
+                            quicken(state, code.class, idx, CpEntry::Value(Value::Long(v)));
+                            frame.push(Value::Long(v));
+                        }
+                        Constant::Double(v) => {
+                            quicken(state, code.class, idx, CpEntry::Value(Value::Double(v)));
+                            frame.push(Value::Double(v));
+                        }
+                        Constant::String { .. } => {
+                            let s = cf.constant_pool.string(idx).unwrap_or_default().to_string();
+                            state.engine.charge_n(Cost::StringOp, s.len() as u64);
+                            let r = state.intern_string(&s);
+                            quicken(state, code.class, idx, CpEntry::Obj(r));
+                            frame.push(Value::Ref(Some(r)));
+                        }
+                        Constant::Class { .. } => {
+                            let name = cf
+                                .constant_pool
+                                .class_name(idx)
+                                .unwrap_or_default()
+                                .to_string();
+                            // Keep an entry installed by `new` etc. so
+                            // its resolved id survives the mirror fill.
+                            let cc = match cached {
+                                Some(CpEntry::Class(cc)) => cc,
+                                _ => Rc::new(ClassConst {
+                                    name: Rc::from(name.as_str()),
+                                    init_id: Cell::new(None),
+                                    mirror: Cell::new(None),
+                                }),
+                            };
+                            let r = class_object(state, &name);
+                            cc.mirror.set(Some(r));
+                            quicken(state, code.class, idx, CpEntry::Class(cc));
+                            frame.push(Value::Ref(Some(r)));
+                        }
+                        other => {
+                            let msg = format!("ldc of unsupported constant {other:?}");
+                            return throw_vm(
+                                state,
+                                frames,
+                                ctx,
+                                tid,
+                                "java/lang/InternalError",
+                                &msg,
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -840,42 +898,71 @@ pub fn step(
         // ---- fields ----
         op::GETSTATIC | op::PUTSTATIC => {
             let idx = u16_at!(1);
-            let cf = state
-                .registry
-                .get(code.class)
-                .cf
-                .as_ref()
-                .expect("class file");
-            let (cname, fname, fdesc) = match cf.constant_pool.member_ref(idx) {
-                Ok(t) => (t.0.to_string(), t.1.to_string(), t.2.to_string()),
-                Err(e) => {
-                    return throw_vm(
-                        state,
-                        frames,
-                        ctx,
-                        tid,
-                        "java/lang/InternalError",
-                        &e.to_string(),
-                    )
+            let fref = match cp_field(state, code.class, idx) {
+                Some(f) => {
+                    // Quickened: resolution AND the `<clinit>` protocol
+                    // are already done (entries are only installed once
+                    // the referenced class is `Initialized`).
+                    state.perf.cp_hit.inc();
+                    f
                 }
-            };
-            let class_id = match ensure_class(state, &cname) {
-                Ok(id) => id,
-                Err(r) => return r,
-            };
-            match ensure_initialized(state, frames, tid, class_id) {
-                InitAction::Ready => {}
-                InitAction::Pushed => return StepResult::CallBoundary,
-            }
-            let Some(fref) = state.registry.resolve_field(class_id, &fname) else {
-                return throw_vm(
-                    state,
-                    frames,
-                    ctx,
-                    tid,
-                    "java/lang/NoSuchFieldError",
-                    &format!("{cname}.{fname}"),
-                );
+                None => {
+                    note_cp_miss(state, ctx, "static_field");
+                    let cf = state
+                        .registry
+                        .get(code.class)
+                        .cf
+                        .as_ref()
+                        .expect("class file");
+                    let (cname, fname) = match cf.constant_pool.member_ref(idx) {
+                        Ok(t) => (t.0.to_string(), t.1.to_string()),
+                        Err(e) => {
+                            let msg = e.to_string();
+                            return throw_vm(
+                                state,
+                                frames,
+                                ctx,
+                                tid,
+                                "java/lang/InternalError",
+                                &msg,
+                            );
+                        }
+                    };
+                    let class_id = match ensure_class(state, &cname) {
+                        Ok(id) => id,
+                        Err(r) => return r,
+                    };
+                    match ensure_initialized(state, frames, tid, class_id) {
+                        InitAction::Ready => {}
+                        InitAction::Pushed => return StepResult::CallBoundary,
+                    }
+                    let Some(fr) = state.registry.resolve_field(class_id, &fname) else {
+                        return throw_vm(
+                            state,
+                            frames,
+                            ctx,
+                            tid,
+                            "java/lang/NoSuchFieldError",
+                            &format!("{cname}.{fname}"),
+                        );
+                    };
+                    let resolved = Rc::new(ResolvedField {
+                        class: fr.class,
+                        key: Rc::from(fr.key.as_str()),
+                        default: Value::default_for(&fr.descriptor),
+                        descriptor: Rc::from(fr.descriptor.as_str()),
+                        is_static: fr.is_static,
+                    });
+                    // Quicken only once the `<clinit>` chain completed,
+                    // so the hit path may skip the init protocol.
+                    if matches!(
+                        state.registry.get(class_id).clinit,
+                        ClinitState::Initialized
+                    ) {
+                        quicken(state, code.class, idx, CpEntry::Field(resolved.clone()));
+                    }
+                    resolved
+                }
             };
             state.engine.charge(Cost::MapOp);
             let frame = frames.last_mut().expect("frame");
@@ -885,54 +972,76 @@ pub fn step(
                     .registry
                     .get(fref.class)
                     .statics
-                    .get(&fref.key)
+                    .get(&*fref.key)
                     .copied()
-                    .unwrap_or_else(|| Value::default_for(&fdesc));
+                    .unwrap_or(fref.default);
                 frame.push(v);
             } else {
                 state.engine.charge(Cost::FieldPut);
                 let v = frame.pop();
-                state
-                    .registry
-                    .get_mut(fref.class)
-                    .statics
-                    .insert(fref.key.clone(), v);
+                let statics = &mut state.registry.get_mut(fref.class).statics;
+                if let Some(slot) = statics.get_mut(&*fref.key) {
+                    *slot = v;
+                } else {
+                    statics.insert(fref.key.to_string(), v);
+                }
             }
         }
         op::GETFIELD | op::PUTFIELD => {
             let idx = u16_at!(1);
-            let cf = state
-                .registry
-                .get(code.class)
-                .cf
-                .as_ref()
-                .expect("class file");
-            let (cname, fname, fdesc) = match cf.constant_pool.member_ref(idx) {
-                Ok(t) => (t.0.to_string(), t.1.to_string(), t.2.to_string()),
-                Err(e) => {
-                    return throw_vm(
-                        state,
-                        frames,
-                        ctx,
-                        tid,
-                        "java/lang/InternalError",
-                        &e.to_string(),
-                    )
+            let fref = match cp_field(state, code.class, idx) {
+                Some(f) => {
+                    state.perf.cp_hit.inc();
+                    f
                 }
-            };
-            let class_id = match ensure_class(state, &cname) {
-                Ok(id) => id,
-                Err(r) => return r,
-            };
-            let Some(fref) = state.registry.resolve_field(class_id, &fname) else {
-                return throw_vm(
-                    state,
-                    frames,
-                    ctx,
-                    tid,
-                    "java/lang/NoSuchFieldError",
-                    &format!("{cname}.{fname}"),
-                );
+                None => {
+                    note_cp_miss(state, ctx, "field");
+                    let cf = state
+                        .registry
+                        .get(code.class)
+                        .cf
+                        .as_ref()
+                        .expect("class file");
+                    let (cname, fname) = match cf.constant_pool.member_ref(idx) {
+                        Ok(t) => (t.0.to_string(), t.1.to_string()),
+                        Err(e) => {
+                            let msg = e.to_string();
+                            return throw_vm(
+                                state,
+                                frames,
+                                ctx,
+                                tid,
+                                "java/lang/InternalError",
+                                &msg,
+                            );
+                        }
+                    };
+                    let class_id = match ensure_class(state, &cname) {
+                        Ok(id) => id,
+                        Err(r) => return r,
+                    };
+                    let Some(fr) = state.registry.resolve_field(class_id, &fname) else {
+                        return throw_vm(
+                            state,
+                            frames,
+                            ctx,
+                            tid,
+                            "java/lang/NoSuchFieldError",
+                            &format!("{cname}.{fname}"),
+                        );
+                    };
+                    let resolved = Rc::new(ResolvedField {
+                        class: fr.class,
+                        key: Rc::from(fr.key.as_str()),
+                        default: Value::default_for(&fr.descriptor),
+                        descriptor: Rc::from(fr.descriptor.as_str()),
+                        is_static: fr.is_static,
+                    });
+                    // Instance-field resolution is stable (classes are
+                    // never redefined): quicken unconditionally.
+                    quicken(state, code.class, idx, CpEntry::Field(resolved.clone()));
+                    resolved
+                }
             };
             // The dictionary lookup of §6.7.
             state.engine.charge(Cost::MapOp);
@@ -946,15 +1055,14 @@ pub fn step(
                         ctx,
                         tid,
                         "java/lang/NullPointerException",
-                        &format!("getfield {fname}"),
+                        &format!("getfield {}", fref.key),
                     );
                 };
                 let v = match state.heap.get(obj) {
-                    HeapObj::Instance { fields, .. } => fields
-                        .get(&fref.key)
-                        .copied()
-                        .unwrap_or_else(|| Value::default_for(&fdesc)),
-                    _ => Value::default_for(&fdesc),
+                    HeapObj::Instance { fields, .. } => {
+                        fields.get(&*fref.key).copied().unwrap_or(fref.default)
+                    }
+                    _ => fref.default,
                 };
                 frames.last_mut().expect("frame").push(v);
             } else {
@@ -967,11 +1075,15 @@ pub fn step(
                         ctx,
                         tid,
                         "java/lang/NullPointerException",
-                        &format!("putfield {fname}"),
+                        &format!("putfield {}", fref.key),
                     );
                 };
                 if let HeapObj::Instance { fields, .. } = state.heap.get_mut(obj) {
-                    fields.insert(fref.key.clone(), v);
+                    if let Some(slot) = fields.get_mut(&*fref.key) {
+                        *slot = v;
+                    } else {
+                        fields.insert(fref.key.to_string(), v);
+                    }
                 }
             }
         }
@@ -984,32 +1096,44 @@ pub fn step(
         // ---- object/array creation ----
         op::NEW => {
             let idx = u16_at!(1);
-            let cf = state
-                .registry
-                .get(code.class)
-                .cf
-                .as_ref()
-                .expect("class file");
-            let cname = match cf.constant_pool.class_name(idx) {
-                Ok(n) => n.to_string(),
-                Err(e) => {
-                    return throw_vm(
-                        state,
-                        frames,
-                        ctx,
-                        tid,
-                        "java/lang/InternalError",
-                        &e.to_string(),
-                    )
-                }
+            let cached = match state.registry.get(code.class).cp_cache.borrow().get(&idx) {
+                Some(CpEntry::Class(cc)) => Some(cc.clone()),
+                _ => None,
             };
-            let class_id = match ensure_class(state, &cname) {
+            let cc = match cached {
+                Some(cc) => {
+                    if let Some(id) = cc.init_id.get() {
+                        // Fully quickened: class resolved and its
+                        // `<clinit>` chain already ran.
+                        state.perf.cp_hit.inc();
+                        let r = alloc_instance(state, id);
+                        frames.last_mut().expect("frame").push(Value::Ref(Some(r)));
+                        frames.last_mut().expect("frame").pc = next_pc;
+                        return StepResult::Continue;
+                    }
+                    note_cp_miss(state, ctx, "new");
+                    cc
+                }
+                None => match cp_class(state, ctx, code.class, idx) {
+                    Ok(cc) => cc,
+                    Err(msg) => {
+                        return throw_vm(state, frames, ctx, tid, "java/lang/InternalError", &msg)
+                    }
+                },
+            };
+            let class_id = match ensure_class(state, &cc.name) {
                 Ok(id) => id,
                 Err(r) => return r,
             };
             match ensure_initialized(state, frames, tid, class_id) {
                 InitAction::Ready => {}
                 InitAction::Pushed => return StepResult::CallBoundary,
+            }
+            if matches!(
+                state.registry.get(class_id).clinit,
+                ClinitState::Initialized
+            ) {
+                cc.init_id.set(Some(class_id));
             }
             let r = alloc_instance(state, class_id);
             frames.last_mut().expect("frame").push(Value::Ref(Some(r)));
@@ -1052,23 +1176,10 @@ pub fn step(
         op::ANEWARRAY => {
             state.engine.charge(Cost::Alloc);
             let idx = u16_at!(1);
-            let cf = state
-                .registry
-                .get(code.class)
-                .cf
-                .as_ref()
-                .expect("class file");
-            let cname = match cf.constant_pool.class_name(idx) {
-                Ok(n) => n.to_string(),
-                Err(e) => {
-                    return throw_vm(
-                        state,
-                        frames,
-                        ctx,
-                        tid,
-                        "java/lang/InternalError",
-                        &e.to_string(),
-                    )
+            let cname = match cp_class(state, ctx, code.class, idx) {
+                Ok(cc) => cc.name.to_string(),
+                Err(msg) => {
+                    return throw_vm(state, frames, ctx, tid, "java/lang/InternalError", &msg)
                 }
             };
             let len = frame.pop_int();
@@ -1092,23 +1203,10 @@ pub fn step(
             state.engine.charge(Cost::Alloc);
             let idx = u16_at!(1);
             let dims = u8_at!(3) as usize;
-            let cf = state
-                .registry
-                .get(code.class)
-                .cf
-                .as_ref()
-                .expect("class file");
-            let desc = match cf.constant_pool.class_name(idx) {
-                Ok(n) => n.to_string(),
-                Err(e) => {
-                    return throw_vm(
-                        state,
-                        frames,
-                        ctx,
-                        tid,
-                        "java/lang/InternalError",
-                        &e.to_string(),
-                    )
+            let desc = match cp_class(state, ctx, code.class, idx) {
+                Ok(cc) => cc.name.clone(),
+                Err(msg) => {
+                    return throw_vm(state, frames, ctx, tid, "java/lang/InternalError", &msg)
                 }
             };
             let mut sizes = vec![0i32; dims];
@@ -1172,23 +1270,10 @@ pub fn step(
 
         op::CHECKCAST | op::INSTANCEOF => {
             let idx = u16_at!(1);
-            let cf = state
-                .registry
-                .get(code.class)
-                .cf
-                .as_ref()
-                .expect("class file");
-            let target = match cf.constant_pool.class_name(idx) {
-                Ok(n) => n.to_string(),
-                Err(e) => {
-                    return throw_vm(
-                        state,
-                        frames,
-                        ctx,
-                        tid,
-                        "java/lang/InternalError",
-                        &e.to_string(),
-                    )
+            let target = match cp_class(state, ctx, code.class, idx) {
+                Ok(cc) => cc.name.clone(),
+                Err(msg) => {
+                    return throw_vm(state, frames, ctx, tid, "java/lang/InternalError", &msg)
                 }
             };
             state.engine.charge(Cost::MapOp);
@@ -1458,6 +1543,103 @@ pub fn ensure_class(state: &mut JvmState, name: &str) -> Result<ClassId, StepRes
         .registry
         .lookup(name)
         .ok_or_else(|| StepResult::NeedClass(name.to_string()))
+}
+
+// ----------------------------------------------------------------
+// Resolution caches (the interpreter fast path)
+// ----------------------------------------------------------------
+
+/// Install a quickened entry for CP index `idx` of `class`.
+fn quicken(state: &JvmState, class: ClassId, idx: u16, entry: CpEntry) {
+    state
+        .registry
+        .get(class)
+        .cp_cache
+        .borrow_mut()
+        .insert(idx, entry);
+}
+
+/// The quickened field entry at `idx` of `class`, if installed.
+fn cp_field(state: &JvmState, class: ClassId, idx: u16) -> Option<Rc<ResolvedField>> {
+    match state.registry.get(class).cp_cache.borrow().get(&idx) {
+        Some(CpEntry::Field(f)) => Some(f.clone()),
+        _ => None,
+    }
+}
+
+/// The quickened class constant at `idx` of `class`: returns the cached
+/// entry (a cp-cache hit) or decodes the name from the constant pool
+/// and installs a fresh one (a miss). `Err` carries a CP decode error.
+fn cp_class(
+    state: &JvmState,
+    ctx: &ThreadContext<'_>,
+    class: ClassId,
+    idx: u16,
+) -> Result<Rc<ClassConst>, String> {
+    if let Some(CpEntry::Class(cc)) = state.registry.get(class).cp_cache.borrow().get(&idx) {
+        state.perf.cp_hit.inc();
+        return Ok(cc.clone());
+    }
+    note_cp_miss(state, ctx, "class");
+    let rc = state.registry.get(class);
+    let cf = rc.cf.as_ref().expect("class file");
+    let name = cf
+        .constant_pool
+        .class_name(idx)
+        .map_err(|e| e.to_string())?;
+    let cc = Rc::new(ClassConst {
+        name: Rc::from(name),
+        init_id: Cell::new(None),
+        mirror: Cell::new(None),
+    });
+    rc.cp_cache
+        .borrow_mut()
+        .insert(idx, CpEntry::Class(cc.clone()));
+    Ok(cc)
+}
+
+/// The access flags of a resolved method.
+fn method_flags_of(state: &JvmState, target: crate::class::MethodRef) -> u16 {
+    state
+        .registry
+        .get(target.class)
+        .cf
+        .as_ref()
+        .expect("method class")
+        .methods[target.index]
+        .access_flags
+}
+
+/// Count a constant-pool cache miss and, when tracing, mark the
+/// quickening point under the `perf` category.
+fn note_cp_miss(state: &JvmState, ctx: &ThreadContext<'_>, what: &'static str) {
+    state.perf.cp_miss.inc();
+    let tracer = state.engine.tracer();
+    if tracer.enabled() {
+        tracer.instant(
+            cat::PERF,
+            "cp_quicken",
+            state.engine.now_ns(),
+            ctx.trace_lane(),
+            vec![("kind", what.into())],
+        );
+    }
+}
+
+/// Count an inline-cache miss at an invoke site and, when tracing, mark
+/// the re-dispatch under the `perf` category.
+fn note_ic_miss(state: &JvmState, ctx: &ThreadContext<'_>, method: &Rc<str>) {
+    state.perf.ic_miss.inc();
+    let tracer = state.engine.tracer();
+    if tracer.enabled() {
+        tracer.instant(
+            cat::PERF,
+            "icache_miss",
+            state.engine.now_ns(),
+            ctx.trace_lane(),
+            vec![("method", method.to_string().into())],
+        );
+    }
 }
 
 enum InitAction {
@@ -1774,123 +1956,179 @@ fn invoke(
 ) -> StepResult {
     state.engine.charge(Cost::Call);
     let code = frames.last().expect("frame").code.clone();
-    let cf = state
-        .registry
-        .get(code.class)
-        .cf
-        .as_ref()
-        .expect("class file");
-    let idx = u16::from_be_bytes([code.bytecode[pc + 1], code.bytecode[pc + 2]]);
-    let (cname, mname, mdesc) = match cf.constant_pool.member_ref(idx) {
-        Ok(t) => (t.0.to_string(), t.1.to_string(), t.2.to_string()),
-        Err(e) => {
-            return throw_vm(
-                state,
-                frames,
-                ctx,
-                tid,
-                "java/lang/InternalError",
-                &e.to_string(),
-            )
-        }
-    };
-    let ref_class = match ensure_class(state, &cname) {
-        Ok(id) => id,
-        Err(r) => return r,
-    };
-    if opcode == op::INVOKESTATIC {
-        match ensure_initialized(state, frames, tid, ref_class) {
-            InitAction::Ready => {}
-            InitAction::Pushed => return StepResult::CallBoundary,
-        }
-    }
 
-    let desc = match doppio_classfile::descriptor::parse_method_descriptor(&mdesc) {
-        Ok(d) => d,
-        Err(e) => {
-            return throw_vm(
-                state,
-                frames,
-                ctx,
-                tid,
-                "java/lang/InternalError",
-                &e.to_string(),
-            )
+    // Quickened call site: the CP member ref and its descriptor are
+    // decoded once per (method, bytecode offset).
+    let cached = code.ics.borrow().get(&pc).cloned();
+    let site = match cached {
+        Some(s) => {
+            state.perf.cp_hit.inc();
+            s
+        }
+        None => {
+            note_cp_miss(state, ctx, "invoke");
+            let cf = state
+                .registry
+                .get(code.class)
+                .cf
+                .as_ref()
+                .expect("class file");
+            let idx = u16::from_be_bytes([code.bytecode[pc + 1], code.bytecode[pc + 2]]);
+            let (cname, mname, mdesc) = match cf.constant_pool.member_ref(idx) {
+                Ok(t) => t,
+                Err(e) => {
+                    let msg = e.to_string();
+                    return throw_vm(state, frames, ctx, tid, "java/lang/InternalError", &msg);
+                }
+            };
+            let desc = match doppio_classfile::descriptor::parse_method_descriptor(mdesc) {
+                Ok(d) => d,
+                Err(e) => {
+                    let msg = e.to_string();
+                    return throw_vm(state, frames, ctx, tid, "java/lang/InternalError", &msg);
+                }
+            };
+            let site = Rc::new(CallSite {
+                cname: Rc::from(cname),
+                name: Rc::from(mname),
+                desc: Rc::from(mdesc),
+                arg_slots: desc.param_slots() as usize,
+                ref_class: Cell::new(None),
+                direct: Cell::new(None),
+                mono: Cell::new(None),
+            });
+            code.ics.borrow_mut().insert(pc, site.clone());
+            site
         }
     };
-    let arg_slots = desc.param_slots() as usize;
+    let arg_slots = site.arg_slots;
     let has_receiver = opcode != op::INVOKESTATIC;
 
     // Select the target method.
-    let target = if opcode == op::INVOKEVIRTUAL || opcode == op::INVOKEINTERFACE {
+    let (target, method_flags) = if opcode == op::INVOKEVIRTUAL || opcode == op::INVOKEINTERFACE {
         // Peek the receiver under the arguments for dynamic dispatch.
         let frame = frames.last().expect("frame");
         let recv = match frame.peek(arg_slots) {
             Value::Ref(Some(r)) => *r,
             Value::Ref(None) => {
+                let msg = format!("invoke {}", site.name);
                 return throw_vm(
                     state,
                     frames,
                     ctx,
                     tid,
                     "java/lang/NullPointerException",
-                    &format!("invoke {mname}"),
+                    &msg,
                 );
             }
             other => {
-                return throw_vm(
-                    state,
-                    frames,
-                    ctx,
-                    tid,
-                    "java/lang/InternalError",
-                    &format!("receiver is {other:?}"),
-                )
+                let msg = format!("receiver is {other:?}");
+                return throw_vm(state, frames, ctx, tid, "java/lang/InternalError", &msg);
             }
         };
         let runtime_class = match runtime_class_of(state, recv) {
             Ok(c) => c,
             Err(r) => return r,
         };
-        // §6.7's method dictionary lookup.
-        state.engine.charge(Cost::MapOp);
-        state.registry.select_virtual(runtime_class, &mname, &mdesc)
+        match site.mono.get() {
+            Some((cls, t, flags)) if cls == runtime_class => {
+                // Monomorphic hit: the §6.7 method dictionary lookup
+                // (and its Cost::MapOp) is skipped entirely. A subclass
+                // loaded mid-run has a fresh ClassId and lands in the
+                // arm below, so the cache self-invalidates.
+                state.perf.ic_hit.inc();
+                (t, flags)
+            }
+            _ => {
+                note_ic_miss(state, ctx, &site.name);
+                if site.ref_class.get().is_none() {
+                    match ensure_class(state, &site.cname) {
+                        Ok(id) => site.ref_class.set(Some(id)),
+                        Err(r) => return r,
+                    }
+                }
+                // §6.7's method dictionary lookup.
+                state.engine.charge(Cost::MapOp);
+                let Some(t) = state
+                    .registry
+                    .select_virtual(runtime_class, &site.name, &site.desc)
+                else {
+                    let msg = format!("{}.{}{}", site.cname, site.name, site.desc);
+                    return throw_vm(state, frames, ctx, tid, "java/lang/NoSuchMethodError", &msg);
+                };
+                let flags = method_flags_of(state, t);
+                site.mono.set(Some((runtime_class, t, flags)));
+                (t, flags)
+            }
+        }
     } else {
         if opcode == op::INVOKESPECIAL {
             // invokespecial still null-checks its receiver.
             let frame = frames.last().expect("frame");
             if matches!(frame.peek(arg_slots), Value::Ref(None)) {
+                let msg = format!("invokespecial {}", site.name);
                 return throw_vm(
                     state,
                     frames,
                     ctx,
                     tid,
                     "java/lang/NullPointerException",
-                    &format!("invokespecial {mname}"),
+                    &msg,
                 );
             }
         }
-        state.registry.resolve_method(ref_class, &mname, &mdesc)
-    };
-    let Some(target) = target else {
-        return throw_vm(
-            state,
-            frames,
-            ctx,
-            tid,
-            "java/lang/NoSuchMethodError",
-            &format!("{cname}.{mname}{mdesc}"),
-        );
-    };
-
-    let method_flags = {
-        let rc = state.registry.get(target.class);
-        rc.cf.as_ref().expect("method class").methods[target.index].access_flags
+        match site.direct.get() {
+            Some((t, flags)) => {
+                // Statically-bound hit: resolution (and, for
+                // invokestatic, the `<clinit>` protocol) already done.
+                state.perf.ic_hit.inc();
+                (t, flags)
+            }
+            None => {
+                note_ic_miss(state, ctx, &site.name);
+                let ref_class = match site.ref_class.get() {
+                    Some(id) => id,
+                    None => match ensure_class(state, &site.cname) {
+                        Ok(id) => {
+                            site.ref_class.set(Some(id));
+                            id
+                        }
+                        Err(r) => return r,
+                    },
+                };
+                if opcode == op::INVOKESTATIC {
+                    match ensure_initialized(state, frames, tid, ref_class) {
+                        InitAction::Ready => {}
+                        InitAction::Pushed => return StepResult::CallBoundary,
+                    }
+                }
+                let Some(t) = state
+                    .registry
+                    .resolve_method(ref_class, &site.name, &site.desc)
+                else {
+                    let msg = format!("{}.{}{}", site.cname, site.name, site.desc);
+                    return throw_vm(state, frames, ctx, tid, "java/lang/NoSuchMethodError", &msg);
+                };
+                let flags = method_flags_of(state, t);
+                // invokespecial binds statically; invokestatic binds
+                // once its class finished `<clinit>` (so the hit path
+                // may skip the initialization protocol).
+                if opcode == op::INVOKESPECIAL
+                    || matches!(
+                        state.registry.get(ref_class).clinit,
+                        ClinitState::Initialized
+                    )
+                {
+                    site.direct.set(Some((t, flags)));
+                }
+                (t, flags)
+            }
+        }
     };
 
     // Synchronized methods: acquire the monitor before popping args.
     let mut acquired_monitor = None;
-    if method_flags & access::ACC_SYNCHRONIZED != 0 && mname != "<clinit>" {
+    if method_flags & access::ACC_SYNCHRONIZED != 0 && &*site.name != "<clinit>" {
         let lock_obj = if method_flags & access::ACC_STATIC != 0 {
             let cls_name = state.registry.get(target.class).name.clone();
             class_object(state, &cls_name)
@@ -1942,8 +2180,8 @@ fn invoke(
                 tid,
             },
             &class_name,
-            &mname,
-            &mdesc,
+            &site.name,
+            &site.desc,
             args,
         );
         return natives::apply_outcome(state, frames, ctx, tid, outcome);
@@ -1956,7 +2194,7 @@ fn invoke(
             ctx,
             tid,
             "java/lang/StackOverflowError",
-            &format!("invoking {mname}"),
+            &format!("invoking {}", site.name),
         );
     }
     let Some(blob) = state.code_blob(target.class, target.index) else {
@@ -1966,7 +2204,7 @@ fn invoke(
             ctx,
             tid,
             "java/lang/AbstractMethodError",
-            &format!("{cname}.{mname}{mdesc}"),
+            &format!("{}.{}{}", site.cname, site.name, site.desc),
         );
     };
     let mut new_frame = Frame::new(blob);

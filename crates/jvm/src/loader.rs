@@ -219,6 +219,22 @@ pub fn define_with_constants(state: &mut JvmState, cf: ClassFile) -> Result<(), 
         }
     }
     let id = state.registry.define(cf)?;
+    // Mark the definition point: a new ClassId is the epoch boundary
+    // the inline caches key on (a receiver of this class misses every
+    // monomorphic cache installed before now).
+    let tracer = state.engine.tracer();
+    if tracer.enabled() {
+        tracer.instant(
+            doppio_trace::cat::PERF,
+            "class_defined",
+            state.engine.now_ns(),
+            0,
+            vec![
+                ("class", name.clone().into()),
+                ("id", doppio_trace::ArgValue::U64(id as u64)),
+            ],
+        );
+    }
     for (key, v) in constants {
         state.registry.get_mut(id).statics.insert(key, v);
     }

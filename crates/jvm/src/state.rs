@@ -1,7 +1,7 @@
 //! Shared JVM state: heap, classes, monitors, I/O, and the Doppio
 //! services the native methods bridge to (§6.3).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::{Rc, Weak};
 
@@ -10,8 +10,9 @@ use doppio_fs::FileSystem;
 use doppio_heap::UnmanagedHeap;
 use doppio_jsengine::Engine;
 use doppio_sockets::{DoppioSocket, Network};
+use doppio_trace::Counter;
 
-use crate::class::{ClassId, ClassRegistry};
+use crate::class::{ClassId, ClassRegistry, MethodRef};
 use crate::loader::LoaderState;
 use crate::object::Heap;
 use crate::value::ObjRef;
@@ -25,6 +26,37 @@ pub struct Monitor {
     pub entry_queue: VecDeque<ThreadId>,
     /// Threads in `Object.wait`, with the recursion count to restore.
     pub wait_set: Vec<(ThreadId, u32)>,
+}
+
+/// One invoke site's cached resolution state, keyed by bytecode offset
+/// within its method (see [`CodeBlob::ics`]).
+///
+/// The symbolic part (`cname`/`name`/`desc`/`arg_slots`) is decoded
+/// from the constant pool exactly once. `direct` binds sites whose
+/// target never depends on the receiver (`invokestatic` once the
+/// `<clinit>` chain is `Initialized`, `invokespecial` immediately).
+/// `mono` is the monomorphic inline cache for `invokevirtual` /
+/// `invokeinterface`: it is keyed on the receiver's [`ClassId`], so a
+/// subclass loaded mid-run gets a fresh id, misses, and re-dispatches
+/// through `select_virtual` — the cache self-invalidates on class
+/// loading without any registry hook.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Referenced class name from the CP entry.
+    pub cname: Rc<str>,
+    /// Method name.
+    pub name: Rc<str>,
+    /// Method descriptor.
+    pub desc: Rc<str>,
+    /// Argument slot count computed from the descriptor (receiver not
+    /// included).
+    pub arg_slots: usize,
+    /// Resolved id of `cname`, filled once that class is defined.
+    pub ref_class: Cell<Option<ClassId>>,
+    /// Receiver-independent target (method + access flags).
+    pub direct: Cell<Option<(MethodRef, u16)>>,
+    /// Monomorphic cache: receiver class → (target, access flags).
+    pub mono: Cell<Option<(ClassId, MethodRef, u16)>>,
 }
 
 /// A shared, precompiled view of one method body (built once per
@@ -51,6 +83,37 @@ pub struct CodeBlob {
     pub is_static: bool,
     /// Line-number table.
     pub line_numbers: Vec<(u16, u16)>,
+    /// Inline caches for the method's invoke sites, keyed by bytecode
+    /// offset, populated lazily by the interpreter.
+    pub ics: RefCell<HashMap<usize, Rc<CallSite>>>,
+}
+
+/// Counter handles for the resolution caches, resolved once from the
+/// shared [`MetricsRegistry`](doppio_trace::MetricsRegistry) so the
+/// interpreter bumps an `Rc<Cell<u64>>` instead of doing name lookups.
+#[derive(Clone, Debug)]
+pub struct PerfCounters {
+    /// Constant-pool cache hits (`jvm.cp_cache.hit`).
+    pub cp_hit: Counter,
+    /// Constant-pool cache misses — first resolution (`jvm.cp_cache.miss`).
+    pub cp_miss: Counter,
+    /// Inline-cache hits at invoke sites (`jvm.icache.hit`).
+    pub ic_hit: Counter,
+    /// Inline-cache misses (`jvm.icache.miss`).
+    pub ic_miss: Counter,
+}
+
+impl PerfCounters {
+    /// Resolve the handles from `engine`'s metrics registry.
+    pub fn new(engine: &Engine) -> PerfCounters {
+        let m = engine.metrics();
+        PerfCounters {
+            cp_hit: m.counter("jvm.cp_cache.hit"),
+            cp_miss: m.counter("jvm.cp_cache.miss"),
+            ic_hit: m.counter("jvm.icache.hit"),
+            ic_miss: m.counter("jvm.icache.miss"),
+        }
+    }
 }
 
 /// Everything the JVM's threads share.
@@ -120,6 +183,8 @@ pub struct JvmState {
     pub join_waiters: HashMap<usize, Vec<ThreadId>>,
     /// Back-reference for natives that must spawn threads.
     pub self_rc: Option<Weak<RefCell<JvmState>>>,
+    /// Resolution-cache counters (shared with the metrics registry).
+    pub perf: PerfCounters,
 }
 
 impl JvmState {
@@ -156,6 +221,7 @@ impl JvmState {
             finished_threads: HashSet::new(),
             join_waiters: HashMap::new(),
             self_rc: None,
+            perf: PerfCounters::new(engine),
         }
     }
 
@@ -208,6 +274,7 @@ impl JvmState {
                 && m.name != "<clinit>",
             is_static: m.is_static(),
             line_numbers: code.line_numbers.clone(),
+            ics: RefCell::new(HashMap::new()),
         });
         self.code_cache.insert((class, method_index), blob.clone());
         Some(blob)

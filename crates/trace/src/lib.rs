@@ -55,6 +55,9 @@ pub mod cat {
     /// doppio-faults injections and the retry/backoff decisions they
     /// trigger.
     pub const FAULT: &str = "fault";
+    /// Interpreter fast-path events: constant-pool quickening, inline
+    /// call-cache misses, class-definition cache invalidation points.
+    pub const PERF: &str = "perf";
 }
 
 /// Trace event phase, mirroring the Chrome `trace_event` `ph` field.

@@ -131,8 +131,57 @@ pub struct RunOutcome {
     pub fs: FsStats,
     /// Engine counters (watchdog kills, event stats, per-op charges).
     pub engine: EngineStats,
+    /// Interpreter fast-path counters (constant-pool quickening and
+    /// inline call caches).
+    pub caches: CacheStats,
     /// Uncaught exception, if the program failed.
     pub uncaught: Option<String>,
+}
+
+/// The interpreter's resolution-cache counters for one run, read out
+/// of the engine's [`MetricsRegistry`](doppio_trace::MetricsRegistry)
+/// before the engine is dropped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// `jvm.cp_cache.hit` — constant-pool entries served quickened.
+    pub cp_hit: u64,
+    /// `jvm.cp_cache.miss` — full symbolic resolutions performed.
+    pub cp_miss: u64,
+    /// `jvm.icache.hit` — invoke sites dispatched through the cache.
+    pub ic_hit: u64,
+    /// `jvm.icache.miss` — invoke sites that fell back to full lookup.
+    pub ic_miss: u64,
+}
+
+impl CacheStats {
+    /// Read the cache counters out of an engine's metrics registry.
+    pub fn from_engine(engine: &Engine) -> CacheStats {
+        let m = engine.metrics();
+        CacheStats {
+            cp_hit: m.get("jvm.cp_cache.hit"),
+            cp_miss: m.get("jvm.cp_cache.miss"),
+            ic_hit: m.get("jvm.icache.hit"),
+            ic_miss: m.get("jvm.icache.miss"),
+        }
+    }
+
+    /// Constant-pool cache hit rate in `[0, 1]` (0 if never exercised).
+    pub fn cp_hit_rate(&self) -> f64 {
+        ratio(self.cp_hit, self.cp_miss)
+    }
+
+    /// Inline-cache hit rate in `[0, 1]` (0 if never exercised).
+    pub fn ic_hit_rate(&self) -> f64 {
+        ratio(self.ic_hit, self.ic_miss)
+    }
+}
+
+fn ratio(hit: u64, miss: u64) -> f64 {
+    if hit + miss == 0 {
+        0.0
+    } else {
+        hit as f64 / (hit + miss) as f64
+    }
 }
 
 impl RunOutcome {
@@ -188,6 +237,7 @@ pub fn run_workload_on(id: &str, engine: Engine) -> RunOutcome {
         class_fetches: result.class_fetches,
         fs: fs.stats(),
         engine: engine.stats(),
+        caches: CacheStats::from_engine(&engine),
         uncaught: result.uncaught,
     }
 }
@@ -302,6 +352,30 @@ mod tests {
             r.uncaught
         );
         assert!(r.fs.bytes_written > 100, "writes its report back");
+    }
+
+    #[test]
+    fn caches_warm_up_on_dispatch_heavy_workloads() {
+        // DeltaBlue is the dispatch-heavy Figure 4 microbenchmark: after
+        // warmup nearly every CP reference and invoke site is cached.
+        let r = run_workload("deltablue", Browser::Native);
+        assert!(r.uncaught.is_none(), "{:?}", r.uncaught);
+        let c = r.caches;
+        assert!(c.cp_hit + c.cp_miss > 0, "cp cache never exercised");
+        assert!(
+            c.cp_hit_rate() >= 0.90,
+            "cp hit rate {:.3} ({} hit / {} miss)",
+            c.cp_hit_rate(),
+            c.cp_hit,
+            c.cp_miss
+        );
+        assert!(
+            c.ic_hit_rate() >= 0.90,
+            "icache hit rate {:.3} ({} hit / {} miss)",
+            c.ic_hit_rate(),
+            c.ic_hit,
+            c.ic_miss
+        );
     }
 
     #[test]

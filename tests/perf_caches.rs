@@ -1,0 +1,172 @@
+//! Integration coverage for the interpreter fast path: constant-pool
+//! quickening and inline call caches must speed execution up without
+//! ever changing what a program observes — across mid-run class
+//! loading, file-system remounts, and fresh JVM instances.
+
+use std::rc::Rc;
+
+use doppio::fs::{backends, FileSystem};
+use doppio::jsengine::{Browser, Engine};
+use doppio::jvm::{fsutil, Jvm};
+use doppio::minijava::compile_to_bytes;
+use doppio::trace::json::{self, Json};
+use doppio::trace::{chrome, RingSink};
+
+/// A virtual call site warmed monomorphically on `A`, then handed a
+/// `B` receiver whose class is *fetched and defined mid-run* (the
+/// `new B()` is the first reference to `B`, so the lazy loader pulls
+/// it in while the inline cache is already hot).
+const SUBCLASS_SWAP: &str = r#"
+    class A {
+        int tag() { return 1; }
+    }
+    class B extends A {
+        int tag() { return 2; }
+    }
+    class Main {
+        static int poll(A a) { return a.tag(); }
+        static void main(String[] args) {
+            A a = new A();
+            int sum = 0;
+            for (int i = 0; i < 1000; i++) { sum = sum + poll(a); }
+            A b = new B();
+            for (int i = 0; i < 10; i++) { sum = sum + poll(b); }
+            System.out.println("sum=" + sum);
+        }
+    }
+"#;
+
+#[test]
+fn mid_run_subclass_load_invalidates_the_inline_cache() {
+    let engine = Engine::new(Browser::Chrome);
+    let fs = FileSystem::new(&engine, backends::in_memory(&engine));
+    fsutil::mount_class_files(
+        &engine,
+        &fs,
+        "/classes",
+        &compile_to_bytes(SUBCLASS_SWAP).unwrap(),
+    );
+    let jvm = Jvm::new(&engine, fs);
+    jvm.launch("Main", &[]);
+    let r = jvm.run_to_completion().unwrap();
+    assert!(r.uncaught.is_none(), "{:?}", r.uncaught);
+    // 1000×A.tag() + 10×B.tag(): a stale monomorphic hit for the `B`
+    // receiver would print 1010 instead.
+    assert_eq!(r.stdout, "sum=1020\n");
+    // B genuinely arrived through the loader mid-run.
+    assert!(r.class_fetches >= 2, "fetches: {}", r.class_fetches);
+    // The warmup loop ran through the cache.
+    let m = engine.metrics();
+    let (hit, miss) = (m.get("jvm.icache.hit"), m.get("jvm.icache.miss"));
+    assert!(hit > 900, "icache hits: {hit}");
+    // The site missed at least twice: once warming on A, once when the
+    // B receiver's fresh ClassId failed the monomorphic check.
+    assert!(miss >= 2, "icache misses: {miss}");
+}
+
+const LIB_V1: &str = r#"
+    class Lib {
+        static int tag = 10;
+        static int value() { return 1; }
+    }
+    class Main {
+        static void main(String[] args) {
+            int sum = 0;
+            for (int i = 0; i < 200; i++) { sum = sum + Lib.value(); }
+            System.out.println("lib=" + (sum + Lib.tag));
+        }
+    }
+"#;
+
+/// Same shape, different behaviour: both the static field constant and
+/// the method body change.
+const LIB_V2: &str = r#"
+    class Lib {
+        static int tag = 20;
+        static int value() { return 2; }
+    }
+    class Main {
+        static void main(String[] args) {
+            int sum = 0;
+            for (int i = 0; i < 200; i++) { sum = sum + Lib.value(); }
+            System.out.println("lib=" + (sum + Lib.tag));
+        }
+    }
+"#;
+
+#[test]
+fn cp_caches_do_not_leak_across_a_mountable_fs_reload() {
+    // Swap the class files under a fresh JVM's feet via the mountable
+    // backend: unmount /classes, remount modified bytes, run a second
+    // JVM on the *same* engine and file system. The quickened CP
+    // entries live in the first JVM's class registry, so the second
+    // JVM must resolve everything fresh and see the new behaviour.
+    let engine = Engine::new(Browser::Chrome);
+    let mnt = backends::mountable(backends::in_memory(&engine));
+    let fs = FileSystem::new(&engine, mnt.clone());
+
+    mnt.mount("/classes", backends::in_memory(&engine)).unwrap();
+    fsutil::mount_class_files(&engine, &fs, "/classes", &compile_to_bytes(LIB_V1).unwrap());
+    let jvm1 = Jvm::new(&engine, fs.clone());
+    jvm1.launch("Main", &[]);
+    let r1 = jvm1.run_to_completion().unwrap();
+    assert_eq!(r1.stdout, "lib=210\n", "uncaught: {:?}", r1.uncaught);
+
+    let m = engine.metrics();
+    let hits_after_v1 = m.get("jvm.cp_cache.hit");
+    // The loop warmed the cache: far more hits than misses.
+    assert!(
+        hits_after_v1 > m.get("jvm.cp_cache.miss"),
+        "hits {hits_after_v1} vs misses {}",
+        m.get("jvm.cp_cache.miss")
+    );
+
+    mnt.unmount("/classes").unwrap();
+    mnt.mount("/classes", backends::in_memory(&engine)).unwrap();
+    fsutil::mount_class_files(&engine, &fs, "/classes", &compile_to_bytes(LIB_V2).unwrap());
+    let jvm2 = Jvm::new(&engine, fs);
+    jvm2.launch("Main", &[]);
+    let r2 = jvm2.run_to_completion().unwrap();
+    assert_eq!(r2.stdout, "lib=420\n", "uncaught: {:?}", r2.uncaught);
+
+    // The second run re-resolved (more misses) and re-warmed (more
+    // hits) on the shared engine-wide counters.
+    assert!(m.get("jvm.cp_cache.hit") > hits_after_v1);
+}
+
+#[test]
+fn cache_misses_surface_as_perf_trace_instants() {
+    let sink = Rc::new(RingSink::default());
+    let engine = Engine::builder(Browser::Chrome)
+        .trace_sink(sink.clone())
+        .build();
+    let fs = FileSystem::new(&engine, backends::in_memory(&engine));
+    fsutil::mount_class_files(
+        &engine,
+        &fs,
+        "/classes",
+        &compile_to_bytes(SUBCLASS_SWAP).unwrap(),
+    );
+    let jvm = Jvm::new(&engine, fs);
+    jvm.launch("Main", &[]);
+    let r = jvm.run_to_completion().unwrap();
+    assert_eq!(r.stdout, "sum=1020\n");
+
+    let doc = chrome::export_sink(&sink);
+    let v = json::parse(&doc).expect("valid JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    let names_in_perf: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("cat").and_then(Json::as_str) == Some("perf"))
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    for expected in ["cp_quicken", "icache_miss", "class_defined"] {
+        assert!(
+            names_in_perf.contains(&expected),
+            "no {expected} instant in perf category; saw {names_in_perf:?}"
+        );
+    }
+}
