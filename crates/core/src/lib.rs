@@ -53,12 +53,16 @@
 
 pub mod runtime;
 pub mod suspend;
+pub mod waitgraph;
 
 pub use runtime::{
     AsyncCell, AsyncResolver, BlockTimeout, DoppioRuntime, GuestThread, RoundRobinScheduler,
     RuntimeError, RuntimeStats, Scheduler, ThreadContext, ThreadId, ThreadState, ThreadStep,
 };
 pub use suspend::{SuspendTimer, DEFAULT_TIME_SLICE_NS};
+pub use waitgraph::{
+    BlockEdge, DeadlockReport, DeadlockThread, LockOrderWarning, Resource, WaitGraph,
+};
 
 /// Adapts a closure into a [`GuestThread`].
 ///
@@ -299,13 +303,100 @@ mod tests {
         let rt = DoppioRuntime::new(&engine);
         rt.spawn("stuck", Box::new(FnThread::new(|_ctx| ThreadStep::Blocked)));
         let err = rt.run_to_completion().unwrap_err();
-        assert_eq!(
-            err,
-            RuntimeError::Deadlock {
-                blocked: vec!["stuck".to_string()]
-            }
-        );
+        let RuntimeError::Deadlock {
+            blocked, report, ..
+        } = &err;
+        assert_eq!(blocked, &vec!["stuck".to_string()]);
+        // No wait-for edge was reported, so there is no cycle to show.
+        assert!(report.is_none());
         assert!(err.to_string().contains("stuck"));
+    }
+
+    #[test]
+    fn wait_for_cycle_is_reported_with_blame() {
+        use crate::waitgraph::Resource;
+        // Two threads, each holding one monitor and blocking on the
+        // other's — the classic AB-BA deadlock, reported via the
+        // wait-for graph rather than by draining the event loop.
+        let engine = Engine::new(Browser::Chrome);
+        let rt = DoppioRuntime::new(&engine);
+        let mk = |held: u64, wants: u64, site: &'static str| {
+            let mut acquired = false;
+            move |ctx: &mut ThreadContext<'_>| {
+                let rt = ctx.runtime().clone();
+                let id = ctx.thread_id();
+                if !acquired {
+                    acquired = true;
+                    rt.note_acquire(id, Resource::Monitor(held));
+                    return ThreadStep::Yielded;
+                }
+                rt.note_block(id, Resource::Monitor(wants), site);
+                ThreadStep::Blocked
+            }
+        };
+        rt.spawn("alice", Box::new(FnThread::new(mk(1, 2, "A.lock"))));
+        rt.spawn("bob", Box::new(FnThread::new(mk(2, 1, "B.lock"))));
+        let err = rt.run_to_completion().unwrap_err();
+        let RuntimeError::Deadlock { report, .. } = &err;
+        let report = report.as_ref().expect("cycle found");
+        assert_eq!(report.cycle.len(), 2);
+        let msg = err.to_string();
+        assert!(msg.contains("alice"), "{msg}");
+        assert!(msg.contains("bob"), "{msg}");
+        assert!(msg.contains("monitor #1"), "{msg}");
+        assert!(msg.contains("monitor #2"), "{msg}");
+        assert!(msg.contains("A.lock"), "{msg}");
+    }
+
+    #[test]
+    fn losing_resolver_does_not_leave_a_stale_wake() {
+        // A block_on_timeout whose deadline wins: the late resolver
+        // must not wake the thread again once its value has lost the
+        // race (a stale wake would corrupt a later unrelated block).
+        let engine = Engine::new(Browser::Chrome);
+        let rt = DoppioRuntime::new(&engine);
+        let mut pending: Option<AsyncCell<Result<u32, BlockTimeout>>> = None;
+        let mut phase = 0u32;
+        let observed = Rc::new(RefCell::new(Vec::new()));
+        let obs = observed.clone();
+        let id = rt.spawn(
+            "racer",
+            Box::new(FnThread::new(move |ctx| {
+                match phase {
+                    0 => {
+                        phase = 1;
+                        // Deadline (1 ms) beats the value (2 ms).
+                        let cell = ctx.block_on_timeout(1_000_000, |engine, resolver| {
+                            engine.complete_async_after(2_000_000, move |_| resolver.resolve(5));
+                        });
+                        pending = Some(cell);
+                        ThreadStep::Blocked
+                    }
+                    1 => {
+                        phase = 2;
+                        obs.borrow_mut()
+                            .push(pending.take().unwrap().take().unwrap());
+                        // Linger past the loser's arrival so a stale
+                        // wake (the bug) would be observable as
+                        // wake_pending on a Ready thread.
+                        ctx.engine().charge_n(doppio_jsengine::Cost::IntOp, 100);
+                        ThreadStep::Yielded
+                    }
+                    _ => {
+                        if ctx.engine().now_ns() < 4_000_000 {
+                            return ThreadStep::Yielded;
+                        }
+                        ThreadStep::Finished
+                    }
+                }
+            })),
+        );
+        rt.run_to_completion().unwrap();
+        assert_eq!(*observed.borrow(), vec![Err(BlockTimeout)]);
+        assert!(
+            !rt.wake_is_pending(id),
+            "losing resolver fired a spurious wake"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! `setTimeout` (§4.4). Between slices, queued browser events (user
 //! input!) get to run, which is what keeps the page responsive.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::rc::Rc;
 
@@ -20,6 +20,7 @@ use doppio_jsengine::Engine;
 use doppio_trace::{cat, ArgValue};
 
 use crate::suspend::{SuspendTimer, DEFAULT_TIME_SLICE_NS};
+use crate::waitgraph::{BlockEdge, DeadlockReport, LockOrderWarning, Resource, WaitGraph};
 
 /// Trace lane for runtime-wide events (suspension intervals, timer
 /// adjustments). Lane 0 is the browser event loop; guest threads get
@@ -140,22 +141,42 @@ impl RuntimeStats {
 /// Errors surfaced by the runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RuntimeError {
-    /// Every live thread is blocked and no event can wake them.
+    /// Live threads are blocked and can never be woken — either a
+    /// wait-for cycle was detected mid-run, or the event loop drained
+    /// with live threads still blocked.
     Deadlock {
         /// Names of the blocked threads.
         blocked: Vec<String>,
+        /// Per-thread blame lines from the wait-for graph (thread,
+        /// site, blocked-on resource, holder).
+        details: Vec<String>,
+        /// The wait-for cycle, when one exists (an all-blocked state
+        /// without a cycle — e.g. a lost wakeup — has no cycle to
+        /// show, only blame lines).
+        report: Option<DeadlockReport>,
     },
 }
 
 impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RuntimeError::Deadlock { blocked } => {
+            RuntimeError::Deadlock {
+                blocked,
+                details,
+                report,
+            } => {
                 write!(
                     f,
                     "deadlock: all live threads blocked ({})",
                     blocked.join(", ")
-                )
+                )?;
+                if let Some(r) = report {
+                    write!(f, "; {r}")?;
+                }
+                for line in details {
+                    write!(f, "\n  {line}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -178,6 +199,8 @@ struct Inner {
     tick_scheduled: bool,
     suspend_started_at: Option<u64>,
     last_ran: Option<ThreadId>,
+    waits: WaitGraph,
+    deadlock: Option<DeadlockReport>,
 }
 
 /// The Doppio execution environment.
@@ -230,8 +253,16 @@ impl DoppioRuntime {
                 tick_scheduled: false,
                 suspend_started_at: None,
                 last_ran: None,
+                waits: WaitGraph::default(),
+                deadlock: None,
             })),
         }
+    }
+
+    /// Replace the scheduler (schedule-exploration harnesses install
+    /// seeded/PCT/replay schedulers here before the first tick).
+    pub fn set_scheduler(&self, scheduler: Box<dyn Scheduler>) {
+        self.inner.borrow_mut().scheduler = scheduler;
     }
 
     /// The engine this runtime schedules on.
@@ -275,14 +306,117 @@ impl DoppioRuntime {
     pub fn wake(&self, id: ThreadId) {
         {
             let mut inner = self.inner.borrow_mut();
-            let slot = &mut inner.threads[id.0];
-            match slot.state {
-                ThreadState::Blocked => slot.state = ThreadState::Ready,
-                ThreadState::Ready => slot.wake_pending = true,
+            match inner.threads[id.0].state {
+                ThreadState::Blocked => inner.threads[id.0].state = ThreadState::Ready,
+                ThreadState::Ready => inner.threads[id.0].wake_pending = true,
                 ThreadState::Finished => return,
             }
+            // Whatever the thread was waiting for is no longer what
+            // keeps it off the ready set.
+            inner.waits.clear_block(id.0);
         }
         self.schedule_tick(false);
+    }
+
+    /// Record that `id` is (about to be) blocked on `resource` at
+    /// guest site `site`, and scan for a wait-for cycle through the new
+    /// edge. The first cycle found is latched and surfaced by
+    /// [`run_to_completion`](Self::run_to_completion); it is also
+    /// dumped as a `sched`-category trace instant.
+    pub fn note_block(&self, id: ThreadId, resource: Resource, site: impl Into<String>) {
+        let report = {
+            let mut inner = self.inner.borrow_mut();
+            inner.waits.note_block(id.0, resource, site.into());
+            if inner.deadlock.is_some() {
+                None
+            } else {
+                let names: Vec<String> = inner.threads.iter().map(|s| s.name.clone()).collect();
+                let found = inner
+                    .waits
+                    .find_cycle(id.0, &|t| names.get(t).cloned().unwrap_or_default());
+                inner.deadlock = found.clone();
+                found
+            }
+        };
+        if let Some(report) = report {
+            let tracer = self.engine.tracer();
+            if tracer.enabled() {
+                tracer.instant(
+                    cat::SCHED,
+                    "deadlock.cycle",
+                    self.engine.now_ns(),
+                    RUNTIME_LANE,
+                    vec![
+                        ("threads", ArgValue::U64(report.cycle.len() as u64)),
+                        ("cycle", ArgValue::Str(report.to_string().into())),
+                    ],
+                );
+            }
+        }
+    }
+
+    /// Record an outermost lock acquisition (feeds ownership tracking
+    /// and the lock-order-inversion detector).
+    pub fn note_acquire(&self, id: ThreadId, resource: Resource) {
+        let warning = self.inner.borrow_mut().waits.note_acquire(id.0, resource);
+        if let Some(w) = warning {
+            let tracer = self.engine.tracer();
+            if tracer.enabled() {
+                tracer.instant(
+                    cat::SCHED,
+                    "lock_order.inversion",
+                    self.engine.now_ns(),
+                    RUNTIME_LANE,
+                    vec![("warning", ArgValue::Str(w.to_string().into()))],
+                );
+            }
+        }
+    }
+
+    /// Record an outermost lock release.
+    pub fn note_release(&self, id: ThreadId, resource: Resource) {
+        self.inner.borrow_mut().waits.note_release(id.0, resource);
+    }
+
+    /// The latched wait-for cycle, if one has been detected.
+    pub fn deadlock_report(&self) -> Option<DeadlockReport> {
+        self.inner.borrow().deadlock.clone()
+    }
+
+    /// Lock-order inversions observed so far.
+    pub fn lock_order_warnings(&self) -> Vec<LockOrderWarning> {
+        self.inner.borrow().waits.warnings().to_vec()
+    }
+
+    /// What a thread is currently blocked on, per the wait-for graph.
+    pub fn blocked_edge(&self, id: ThreadId) -> Option<BlockEdge> {
+        self.inner.borrow().waits.blocked_on(id.0).cloned()
+    }
+
+    /// Build the deadlock error for the current blocked set (used here
+    /// and by embedders that drive the event loop themselves).
+    pub fn deadlock_error(&self) -> RuntimeError {
+        let inner = self.inner.borrow();
+        let names: Vec<String> = inner.threads.iter().map(|s| s.name.clone()).collect();
+        RuntimeError::Deadlock {
+            blocked: inner
+                .threads
+                .iter()
+                .filter(|s| s.state == ThreadState::Blocked)
+                .map(|s| s.name.clone())
+                .collect(),
+            details: inner
+                .waits
+                .blame_lines(&|t| names.get(t).cloned().unwrap_or_default()),
+            report: inner.deadlock.clone(),
+        }
+    }
+
+    /// Whether a wake raced ahead of a block and is still pending
+    /// (diagnostics; a pending wake on a finished thread indicates a
+    /// spurious-wake bug somewhere).
+    pub fn wake_is_pending(&self, id: ThreadId) -> bool {
+        self.inner.borrow().threads[id.0].wake_pending
     }
 
     /// Mark a thread blocked from outside a slice (monitor acquisition
@@ -332,17 +466,14 @@ impl DoppioRuntime {
             if self.is_finished() {
                 return Ok(self.stats());
             }
+            // A wait-for cycle can never resolve: stop immediately with
+            // the blame report instead of spinning until the event loop
+            // drains.
+            if self.inner.borrow().deadlock.is_some() {
+                return Err(self.deadlock_error());
+            }
             if !self.engine.run_one() {
-                let blocked = {
-                    let inner = self.inner.borrow();
-                    inner
-                        .threads
-                        .iter()
-                        .filter(|s| s.state == ThreadState::Blocked)
-                        .map(|s| s.name.clone())
-                        .collect()
-                };
-                return Err(RuntimeError::Deadlock { blocked });
+                return Err(self.deadlock_error());
             }
         }
     }
@@ -407,14 +538,31 @@ impl DoppioRuntime {
                 None
             } else {
                 let id = inner.scheduler.pick(&ready);
+                debug_assert!(ready.contains(&id), "scheduler picked a non-ready thread");
                 let thread = inner.threads[id.0].thread.take();
-                Some((id, thread))
+                Some((id, ready.len(), thread))
             }
         };
 
-        let Some((id, Some(mut thread))) = picked else {
+        let Some((id, n_ready, Some(mut thread))) = picked else {
             return; // nothing ready: a wake will reschedule us
         };
+
+        {
+            let tracer = self.engine.tracer();
+            if tracer.enabled() {
+                tracer.instant(
+                    cat::SCHED,
+                    "sched.pick",
+                    now,
+                    RUNTIME_LANE,
+                    vec![
+                        ("thread", ArgValue::U64(id.0 as u64)),
+                        ("ready", ArgValue::U64(n_ready as u64)),
+                    ],
+                );
+            }
+        }
 
         let mut ctx = self.make_ctx(id);
         let slice_start = self.engine.now_ns();
@@ -462,6 +610,11 @@ impl DoppioRuntime {
                     }
                 }
             };
+            // A slice that ended runnable (or done) is not waiting on
+            // anything, whatever edges it reported mid-slice.
+            if inner.threads[id.0].state != ThreadState::Blocked {
+                inner.waits.clear_block(id.0);
+            }
             if inner
                 .threads
                 .iter()
@@ -558,9 +711,41 @@ impl ThreadContext<'_> {
             sink: Box::new(move |v| *dest.borrow_mut() = Some(v)),
             runtime: self.runtime.clone(),
             thread: self.thread_id,
+            settled: None,
         };
         start(self.runtime.engine(), resolver);
         cell
+    }
+
+    /// [`block_on`](Self::block_on) that also records a labeled
+    /// `Async` edge in the wait-for graph, so deadlock blame can say
+    /// *what* asynchronous completion a thread is stuck on (e.g.
+    /// `fs.read(/data/log)`). The edge is cleared by the wake.
+    pub fn block_on_labeled<T: 'static>(
+        &mut self,
+        label: impl Into<String>,
+        site: impl Into<String>,
+        start: impl FnOnce(&Engine, AsyncResolver<T>),
+    ) -> AsyncCell<T> {
+        self.runtime
+            .note_block(self.thread_id, Resource::Async(label.into()), site);
+        self.block_on(start)
+    }
+
+    /// Record a wait-for edge for this thread (see
+    /// [`DoppioRuntime::note_block`]).
+    pub fn note_block(&self, resource: Resource, site: impl Into<String>) {
+        self.runtime.note_block(self.thread_id, resource, site);
+    }
+
+    /// Record an outermost lock acquisition by this thread.
+    pub fn note_acquire(&self, resource: Resource) {
+        self.runtime.note_acquire(self.thread_id, resource);
+    }
+
+    /// Record an outermost lock release by this thread.
+    pub fn note_release(&self, resource: Resource) {
+        self.runtime.note_release(self.thread_id, resource);
     }
 
     /// [`block_on`](Self::block_on) with a deadline: if the resolver
@@ -583,15 +768,11 @@ impl ThreadContext<'_> {
         let settled = Rc::new(std::cell::Cell::new(false));
 
         let dest = cell.0.clone();
-        let s = settled.clone();
         let resolver = AsyncResolver {
-            sink: Box::new(move |v| {
-                if !s.replace(true) {
-                    *dest.borrow_mut() = Some(Ok(v));
-                }
-            }),
+            sink: Box::new(move |v| *dest.borrow_mut() = Some(Ok(v))),
             runtime: self.runtime.clone(),
             thread: self.thread_id,
+            settled: Some(settled.clone()),
         };
 
         let dest = cell.0.clone();
@@ -640,11 +821,22 @@ pub struct AsyncResolver<T> {
     sink: Box<dyn FnOnce(T)>,
     runtime: DoppioRuntime,
     thread: ThreadId,
+    /// Shared settled flag for raced resolutions (`block_on_timeout`):
+    /// whichever side flips it first delivers; the loser must neither
+    /// store its value *nor wake the thread* — a stale wake would set
+    /// `wake_pending` and corrupt the thread's next unrelated block.
+    settled: Option<Rc<Cell<bool>>>,
 }
 
 impl<T> AsyncResolver<T> {
-    /// Deliver the value and wake the waiting thread.
+    /// Deliver the value and wake the waiting thread. A no-op if the
+    /// operation already settled another way (deadline fired first).
     pub fn resolve(self, value: T) {
+        if let Some(settled) = &self.settled {
+            if settled.replace(true) {
+                return;
+            }
+        }
         (self.sink)(value);
         self.runtime.wake(self.thread);
     }

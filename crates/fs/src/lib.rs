@@ -48,6 +48,14 @@ pub use api::{Fd, FileSystem, FsStats};
 pub use backend::{Backend, DirIndex, FileKind, FsCallback, OpenFlags, SharedBackend, Stat};
 pub use error::{Errno, FsError, FsResult};
 
+/// Canonical label for a guest thread blocked on a file-system
+/// operation, used as the `Async` resource name in the runtime's
+/// wait-for graph (deadlock blame says *which* fs call a thread is
+/// stuck in, e.g. `fs.read(/data/log)`).
+pub fn wait_label(op: &str, path: &str) -> String {
+    format!("fs.{op}({path})")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

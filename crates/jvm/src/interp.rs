@@ -18,7 +18,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use doppio_classfile::{access, opcodes as op, Constant};
-use doppio_core::{ThreadContext, ThreadId};
+use doppio_core::{Resource, ThreadContext, ThreadId};
 use doppio_jsengine::Cost;
 use doppio_trace::cat;
 
@@ -40,9 +40,13 @@ pub enum StepResult {
     /// A native method blocked on an asynchronous API (§4.2); resume
     /// the pending computation when woken.
     NativeBlocked(PendingNative),
-    /// The thread is queued on a monitor; retry the instruction when
-    /// woken (§6.2 context-switch point).
-    MonitorBlocked,
+    /// The thread is queued on the monitor of this object; retry the
+    /// instruction when woken (§6.2 context-switch point).
+    MonitorBlocked(ObjRef),
+    /// Voluntary context switch (`Thread.yield`): end the slice with
+    /// the thread still ready, regardless of the suspend timer — this
+    /// is what makes yields real schedule-exploration switch points.
+    VoluntaryYield,
     /// The frame stack emptied: the thread finished.
     Finished,
     /// An exception unwound past the last frame.
@@ -1329,11 +1333,11 @@ pub fn step(
                     "monitorenter",
                 );
             };
-            if try_enter_monitor(state, obj, tid) {
+            if try_enter_monitor(state, ctx, obj, tid) {
                 frames.last_mut().expect("frame").pop_ref();
             } else {
                 queue_on_monitor(state, obj, tid);
-                return StepResult::MonitorBlocked; // retry when woken
+                return StepResult::MonitorBlocked(obj); // retry when woken
             }
         }
         op::MONITOREXIT => {
@@ -1766,11 +1770,20 @@ pub fn class_object(state: &mut JvmState, name: &str) -> ObjRef {
 // ----------------------------------------------------------------
 
 /// Try to acquire a monitor; true on success (including recursion).
-pub fn try_enter_monitor(state: &mut JvmState, obj: ObjRef, tid: ThreadId) -> bool {
+/// Outermost acquisitions feed the runtime's wait-for graph and
+/// lock-order-inversion detector.
+pub fn try_enter_monitor(
+    state: &mut JvmState,
+    ctx: &mut ThreadContext<'_>,
+    obj: ObjRef,
+    tid: ThreadId,
+) -> bool {
     let m = state.monitors.entry(obj).or_default();
     match &mut m.owner {
         None => {
             m.owner = Some((tid, 1));
+            ctx.runtime()
+                .note_acquire(tid, Resource::Monitor(obj as u64));
             true
         }
         Some((owner, count)) if *owner == tid => {
@@ -1806,13 +1819,25 @@ pub fn exit_monitor(
             *count -= 1;
             if *count == 0 {
                 m.owner = None;
-                if let Some(next) = m.entry_queue.pop_front() {
+                let next = m.entry_queue.pop_front();
+                ctx.runtime()
+                    .note_release(tid, Resource::Monitor(obj as u64));
+                if let Some(next) = next {
                     ctx.wake(next);
                 }
             }
             Ok(())
         }
         _ => Err("monitor owned by another thread".to_string()),
+    }
+}
+
+/// "Class.method" for the thread's innermost frame — the site string
+/// deadlock blame and wait-for edges carry.
+pub fn current_site(state: &JvmState, frames: &[Frame]) -> String {
+    match frames.last() {
+        Some(f) => format!("{}.{}", state.registry.get(f.code.class).name, f.code.name),
+        None => "<no frame>".to_string(),
     }
 }
 
@@ -2148,11 +2173,11 @@ fn invoke(
                 }
             }
         };
-        if try_enter_monitor(state, lock_obj, tid) {
+        if try_enter_monitor(state, ctx, lock_obj, tid) {
             acquired_monitor = Some(lock_obj);
         } else {
             queue_on_monitor(state, lock_obj, tid);
-            return StepResult::MonitorBlocked;
+            return StepResult::MonitorBlocked(lock_obj);
         }
     }
 

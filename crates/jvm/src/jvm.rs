@@ -224,13 +224,16 @@ impl Jvm {
             if self.is_finished() {
                 break;
             }
+            // A detected wait-for cycle can never resolve: fail fast
+            // with the per-thread blame report.
+            if self.runtime.deadlock_report().is_some() {
+                return Err(self.runtime.deadlock_error());
+            }
             if !self.engine.run_one() {
                 if self.is_finished() {
                     break;
                 }
-                return Err(RuntimeError::Deadlock {
-                    blocked: vec!["jvm".to_string()],
-                });
+                return Err(self.runtime.deadlock_error());
             }
         }
         Ok(self.collect_result(start_ns))

@@ -17,7 +17,7 @@
 //! registered with DoppioJVM") register through
 //! [`crate::jvm::Jvm::register_native`].
 
-use doppio_core::{ThreadContext, ThreadId};
+use doppio_core::{Resource, ThreadContext, ThreadId};
 use doppio_jsengine::Cost;
 
 use crate::frame::Frame;
@@ -96,6 +96,32 @@ fn npe(what: &str) -> NativeOutcome {
     throw("java/lang/NullPointerException", what)
 }
 
+/// Record an `Async` wait-for edge for the calling thread, with the
+/// innermost guest frame as the blame site.
+fn note_async_block(n: &mut NativeCtx<'_, '_, '_>, label: &str) {
+    let site = interp::current_site(n.state, n.frames);
+    n.ctx.note_block(Resource::Async(label.to_string()), site);
+}
+
+/// Block on an asynchronous completion, labeled in the wait-for graph.
+/// The edge is restored on every poll that stays blocked (a wake from
+/// an unrelated source would otherwise erase it and deadlock blame
+/// would go blind).
+fn block_labeled(
+    n: &mut NativeCtx<'_, '_, '_>,
+    label: String,
+    mut poll: PendingNative,
+) -> NativeOutcome {
+    note_async_block(n, &label);
+    NativeOutcome::Block(Box::new(move |n2| {
+        let out = poll(n2);
+        if out.is_none() {
+            note_async_block(n2, &label);
+        }
+        out
+    }))
+}
+
 /// Turn a native outcome into a step result (pushing return values
 /// onto the caller's frame).
 pub fn apply_outcome(
@@ -121,9 +147,10 @@ pub fn apply_outcome(
         }
         NativeOutcome::Block(p) => StepResult::NativeBlocked(p),
         NativeOutcome::Yield => {
-            // Handled by the thread as a voluntary context switch; the
-            // instruction already completed (no return value).
-            StepResult::CallBoundary
+            // The instruction already completed (no return value); the
+            // thread ends its slice unconditionally so yields are real
+            // context-switch points for schedule exploration.
+            StepResult::VoluntaryYield
         }
         NativeOutcome::Exit(code) => StepResult::Exit(code),
     }
@@ -268,9 +295,13 @@ fn monitor_wait(n: &mut NativeCtx<'_, '_, '_>, obj: ObjRef) -> NativeOutcome {
     // Release fully, remember the recursion count, join the wait set.
     m.owner = None;
     m.wait_set.push((tid, count));
-    if let Some(next) = m.entry_queue.pop_front() {
+    let next = m.entry_queue.pop_front();
+    n.ctx.note_release(Resource::Monitor(obj as u64));
+    if let Some(next) = next {
         n.ctx.wake(next);
     }
+    let site = interp::current_site(n.state, n.frames);
+    n.ctx.note_block(Resource::Cond(obj as u64), site.clone());
     // Resume: once notified we are moved to the entry queue; we must
     // reacquire with the saved count before returning.
     let mut reacquiring = false;
@@ -280,6 +311,7 @@ fn monitor_wait(n: &mut NativeCtx<'_, '_, '_>, obj: ObjRef) -> NativeOutcome {
         if !reacquiring {
             // Only proceed once notify moved us out of the wait set.
             if m.wait_set.iter().any(|(t, _)| *t == tid) {
+                n2.ctx.note_block(Resource::Cond(obj as u64), site.clone());
                 return None;
             }
             reacquiring = true;
@@ -287,6 +319,7 @@ fn monitor_wait(n: &mut NativeCtx<'_, '_, '_>, obj: ObjRef) -> NativeOutcome {
         match m.owner {
             None => {
                 m.owner = Some((tid, count));
+                n2.ctx.note_acquire(Resource::Monitor(obj as u64));
                 Some(NativeOutcome::Return(None))
             }
             Some((o, _)) if o == tid => Some(NativeOutcome::Return(None)),
@@ -294,6 +327,10 @@ fn monitor_wait(n: &mut NativeCtx<'_, '_, '_>, obj: ObjRef) -> NativeOutcome {
                 if !m.entry_queue.contains(&tid) {
                     m.entry_queue.push_back(tid);
                 }
+                // Notified but the monitor is contended: the wait-for
+                // edge sharpens from the condition to the monitor.
+                n2.ctx
+                    .note_block(Resource::Monitor(obj as u64), site.clone());
                 None
             }
         }
@@ -1003,9 +1040,11 @@ fn thread_native(
             let cell = n.ctx.block_on(move |engine, resolver| {
                 engine.set_timeout(ms, move |_| resolver.resolve(()));
             });
-            NativeOutcome::Block(Box::new(move |_| {
-                cell.take().map(|_| NativeOutcome::Return(None))
-            }))
+            block_labeled(
+                n,
+                format!("thread.sleep({}ms)", ms as u64),
+                Box::new(move |_| cell.take().map(|_| NativeOutcome::Return(None))),
+            )
         }
         ("currentThread", "()Ljava/lang/Thread;") => {
             let r = crate::thread::current_thread_object(n);
@@ -1285,25 +1324,30 @@ fn fs_native(
                 Ok(p) => p,
                 Err(e) => return e,
             };
+            let label = doppio_fs::wait_label("read", &path);
             let cell = n.ctx.block_on(move |_, resolver| {
                 fs.read_file(&path, move |_, r| resolver.resolve(r));
             });
-            NativeOutcome::Block(Box::new(move |n2| {
-                cell.take().map(|r| match r {
-                    Ok(bytes) => {
-                        // The JVM-side byte[] is a typed array in the
-                        // browser — visible to the Safari leak model.
-                        if n2.state.engine.profile().has_typed_arrays {
-                            n2.state.engine.typed_array_alloc(bytes.len());
-                            n2.state.engine.typed_array_free(bytes.len());
+            block_labeled(
+                n,
+                label,
+                Box::new(move |n2| {
+                    cell.take().map(|r| match r {
+                        Ok(bytes) => {
+                            // The JVM-side byte[] is a typed array in the
+                            // browser — visible to the Safari leak model.
+                            if n2.state.engine.profile().has_typed_arrays {
+                                n2.state.engine.typed_array_alloc(bytes.len());
+                                n2.state.engine.typed_array_free(bytes.len());
+                            }
+                            let data: Vec<i8> = bytes.into_iter().map(|b| b as i8).collect();
+                            let arr = n2.state.heap.alloc(HeapObj::ArrayByte(data));
+                            NativeOutcome::Return(Some(Value::Ref(Some(arr))))
                         }
-                        let data: Vec<i8> = bytes.into_iter().map(|b| b as i8).collect();
-                        let arr = n2.state.heap.alloc(HeapObj::ArrayByte(data));
-                        NativeOutcome::Return(Some(Value::Ref(Some(arr))))
-                    }
-                    Err(e) => throw("java/io/IOException", e.to_string()),
-                })
-            }))
+                        Err(e) => throw("java/io/IOException", e.to_string()),
+                    })
+                }),
+            )
         }
         ("writeFileBytes", "(Ljava/lang/String;[B)V") => {
             let path = match n.string_arg(&args[0]) {
@@ -1317,98 +1361,128 @@ fn fs_native(
                 HeapObj::ArrayByte(v) => v.iter().map(|&b| b as u8).collect(),
                 _ => return throw("java/lang/InternalError", "expected byte[]"),
             };
+            let label = doppio_fs::wait_label("write", &path);
             let cell = n.ctx.block_on(move |_, resolver| {
                 fs.write_file(&path, bytes, move |_, r| resolver.resolve(r));
             });
-            NativeOutcome::Block(Box::new(move |_| {
-                cell.take().map(|r| match r {
-                    Ok(()) => NativeOutcome::Return(None),
-                    Err(e) => throw("java/io/IOException", e.to_string()),
-                })
-            }))
+            block_labeled(
+                n,
+                label,
+                Box::new(move |_| {
+                    cell.take().map(|r| match r {
+                        Ok(()) => NativeOutcome::Return(None),
+                        Err(e) => throw("java/io/IOException", e.to_string()),
+                    })
+                }),
+            )
         }
         ("listDir", "(Ljava/lang/String;)[Ljava/lang/String;") => {
             let path = match n.string_arg(&args[0]) {
                 Ok(p) => p,
                 Err(e) => return e,
             };
+            let label = doppio_fs::wait_label("readdir", &path);
             let cell = n.ctx.block_on(move |_, resolver| {
                 fs.readdir(&path, move |_, r| resolver.resolve(r));
             });
-            NativeOutcome::Block(Box::new(move |n2| {
-                cell.take().map(|r| match r {
-                    Ok(names) => {
-                        let refs: Vec<Option<ObjRef>> = names
-                            .into_iter()
-                            .map(|s| Some(n2.state.heap.alloc_string(s)))
-                            .collect();
-                        let arr = n2.state.heap.alloc(HeapObj::ArrayRef {
-                            component: "java/lang/String".to_string(),
-                            data: refs,
-                        });
-                        NativeOutcome::Return(Some(Value::Ref(Some(arr))))
-                    }
-                    Err(e) => throw("java/io/IOException", e.to_string()),
-                })
-            }))
+            block_labeled(
+                n,
+                label,
+                Box::new(move |n2| {
+                    cell.take().map(|r| match r {
+                        Ok(names) => {
+                            let refs: Vec<Option<ObjRef>> = names
+                                .into_iter()
+                                .map(|s| Some(n2.state.heap.alloc_string(s)))
+                                .collect();
+                            let arr = n2.state.heap.alloc(HeapObj::ArrayRef {
+                                component: "java/lang/String".to_string(),
+                                data: refs,
+                            });
+                            NativeOutcome::Return(Some(Value::Ref(Some(arr))))
+                        }
+                        Err(e) => throw("java/io/IOException", e.to_string()),
+                    })
+                }),
+            )
         }
         ("exists", "(Ljava/lang/String;)Z") => {
             let path = match n.string_arg(&args[0]) {
                 Ok(p) => p,
                 Err(e) => return e,
             };
+            let label = doppio_fs::wait_label("exists", &path);
             let cell = n.ctx.block_on(move |_, resolver| {
                 fs.exists(&path, move |_, ok| resolver.resolve(ok));
             });
-            NativeOutcome::Block(Box::new(move |_| {
-                cell.take()
-                    .map(|ok| NativeOutcome::Return(Some(Value::Int(i32::from(ok)))))
-            }))
+            block_labeled(
+                n,
+                label,
+                Box::new(move |_| {
+                    cell.take()
+                        .map(|ok| NativeOutcome::Return(Some(Value::Int(i32::from(ok)))))
+                }),
+            )
         }
         ("fileSize", "(Ljava/lang/String;)I") => {
             let path = match n.string_arg(&args[0]) {
                 Ok(p) => p,
                 Err(e) => return e,
             };
+            let label = doppio_fs::wait_label("stat", &path);
             let cell = n.ctx.block_on(move |_, resolver| {
                 fs.stat(&path, move |_, r| resolver.resolve(r));
             });
-            NativeOutcome::Block(Box::new(move |_| {
-                cell.take().map(|r| match r {
-                    Ok(st) => NativeOutcome::Return(Some(Value::Int(st.size as i32))),
-                    Err(e) => throw("java/io/IOException", e.to_string()),
-                })
-            }))
+            block_labeled(
+                n,
+                label,
+                Box::new(move |_| {
+                    cell.take().map(|r| match r {
+                        Ok(st) => NativeOutcome::Return(Some(Value::Int(st.size as i32))),
+                        Err(e) => throw("java/io/IOException", e.to_string()),
+                    })
+                }),
+            )
         }
         ("mkdir", "(Ljava/lang/String;)V") => {
             let path = match n.string_arg(&args[0]) {
                 Ok(p) => p,
                 Err(e) => return e,
             };
+            let label = doppio_fs::wait_label("mkdir", &path);
             let cell = n.ctx.block_on(move |_, resolver| {
                 fs.mkdir(&path, move |_, r| resolver.resolve(r));
             });
-            NativeOutcome::Block(Box::new(move |_| {
-                cell.take().map(|r| match r {
-                    Ok(()) => NativeOutcome::Return(None),
-                    Err(e) => throw("java/io/IOException", e.to_string()),
-                })
-            }))
+            block_labeled(
+                n,
+                label,
+                Box::new(move |_| {
+                    cell.take().map(|r| match r {
+                        Ok(()) => NativeOutcome::Return(None),
+                        Err(e) => throw("java/io/IOException", e.to_string()),
+                    })
+                }),
+            )
         }
         ("unlink", "(Ljava/lang/String;)V") => {
             let path = match n.string_arg(&args[0]) {
                 Ok(p) => p,
                 Err(e) => return e,
             };
+            let label = doppio_fs::wait_label("unlink", &path);
             let cell = n.ctx.block_on(move |_, resolver| {
                 fs.unlink(&path, move |_, r| resolver.resolve(r));
             });
-            NativeOutcome::Block(Box::new(move |_| {
-                cell.take().map(|r| match r {
-                    Ok(()) => NativeOutcome::Return(None),
-                    Err(e) => throw("java/io/IOException", e.to_string()),
-                })
-            }))
+            block_labeled(
+                n,
+                label,
+                Box::new(move |_| {
+                    cell.take().map(|r| match r {
+                        Ok(()) => NativeOutcome::Return(None),
+                        Err(e) => throw("java/io/IOException", e.to_string()),
+                    })
+                }),
+            )
         }
         _ => throw(
             "java/lang/UnsatisfiedLinkError",
@@ -1433,17 +1507,21 @@ fn console_native(
             if n.state.stdin_closed {
                 return NativeOutcome::Return(Some(Value::null()));
             }
-            n.state.stdin_waiters.push(n.tid);
-            NativeOutcome::Block(Box::new(move |n2| {
-                if let Some(line) = take_stdin_line(n2.state) {
-                    Some(n2.ret_string(line))
-                } else if n2.state.stdin_closed {
-                    Some(NativeOutcome::Return(Some(Value::null())))
-                } else {
-                    n2.state.stdin_waiters.push(n2.tid);
-                    None
-                }
-            }))
+            enlist_stdin_waiter(n);
+            block_labeled(
+                n,
+                "stdin.readLine".to_string(),
+                Box::new(move |n2| {
+                    if let Some(line) = take_stdin_line(n2.state) {
+                        Some(n2.ret_string(line))
+                    } else if n2.state.stdin_closed {
+                        Some(NativeOutcome::Return(Some(Value::null())))
+                    } else {
+                        enlist_stdin_waiter(n2);
+                        None
+                    }
+                }),
+            )
         }
         ("readByte", "()I") => {
             if let Some(b) = n.state.stdin.pop_front() {
@@ -1452,22 +1530,35 @@ fn console_native(
             if n.state.stdin_closed {
                 return NativeOutcome::Return(Some(Value::Int(-1)));
             }
-            n.state.stdin_waiters.push(n.tid);
-            NativeOutcome::Block(Box::new(move |n2| {
-                if let Some(b) = n2.state.stdin.pop_front() {
-                    Some(NativeOutcome::Return(Some(Value::Int(i32::from(b)))))
-                } else if n2.state.stdin_closed {
-                    Some(NativeOutcome::Return(Some(Value::Int(-1))))
-                } else {
-                    n2.state.stdin_waiters.push(n2.tid);
-                    None
-                }
-            }))
+            enlist_stdin_waiter(n);
+            block_labeled(
+                n,
+                "stdin.readByte".to_string(),
+                Box::new(move |n2| {
+                    if let Some(b) = n2.state.stdin.pop_front() {
+                        Some(NativeOutcome::Return(Some(Value::Int(i32::from(b)))))
+                    } else if n2.state.stdin_closed {
+                        Some(NativeOutcome::Return(Some(Value::Int(-1))))
+                    } else {
+                        enlist_stdin_waiter(n2);
+                        None
+                    }
+                }),
+            )
         }
         _ => throw(
             "java/lang/UnsatisfiedLinkError",
             format!("Console.{name}{desc}"),
         ),
+    }
+}
+
+/// Register the calling thread as a stdin waiter, without duplicating
+/// the entry — `push_stdin` wakes every listed waiter, and a duplicate
+/// would wake the thread twice, leaving a stale `wake_pending`.
+fn enlist_stdin_waiter(n: &mut NativeCtx<'_, '_, '_>) {
+    if !n.state.stdin_waiters.contains(&n.tid) {
+        n.state.stdin_waiters.push(n.tid);
     }
 }
 
@@ -1538,18 +1629,24 @@ fn socket_native(
             let runtime = n.ctx.runtime().clone();
             sock.set_data_waker(Box::new(move |_| runtime.wake(tid)));
             n.state.sockets.push(Some(sock));
-            NativeOutcome::Block(Box::new(move |n2| {
-                let st = n2.state.sockets[fd as usize]
-                    .as_ref()
-                    .map(DoppioSocket::state);
-                match st {
-                    Some(SocketState::Open) => Some(NativeOutcome::Return(Some(Value::Int(fd)))),
-                    Some(SocketState::Closed) | None => {
-                        Some(throw("java/io/IOException", "connection failed"))
+            block_labeled(
+                n,
+                doppio_sockets::wait_label("connect", fd as usize),
+                Box::new(move |n2| {
+                    let st = n2.state.sockets[fd as usize]
+                        .as_ref()
+                        .map(DoppioSocket::state);
+                    match st {
+                        Some(SocketState::Open) => {
+                            Some(NativeOutcome::Return(Some(Value::Int(fd))))
+                        }
+                        Some(SocketState::Closed) | None => {
+                            Some(throw("java/io/IOException", "connection failed"))
+                        }
+                        Some(SocketState::Connecting) => None,
                     }
-                    Some(SocketState::Connecting) => None,
-                }
-            }))
+                }),
+            )
         }
         ("write", "(I[B)V") => {
             let fd = args[0].as_int() as usize;
@@ -1598,7 +1695,11 @@ fn socket_native(
             if let Some(out) = read_now(n) {
                 return out;
             }
-            NativeOutcome::Block(Box::new(move |n2| read_now(n2)))
+            block_labeled(
+                n,
+                doppio_sockets::wait_label("read", fd),
+                Box::new(move |n2| read_now(n2)),
+            )
         }
         ("close", "(I)V") => {
             let fd = args[0].as_int() as usize;

@@ -9,7 +9,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use doppio_core::{AsyncCell, GuestThread, ThreadContext, ThreadStep};
+use doppio_core::{AsyncCell, GuestThread, Resource, ThreadContext, ThreadStep};
 use doppio_trace::{cat, ArgValue};
 
 use crate::frame::Frame;
@@ -101,6 +101,10 @@ impl GuestThread for JvmThread {
                     cell,
                 } => match cell.take() {
                     None => {
+                        ctx.note_block(
+                            Resource::Async(format!("classload({fetching})")),
+                            interp::current_site(&state, &self.frames),
+                        );
                         self.pending = Some(Pending::ClassLoad {
                             want,
                             fetching,
@@ -236,6 +240,10 @@ impl JvmThread {
                     return self.after_step(sr2, state, ctx);
                 }
                 let cell = loader::start_fetch(state, ctx, &name);
+                ctx.note_block(
+                    Resource::Async(format!("classload({name})")),
+                    interp::current_site(state, &self.frames),
+                );
                 self.pending = Some(Pending::ClassLoad {
                     want: name.clone(),
                     fetching: name,
@@ -247,7 +255,14 @@ impl JvmThread {
                 self.pending = Some(Pending::Native(p));
                 ControlFlow::Out(ThreadStep::Blocked)
             }
-            StepResult::MonitorBlocked => ControlFlow::Out(ThreadStep::Blocked),
+            StepResult::MonitorBlocked(obj) => {
+                ctx.note_block(
+                    Resource::Monitor(obj as u64),
+                    interp::current_site(state, &self.frames),
+                );
+                ControlFlow::Out(ThreadStep::Blocked)
+            }
+            StepResult::VoluntaryYield => ControlFlow::Out(ThreadStep::Yielded),
             StepResult::Finished => {
                 self.finish(state, ctx);
                 ControlFlow::Out(ThreadStep::Finished)
@@ -360,17 +375,28 @@ pub fn join_thread(n: &mut NativeCtx<'_, '_, '_>, thread_obj: ObjRef) -> NativeO
     if n.state.finished_threads.contains(&target) {
         return NativeOutcome::Return(None);
     }
-    n.state.join_waiters.entry(target).or_default().push(n.tid);
+    enlist_join_waiter(n, target);
     NativeOutcome::Block(Box::new(move |n2| {
         if n2.state.finished_threads.contains(&target) {
             Some(NativeOutcome::Return(None))
         } else {
-            n2.state
-                .join_waiters
-                .entry(target)
-                .or_default()
-                .push(n2.tid);
+            // Spurious wake: stay enlisted (without duplicating the
+            // entry — a duplicate would make `finish` wake us twice,
+            // leaving a stale `wake_pending` that corrupts the next
+            // unrelated block) and restore the wait-for edge.
+            enlist_join_waiter(n2, target);
             None
         }
     }))
+}
+
+/// Register the calling thread as a join waiter (idempotent) and record
+/// the `Join` wait-for edge.
+fn enlist_join_waiter(n: &mut NativeCtx<'_, '_, '_>, target: usize) {
+    let waiters = n.state.join_waiters.entry(target).or_default();
+    if !waiters.contains(&n.tid) {
+        waiters.push(n.tid);
+    }
+    let site = interp::current_site(n.state, n.frames);
+    n.ctx.note_block(Resource::Join(target), site);
 }

@@ -51,6 +51,14 @@ pub use socket::{DoppioSocket, SocketConfig, SocketState};
 pub use websocket::{WebSocket, WsError, WsHandlers, WsState};
 pub use websockify::Websockify;
 
+/// Canonical label for a guest thread blocked on a socket operation,
+/// used as the `Async` resource name in the runtime's wait-for graph
+/// (deadlock blame says *which* socket call a thread is stuck in, e.g.
+/// `net.read(fd=3)`).
+pub fn wait_label(op: &str, fd: usize) -> String {
+    format!("net.{op}(fd={fd})")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -58,6 +58,9 @@ pub mod cat {
     /// Interpreter fast-path events: constant-pool quickening, inline
     /// call-cache misses, class-definition cache invalidation points.
     pub const PERF: &str = "perf";
+    /// Schedule exploration: per-tick pick instants, deadlock-cycle
+    /// dumps, and lock-order-inversion warnings.
+    pub const SCHED: &str = "sched";
 }
 
 /// Trace event phase, mirroring the Chrome `trace_event` `ph` field.

@@ -1,0 +1,323 @@
+//! CI schedule-fuzz driver.
+//!
+//! Explores seeded-random and PCT schedules over a set of concurrency
+//! workloads and fails loudly — with a serialized replay file — when
+//! any schedule breaks one. The CI matrix varies `DOPPIO_SCHED_SEED`;
+//! a failure uploads the replay file as an artifact so the exact
+//! interleaving reproduces locally.
+//!
+//! ```text
+//! cargo run --example schedule_fuzz              # fuzz healthy workloads
+//! cargo run --example schedule_fuzz -- --canary  # prove the detector fires
+//! cargo run --example schedule_fuzz -- --replay schedule-replay.txt buffer
+//! ```
+//!
+//! Environment:
+//! * `DOPPIO_SCHED_SEED` — master seed (default 0xD0FF10)
+//! * `DOPPIO_SCHED_N` — schedules per workload (default 32)
+//! * `DOPPIO_SCHED_REPLAY` — replay file path (default schedule-replay.txt)
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use doppio::core::Scheduler;
+use doppio::fs::{backends, FileSystem};
+use doppio::jsengine::{Browser, Engine};
+use doppio::jvm::{fsutil, Jvm};
+use doppio::minijava::compile_to_bytes;
+use doppio::schedtest::{
+    explore, ExploreConfig, PickLog, RecordingScheduler, ReplayFile, ReplayScheduler,
+};
+
+/// A named guest workload: source, expected stdout.
+struct Workload {
+    name: &'static str,
+    src: &'static str,
+    expect: &'static str,
+}
+
+/// Healthy workloads the fuzz run must keep green under every schedule.
+const WORKLOADS: &[Workload] = &[
+    Workload {
+        name: "buffer",
+        expect: "sum=21\n",
+        src: r#"
+            class Box {
+                int value;
+                boolean full;
+                Box() { this.full = false; }
+                synchronized void put(int v) {
+                    while (full) { this.wait(); }
+                    value = v;
+                    full = true;
+                    this.notifyAll();
+                }
+                synchronized int take() {
+                    while (!full) { this.wait(); }
+                    full = false;
+                    this.notifyAll();
+                    return value;
+                }
+            }
+            class Producer extends Thread {
+                Box box;
+                Producer(Box b) { this.box = b; }
+                void run() {
+                    for (int i = 1; i <= 6; i++) { box.put(i); Thread.yield(); }
+                }
+            }
+            class Main {
+                static void main(String[] args) {
+                    Box box = new Box();
+                    Producer p = new Producer(box);
+                    p.start();
+                    int sum = 0;
+                    for (int i = 0; i < 6; i++) { sum += box.take(); Thread.yield(); }
+                    p.join();
+                    System.out.println("sum=" + sum);
+                }
+            }
+        "#,
+    },
+    Workload {
+        name: "counter",
+        expect: "n=10\n",
+        src: r#"
+            class Counter {
+                int n;
+                synchronized void incr() {
+                    int v = n;
+                    Thread.yield();
+                    n = v + 1;
+                }
+                synchronized int get() { return n; }
+            }
+            class Racer extends Thread {
+                Counter c;
+                Racer(Counter c) { this.c = c; }
+                void run() { for (int i = 0; i < 5; i++) { c.incr(); } }
+            }
+            class Main {
+                static void main(String[] args) {
+                    Counter c = new Counter();
+                    Racer r1 = new Racer(c);
+                    Racer r2 = new Racer(c);
+                    r1.start();
+                    r2.start();
+                    r1.join();
+                    r2.join();
+                    System.out.println("n=" + c.get());
+                }
+            }
+        "#,
+    },
+    Workload {
+        name: "latch",
+        expect: "through=3\n",
+        src: r#"
+            class Latch {
+                boolean open;
+                int through;
+                synchronized void await() {
+                    while (!open) { this.wait(); }
+                    through += 1;
+                }
+                synchronized void release() { open = true; this.notifyAll(); }
+                synchronized int count() { return through; }
+            }
+            class Waiter extends Thread {
+                Latch l;
+                Waiter(Latch l) { this.l = l; }
+                void run() { l.await(); }
+            }
+            class Main {
+                static void main(String[] args) {
+                    Latch l = new Latch();
+                    Waiter[] ws = new Waiter[3];
+                    for (int i = 0; i < 3; i++) { ws[i] = new Waiter(l); ws[i].start(); }
+                    Thread.yield();
+                    l.release();
+                    for (int i = 0; i < 3; i++) { ws[i].join(); }
+                    System.out.println("through=" + l.count());
+                }
+            }
+        "#,
+    },
+];
+
+/// The AB-BA deadlock canary: `--canary` mode must find this within the
+/// seed budget, proving the detector actually fires.
+const CANARY: Workload = Workload {
+    name: "ab-ba-canary",
+    expect: "no deadlock\n",
+    src: r#"
+        class Lock {
+            synchronized void grabThen(Lock second) {
+                Thread.yield();
+                second.tail();
+            }
+            synchronized void tail() { }
+        }
+        class First extends Thread {
+            Lock a; Lock b;
+            First(Lock a, Lock b) { this.a = a; this.b = b; }
+            void run() { a.grabThen(b); }
+        }
+        class Second extends Thread {
+            Lock a; Lock b;
+            Second(Lock a, Lock b) { this.a = a; this.b = b; }
+            void run() { Thread.yield(); Thread.yield(); b.grabThen(a); }
+        }
+        class Main {
+            static void main(String[] args) {
+                Lock a = new Lock();
+                Lock b = new Lock();
+                First t1 = new First(a, b);
+                Second t2 = new Second(a, b);
+                t1.start();
+                t2.start();
+                t1.join();
+                t2.join();
+                System.out.println("no deadlock");
+            }
+        }
+    "#,
+};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| {
+            v.strip_prefix("0x")
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+                .or_else(|| v.parse().ok())
+        })
+        .unwrap_or(default)
+}
+
+/// Run one workload once under `sched`.
+fn run_once(w: &Workload, sched: Box<dyn Scheduler>) -> Result<(), String> {
+    let classes = compile_to_bytes(w.src).expect("workload compiles");
+    let engine = Engine::new(Browser::Chrome);
+    let fs = FileSystem::new(&engine, backends::in_memory(&engine));
+    fsutil::mount_class_files(&engine, &fs, "/classes", &classes);
+    let jvm = Jvm::new(&engine, fs);
+    jvm.runtime().set_scheduler(sched);
+    jvm.launch("Main", &[]);
+    match jvm.run_to_completion() {
+        Err(e) => Err(e.to_string()),
+        Ok(r) => {
+            if let Some(u) = r.uncaught {
+                Err(format!("uncaught: {u}"))
+            } else if r.stdout != w.expect {
+                Err(format!("stdout {:?} != {:?}", r.stdout, w.expect))
+            } else {
+                Ok(())
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = env_u64("DOPPIO_SCHED_SEED", 0x00D0_FF10);
+    let n = env_u64("DOPPIO_SCHED_N", 32) as u32;
+    let replay_path =
+        std::env::var("DOPPIO_SCHED_REPLAY").unwrap_or_else(|_| "schedule-replay.txt".to_string());
+
+    if args.first().map(String::as_str) == Some("--replay") {
+        // Reproduce a saved failure: --replay <file> <workload-name>
+        let file = args.get(1).expect("--replay <file> <workload>");
+        let name = args.get(2).expect("--replay <file> <workload>");
+        let replay = ReplayFile::load(file).expect("readable replay file");
+        let w = WORKLOADS
+            .iter()
+            .chain(std::iter::once(&CANARY))
+            .find(|w| w.name == name.as_str())
+            .expect("known workload name");
+        println!("replaying {} picks against '{}'", replay.picks.len(), name);
+        match run_once(w, replay.scheduler()) {
+            Ok(()) => {
+                println!("replay PASSED (failure did not reproduce)");
+                std::process::exit(2);
+            }
+            Err(msg) => {
+                println!("replay reproduced the failure:\n{msg}");
+                return;
+            }
+        }
+    }
+
+    if args.first().map(String::as_str) == Some("--canary") {
+        // The detector self-test: exploration MUST find the seeded-in
+        // AB-BA deadlock, and the shrunk schedule must replay
+        // byte-identically.
+        let cfg = ExploreConfig::new(n, seed);
+        let report = explore(&cfg, |sched| run_once(&CANARY, sched));
+        let Some(failure) = report.failure else {
+            eprintln!(
+                "canary NOT found in {} schedules (seed {seed:#x}) — detector is broken",
+                report.runs.len()
+            );
+            std::process::exit(1);
+        };
+        println!(
+            "canary found under schedule {} after {} runs:\n{}",
+            failure.schedule,
+            report.runs.len(),
+            failure.message
+        );
+        println!(
+            "shrunk {} picks -> {}",
+            failure.picks.len(),
+            failure.shrunk.len()
+        );
+        // Byte-identical replay check.
+        let log: PickLog = Rc::new(RefCell::new(Vec::new()));
+        let rec = RecordingScheduler::new(
+            Box::new(ReplayScheduler::new(failure.shrunk.clone())),
+            log.clone(),
+        );
+        let replayed = run_once(&CANARY, Box::new(rec));
+        let ok = replayed == Err(failure.message.clone()) && *log.borrow() == failure.shrunk;
+        failure.replay.save(&replay_path).expect("write replay");
+        println!("replay file: {replay_path}");
+        if !ok {
+            eprintln!("shrunk schedule did not replay byte-identically");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Default: fuzz the healthy workloads. Any failure is a real bug;
+    // serialize the shrunk schedule for the artifact upload.
+    let mut failed = false;
+    for w in WORKLOADS {
+        let cfg = ExploreConfig::new(n, seed);
+        let report = explore(&cfg, |sched| run_once(w, sched));
+        match report.failure {
+            None => println!(
+                "workload '{}': {} schedules OK (seed {seed:#x})",
+                w.name,
+                report.runs.len()
+            ),
+            Some(failure) => {
+                failed = true;
+                eprintln!(
+                    "workload '{}' FAILED under {}:\n{}",
+                    w.name, failure.schedule, failure.message
+                );
+                eprintln!(
+                    "shrunk {} picks -> {}; reproduce with:\n  cargo run --example schedule_fuzz -- --replay {replay_path} {}",
+                    failure.picks.len(),
+                    failure.shrunk.len(),
+                    w.name
+                );
+                failure.replay.save(&replay_path).expect("write replay");
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

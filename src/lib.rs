@@ -54,6 +54,7 @@ pub use doppio_jsengine as jsengine;
 pub use doppio_jvm as jvm;
 pub use doppio_minijava as minijava;
 pub use doppio_prng as prng;
+pub use doppio_schedtest as schedtest;
 pub use doppio_sockets as sockets;
 pub use doppio_trace as trace;
 pub use doppio_workloads as workloads;

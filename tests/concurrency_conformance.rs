@@ -1,0 +1,283 @@
+//! Concurrency conformance: classic multi-threaded guest programs must
+//! produce the *same* output under every scheduler — round-robin,
+//! seeded-random (several seeds), and PCT. Correctly synchronized
+//! programs are schedule-independent by definition; running them across
+//! the scheduler zoo is what gives that claim teeth.
+//!
+//! `Thread.yield()` is a real scheduling point in this runtime (it ends
+//! the current slice unconditionally), so the guests below sprinkle
+//! yields to widen the interleaving space the schedulers can explore.
+
+use doppio::core::Scheduler;
+use doppio::fs::{backends, FileSystem};
+use doppio::jsengine::{Browser, Engine};
+use doppio::jvm::{fsutil, Jvm};
+use doppio::minijava::compile_to_bytes;
+use doppio::schedtest::{PctScheduler, SeededRandomScheduler};
+
+/// Run `src` to completion under `sched` and return its stdout.
+fn run_with(classes: &[(String, Vec<u8>)], sched: Box<dyn Scheduler>) -> String {
+    let engine = Engine::new(Browser::Chrome);
+    let fs = FileSystem::new(&engine, backends::in_memory(&engine));
+    fsutil::mount_class_files(&engine, &fs, "/classes", classes);
+    let jvm = Jvm::new(&engine, fs);
+    jvm.runtime().set_scheduler(sched);
+    jvm.launch("Main", &[]);
+    let r = jvm.run_to_completion().expect("no deadlock");
+    assert!(r.uncaught.is_none(), "uncaught: {:?}", r.uncaught);
+    r.stdout
+}
+
+/// The scheduler zoo every conformance guest runs under: round-robin,
+/// five seeded-random schedules, and two PCT schedules.
+fn zoo() -> Vec<(String, Box<dyn Scheduler>)> {
+    let mut v: Vec<(String, Box<dyn Scheduler>)> = vec![(
+        "round-robin".to_string(),
+        Box::new(doppio::core::RoundRobinScheduler::default()),
+    )];
+    for seed in 1..=5u64 {
+        v.push((
+            format!("seeded({seed})"),
+            Box::new(SeededRandomScheduler::new(seed)),
+        ));
+    }
+    for seed in [11u64, 12] {
+        v.push((
+            format!("pct({seed})"),
+            Box::new(PctScheduler::new(seed, 3, 400)),
+        ));
+    }
+    v
+}
+
+/// Assert `src` prints `expected` under every scheduler in the zoo.
+fn conformant(src: &str, expected: &str) {
+    let classes = compile_to_bytes(src).unwrap();
+    for (name, sched) in zoo() {
+        let out = run_with(&classes, sched);
+        assert_eq!(out, expected, "schedule {name} diverged");
+    }
+}
+
+#[test]
+fn producer_consumer_handoff_is_schedule_independent() {
+    // Bounded-buffer handoff with wait/notifyAll: the consumer must see
+    // every value exactly once, in order, no matter how the schedulers
+    // interleave the two threads.
+    conformant(
+        r#"
+        class Box {
+            int value;
+            boolean full;
+            Box() { this.full = false; }
+            synchronized void put(int v) {
+                while (full) { this.wait(); }
+                value = v;
+                full = true;
+                this.notifyAll();
+            }
+            synchronized int take() {
+                while (!full) { this.wait(); }
+                full = false;
+                this.notifyAll();
+                return value;
+            }
+        }
+        class Producer extends Thread {
+            Box box;
+            Producer(Box b) { this.box = b; }
+            void run() {
+                for (int i = 1; i <= 8; i++) {
+                    box.put(i);
+                    Thread.yield();
+                }
+            }
+        }
+        class Main {
+            static void main(String[] args) {
+                Box box = new Box();
+                Producer p = new Producer(box);
+                p.start();
+                for (int i = 0; i < 8; i++) {
+                    System.out.println(box.take());
+                    Thread.yield();
+                }
+                p.join();
+                System.out.println("done");
+            }
+        }
+        "#,
+        "1\n2\n3\n4\n5\n6\n7\n8\ndone\n",
+    );
+}
+
+#[test]
+fn join_fan_in_is_schedule_independent() {
+    // Four workers add into a synchronized accumulator; main joins all
+    // of them before reading. The total is schedule-independent, and
+    // the join barrier guarantees main reads it only after every worker
+    // finished.
+    conformant(
+        r#"
+        class Acc {
+            int total;
+            synchronized void add(int d) { total += d; }
+            synchronized int get() { return total; }
+        }
+        class Worker extends Thread {
+            Acc acc;
+            int base;
+            Worker(Acc a, int b) { this.acc = a; this.base = b; }
+            void run() {
+                for (int i = 0; i < 5; i++) {
+                    acc.add(base);
+                    Thread.yield();
+                }
+            }
+        }
+        class Main {
+            static void main(String[] args) {
+                Acc acc = new Acc();
+                Worker[] ws = new Worker[4];
+                for (int i = 0; i < 4; i++) {
+                    ws[i] = new Worker(acc, i + 1);
+                    ws[i].start();
+                }
+                for (int i = 0; i < 4; i++) { ws[i].join(); }
+                System.out.println("total=" + acc.get());
+            }
+        }
+        "#,
+        // 5 * (1+2+3+4)
+        "total=50\n",
+    );
+}
+
+#[test]
+fn monitor_reentrancy_is_schedule_independent() {
+    // A synchronized method calls another synchronized method on the
+    // same receiver (and recurses): reentrant acquisition must never
+    // self-deadlock, under any schedule, and the recursion count must
+    // unwind correctly so the other thread gets the monitor afterwards.
+    conformant(
+        r#"
+        class R {
+            int depth;
+            synchronized int enter(int n) {
+                depth += 1;
+                Thread.yield();
+                int d;
+                if (n > 0) { d = this.enter(n - 1); } else { d = this.peak(); }
+                depth -= 1;
+                return d;
+            }
+            synchronized int peak() { return depth; }
+        }
+        class Other extends Thread {
+            R r;
+            Other(R r) { this.r = r; }
+            void run() { System.out.println("other=" + r.enter(2)); }
+        }
+        class Main {
+            static void main(String[] args) {
+                R r = new R();
+                System.out.println("main=" + r.enter(3));
+                Other o = new Other(r);
+                o.start();
+                o.join();
+            }
+        }
+        "#,
+        "main=4\nother=3\n",
+    );
+}
+
+#[test]
+fn notify_all_wakes_every_waiter() {
+    // N threads park on a latch; main opens it with notifyAll. All of
+    // them must wake and finish under every schedule — notifyAll's
+    // wake-everyone semantics cannot depend on pick order.
+    conformant(
+        r#"
+        class Latch {
+            boolean open;
+            int through;
+            synchronized void await() {
+                while (!open) { this.wait(); }
+                through += 1;
+            }
+            synchronized void release() {
+                open = true;
+                this.notifyAll();
+            }
+            synchronized int count() { return through; }
+        }
+        class Waiter extends Thread {
+            Latch l;
+            Waiter(Latch l) { this.l = l; }
+            void run() { l.await(); }
+        }
+        class Main {
+            static void main(String[] args) {
+                Latch l = new Latch();
+                Waiter[] ws = new Waiter[3];
+                for (int i = 0; i < 3; i++) {
+                    ws[i] = new Waiter(l);
+                    ws[i].start();
+                }
+                Thread.yield();
+                Thread.yield();
+                l.release();
+                for (int i = 0; i < 3; i++) { ws[i].join(); }
+                System.out.println("through=" + l.count());
+            }
+        }
+        "#,
+        "through=3\n",
+    );
+}
+
+#[test]
+fn single_notify_hands_off_one_permit_at_a_time() {
+    // notify-vs-notifyAll: a one-permit semaphore released K times with
+    // single notify() must let exactly K acquisitions through in total,
+    // regardless of which waiter each notify picks. Output observes the
+    // schedule-independent total, not the (schedule-dependent) order.
+    conformant(
+        r#"
+        class Sem {
+            int permits;
+            int acquired;
+            synchronized void acquire() {
+                while (permits == 0) { this.wait(); }
+                permits -= 1;
+                acquired += 1;
+            }
+            synchronized void release() {
+                permits += 1;
+                this.notify();
+            }
+            synchronized int total() { return acquired; }
+        }
+        class Taker extends Thread {
+            Sem s;
+            Taker(Sem s) { this.s = s; }
+            void run() { s.acquire(); Thread.yield(); s.release(); }
+        }
+        class Main {
+            static void main(String[] args) {
+                Sem s = new Sem();
+                Taker[] ts = new Taker[4];
+                for (int i = 0; i < 4; i++) {
+                    ts[i] = new Taker(s);
+                    ts[i].start();
+                }
+                s.release();
+                for (int i = 0; i < 4; i++) { ts[i].join(); }
+                System.out.println("acquired=" + s.total());
+            }
+        }
+        "#,
+        "acquired=4\n",
+    );
+}
