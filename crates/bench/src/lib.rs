@@ -117,82 +117,11 @@ pub mod results {
         path
     }
 
-    /// Serialize a [`Json`] value (pretty, two-space indent, keys in
-    /// `BTreeMap` order — deterministic across runs).
+    /// Serialize a [`Json`] value. Delegates to the shared writer in
+    /// [`doppio_trace::json::to_string`] (pretty, two-space indent,
+    /// keys in `BTreeMap` order — deterministic across runs).
     pub fn serialize(v: &Json) -> String {
-        let mut out = String::new();
-        emit(v, 0, &mut out);
-        out.push('\n');
-        out
-    }
-
-    fn emit(v: &Json, indent: usize, out: &mut String) {
-        match v {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => {
-                if n.fract() == 0.0 && n.abs() < 1e15 {
-                    out.push_str(&format!("{}", *n as i64));
-                } else {
-                    out.push_str(&format!("{n}"));
-                }
-            }
-            Json::Str(s) => emit_str(s, out),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    out.push_str(&"  ".repeat(indent + 1));
-                    emit(item, indent + 1, out);
-                }
-                out.push('\n');
-                out.push_str(&"  ".repeat(indent));
-                out.push(']');
-            }
-            Json::Obj(m) => {
-                if m.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, val)) in m.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    out.push_str(&"  ".repeat(indent + 1));
-                    emit_str(k, out);
-                    out.push_str(": ");
-                    emit(val, indent + 1, out);
-                }
-                out.push('\n');
-                out.push_str(&"  ".repeat(indent));
-                out.push('}');
-            }
-        }
-    }
-
-    fn emit_str(s: &str, out: &mut String) {
-        out.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\r' => out.push_str("\\r"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out.push('"');
+        json::to_string(v)
     }
 
     /// The standard measurement section for one workload run.
@@ -227,13 +156,6 @@ pub mod results {
             let v = Json::Obj(obj);
             let text = serialize(&v);
             assert_eq!(json::parse(&text).unwrap(), v);
-        }
-
-        #[test]
-        fn integers_serialize_without_fraction() {
-            let mut s = String::new();
-            emit(&Json::Num(12345.0), 0, &mut s);
-            assert_eq!(s, "12345");
         }
     }
 }

@@ -51,10 +51,12 @@
 //! assert_eq!(engine.stats().watchdog_kills, 0);
 //! ```
 
+pub mod report;
 pub mod runtime;
 pub mod suspend;
 pub mod waitgraph;
 
+pub use report::RunReport;
 pub use runtime::{
     AsyncCell, AsyncResolver, BlockTimeout, DoppioRuntime, GuestThread, RoundRobinScheduler,
     RuntimeError, RuntimeStats, Scheduler, ThreadContext, ThreadId, ThreadState, ThreadStep,

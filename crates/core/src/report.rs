@@ -1,0 +1,466 @@
+//! The end-of-run report: one artifact answering "where did the
+//! virtual time go?"
+//!
+//! [`RunReport`] aggregates everything the observability stack knows
+//! about a finished run — counter snapshots, histogram percentiles,
+//! profiler top-N frames, the wait-graph's verdict, fault/retry
+//! counts, and trace-drop statistics — and renders it as markdown (for
+//! humans and CI artifacts) and JSON (for tooling). Both renderings
+//! are byte-deterministic: every number in them comes from the virtual
+//! clock or deterministic interpreter state, and every collection is
+//! sorted, so equal runs produce equal reports.
+//!
+//! Build one with [`RunReport::collect`], then chain
+//! [`with_runtime`](RunReport::with_runtime) /
+//! [`with_trace`](RunReport::with_trace) for the optional sections.
+
+use std::collections::BTreeMap;
+
+use doppio_jsengine::Engine;
+use doppio_trace::json::{self, Json};
+use doppio_trace::{HistogramSnapshot, RingSink};
+
+use crate::runtime::DoppioRuntime;
+
+/// How many frames the profiler sections keep.
+const TOP_N: usize = 10;
+
+/// Percentile summary of one named histogram.
+#[derive(Clone, Debug)]
+pub struct HistRow {
+    /// Registry name (`engine.event_latency`, `fs.op_ns`, …).
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Mean sample value.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl HistRow {
+    /// Summarize a snapshot under `name`.
+    pub fn from_snapshot(name: &str, snap: &HistogramSnapshot) -> HistRow {
+        HistRow {
+            name: name.to_string(),
+            count: snap.count,
+            mean: snap.mean(),
+            p50: snap.percentile(50.0),
+            p90: snap.percentile(90.0),
+            p95: snap.percentile(95.0),
+            p99: snap.percentile(99.0),
+            max: snap.max,
+        }
+    }
+}
+
+/// What the sampling profiler saw.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileSummary {
+    /// Total sample weight.
+    pub samples: u64,
+    /// Sampling interval, virtual ns.
+    pub interval_ns: u64,
+    /// Heaviest leaf frames (self weight).
+    pub top_self: Vec<(String, u64)>,
+    /// Heaviest frames anywhere on a stack (total weight).
+    pub top_total: Vec<(String, u64)>,
+}
+
+/// The wait-graph's verdict on the run.
+#[derive(Clone, Debug, Default)]
+pub struct WaitGraphSummary {
+    /// Rendered deadlock cycle, if one was detected.
+    pub deadlock: Option<String>,
+    /// Rendered lock-order-inversion warnings.
+    pub lock_order_warnings: Vec<String>,
+}
+
+/// Ring-buffer truncation statistics for the recorded trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// Events still in the ring at export time.
+    pub recorded: u64,
+    /// Ring capacity.
+    pub capacity: u64,
+    /// Events evicted for lack of space.
+    pub dropped: u64,
+}
+
+/// The aggregated end-of-run artifact. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Report title (workload id, browser, …).
+    pub title: String,
+    /// Virtual time at collection, ns.
+    pub now_ns: u64,
+    /// Every registry counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Every non-empty histogram, summarized, sorted by name.
+    pub histograms: Vec<HistRow>,
+    /// Profiler section (present when a profiler was attached).
+    pub profile: Option<ProfileSummary>,
+    /// Wait-graph section (present after `with_runtime`).
+    pub waitgraph: Option<WaitGraphSummary>,
+    /// Trace section (present after `with_trace`).
+    pub trace: Option<TraceSummary>,
+}
+
+impl RunReport {
+    /// Snapshot the engine's registry (counters + histograms) and
+    /// attached profiler.
+    pub fn collect(title: impl Into<String>, engine: &Engine) -> RunReport {
+        let metrics = engine.metrics();
+        let histograms = metrics
+            .histograms_with_prefix("")
+            .iter()
+            .map(|(name, snap)| HistRow::from_snapshot(name, snap))
+            .collect();
+        let profile = engine.profiler().map(|p| ProfileSummary {
+            samples: p.samples(),
+            interval_ns: p.interval_ns(),
+            top_self: p.top_self(TOP_N),
+            top_total: p.top_total(TOP_N),
+        });
+        RunReport {
+            title: title.into(),
+            now_ns: engine.now_ns(),
+            counters: metrics.with_prefix(""),
+            histograms,
+            profile,
+            waitgraph: None,
+            trace: None,
+        }
+    }
+
+    /// Add the wait-graph section from `runtime`.
+    pub fn with_runtime(mut self, runtime: &DoppioRuntime) -> RunReport {
+        self.waitgraph = Some(WaitGraphSummary {
+            deadlock: runtime.deadlock_report().map(|r| r.to_string()),
+            lock_order_warnings: runtime
+                .lock_order_warnings()
+                .iter()
+                .map(|w| w.to_string())
+                .collect(),
+        });
+        self
+    }
+
+    /// Add the trace-truncation section from `sink`.
+    pub fn with_trace(mut self, sink: &RingSink) -> RunReport {
+        self.trace = Some(TraceSummary {
+            recorded: sink.len() as u64,
+            capacity: sink.capacity() as u64,
+            dropped: sink.dropped(),
+        });
+        self
+    }
+
+    /// The summarized row for histogram `name`, if it recorded samples.
+    pub fn histogram(&self, name: &str) -> Option<&HistRow> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The value of counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Counters that record injected faults and recovery retries
+    /// (`fault.*`, `*.retries`, `*.reconnect*`).
+    pub fn fault_counters(&self) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .filter(|(n, _)| {
+                n.starts_with("fault.") || n.ends_with(".retries") || n.contains(".reconnect")
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// One human paragraph: the headline numbers a run ends with.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "{}: ran {} events over {:.1} ms of virtual time",
+            self.title,
+            self.counter("engine.events_run"),
+            self.now_ns as f64 / 1e6,
+        );
+        if let Some(h) = self.histogram("engine.event_latency") {
+            s.push_str(&format!(
+                "; event latency p50 {:.3} ms / p95 {:.3} ms / max {:.3} ms over {} events",
+                h.p50 as f64 / 1e6,
+                h.p95 as f64 / 1e6,
+                h.max as f64 / 1e6,
+                h.count,
+            ));
+        }
+        let kills = self.counter("engine.watchdog_kills");
+        s.push_str(&format!("; {kills} watchdog kills"));
+        let faults: u64 = self.fault_counters().iter().map(|(_, v)| v).sum();
+        if faults > 0 {
+            s.push_str(&format!("; {faults} faults/retries"));
+        }
+        if let Some(p) = &self.profile {
+            s.push_str(&format!("; {} profile samples", p.samples));
+            if let Some((frame, _)) = p.top_self.first() {
+                s.push_str(&format!(" (hottest: {frame})"));
+            }
+        }
+        if let Some(t) = &self.trace {
+            if t.dropped > 0 {
+                s.push_str(&format!(
+                    "; trace TRUNCATED: {} events dropped",
+                    t.dropped
+                ));
+            }
+        }
+        if let Some(w) = &self.waitgraph {
+            if w.deadlock.is_some() {
+                s.push_str("; DEADLOCK detected");
+            }
+        }
+        s.push('.');
+        s
+    }
+
+    /// Render the full report as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut md = format!("# Run report: {}\n\n{}\n", self.title, self.summary());
+
+        if !self.histograms.is_empty() {
+            md.push_str("\n## Latency histograms\n\n");
+            md.push_str("| histogram | count | mean | p50 | p90 | p95 | p99 | max |\n");
+            md.push_str("|---|---:|---:|---:|---:|---:|---:|---:|\n");
+            for h in &self.histograms {
+                md.push_str(&format!(
+                    "| `{}` | {} | {:.1} | {} | {} | {} | {} | {} |\n",
+                    h.name, h.count, h.mean, h.p50, h.p90, h.p95, h.p99, h.max
+                ));
+            }
+        }
+
+        if let Some(p) = &self.profile {
+            md.push_str(&format!(
+                "\n## Profile ({} samples, every {} virtual ns)\n",
+                p.samples, p.interval_ns
+            ));
+            for (label, frames) in [("self", &p.top_self), ("total", &p.top_total)] {
+                md.push_str(&format!("\n### Top frames by {label} weight\n\n"));
+                for (frame, w) in frames {
+                    md.push_str(&format!("- `{frame}` — {w}\n"));
+                }
+            }
+        }
+
+        let faults = self.fault_counters();
+        if !faults.is_empty() {
+            md.push_str("\n## Faults and retries\n\n");
+            for (name, v) in &faults {
+                md.push_str(&format!("- `{name}`: {v}\n"));
+            }
+        }
+
+        if let Some(w) = &self.waitgraph {
+            md.push_str("\n## Wait graph\n\n");
+            match &w.deadlock {
+                Some(d) => md.push_str(&format!("- **deadlock**: {d}\n")),
+                None => md.push_str("- no deadlock detected\n"),
+            }
+            for warn in &w.lock_order_warnings {
+                md.push_str(&format!("- lock-order warning: {warn}\n"));
+            }
+        }
+
+        if let Some(t) = &self.trace {
+            md.push_str(&format!(
+                "\n## Trace\n\n- {} events recorded (capacity {}), {} dropped{}\n",
+                t.recorded,
+                t.capacity,
+                t.dropped,
+                if t.dropped > 0 {
+                    " — **trace is truncated**"
+                } else {
+                    ""
+                }
+            ));
+        }
+
+        md.push_str("\n## Counters\n\n");
+        for (name, v) in &self.counters {
+            md.push_str(&format!("- `{name}`: {v}\n"));
+        }
+        md
+    }
+
+    /// Render the full report as a JSON document (deterministic key
+    /// order, trailing newline).
+    pub fn to_json_string(&self) -> String {
+        json::to_string(&self.to_json())
+    }
+
+    /// The report as a [`Json`] value.
+    pub fn to_json(&self) -> Json {
+        let mut root = BTreeMap::new();
+        root.insert("title".into(), Json::Str(self.title.clone()));
+        root.insert("now_ns".into(), Json::Num(self.now_ns as f64));
+
+        let counters: BTreeMap<String, Json> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+            .collect();
+        root.insert("counters".into(), Json::Obj(counters));
+
+        let hists: BTreeMap<String, Json> = self
+            .histograms
+            .iter()
+            .map(|h| {
+                let mut o = BTreeMap::new();
+                o.insert("count".into(), Json::Num(h.count as f64));
+                o.insert("mean".into(), Json::Num(h.mean));
+                o.insert("p50".into(), Json::Num(h.p50 as f64));
+                o.insert("p90".into(), Json::Num(h.p90 as f64));
+                o.insert("p95".into(), Json::Num(h.p95 as f64));
+                o.insert("p99".into(), Json::Num(h.p99 as f64));
+                o.insert("max".into(), Json::Num(h.max as f64));
+                (h.name.clone(), Json::Obj(o))
+            })
+            .collect();
+        root.insert("histograms".into(), Json::Obj(hists));
+
+        if let Some(p) = &self.profile {
+            let mut o = BTreeMap::new();
+            o.insert("samples".into(), Json::Num(p.samples as f64));
+            o.insert("interval_ns".into(), Json::Num(p.interval_ns as f64));
+            let frames = |v: &[(String, u64)]| {
+                Json::Arr(
+                    v.iter()
+                        .map(|(f, w)| {
+                            Json::Arr(vec![Json::Str(f.clone()), Json::Num(*w as f64)])
+                        })
+                        .collect(),
+                )
+            };
+            o.insert("top_self".into(), frames(&p.top_self));
+            o.insert("top_total".into(), frames(&p.top_total));
+            root.insert("profile".into(), Json::Obj(o));
+        }
+
+        if let Some(w) = &self.waitgraph {
+            let mut o = BTreeMap::new();
+            o.insert(
+                "deadlock".into(),
+                match &w.deadlock {
+                    Some(d) => Json::Str(d.clone()),
+                    None => Json::Null,
+                },
+            );
+            o.insert(
+                "lock_order_warnings".into(),
+                Json::Arr(
+                    w.lock_order_warnings
+                        .iter()
+                        .map(|s| Json::Str(s.clone()))
+                        .collect(),
+                ),
+            );
+            root.insert("waitgraph".into(), Json::Obj(o));
+        }
+
+        if let Some(t) = &self.trace {
+            let mut o = BTreeMap::new();
+            o.insert("recorded".into(), Json::Num(t.recorded as f64));
+            o.insert("capacity".into(), Json::Num(t.capacity as f64));
+            o.insert("dropped".into(), Json::Num(t.dropped as f64));
+            root.insert("trace".into(), Json::Obj(o));
+        }
+
+        Json::Obj(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppio_jsengine::{Browser, EngineBuilder};
+    use doppio_trace::Profiler;
+
+    fn sample_engine() -> Engine {
+        let e = EngineBuilder::new(Browser::Chrome)
+            .histograms(true)
+            .profiler(Profiler::new(1_000))
+            .build();
+        for _ in 0..5 {
+            e.send_message(|eng| eng.advance_ns(10_000));
+        }
+        e.run_until_idle();
+        e
+    }
+
+    #[test]
+    fn collect_summarizes_counters_and_histograms() {
+        let e = sample_engine();
+        let r = RunReport::collect("unit", &e);
+        assert_eq!(r.counter("engine.events_run"), 5);
+        let h = r.histogram("engine.event_latency").expect("latency rows");
+        assert_eq!(h.count, 5);
+        assert!(h.p50 <= h.p95 && h.p95 <= h.max);
+        assert!(r.profile.as_ref().unwrap().samples > 0);
+        let md = r.to_markdown();
+        assert!(md.contains("# Run report: unit"));
+        assert!(md.contains("engine.event_latency"));
+        assert!(r.summary().contains("ran 5 events"));
+    }
+
+    #[test]
+    fn json_rendering_parses_and_is_deterministic() {
+        let r1 = RunReport::collect("unit", &sample_engine());
+        let r2 = RunReport::collect("unit", &sample_engine());
+        let (j1, j2) = (r1.to_json_string(), r2.to_json_string());
+        assert_eq!(j1, j2, "same workload, byte-identical report");
+        let parsed = json::parse(&j1).expect("report JSON parses");
+        assert_eq!(parsed.get("title").unwrap().as_str(), Some("unit"));
+        assert!(parsed
+            .get("histograms")
+            .unwrap()
+            .get("engine.event_latency")
+            .is_some());
+    }
+
+    #[test]
+    fn trace_section_reports_truncation() {
+        use doppio_trace::{cat, Phase, TraceEvent, TraceSink};
+        let sink = RingSink::with_capacity(4);
+        for i in 0..9u64 {
+            sink.record(TraceEvent {
+                name: "tick".into(),
+                cat: cat::ENGINE,
+                phase: Phase::Instant,
+                ts_ns: i,
+                dur_ns: 0,
+                tid: 0,
+                args: vec![],
+            });
+        }
+        let e = EngineBuilder::new(Browser::Chrome).build();
+        let r = RunReport::collect("t", &e).with_trace(&sink);
+        let t = r.trace.as_ref().unwrap();
+        assert_eq!(t.capacity, 4);
+        assert_eq!(t.dropped, 5);
+        assert!(r.summary().contains("TRUNCATED"));
+        assert!(r.to_markdown().contains("trace is truncated"));
+    }
+}

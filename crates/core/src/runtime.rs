@@ -17,7 +17,7 @@ use std::rc::Rc;
 
 use doppio_jsengine::profile::ResumeMechanism;
 use doppio_jsengine::Engine;
-use doppio_trace::{cat, ArgValue};
+use doppio_trace::{cat, ArgValue, Histogram};
 
 use crate::suspend::{SuspendTimer, DEFAULT_TIME_SLICE_NS};
 use crate::waitgraph::{BlockEdge, DeadlockReport, LockOrderWarning, Resource, WaitGraph};
@@ -203,6 +203,31 @@ struct Inner {
     deadlock: Option<DeadlockReport>,
 }
 
+/// Distribution metrics for the Figure 5 analysis, resolved once at
+/// construction like the engine's counters. Recording is gated by the
+/// registry's histogram flag (off by default).
+#[derive(Clone)]
+struct CoreHists {
+    /// Virtual duration of each executed slice.
+    slice_ns: Histogram,
+    /// Virtual duration of each suspension interval (yield → resume).
+    suspended_ns: Histogram,
+    /// The adaptive counter's value each time the suspend timer fires —
+    /// its calibration trajectory over the run.
+    suspend_counter: Histogram,
+}
+
+impl CoreHists {
+    fn new(engine: &Engine) -> CoreHists {
+        let m = engine.metrics();
+        CoreHists {
+            slice_ns: m.histogram("core.slice_ns"),
+            suspended_ns: m.histogram("core.suspended_ns"),
+            suspend_counter: m.histogram("core.suspend_counter"),
+        }
+    }
+}
+
 /// The Doppio execution environment.
 ///
 /// Cheaply cloneable handle; strictly single-threaded (it lives on the
@@ -211,6 +236,7 @@ struct Inner {
 pub struct DoppioRuntime {
     engine: Engine,
     inner: Rc<RefCell<Inner>>,
+    hists: CoreHists,
 }
 
 impl fmt::Debug for DoppioRuntime {
@@ -245,6 +271,7 @@ impl DoppioRuntime {
         }
         DoppioRuntime {
             engine: engine.clone(),
+            hists: CoreHists::new(engine),
             inner: Rc::new(RefCell::new(Inner {
                 threads: Vec::new(),
                 scheduler,
@@ -517,6 +544,7 @@ impl DoppioRuntime {
             inner.tick_scheduled = false;
             if let Some(t0) = inner.suspend_started_at.take() {
                 inner.stats.suspended_ns += now.saturating_sub(t0);
+                self.hists.suspended_ns.record(now.saturating_sub(t0));
                 self.engine.tracer().complete(
                     cat::CORE,
                     "suspended",
@@ -567,6 +595,23 @@ impl DoppioRuntime {
         let mut ctx = self.make_ctx(id);
         let slice_start = self.engine.now_ns();
         let step = thread.run(&mut ctx);
+        self.hists
+            .slice_ns
+            .record(self.engine.now_ns() - slice_start);
+        // A thread without interior sample points (non-JVM guests)
+        // still attributes its slices to the profile.
+        if let Some(p) = self.engine.profiler() {
+            let now_end = self.engine.now_ns();
+            if p.due(now_end) {
+                let root = self
+                    .engine
+                    .current_event()
+                    .map(|k| k.name())
+                    .unwrap_or("run");
+                let name = self.inner.borrow().threads[id.0].name.clone();
+                p.sample(now_end, [root, name.as_str(), "<slice>"]);
+            }
+        }
         let tracer = self.engine.tracer();
         if tracer.enabled() {
             let step_name = match step {
@@ -671,10 +716,12 @@ impl ThreadContext<'_> {
         let fired = inner.timer.check(now);
         if fired {
             // The timer just recalibrated its counter; record the
-            // adjustment so traces show segmentation adapting.
+            // adjustment so traces and the counter-trajectory
+            // histogram show segmentation adapting.
+            let counter = inner.timer.counter_initial();
+            self.runtime.hists.suspend_counter.record(counter);
             let tracer = self.runtime.engine.tracer();
             if tracer.enabled() {
-                let counter = inner.timer.counter_initial();
                 let avg = inner.timer.avg_ns_per_check();
                 drop(inner);
                 tracer.instant(

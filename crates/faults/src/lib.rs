@@ -248,6 +248,12 @@ impl FaultPlan {
             fault
         };
         if let Some(f) = fault {
+            // Faults are rare; a registry lookup here is fine and lets
+            // the RunReport count injections without holding the plan.
+            engine
+                .metrics()
+                .counter(&format!("fault.net.{}", f.name()))
+                .inc();
             let tracer = engine.tracer();
             if tracer.enabled() {
                 tracer.instant(
@@ -303,6 +309,10 @@ impl FaultPlan {
             fault
         };
         if let Some(f) = fault {
+            engine
+                .metrics()
+                .counter(&format!("fault.fs.{}", f.name()))
+                .inc();
             let tracer = engine.tracer();
             if tracer.enabled() {
                 tracer.instant(

@@ -144,8 +144,10 @@ const FRONTEND_LATENCY_NS: u64 = 2_000;
 /// Wrap an operation callback in a trace span: the span covers the
 /// whole asynchronous operation, from the frontend call to callback
 /// delivery, tagged with the backend name, success, and a byte count
-/// for data-moving operations. When tracing is off the callback is
-/// returned untouched (no allocation, no clock reads).
+/// for data-moving operations. The same span duration feeds the
+/// `fs.op_ns` latency histogram when histograms are on. When both
+/// tracing and histograms are off the callback is returned untouched
+/// (no allocation, no clock reads).
 fn trace_op<T: 'static>(
     engine: &Engine,
     name: &'static str,
@@ -153,28 +155,27 @@ fn trace_op<T: 'static>(
     bytes_of: impl Fn(&FsResult<T>) -> u64 + 'static,
     cb: FsCallback<T>,
 ) -> FsCallback<T> {
-    if !engine.tracer().enabled() {
+    let tracer_on = engine.tracer().enabled();
+    if !tracer_on && !engine.metrics().histograms_enabled() {
         return cb;
     }
     let tracer = engine.tracer().clone();
     let start = engine.now_ns();
     Box::new(move |e: &Engine, r: FsResult<T>| {
-        let bytes = bytes_of(&r);
-        let mut args = vec![
-            ("backend", ArgValue::from(backend)),
-            ("ok", ArgValue::Bool(r.is_ok())),
-        ];
-        if bytes > 0 {
-            args.push(("bytes", ArgValue::U64(bytes)));
+        let dur = e.now_ns().saturating_sub(start);
+        let hist = e.metrics().histogram("fs.op_ns");
+        hist.record(dur);
+        if tracer_on {
+            let bytes = bytes_of(&r);
+            let mut args = vec![
+                ("backend", ArgValue::from(backend)),
+                ("ok", ArgValue::Bool(r.is_ok())),
+            ];
+            if bytes > 0 {
+                args.push(("bytes", ArgValue::U64(bytes)));
+            }
+            tracer.complete(cat::FS, name, start, dur, 0, args);
         }
-        tracer.complete(
-            cat::FS,
-            name,
-            start,
-            e.now_ns().saturating_sub(start),
-            0,
-            args,
-        );
         cb(e, r);
     })
 }

@@ -35,6 +35,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use doppio_jsengine::{Cost, Engine};
+use doppio_trace::Histogram;
 
 /// A byte address into the heap.
 pub type Addr = usize;
@@ -164,6 +165,9 @@ pub struct UnmanagedHeap {
     /// Whether the backing buffer has been registered with the
     /// engine's memory model (done lazily on first malloc).
     registered: bool,
+    /// `heap.scan_len`: free-blocks examined per malloc, a live
+    /// fragmentation/policy signal for the RunReport.
+    scan_hist: Histogram,
 }
 
 impl fmt::Debug for UnmanagedHeap {
@@ -212,6 +216,7 @@ impl UnmanagedHeap {
             live: BTreeMap::new(),
             stats: HeapStats::default(),
             registered: false,
+            scan_hist: engine.metrics().histogram("heap.scan_len"),
         };
         if words > 0 {
             heap.insert_free(0, words * 4);
@@ -320,6 +325,7 @@ impl UnmanagedHeap {
             }
         }
         self.stats.blocks_scanned += scanned;
+        self.scan_hist.record(scanned);
         self.engine.charge_n(Cost::MapOp, scanned);
         let (addr, block_size) = chosen.ok_or_else(|| HeapError::OutOfMemory {
             requested: size,

@@ -6,7 +6,7 @@ use std::collections::HashSet;
 use std::fmt;
 use std::rc::Rc;
 
-use doppio_trace::{cat, ArgValue, Counter, MetricsRegistry, TraceSink, Tracer};
+use doppio_trace::{cat, ArgValue, Counter, Histogram, MetricsRegistry, Profiler, TraceSink, Tracer};
 
 use crate::error::{EngineError, EngineResult};
 use crate::event_loop::{EventKind, EventQueue, ScheduledEvent};
@@ -53,6 +53,10 @@ struct Inner {
     memory: RefCell<MemoryModel>,
     storage: RefCell<StorageSet>,
     event_depth: Cell<u32>,
+    /// Kind of the event whose callback is currently running; the
+    /// profiler uses it as the stack root for attribution.
+    current_event: Cell<Option<EventKind>>,
+    profiler: Option<Profiler>,
 }
 
 /// Counter handles resolved once at construction, so the charge path
@@ -67,6 +71,11 @@ struct EngineCounters {
     ops: [Counter; COST_CATEGORIES],
     ns: [Counter; COST_CATEGORIES],
     events_by_kind: [Counter; 5],
+    /// Queue-wait + dispatch latency per event (virtual ns): how long
+    /// after its due time a callback actually started. The Figure 5
+    /// responsiveness metric. Gated by the registry's histogram flag.
+    event_latency: Histogram,
+    event_latency_by_kind: [Histogram; 5],
 }
 
 impl EngineCounters {
@@ -82,6 +91,10 @@ impl EngineCounters {
             ns: std::array::from_fn(|i| reg.counter(&format!("engine.ns.{}", Cost::ALL[i].name()))),
             events_by_kind: std::array::from_fn(|i| {
                 reg.counter(&format!("engine.events.{}", EventKind::ALL[i].name()))
+            }),
+            event_latency: reg.histogram("engine.event_latency"),
+            event_latency_by_kind: std::array::from_fn(|i| {
+                reg.histogram(&format!("engine.event_latency.{}", EventKind::ALL[i].name()))
             }),
         }
     }
@@ -109,6 +122,8 @@ pub struct EngineBuilder {
     metrics: MetricsRegistry,
     watchdog_override: Option<Option<u64>>,
     rng_seed: u64,
+    histograms: Option<bool>,
+    profiler: Option<Profiler>,
 }
 
 impl EngineBuilder {
@@ -125,6 +140,8 @@ impl EngineBuilder {
             metrics: MetricsRegistry::new(),
             watchdog_override: None,
             rng_seed: 0,
+            histograms: None,
+            profiler: None,
         }
     }
 
@@ -162,6 +179,24 @@ impl EngineBuilder {
         self
     }
 
+    /// Turn latency histograms on (or explicitly off) for the metrics
+    /// registry. Off by default; when off, every
+    /// [`Histogram::record`] site is a single branch. Histograms never
+    /// advance the virtual clock, so enabling them cannot change
+    /// simulated results.
+    pub fn histograms(mut self, on: bool) -> EngineBuilder {
+        self.histograms = Some(on);
+        self
+    }
+
+    /// Attach a virtual-clock sampling [`Profiler`]. Suspend/slice
+    /// boundaries check it and fold the live stacks; see
+    /// `docs/observability.md`.
+    pub fn profiler(mut self, profiler: Profiler) -> EngineBuilder {
+        self.profiler = Some(profiler);
+        self
+    }
+
     /// Construct the engine.
     pub fn build(self) -> Engine {
         let mut profile = self.profile;
@@ -170,6 +205,9 @@ impl EngineBuilder {
         }
         let memory = MemoryModel::new(profile.leaks_typed_arrays, profile.paging_threshold_bytes);
         let storage = StorageSet::for_profile(&profile);
+        if let Some(on) = self.histograms {
+            self.metrics.set_histograms_enabled(on);
+        }
         let counters = EngineCounters::new(&self.metrics);
         let tracer = self.tracer;
         if tracer.enabled() {
@@ -189,6 +227,8 @@ impl EngineBuilder {
                 memory: RefCell::new(memory),
                 storage: RefCell::new(storage),
                 event_depth: Cell::new(0),
+                current_event: Cell::new(None),
+                profiler: self.profiler,
             }),
         }
     }
@@ -403,12 +443,32 @@ impl Engine {
         let dispatch_start = self.now_ns();
         self.charge(Cost::EventDispatch);
         let start = self.now_ns();
+        // Event latency: how long past its due time the callback
+        // started (queue wait behind earlier events + the dispatch
+        // charge). For an input injected at t0 this equals the
+        // `now_ns() - t0` a responsiveness probe measures on entry.
+        let counters = &self.inner.counters;
+        if counters.event_latency.is_enabled() {
+            let latency = start - ev.due_ns;
+            counters.event_latency.record(latency);
+            counters.event_latency_by_kind[ev.kind.index()].record(latency);
+        }
         self.inner.event_depth.set(self.inner.event_depth.get() + 1);
+        let prev_event = self.inner.current_event.replace(Some(ev.kind));
         (ev.cb)(self);
+        // A callback that ran no deeper sample point (no JVM slice, no
+        // fs/net boundary) still shows up in the profile under its
+        // event kind.
+        if let Some(p) = self.inner.profiler.as_ref() {
+            let now = self.now_ns();
+            if p.due(now) {
+                p.sample(now, [ev.kind.name()]);
+            }
+        }
+        self.inner.current_event.set(prev_event);
         self.inner.event_depth.set(self.inner.event_depth.get() - 1);
         let elapsed = self.now_ns() - start;
 
-        let counters = &self.inner.counters;
         counters.events_run.inc();
         counters.events_by_kind[ev.kind.index()].inc();
         counters.total_event_ns.add(elapsed);
@@ -463,6 +523,18 @@ impl Engine {
     /// Whether the loop is currently inside an event callback.
     pub fn in_event(&self) -> bool {
         self.inner.event_depth.get() > 0
+    }
+
+    /// Kind of the event whose callback is currently running, if any.
+    pub fn current_event(&self) -> Option<EventKind> {
+        self.inner.current_event.get()
+    }
+
+    /// The attached sampling profiler, if any. Suspend/slice
+    /// boundaries call [`Profiler::due`] here and feed it their stacks.
+    #[inline]
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.inner.profiler.as_ref()
     }
 
     /// Number of events waiting in the queue.

@@ -42,6 +42,7 @@ mod engine;
 
 pub use engine::{Callback, Engine, EngineBuilder, TimerId};
 pub use error::{EngineError, EngineResult};
+pub use event_loop::EventKind;
 pub use jsstring::JsString;
 pub use profile::{Browser, BrowserProfile, Cost};
 pub use stats::EngineStats;

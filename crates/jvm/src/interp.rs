@@ -1841,6 +1841,15 @@ pub fn current_site(state: &JvmState, frames: &[Frame]) -> String {
     }
 }
 
+/// The thread's whole frame stack as "Class.method" strings, outermost
+/// first — the shape the sampling profiler folds into `a;b;c` stacks.
+pub fn stack_trace(state: &JvmState, frames: &[Frame]) -> Vec<String> {
+    frames
+        .iter()
+        .map(|f| format!("{}.{}", state.registry.get(f.code.class).name, f.code.name))
+        .collect()
+}
+
 // ----------------------------------------------------------------
 // Exceptions (§6.6)
 // ----------------------------------------------------------------

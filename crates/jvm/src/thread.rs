@@ -161,6 +161,7 @@ impl GuestThread for JvmThread {
                 StepResult::CallBoundary => {
                     // §6.1: suspend checks at method call boundaries.
                     if hosted && ctx.should_suspend() {
+                        profiler_sample(&state, &self.frames, &self.name);
                         trace_method_sample(&state, &self.frames, ctx);
                         return ThreadStep::Yielded;
                     }
@@ -176,6 +177,34 @@ impl GuestThread for JvmThread {
     fn name(&self) -> &str {
         &self.name
     }
+}
+
+/// Virtual-clock sampling profiler hook: when a suspend check fires at
+/// a call boundary and the profiler's deadline has passed, fold the
+/// whole explicit frame stack — rooted at the engine event that hosts
+/// the slice and this thread's name — into the profile. Suspend checks
+/// fire roughly once per time slice, so sampling here costs nothing on
+/// the interpreter fast path.
+fn profiler_sample(state: &JvmState, frames: &[Frame], thread_name: &str) {
+    let Some(profiler) = state.engine.profiler() else {
+        return;
+    };
+    let now = state.engine.now_ns();
+    if !profiler.due(now) {
+        return;
+    }
+    let mut stack = Vec::with_capacity(frames.len() + 2);
+    stack.push(
+        state
+            .engine
+            .current_event()
+            .map(|k| k.name())
+            .unwrap_or("run")
+            .to_string(),
+    );
+    stack.push(thread_name.to_string());
+    stack.extend(interp::stack_trace(state, frames));
+    profiler.sample(now, stack);
 }
 
 /// Sampled method profiling: when a suspend check fires at a call
@@ -221,6 +250,7 @@ impl JvmThread {
             StepResult::CallBoundary => {
                 let hosted = state.engine.profile().watchdog_limit_ns.is_some();
                 if hosted && ctx.should_suspend() {
+                    profiler_sample(state, &self.frames, &self.name);
                     trace_method_sample(state, &self.frames, ctx);
                     ControlFlow::Out(ThreadStep::Yielded)
                 } else {

@@ -20,6 +20,7 @@ use std::rc::Rc;
 
 use doppio_faults::{FaultPlan, NetFault};
 use doppio_jsengine::Engine;
+use doppio_trace::Histogram;
 
 /// Identifies one TCP connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -93,6 +94,10 @@ struct NetInner {
     latency_ns: u64,
     ns_per_kib: u64,
     faults: Option<FaultPlan>,
+    /// `net.delivery_ns`: issue-to-delivery latency of every fabric
+    /// event (segments, connects, closes), including fault-injected
+    /// spikes and event-loop queuing.
+    delivery_hist: Histogram,
 }
 
 /// The network fabric. Cheaply cloneable handle.
@@ -130,6 +135,7 @@ impl Network {
                 latency_ns,
                 ns_per_kib,
                 faults: None,
+                delivery_hist: engine.metrics().histogram("net.delivery_ns"),
             })),
         }
     }
@@ -170,15 +176,23 @@ impl Network {
     /// count holds the state alive until the callback has run, after
     /// which a closed connection with nothing else in flight is reaped.
     fn schedule(&self, id: ConnId, delay_ns: u64, f: impl FnOnce(&Engine, &Network) + 'static) {
-        let engine = {
+        let (engine, hist) = {
             let mut inner = self.inner.borrow_mut();
             if let Some(c) = inner.conns.get_mut(&id) {
                 c.inflight += 1;
             }
-            inner.engine.clone()
+            (inner.engine.clone(), inner.delivery_hist.clone())
+        };
+        let issued = if hist.is_enabled() {
+            engine.now_ns()
+        } else {
+            0
         };
         let net = self.clone();
         engine.complete_async_after(delay_ns, move |e| {
+            if hist.is_enabled() {
+                hist.record(e.now_ns().saturating_sub(issued));
+            }
             f(e, &net);
             net.finish_delivery(id);
         });

@@ -11,8 +11,11 @@ use crate::{ArgValue, Phase, TraceEvent};
 
 /// Serialize `events` as a complete Chrome trace JSON document.
 ///
-/// `dropped` (from the ring buffer) is recorded in the top-level
-/// `metadata` object so truncated traces are detectable.
+/// `dropped` (from the ring buffer) is recorded twice: in the
+/// top-level `metadata` object, and — when non-zero — as a
+/// `trace.dropped` metadata event *inside* `traceEvents`, because most
+/// viewers surface events but not document metadata. Truncated traces
+/// must never look complete.
 pub fn export(events: &[TraceEvent], dropped: u64) -> String {
     let mut out = String::with_capacity(events.len() * 120 + 128);
     out.push_str("{\"traceEvents\":[");
@@ -21,6 +24,16 @@ pub fn export(events: &[TraceEvent], dropped: u64) -> String {
             out.push(',');
         }
         write_event(&mut out, ev);
+    }
+    if dropped > 0 {
+        if !events.is_empty() {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"trace.dropped\",\"cat\":\"__metadata\",\"ph\":\"M\",\
+             \"ts\":0,\"pid\":1,\"tid\":0,\"args\":{{\"dropped_events\":{dropped}}}}}"
+        );
     }
     out.push_str("],\"displayTimeUnit\":\"ms\",\"metadata\":{");
     let _ = write!(out, "\"clock\":\"virtual\",\"dropped_events\":{dropped}");
@@ -150,7 +163,8 @@ mod tests {
         let doc = export(&[e, ev("mark", Phase::Instant, 5_000, 0)], 3);
         let v = json::parse(&doc).expect("exporter output must be valid JSON");
         let evs = v.get("traceEvents").and_then(Json::as_array).unwrap();
-        assert_eq!(evs.len(), 2);
+        // Two recorded events plus the trace.dropped marker.
+        assert_eq!(evs.len(), 3);
         let first = &evs[0];
         assert_eq!(first.get("name").unwrap().as_str(), Some("dispatch"));
         assert_eq!(first.get("ph").unwrap().as_str(), Some("X"));
@@ -182,6 +196,25 @@ mod tests {
             evs[0].get("args").unwrap().get("path").unwrap().as_str(),
             Some("/tmp/\"x\"\n\\y")
         );
+    }
+
+    #[test]
+    fn dropped_events_surface_inside_the_event_stream() {
+        let doc = export(&[ev("e", Phase::Instant, 1, 0)], 7);
+        let v = json::parse(&doc).unwrap();
+        let evs = v.get("traceEvents").and_then(Json::as_array).unwrap();
+        let meta = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("trace.dropped"))
+            .expect("trace.dropped metadata event present");
+        assert_eq!(meta.get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(
+            meta.get("args").unwrap().get("dropped_events").unwrap(),
+            &Json::Num(7.0)
+        );
+        // A complete trace stays free of the marker.
+        let clean = export(&[ev("e", Phase::Instant, 1, 0)], 0);
+        assert!(!clean.contains("trace.dropped"));
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! Log-bucketed latency histograms.
+//!
+//! Counters answer "how many / how much total"; Figure 5 of the paper
+//! needs *distributions* — p95 event latency under segmentation, slice
+//! lengths, fs op times. [`Histogram`] records `u64` samples (virtual
+//! nanoseconds, scan lengths, …) into logarithmic buckets with 8
+//! sub-buckets per octave, bounding relative error at 12.5% while
+//! keeping the whole table under 4 KB.
+//!
+//! Design rules, matching the rest of the trace layer:
+//!
+//! * **Zero-cost when off.** Recording is guarded by an enabled flag
+//!   shared with the owning [`MetricsRegistry`](crate::MetricsRegistry)
+//!   (default *off*), so an un-instrumented run pays one predictable
+//!   branch per site — the same contract as [`Tracer`](crate::Tracer).
+//!   Histograms never advance the virtual clock, so enabling them can
+//!   never change simulated results, only host time.
+//! * **Deterministic.** Buckets are a pure function of the sample;
+//!   percentiles report the bucket upper bound (clamped to the observed
+//!   maximum), so equal runs export byte-identical numbers.
+//! * **Mergeable.** [`HistogramSnapshot::merge`] is associative and
+//!   commutative, so per-shard histograms can be combined exactly.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Sub-bucket resolution: 2^3 = 8 sub-buckets per power of two.
+const SUB_BITS: u32 = 3;
+const SUBS: u64 = 1 << SUB_BITS;
+
+/// Total bucket count for the full `u64` range: 8 exact unit buckets
+/// below 8, then 8 sub-buckets for each of the 61 octaves above.
+pub const NUM_BUCKETS: usize = (SUBS as usize) * 62;
+
+/// Bucket index for a sample. Monotone in `v`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUBS {
+        v as usize
+    } else {
+        let top = 63 - v.leading_zeros(); // >= SUB_BITS
+        let k = top - SUB_BITS;
+        let sub = ((v >> k) - SUBS) as usize;
+        (SUBS as usize) * (k as usize + 1) + sub
+    }
+}
+
+/// Smallest value that lands in bucket `i`.
+pub fn bucket_lower(i: usize) -> u64 {
+    if i < SUBS as usize {
+        i as u64
+    } else {
+        let k = (i / SUBS as usize) - 1;
+        let sub = (i % SUBS as usize) as u64;
+        (SUBS + sub) << k
+    }
+}
+
+/// Largest value that lands in bucket `i`.
+pub fn bucket_upper(i: usize) -> u64 {
+    if i + 1 >= NUM_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower(i + 1) - 1
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    enabled: Rc<Cell<bool>>,
+    count: Cell<u64>,
+    sum: Cell<u64>,
+    min: Cell<u64>,
+    max: Cell<u64>,
+    /// Lazily sized to [`NUM_BUCKETS`] on the first record, so a
+    /// never-enabled histogram costs a few words, not 4 KB.
+    buckets: RefCell<Vec<u64>>,
+}
+
+/// A shared handle to one named histogram. Cloning shares the data,
+/// like [`Counter`](crate::Counter).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Rc<HistInner>,
+}
+
+impl Histogram {
+    pub(crate) fn with_flag(enabled: Rc<Cell<bool>>) -> Histogram {
+        Histogram {
+            inner: Rc::new(HistInner {
+                enabled,
+                count: Cell::new(0),
+                sum: Cell::new(0),
+                min: Cell::new(u64::MAX),
+                max: Cell::new(0),
+                buckets: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// A free-standing, always-enabled histogram (tests and bench
+    /// harnesses that compute an independent oracle distribution).
+    pub fn standalone() -> Histogram {
+        Histogram::with_flag(Rc::new(Cell::new(true)))
+    }
+
+    /// Whether [`Histogram::record`] currently stores samples.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.get()
+    }
+
+    /// Record one sample. A disabled histogram returns after one
+    /// branch.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !self.inner.enabled.get() {
+            return;
+        }
+        let inner = &*self.inner;
+        inner.count.set(inner.count.get() + 1);
+        inner.sum.set(inner.sum.get().wrapping_add(v));
+        if v < inner.min.get() {
+            inner.min.set(v);
+        }
+        if v > inner.max.get() {
+            inner.max.set(v);
+        }
+        let mut buckets = inner.buckets.borrow_mut();
+        if buckets.is_empty() {
+            buckets.resize(NUM_BUCKETS, 0);
+        }
+        buckets[bucket_index(v)] += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.inner.count.get()
+    }
+
+    /// Drop all recorded samples (the enabled flag is untouched).
+    pub fn reset(&self) {
+        let inner = &*self.inner;
+        inner.count.set(0);
+        inner.sum.set(0);
+        inner.min.set(u64::MAX);
+        inner.max.set(0);
+        inner.buckets.borrow_mut().clear();
+    }
+
+    /// An owned copy of the current distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &*self.inner;
+        HistogramSnapshot {
+            count: inner.count.get(),
+            sum: inner.sum.get(),
+            min: if inner.count.get() == 0 {
+                0
+            } else {
+                inner.min.get()
+            },
+            max: inner.max.get(),
+            buckets: inner.buckets.borrow().clone(),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Per-bucket sample counts; empty when no sample was recorded.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty distribution.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Build a snapshot from raw samples (the exact-oracle path used in
+    /// tests and the fig5 harness).
+    pub fn from_values(values: &[u64]) -> HistogramSnapshot {
+        let h = Histogram::standalone();
+        for &v in values {
+            h.record(v);
+        }
+        h.snapshot()
+    }
+
+    /// Whether no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Combine two distributions exactly. Associative and commutative.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut buckets = vec![0u64; NUM_BUCKETS];
+        for (i, b) in self.buckets.iter().enumerate() {
+            buckets[i] += b;
+        }
+        for (i, b) in other.buckets.iter().enumerate() {
+            buckets[i] += b;
+        }
+        HistogramSnapshot {
+            count: self.count + other.count,
+            sum: self.sum.wrapping_add(other.sum),
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            buckets,
+        }
+    }
+
+    /// The value at percentile `p` (0–100): the upper bound of the
+    /// bucket holding the rank-`ceil(p/100·count)` sample, clamped to
+    /// the observed maximum. Deterministic, and never below the exact
+    /// sorted-order percentile nor more than one bucket width above it.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// `(bucket_upper, cumulative_count)` for every non-empty bucket,
+    /// in ascending order — the shape Prometheus exposition wants.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b > 0 {
+                cum += b;
+                out.push((bucket_upper(i), cum));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..16u64 {
+            let i = bucket_index(v);
+            assert!(bucket_lower(i) <= v && v <= bucket_upper(i));
+            if v < 16 {
+                // Two full octaves of exact buckets.
+                assert_eq!(bucket_lower(i), v);
+                assert_eq!(bucket_upper(i), v);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_cover_and_order() {
+        let mut prev_upper = None;
+        for i in 0..NUM_BUCKETS {
+            let lo = bucket_lower(i);
+            let hi = bucket_upper(i);
+            assert!(lo <= hi, "bucket {i}");
+            if let Some(p) = prev_upper {
+                assert_eq!(lo, p + 1, "bucket {i} contiguous");
+            }
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+            prev_upper = Some(hi);
+        }
+        assert_eq!(bucket_upper(NUM_BUCKETS - 1), u64::MAX);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn disabled_histogram_records_nothing() {
+        let flag = Rc::new(Cell::new(false));
+        let h = Histogram::with_flag(flag.clone());
+        h.record(42);
+        assert_eq!(h.count(), 0);
+        assert!(h.snapshot().is_empty());
+        flag.set(true);
+        h.record(42);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn percentiles_bound_the_exact_oracle() {
+        // Fixed-seed property loop: percentile() must sit between the
+        // exact order statistic and one bucket width above it.
+        let mut state = 0x5EEDu64;
+        for round in 0..50 {
+            let n = 1 + (round * 37) % 400;
+            let mut vals: Vec<u64> = (0..n)
+                .map(|_| doppio_prng::split_mix64(&mut state) >> (round % 48))
+                .collect();
+            let snap = HistogramSnapshot::from_values(&vals);
+            vals.sort_unstable();
+            for p in [0.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+                let rank = ((p / 100.0) * n as f64).ceil() as usize;
+                let exact = vals[rank.clamp(1, n) - 1];
+                let got = snap.percentile(p);
+                assert!(got >= exact, "p{p}: got {got} < exact {exact}");
+                // Relative error bounded by one part in 8 (plus the
+                // sub-8 exact range).
+                assert!(
+                    got as u128 <= exact as u128 + exact as u128 / 8 + 1,
+                    "p{p}: got {got} too far above exact {exact}"
+                );
+            }
+            assert_eq!(snap.percentile(100.0), *vals.last().unwrap());
+            assert_eq!(snap.min, vals[0]);
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_pooled() {
+        let mut state = 7u64;
+        let mk = |state: &mut u64, n: usize| -> Vec<u64> {
+            (0..n)
+                .map(|_| doppio_prng::split_mix64(state) % 1_000_000)
+                .collect()
+        };
+        let (va, vb, vc) = (mk(&mut state, 100), mk(&mut state, 57), mk(&mut state, 3));
+        let (a, b, c) = (
+            HistogramSnapshot::from_values(&va),
+            HistogramSnapshot::from_values(&vb),
+            HistogramSnapshot::from_values(&vc),
+        );
+        let left = a.merge(&b).merge(&c);
+        let right = a.merge(&b.merge(&c));
+        assert_eq!(left, right, "associative");
+
+        let mut pooled = va.clone();
+        pooled.extend(&vb);
+        pooled.extend(&vc);
+        assert_eq!(left, HistogramSnapshot::from_values(&pooled), "exact pool");
+        assert_eq!(a.merge(&HistogramSnapshot::empty()), a, "identity");
+    }
+
+    #[test]
+    fn cumulative_buckets_end_at_count() {
+        let snap = HistogramSnapshot::from_values(&[1, 1, 2, 900, 7_000_000]);
+        let cum = snap.cumulative_buckets();
+        assert_eq!(cum.last().unwrap().1, snap.count);
+        for w in cum.windows(2) {
+            assert!(w[0].0 < w[1].0 && w[0].1 < w[1].1);
+        }
+    }
+}

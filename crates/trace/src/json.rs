@@ -1,10 +1,14 @@
-//! A minimal JSON reader.
+//! A minimal JSON reader and writer.
 //!
 //! The workspace builds offline (no serde), but the exporter's output
 //! must be *provably* valid JSON — the integration tests parse every
 //! exported trace with this module. It is a strict recursive-descent
 //! parser for the subset of JSON the exporter emits plus everything a
 //! hand-edited trace could contain; it is not a performance target.
+//!
+//! [`to_string`] is the matching pretty-printer: object keys come out
+//! in `BTreeMap` order, so serialized documents (bench results,
+//! `RunReport`s) are deterministic and diffable across runs.
 
 use std::collections::BTreeMap;
 
@@ -225,9 +229,107 @@ fn number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         .map_err(|_| format!("invalid number {text:?} at byte {start}"))
 }
 
+/// Serialize a [`Json`] value (pretty, two-space indent, keys in
+/// `BTreeMap` order — deterministic across runs). Ends with a newline.
+pub fn to_string(v: &Json) -> String {
+    let mut out = String::new();
+    emit(v, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn emit(v: &Json, indent: usize, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Json::Str(s) => emit_str(s, out),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent + 1));
+                emit(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push(']');
+        }
+        Json::Obj(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent + 1));
+                emit_str(k, out);
+                out.push_str(": ");
+                emit(val, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push('}');
+        }
+    }
+}
+
+fn emit_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serializer_round_trips_through_the_parser() {
+        let mut obj = BTreeMap::new();
+        obj.insert("a \"x\"\n".to_string(), Json::Num(1.5));
+        obj.insert(
+            "b".to_string(),
+            Json::Arr(vec![Json::Null, Json::Bool(true)]),
+        );
+        obj.insert("c".to_string(), Json::Obj(BTreeMap::new()));
+        let v = Json::Obj(obj);
+        assert_eq!(parse(&to_string(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn integers_serialize_without_fraction() {
+        let mut s = String::new();
+        emit(&Json::Num(12345.0), 0, &mut s);
+        assert_eq!(s, "12345");
+    }
 
     #[test]
     fn parses_scalars() {

@@ -17,10 +17,17 @@
 //!   named-counter registry. `EngineStats` and `FsStats` are views
 //!   (`Snapshot` impls) over these counters rather than parallel
 //!   bookkeeping.
+//! * [`Histogram`] — log-bucketed latency/size distributions with
+//!   deterministic percentiles, registered next to the counters and
+//!   gated off by default (see [`hist`]).
+//! * [`Profiler`] — a virtual-clock sampling profiler producing
+//!   folded-stack output for flamegraph tooling (see [`profiler`]).
 //! * [`chrome`] — serializes recorded events to Chrome `trace_event`
 //!   JSON; the output opens directly in `chrome://tracing` or Perfetto.
-//! * [`json`] — a minimal JSON reader used by tests to validate exports
-//!   without external dependencies.
+//! * [`prometheus`] — text-exposition rendering of the registry's
+//!   counters and histograms.
+//! * [`json`] — a minimal JSON reader/writer used by exporters and
+//!   tests, so the workspace needs no external serializer.
 //!
 //! All timestamps are **virtual nanoseconds** from the engine clock, not
 //! wall time: a trace of a simulated run is deterministic and diffable.
@@ -29,12 +36,17 @@ use std::borrow::Cow;
 use std::rc::Rc;
 
 pub mod chrome;
+pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod profiler;
+pub mod prometheus;
 pub mod ring;
 pub mod sink;
 
+pub use hist::{Histogram, HistogramSnapshot};
 pub use metrics::{Counter, MetricsRegistry, Snapshot};
+pub use profiler::Profiler;
 pub use ring::RingBuffer;
 pub use sink::{NullSink, RingSink, TraceSink};
 

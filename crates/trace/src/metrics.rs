@@ -18,6 +18,8 @@ use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+pub use crate::hist::{Histogram, HistogramSnapshot};
+
 /// A named `u64` cell; cloning shares the underlying value.
 #[derive(Clone, Debug, Default)]
 pub struct Counter(Rc<Cell<u64>>);
@@ -76,6 +78,10 @@ pub trait Snapshot: Sized {
 #[derive(Clone, Debug, Default)]
 pub struct MetricsRegistry {
     inner: Rc<RefCell<BTreeMap<String, Counter>>>,
+    hists: Rc<RefCell<BTreeMap<String, Histogram>>>,
+    /// Shared by every histogram created here; recording is off by
+    /// default so un-instrumented runs pay one branch per sample site.
+    hists_enabled: Rc<Cell<bool>>,
 }
 
 impl MetricsRegistry {
@@ -117,12 +123,18 @@ impl MetricsRegistry {
             .collect()
     }
 
-    /// Zero every counter whose name starts with `prefix`. Handles
-    /// held by hot paths stay valid — they share the zeroed cells.
+    /// Zero every counter (and empty every histogram) whose name starts
+    /// with `prefix`. Handles held by hot paths stay valid — they share
+    /// the zeroed cells.
     pub fn reset_prefix(&self, prefix: &str) {
         for (k, c) in self.inner.borrow().iter() {
             if k.starts_with(prefix) {
                 c.set(0);
+            }
+        }
+        for (k, h) in self.hists.borrow().iter() {
+            if k.starts_with(prefix) {
+                h.reset();
             }
         }
     }
@@ -130,6 +142,57 @@ impl MetricsRegistry {
     /// Materialize a subsystem's [`Snapshot`] view.
     pub fn snapshot<S: Snapshot>(&self) -> S {
         S::from_registry(self)
+    }
+
+    // ----------------------------------------------------------------
+    // Histograms
+    // ----------------------------------------------------------------
+
+    /// Get or create the histogram named `name`. Like [`Counter`]
+    /// handles, the result shares storage and should be resolved once
+    /// at construction; recording is gated on
+    /// [`MetricsRegistry::set_histograms_enabled`] (default off).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.hists.borrow_mut();
+        if let Some(h) = map.get(name) {
+            return h.clone();
+        }
+        let h = Histogram::with_flag(self.hists_enabled.clone());
+        map.insert(name.to_string(), h.clone());
+        h
+    }
+
+    /// Turn sample recording on or off for every histogram created by
+    /// this registry, past and future. Off by default.
+    pub fn set_histograms_enabled(&self, on: bool) {
+        self.hists_enabled.set(on);
+    }
+
+    /// Whether histogram recording is currently on.
+    pub fn histograms_enabled(&self) -> bool {
+        self.hists_enabled.get()
+    }
+
+    /// All registered histogram names, sorted.
+    pub fn histogram_names(&self) -> Vec<String> {
+        self.hists.borrow().keys().cloned().collect()
+    }
+
+    /// `(name, snapshot)` for every *non-empty* histogram whose name
+    /// starts with `prefix`, sorted by name.
+    pub fn histograms_with_prefix(&self, prefix: &str) -> Vec<(String, HistogramSnapshot)> {
+        self.hists
+            .borrow()
+            .iter()
+            .filter(|(k, h)| k.starts_with(prefix) && h.count() > 0)
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect()
+    }
+
+    /// Render every counter and histogram in the Prometheus text
+    /// exposition format; see [`crate::prometheus`].
+    pub fn prometheus(&self) -> String {
+        crate::prometheus::render(self)
     }
 }
 
@@ -169,6 +232,23 @@ mod tests {
         reg.reset_prefix("engine.");
         assert_eq!(e.get(), 0, "live handle sees the reset");
         assert_eq!(reg.get("fs.bytes_read"), 20);
+    }
+
+    #[test]
+    fn histograms_share_the_registry_gate_and_reset() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("engine.event_latency");
+        h.record(5);
+        assert_eq!(h.count(), 0, "off by default");
+        reg.set_histograms_enabled(true);
+        h.record(5);
+        reg.histogram("engine.event_latency").record(7);
+        assert_eq!(h.count(), 2, "handles share storage");
+        assert_eq!(reg.histograms_with_prefix("engine.").len(), 1);
+        reg.reset_prefix("engine.");
+        assert_eq!(h.count(), 0);
+        assert!(reg.histograms_with_prefix("engine.").is_empty());
+        assert_eq!(reg.histogram_names(), vec!["engine.event_latency"]);
     }
 
     #[test]

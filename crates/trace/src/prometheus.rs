@@ -1,0 +1,80 @@
+//! Prometheus text exposition (version 0.0.4) for the metrics registry.
+//!
+//! Counters render as `counter` families and histograms as cumulative
+//! `histogram` families, exactly as a scrape endpoint would serve them —
+//! so a simulated run's metrics can be loaded into real dashboards.
+//! Names are prefixed `doppio_` and dots become underscores
+//! (`engine.events_run` → `doppio_engine_events_run`). Output order is
+//! the registry's sorted name order, so equal runs render byte-identical
+//! documents (the golden-file test relies on this).
+
+use std::fmt::Write as _;
+
+use crate::MetricsRegistry;
+
+/// Mangle a registry name into a Prometheus metric name.
+fn mangle(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("doppio_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render every counter and every non-empty histogram.
+pub fn render(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in reg.with_prefix("") {
+        let m = mangle(&name);
+        let _ = writeln!(out, "# TYPE {m} counter");
+        let _ = writeln!(out, "{m} {value}");
+    }
+    for (name, snap) in reg.histograms_with_prefix("") {
+        let m = mangle(&name);
+        let _ = writeln!(out, "# TYPE {m} histogram");
+        for (upper, cum) in snap.cumulative_buckets() {
+            let _ = writeln!(out, "{m}_bucket{{le=\"{upper}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {}", snap.count);
+        let _ = writeln!(out, "{m}_sum {}", snap.sum);
+        let _ = writeln!(out, "{m}_count {}", snap.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_and_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.counter("engine.events_run").add(3);
+        reg.set_histograms_enabled(true);
+        let h = reg.histogram("fs.op_ns");
+        h.record(10);
+        h.record(10);
+        h.record(500);
+        let text = reg.prometheus();
+        assert!(text.contains("# TYPE doppio_engine_events_run counter"));
+        assert!(text.contains("doppio_engine_events_run 3"));
+        assert!(text.contains("# TYPE doppio_fs_op_ns histogram"));
+        assert!(text.contains("doppio_fs_op_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("doppio_fs_op_ns_sum 520"));
+        assert!(text.contains("doppio_fs_op_ns_count 3"));
+        // Cumulative: the bucket holding 10 counts both 10s.
+        assert!(text.contains("doppio_fs_op_ns_bucket{le=\"10\"} 2"));
+    }
+
+    #[test]
+    fn empty_histograms_are_omitted() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("net.delivery_ns");
+        assert!(!reg.prometheus().contains("net_delivery_ns"));
+    }
+}

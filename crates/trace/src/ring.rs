@@ -31,15 +31,19 @@ impl RingBuffer {
         }
     }
 
-    /// Append an event, evicting the oldest if full.
-    pub fn push(&mut self, ev: TraceEvent) {
-        if self.slots[self.head].is_some() {
+    /// Append an event, evicting the oldest if full. Returns whether
+    /// an event was evicted, so callers can maintain a live drop
+    /// counter without re-reading [`RingBuffer::dropped`].
+    pub fn push(&mut self, ev: TraceEvent) -> bool {
+        let evicted = self.slots[self.head].is_some();
+        if evicted {
             self.dropped += 1;
         } else {
             self.len += 1;
         }
         self.slots[self.head] = Some(ev);
         self.head = (self.head + 1) % self.slots.len();
+        evicted
     }
 
     /// Number of events currently stored.

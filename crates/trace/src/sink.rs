@@ -7,6 +7,7 @@
 
 use std::cell::RefCell;
 
+use crate::metrics::Counter;
 use crate::ring::RingBuffer;
 use crate::TraceEvent;
 
@@ -40,6 +41,10 @@ impl TraceSink for NullSink {
 #[derive(Debug)]
 pub struct RingSink {
     ring: RefCell<RingBuffer>,
+    /// Optional live mirror of the eviction count (the `trace.dropped`
+    /// registry counter), so dashboards and `RunReport`s see drops
+    /// without holding the sink.
+    drop_counter: RefCell<Option<Counter>>,
 }
 
 impl RingSink {
@@ -47,6 +52,7 @@ impl RingSink {
     pub fn with_capacity(capacity: usize) -> RingSink {
         RingSink {
             ring: RefCell::new(RingBuffer::new(capacity)),
+            drop_counter: RefCell::new(None),
         }
     }
 
@@ -55,15 +61,41 @@ impl RingSink {
         self.ring.borrow().to_vec()
     }
 
+    /// Maximum number of events the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.ring.borrow().capacity()
+    }
+
+    /// Number of events currently stored.
+    pub fn len(&self) -> usize {
+        self.ring.borrow().len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ring.borrow().is_empty()
+    }
+
     /// How many events the ring evicted for lack of space.
     pub fn dropped(&self) -> u64 {
         self.ring.borrow().dropped()
+    }
+
+    /// Mirror future evictions into `counter` (conventionally the
+    /// registry's `trace.dropped`), seeding it with drops so far.
+    pub fn set_drop_counter(&self, counter: Counter) {
+        counter.set(self.dropped());
+        *self.drop_counter.borrow_mut() = Some(counter);
     }
 }
 
 impl TraceSink for RingSink {
     fn record(&self, ev: TraceEvent) {
-        self.ring.borrow_mut().push(ev);
+        if self.ring.borrow_mut().push(ev) {
+            if let Some(c) = self.drop_counter.borrow().as_ref() {
+                c.inc();
+            }
+        }
     }
 }
 

@@ -21,7 +21,9 @@
 
 pub mod datasets;
 pub mod fstrace;
+pub mod responsiveness;
 
+use doppio_core::report::RunReport;
 use doppio_core::RuntimeStats;
 use doppio_fs::{backends, FileSystem, FsStats};
 use doppio_jsengine::{Browser, Engine, EngineStats};
@@ -136,6 +138,9 @@ pub struct RunOutcome {
     pub caches: CacheStats,
     /// Uncaught exception, if the program failed.
     pub uncaught: Option<String>,
+    /// The end-of-run observability report (counters, histogram
+    /// percentiles, profiler top frames, wait-graph verdict).
+    pub report: RunReport,
 }
 
 /// The interpreter's resolution-cache counters for one run, read out
@@ -208,6 +213,17 @@ pub fn run_workload(id: &str, browser: Browser) -> RunOutcome {
 /// benches use this to run under custom profiles (e.g. the §8
 /// "browsers with native 64-bit integers" counterfactual).
 pub fn run_workload_on(id: &str, engine: Engine) -> RunOutcome {
+    run_workload_hooked(id, engine, |_| {})
+}
+
+/// [`run_workload_on`] with a hook that runs after the measurement
+/// reset and before the JVM is driven — the responsiveness harness
+/// uses it to arm its user-input click source.
+pub fn run_workload_hooked(
+    id: &str,
+    engine: Engine,
+    before_run: impl FnOnce(&Engine),
+) -> RunOutcome {
     let w = workload(id).unwrap_or_else(|| panic!("unknown workload {id}"));
     let classes = compile_to_bytes(w.source)
         .unwrap_or_else(|e| panic!("workload {id} failed to compile: {e}"));
@@ -221,10 +237,13 @@ pub fn run_workload_on(id: &str, engine: Engine) -> RunOutcome {
     // Measure from launch: reset counters accumulated during setup.
     engine.reset_stats();
     fs.reset_stats();
+    before_run(&engine);
     let result = jvm
         .run_to_completion()
         .unwrap_or_else(|e| panic!("workload {id} deadlocked: {e}"));
 
+    let report = RunReport::collect(format!("{id} on {:?}", engine.browser()), &engine)
+        .with_runtime(jvm.runtime());
     RunOutcome {
         id: id.to_string(),
         browser: engine.browser(),
@@ -239,6 +258,7 @@ pub fn run_workload_on(id: &str, engine: Engine) -> RunOutcome {
         engine: engine.stats(),
         caches: CacheStats::from_engine(&engine),
         uncaught: result.uncaught,
+        report,
     }
 }
 

@@ -1,0 +1,121 @@
+//! The Figure 5 responsiveness probe: synthetic user clicks injected
+//! while a workload runs.
+//!
+//! The paper's responsiveness argument is that automatic event
+//! segmentation keeps the page interactive during long computations.
+//! This harness quantifies that: a self-rearming timer injects a user
+//! input every `click_interval_ms` of virtual time, and each click's
+//! callback records `now − injection_time` — exactly the latency the
+//! engine's `engine.event_latency.user_input` histogram observes, so
+//! the two measurements must agree to the nanosecond on the same run.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use doppio_jsengine::{Browser, Engine, EngineBuilder};
+use doppio_trace::HistogramSnapshot;
+
+use crate::{run_workload_hooked, RunOutcome};
+
+/// One workload run with a click stream and its measured latencies.
+#[derive(Debug, Clone)]
+pub struct Responsiveness {
+    /// The underlying run (report included).
+    pub outcome: RunOutcome,
+    /// Exact per-click latencies, ns, in injection order.
+    pub latencies: Vec<u64>,
+}
+
+impl Responsiveness {
+    /// Exact nearest-rank percentile over the raw latencies (the
+    /// sorted-vec oracle; no histogram bucketing).
+    pub fn exact_percentile(&self, p: f64) -> u64 {
+        let mut v = self.latencies.clone();
+        if v.is_empty() {
+            return 0;
+        }
+        v.sort_unstable();
+        let rank = ((p / 100.0) * v.len() as f64).ceil() as usize;
+        v[rank.clamp(1, v.len()) - 1]
+    }
+
+    /// The raw latencies folded through the same log-bucketed histogram
+    /// the engine uses — percentiles from this snapshot are
+    /// byte-identical to the report's `engine.event_latency.user_input`
+    /// row when both saw the same events.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot::from_values(&self.latencies)
+    }
+}
+
+/// Run `id` on a fresh engine for `browser` with histograms enabled
+/// and a click every `click_interval_ms` of virtual time.
+pub fn run_responsiveness(id: &str, browser: Browser, click_interval_ms: f64) -> Responsiveness {
+    let engine = EngineBuilder::new(browser).histograms(true).build();
+    run_responsiveness_on(id, engine, click_interval_ms)
+}
+
+/// [`run_responsiveness`] on a caller-built engine (profiler, tracing,
+/// custom seeds).
+pub fn run_responsiveness_on(
+    id: &str,
+    engine: Engine,
+    click_interval_ms: f64,
+) -> Responsiveness {
+    let latencies = Rc::new(RefCell::new(Vec::new()));
+    let lat = latencies.clone();
+    let outcome = run_workload_hooked(id, engine, move |e| {
+        arm_click(e, click_interval_ms, lat);
+    });
+    let latencies = latencies.borrow().clone();
+    Responsiveness { outcome, latencies }
+}
+
+/// Arm the next click: after `interval_ms`, inject a user input (whose
+/// callback measures its own dispatch latency) and re-arm. Pending
+/// timers die with the event loop once the workload finishes.
+fn arm_click(e: &Engine, interval_ms: f64, lat: Rc<RefCell<Vec<u64>>>) {
+    e.set_timeout(interval_ms, move |e| {
+        let t0 = e.now_ns();
+        let lat2 = lat.clone();
+        e.inject_user_input(move |e| {
+            lat2.borrow_mut().push(e.now_ns() - t0);
+        });
+        arm_click(e, interval_ms, lat);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clicks_are_measured_and_agree_with_the_engine_histogram() {
+        let r = run_responsiveness("deltablue", Browser::Chrome, 16.0);
+        assert!(!r.latencies.is_empty(), "no clicks landed");
+        let row = r
+            .outcome
+            .report
+            .histogram("engine.event_latency.user_input")
+            .expect("engine recorded user-input latencies");
+        assert_eq!(row.count, r.latencies.len() as u64);
+        let snap = r.snapshot();
+        assert_eq!(row.p50, snap.percentile(50.0));
+        assert_eq!(row.p95, snap.percentile(95.0));
+        assert_eq!(row.p99, snap.percentile(99.0));
+        assert_eq!(row.max, snap.max);
+        // Bucketed percentiles bound the exact oracle from above.
+        assert!(row.p95 >= r.exact_percentile(95.0));
+    }
+
+    #[test]
+    fn responsiveness_is_deterministic() {
+        let a = run_responsiveness("pidigits", Browser::Firefox, 16.0);
+        let b = run_responsiveness("pidigits", Browser::Firefox, 16.0);
+        assert_eq!(a.latencies, b.latencies);
+        assert_eq!(
+            a.outcome.report.to_json_string(),
+            b.outcome.report.to_json_string()
+        );
+    }
+}

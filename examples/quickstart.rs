@@ -8,6 +8,7 @@ use doppio::fs::{backends, FileSystem};
 use doppio::jsengine::{Browser, Engine};
 use doppio::jvm::{fsutil, Jvm};
 use doppio::minijava::compile_to_bytes;
+use doppio::report::RunReport;
 
 const PROGRAM: &str = r#"
     class Greeter {
@@ -28,8 +29,9 @@ const PROGRAM: &str = r#"
 
 fn main() {
     // 1. A simulated browser: Chrome's profile (event loop, virtual
-    //    clock, watchdog, storage quotas).
-    let engine = Engine::new(Browser::Chrome);
+    //    clock, watchdog, storage quotas). Histograms on, so the run
+    //    report below has latency percentiles to show.
+    let engine = Engine::builder(Browser::Chrome).histograms(true).build();
 
     // 2. A Doppio file system over an in-memory backend, holding the
     //    compiled class files like a web server would.
@@ -59,5 +61,11 @@ fn main() {
         "watchdog kills: {} (a monolithic run would have been killed)",
         engine.stats().watchdog_kills
     );
+
+    // 4. The one-paragraph run report: every run can summarize itself
+    //    (counters, latency percentiles, wait-graph verdict).
+    let report = RunReport::collect("quickstart", &engine).with_runtime(jvm.runtime());
+    println!("---");
+    println!("{}", report.summary());
     assert!(result.stdout.contains("Hello, browser!"));
 }

@@ -5,11 +5,18 @@
 //!
 //! Run with: `cargo run --example responsive_page`
 //!
-//! Pass `--trace out.json` to record the segmented run as a Chrome
-//! `trace_event` JSON file; open it in Perfetto (ui.perfetto.dev) or
-//! `chrome://tracing` to see event spans, per-thread slices, and
-//! suspend-timer adjustments on the virtual clock (see
-//! `docs/observability.md`).
+//! Flags (combine freely; see `docs/observability.md`):
+//!
+//! * `--trace out.json` — record the segmented run as a Chrome
+//!   `trace_event` JSON file; open it in Perfetto (ui.perfetto.dev) or
+//!   `chrome://tracing` to see event spans, per-thread slices, and
+//!   suspend-timer adjustments on the virtual clock.
+//! * `--profile out.folded` — attach the virtual-clock sampling
+//!   profiler and write folded stacks (flamegraph.pl / speedscope
+//!   input).
+//! * `--report out.md` — emit the end-of-run `RunReport` as markdown,
+//!   plus the same data as JSON next to it (`out.json`... the path
+//!   with its extension swapped).
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -18,7 +25,8 @@ use doppio::fs::{backends, FileSystem};
 use doppio::jsengine::{Browser, Cost, Engine};
 use doppio::jvm::{fsutil, Jvm};
 use doppio::minijava::compile_to_bytes;
-use doppio::trace::{chrome, RingSink};
+use doppio::report::RunReport;
+use doppio::trace::{chrome, Profiler, RingSink};
 
 const CRUNCHER: &str = r#"
     class Main {
@@ -33,10 +41,14 @@ const CRUNCHER: &str = r#"
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let trace_path = args
-        .iter()
-        .position(|a| a == "--trace")
-        .map(|i| args.get(i + 1).expect("--trace needs a file path").clone());
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| args.get(i + 1).unwrap_or_else(|| panic!("{name} needs a file path")).clone())
+    };
+    let trace_path = flag("--trace");
+    let profile_path = flag("--profile");
+    let report_path = flag("--report");
 
     // --- Without Doppio: one monolithic event. ---
     let plain = Engine::new(Browser::Chrome);
@@ -52,12 +64,24 @@ fn main() {
 
     // --- With Doppio: the same scale of work, segmented. ---
     let sink = trace_path.as_ref().map(|_| Rc::new(RingSink::default()));
-    let engine = match &sink {
-        Some(sink) => Engine::builder(Browser::Chrome)
-            .trace_sink(sink.clone())
-            .build(),
-        None => Engine::new(Browser::Chrome),
-    };
+    let observing = profile_path.is_some() || report_path.is_some();
+    let mut builder = Engine::builder(Browser::Chrome);
+    if let Some(sink) = &sink {
+        builder = builder.trace_sink(sink.clone());
+    }
+    if observing {
+        // Histograms feed the report's percentile rows; the profiler
+        // samples every 1 ms of virtual time at suspend boundaries.
+        builder = builder
+            .histograms(true)
+            .profiler(Profiler::new(1_000_000));
+    }
+    let engine = builder.build();
+    if let Some(sink) = &sink {
+        // Mirror ring evictions into the registry so the report (and
+        // the Chrome export's metadata) can flag a truncated trace.
+        sink.set_drop_counter(engine.metrics().counter("trace.dropped"));
+    }
     let fs = FileSystem::new(&engine, backends::in_memory(&engine));
     let classes = compile_to_bytes(CRUNCHER).expect("compiles");
     fsutil::mount_class_files(&engine, &fs, "/classes", &classes);
@@ -115,9 +139,35 @@ fn main() {
         let doc = chrome::export_sink(sink);
         std::fs::write(path, &doc).expect("write trace file");
         println!(
-            "wrote {} trace events to {path} (open in ui.perfetto.dev)",
-            sink.events().len()
+            "wrote {} trace events to {path} (open in ui.perfetto.dev, {} dropped)",
+            sink.events().len(),
+            sink.dropped()
         );
+    }
+
+    if let Some(path) = &profile_path {
+        let profiler = engine.profiler().expect("profiler attached");
+        std::fs::write(path, profiler.folded()).expect("write folded stacks");
+        println!(
+            "wrote {} profile samples to {path} (folded stacks; feed to flamegraph.pl)",
+            profiler.samples()
+        );
+    }
+
+    if let Some(path) = &report_path {
+        let mut report =
+            RunReport::collect("responsive_page", &engine).with_runtime(jvm.runtime());
+        if let Some(sink) = &sink {
+            report = report.with_trace(sink);
+        }
+        std::fs::write(path, report.to_markdown()).expect("write report markdown");
+        let json_path = std::path::Path::new(path).with_extension("json");
+        std::fs::write(&json_path, report.to_json_string()).expect("write report JSON");
+        println!(
+            "wrote run report to {path} and {}",
+            json_path.display()
+        );
+        println!("\n{}", report.summary());
     }
 
     assert_eq!(result_stats.watchdog_kills, 0);

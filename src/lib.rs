@@ -20,9 +20,13 @@
 //! * [`jvm`] — DoppioJVM, the JVM interpreter case study (§6).
 //! * [`minijava`] — a Java-subset compiler used to author workloads.
 //! * [`workloads`] — the benchmark programs of §7.
-//! * [`trace`] — the structured tracing layer: spans and counters on
-//!   the virtual clock, exported as Chrome `trace_event` JSON (see
-//!   `docs/observability.md`).
+//! * [`trace`] — the structured tracing layer: spans, counters,
+//!   log-bucketed latency histograms, and a virtual-clock sampling
+//!   profiler, exported as Chrome `trace_event` JSON, Prometheus text,
+//!   and folded stacks (see `docs/observability.md`).
+//! * [`report`] — the end-of-run [`report::RunReport`]: histogram
+//!   percentiles, profiler top frames, fault counts, and trace-drop
+//!   stats as one markdown/JSON artifact.
 //! * [`prng`] — a small deterministic PRNG (SplitMix64) used by
 //!   workload generators and randomized tests.
 //! * [`faults`] — seeded, virtual-clock-driven fault injection for the
@@ -47,6 +51,7 @@
 pub use doppio_buffer as buffer;
 pub use doppio_classfile as classfile;
 pub use doppio_core as core;
+pub use doppio_core::report;
 pub use doppio_faults as faults;
 pub use doppio_fs as fs;
 pub use doppio_heap as heap;
