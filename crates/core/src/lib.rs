@@ -51,11 +51,16 @@
 //! assert_eq!(engine.stats().watchdog_kills, 0);
 //! ```
 
+pub mod kernel;
 pub mod report;
 pub mod runtime;
 pub mod suspend;
 pub mod waitgraph;
 
+pub use kernel::{
+    BuildOnKernel, ExitStatus, Kernel, Pid, PipeId, PipeRead, PipeWrite, Process, ProcessSummary,
+    Signal, SpawnOptions, WaitPid, DEFAULT_PIPE_CAPACITY,
+};
 pub use report::RunReport;
 pub use runtime::{
     AsyncCell, AsyncResolver, BlockTimeout, DoppioRuntime, GuestThread, RoundRobinScheduler,

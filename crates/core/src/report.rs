@@ -12,7 +12,8 @@
 //!
 //! Build one with [`RunReport::collect`], then chain
 //! [`with_runtime`](RunReport::with_runtime) /
-//! [`with_trace`](RunReport::with_trace) for the optional sections.
+//! [`with_trace`](RunReport::with_trace) /
+//! [`with_kernel`](RunReport::with_kernel) for the optional sections.
 
 use std::collections::BTreeMap;
 
@@ -20,6 +21,7 @@ use doppio_jsengine::Engine;
 use doppio_trace::json::{self, Json};
 use doppio_trace::{HistogramSnapshot, RingSink};
 
+use crate::kernel::{Kernel, ProcessSummary};
 use crate::runtime::DoppioRuntime;
 
 /// How many frames the profiler sections keep.
@@ -112,6 +114,9 @@ pub struct RunReport {
     pub waitgraph: Option<WaitGraphSummary>,
     /// Trace section (present after `with_trace`).
     pub trace: Option<TraceSummary>,
+    /// Per-process section (present after `with_kernel`): the kernel's
+    /// process table, in pid order.
+    pub processes: Option<Vec<ProcessSummary>>,
 }
 
 impl RunReport {
@@ -138,6 +143,7 @@ impl RunReport {
             profile,
             waitgraph: None,
             trace: None,
+            processes: None,
         }
     }
 
@@ -161,6 +167,13 @@ impl RunReport {
             capacity: sink.capacity() as u64,
             dropped: sink.dropped(),
         });
+        self
+    }
+
+    /// Add the per-process section: `kernel`'s process table (pids,
+    /// exit statuses, slice counts, pipe traffic, lifetimes).
+    pub fn with_kernel(mut self, kernel: &Kernel) -> RunReport {
+        self.processes = Some(kernel.process_table());
         self
     }
 
@@ -221,16 +234,17 @@ impl RunReport {
         }
         if let Some(t) = &self.trace {
             if t.dropped > 0 {
-                s.push_str(&format!(
-                    "; trace TRUNCATED: {} events dropped",
-                    t.dropped
-                ));
+                s.push_str(&format!("; trace TRUNCATED: {} events dropped", t.dropped));
             }
         }
         if let Some(w) = &self.waitgraph {
             if w.deadlock.is_some() {
                 s.push_str("; DEADLOCK detected");
             }
+        }
+        if let Some(procs) = &self.processes {
+            let exited = procs.iter().filter(|p| p.status != "running").count();
+            s.push_str(&format!("; {} processes ({} exited)", procs.len(), exited));
         }
         s.push('.');
         s
@@ -281,6 +295,31 @@ impl RunReport {
             }
             for warn in &w.lock_order_warnings {
                 md.push_str(&format!("- lock-order warning: {warn}\n"));
+            }
+        }
+
+        if let Some(procs) = &self.processes {
+            md.push_str("\n## Processes\n\n");
+            md.push_str(
+                "| pid | name | argv | group | status | slices | pipe in | pipe out | spawned (ns) | exited (ns) |\n",
+            );
+            md.push_str("|---:|---|---|---|---|---:|---:|---:|---:|---:|\n");
+            for p in procs {
+                md.push_str(&format!(
+                    "| {} | `{}` | `{}` | {} | {} | {} | {} | {} | {} | {} |\n",
+                    p.pid,
+                    p.name,
+                    p.argv.join(" "),
+                    p.group.as_deref().unwrap_or("-"),
+                    p.status,
+                    p.slices,
+                    p.pipe_in,
+                    p.pipe_out,
+                    p.spawned_at_ns,
+                    p.exited_at_ns
+                        .map(|n| n.to_string())
+                        .unwrap_or_else(|| "-".to_string()),
+                ));
             }
         }
 
@@ -348,9 +387,7 @@ impl RunReport {
             let frames = |v: &[(String, u64)]| {
                 Json::Arr(
                     v.iter()
-                        .map(|(f, w)| {
-                            Json::Arr(vec![Json::Str(f.clone()), Json::Num(*w as f64)])
-                        })
+                        .map(|(f, w)| Json::Arr(vec![Json::Str(f.clone()), Json::Num(*w as f64)]))
                         .collect(),
                 )
             };
@@ -386,6 +423,42 @@ impl RunReport {
             o.insert("capacity".into(), Json::Num(t.capacity as f64));
             o.insert("dropped".into(), Json::Num(t.dropped as f64));
             root.insert("trace".into(), Json::Obj(o));
+        }
+
+        if let Some(procs) = &self.processes {
+            let rows = procs
+                .iter()
+                .map(|p| {
+                    let mut o = BTreeMap::new();
+                    o.insert("pid".into(), Json::Num(p.pid as f64));
+                    o.insert("name".into(), Json::Str(p.name.clone()));
+                    o.insert(
+                        "argv".into(),
+                        Json::Arr(p.argv.iter().map(|a| Json::Str(a.clone())).collect()),
+                    );
+                    o.insert(
+                        "group".into(),
+                        match &p.group {
+                            Some(g) => Json::Str(g.clone()),
+                            None => Json::Null,
+                        },
+                    );
+                    o.insert("status".into(), Json::Str(p.status.clone()));
+                    o.insert("slices".into(), Json::Num(p.slices as f64));
+                    o.insert("pipe_in".into(), Json::Num(p.pipe_in as f64));
+                    o.insert("pipe_out".into(), Json::Num(p.pipe_out as f64));
+                    o.insert("spawned_at_ns".into(), Json::Num(p.spawned_at_ns as f64));
+                    o.insert(
+                        "exited_at_ns".into(),
+                        match p.exited_at_ns {
+                            Some(n) => Json::Num(n as f64),
+                            None => Json::Null,
+                        },
+                    );
+                    Json::Obj(o)
+                })
+                .collect();
+            root.insert("processes".into(), Json::Arr(rows));
         }
 
         Json::Obj(root)

@@ -188,8 +188,18 @@ struct Slot {
     name: String,
     state: ThreadState,
     wake_pending: bool,
+    /// Force-finished by [`DoppioRuntime::kill`]; the slice in flight
+    /// (if any) must not resurrect the thread when it returns.
+    killed: bool,
+    /// Owner tag (the kernel uses pids). Inherited by threads spawned
+    /// from within a slice, so a whole process's thread tree shares it.
+    tag: Option<u64>,
     thread: Option<Box<dyn GuestThread>>,
 }
+
+/// A thread-finished callback: `(thread, tag)`, invoked outside the
+/// runtime borrow.
+type ExitHook = Rc<dyn Fn(ThreadId, Option<u64>)>;
 
 struct Inner {
     threads: Vec<Slot>,
@@ -201,6 +211,10 @@ struct Inner {
     last_ran: Option<ThreadId>,
     waits: WaitGraph,
     deadlock: Option<DeadlockReport>,
+    /// Called (outside the runtime borrow) whenever a thread reaches
+    /// `Finished`, with the thread and its tag. The kernel uses it to
+    /// notice process exit without polling.
+    exit_hook: Option<ExitHook>,
 }
 
 /// Distribution metrics for the Figure 5 analysis, resolved once at
@@ -282,6 +296,7 @@ impl DoppioRuntime {
                 last_ran: None,
                 waits: WaitGraph::default(),
                 deadlock: None,
+                exit_hook: None,
             })),
         }
     }
@@ -300,6 +315,27 @@ impl DoppioRuntime {
     /// Add a thread to the pool (Ready). Threads added after
     /// [`start`](Self::start) begin running on the next tick.
     pub fn spawn(&self, name: impl Into<String>, thread: Box<dyn GuestThread>) -> ThreadId {
+        self.spawn_with_tag(name, None, thread)
+    }
+
+    /// [`spawn`](Self::spawn) with an owner tag. The kernel tags every
+    /// thread of a process with its pid; threads the guest spawns from
+    /// inside a slice inherit the spawner's tag automatically.
+    pub fn spawn_tagged(
+        &self,
+        name: impl Into<String>,
+        tag: u64,
+        thread: Box<dyn GuestThread>,
+    ) -> ThreadId {
+        self.spawn_with_tag(name, Some(tag), thread)
+    }
+
+    fn spawn_with_tag(
+        &self,
+        name: impl Into<String>,
+        tag: Option<u64>,
+        thread: Box<dyn GuestThread>,
+    ) -> ThreadId {
         let name = name.into();
         let mut inner = self.inner.borrow_mut();
         let id = ThreadId(inner.threads.len());
@@ -314,11 +350,111 @@ impl DoppioRuntime {
             name,
             state: ThreadState::Ready,
             wake_pending: false,
+            killed: false,
+            tag,
             thread: Some(thread),
         });
         drop(inner);
         self.schedule_tick(false);
         id
+    }
+
+    /// The owner tag a thread was spawned with (or inherited).
+    pub fn thread_tag(&self, id: ThreadId) -> Option<u64> {
+        self.inner.borrow().threads[id.0].tag
+    }
+
+    /// Diagnostic name of a thread.
+    pub fn thread_name(&self, id: ThreadId) -> String {
+        self.inner.borrow().threads[id.0].name.clone()
+    }
+
+    /// Every thread carrying `tag`, in spawn order.
+    pub fn tagged_threads(&self, tag: u64) -> Vec<ThreadId> {
+        self.inner
+            .borrow()
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.tag == Some(tag))
+            .map(|(i, _)| ThreadId(i))
+            .collect()
+    }
+
+    /// Whether every thread carrying `tag` has finished (vacuously
+    /// true for an unused tag).
+    pub fn tag_all_finished(&self, tag: u64) -> bool {
+        self.inner
+            .borrow()
+            .threads
+            .iter()
+            .filter(|s| s.tag == Some(tag))
+            .all(|s| s.state == ThreadState::Finished)
+    }
+
+    /// Install the thread-exit hook (replacing any previous one). It
+    /// fires after a thread reaches `Finished` — from its final slice
+    /// or from [`kill`](Self::kill) — outside the runtime borrow, so
+    /// the hook may call back into the runtime.
+    pub fn set_thread_exit_hook(&self, hook: impl Fn(ThreadId, Option<u64>) + 'static) {
+        self.inner.borrow_mut().exit_hook = Some(Rc::new(hook));
+    }
+
+    /// Forcibly finish a thread (SIGKILL): its guest state is dropped,
+    /// its wait-graph edge cleared, and it will never run another
+    /// slice — even if it is killed mid-slice, the in-flight slice's
+    /// outcome is discarded. Fires the thread-exit hook.
+    pub fn kill(&self, id: ThreadId) {
+        let fire = {
+            let mut inner = self.inner.borrow_mut();
+            let slot = &mut inner.threads[id.0];
+            let was_live = slot.state != ThreadState::Finished;
+            slot.state = ThreadState::Finished;
+            slot.killed = true;
+            slot.wake_pending = false;
+            slot.thread = None;
+            let tag = slot.tag;
+            inner.waits.clear_block(id.0);
+            if was_live
+                && inner
+                    .threads
+                    .iter()
+                    .all(|s| s.state == ThreadState::Finished)
+            {
+                inner.stats.finished_ns = self.engine.now_ns();
+            }
+            if was_live {
+                Some((inner.exit_hook.clone(), tag))
+            } else {
+                None
+            }
+        };
+        if let Some((hook, tag)) = fire {
+            let tracer = self.engine.tracer();
+            if tracer.enabled() {
+                tracer.instant(
+                    cat::SCHED,
+                    "thread.kill",
+                    self.engine.now_ns(),
+                    RUNTIME_LANE,
+                    vec![("thread", ArgValue::U64(id.0 as u64))],
+                );
+            }
+            if let Some(hook) = hook {
+                hook(id, tag);
+            }
+        }
+    }
+
+    /// Register the thread whose progress resolves `resource` in the
+    /// wait-for graph (see [`WaitGraph::set_owner`]).
+    pub fn set_resource_owner(&self, resource: Resource, thread: ThreadId) {
+        self.inner.borrow_mut().waits.set_owner(resource, thread.0);
+    }
+
+    /// Remove a resource-owner registration.
+    pub fn clear_resource_owner(&self, resource: &Resource) {
+        self.inner.borrow_mut().waits.clear_owner(resource);
     }
 
     /// Current state of a thread.
@@ -632,7 +768,7 @@ impl DoppioRuntime {
             );
         }
 
-        let any_ready = {
+        let (any_ready, finished_now) = {
             let mut inner = self.inner.borrow_mut();
             inner.stats.slices += 1;
             if inner.last_ran != Some(id) {
@@ -642,18 +778,26 @@ impl DoppioRuntime {
                 inner.last_ran = Some(id);
             }
             let slot = &mut inner.threads[id.0];
-            slot.thread = Some(thread);
-            slot.state = match step {
-                ThreadStep::Finished => ThreadState::Finished,
-                ThreadStep::Yielded => ThreadState::Ready,
-                ThreadStep::Blocked => {
-                    if slot.wake_pending {
-                        slot.wake_pending = false;
-                        ThreadState::Ready
-                    } else {
-                        ThreadState::Blocked
+            let finished_now = if slot.killed {
+                // Killed mid-slice: the slice's outcome is void and the
+                // guest state stays dropped. The kill already fired the
+                // exit hook.
+                false
+            } else {
+                slot.thread = Some(thread);
+                slot.state = match step {
+                    ThreadStep::Finished => ThreadState::Finished,
+                    ThreadStep::Yielded => ThreadState::Ready,
+                    ThreadStep::Blocked => {
+                        if slot.wake_pending {
+                            slot.wake_pending = false;
+                            ThreadState::Ready
+                        } else {
+                            ThreadState::Blocked
+                        }
                     }
-                }
+                };
+                step == ThreadStep::Finished
             };
             // A slice that ended runnable (or done) is not waiting on
             // anything, whatever edges it reported mid-slice.
@@ -667,8 +811,22 @@ impl DoppioRuntime {
             {
                 inner.stats.finished_ns = self.engine.now_ns();
             }
-            inner.threads.iter().any(|s| s.state == ThreadState::Ready)
+            let any_ready = inner.threads.iter().any(|s| s.state == ThreadState::Ready);
+            (any_ready, finished_now)
         };
+
+        if finished_now {
+            let fire = {
+                let inner = self.inner.borrow();
+                inner
+                    .exit_hook
+                    .clone()
+                    .map(|h| (h, inner.threads[id.0].tag))
+            };
+            if let Some((hook, tag)) = fire {
+                hook(id, tag);
+            }
+        }
 
         if any_ready {
             // Suspend-and-resume: let queued browser events (user input)
@@ -852,9 +1010,14 @@ impl ThreadContext<'_> {
         cell
     }
 
-    /// Spawn a sibling thread (JVM `Thread.start`).
+    /// Spawn a sibling thread (JVM `Thread.start`). The sibling
+    /// inherits this thread's owner tag, so every thread a kernel
+    /// process creates stays attributed to its pid.
     pub fn spawn(&self, name: impl Into<String>, thread: Box<dyn GuestThread>) -> ThreadId {
-        self.runtime.spawn(name, thread)
+        match self.runtime.thread_tag(self.thread_id) {
+            Some(tag) => self.runtime.spawn_tagged(name, tag, thread),
+            None => self.runtime.spawn(name, thread),
+        }
     }
 
     /// Wake a blocked sibling (JVM `notify`/`interrupt`/`unpark`).

@@ -38,6 +38,16 @@ pub enum Resource {
     /// An asynchronous browser API completion (an `AsyncCell`), with a
     /// human-readable label like `fs.read(/classes/Main.class)`.
     Async(String),
+    /// Data on a kernel pipe: a read blocked on an empty buffer. Its
+    /// progress depends on whoever holds the write end, which the
+    /// kernel registers through [`WaitGraph::set_owner`].
+    PipeRead(u64),
+    /// Space on a kernel pipe: a write blocked on a full buffer. Its
+    /// progress depends on whoever holds the read end.
+    PipeWrite(u64),
+    /// Exit of a kernel process (`waitpid`). Its progress depends on
+    /// the child's main thread.
+    Child(u64),
 }
 
 impl fmt::Display for Resource {
@@ -47,6 +57,9 @@ impl fmt::Display for Resource {
             Resource::Cond(o) => write!(f, "cond #{o}"),
             Resource::Join(t) => write!(f, "join(thread {t})"),
             Resource::Async(label) => write!(f, "async {label}"),
+            Resource::PipeRead(p) => write!(f, "pipe #{p} (read)"),
+            Resource::PipeWrite(p) => write!(f, "pipe #{p} (write)"),
+            Resource::Child(pid) => write!(f, "child pid {pid}"),
         }
     }
 }
@@ -207,6 +220,24 @@ impl WaitGraph {
         }
     }
 
+    /// Declare the thread whose progress resolves `resource`, without
+    /// treating it as a held lock (no lock-order analysis). The kernel
+    /// uses this for cross-process edges: the write-end holder of a
+    /// pipe owns its `PipeRead`, the read-end holder owns its
+    /// `PipeWrite`, and a child process's main thread owns its
+    /// `Child` — so a wait-for cycle spanning pids (a pipe-full writer
+    /// vs a reader stuck in `waitpid` on the writer) closes in the
+    /// same graph monitors and joins use.
+    pub fn set_owner(&mut self, resource: Resource, thread: usize) {
+        self.owners.insert(resource, thread);
+    }
+
+    /// Remove a [`set_owner`](Self::set_owner) registration (the
+    /// resolving end was closed, or the process exited).
+    pub fn clear_owner(&mut self, resource: &Resource) {
+        self.owners.remove(resource);
+    }
+
     /// Whether a path `from →* to` exists in the acquisition-order
     /// graph (graphs here are tiny; a plain DFS is fine).
     fn order_path_exists(&self, from: &Resource, to: &Resource) -> bool {
@@ -235,6 +266,11 @@ impl WaitGraph {
         match resource {
             Resource::Monitor(_) => self.owners.get(resource).copied(),
             Resource::Join(t) => Some(*t),
+            // Kernel resources resolve through whichever thread the
+            // kernel registered as holding the other end.
+            Resource::PipeRead(_) | Resource::PipeWrite(_) | Resource::Child(_) => {
+                self.owners.get(resource).copied()
+            }
             // A cond wait or async completion has no owning thread: it
             // can be resolved from the event loop.
             Resource::Cond(_) | Resource::Async(_) => None,
@@ -345,6 +381,28 @@ mod tests {
         g.note_block(1, Resource::Async("fs.read(/a)".into()), "main".into());
         assert!(g.find_cycle(1, &nm).is_none());
         assert!(g.blame_lines(&nm)[0].contains("fs.read(/a)"));
+    }
+
+    #[test]
+    fn cross_process_pipe_waitpid_cycle_is_found() {
+        // Thread 1 (writer process main) blocks on a full pipe whose
+        // read end is held by thread 2; thread 2 (reader process main)
+        // is waitpid-ing the writer. The kernel registers both owner
+        // edges; the graph must close the cycle.
+        let mut g = WaitGraph::default();
+        g.set_owner(Resource::PipeWrite(7), 2); // reader resolves writes
+        g.set_owner(Resource::Child(1), 1); // writer's main thread
+        g.note_block(1, Resource::PipeWrite(7), "stdout".into());
+        assert!(g.find_cycle(1, &nm).is_none(), "no cycle yet");
+        g.note_block(2, Resource::Child(1), "waitpid(1)".into());
+        let report = g.find_cycle(2, &nm).expect("cross-process cycle");
+        assert_eq!(report.cycle.len(), 2);
+        let text = report.to_string();
+        assert!(text.contains("pipe #7 (write)"), "{text}");
+        assert!(text.contains("child pid 1"), "{text}");
+        // Clearing the owner (process exited) breaks the chain.
+        g.clear_owner(&Resource::Child(1));
+        assert!(g.find_cycle(2, &nm).is_none());
     }
 
     #[test]

@@ -42,11 +42,13 @@ pub mod api;
 pub mod backend;
 pub mod backends;
 pub mod error;
+pub mod namespaces;
 pub mod path;
 
 pub use api::{Fd, FileSystem, FsStats};
 pub use backend::{Backend, DirIndex, FileKind, FsCallback, OpenFlags, SharedBackend, Stat};
 pub use error::{Errno, FsError, FsResult};
+pub use namespaces::FsNamespaces;
 
 /// Canonical label for a guest thread blocked on a file-system
 /// operation, used as the `Async` resource name in the runtime's

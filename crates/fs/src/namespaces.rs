@@ -1,0 +1,146 @@
+//! Per-process-group file-system namespaces.
+//!
+//! The kernel's multi-process layer (Browsix-style) gives every
+//! process group one shared, mountable file-system tree: processes in
+//! the same group see the same files (that's how a shell pipeline
+//! shares `/data`), while different groups are fully isolated.
+//! [`FsNamespaces`] is that registry — a lazy `group name →
+//! FileSystem` map where each namespace is a [`MountableFs`] over an
+//! in-memory root, so groups can mount extra backends (XHR class
+//! files, localStorage, a faulty decorator) at their own mount points
+//! without affecting anyone else.
+//!
+//! ```
+//! use doppio_fs::FsNamespaces;
+//! use doppio_jsengine::{Browser, Engine};
+//!
+//! let engine = Engine::new(Browser::Chrome);
+//! let ns = FsNamespaces::new(&engine);
+//! let a = ns.get_or_create("pipeline");
+//! let b = ns.get_or_create("pipeline");
+//! let c = ns.get_or_create("other");
+//! a.write_file("/shared.txt", b"hi".to_vec(), |_, r| r.unwrap());
+//! engine.run_until_idle();
+//! b.stat("/shared.txt", |_, r| { r.unwrap(); });     // same namespace
+//! c.stat("/shared.txt", |_, r| assert!(r.is_err())); // isolated
+//! engine.run_until_idle();
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use doppio_jsengine::Engine;
+
+use crate::api::FileSystem;
+use crate::backends::{self, MountableFs};
+
+struct Namespace {
+    fs: FileSystem,
+    mounts: Rc<MountableFs>,
+}
+
+/// Registry of named, isolated file-system namespaces (one per kernel
+/// process group). Cheap to clone; all clones share the same map.
+#[derive(Clone)]
+pub struct FsNamespaces {
+    engine: Engine,
+    spaces: Rc<RefCell<BTreeMap<String, Namespace>>>,
+}
+
+impl FsNamespaces {
+    /// An empty registry; namespaces are created on first use.
+    pub fn new(engine: &Engine) -> FsNamespaces {
+        FsNamespaces {
+            engine: engine.clone(),
+            spaces: Rc::new(RefCell::new(BTreeMap::new())),
+        }
+    }
+
+    fn ensure(&self, group: &str) {
+        let mut spaces = self.spaces.borrow_mut();
+        if !spaces.contains_key(group) {
+            let mounts = backends::mountable(backends::in_memory(&self.engine));
+            let fs = FileSystem::new(&self.engine, mounts.clone());
+            spaces.insert(group.to_string(), Namespace { fs, mounts });
+        }
+    }
+
+    /// The group's shared file system, created (empty, in-memory
+    /// root) on first request. Every process spawned into `group`
+    /// should be handed a clone of this.
+    pub fn get_or_create(&self, group: &str) -> FileSystem {
+        self.ensure(group);
+        self.spaces.borrow()[group].fs.clone()
+    }
+
+    /// The group's mount table, for attaching extra backends inside
+    /// that namespace only (e.g. a read-only class archive at
+    /// `/classes`).
+    pub fn mounts(&self, group: &str) -> Rc<MountableFs> {
+        self.ensure(group);
+        self.spaces.borrow()[group].mounts.clone()
+    }
+
+    /// Names of the namespaces created so far, sorted.
+    pub fn groups(&self) -> Vec<String> {
+        self.spaces.borrow().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppio_jsengine::Browser;
+    use std::cell::Cell;
+
+    #[test]
+    fn same_group_shares_different_groups_isolate() {
+        let engine = Engine::new(Browser::Chrome);
+        let ns = FsNamespaces::new(&engine);
+        let a1 = ns.get_or_create("a");
+        let a2 = ns.get_or_create("a");
+        let b = ns.get_or_create("b");
+
+        a1.write_file("/f.txt", b"payload".to_vec(), |_, r| r.unwrap());
+        engine.run_until_idle();
+
+        let seen = Rc::new(Cell::new(false));
+        let s = seen.clone();
+        a2.read_file("/f.txt", move |_, r| {
+            assert_eq!(r.unwrap(), b"payload");
+            s.set(true);
+        });
+        let isolated = Rc::new(Cell::new(false));
+        let i = isolated.clone();
+        b.read_file("/f.txt", move |_, r| {
+            assert!(r.is_err(), "group b must not see group a's files");
+            i.set(true);
+        });
+        engine.run_until_idle();
+        assert!(seen.get() && isolated.get());
+        assert_eq!(ns.groups(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn per_group_mounts_stay_in_their_namespace() {
+        let engine = Engine::new(Browser::Chrome);
+        let ns = FsNamespaces::new(&engine);
+        let _ = ns.get_or_create("g");
+        ns.mounts("g")
+            .mount("/extra", backends::in_memory(&engine))
+            .unwrap();
+        let fs = ns.get_or_create("g");
+        fs.write_file("/extra/x", b"1".to_vec(), |_, r| r.unwrap());
+        engine.run_until_idle();
+        let other = ns.get_or_create("h");
+        let checked = Rc::new(Cell::new(false));
+        let c = checked.clone();
+        other.stat("/extra/x", move |_, r| {
+            assert!(r.is_err());
+            c.set(true);
+        });
+        engine.run_until_idle();
+        assert!(checked.get());
+    }
+}

@@ -6,7 +6,9 @@ use std::collections::HashSet;
 use std::fmt;
 use std::rc::Rc;
 
-use doppio_trace::{cat, ArgValue, Counter, Histogram, MetricsRegistry, Profiler, TraceSink, Tracer};
+use doppio_trace::{
+    cat, ArgValue, Counter, Histogram, MetricsRegistry, Profiler, TraceSink, Tracer,
+};
 
 use crate::error::{EngineError, EngineResult};
 use crate::event_loop::{EventKind, EventQueue, ScheduledEvent};
@@ -94,9 +96,68 @@ impl EngineCounters {
             }),
             event_latency: reg.histogram("engine.event_latency"),
             event_latency_by_kind: std::array::from_fn(|i| {
-                reg.histogram(&format!("engine.event_latency.{}", EventKind::ALL[i].name()))
+                reg.histogram(&format!(
+                    "engine.event_latency.{}",
+                    EventKind::ALL[i].name()
+                ))
             }),
         }
+    }
+}
+
+/// The observability knobs, gathered in one place.
+///
+/// Historically `.histograms(bool)` (a registry-wide switch) and
+/// `.profiler(Profiler)` (a per-engine attachment) were asymmetric
+/// builder methods; both now live here, accepted uniformly by
+/// [`EngineBuilder::observability`] and by the kernel. Fields left
+/// unset fall back to whatever the accepting side already had.
+///
+/// ```
+/// use doppio_jsengine::{Browser, EngineBuilder, ObservabilityOptions};
+///
+/// let engine = EngineBuilder::new(Browser::Chrome)
+///     .observability(ObservabilityOptions::new().histograms(true))
+///     .build();
+/// assert!(engine.metrics().histograms_enabled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ObservabilityOptions {
+    /// Enable latency histograms on the metrics registry. Histograms
+    /// never advance the virtual clock, so this cannot change
+    /// simulated results.
+    pub histograms: Option<bool>,
+    /// Attach a virtual-clock sampling profiler.
+    pub profiler: Option<Profiler>,
+}
+
+impl ObservabilityOptions {
+    /// No opinions: every field falls back to the accepting side.
+    pub fn new() -> ObservabilityOptions {
+        ObservabilityOptions::default()
+    }
+
+    /// Turn latency histograms on (or explicitly off).
+    pub fn histograms(mut self, on: bool) -> ObservabilityOptions {
+        self.histograms = Some(on);
+        self
+    }
+
+    /// Attach a sampling [`Profiler`].
+    pub fn profiler(mut self, profiler: Profiler) -> ObservabilityOptions {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// `self`, with unset fields filled from `fallback`.
+    pub fn or(mut self, fallback: &ObservabilityOptions) -> ObservabilityOptions {
+        if self.histograms.is_none() {
+            self.histograms = fallback.histograms;
+        }
+        if self.profiler.is_none() {
+            self.profiler = fallback.profiler.clone();
+        }
+        self
     }
 }
 
@@ -122,8 +183,7 @@ pub struct EngineBuilder {
     metrics: MetricsRegistry,
     watchdog_override: Option<Option<u64>>,
     rng_seed: u64,
-    histograms: Option<bool>,
-    profiler: Option<Profiler>,
+    obs: ObservabilityOptions,
 }
 
 impl EngineBuilder {
@@ -140,8 +200,7 @@ impl EngineBuilder {
             metrics: MetricsRegistry::new(),
             watchdog_override: None,
             rng_seed: 0,
-            histograms: None,
-            profiler: None,
+            obs: ObservabilityOptions::default(),
         }
     }
 
@@ -179,25 +238,53 @@ impl EngineBuilder {
         self
     }
 
+    /// Set the observability knobs in one call. Fields `opts` leaves
+    /// unset keep whatever earlier calls established.
+    pub fn observability(mut self, opts: ObservabilityOptions) -> EngineBuilder {
+        self.obs = opts.or(&self.obs);
+        self
+    }
+
+    /// Fill observability fields *not yet set on this builder* from
+    /// `opts` (the kernel's defaults lose to explicit builder calls).
+    pub fn observability_fallback(mut self, opts: &ObservabilityOptions) -> EngineBuilder {
+        self.obs = self.obs.or(opts);
+        self
+    }
+
     /// Turn latency histograms on (or explicitly off) for the metrics
     /// registry. Off by default; when off, every
     /// [`Histogram::record`] site is a single branch. Histograms never
     /// advance the virtual clock, so enabling them cannot change
     /// simulated results.
+    ///
+    /// Delegates to [`ObservabilityOptions`]; prefer
+    /// [`observability`](Self::observability) when setting more than
+    /// one knob.
     pub fn histograms(mut self, on: bool) -> EngineBuilder {
-        self.histograms = Some(on);
+        self.obs.histograms = Some(on);
         self
     }
 
     /// Attach a virtual-clock sampling [`Profiler`]. Suspend/slice
     /// boundaries check it and fold the live stacks; see
     /// `docs/observability.md`.
+    ///
+    /// Delegates to [`ObservabilityOptions`]; prefer
+    /// [`observability`](Self::observability) when setting more than
+    /// one knob.
     pub fn profiler(mut self, profiler: Profiler) -> EngineBuilder {
-        self.profiler = Some(profiler);
+        self.obs.profiler = Some(profiler);
         self
     }
 
-    /// Construct the engine.
+    /// Construct a standalone engine — the one-process convenience.
+    ///
+    /// Note: new multi-guest code should prefer `build_on(&Kernel)`
+    /// (see `doppio_core::BuildOnKernel`), which hosts the engine on a
+    /// kernel so several guest processes can share its event loop,
+    /// metrics, and wait-for graph. `build()` remains fully supported
+    /// for single-guest embeddings.
     pub fn build(self) -> Engine {
         let mut profile = self.profile;
         if let Some(limit) = self.watchdog_override {
@@ -205,7 +292,7 @@ impl EngineBuilder {
         }
         let memory = MemoryModel::new(profile.leaks_typed_arrays, profile.paging_threshold_bytes);
         let storage = StorageSet::for_profile(&profile);
-        if let Some(on) = self.histograms {
+        if let Some(on) = self.obs.histograms {
             self.metrics.set_histograms_enabled(on);
         }
         let counters = EngineCounters::new(&self.metrics);
@@ -228,7 +315,7 @@ impl EngineBuilder {
                 storage: RefCell::new(storage),
                 event_depth: Cell::new(0),
                 current_event: Cell::new(None),
-                profiler: self.profiler,
+                profiler: self.obs.profiler,
             }),
         }
     }

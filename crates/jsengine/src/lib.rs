@@ -40,7 +40,7 @@ pub mod storage;
 
 mod engine;
 
-pub use engine::{Callback, Engine, EngineBuilder, TimerId};
+pub use engine::{Callback, Engine, EngineBuilder, ObservabilityOptions, TimerId};
 pub use error::{EngineError, EngineResult};
 pub use event_loop::EventKind;
 pub use jsstring::JsString;

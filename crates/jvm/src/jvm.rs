@@ -9,7 +9,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use doppio_core::{DoppioRuntime, RuntimeError, RuntimeStats, ThreadId};
+use doppio_core::{DoppioRuntime, ExitStatus, GuestThread, RuntimeError, RuntimeStats, ThreadId};
 use doppio_fs::FileSystem;
 use doppio_jsengine::Engine;
 use doppio_sockets::Network;
@@ -64,6 +64,15 @@ impl Jvm {
     /// runtime class library is defined eagerly; user classes load
     /// lazily through `fs` from the classpath (default `/classes`).
     pub fn new(engine: &Engine, fs: FileSystem) -> Jvm {
+        Jvm::with_runtime(engine, fs, DoppioRuntime::new(engine))
+    }
+
+    /// [`new`](Self::new), but scheduling the JVM's threads on an
+    /// existing runtime instead of a private one. This is how several
+    /// JVMs share one scheduler and wait-for graph — the kernel's
+    /// multi-process layer builds every guest this way (see
+    /// `doppio_core::Kernel` and [`crate::process::spawn_jvm`]).
+    pub fn with_runtime(engine: &Engine, fs: FileSystem, runtime: DoppioRuntime) -> Jvm {
         let mut state = JvmState::new(engine, fs);
         for cf in rtlib::runtime_classes() {
             let name = cf.name().expect("rt class").to_string();
@@ -75,7 +84,7 @@ impl Jvm {
         Jvm {
             engine: engine.clone(),
             state,
-            runtime: DoppioRuntime::new(engine),
+            runtime,
             main_uncaught: RefCell::new(None),
             boot_counter: RefCell::new(0),
         }
@@ -166,6 +175,17 @@ impl Jvm {
     /// The main class itself is loaded lazily through the file system
     /// when the bootstrap's `invokestatic` first references it (§6.4).
     pub fn launch(&self, main_class: &str, args: &[&str]) {
+        let thread = self.prepare_main(main_class, args);
+        self.runtime.spawn("main", thread);
+    }
+
+    /// Build the main thread for `main_class.main(args)` without
+    /// spawning it. The caller decides where it runs — directly on
+    /// [`runtime`](Self::runtime) (what [`launch`](Self::launch)
+    /// does), or wrapped as a kernel process main thread
+    /// (`Kernel::spawn`). Live-thread accounting starts here, so the
+    /// returned thread MUST be spawned exactly once.
+    pub fn prepare_main(&self, main_class: &str, args: &[&str]) -> Box<dyn GuestThread> {
         let n = {
             let mut c = self.boot_counter.borrow_mut();
             *c += 1;
@@ -208,7 +228,41 @@ impl Jvm {
 
         let thread = JvmThread::new(self.state.clone(), "main", Frame::new(blob));
         *self.main_uncaught.borrow_mut() = Some(thread.uncaught.clone());
-        self.runtime.spawn("main", Box::new(thread));
+        Box::new(thread)
+    }
+
+    /// An exit probe for the kernel's process layer: reports
+    /// `Some(status)` once the JVM program is over — `System.exit`'s
+    /// code, or (when every JVM thread has finished) 0, or 1 if the
+    /// main thread died to an uncaught exception. Install it with
+    /// `Kernel::set_exit_probe`.
+    pub fn exit_probe(&self) -> impl Fn() -> Option<ExitStatus> {
+        let state = self.state.clone();
+        let uncaught = self.main_uncaught.borrow().clone();
+        move || {
+            let st = state.borrow();
+            if let Some(code) = st.exit_code {
+                return Some(ExitStatus::Exited(code));
+            }
+            if st.live_threads == 0 {
+                let failed = uncaught
+                    .as_ref()
+                    .map(|u| u.borrow().is_some())
+                    .unwrap_or(false);
+                return Some(ExitStatus::Exited(if failed { 1 } else { 0 }));
+            }
+            None
+        }
+    }
+
+    /// A standalone handle to this JVM's standard input, cloneable and
+    /// usable after the `Jvm` itself is dropped (the kernel's stdin
+    /// pump threads hold one).
+    pub fn stdin_handle(&self) -> JvmStdin {
+        JvmStdin {
+            state: self.state.clone(),
+            runtime: self.runtime.clone(),
+        }
     }
 
     /// Whether every JVM thread has finished (or `System.exit` ran).
@@ -263,6 +317,41 @@ impl Jvm {
             runtime: self.runtime.stats(),
             class_fetches: state.loader.fetches,
             wall_ns: self.engine.now_ns() - start_ns,
+        }
+    }
+}
+
+/// A cloneable handle to one JVM's standard input stream. Obtained
+/// from [`Jvm::stdin_handle`]; pushing bytes or closing the stream
+/// wakes guest threads blocked in `Console.readLine`/`readByte`.
+#[derive(Clone)]
+pub struct JvmStdin {
+    state: Rc<RefCell<JvmState>>,
+    runtime: DoppioRuntime,
+}
+
+impl JvmStdin {
+    /// Queue bytes on standard input, waking blocked readers.
+    pub fn push(&self, bytes: &[u8]) {
+        let waiters: Vec<ThreadId> = {
+            let mut st = self.state.borrow_mut();
+            st.push_stdin(bytes);
+            st.stdin_waiters.drain(..).collect()
+        };
+        for w in waiters {
+            self.runtime.wake(w);
+        }
+    }
+
+    /// Close standard input (EOF), waking blocked readers.
+    pub fn close(&self) {
+        let waiters: Vec<ThreadId> = {
+            let mut st = self.state.borrow_mut();
+            st.stdin_closed = true;
+            st.stdin_waiters.drain(..).collect()
+        };
+        for w in waiters {
+            self.runtime.wake(w);
         }
     }
 }

@@ -48,13 +48,15 @@ pub mod jvm;
 pub mod loader;
 pub mod natives;
 pub mod object;
+pub mod process;
 pub mod rtlib;
 pub mod state;
 pub mod thread;
 pub mod value;
 
-pub use jvm::{Jvm, JvmRunResult, UserNative};
+pub use jvm::{Jvm, JvmRunResult, JvmStdin, UserNative};
 pub use natives::{NativeCtx, NativeOutcome};
+pub use process::spawn_jvm;
 pub use value::{ObjRef, Value};
 
 #[cfg(test)]

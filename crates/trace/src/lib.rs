@@ -73,6 +73,9 @@ pub mod cat {
     /// Schedule exploration: per-tick pick instants, deadlock-cycle
     /// dumps, and lock-order-inversion warnings.
     pub const SCHED: &str = "sched";
+    /// Kernel process lifecycle: spawns, exits, signals, and pipe
+    /// transfers, each tagged with the pid it concerns.
+    pub const PROC: &str = "proc";
 }
 
 /// Trace event phase, mirroring the Chrome `trace_event` `ph` field.

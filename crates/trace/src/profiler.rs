@@ -85,9 +85,7 @@ impl Profiler {
         // Boundaries can be sparse: one observation may cover several
         // elapsed intervals. Weight it so time share stays honest.
         let weight = (now_ns - due) / inner.interval_ns + 1;
-        inner
-            .next_due_ns
-            .set(due + weight * inner.interval_ns);
+        inner.next_due_ns.set(due + weight * inner.interval_ns);
         inner.samples.set(inner.samples.get() + weight);
 
         let mut key = String::new();

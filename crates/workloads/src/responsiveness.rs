@@ -57,11 +57,7 @@ pub fn run_responsiveness(id: &str, browser: Browser, click_interval_ms: f64) ->
 
 /// [`run_responsiveness`] on a caller-built engine (profiler, tracing,
 /// custom seeds).
-pub fn run_responsiveness_on(
-    id: &str,
-    engine: Engine,
-    click_interval_ms: f64,
-) -> Responsiveness {
+pub fn run_responsiveness_on(id: &str, engine: Engine, click_interval_ms: f64) -> Responsiveness {
     let latencies = Rc::new(RefCell::new(Vec::new()));
     let lat = latencies.clone();
     let outcome = run_workload_hooked(id, engine, move |e| {

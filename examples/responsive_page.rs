@@ -42,9 +42,11 @@ const CRUNCHER: &str = r#"
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let flag = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .map(|i| args.get(i + 1).unwrap_or_else(|| panic!("{name} needs a file path")).clone())
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{name} needs a file path"))
+                .clone()
+        })
     };
     let trace_path = flag("--trace");
     let profile_path = flag("--profile");
@@ -72,9 +74,7 @@ fn main() {
     if observing {
         // Histograms feed the report's percentile rows; the profiler
         // samples every 1 ms of virtual time at suspend boundaries.
-        builder = builder
-            .histograms(true)
-            .profiler(Profiler::new(1_000_000));
+        builder = builder.histograms(true).profiler(Profiler::new(1_000_000));
     }
     let engine = builder.build();
     if let Some(sink) = &sink {
@@ -155,18 +155,14 @@ fn main() {
     }
 
     if let Some(path) = &report_path {
-        let mut report =
-            RunReport::collect("responsive_page", &engine).with_runtime(jvm.runtime());
+        let mut report = RunReport::collect("responsive_page", &engine).with_runtime(jvm.runtime());
         if let Some(sink) = &sink {
             report = report.with_trace(sink);
         }
         std::fs::write(path, report.to_markdown()).expect("write report markdown");
         let json_path = std::path::Path::new(path).with_extension("json");
         std::fs::write(&json_path, report.to_json_string()).expect("write report JSON");
-        println!(
-            "wrote run report to {path} and {}",
-            json_path.display()
-        );
+        println!("wrote run report to {path} and {}", json_path.display());
         println!("\n{}", report.summary());
     }
 

@@ -1,0 +1,199 @@
+//! A Browsix-style shell pipeline on one [`Kernel`]: three JVM guest
+//! processes — `disasm | grep class | wc` — connected by real bounded
+//! pipes, sharing a per-group file-system namespace, all interleaved
+//! deterministically on one virtual-clock event loop.
+//!
+//! The first stage structurally disassembles the pipeline's *own*
+//! class files (mounted into the group namespace), the second filters
+//! the listing, the third counts what survived; the host reads the
+//! final pipe. Same seed → byte-identical transcript (CI diffs two
+//! runs to prove it).
+//!
+//! Run with: `cargo run --example shell_pipeline -- [seed] [--out DIR]`
+//!
+//! * `seed` — RNG seed (default: `$DOPPIO_FAULT_SEED`, then 1).
+//! * `--out DIR` — also write `transcript.txt`, `report.md`,
+//!   `report.json`, and `trace.json` (Chrome `trace_event` format)
+//!   under `DIR`.
+
+use std::rc::Rc;
+
+use doppio::fs::FsNamespaces;
+use doppio::jsengine::Browser;
+use doppio::jvm::{fsutil, spawn_jvm};
+use doppio::minijava::compile_to_bytes;
+use doppio::report::RunReport;
+use doppio::trace::{chrome, RingSink};
+use doppio::{BuildOnKernel, EngineBuilder, Kernel, SpawnOptions};
+
+/// Stage 1: the `javap`-analog. Lists the group namespace's
+/// `/data/classes`, reads each class file, and prints one line per
+/// class: name, constant-pool size, byte count.
+const DISASM: &str = r#"
+    class Disasm {
+        static int u2(byte[] b, int off) {
+            return ((b[off] & 255) << 8) | (b[off + 1] & 255);
+        }
+        static int u4(byte[] b, int off) {
+            return (u2(b, off) << 16) | u2(b, off + 2);
+        }
+        static void main(String[] args) {
+            String[] files = FileSystem.listDir("/data/classes");
+            for (int f = 0; f < files.length; f++) {
+                byte[] b = FileSystem.readFileBytes("/data/classes/" + files[f]);
+                if (u4(b, 0) != 0xCAFEBABE) {
+                    System.out.println("bad magic in " + files[f]);
+                } else {
+                    System.out.println("class " + files[f]
+                        + " pool=" + u2(b, 8) + " bytes=" + b.length);
+                }
+            }
+        }
+    }
+"#;
+
+/// Stage 2: `grep PATTERN` — forwards stdin lines containing argv[0].
+const GREP: &str = r#"
+    class Grep {
+        static void main(String[] args) {
+            String pat = args[0];
+            String line = Console.readLine();
+            while (line != null) {
+                if (line.indexOf(pat) >= 0) {
+                    System.out.println(line);
+                }
+                line = Console.readLine();
+            }
+        }
+    }
+"#;
+
+/// Stage 3: `wc` — counts lines and characters on stdin.
+const WC: &str = r#"
+    class Wc {
+        static void main(String[] args) {
+            int lines = 0;
+            int chars = 0;
+            String line = Console.readLine();
+            while (line != null) {
+                lines = lines + 1;
+                chars = chars + line.length() + 1;
+                line = Console.readLine();
+            }
+            System.out.println(lines + " lines, " + chars + " chars");
+        }
+    }
+"#;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.parse().expect("seed must be a number"))
+        .or_else(|| {
+            std::env::var("DOPPIO_FAULT_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .unwrap_or(1);
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args[i + 1].clone());
+
+    // One kernel, one engine: the builder's configuration (seed,
+    // histograms, trace sink) becomes the kernel's event loop.
+    let kernel = Kernel::new();
+    let sink = Rc::new(RingSink::default());
+    let engine = EngineBuilder::new(Browser::Chrome)
+        .rng_seed(seed)
+        .histograms(true)
+        .trace_sink(sink.clone())
+        .build_on(&kernel);
+
+    // The "pipeline" process group shares one mountable fs namespace:
+    // every stage's class files live at /classes, and the same files
+    // double as the disassembler's input data at /data/classes.
+    let ns = FsNamespaces::new(&engine);
+    let fs = ns.get_or_create("pipeline");
+    let mut all = Vec::new();
+    for src in [DISASM, GREP, WC] {
+        all.extend(compile_to_bytes(src).expect("stage compiles"));
+    }
+    fsutil::mount_class_files(&engine, &fs, "/classes", &all);
+    fsutil::mount_class_files(&engine, &fs, "/data/classes", &all);
+
+    // disasm | grep class | wc — three JVM processes over two pipes,
+    // plus a final pipe the host reads like a captured stdout.
+    let (p1, p2, p3) = (kernel.pipe(), kernel.pipe(), kernel.pipe());
+    let (disasm, _) = spawn_jvm(
+        &kernel,
+        SpawnOptions::new("disasm").group("pipeline").stdout(p1),
+        fs.clone(),
+        "Disasm",
+    );
+    let (grep, _) = spawn_jvm(
+        &kernel,
+        SpawnOptions::new("grep")
+            .group("pipeline")
+            .arg("class")
+            .stdin(p1)
+            .stdout(p2),
+        fs.clone(),
+        "Grep",
+    );
+    let (wc, _) = spawn_jvm(
+        &kernel,
+        SpawnOptions::new("wc")
+            .group("pipeline")
+            .stdin(p2)
+            .stdout(p3),
+        fs.clone(),
+        "Wc",
+    );
+
+    // `wait` reaps the last stage (the other stages' exits cascade
+    // through pipe EOFs first); `run` drains whatever remains.
+    let status = wc.wait().expect("pipeline must not deadlock");
+    kernel.run().expect("drain");
+    assert!(status.success() && disasm.status().unwrap().success());
+    assert!(grep.status().unwrap().success());
+
+    let output = String::from_utf8(kernel.host_read(p3)).expect("utf8");
+
+    // The transcript: final-pipe output plus the process table — the
+    // byte-identity artifact CI diffs across same-seed runs.
+    let mut transcript = String::new();
+    transcript.push_str(&format!(
+        "seed: {seed}\n$ disasm | grep class | wc\n{output}"
+    ));
+    for p in kernel.process_table() {
+        transcript.push_str(&format!(
+            "[pid {}] {} {:?} {} slices={} in={}B out={}B\n",
+            p.pid, p.name, p.argv, p.status, p.slices, p.pipe_in, p.pipe_out
+        ));
+    }
+    transcript.push_str(&format!("virtual time: {} ns\n", engine.now_ns()));
+    print!("{transcript}");
+
+    let report = RunReport::collect("shell_pipeline", &engine)
+        .with_runtime(&kernel.runtime())
+        .with_kernel(&kernel)
+        .with_trace(&sink);
+    println!("---\n{}", report.summary());
+
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(&dir).expect("create out dir");
+        let path = |name: &str| format!("{dir}/{name}");
+        std::fs::write(path("transcript.txt"), &transcript).expect("write transcript");
+        std::fs::write(path("report.md"), report.to_markdown()).expect("write report.md");
+        std::fs::write(path("report.json"), report.to_json_string()).expect("write report.json");
+        std::fs::write(path("trace.json"), chrome::export_sink(&sink)).expect("write trace.json");
+        println!("wrote transcript.txt, report.md, report.json, trace.json to {dir}");
+    }
+
+    // The pipeline really flowed: every stage's class line survived
+    // grep, and wc summed them.
+    assert!(output.contains("lines,"), "wc printed a count: {output:?}");
+}

@@ -44,9 +44,39 @@
 //! assert_eq!(engine.browser(), Browser::Chrome);
 //! ```
 //!
-//! See `examples/quickstart.rs` for the full pipeline: compile MiniJava
-//! source to class files, mount them on the Doppio file system, and run
-//! them in DoppioJVM under event segmentation.
+//! Or host several guest programs as processes on one [`Kernel`] —
+//! pids, pipes, signals, `waitpid` — all on one deterministic event
+//! loop:
+//!
+//! ```
+//! use doppio::{Kernel, SpawnOptions};
+//! use doppio::core::{PipeWrite, ThreadStep};
+//!
+//! let kernel = Kernel::new();
+//! let pipe = kernel.pipe();
+//! let k = kernel.clone();
+//! let mut sent = false;
+//! let p = kernel.spawn_fn(SpawnOptions::new("greeter").stdout(pipe), move |ctx| {
+//!     if sent { return ThreadStep::Finished; }
+//!     sent = true;
+//!     match k.write_pipe(ctx, pipe, b"hello") {
+//!         PipeWrite::Wrote(_) => ThreadStep::Yielded,
+//!         PipeWrite::WouldBlock => ThreadStep::Blocked,
+//!         PipeWrite::Broken => ThreadStep::Finished,
+//!     }
+//! });
+//! let status = p.wait().unwrap();
+//! assert!(status.success());
+//! assert_eq!(kernel.host_read(pipe), b"hello");
+//! ```
+//!
+//! See `examples/quickstart.rs` for the single-JVM pipeline (compile
+//! MiniJava source to class files, mount them on the Doppio file
+//! system, run them in DoppioJVM under event segmentation) and
+//! `examples/shell_pipeline.rs` for the multi-process version: three
+//! JVM processes connected by pipes, `disasm | grep | wc`-style, with
+//! per-pid deadlock blame and a per-process run report. `docs/kernel.md`
+//! covers the process model and the `Engine` → `Kernel` migration.
 
 pub use doppio_buffer as buffer;
 pub use doppio_classfile as classfile;
@@ -63,3 +93,10 @@ pub use doppio_schedtest as schedtest;
 pub use doppio_sockets as sockets;
 pub use doppio_trace as trace;
 pub use doppio_workloads as workloads;
+
+// The kernel/process API and the engine builder, at the crate root:
+// `doppio::Kernel` is the multi-guest entry point, and
+// `EngineBuilder::build_on(&kernel)` (via [`BuildOnKernel`]) is how a
+// configured engine becomes a kernel's event loop.
+pub use doppio_core::{BuildOnKernel, ExitStatus, Kernel, Pid, Process, Signal, SpawnOptions};
+pub use doppio_jsengine::{EngineBuilder, ObservabilityOptions};

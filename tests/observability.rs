@@ -91,14 +91,15 @@ fn report_reflects_the_run_and_parses() {
         let p50 = row.get("p50").unwrap().as_f64().unwrap();
         let p95 = row.get("p95").unwrap().as_f64().unwrap();
         let max = row.get("max").unwrap().as_f64().unwrap();
-        assert!(p50 <= p95 && p95 <= max, "{name}: p50 {p50} p95 {p95} max {max}");
+        assert!(
+            p50 <= p95 && p95 <= max,
+            "{name}: p50 {p50} p95 {p95} max {max}"
+        );
     }
     let profile = v.get("profile").expect("profile section");
     assert!(profile.get("samples").unwrap().as_f64().unwrap() > 0.0);
     assert!(
-        v.get("waitgraph")
-            .and_then(|w| w.get("deadlock"))
-            .is_some(),
+        v.get("waitgraph").and_then(|w| w.get("deadlock")).is_some(),
         "waitgraph section present"
     );
     assert_eq!(

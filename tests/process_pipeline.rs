@@ -1,0 +1,388 @@
+//! The multi-process kernel, end-to-end: JVM guests as processes on
+//! one [`Kernel`], connected by real pipes — EOF and backpressure,
+//! SIGKILL mid-stream, zombie reaping through `waitpid`, exit-code
+//! propagation, and schedule exploration finding (then shrinking and
+//! replaying) a cross-process pipe/waitpid deadlock.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use doppio::core::{PipeRead, PipeWrite, Scheduler, ThreadStep, WaitPid};
+use doppio::fs::{backends, FileSystem};
+use doppio::jvm::{fsutil, spawn_jvm};
+use doppio::minijava::compile_to_bytes;
+use doppio::schedtest::{explore, ExploreConfig, PickLog, RecordingScheduler, ReplayFile};
+use doppio::{ExitStatus, Kernel, Signal, SpawnOptions};
+
+/// Master seed for the exploration test; fixed so the in-tree run is
+/// deterministic (CI's fuzz matrix varies it separately).
+const SEED: u64 = 0x0D10_CE55;
+
+/// Compile `src` and hand back a fresh in-memory fs with the classes
+/// mounted at `/classes` (the kernel's engine provides the event loop).
+fn classes_fs(kernel: &Kernel, src: &str) -> FileSystem {
+    let engine = kernel.engine();
+    let fs = FileSystem::new(&engine, backends::in_memory(&engine));
+    fsutil::mount_class_files(&engine, &fs, "/classes", &compile_to_bytes(src).unwrap());
+    fs
+}
+
+const PRODUCER: &str = r#"
+    class Main {
+        static void main(String[] args) {
+            for (int i = 0; i < 5; i++) {
+                System.out.println("line " + i);
+            }
+        }
+    }
+"#;
+
+/// Reads stdin to EOF, echoes each line, then exits with the line
+/// count — the exit-code-propagation half of the test.
+const COUNTING_FILTER: &str = r#"
+    class Main {
+        static void main(String[] args) {
+            int n = 0;
+            String line = Console.readLine();
+            while (line != null) {
+                System.out.println("got " + line);
+                n = n + 1;
+                line = Console.readLine();
+            }
+            System.exit(n);
+        }
+    }
+"#;
+
+#[test]
+fn jvm_pipeline_eof_and_exit_code_propagation() {
+    // producer | filter, both real JVM guests: the producer's exit
+    // closes its stdout pipe, the filter's `readLine` sees EOF (null)
+    // and exits with the count it saw; the host reads the final pipe.
+    let kernel = Kernel::new();
+    let p1 = kernel.pipe();
+    let p2 = kernel.pipe();
+
+    let (producer, _) = spawn_jvm(
+        &kernel,
+        SpawnOptions::new("producer").stdout(p1),
+        classes_fs(&kernel, PRODUCER),
+        "Main",
+    );
+    let (filter, _) = spawn_jvm(
+        &kernel,
+        SpawnOptions::new("filter").stdin(p1).stdout(p2),
+        classes_fs(&kernel, COUNTING_FILTER),
+        "Main",
+    );
+
+    kernel.run().unwrap();
+    assert_eq!(producer.status(), Some(ExitStatus::Exited(0)));
+    // System.exit(n) propagated through the exit probe: 5 lines seen.
+    assert_eq!(filter.status(), Some(ExitStatus::Exited(5)));
+    let out = String::from_utf8(kernel.host_read(p2)).unwrap();
+    assert_eq!(
+        out,
+        "got line 0\ngot line 1\ngot line 2\ngot line 3\ngot line 4\n"
+    );
+}
+
+#[test]
+fn backpressure_bounds_the_pipe_while_data_flows() {
+    // A 4-byte pipe between a fast writer and a 1-byte-per-slice
+    // reader: the writer must park at capacity, yet every byte must
+    // arrive, in order.
+    let kernel = Kernel::new();
+    let pipe = kernel.pipe_with_capacity(4);
+    let payload: Vec<u8> = (0u8..64).collect();
+
+    let k = kernel.clone();
+    let mut remaining = payload.clone();
+    kernel.spawn_fn(SpawnOptions::new("writer").stdout(pipe), move |ctx| {
+        if remaining.is_empty() {
+            return ThreadStep::Finished;
+        }
+        match k.write_pipe(ctx, pipe, &remaining) {
+            PipeWrite::Wrote(n) => {
+                assert!(n <= 4, "wrote past capacity: {n}");
+                remaining.drain(..n);
+                ThreadStep::Yielded
+            }
+            PipeWrite::WouldBlock => ThreadStep::Blocked,
+            PipeWrite::Broken => panic!("reader vanished"),
+        }
+    });
+
+    let k = kernel.clone();
+    let out = Rc::new(RefCell::new(Vec::new()));
+    let o = out.clone();
+    kernel.spawn_fn(SpawnOptions::new("reader").stdin(pipe), move |ctx| match k
+        .read_pipe(ctx, pipe, 1)
+    {
+        PipeRead::Data(d) => {
+            o.borrow_mut().extend_from_slice(&d);
+            ThreadStep::Yielded
+        }
+        PipeRead::WouldBlock => ThreadStep::Blocked,
+        PipeRead::Eof => ThreadStep::Finished,
+    });
+
+    // Drive tick by tick so the capacity invariant is checked at every
+    // point of the run, not just the end.
+    let engine = kernel.engine();
+    kernel.runtime().start();
+    while engine.run_one() {
+        assert!(
+            kernel.pipe_len(pipe) <= 4,
+            "pipe over capacity: {}",
+            kernel.pipe_len(pipe)
+        );
+    }
+    assert!(kernel.all_exited());
+    assert_eq!(*out.borrow(), payload);
+}
+
+/// An unbounded producer: prints forever, so only a signal ends it.
+const SPAMMER: &str = r#"
+    class Main {
+        static void main(String[] args) {
+            while (true) {
+                System.out.println("spam");
+            }
+        }
+    }
+"#;
+
+#[test]
+fn sigkill_mid_pipe_gives_the_reader_eof() {
+    let kernel = Kernel::new();
+    let pipe = kernel.pipe_with_capacity(256);
+
+    let (spammer, _) = spawn_jvm(
+        &kernel,
+        SpawnOptions::new("spammer").stdout(pipe),
+        classes_fs(&kernel, SPAMMER),
+        "Main",
+    );
+
+    let k = kernel.clone();
+    let out = Rc::new(RefCell::new(Vec::new()));
+    let o = out.clone();
+    let reader = kernel.spawn_fn(SpawnOptions::new("reader").stdin(pipe), move |ctx| match k
+        .read_pipe(ctx, pipe, 64)
+    {
+        PipeRead::Data(d) => {
+            o.borrow_mut().extend_from_slice(&d);
+            ThreadStep::Yielded
+        }
+        PipeRead::WouldBlock => ThreadStep::Blocked,
+        PipeRead::Eof => ThreadStep::Finished,
+    });
+
+    // Let the stream establish itself, then kill the writer mid-pipe.
+    let engine = kernel.engine();
+    kernel.runtime().start();
+    for _ in 0..400 {
+        if !engine.run_one() {
+            break;
+        }
+    }
+    assert!(spammer.status().is_none(), "spammer must still be running");
+    spammer.kill(Signal::Kill);
+    kernel.run().unwrap();
+
+    assert_eq!(spammer.status(), Some(ExitStatus::Signaled(Signal::Kill)));
+    assert!(!spammer.status().unwrap().success());
+    // The kill released the write end: the reader drained what was
+    // written and saw EOF, exiting normally.
+    assert_eq!(reader.status(), Some(ExitStatus::Exited(0)));
+    let text = String::from_utf8(out.borrow().clone()).unwrap();
+    assert!(!text.is_empty() && text.starts_with("spam\n"), "{text:?}");
+    // The process table records the signal by name.
+    let row = kernel
+        .process_table()
+        .into_iter()
+        .find(|p| p.name == "spammer")
+        .unwrap();
+    assert_eq!(row.status, "killed(SIGKILL)");
+}
+
+const EXIT_SEVEN: &str = r#"
+    class Main {
+        static void main(String[] args) {
+            System.exit(7);
+        }
+    }
+"#;
+
+#[test]
+fn waitpid_reaps_the_jvm_zombie_and_sees_its_code() {
+    let kernel = Kernel::new();
+    let (child, _) = spawn_jvm(
+        &kernel,
+        SpawnOptions::new("child"),
+        classes_fs(&kernel, EXIT_SEVEN),
+        "Main",
+    );
+    let child_pid = child.pid();
+
+    // Run the child to completion with nobody waiting: a zombie.
+    kernel.run_until_exit(child_pid).unwrap();
+    assert!(kernel.zombies().contains(&child_pid));
+
+    let k = kernel.clone();
+    let seen = Rc::new(Cell::new(None));
+    let s = seen.clone();
+    kernel.spawn_fn(SpawnOptions::new("parent"), move |ctx| {
+        match k.waitpid(ctx, child_pid) {
+            WaitPid::Exited(status) => {
+                s.set(Some(status));
+                ThreadStep::Finished
+            }
+            WaitPid::WouldBlock => ThreadStep::Blocked,
+        }
+    });
+    kernel.run().unwrap();
+
+    assert_eq!(seen.get(), Some(ExitStatus::Exited(7)));
+    assert!(
+        !kernel.zombies().contains(&child_pid),
+        "waitpid must reap the zombie"
+    );
+}
+
+/// The exploration workload: a 3-process pipeline (writer | relay |
+/// sink) over two bounded pipes, with a schedule-dependent canary bug
+/// in the relay. On its *first* slice the relay checks how many slices
+/// the writer has already had; if the writer got ≥ 2 (something
+/// round-robin's strict alternation never allows), it "optimizes" by
+/// waitpid-ing the writer before draining its pipe. The writer then
+/// fills the 4-byte pipe and blocks on the relay, the relay blocks on
+/// the writer's exit — a cross-process cycle only some schedules reach.
+fn canary_pipeline(sched: Box<dyn Scheduler>) -> Result<(), String> {
+    let kernel = Kernel::new();
+    kernel.runtime().set_scheduler(sched);
+    let p1 = kernel.pipe_with_capacity(4);
+    let p2 = kernel.pipe_with_capacity(64);
+    let writer_slices = Rc::new(Cell::new(0u32));
+
+    // pid 1 — writer: 16 bytes, 2 per slice, through the tiny pipe.
+    let k = kernel.clone();
+    let ws = writer_slices.clone();
+    let mut remaining = 16usize;
+    let writer = kernel.spawn_fn(SpawnOptions::new("writer").stdout(p1), move |ctx| {
+        ws.set(ws.get() + 1);
+        if remaining == 0 {
+            return ThreadStep::Finished;
+        }
+        match k.write_pipe(ctx, p1, b"xx") {
+            PipeWrite::Wrote(n) => {
+                remaining -= n.min(remaining);
+                ThreadStep::Yielded
+            }
+            PipeWrite::WouldBlock => ThreadStep::Blocked,
+            PipeWrite::Broken => ThreadStep::Finished,
+        }
+    });
+    let wpid = writer.pid();
+
+    // pid 2 — relay: patient mode drains p1 to p2 then reaps the
+    // writer; impatient mode (the bug) reaps first and never drains.
+    let k = kernel.clone();
+    let ws = writer_slices;
+    let mut mode: Option<bool> = None;
+    let mut reaped = false;
+    kernel.spawn_fn(
+        SpawnOptions::new("relay").stdin(p1).stdout(p2),
+        move |ctx| {
+            let impatient = *mode.get_or_insert_with(|| ws.get() >= 2);
+            if impatient || reaped {
+                return match k.waitpid(ctx, wpid) {
+                    WaitPid::Exited(_) => ThreadStep::Finished,
+                    WaitPid::WouldBlock => ThreadStep::Blocked,
+                };
+            }
+            match k.read_pipe(ctx, p1, 64) {
+                PipeRead::Data(d) => match k.write_pipe(ctx, p2, &d) {
+                    PipeWrite::Wrote(n) if n == d.len() => ThreadStep::Yielded,
+                    other => panic!("relay overflow: {other:?}"),
+                },
+                PipeRead::WouldBlock => ThreadStep::Blocked,
+                PipeRead::Eof => {
+                    reaped = true;
+                    ThreadStep::Yielded
+                }
+            }
+        },
+    );
+
+    // pid 3 — sink: drains p2 until EOF.
+    let k = kernel.clone();
+    let got = Rc::new(Cell::new(0usize));
+    let g = got.clone();
+    kernel.spawn_fn(SpawnOptions::new("sink").stdin(p2), move |ctx| {
+        match k.read_pipe(ctx, p2, 64) {
+            PipeRead::Data(d) => {
+                g.set(g.get() + d.len());
+                ThreadStep::Yielded
+            }
+            PipeRead::WouldBlock => ThreadStep::Blocked,
+            PipeRead::Eof => ThreadStep::Finished,
+        }
+    });
+
+    kernel.run().map_err(|e| e.to_string())?;
+    if got.get() != 16 {
+        return Err(format!("sink saw {} of 16 bytes", got.get()));
+    }
+    Ok(())
+}
+
+#[test]
+fn explore_finds_shrinks_and_replays_the_cross_process_deadlock() {
+    let cfg = ExploreConfig::new(24, SEED);
+    let report = explore(&cfg, canary_pipeline);
+
+    // Round-robin (schedule 0) survives the canary...
+    assert!(
+        report.runs[0].failure.is_none(),
+        "round-robin should pass: {:?}",
+        report.runs[0].failure
+    );
+    // ...exploration does not.
+    let failure = report
+        .failure
+        .expect("exploration finds the pipe/waitpid deadlock");
+
+    // The deadlock is blamed across process boundaries: both pids, the
+    // full pipe's write end, and the waited-on child, all named.
+    for needle in [
+        "deadlock",
+        "pid 1 writer",
+        "pid 2 relay",
+        "(write)",
+        "child pid 1",
+    ] {
+        assert!(
+            failure.message.contains(needle),
+            "missing {needle:?} in: {}",
+            failure.message
+        );
+    }
+
+    // The shrunk pick trace replays byte-identically: same picks
+    // executed, same failure message.
+    assert!(!failure.shrunk.is_empty());
+    assert!(failure.shrunk.len() <= failure.picks.len());
+    let log: PickLog = Rc::new(RefCell::new(Vec::new()));
+    let rec = RecordingScheduler::new(failure.replay.scheduler(), log.clone());
+    let replayed = canary_pipeline(Box::new(rec)).expect_err("replay reproduces the deadlock");
+    assert_eq!(replayed, failure.message);
+    assert_eq!(*log.borrow(), failure.shrunk, "replay diverged from trace");
+
+    // And the serialized replay file round-trips into the same run.
+    let parsed = ReplayFile::from_text(&failure.replay.to_text()).unwrap();
+    assert_eq!(parsed.picks, failure.shrunk);
+    let again = canary_pipeline(parsed.scheduler()).expect_err("file replay reproduces");
+    assert_eq!(again, failure.message);
+}
