@@ -87,17 +87,38 @@ pub mod results {
         }
     }
 
+    /// Where the multi-tenant scale harness's results live:
+    /// `DOPPIO_BENCH_SCALE_OUT` if set, otherwise `BENCH_scale.json`
+    /// at the repository root.
+    pub fn scale_out_path() -> PathBuf {
+        match std::env::var_os("DOPPIO_BENCH_SCALE_OUT") {
+            Some(p) => PathBuf::from(p),
+            None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scale.json"),
+        }
+    }
+
     /// True when the light profile is requested (CI smoke runs): skip
     /// the slower browser sweeps and keep only the cheap measurements.
     pub fn light_profile() -> bool {
         std::env::var_os("DOPPIO_BENCH_LIGHT").is_some_and(|v| v != "0" && !v.is_empty())
     }
 
-    /// Merge `sections` into the results file: sections written now
-    /// replace same-named ones from earlier runs, everything else is
-    /// preserved. Returns the path written.
+    /// Merge `sections` into the default results file ([`out_path`]);
+    /// see [`write_sections_at`].
     pub fn write_sections(sections: Vec<(String, Section)>) -> PathBuf {
-        let path = out_path();
+        write_sections_at(out_path(), sections)
+    }
+
+    /// Merge `sections` into the results file at `path`: sections
+    /// written now replace same-named ones from earlier runs (last
+    /// writer wins per section key), everything else is preserved.
+    ///
+    /// The write is atomic: the merged document lands in a temp file
+    /// next to the target (unique per process) and is renamed into
+    /// place, so a reader never observes a torn file and concurrent
+    /// writers degrade to last-writer-wins rather than interleaved
+    /// garbage. Returns the path written.
+    pub fn write_sections_at(path: PathBuf, sections: Vec<(String, Section)>) -> PathBuf {
         let mut merged: BTreeMap<String, Json> = match std::fs::read_to_string(&path) {
             Ok(text) => match json::parse(&text) {
                 Ok(Json::Obj(m)) => m,
@@ -113,7 +134,10 @@ pub mod results {
             merged.insert(name, Json::Obj(obj));
         }
         let text = serialize(&Json::Obj(merged));
-        std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, text).unwrap_or_else(|e| panic!("write {}: {e}", tmp.display()));
+        std::fs::rename(&tmp, &path)
+            .unwrap_or_else(|e| panic!("rename {} -> {}: {e}", tmp.display(), path.display()));
         path
     }
 
@@ -156,6 +180,49 @@ pub mod results {
             let v = Json::Obj(obj);
             let text = serialize(&v);
             assert_eq!(json::parse(&text).unwrap(), v);
+        }
+
+        #[test]
+        fn write_sections_at_merges_atomically_per_section() {
+            let dir = std::env::temp_dir()
+                .join(format!("doppio-bench-results-test-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("BENCH_test.json");
+
+            // First writer: two sections.
+            write_sections_at(
+                path.clone(),
+                vec![
+                    ("a.one".into(), vec![("x".into(), 1.0)]),
+                    ("b.two".into(), vec![("y".into(), 2.0)]),
+                ],
+            );
+            // Second writer: replaces one section, leaves the other.
+            write_sections_at(
+                path.clone(),
+                vec![("a.one".into(), vec![("x".into(), 9.0)])],
+            );
+
+            let text = std::fs::read_to_string(&path).unwrap();
+            let Json::Obj(m) = json::parse(&text).unwrap() else {
+                panic!("results file is not an object");
+            };
+            assert_eq!(
+                m["a.one"],
+                Json::Obj([("x".to_string(), Json::Num(9.0))].into_iter().collect())
+            );
+            assert_eq!(
+                m["b.two"],
+                Json::Obj([("y".to_string(), Json::Num(2.0))].into_iter().collect())
+            );
+            // The temp file was renamed away, not left behind.
+            let leftovers: Vec<_> = std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name())
+                .filter(|n| n.to_string_lossy().contains("tmp"))
+                .collect();
+            assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+            std::fs::remove_dir_all(&dir).unwrap();
         }
     }
 }

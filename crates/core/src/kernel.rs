@@ -41,6 +41,49 @@ use crate::waitgraph::Resource;
 /// Default pipe buffer size, in bytes (the traditional 64 KiB).
 pub const DEFAULT_PIPE_CAPACITY: usize = 65536;
 
+/// Why a kernel call could not be carried out.
+///
+/// These are the *user-reachable* failure modes — a stale [`Pid`]
+/// held after the child was reaped, a forged or long-gone [`PipeId`],
+/// a double-closed host pipe end. They used to panic; a multi-tenant
+/// host must instead see them as ordinary errors (the POSIX analogs
+/// are `ESRCH`, `ECHILD`, `EBADF`). Genuine host programming errors
+/// (e.g. attaching two engines) still panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelError {
+    /// No process with this pid was ever spawned on this kernel.
+    UnknownPid(Pid),
+    /// The process has already exited (it cannot be signalled or
+    /// exited again).
+    AlreadyExited(Pid),
+    /// The child's status was already collected by an earlier
+    /// `waitpid` (the POSIX `ECHILD` case).
+    AlreadyReaped(Pid),
+    /// No pipe with this id was ever created on this kernel.
+    UnknownPipe(PipeId),
+    /// The host end of the pipe was already closed, or was released
+    /// to a process by spawn wiring.
+    PipeEndClosed(PipeId),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::UnknownPid(p) => write!(f, "unknown pid {p}"),
+            KernelError::AlreadyExited(p) => write!(f, "process {p} has already exited"),
+            KernelError::AlreadyReaped(p) => {
+                write!(f, "pid {p} was already reaped by an earlier waitpid")
+            }
+            KernelError::UnknownPipe(p) => write!(f, "unknown {p}"),
+            KernelError::PipeEndClosed(p) => {
+                write!(f, "host end of {p} already closed or released")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
 /// A process identifier. Pids start at 1 and are never reused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Pid(pub u32);
@@ -463,13 +506,22 @@ impl Kernel {
     /// Guest-side pipe read (called from inside a slice). On
     /// [`PipeRead::WouldBlock`] the calling thread has been registered
     /// as a waiter and its wait-for edge recorded; it must return
-    /// [`ThreadStep::Blocked`].
-    pub fn read_pipe(&self, ctx: &mut ThreadContext<'_>, pipe: PipeId, max: usize) -> PipeRead {
+    /// [`ThreadStep::Blocked`]. Errors on a pipe id this kernel never
+    /// created.
+    pub fn read_pipe(
+        &self,
+        ctx: &mut ThreadContext<'_>,
+        pipe: PipeId,
+        max: usize,
+    ) -> Result<PipeRead, KernelError> {
         let me = ctx.thread_id();
         let my_pid = ctx.runtime().thread_tag(me);
         let (result, wakes) = {
             let mut inner = self.inner.borrow_mut();
-            let p = inner.pipes.get_mut(&pipe.0).expect("read on unknown pipe");
+            let p = inner
+                .pipes
+                .get_mut(&pipe.0)
+                .ok_or(KernelError::UnknownPipe(pipe))?;
             if !p.buf.is_empty() {
                 let n = max.min(p.buf.len());
                 let data: Vec<u8> = p.buf.drain(..n).collect();
@@ -498,7 +550,7 @@ impl Kernel {
         for w in wakes {
             rt.wake(w);
         }
-        result
+        Ok(result)
     }
 
     /// Guest-side pipe write. Accepts as many bytes as fit
@@ -506,12 +558,21 @@ impl Kernel {
     /// On [`PipeWrite::WouldBlock`] the thread must return
     /// [`ThreadStep::Blocked`]; it is woken when a reader drains the
     /// buffer. [`PipeWrite::Broken`] means every read end is closed.
-    pub fn write_pipe(&self, ctx: &mut ThreadContext<'_>, pipe: PipeId, data: &[u8]) -> PipeWrite {
+    /// Errors on a pipe id this kernel never created.
+    pub fn write_pipe(
+        &self,
+        ctx: &mut ThreadContext<'_>,
+        pipe: PipeId,
+        data: &[u8],
+    ) -> Result<PipeWrite, KernelError> {
         let me = ctx.thread_id();
         let my_pid = ctx.runtime().thread_tag(me);
         let (result, wakes) = {
             let mut inner = self.inner.borrow_mut();
-            let p = inner.pipes.get_mut(&pipe.0).expect("write on unknown pipe");
+            let p = inner
+                .pipes
+                .get_mut(&pipe.0)
+                .ok_or(KernelError::UnknownPipe(pipe))?;
             if p.read_closed() {
                 (PipeWrite::Broken, Vec::new())
             } else {
@@ -540,20 +601,24 @@ impl Kernel {
         for w in wakes {
             rt.wake(w);
         }
-        result
+        Ok(result)
     }
 
     /// Append bytes on behalf of `pid` without blocking (used by
     /// stdout hooks that run mid-interpretation and cannot yield).
     /// The buffer may transiently exceed capacity; backpressure is
     /// applied at the next slice boundary of the feeding process.
-    pub fn feed_pipe(&self, pid: Pid, pipe: PipeId, data: &[u8]) {
+    /// Errors on a pipe id this kernel never created.
+    pub fn feed_pipe(&self, pid: Pid, pipe: PipeId, data: &[u8]) -> Result<(), KernelError> {
         let (wakes, rt) = {
             let mut inner = self.inner.borrow_mut();
-            let p = inner.pipes.get_mut(&pipe.0).expect("feed on unknown pipe");
+            let p = inner
+                .pipes
+                .get_mut(&pipe.0)
+                .ok_or(KernelError::UnknownPipe(pipe))?;
             if p.read_closed() {
                 // Nobody will ever read it; drop the bytes.
-                return;
+                return Ok(());
             }
             p.buf.extend(data);
             p.total_in += data.len() as u64;
@@ -568,15 +633,23 @@ impl Kernel {
                 rt.wake(w);
             }
         }
+        Ok(())
     }
 
     /// Host-side write (feeding a process's stdin from outside).
-    /// Unbounded: the host cannot block.
-    pub fn host_write(&self, pipe: PipeId, data: &[u8]) {
+    /// Unbounded: the host cannot block. Errors if the pipe is
+    /// unknown, or the host's write end was closed or released to a
+    /// process.
+    pub fn host_write(&self, pipe: PipeId, data: &[u8]) -> Result<(), KernelError> {
         let (wakes, rt) = {
             let mut inner = self.inner.borrow_mut();
-            let p = inner.pipes.get_mut(&pipe.0).expect("unknown pipe");
-            assert!(p.host_write, "host write end already released");
+            let p = inner
+                .pipes
+                .get_mut(&pipe.0)
+                .ok_or(KernelError::UnknownPipe(pipe))?;
+            if !p.host_write {
+                return Err(KernelError::PipeEndClosed(pipe));
+            }
             p.buf.extend(data);
             p.total_in += data.len() as u64;
             (
@@ -589,14 +662,22 @@ impl Kernel {
                 rt.wake(w);
             }
         }
+        Ok(())
     }
 
     /// Close the host's write end. When no process holds one either,
-    /// readers see EOF.
-    pub fn host_close_write(&self, pipe: PipeId) {
+    /// readers see EOF. Errors if the pipe is unknown or the end was
+    /// already closed/released (the double-close case).
+    pub fn host_close_write(&self, pipe: PipeId) -> Result<(), KernelError> {
         let (wakes, rt) = {
             let mut inner = self.inner.borrow_mut();
-            let p = inner.pipes.get_mut(&pipe.0).expect("unknown pipe");
+            let p = inner
+                .pipes
+                .get_mut(&pipe.0)
+                .ok_or(KernelError::UnknownPipe(pipe))?;
+            if !p.host_write {
+                return Err(KernelError::PipeEndClosed(pipe));
+            }
             p.host_write = false;
             let wakes = if p.write_closed() {
                 std::mem::take(&mut p.read_waiters)
@@ -610,14 +691,50 @@ impl Kernel {
                 rt.wake(w);
             }
         }
+        Ok(())
+    }
+
+    /// Close the host's read end. When no process holds one either,
+    /// writers see [`PipeWrite::Broken`]. Errors if the pipe is
+    /// unknown or the end was already closed/released (the
+    /// double-close case).
+    pub fn host_close_read(&self, pipe: PipeId) -> Result<(), KernelError> {
+        let (wakes, rt) = {
+            let mut inner = self.inner.borrow_mut();
+            let p = inner
+                .pipes
+                .get_mut(&pipe.0)
+                .ok_or(KernelError::UnknownPipe(pipe))?;
+            if !p.host_read {
+                return Err(KernelError::PipeEndClosed(pipe));
+            }
+            p.host_read = false;
+            let wakes = if p.read_closed() {
+                // Blocked writers must wake to observe Broken.
+                std::mem::take(&mut p.write_waiters)
+            } else {
+                Vec::new()
+            };
+            (wakes, inner.host.as_ref().map(|h| h.runtime.clone()))
+        };
+        if let Some(rt) = rt {
+            for w in wakes {
+                rt.wake(w);
+            }
+        }
+        Ok(())
     }
 
     /// Drain everything currently buffered (host-side collection of a
-    /// pipeline's final output). Wakes blocked writers.
-    pub fn host_read(&self, pipe: PipeId) -> Vec<u8> {
+    /// pipeline's final output). Wakes blocked writers. Errors on a
+    /// pipe id this kernel never created.
+    pub fn host_read(&self, pipe: PipeId) -> Result<Vec<u8>, KernelError> {
         let (data, wakes, rt) = {
             let mut inner = self.inner.borrow_mut();
-            let p = inner.pipes.get_mut(&pipe.0).expect("unknown pipe");
+            let p = inner
+                .pipes
+                .get_mut(&pipe.0)
+                .ok_or(KernelError::UnknownPipe(pipe))?;
             let data: Vec<u8> = p.buf.drain(..).collect();
             (
                 data,
@@ -630,18 +747,28 @@ impl Kernel {
                 rt.wake(w);
             }
         }
-        data
+        Ok(data)
     }
 
     /// Bytes currently buffered in `pipe`.
-    pub fn pipe_len(&self, pipe: PipeId) -> usize {
-        self.inner.borrow().pipes[&pipe.0].buf.len()
+    pub fn pipe_len(&self, pipe: PipeId) -> Result<usize, KernelError> {
+        self.inner
+            .borrow()
+            .pipes
+            .get(&pipe.0)
+            .map(|p| p.buf.len())
+            .ok_or(KernelError::UnknownPipe(pipe))
     }
 
     /// Whether every write end of `pipe` is closed (readers see EOF
     /// once the buffer drains).
-    pub fn pipe_write_closed(&self, pipe: PipeId) -> bool {
-        self.inner.borrow().pipes[&pipe.0].write_closed()
+    pub fn pipe_write_closed(&self, pipe: PipeId) -> Result<bool, KernelError> {
+        self.inner
+            .borrow()
+            .pipes
+            .get(&pipe.0)
+            .map(|p| p.write_closed())
+            .ok_or(KernelError::UnknownPipe(pipe))
     }
 
     /// Re-derive the wait-graph owner edges of one pipe from its
@@ -689,20 +816,45 @@ impl Kernel {
     /// (see [`set_exit_probe`](Self::set_exit_probe)), when every
     /// tagged thread finishes, or when [`exit`](Self::exit) /
     /// [`kill`](Self::kill) end it early.
+    ///
+    /// Panics on stdin/stdout wiring naming a pipe this kernel never
+    /// created — a host programming error. Use
+    /// [`try_spawn`](Self::try_spawn) to get an `Err` instead.
     pub fn spawn(&self, opts: SpawnOptions, main: Box<dyn GuestThread>) -> Process {
+        match self.try_spawn(opts, main) {
+            Ok(p) => p,
+            Err(e) => panic!("spawn: {e}"),
+        }
+    }
+
+    /// [`spawn`](Self::spawn), reporting bad pipe wiring as an error
+    /// instead of panicking. On `Err` no pid is allocated and no pipe
+    /// end changes hands.
+    pub fn try_spawn(
+        &self,
+        opts: SpawnOptions,
+        main: Box<dyn GuestThread>,
+    ) -> Result<Process, KernelError> {
         self.ensure_host();
         let (rt, engine, pid) = {
             let mut inner = self.inner.borrow_mut();
+            // Validate the wiring before allocating the pid or moving
+            // any pipe end.
+            for p in [opts.stdin, opts.stdout].into_iter().flatten() {
+                if !inner.pipes.contains_key(&p.0) {
+                    return Err(KernelError::UnknownPipe(p));
+                }
+            }
             let pid = inner.next_pid;
             inner.next_pid += 1;
             // Transfer pipe ends from the host to the process.
             if let Some(p) = opts.stdin {
-                let pipe = inner.pipes.get_mut(&p.0).expect("stdin pipe");
+                let pipe = inner.pipes.get_mut(&p.0).expect("validated above");
                 pipe.readers.push(pid);
                 pipe.host_read = false;
             }
             if let Some(p) = opts.stdout {
-                let pipe = inner.pipes.get_mut(&p.0).expect("stdout pipe");
+                let pipe = inner.pipes.get_mut(&p.0).expect("validated above");
                 pipe.writers.push(pid);
                 pipe.host_write = false;
             }
@@ -767,10 +919,10 @@ impl Kernel {
                 ],
             );
         }
-        Process {
+        Ok(Process {
             kernel: self.clone(),
             pid: Pid(pid),
-        }
+        })
     }
 
     /// [`spawn`](Self::spawn) for a closure guest (the "JS process"
@@ -817,22 +969,49 @@ impl Kernel {
     /// threads are killed). Guest runtimes with their own lifecycle —
     /// the JVM's `System.exit`, live-thread accounting — report
     /// completion through this.
-    pub fn set_exit_probe(&self, pid: Pid, probe: impl Fn() -> Option<ExitStatus> + 'static) {
+    /// Errors on an unknown pid.
+    pub fn set_exit_probe(
+        &self,
+        pid: Pid,
+        probe: impl Fn() -> Option<ExitStatus> + 'static,
+    ) -> Result<(), KernelError> {
         let mut inner = self.inner.borrow_mut();
-        let proc = inner.procs.get_mut(&pid.0).expect("unknown pid");
+        let proc = inner
+            .procs
+            .get_mut(&pid.0)
+            .ok_or(KernelError::UnknownPid(pid))?;
         proc.exit_probe = Some(Rc::new(probe));
+        Ok(())
     }
 
     /// End `pid` with `code` (the `exit(2)` analog; also the way
     /// closure guests report a nonzero status). Remaining threads are
-    /// killed, pipe ends released, waiters woken.
-    pub fn exit(&self, pid: Pid, code: i32) {
+    /// killed, pipe ends released, waiters woken. Errors on an
+    /// unknown pid or a process that already exited.
+    pub fn exit(&self, pid: Pid, code: i32) -> Result<(), KernelError> {
+        self.check_live(pid)?;
         self.finish_process(pid, ExitStatus::Exited(code));
+        Ok(())
+    }
+
+    /// `Err` unless `pid` names a spawned, still-running process.
+    fn check_live(&self, pid: Pid) -> Result<(), KernelError> {
+        let inner = self.inner.borrow();
+        let proc = inner
+            .procs
+            .get(&pid.0)
+            .ok_or(KernelError::UnknownPid(pid))?;
+        if proc.status.is_some() {
+            return Err(KernelError::AlreadyExited(pid));
+        }
+        Ok(())
     }
 
     /// Deliver a signal. Every signal terminates the process (no
-    /// guest handlers); `waitpid` observes `killed(SIG…)`.
-    pub fn kill(&self, pid: Pid, signal: Signal) {
+    /// guest handlers); `waitpid` observes `killed(SIG…)`. Errors on
+    /// an unknown pid or a process that already exited.
+    pub fn kill(&self, pid: Pid, signal: Signal) -> Result<(), KernelError> {
+        self.check_live(pid)?;
         {
             let inner = self.inner.borrow();
             if let Some(host) = inner.host.as_ref() {
@@ -853,18 +1032,27 @@ impl Kernel {
             }
         }
         self.finish_process(pid, ExitStatus::Signaled(signal));
+        Ok(())
     }
 
     /// Guest-side wait for a child (called from inside a slice). On
     /// [`WaitPid::WouldBlock`] the thread must return
     /// [`ThreadStep::Blocked`]; it is woken when the child exits. On
-    /// [`WaitPid::Exited`] the zombie has been reaped.
-    pub fn waitpid(&self, ctx: &mut ThreadContext<'_>, pid: Pid) -> WaitPid {
+    /// [`WaitPid::Exited`] the zombie has been reaped. Errors on an
+    /// unknown pid, or a child whose status an earlier `waitpid`
+    /// already collected (the `ECHILD` analog).
+    pub fn waitpid(&self, ctx: &mut ThreadContext<'_>, pid: Pid) -> Result<WaitPid, KernelError> {
         let result = {
             let mut inner = self.inner.borrow_mut();
-            let proc = inner.procs.get_mut(&pid.0).expect("waitpid on unknown pid");
+            let proc = inner
+                .procs
+                .get_mut(&pid.0)
+                .ok_or(KernelError::UnknownPid(pid))?;
             match proc.status {
                 Some(status) => {
+                    if proc.reaped {
+                        return Err(KernelError::AlreadyReaped(pid));
+                    }
                     proc.reaped = true;
                     WaitPid::Exited(status)
                 }
@@ -877,7 +1065,7 @@ impl Kernel {
         if matches!(result, WaitPid::WouldBlock) {
             ctx.note_block(Resource::Child(pid.0 as u64), format!("waitpid({pid})"));
         }
-        result
+        Ok(result)
     }
 
     /// Host-side status peek (does not reap).
@@ -1010,12 +1198,10 @@ impl Kernel {
             let park_on = {
                 let mut inner = self.inner.borrow_mut();
                 let stdout = inner.procs.get(&pid).and_then(|p| p.stdout);
-                match stdout {
-                    Some(out) => {
-                        let me = ctx.thread_id();
-                        let p = inner.pipes.get_mut(&out).expect("stdout pipe");
+                match stdout.and_then(|out| inner.pipes.get_mut(&out).map(|p| (out, p))) {
+                    Some((out, p)) => {
                         if p.buf.len() >= p.capacity && !p.read_closed() {
-                            p.write_waiters.push(me);
+                            p.write_waiters.push(ctx.thread_id());
                             Some(out)
                         } else {
                             None
@@ -1196,9 +1382,9 @@ impl Process {
         self.kernel.status(self.pid)
     }
 
-    /// Deliver a signal.
-    pub fn kill(&self, signal: Signal) {
-        self.kernel.kill(self.pid, signal);
+    /// Deliver a signal. Errors if the process already exited.
+    pub fn kill(&self, signal: Signal) -> Result<(), KernelError> {
+        self.kernel.kill(self.pid, signal)
     }
 
     /// Drive the event loop until this process exits (host-side
@@ -1258,7 +1444,7 @@ mod tests {
     ) -> Process {
         let k = kernel.clone();
         kernel.spawn_fn(SpawnOptions::new(name).stdin(pipe), move |ctx| {
-            match k.read_pipe(ctx, pipe, 1024) {
+            match k.read_pipe(ctx, pipe, 1024).expect("live pipe") {
                 PipeRead::Data(d) => {
                     out.borrow_mut().extend_from_slice(&d);
                     ThreadStep::Yielded
@@ -1292,7 +1478,7 @@ mod tests {
         let k = kernel.clone();
         let p = kernel.spawn_fn(SpawnOptions::new("failing"), move |ctx| {
             let pid = Pid(ctx.runtime().thread_tag(ctx.thread_id()).unwrap() as u32);
-            k.exit(pid, 3);
+            k.exit(pid, 3).unwrap();
             ThreadStep::Finished
         });
         kernel.run().unwrap();
@@ -1312,7 +1498,7 @@ mod tests {
                 return ThreadStep::Finished;
             }
             sent = true;
-            match k.write_pipe(ctx, pipe, b"hello pipes") {
+            match k.write_pipe(ctx, pipe, b"hello pipes").expect("live pipe") {
                 PipeWrite::Wrote(n) => {
                     assert_eq!(n, 11);
                     ThreadStep::Yielded
@@ -1336,7 +1522,7 @@ mod tests {
             if remaining.is_empty() {
                 return ThreadStep::Finished;
             }
-            match k.write_pipe(ctx, pipe, &remaining) {
+            match k.write_pipe(ctx, pipe, &remaining).expect("live pipe") {
                 PipeWrite::Wrote(n) => {
                     assert!(n <= 4, "never more than capacity: {n}");
                     remaining.drain(..n);
@@ -1361,6 +1547,7 @@ mod tests {
         let k = kernel.clone();
         let w = kernel.spawn_fn(SpawnOptions::new("writer").stdout(pipe), move |ctx| match k
             .write_pipe(ctx, pipe, b"x")
+            .expect("live pipe")
         {
             PipeWrite::Wrote(_) => ThreadStep::Yielded,
             PipeWrite::WouldBlock => ThreadStep::Blocked,
@@ -1372,7 +1559,7 @@ mod tests {
         for _ in 0..12 {
             engine.run_one();
         }
-        w.kill(Signal::Kill);
+        w.kill(Signal::Kill).unwrap();
         kernel.run().unwrap();
         assert_eq!(w.status(), Some(ExitStatus::Signaled(Signal::Kill)));
         // The reader saw EOF (writer's end released at kill) and
@@ -1387,7 +1574,7 @@ mod tests {
         let k = kernel.clone();
         let child = kernel.spawn_fn(SpawnOptions::new("child"), move |ctx| {
             let pid = Pid(ctx.runtime().thread_tag(ctx.thread_id()).unwrap() as u32);
-            k.exit(pid, 42);
+            k.exit(pid, 42).unwrap();
             ThreadStep::Finished
         });
         let child_pid = child.pid();
@@ -1399,7 +1586,7 @@ mod tests {
         let seen = Rc::new(RefCell::new(None));
         let s = seen.clone();
         kernel.spawn_fn(SpawnOptions::new("parent"), move |ctx| {
-            match k.waitpid(ctx, child_pid) {
+            match k.waitpid(ctx, child_pid).expect("known child") {
                 WaitPid::Exited(status) => {
                     *s.borrow_mut() = Some(status);
                     ThreadStep::Finished
@@ -1428,6 +1615,7 @@ mod tests {
         let k = kernel.clone();
         let writer = kernel.spawn_fn(SpawnOptions::new("writer").stdout(pipe), move |ctx| match k
             .write_pipe(ctx, pipe, b"xx")
+            .expect("live pipe")
         {
             PipeWrite::Wrote(_) => ThreadStep::Yielded,
             PipeWrite::WouldBlock => ThreadStep::Blocked,
@@ -1437,7 +1625,7 @@ mod tests {
         let k = kernel.clone();
         kernel.spawn_fn(
             SpawnOptions::new("impatient").stdin(pipe),
-            move |ctx| match k.waitpid(ctx, wpid) {
+            move |ctx| match k.waitpid(ctx, wpid).expect("known child") {
                 WaitPid::Exited(_) => ThreadStep::Finished,
                 WaitPid::WouldBlock => ThreadStep::Blocked,
             },
@@ -1464,7 +1652,7 @@ mod tests {
                 if remaining.is_empty() {
                     return ThreadStep::Finished;
                 }
-                match k.write_pipe(ctx, pipe, &remaining) {
+                match k.write_pipe(ctx, pipe, &remaining).expect("live pipe") {
                     PipeWrite::Wrote(n) => {
                         remaining.drain(..n);
                         ThreadStep::Yielded
@@ -1490,6 +1678,181 @@ mod tests {
             fingerprint
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn host_surfaces_error_on_unknown_ids_instead_of_panicking() {
+        let kernel = stock_kernel();
+        let bogus = PipeId(999);
+        assert_eq!(
+            kernel.host_write(bogus, b"x"),
+            Err(KernelError::UnknownPipe(bogus))
+        );
+        assert_eq!(
+            kernel.host_close_write(bogus),
+            Err(KernelError::UnknownPipe(bogus))
+        );
+        assert_eq!(
+            kernel.host_close_read(bogus),
+            Err(KernelError::UnknownPipe(bogus))
+        );
+        assert_eq!(
+            kernel.host_read(bogus),
+            Err(KernelError::UnknownPipe(bogus))
+        );
+        assert_eq!(kernel.pipe_len(bogus), Err(KernelError::UnknownPipe(bogus)));
+        assert_eq!(
+            kernel.pipe_write_closed(bogus),
+            Err(KernelError::UnknownPipe(bogus))
+        );
+        assert_eq!(
+            kernel.feed_pipe(Pid(1), bogus, b"x"),
+            Err(KernelError::UnknownPipe(bogus))
+        );
+        let ghost = Pid(7);
+        assert_eq!(kernel.exit(ghost, 0), Err(KernelError::UnknownPid(ghost)));
+        assert_eq!(
+            kernel.kill(ghost, Signal::Kill),
+            Err(KernelError::UnknownPid(ghost))
+        );
+        assert_eq!(
+            kernel.set_exit_probe(ghost, || None),
+            Err(KernelError::UnknownPid(ghost))
+        );
+    }
+
+    #[test]
+    fn double_close_and_released_pipe_ends_error() {
+        let kernel = stock_kernel();
+        let pipe = kernel.pipe();
+        kernel.host_write(pipe, b"hi").unwrap();
+        kernel.host_close_write(pipe).unwrap();
+        // Double close, and writing after close, both report.
+        assert_eq!(
+            kernel.host_close_write(pipe),
+            Err(KernelError::PipeEndClosed(pipe))
+        );
+        assert_eq!(
+            kernel.host_write(pipe, b"more"),
+            Err(KernelError::PipeEndClosed(pipe))
+        );
+        kernel.host_close_read(pipe).unwrap();
+        assert_eq!(
+            kernel.host_close_read(pipe),
+            Err(KernelError::PipeEndClosed(pipe))
+        );
+        // An end released to a process by spawn wiring behaves like a
+        // closed end for the host.
+        let stdout = kernel.pipe();
+        let _p = kernel.spawn_fn(SpawnOptions::new("w").stdout(stdout), |_| {
+            ThreadStep::Finished
+        });
+        assert_eq!(
+            kernel.host_write(stdout, b"x"),
+            Err(KernelError::PipeEndClosed(stdout))
+        );
+    }
+
+    #[test]
+    fn host_close_read_breaks_the_pipe_for_writers() {
+        let kernel = stock_kernel();
+        let pipe = kernel.pipe();
+        let k = kernel.clone();
+        let seen = Rc::new(RefCell::new(None));
+        let s = seen.clone();
+        kernel.spawn_fn(SpawnOptions::new("writer").stdout(pipe), move |ctx| match k
+            .write_pipe(ctx, pipe, b"x")
+            .expect("live pipe")
+        {
+            PipeWrite::Broken => {
+                *s.borrow_mut() = Some(PipeWrite::Broken);
+                ThreadStep::Finished
+            }
+            _ => ThreadStep::Yielded,
+        });
+        kernel.host_close_read(pipe).unwrap();
+        kernel.run().unwrap();
+        assert_eq!(*seen.borrow(), Some(PipeWrite::Broken));
+    }
+
+    #[test]
+    fn signalling_an_exited_process_errors() {
+        let kernel = stock_kernel();
+        let p = kernel.spawn_fn(SpawnOptions::new("short"), |_| ThreadStep::Finished);
+        kernel.run().unwrap();
+        assert_eq!(
+            kernel.kill(p.pid(), Signal::Term),
+            Err(KernelError::AlreadyExited(p.pid()))
+        );
+        assert_eq!(
+            p.kill(Signal::Kill),
+            Err(KernelError::AlreadyExited(p.pid()))
+        );
+        assert_eq!(
+            kernel.exit(p.pid(), 1),
+            Err(KernelError::AlreadyExited(p.pid()))
+        );
+        // The recorded status is untouched.
+        assert_eq!(p.status(), Some(ExitStatus::Exited(0)));
+    }
+
+    #[test]
+    fn waitpid_unknown_and_already_reaped_error() {
+        let kernel = stock_kernel();
+        let child = kernel.spawn_fn(SpawnOptions::new("child"), |_| ThreadStep::Finished);
+        let child_pid = child.pid();
+        kernel.run_until_exit(child_pid).unwrap();
+
+        let k = kernel.clone();
+        let seen: Rc<RefCell<Vec<Result<(), KernelError>>>> = Rc::new(RefCell::new(Vec::new()));
+        let s = seen.clone();
+        kernel.spawn_fn(SpawnOptions::new("parent"), move |ctx| {
+            s.borrow_mut().push(k.waitpid(ctx, Pid(99)).map(|_| ()));
+            s.borrow_mut().push(k.waitpid(ctx, child_pid).map(|_| ()));
+            s.borrow_mut().push(k.waitpid(ctx, child_pid).map(|_| ()));
+            ThreadStep::Finished
+        });
+        kernel.run().unwrap();
+        let seen = seen.borrow();
+        assert_eq!(seen[0], Err(KernelError::UnknownPid(Pid(99))));
+        assert_eq!(seen[1], Ok(()), "first waitpid reaps");
+        assert_eq!(seen[2], Err(KernelError::AlreadyReaped(child_pid)));
+    }
+
+    #[test]
+    fn guest_pipe_ops_on_unknown_pipe_error() {
+        let kernel = stock_kernel();
+        let k = kernel.clone();
+        let forged = PipeId(77);
+        let seen = Rc::new(RefCell::new(None));
+        let s = seen.clone();
+        kernel.spawn_fn(SpawnOptions::new("g"), move |ctx| {
+            let r = k.read_pipe(ctx, forged, 8);
+            let w = k.write_pipe(ctx, forged, b"x");
+            *s.borrow_mut() = Some((r, w));
+            ThreadStep::Finished
+        });
+        kernel.run().unwrap();
+        let (r, w) = seen.borrow().clone().unwrap();
+        assert_eq!(r, Err(KernelError::UnknownPipe(forged)));
+        assert_eq!(w, Err(KernelError::UnknownPipe(forged)));
+    }
+
+    #[test]
+    fn try_spawn_rejects_unknown_pipe_wiring() {
+        let kernel = stock_kernel();
+        let bogus = PipeId(42);
+        let err = kernel
+            .try_spawn(
+                SpawnOptions::new("w").stdin(bogus),
+                Box::new(crate::FnThread::new(|_| ThreadStep::Finished)),
+            )
+            .unwrap_err();
+        assert_eq!(err, KernelError::UnknownPipe(bogus));
+        // No pid was burned and no process row appeared.
+        assert!(kernel.process_table().is_empty());
+        let ok = kernel.spawn_fn(SpawnOptions::new("first"), |_| ThreadStep::Finished);
+        assert_eq!(ok.pid(), Pid(1));
     }
 
     #[test]

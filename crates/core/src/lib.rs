@@ -58,8 +58,8 @@ pub mod suspend;
 pub mod waitgraph;
 
 pub use kernel::{
-    BuildOnKernel, ExitStatus, Kernel, Pid, PipeId, PipeRead, PipeWrite, Process, ProcessSummary,
-    Signal, SpawnOptions, WaitPid, DEFAULT_PIPE_CAPACITY,
+    BuildOnKernel, ExitStatus, Kernel, KernelError, Pid, PipeId, PipeRead, PipeWrite, Process,
+    ProcessSummary, Signal, SpawnOptions, WaitPid, DEFAULT_PIPE_CAPACITY,
 };
 pub use report::RunReport;
 pub use runtime::{

@@ -108,6 +108,11 @@ pub struct RunReport {
     pub counters: Vec<(String, u64)>,
     /// Every non-empty histogram, summarized, sorted by name.
     pub histograms: Vec<HistRow>,
+    /// Raw snapshots behind [`RunReport::histograms`], sorted by name.
+    /// Kept so reports stay mergeable ([`RunReport::merge`]) and
+    /// renderable as Prometheus text after the engine is gone; not
+    /// part of the markdown/JSON renderings.
+    pub snapshots: Vec<(String, HistogramSnapshot)>,
     /// Profiler section (present when a profiler was attached).
     pub profile: Option<ProfileSummary>,
     /// Wait-graph section (present after `with_runtime`).
@@ -124,8 +129,8 @@ impl RunReport {
     /// attached profiler.
     pub fn collect(title: impl Into<String>, engine: &Engine) -> RunReport {
         let metrics = engine.metrics();
-        let histograms = metrics
-            .histograms_with_prefix("")
+        let snapshots = metrics.histograms_with_prefix("");
+        let histograms = snapshots
             .iter()
             .map(|(name, snap)| HistRow::from_snapshot(name, snap))
             .collect();
@@ -140,6 +145,7 @@ impl RunReport {
             now_ns: engine.now_ns(),
             counters: metrics.with_prefix(""),
             histograms,
+            snapshots,
             profile,
             waitgraph: None,
             trace: None,
@@ -175,6 +181,65 @@ impl RunReport {
     pub fn with_kernel(mut self, kernel: &Kernel) -> RunReport {
         self.processes = Some(kernel.process_table());
         self
+    }
+
+    /// Merge per-shard reports into one aggregate report, the building
+    /// block of `doppio-scale`'s sharded runs.
+    ///
+    /// The merge is order-independent by construction: counters are
+    /// summed with saturating addition into a name-keyed map,
+    /// histogram snapshots are merged with the associative/commutative
+    /// [`HistogramSnapshot::merge`], percentile rows are recomputed
+    /// from the merged snapshots, and every collection comes out in
+    /// canonical sorted-name order — so a parallel fold and a serial
+    /// fold over the same shard set render byte-identical artifacts.
+    /// `now_ns` is the maximum across shards (each shard owns an
+    /// independent virtual clock). The profiler, wait-graph, trace,
+    /// and process sections are per-shard artifacts and are left out.
+    pub fn merge(title: impl Into<String>, reports: &[RunReport]) -> RunReport {
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut snaps: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
+        let mut now_ns = 0u64;
+        for r in reports {
+            now_ns = now_ns.max(r.now_ns);
+            for (name, v) in &r.counters {
+                let slot = counters.entry(name.clone()).or_insert(0);
+                *slot = slot.saturating_add(*v);
+            }
+            for (name, snap) in &r.snapshots {
+                let merged = match snaps.get(name) {
+                    Some(prev) => prev.merge(snap),
+                    None => snap.clone(),
+                };
+                snaps.insert(name.clone(), merged);
+            }
+        }
+        let snapshots: Vec<(String, HistogramSnapshot)> = snaps.into_iter().collect();
+        let histograms = snapshots
+            .iter()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(name, snap)| HistRow::from_snapshot(name, snap))
+            .collect();
+        RunReport {
+            title: title.into(),
+            now_ns,
+            counters: counters.into_iter().collect(),
+            histograms,
+            snapshots,
+            profile: None,
+            waitgraph: None,
+            trace: None,
+            processes: None,
+        }
+    }
+
+    /// Prometheus text exposition of this report's counters and raw
+    /// histogram snapshots — byte-identical to what a live
+    /// [`MetricsRegistry`](doppio_trace::MetricsRegistry) holding the
+    /// same data would serve, and available for merged reports where
+    /// no single registry ever existed.
+    pub fn prometheus(&self) -> String {
+        doppio_trace::prometheus::render_parts(&self.counters, &self.snapshots)
     }
 
     /// The summarized row for histogram `name`, if it recorded samples.
@@ -511,6 +576,39 @@ mod tests {
             .unwrap()
             .get("engine.event_latency")
             .is_some());
+    }
+
+    #[test]
+    fn merge_is_order_independent_and_prometheus_matches_registry() {
+        let e1 = sample_engine();
+        let r1 = RunReport::collect("shard-a", &e1);
+        // A report's exposition equals what the live registry serves.
+        assert_eq!(r1.prometheus(), e1.metrics().prometheus());
+
+        let e2 = EngineBuilder::new(Browser::Firefox)
+            .histograms(true)
+            .build();
+        for _ in 0..3 {
+            e2.send_message(|eng| eng.advance_ns(2_000));
+        }
+        e2.run_until_idle();
+        let r2 = RunReport::collect("shard-b", &e2);
+
+        let ab = RunReport::merge("merged", &[r1.clone(), r2.clone()]);
+        let ba = RunReport::merge("merged", &[r2.clone(), r1.clone()]);
+        assert_eq!(
+            ab.to_json_string(),
+            ba.to_json_string(),
+            "order-independent"
+        );
+        assert_eq!(ab.prometheus(), ba.prometheus(), "order-independent prom");
+        assert_eq!(
+            ab.counter("engine.events_run"),
+            r1.counter("engine.events_run") + r2.counter("engine.events_run")
+        );
+        let h = ab.histogram("engine.event_latency").expect("merged rows");
+        assert_eq!(h.count, 8);
+        assert_eq!(ab.now_ns, r1.now_ns.max(r2.now_ns));
     }
 
     #[test]

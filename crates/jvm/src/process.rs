@@ -52,25 +52,32 @@ pub fn spawn_jvm(
 
     if let Some(pipe) = stdout {
         let k = kernel.clone();
-        jvm.set_stdout_hook(move |s| k.feed_pipe(pid, pipe, s.as_bytes()));
+        // The pipe outlives the process (ends are released, pipes are
+        // never deleted); if it somehow vanished the output is simply
+        // dropped, matching a write to a fully-closed pipe.
+        jvm.set_stdout_hook(move |s| {
+            let _ = k.feed_pipe(pid, pipe, s.as_bytes());
+        });
     }
     if let Some(pipe) = stdin {
         let k = kernel.clone();
         let handle = jvm.stdin_handle();
         kernel.spawn_fn_aux(pid, "stdin-pump", move |ctx| {
             match k.read_pipe(ctx, pipe, STDIN_CHUNK) {
-                PipeRead::Data(d) => {
+                Ok(PipeRead::Data(d)) => {
                     handle.push(&d);
                     ThreadStep::Yielded
                 }
-                PipeRead::WouldBlock => ThreadStep::Blocked,
-                PipeRead::Eof => {
+                Ok(PipeRead::WouldBlock) => ThreadStep::Blocked,
+                Ok(PipeRead::Eof) | Err(_) => {
                     handle.close();
                     ThreadStep::Finished
                 }
             }
         });
     }
-    kernel.set_exit_probe(pid, jvm.exit_probe());
+    kernel
+        .set_exit_probe(pid, jvm.exit_probe())
+        .expect("freshly spawned pid");
     (process, jvm)
 }

@@ -1,0 +1,154 @@
+//! The aggregate artifact of a sharded run: per-tenant outcomes plus
+//! one deterministically merged [`RunReport`].
+//!
+//! A [`ScaleReport`] is a pure function of the tenant results it
+//! merges: the per-tenant table is keyed by tenant index, the merged
+//! section folds with [`RunReport::merge`] (order-independent,
+//! canonical sort order), and **nothing host-dependent goes in** — no
+//! thread counts, no wall-clock times, no hostnames. That is what
+//! lets CI diff the report from a 1-thread run against an N-thread
+//! run and require byte-identity.
+
+use std::collections::BTreeMap;
+
+use doppio_core::report::RunReport;
+use doppio_trace::json::{self, Json};
+
+use crate::{TenantRun, TenantSpec};
+
+/// One row of the per-tenant table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSummary {
+    /// Tenant index.
+    pub tenant: usize,
+    /// The seed the tenant ran with.
+    pub seed: u64,
+    /// Whether the tenant finished cleanly.
+    pub ok: bool,
+    /// Rendered exit status.
+    pub status: String,
+    /// Where the tenant's virtual clock ended.
+    pub virtual_ns: u64,
+}
+
+/// The merged artifact of one sharded run: K tenant outcomes and one
+/// aggregate [`RunReport`], rendered as markdown, JSON, and Prometheus
+/// text exposition.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// Report title.
+    pub title: String,
+    /// The master seed every tenant seed derives from.
+    pub master_seed: u64,
+    /// Per-tenant outcomes, in tenant-index order.
+    pub tenants: Vec<TenantSummary>,
+    /// All tenants' counters and histograms, merged.
+    pub merged: RunReport,
+}
+
+impl ScaleReport {
+    /// Fold tenant results into one report. `runs` must be in
+    /// tenant-index order (as [`crate::run_tenants`] produces); the
+    /// merge itself is order-independent, the table is not.
+    pub fn merge(
+        title: impl Into<String>,
+        master_seed: u64,
+        runs: &[(TenantSpec, TenantRun)],
+    ) -> ScaleReport {
+        let tenants = runs
+            .iter()
+            .map(|(spec, run)| TenantSummary {
+                tenant: spec.tenant,
+                seed: spec.seed,
+                ok: run.ok,
+                status: run.status.clone(),
+                virtual_ns: run.report.now_ns,
+            })
+            .collect();
+        let reports: Vec<RunReport> = runs.iter().map(|(_, run)| run.report.clone()).collect();
+        ScaleReport {
+            title: title.into(),
+            master_seed,
+            tenants,
+            merged: RunReport::merge("merged", &reports),
+        }
+    }
+
+    /// Whether every tenant finished cleanly.
+    pub fn all_ok(&self) -> bool {
+        self.tenants.iter().all(|t| t.ok)
+    }
+
+    /// Total virtual nanoseconds simulated across all tenants (the
+    /// sum, not the max — each tenant owns an independent clock).
+    pub fn total_virtual_ns(&self) -> u64 {
+        self.tenants
+            .iter()
+            .fold(0u64, |acc, t| acc.saturating_add(t.virtual_ns))
+    }
+
+    /// The markdown rendering: header, per-tenant table, then the
+    /// merged [`RunReport`] markdown. Byte-deterministic; contains no
+    /// host-dependent values (thread counts, wall times).
+    pub fn to_markdown(&self) -> String {
+        let mut md = format!(
+            "# Scale report: {}\n\nmaster seed: {:#x}\ntenants: {}\nall ok: {}\ntotal virtual ns: {}\n",
+            self.title,
+            self.master_seed,
+            self.tenants.len(),
+            self.all_ok(),
+            self.total_virtual_ns(),
+        );
+        md.push_str("\n## Tenants\n\n");
+        md.push_str("| tenant | seed | status | virtual ns |\n");
+        md.push_str("|---:|---|---|---:|\n");
+        for t in &self.tenants {
+            md.push_str(&format!(
+                "| {} | {:#018x} | {} | {} |\n",
+                t.tenant, t.seed, t.status, t.virtual_ns
+            ));
+        }
+        md.push_str("\n## Merged\n\n");
+        md.push_str(&self.merged.to_markdown());
+        md
+    }
+
+    /// The report as a [`Json`] value. Seeds render as hex strings
+    /// (u64 seeds do not fit in JSON's f64 numbers losslessly).
+    pub fn to_json(&self) -> Json {
+        let mut root = BTreeMap::new();
+        root.insert("title".into(), Json::Str(self.title.clone()));
+        root.insert(
+            "master_seed".into(),
+            Json::Str(format!("{:#x}", self.master_seed)),
+        );
+        let tenants: Vec<Json> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                let mut o = BTreeMap::new();
+                o.insert("tenant".into(), Json::Num(t.tenant as f64));
+                o.insert("seed".into(), Json::Str(format!("{:#x}", t.seed)));
+                o.insert("ok".into(), Json::Bool(t.ok));
+                o.insert("status".into(), Json::Str(t.status.clone()));
+                o.insert("virtual_ns".into(), Json::Num(t.virtual_ns as f64));
+                Json::Obj(o)
+            })
+            .collect();
+        root.insert("tenants".into(), Json::Arr(tenants));
+        root.insert("merged".into(), self.merged.to_json());
+        Json::Obj(root)
+    }
+
+    /// JSON rendering as a string (pretty, sorted keys, deterministic).
+    pub fn to_json_string(&self) -> String {
+        json::to_string(&self.to_json())
+    }
+
+    /// Prometheus text exposition of the merged counters and
+    /// histograms — what a scrape endpoint aggregating all tenants
+    /// would serve.
+    pub fn prometheus(&self) -> String {
+        self.merged.prometheus()
+    }
+}

@@ -399,6 +399,72 @@ pub fn explore(
     }
 }
 
+/// [`explore`], with the schedule sweep sharded across OS threads.
+///
+/// Each schedule's run is an independent world (fresh engine, fresh
+/// runtime, own virtual clock), so the sweep shards on
+/// [`doppio_scale::run_sharded`]: every schedule runs to completion on
+/// some thread, then the outcomes are folded back in schedule-index
+/// order. `factory` is called once per run — including shrink replays
+/// — and must return a workload closure with the same determinism
+/// contract as [`explore`]'s.
+///
+/// The report is **identical to the serial [`explore`]'s** for the
+/// same config and workload: the failure (if any) is the one at the
+/// lowest schedule index, `runs` is truncated to end at that schedule
+/// (the serial driver never runs past it), and shrinking happens
+/// serially on the calling thread with the same greedy prefix search.
+/// The only difference is wall-clock time.
+pub fn explore_parallel(
+    cfg: &ExploreConfig,
+    threads: usize,
+    factory: impl Fn() -> Box<dyn FnMut(Box<dyn Scheduler>) -> Result<(), String>> + Sync,
+) -> ExploreReport {
+    let schedules = cfg.schedules();
+    let mut runs = doppio_scale::run_sharded(schedules.len(), threads, |i| {
+        let schedule = schedules[i].clone();
+        let log: PickLog = Rc::new(RefCell::new(Vec::new()));
+        let rec = RecordingScheduler::new(schedule.scheduler(), log.clone());
+        let failure = factory()(Box::new(rec)).err();
+        let picks = log.borrow().clone();
+        ScheduleOutcome {
+            schedule,
+            picks,
+            failure,
+        }
+    });
+    let first_failing = runs.iter().position(|run| run.failure.is_some());
+    let Some(index) = first_failing else {
+        return ExploreReport {
+            runs,
+            failure: None,
+        };
+    };
+    // Match the serial driver byte-for-byte: it stops at the first
+    // failure, so schedules past the lowest failing index never ran.
+    runs.truncate(index + 1);
+    let failing = runs[index].clone();
+    let message = failing.failure.expect("selected a failing run");
+    let mut workload = factory();
+    let (shrunk, message) = shrink(&failing.picks, &message, &mut workload);
+    let replay = ReplayFile {
+        seed: cfg.seed,
+        schedule: failing.schedule.to_string(),
+        failure: message.clone(),
+        picks: shrunk.clone(),
+    };
+    ExploreReport {
+        runs,
+        failure: Some(FailureReport {
+            schedule: failing.schedule,
+            message,
+            picks: failing.picks,
+            shrunk,
+            replay,
+        }),
+    }
+}
+
 /// Greedy pick-prefix minimization: binary-search the smallest prefix
 /// of `picks` that still fails when replayed (round-robin past the
 /// prefix), then re-record the replay of that prefix so the returned

@@ -118,8 +118,8 @@ impl Histogram {
             return;
         }
         let inner = &*self.inner;
-        inner.count.set(inner.count.get() + 1);
-        inner.sum.set(inner.sum.get().wrapping_add(v));
+        inner.count.set(inner.count.get().saturating_add(1));
+        inner.sum.set(inner.sum.get().saturating_add(v));
         if v < inner.min.get() {
             inner.min.set(v);
         }
@@ -130,7 +130,8 @@ impl Histogram {
         if buckets.is_empty() {
             buckets.resize(NUM_BUCKETS, 0);
         }
-        buckets[bucket_index(v)] += 1;
+        let i = bucket_index(v);
+        buckets[i] = buckets[i].saturating_add(1);
     }
 
     /// Number of recorded samples.
@@ -168,9 +169,9 @@ impl Histogram {
 /// An owned, mergeable copy of a [`Histogram`]'s state.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HistogramSnapshot {
-    /// Number of samples.
+    /// Number of samples (saturating at `u64::MAX`).
     pub count: u64,
-    /// Sum of all samples (wrapping).
+    /// Sum of all samples (saturating at `u64::MAX`).
     pub sum: u64,
     /// Smallest sample (0 when empty).
     pub min: u64,
@@ -217,6 +218,10 @@ impl HistogramSnapshot {
     }
 
     /// Combine two distributions exactly. Associative and commutative.
+    /// All counts saturate at `u64::MAX`, so merging adversarially huge
+    /// shard snapshots can neither panic in debug builds nor wrap in
+    /// release builds (saturating addition stays associative: the sum
+    /// clips at the ceiling and stays there).
     pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
         if self.is_empty() {
             return other.clone();
@@ -225,15 +230,15 @@ impl HistogramSnapshot {
             return self.clone();
         }
         let mut buckets = vec![0u64; NUM_BUCKETS];
-        for (i, b) in self.buckets.iter().enumerate() {
-            buckets[i] += b;
+        for (i, b) in self.buckets.iter().enumerate().take(NUM_BUCKETS) {
+            buckets[i] = buckets[i].saturating_add(*b);
         }
-        for (i, b) in other.buckets.iter().enumerate() {
-            buckets[i] += b;
+        for (i, b) in other.buckets.iter().enumerate().take(NUM_BUCKETS) {
+            buckets[i] = buckets[i].saturating_add(*b);
         }
         HistogramSnapshot {
-            count: self.count + other.count,
-            sum: self.sum.wrapping_add(other.sum),
+            count: self.count.saturating_add(other.count),
+            sum: self.sum.saturating_add(other.sum),
             min: self.min.min(other.min),
             max: self.max.max(other.max),
             buckets,
@@ -252,7 +257,7 @@ impl HistogramSnapshot {
         let rank = rank.clamp(1, self.count);
         let mut cum = 0u64;
         for (i, &b) in self.buckets.iter().enumerate() {
-            cum += b;
+            cum = cum.saturating_add(b);
             if cum >= rank {
                 return bucket_upper(i).min(self.max);
             }
@@ -267,7 +272,7 @@ impl HistogramSnapshot {
         let mut cum = 0u64;
         for (i, &b) in self.buckets.iter().enumerate() {
             if b > 0 {
-                cum += b;
+                cum = cum.saturating_add(b);
                 out.push((bucket_upper(i), cum));
             }
         }
@@ -374,6 +379,76 @@ mod tests {
         pooled.extend(&vc);
         assert_eq!(left, HistogramSnapshot::from_values(&pooled), "exact pool");
         assert_eq!(a.merge(&HistogramSnapshot::empty()), a, "identity");
+    }
+
+    /// Scale a snapshot's per-bucket counts by `k` (saturating), as if
+    /// `k` identical shards had been pooled — the oracle for the
+    /// extreme-count merge property below.
+    fn scaled(snap: &HistogramSnapshot, k: u64) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: snap.count.saturating_mul(k),
+            sum: snap.sum.saturating_mul(k),
+            min: snap.min,
+            max: snap.max,
+            buckets: snap.buckets.iter().map(|b| b.saturating_mul(k)).collect(),
+        }
+    }
+
+    #[test]
+    fn merge_saturates_at_extreme_counts() {
+        // Fixed-seed property loop: at counts near u64::MAX, merge must
+        // neither panic (debug overflow) nor wrap (release), and must
+        // still agree with a saturating pooled oracle.
+        let mut state = 0xFEED_5CA1Eu64;
+        for round in 0..40 {
+            let n = 1 + (round * 13) % 60;
+            let vals: Vec<u64> = (0..n)
+                .map(|_| doppio_prng::split_mix64(&mut state) % 1_000_000)
+                .collect();
+            let base = HistogramSnapshot::from_values(&vals);
+            let ka = u64::MAX / (1 + doppio_prng::split_mix64(&mut state) % 4);
+            let kb = u64::MAX / (1 + doppio_prng::split_mix64(&mut state) % 4);
+            let (a, b) = (scaled(&base, ka), scaled(&base, kb));
+            let merged = a.merge(&b);
+            // Saturating pooled oracle over the same buckets.
+            let oracle = HistogramSnapshot {
+                count: a.count.saturating_add(b.count),
+                sum: a.sum.saturating_add(b.sum),
+                min: base.min,
+                max: base.max,
+                buckets: a
+                    .buckets
+                    .iter()
+                    .zip(&b.buckets)
+                    .map(|(x, y)| x.saturating_add(*y))
+                    .collect(),
+            };
+            assert_eq!(merged, oracle, "round {round}");
+            // Still associative at the ceiling.
+            let left = a.merge(&b).merge(&a);
+            let right = a.merge(&b.merge(&a));
+            assert_eq!(left, right, "associative at saturation, round {round}");
+            // Derived views must not overflow either.
+            let _ = merged.percentile(99.0);
+            let _ = merged.cumulative_buckets();
+            let _ = merged.mean();
+        }
+        // Two full-scale snapshots: everything pins at u64::MAX.
+        let full = scaled(&HistogramSnapshot::from_values(&[3, 900]), u64::MAX);
+        let m = full.merge(&full);
+        assert_eq!(m.count, u64::MAX);
+        assert_eq!(m.sum, u64::MAX);
+    }
+
+    #[test]
+    fn merge_ignores_overlong_foreign_buckets() {
+        // A forged snapshot with more than NUM_BUCKETS buckets must not
+        // make merge index out of bounds.
+        let mut forged = HistogramSnapshot::from_values(&[1, 2, 3]);
+        forged.buckets.resize(NUM_BUCKETS + 64, 7);
+        let ok = HistogramSnapshot::from_values(&[4]);
+        let merged = ok.merge(&forged);
+        assert_eq!(merged.buckets.len(), NUM_BUCKETS);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use std::fmt::Write as _;
 
-use crate::MetricsRegistry;
+use crate::{HistogramSnapshot, MetricsRegistry};
 
 /// Mangle a registry name into a Prometheus metric name.
 fn mangle(name: &str) -> String {
@@ -28,14 +28,28 @@ fn mangle(name: &str) -> String {
 
 /// Render every counter and every non-empty histogram.
 pub fn render(reg: &MetricsRegistry) -> String {
+    render_parts(&reg.with_prefix(""), &reg.histograms_with_prefix(""))
+}
+
+/// Render already-extracted counter and histogram data — the same text
+/// a live registry would serve. This is the merge path for sharded
+/// runs: `doppio-scale` folds per-tenant snapshots into one counter
+/// set plus one snapshot set and renders them here, so a merged
+/// exposition is byte-identical to what a single registry holding the
+/// pooled data would produce. Callers must pass names in sorted order
+/// (registry accessors already do); empty histograms are skipped.
+pub fn render_parts(counters: &[(String, u64)], hists: &[(String, HistogramSnapshot)]) -> String {
     let mut out = String::new();
-    for (name, value) in reg.with_prefix("") {
-        let m = mangle(&name);
+    for (name, value) in counters {
+        let m = mangle(name);
         let _ = writeln!(out, "# TYPE {m} counter");
         let _ = writeln!(out, "{m} {value}");
     }
-    for (name, snap) in reg.histograms_with_prefix("") {
-        let m = mangle(&name);
+    for (name, snap) in hists {
+        if snap.is_empty() {
+            continue;
+        }
+        let m = mangle(name);
         let _ = writeln!(out, "# TYPE {m} histogram");
         for (upper, cum) in snap.cumulative_buckets() {
             let _ = writeln!(out, "{m}_bucket{{le=\"{upper}\"}} {cum}");

@@ -74,9 +74,11 @@ fn main() {
     let req = kernel.pipe();
     let resp = kernel.pipe();
     for r in REQUESTS {
-        kernel.host_write(req, format!("{r}\n").as_bytes());
+        kernel
+            .host_write(req, format!("{r}\n").as_bytes())
+            .expect("live pipe");
     }
-    kernel.host_close_write(req);
+    kernel.host_close_write(req).expect("live pipe");
 
     // The server: read a line, fork a handler with the line as argv,
     // waitpid it, repeat until EOF on the request pipe.
@@ -91,7 +93,7 @@ fn main() {
         move |ctx| {
             // A request in flight: reap it before accepting the next.
             if let Some(pid) = child {
-                return match k.waitpid(ctx, pid) {
+                return match k.waitpid(ctx, pid).expect("known child") {
                     WaitPid::Exited(status) => {
                         assert!(status.success(), "handler failed: {status}");
                         child = None;
@@ -120,7 +122,7 @@ fn main() {
             if eof {
                 return ThreadStep::Finished;
             }
-            match k.read_pipe(ctx, req, 256) {
+            match k.read_pipe(ctx, req, 256).expect("live pipe") {
                 PipeRead::Data(d) => {
                     buf.extend_from_slice(&d);
                     ThreadStep::Yielded
@@ -137,7 +139,7 @@ fn main() {
     kernel.run().expect("server must not deadlock");
     assert!(server.status().unwrap().success());
 
-    let responses = String::from_utf8(kernel.host_read(resp)).expect("utf8");
+    let responses = String::from_utf8(kernel.host_read(resp).expect("live pipe")).expect("utf8");
     let mut transcript = format!("seed: {seed}\n");
     for (r, line) in REQUESTS.iter().zip(responses.lines()) {
         transcript.push_str(&format!("> {r}\n< {line}\n"));

@@ -16,6 +16,8 @@
 //! * `DOPPIO_SCHED_SEED` — master seed (default 0xD0FF10)
 //! * `DOPPIO_SCHED_N` — schedules per workload (default 32)
 //! * `DOPPIO_SCHED_REPLAY` — replay file path (default schedule-replay.txt)
+//! * `DOPPIO_SCHED_THREADS` — shard threads for the schedule sweep
+//!   (default: one per core; the findings are identical at any value)
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -26,7 +28,8 @@ use doppio::jsengine::{Browser, Engine};
 use doppio::jvm::{fsutil, Jvm};
 use doppio::minijava::compile_to_bytes;
 use doppio::schedtest::{
-    explore, ExploreConfig, PickLog, RecordingScheduler, ReplayFile, ReplayScheduler,
+    explore, explore_parallel, ExploreConfig, PickLog, RecordingScheduler, ReplayFile,
+    ReplayScheduler,
 };
 
 /// A named guest workload: source, expected stdout.
@@ -289,12 +292,20 @@ fn main() {
         return;
     }
 
-    // Default: fuzz the healthy workloads. Any failure is a real bug;
-    // serialize the shrunk schedule for the artifact upload.
+    // Default: fuzz the healthy workloads, sharding each workload's
+    // schedule sweep across OS threads (every schedule runs a fresh
+    // engine, so the sweep parallelizes without touching determinism —
+    // `explore_parallel` reports exactly what serial `explore` would).
+    // Any failure is a real bug; serialize the shrunk schedule for the
+    // artifact upload.
+    let threads = env_u64(
+        "DOPPIO_SCHED_THREADS",
+        doppio::scale::default_threads() as u64,
+    ) as usize;
     let mut failed = false;
     for w in WORKLOADS {
         let cfg = ExploreConfig::new(n, seed);
-        let report = explore(&cfg, |sched| run_once(w, sched));
+        let report = explore_parallel(&cfg, threads, || Box::new(|sched| run_once(w, sched)));
         match report.failure {
             None => println!(
                 "workload '{}': {} schedules OK (seed {seed:#x})",

@@ -160,7 +160,7 @@ fn main() {
     assert!(status.success() && disasm.status().unwrap().success());
     assert!(grep.status().unwrap().success());
 
-    let output = String::from_utf8(kernel.host_read(p3)).expect("utf8");
+    let output = String::from_utf8(kernel.host_read(p3).expect("live pipe")).expect("utf8");
 
     // The transcript: final-pipe output plus the process table — the
     // byte-identity artifact CI diffs across same-seed runs.

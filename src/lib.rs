@@ -32,6 +32,9 @@
 //! * [`faults`] — seeded, virtual-clock-driven fault injection for the
 //!   network fabric and fs backends, plus the retry/backoff policies
 //!   that recover from it (see `docs/robustness.md`).
+//! * [`scale`] — the multi-tenant scale harness: shard K independent
+//!   tenant simulations across OS threads and deterministically merge
+//!   their reports into one `ScaleReport` (see `docs/scale.md`).
 //!
 //! # Quick start
 //!
@@ -59,7 +62,7 @@
 //! let p = kernel.spawn_fn(SpawnOptions::new("greeter").stdout(pipe), move |ctx| {
 //!     if sent { return ThreadStep::Finished; }
 //!     sent = true;
-//!     match k.write_pipe(ctx, pipe, b"hello") {
+//!     match k.write_pipe(ctx, pipe, b"hello").expect("live pipe") {
 //!         PipeWrite::Wrote(_) => ThreadStep::Yielded,
 //!         PipeWrite::WouldBlock => ThreadStep::Blocked,
 //!         PipeWrite::Broken => ThreadStep::Finished,
@@ -67,7 +70,7 @@
 //! });
 //! let status = p.wait().unwrap();
 //! assert!(status.success());
-//! assert_eq!(kernel.host_read(pipe), b"hello");
+//! assert_eq!(kernel.host_read(pipe).unwrap(), b"hello");
 //! ```
 //!
 //! See `examples/quickstart.rs` for the single-JVM pipeline (compile
@@ -89,6 +92,7 @@ pub use doppio_jsengine as jsengine;
 pub use doppio_jvm as jvm;
 pub use doppio_minijava as minijava;
 pub use doppio_prng as prng;
+pub use doppio_scale as scale;
 pub use doppio_schedtest as schedtest;
 pub use doppio_sockets as sockets;
 pub use doppio_trace as trace;

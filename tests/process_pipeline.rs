@@ -11,7 +11,9 @@ use doppio::core::{PipeRead, PipeWrite, Scheduler, ThreadStep, WaitPid};
 use doppio::fs::{backends, FileSystem};
 use doppio::jvm::{fsutil, spawn_jvm};
 use doppio::minijava::compile_to_bytes;
-use doppio::schedtest::{explore, ExploreConfig, PickLog, RecordingScheduler, ReplayFile};
+use doppio::schedtest::{
+    explore, explore_parallel, ExploreConfig, PickLog, RecordingScheduler, ReplayFile,
+};
 use doppio::{ExitStatus, Kernel, Signal, SpawnOptions};
 
 /// Master seed for the exploration test; fixed so the in-tree run is
@@ -80,7 +82,7 @@ fn jvm_pipeline_eof_and_exit_code_propagation() {
     assert_eq!(producer.status(), Some(ExitStatus::Exited(0)));
     // System.exit(n) propagated through the exit probe: 5 lines seen.
     assert_eq!(filter.status(), Some(ExitStatus::Exited(5)));
-    let out = String::from_utf8(kernel.host_read(p2)).unwrap();
+    let out = String::from_utf8(kernel.host_read(p2).unwrap()).unwrap();
     assert_eq!(
         out,
         "got line 0\ngot line 1\ngot line 2\ngot line 3\ngot line 4\n"
@@ -102,7 +104,7 @@ fn backpressure_bounds_the_pipe_while_data_flows() {
         if remaining.is_empty() {
             return ThreadStep::Finished;
         }
-        match k.write_pipe(ctx, pipe, &remaining) {
+        match k.write_pipe(ctx, pipe, &remaining).expect("live pipe") {
             PipeWrite::Wrote(n) => {
                 assert!(n <= 4, "wrote past capacity: {n}");
                 remaining.drain(..n);
@@ -118,6 +120,7 @@ fn backpressure_bounds_the_pipe_while_data_flows() {
     let o = out.clone();
     kernel.spawn_fn(SpawnOptions::new("reader").stdin(pipe), move |ctx| match k
         .read_pipe(ctx, pipe, 1)
+        .expect("live pipe")
     {
         PipeRead::Data(d) => {
             o.borrow_mut().extend_from_slice(&d);
@@ -133,9 +136,9 @@ fn backpressure_bounds_the_pipe_while_data_flows() {
     kernel.runtime().start();
     while engine.run_one() {
         assert!(
-            kernel.pipe_len(pipe) <= 4,
+            kernel.pipe_len(pipe).unwrap() <= 4,
             "pipe over capacity: {}",
-            kernel.pipe_len(pipe)
+            kernel.pipe_len(pipe).unwrap()
         );
     }
     assert!(kernel.all_exited());
@@ -170,6 +173,7 @@ fn sigkill_mid_pipe_gives_the_reader_eof() {
     let o = out.clone();
     let reader = kernel.spawn_fn(SpawnOptions::new("reader").stdin(pipe), move |ctx| match k
         .read_pipe(ctx, pipe, 64)
+        .expect("live pipe")
     {
         PipeRead::Data(d) => {
             o.borrow_mut().extend_from_slice(&d);
@@ -188,7 +192,7 @@ fn sigkill_mid_pipe_gives_the_reader_eof() {
         }
     }
     assert!(spammer.status().is_none(), "spammer must still be running");
-    spammer.kill(Signal::Kill);
+    spammer.kill(Signal::Kill).unwrap();
     kernel.run().unwrap();
 
     assert_eq!(spammer.status(), Some(ExitStatus::Signaled(Signal::Kill)));
@@ -234,7 +238,7 @@ fn waitpid_reaps_the_jvm_zombie_and_sees_its_code() {
     let seen = Rc::new(Cell::new(None));
     let s = seen.clone();
     kernel.spawn_fn(SpawnOptions::new("parent"), move |ctx| {
-        match k.waitpid(ctx, child_pid) {
+        match k.waitpid(ctx, child_pid).expect("known child") {
             WaitPid::Exited(status) => {
                 s.set(Some(status));
                 ThreadStep::Finished
@@ -275,7 +279,7 @@ fn canary_pipeline(sched: Box<dyn Scheduler>) -> Result<(), String> {
         if remaining == 0 {
             return ThreadStep::Finished;
         }
-        match k.write_pipe(ctx, p1, b"xx") {
+        match k.write_pipe(ctx, p1, b"xx").expect("live pipe") {
             PipeWrite::Wrote(n) => {
                 remaining -= n.min(remaining);
                 ThreadStep::Yielded
@@ -297,13 +301,13 @@ fn canary_pipeline(sched: Box<dyn Scheduler>) -> Result<(), String> {
         move |ctx| {
             let impatient = *mode.get_or_insert_with(|| ws.get() >= 2);
             if impatient || reaped {
-                return match k.waitpid(ctx, wpid) {
+                return match k.waitpid(ctx, wpid).expect("known child") {
                     WaitPid::Exited(_) => ThreadStep::Finished,
                     WaitPid::WouldBlock => ThreadStep::Blocked,
                 };
             }
-            match k.read_pipe(ctx, p1, 64) {
-                PipeRead::Data(d) => match k.write_pipe(ctx, p2, &d) {
+            match k.read_pipe(ctx, p1, 64).expect("live pipe") {
+                PipeRead::Data(d) => match k.write_pipe(ctx, p2, &d).expect("live pipe") {
                     PipeWrite::Wrote(n) if n == d.len() => ThreadStep::Yielded,
                     other => panic!("relay overflow: {other:?}"),
                 },
@@ -321,7 +325,7 @@ fn canary_pipeline(sched: Box<dyn Scheduler>) -> Result<(), String> {
     let got = Rc::new(Cell::new(0usize));
     let g = got.clone();
     kernel.spawn_fn(SpawnOptions::new("sink").stdin(p2), move |ctx| {
-        match k.read_pipe(ctx, p2, 64) {
+        match k.read_pipe(ctx, p2, 64).expect("live pipe") {
             PipeRead::Data(d) => {
                 g.set(g.get() + d.len());
                 ThreadStep::Yielded
@@ -385,4 +389,36 @@ fn explore_finds_shrinks_and_replays_the_cross_process_deadlock() {
     assert_eq!(parsed.picks, failure.shrunk);
     let again = canary_pipeline(parsed.scheduler()).expect_err("file replay reproduces");
     assert_eq!(again, failure.message);
+}
+
+/// The sharded exploration driver is a drop-in for the serial one:
+/// same config, same workload ⇒ the same outcomes, the same failing
+/// schedule, the same shrunk pick trace, the same replay file — at
+/// any shard-pool size.
+#[test]
+fn explore_parallel_matches_serial_explore_on_the_canary() {
+    let cfg = ExploreConfig::new(24, SEED);
+    let serial = explore(&cfg, canary_pipeline);
+    for threads in [1, 4] {
+        let parallel = explore_parallel(&cfg, threads, || Box::new(canary_pipeline));
+        assert_eq!(parallel.runs.len(), serial.runs.len(), "threads={threads}");
+        for (p, s) in parallel.runs.iter().zip(&serial.runs) {
+            assert_eq!(p.schedule, s.schedule, "threads={threads}");
+            assert_eq!(p.picks, s.picks, "threads={threads}");
+            assert_eq!(p.failure, s.failure, "threads={threads}");
+        }
+        let (pf, sf) = (
+            parallel.failure.expect("parallel finds the deadlock"),
+            serial.failure.as_ref().expect("serial finds the deadlock"),
+        );
+        assert_eq!(pf.schedule, sf.schedule, "threads={threads}");
+        assert_eq!(pf.message, sf.message, "threads={threads}");
+        assert_eq!(pf.picks, sf.picks, "threads={threads}");
+        assert_eq!(pf.shrunk, sf.shrunk, "threads={threads}");
+        assert_eq!(
+            pf.replay.to_text(),
+            sf.replay.to_text(),
+            "threads={threads}"
+        );
+    }
 }
