@@ -30,6 +30,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::rc::{Rc, Weak};
 
+use doppio_faults::{FaultPlan, FsFault};
 use doppio_jsengine::{Browser, Engine, EngineBuilder, ObservabilityOptions};
 use doppio_trace::{cat, ArgValue};
 
@@ -64,6 +65,10 @@ pub enum KernelError {
     /// The host end of the pipe was already closed, or was released
     /// to a process by spawn wiring.
     PipeEndClosed(PipeId),
+    /// An injected transient fault (see [`Kernel::set_pipe_faults`]):
+    /// the operation failed spuriously and may be retried, like a
+    /// driver-level `EIO`.
+    TransientFault(PipeId),
 }
 
 impl fmt::Display for KernelError {
@@ -77,6 +82,9 @@ impl fmt::Display for KernelError {
             KernelError::UnknownPipe(p) => write!(f, "unknown {p}"),
             KernelError::PipeEndClosed(p) => {
                 write!(f, "host end of {p} already closed or released")
+            }
+            KernelError::TransientFault(p) => {
+                write!(f, "transient I/O fault injected on {p}")
             }
         }
     }
@@ -359,6 +367,7 @@ struct KernelInner {
     next_pipe: u64,
     procs: BTreeMap<u32, Proc>,
     pipes: BTreeMap<u64, PipeState>,
+    pipe_faults: Option<FaultPlan>,
 }
 
 /// The process host. Cheaply cloneable handle; strictly
@@ -403,6 +412,7 @@ impl Kernel {
                 next_pipe: 1,
                 procs: BTreeMap::new(),
                 pipes: BTreeMap::new(),
+                pipe_faults: None,
             })),
         }
     }
@@ -473,6 +483,56 @@ impl Kernel {
     // Pipes
     // ------------------------------------------------------------
 
+    /// Inject faults into guest pipe operations. Each `read_pipe` /
+    /// `write_pipe` call consults the plan (drawing from the fs
+    /// probability fields and budget): a transient `EIO` surfaces as
+    /// [`KernelError::TransientFault`], a slow completion parks the
+    /// calling thread for the drawn virtual delay before it retries.
+    /// Opt-in: a kernel without a plan never draws.
+    pub fn set_pipe_faults(&self, plan: FaultPlan) {
+        self.inner.borrow_mut().pipe_faults = Some(plan);
+    }
+
+    /// Consult the fault plan for one guest pipe op on a pipe that is
+    /// known to exist. `Err` means fail the op; `Ok(true)` means the
+    /// caller must report WouldBlock (the thread sleeps out the
+    /// injected delay on a timer); `Ok(false)` is normal service.
+    fn draw_pipe_fault(
+        &self,
+        ctx: &mut ThreadContext<'_>,
+        op: &'static str,
+        pipe: PipeId,
+    ) -> Result<bool, KernelError> {
+        let plan = {
+            let inner = self.inner.borrow();
+            match &inner.pipe_faults {
+                Some(p) if inner.pipes.contains_key(&pipe.0) => p.clone(),
+                _ => return Ok(false),
+            }
+        };
+        match plan.pipe_fault(&self.engine(), op, pipe.0) {
+            None => Ok(false),
+            Some(FsFault::TransientEio) => Err(KernelError::TransientFault(pipe)),
+            Some(FsFault::SlowCompletion(ns)) => {
+                // Park the thread on a timer instead of the pipe's
+                // waiter list: nothing about the pipe's state will
+                // change, the delay itself is what it waits for. The
+                // Async resource has no owner, so the wait-for graph
+                // never sees a spurious deadlock cycle.
+                ctx.note_block(
+                    Resource::Async(format!("pipe.fault({pipe})")),
+                    format!("pipe.{op}({pipe})"),
+                );
+                let rt = ctx.runtime().clone();
+                let me = ctx.thread_id();
+                self.engine()
+                    .set_timeout(ns as f64 / 1e6, move |_| rt.wake(me));
+                Ok(true)
+            }
+            Some(FsFault::QuotaExceeded) => Ok(false), // pipes have no quota
+        }
+    }
+
     /// Create a pipe with the default capacity. Both ends start held
     /// by the host; spawn wiring transfers them to processes.
     pub fn pipe(&self) -> PipeId {
@@ -516,6 +576,9 @@ impl Kernel {
     ) -> Result<PipeRead, KernelError> {
         let me = ctx.thread_id();
         let my_pid = ctx.runtime().thread_tag(me);
+        if self.draw_pipe_fault(ctx, "read", pipe)? {
+            return Ok(PipeRead::WouldBlock);
+        }
         let (result, wakes) = {
             let mut inner = self.inner.borrow_mut();
             let p = inner
@@ -567,6 +630,9 @@ impl Kernel {
     ) -> Result<PipeWrite, KernelError> {
         let me = ctx.thread_id();
         let my_pid = ctx.runtime().thread_tag(me);
+        if self.draw_pipe_fault(ctx, "write", pipe)? {
+            return Ok(PipeWrite::WouldBlock);
+        }
         let (result, wakes) = {
             let mut inner = self.inner.borrow_mut();
             let p = inner

@@ -331,6 +331,62 @@ impl FaultPlan {
         fault
     }
 
+    /// Decide the fate of one kernel pipe operation `op` (`"read"` /
+    /// `"write"`) on pipe `pipe`. Pipe faults draw from the fs
+    /// probability fields and share the fs recovery budget — a pipe is
+    /// the same kind of byte-stream substrate, just process-local.
+    /// Quota faults never apply; only [`FsFault::TransientEio`] and
+    /// [`FsFault::SlowCompletion`] can fire. Returns `None` for normal
+    /// completion.
+    pub fn pipe_fault(&self, engine: &Engine, op: &'static str, pipe: u64) -> Option<FsFault> {
+        let fault = {
+            let mut p = self.inner.borrow_mut();
+            if p.fs_injected >= p.cfg.max_fs_faults {
+                return None;
+            }
+            let cfg = p.cfg.clone();
+            // Fixed evaluation order keeps the stream reproducible.
+            let fault = if p.rng.gen_bool(cfg.fs_eio_p) {
+                Some(FsFault::TransientEio)
+            } else if p.rng.gen_bool(cfg.fs_slow_p) {
+                let (lo, hi) = cfg.fs_slow_ns;
+                Some(FsFault::SlowCompletion(p.rng.gen_range(lo..=hi)))
+            } else {
+                None
+            };
+            if let Some(f) = fault {
+                p.fs_injected += 1;
+                p.log.push(FaultRecord {
+                    ts_ns: engine.now_ns(),
+                    kind: f.name(),
+                    detail: format!("{op} pipe#{pipe}"),
+                });
+            }
+            fault
+        };
+        if let Some(f) = fault {
+            engine
+                .metrics()
+                .counter(&format!("fault.pipe.{}", f.name()))
+                .inc();
+            let tracer = engine.tracer();
+            if tracer.enabled() {
+                tracer.instant(
+                    cat::FAULT,
+                    "pipe_fault",
+                    engine.now_ns(),
+                    0,
+                    vec![
+                        ("kind", ArgValue::from(f.name())),
+                        ("op", ArgValue::from(op)),
+                        ("pipe", ArgValue::U64(pipe)),
+                    ],
+                );
+            }
+        }
+        fault
+    }
+
     /// Network faults injected so far.
     pub fn net_injected(&self) -> u32 {
         self.inner.borrow().net_injected
@@ -486,6 +542,35 @@ mod tests {
             .count();
         assert_eq!(fired, 3);
         assert_eq!(plan.net_injected(), 3);
+    }
+
+    #[test]
+    fn pipe_faults_share_the_fs_budget_and_never_draw_quota() {
+        let engine = Engine::new(Browser::Chrome);
+        // Quota at certainty: pipes must never draw it, even on writes.
+        let cfg = FaultConfig {
+            fs_quota_p: 1.0,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::new(13, cfg);
+        for i in 0..50 {
+            let op = if i % 2 == 0 { "read" } else { "write" };
+            assert_eq!(plan.pipe_fault(&engine, op, 1), None);
+        }
+
+        // The fs budget bounds pipe injections too.
+        let cfg = FaultConfig {
+            fs_eio_p: 1.0,
+            max_fs_faults: 2,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::new(13, cfg);
+        let fired = (0..20)
+            .filter(|_| plan.pipe_fault(&engine, "write", 7).is_some())
+            .count();
+        assert_eq!(fired, 2);
+        assert_eq!(plan.fs_injected(), 2);
+        assert!(plan.log().iter().all(|r| r.detail == "write pipe#7"));
     }
 
     #[test]

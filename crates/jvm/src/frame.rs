@@ -137,6 +137,8 @@ mod tests {
             is_static: true,
             line_numbers: vec![],
             ics: std::cell::RefCell::new(std::collections::HashMap::new()),
+            hotness: std::cell::Cell::new(0),
+            tiered: std::cell::RefCell::new(None),
         })
     }
 

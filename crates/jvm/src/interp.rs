@@ -55,6 +55,37 @@ pub enum StepResult {
     Exit(i32),
 }
 
+/// Run the top frame until the thread must leave the interpreter: the
+/// hosting thread's slice loop calls this instead of single-stepping.
+///
+/// When tier-up is enabled ([`JvmState::tier_up`]) and the top frame's
+/// method has (or earns) a compiled [`crate::tiered::TieredCode`], the
+/// direct-threaded tier executes it; otherwise the switch interpreter
+/// steps. Both tiers charge the identical virtual-cost and counter
+/// sequence, so which one ran is unobservable in transcripts, reports,
+/// and schedules — the switch interpreter is the deopt oracle.
+pub fn run(
+    state: &mut JvmState,
+    frames: &mut Vec<Frame>,
+    ctx: &mut ThreadContext<'_>,
+    tid: ThreadId,
+) -> StepResult {
+    loop {
+        let sr = if state.tier_up {
+            match crate::tiered::enter(state, frames, ctx) {
+                Some(code) => crate::tiered::run_tiered(state, frames, ctx, tid, &code),
+                None => step(state, frames, ctx, tid),
+            }
+        } else {
+            step(state, frames, ctx, tid)
+        };
+        match sr {
+            StepResult::Continue => {}
+            other => return other,
+        }
+    }
+}
+
 /// Execute one instruction of the top frame.
 pub fn step(
     state: &mut JvmState,
@@ -1425,6 +1456,15 @@ pub fn step(
     if let Some(frame) = frames.last_mut() {
         frame.pc = next_pc;
     }
+    // Host-only backedge profiling: feeds the tier-up oracle but never
+    // charges the virtual clock, so it cannot perturb a transcript.
+    if state.tier_up && next_pc < pc {
+        code.hotness.set(
+            code.hotness
+                .get()
+                .saturating_add(crate::tiered::BACKEDGE_BOOST),
+        );
+    }
     // §6.1: suspend checks happen at call boundaries, which "is not a
     // perfect solution, as it is possible in theory to execute an
     // extremely long-running loop that makes no method calls. ... it
@@ -1472,7 +1512,7 @@ fn fixed_operand_len(opcode: u8, bc: &[u8], pc: usize) -> usize {
 }
 
 /// JVM `f2i`/`d2i` conversion: NaN → 0, saturating.
-fn f2i(v: f64) -> i32 {
+pub(crate) fn f2i(v: f64) -> i32 {
     if v.is_nan() {
         0
     } else if v >= i32::MAX as f64 {
@@ -1485,7 +1525,7 @@ fn f2i(v: f64) -> i32 {
 }
 
 /// JVM `f2l`/`d2l` conversion.
-fn f2l(v: f64) -> i64 {
+pub(crate) fn f2l(v: f64) -> i64 {
     if v.is_nan() {
         0
     } else if v >= i64::MAX as f64 {
@@ -1498,7 +1538,7 @@ fn f2l(v: f64) -> i64 {
 }
 
 /// `fcmpl`/`fcmpg`/`dcmpl`/`dcmpg`: NaN pushes -1 or +1 per variant.
-fn fp_cmp(a: f64, b: f64, greater_on_nan: bool) -> i32 {
+pub(crate) fn fp_cmp(a: f64, b: f64, greater_on_nan: bool) -> i32 {
     if a.is_nan() || b.is_nan() {
         if greater_on_nan {
             1
@@ -2035,6 +2075,26 @@ fn invoke(
             site
         }
     };
+    invoke_with_site(state, frames, ctx, tid, opcode, next_pc, &site, false)
+}
+
+/// The body of an invoke once its call site is resolved: dispatch,
+/// synchronization, argument transfer and the frame push. The tiered
+/// interpreter enters here directly with its baked [`CallSite`]
+/// (`from_tier` set), so quickening transitions and inline-cache
+/// repair happen at identical program points in both tiers; an
+/// inline-cache miss from the tier is counted as a deoptimization.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn invoke_with_site(
+    state: &mut JvmState,
+    frames: &mut Vec<Frame>,
+    ctx: &mut ThreadContext<'_>,
+    tid: ThreadId,
+    opcode: u8,
+    next_pc: usize,
+    site: &Rc<CallSite>,
+    from_tier: bool,
+) -> StepResult {
     let arg_slots = site.arg_slots;
     let has_receiver = opcode != op::INVOKESTATIC;
 
@@ -2075,6 +2135,9 @@ fn invoke(
             }
             _ => {
                 note_ic_miss(state, ctx, &site.name);
+                if from_tier {
+                    crate::tiered::note_deopt(state, ctx, "ic_miss");
+                }
                 if site.ref_class.get().is_none() {
                     match ensure_class(state, &site.cname) {
                         Ok(id) => site.ref_class.set(Some(id)),
@@ -2120,6 +2183,9 @@ fn invoke(
             }
             None => {
                 note_ic_miss(state, ctx, &site.name);
+                if from_tier {
+                    crate::tiered::note_deopt(state, ctx, "ic_miss");
+                }
                 let ref_class = match site.ref_class.get() {
                     Some(id) => id,
                     None => match ensure_class(state, &site.cname) {
@@ -2241,6 +2307,15 @@ fn invoke(
             &format!("{}.{}{}", site.cname, site.name, site.desc),
         );
     };
+    // Host-only invocation counter: the §6.1 call-boundary hook that
+    // feeds the tier-up oracle. Never charges the virtual clock.
+    if state.tier_up {
+        blob.hotness.set(
+            blob.hotness
+                .get()
+                .saturating_add(crate::tiered::INVOKE_BOOST),
+        );
+    }
     let mut new_frame = Frame::new(blob);
     new_frame.held_monitor = acquired_monitor;
     // Copy argument slots verbatim (they are already slot-expanded).

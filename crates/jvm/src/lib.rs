@@ -52,6 +52,7 @@ pub mod process;
 pub mod rtlib;
 pub mod state;
 pub mod thread;
+pub mod tiered;
 pub mod value;
 
 pub use jvm::{Jvm, JvmRunResult, JvmStdin, UserNative};

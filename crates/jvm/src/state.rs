@@ -86,6 +86,15 @@ pub struct CodeBlob {
     /// Inline caches for the method's invoke sites, keyed by bytecode
     /// offset, populated lazily by the interpreter.
     pub ics: RefCell<HashMap<usize, Rc<CallSite>>>,
+    /// Tier-up hotness: bumped on invocation (+8), backward branch
+    /// (+1), and profiler sample (+64); crossing
+    /// [`crate::tiered::TIER_THRESHOLD`] triggers compilation to the
+    /// direct-threaded tier. Host-side bookkeeping only — never
+    /// consulted by anything that charges virtual time.
+    pub hotness: Cell<u32>,
+    /// The method's direct-threaded form, compiled on first tier-up
+    /// (`None` until hot, and forever when tier-up is disabled).
+    pub tiered: RefCell<Option<Rc<crate::tiered::TieredCode>>>,
 }
 
 /// Counter handles for the resolution caches, resolved once from the
@@ -101,6 +110,19 @@ pub struct PerfCounters {
     pub ic_hit: Counter,
     /// Inline-cache misses (`jvm.icache.miss`).
     pub ic_miss: Counter,
+    /// Methods compiled to the direct-threaded tier
+    /// (`jvm.tier.compiled`). Tier counters are host-side diagnostics:
+    /// [`RunReport`](doppio_core::report::RunReport) excludes the
+    /// `jvm.tier.*` prefix so reports stay byte-identical with tier-up
+    /// on or off.
+    pub tier_compiled: Counter,
+    /// Deoptimizations: guard failures and inline-cache misses that
+    /// sent a tiered frame back through the switch interpreter
+    /// (`jvm.tier.deopt`).
+    pub tier_deopt: Counter,
+    /// Superinstruction executions in tiered code
+    /// (`jvm.tier.super_hit`).
+    pub tier_super: Counter,
 }
 
 impl PerfCounters {
@@ -112,6 +134,9 @@ impl PerfCounters {
             cp_miss: m.counter("jvm.cp_cache.miss"),
             ic_hit: m.counter("jvm.icache.hit"),
             ic_miss: m.counter("jvm.icache.miss"),
+            tier_compiled: m.counter("jvm.tier.compiled"),
+            tier_deopt: m.counter("jvm.tier.deopt"),
+            tier_super: m.counter("jvm.tier.super_hit"),
         }
     }
 }
@@ -185,6 +210,10 @@ pub struct JvmState {
     pub self_rc: Option<Weak<RefCell<JvmState>>>,
     /// Resolution-cache counters (shared with the metrics registry).
     pub perf: PerfCounters,
+    /// Whether hot methods tier up to direct-threaded code (from
+    /// [`Engine::tier_up_enabled`]). Host speed only; results are
+    /// byte-identical either way.
+    pub tier_up: bool,
 }
 
 impl JvmState {
@@ -222,6 +251,7 @@ impl JvmState {
             join_waiters: HashMap::new(),
             self_rc: None,
             perf: PerfCounters::new(engine),
+            tier_up: engine.tier_up_enabled(),
         }
     }
 
@@ -275,6 +305,8 @@ impl JvmState {
             is_static: m.is_static(),
             line_numbers: code.line_numbers.clone(),
             ics: RefCell::new(HashMap::new()),
+            hotness: Cell::new(0),
+            tiered: RefCell::new(None),
         });
         self.code_cache.insert((class, method_index), blob.clone());
         Some(blob)

@@ -1,0 +1,1801 @@
+//! The direct-threaded second execution tier (tier-up).
+//!
+//! Hot methods — found by the §6.1 call-boundary profiling hooks
+//! (invocation counters, backedge counters, sampler hits) — are
+//! compiled to a pre-decoded instruction stream ([`TieredCode`]) and
+//! executed by [`run_tiered`] instead of the switch interpreter.
+//! Operand decoding, constant-pool probing and inline-cache lookup
+//! happen once at compile time; hot pairs and triples fuse into
+//! superinstructions (`iload+iload+iadd`, `aload+getfield` with the
+//! resolved field baked in, `iinc+goto` loop latches) and `invoke*`
+//! sites go straight to their quickened [`CallSite`].
+//!
+//! **The virtual-time invariant.** The tier is a host-speed
+//! optimization only: every tiered op charges the *identical* virtual
+//! cost sequence and bumps the *identical* cache counters as the
+//! switch interpreter executing the same bytecode. Transcripts,
+//! RunReports and schedule pick logs are byte-identical with the tier
+//! on or off — which is what lets `DOPPIO_TIER_UP=off` serve as a CI
+//! oracle. Only the `jvm.tier.*` counters (excluded from reports) and
+//! `perf`-category trace instants reveal that the tier ran.
+//!
+//! **Deoptimization.** Anything the tier did not bake — an
+//! unquickened site, a `tableswitch`, a monitor op — compiles to
+//! [`Op::Fallback`], which runs that one instruction through the
+//! switch interpreter. Anything that invalidates a baked assumption
+//! at runtime — an inline-cache miss (e.g. a subclass loaded mid-run),
+//! an exception — re-enters the switch interpreter at the equivalent
+//! bytecode pc and is counted in `jvm.tier.deopt`. Because the two
+//! tiers agree on every observable, deopt needs no state repair beyond
+//! materializing the bytecode pc.
+
+use std::rc::Rc;
+
+use doppio_classfile::opcodes as op;
+use doppio_core::{ThreadContext, ThreadId};
+use doppio_jsengine::Cost;
+use doppio_trace::cat;
+
+use crate::class::{ClassId, CpEntry, ResolvedField};
+use crate::frame::Frame;
+use crate::interp::{self, StepResult};
+use crate::object::HeapObj;
+use crate::state::{CallSite, CodeBlob, JvmState};
+use crate::value::{ObjRef, Value};
+
+/// Hotness at which a method is compiled to the tier.
+pub const TIER_THRESHOLD: u32 = 128;
+/// Hotness added per invocation (the §6.1 call-boundary hook).
+pub const INVOKE_BOOST: u32 = 8;
+/// Hotness added per backward branch.
+pub const BACKEDGE_BOOST: u32 = 1;
+/// Hotness added per frame seen by the sampling profiler.
+pub const SAMPLE_BOOST: u32 = 64;
+
+/// "This pc is not the head of a tiered op" sentinel in `ip_by_pc`
+/// (fusion middles, operand bytes).
+const NO_IP: u32 = u32::MAX;
+
+/// A branch edge resolved at compile time: the target's bytecode pc
+/// (for deopt and the backedge suspend check) and its tiered ip.
+#[derive(Debug)]
+struct BranchTarget {
+    pc: u32,
+    ip: u32,
+    backedge: bool,
+}
+
+impl BranchTarget {
+    fn unresolved(target_pc: usize, branch_pc: usize) -> BranchTarget {
+        BranchTarget {
+            pc: target_pc as u32,
+            ip: NO_IP,
+            backedge: target_pc < branch_pc,
+        }
+    }
+}
+
+/// One pre-decoded op. Variants that can throw carry their bytecode pc
+/// so the frame can be re-anchored before the exception dispatches.
+#[derive(Debug)]
+enum Op {
+    /// Deopt oracle: run this one instruction in the switch tier.
+    Fallback {
+        pc: u32,
+    },
+    Nop,
+    Const {
+        v: Value,
+        cost: Option<Cost>,
+    },
+    LdcValue {
+        v: Value,
+    },
+    LdcObj {
+        r: ObjRef,
+    },
+    Load {
+        slot: u16,
+        cost: Cost,
+    },
+    Store {
+        slot: u16,
+        cost: Cost,
+    },
+    ArrLoad {
+        pc: u32,
+    },
+    ArrStore {
+        pc: u32,
+    },
+    Pop1,
+    Pop2,
+    Dup,
+    DupX1,
+    DupX2,
+    Dup2,
+    Dup2X1,
+    Dup2X2,
+    Swap,
+    IntBin {
+        op: u8,
+    },
+    IntDivRem {
+        rem: bool,
+        pc: u32,
+    },
+    IntNeg,
+    LongBin {
+        op: u8,
+    },
+    LongDivRem {
+        rem: bool,
+        pc: u32,
+    },
+    LongShift {
+        op: u8,
+    },
+    LongNeg,
+    FloatBin {
+        op: u8,
+    },
+    DoubleBin {
+        op: u8,
+    },
+    FloatNeg,
+    DoubleNeg,
+    Iinc {
+        slot: u16,
+        delta: i32,
+    },
+    Conv {
+        op: u8,
+    },
+    Lcmp,
+    Fcmp {
+        greater_on_nan: bool,
+    },
+    Dcmp {
+        greater_on_nan: bool,
+    },
+    If0 {
+        cond: u8,
+        t: BranchTarget,
+    },
+    IfICmp {
+        cond: u8,
+        t: BranchTarget,
+    },
+    IfACmp {
+        eq: bool,
+        t: BranchTarget,
+    },
+    IfNull {
+        when_null: bool,
+        t: BranchTarget,
+    },
+    Goto {
+        t: BranchTarget,
+    },
+    Return {
+        has_value: bool,
+    },
+    GetStatic {
+        field: Rc<ResolvedField>,
+    },
+    PutStatic {
+        field: Rc<ResolvedField>,
+    },
+    GetField {
+        field: Rc<ResolvedField>,
+        pc: u32,
+    },
+    PutField {
+        field: Rc<ResolvedField>,
+        pc: u32,
+    },
+    Invoke {
+        opcode: u8,
+        pc: u32,
+        next_pc: u32,
+        site: Rc<CallSite>,
+    },
+    New {
+        class: ClassId,
+    },
+    ArrayLength {
+        pc: u32,
+    },
+    /// Superinstruction: `iload a; iload b; <int binop>`.
+    LoadLoadIntBin {
+        a: u16,
+        b: u16,
+        op: u8,
+    },
+    /// Superinstruction: `iinc slot, delta; goto` — the loop latch.
+    IincGoto {
+        slot: u16,
+        delta: i32,
+        t: BranchTarget,
+    },
+    /// Superinstruction: `aload slot; getfield` with the resolved
+    /// field baked in.
+    LoadGetfield {
+        slot: u16,
+        field: Rc<ResolvedField>,
+        pc: u32,
+    },
+}
+
+/// A method's direct-threaded form.
+#[derive(Debug)]
+pub struct TieredCode {
+    ops: Vec<Op>,
+    /// bytecode pc → tiered ip, [`NO_IP`] where no op starts.
+    ip_by_pc: Vec<u32>,
+}
+
+impl TieredCode {
+    /// The tiered ip for bytecode offset `pc`, if one starts there.
+    pub fn entry(&self, pc: usize) -> Option<usize> {
+        match self.ip_by_pc.get(pc) {
+            Some(&ip) if ip != NO_IP => Some(ip as usize),
+            _ => None,
+        }
+    }
+
+    /// Sentinel stored for methods that failed to compile so the
+    /// oracle is consulted exactly once: `entry` never matches.
+    fn unrunnable() -> TieredCode {
+        TieredCode {
+            ops: Vec::new(),
+            ip_by_pc: Vec::new(),
+        }
+    }
+
+    /// Number of tiered ops (0 for the unrunnable sentinel).
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of superinstructions in the stream.
+    pub fn super_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    Op::LoadLoadIntBin { .. } | Op::IincGoto { .. } | Op::LoadGetfield { .. }
+                )
+            })
+            .count()
+    }
+}
+
+/// Count a deoptimization — a tiered frame falling back to the switch
+/// interpreter for an event the tier cannot handle — and, when
+/// tracing, mark it under the `perf` category. Host-side only: never
+/// charges the virtual clock.
+pub(crate) fn note_deopt(state: &JvmState, ctx: &ThreadContext<'_>, why: &'static str) {
+    state.perf.tier_deopt.inc();
+    let tracer = state.engine.tracer();
+    if tracer.enabled() {
+        tracer.instant(
+            cat::PERF,
+            "tier_deopt",
+            state.engine.now_ns(),
+            ctx.trace_lane(),
+            vec![("kind", why.into())],
+        );
+    }
+}
+
+/// Tier gate for the top frame: returns its tiered code when the
+/// method is compiled (or crosses [`TIER_THRESHOLD`] now) *and* the
+/// current pc maps to a tiered op head.
+pub(crate) fn enter(
+    state: &mut JvmState,
+    frames: &[Frame],
+    ctx: &ThreadContext<'_>,
+) -> Option<Rc<TieredCode>> {
+    let frame = frames.last()?;
+    let blob = &frame.code;
+    {
+        let cached = blob.tiered.borrow();
+        if let Some(tc) = cached.as_ref() {
+            return if tc.entry(frame.pc).is_some() {
+                Some(tc.clone())
+            } else {
+                None
+            };
+        }
+    }
+    if blob.hotness.get() < TIER_THRESHOLD {
+        return None;
+    }
+    let tc = Rc::new(compile(state, blob).unwrap_or_else(TieredCode::unrunnable));
+    if !tc.ops.is_empty() {
+        state.perf.tier_compiled.inc();
+        let tracer = state.engine.tracer();
+        if tracer.enabled() {
+            tracer.instant(
+                cat::PERF,
+                "tier_compile",
+                state.engine.now_ns(),
+                ctx.trace_lane(),
+                vec![("method", blob.name.to_string().into())],
+            );
+        }
+    }
+    *blob.tiered.borrow_mut() = Some(tc.clone());
+    if tc.entry(frame.pc).is_some() {
+        Some(tc)
+    } else {
+        None
+    }
+}
+
+// ----------------------------------------------------------------
+// Compilation
+// ----------------------------------------------------------------
+
+fn read_u16(bc: &[u8], at: usize) -> Option<u16> {
+    Some(u16::from_be_bytes([*bc.get(at)?, *bc.get(at + 1)?]))
+}
+
+fn read_i16(bc: &[u8], at: usize) -> Option<i16> {
+    Some(i16::from_be_bytes([*bc.get(at)?, *bc.get(at + 1)?]))
+}
+
+fn read_i32(bc: &[u8], at: usize) -> Option<i32> {
+    Some(i32::from_be_bytes([
+        *bc.get(at)?,
+        *bc.get(at + 1)?,
+        *bc.get(at + 2)?,
+        *bc.get(at + 3)?,
+    ]))
+}
+
+/// Total encoded length of the instruction at `pc`, bounds-checked
+/// (the interpreter's `fixed_operand_len` assumes well-formed code).
+fn decode_len(opcode: u8, bc: &[u8], pc: usize) -> Option<usize> {
+    use doppio_classfile::opcodes::{INFO, VARIABLE};
+    let info = INFO[opcode as usize];
+    if info.operands != VARIABLE {
+        return Some(1 + info.operands as usize);
+    }
+    match opcode {
+        op::WIDE => {
+            if *bc.get(pc + 1)? == op::IINC {
+                Some(6)
+            } else {
+                Some(4)
+            }
+        }
+        op::TABLESWITCH => {
+            let base = (pc + 4) & !3;
+            let low = read_i32(bc, base + 4)?;
+            let high = read_i32(bc, base + 8)?;
+            let n = i64::from(high) - i64::from(low) + 1;
+            if n < 0 || n > bc.len() as i64 {
+                return None;
+            }
+            Some(base + 12 + 4 * n as usize - pc)
+        }
+        op::LOOKUPSWITCH => {
+            let base = (pc + 4) & !3;
+            let npairs = read_i32(bc, base + 4)?;
+            if npairs < 0 || npairs as i64 * 8 > bc.len() as i64 {
+                return None;
+            }
+            Some(base + 8 + 8 * npairs as usize - pc)
+        }
+        _ => Some(1),
+    }
+}
+
+/// All control-flow targets of the instruction at `pc` (branch
+/// targets, switch entries, the return point after a `jsr`). `None`
+/// means the encoding is malformed.
+fn branch_targets(opcode: u8, bc: &[u8], pc: usize, len: usize) -> Option<Vec<usize>> {
+    let rel16 = |out: &mut Vec<usize>| -> Option<()> {
+        let off = read_i16(bc, pc + 1)? as i64;
+        out.push(usize::try_from(pc as i64 + off).ok()?);
+        Some(())
+    };
+    let mut out = Vec::new();
+    match opcode {
+        op::IFEQ..=op::IFLE
+        | op::IF_ICMPEQ..=op::IF_ICMPLE
+        | op::IF_ACMPEQ
+        | op::IF_ACMPNE
+        | op::IFNULL
+        | op::IFNONNULL
+        | op::GOTO => rel16(&mut out)?,
+        op::JSR => {
+            rel16(&mut out)?;
+            out.push(pc + len);
+        }
+        op::GOTO_W => {
+            let off = read_i32(bc, pc + 1)? as i64;
+            out.push(usize::try_from(pc as i64 + off).ok()?);
+        }
+        op::JSR_W => {
+            let off = read_i32(bc, pc + 1)? as i64;
+            out.push(usize::try_from(pc as i64 + off).ok()?);
+            out.push(pc + len);
+        }
+        op::TABLESWITCH => {
+            let base = (pc + 4) & !3;
+            out.push(usize::try_from(pc as i64 + read_i32(bc, base)? as i64).ok()?);
+            let low = read_i32(bc, base + 4)?;
+            let high = read_i32(bc, base + 8)?;
+            for e in 0..(i64::from(high) - i64::from(low) + 1) as usize {
+                let off = read_i32(bc, base + 12 + 4 * e)? as i64;
+                out.push(usize::try_from(pc as i64 + off).ok()?);
+            }
+        }
+        op::LOOKUPSWITCH => {
+            let base = (pc + 4) & !3;
+            out.push(usize::try_from(pc as i64 + read_i32(bc, base)? as i64).ok()?);
+            let npairs = read_i32(bc, base + 4)? as usize;
+            for p in 0..npairs {
+                let off = read_i32(bc, base + 8 + 8 * p + 4)? as i64;
+                out.push(usize::try_from(pc as i64 + off).ok()?);
+            }
+        }
+        _ => {}
+    }
+    Some(out)
+}
+
+/// Local slot of an int-load at `pc`, if it is one.
+fn int_load_slot(opcode: u8, bc: &[u8], pc: usize) -> Option<u16> {
+    match opcode {
+        op::ILOAD => Some(u16::from(bc[pc + 1])),
+        op::ILOAD_0..=op::ILOAD_3 => Some(u16::from(opcode - op::ILOAD_0)),
+        _ => None,
+    }
+}
+
+/// Local slot of a reference load at `pc`, if it is one.
+fn aload_slot(opcode: u8, bc: &[u8], pc: usize) -> Option<u16> {
+    match opcode {
+        op::ALOAD => Some(u16::from(bc[pc + 1])),
+        op::ALOAD_0..=op::ALOAD_3 => Some(u16::from(opcode - op::ALOAD_0)),
+        _ => None,
+    }
+}
+
+/// Int binops eligible as superinstruction tails (no div/rem: those
+/// can throw and stay single ops).
+fn is_int_bin(opcode: u8) -> bool {
+    matches!(
+        opcode,
+        op::IADD
+            | op::ISUB
+            | op::IMUL
+            | op::ISHL
+            | op::ISHR
+            | op::IUSHR
+            | op::IAND
+            | op::IOR
+            | op::IXOR
+    )
+}
+
+/// The quickened field entry at `idx` of `class`, if installed.
+fn quickened_field(state: &JvmState, class: ClassId, idx: u16) -> Option<Rc<ResolvedField>> {
+    match state.registry.get(class).cp_cache.borrow().get(&idx) {
+        Some(CpEntry::Field(f)) => Some(f.clone()),
+        _ => None,
+    }
+}
+
+/// Compile a method to its direct-threaded form. Bakes ONLY state
+/// that is already quickened (cp-cache entries, existing call sites)
+/// so quickening transitions happen at identical program points in
+/// both tiers; everything else becomes [`Op::Fallback`]. `None` on
+/// malformed bytecode — the switch interpreter owns its error path.
+fn compile(state: &JvmState, blob: &CodeBlob) -> Option<TieredCode> {
+    let bc: &[u8] = &blob.bytecode;
+    if bc.is_empty() {
+        return None;
+    }
+
+    // Pass 1: instruction boundaries.
+    struct Ins {
+        pc: usize,
+        opcode: u8,
+        len: usize,
+    }
+    let mut ins: Vec<Ins> = Vec::new();
+    let mut head = vec![false; bc.len()];
+    let mut pc = 0usize;
+    while pc < bc.len() {
+        let opcode = bc[pc];
+        let len = decode_len(opcode, bc, pc)?;
+        if len == 0 || pc + len > bc.len() {
+            return None;
+        }
+        head[pc] = true;
+        ins.push(Ins { pc, opcode, len });
+        pc += len;
+    }
+
+    // Pass 2: leaders — pcs that control flow can enter. Fusion must
+    // never swallow a leader as a superinstruction middle, or a
+    // branch/handler/deopt resume would land inside a fused op.
+    let mut leader = vec![false; bc.len()];
+    leader[0] = true;
+    for e in &blob.exceptions {
+        let h = e.handler_pc as usize;
+        if h >= bc.len() || !head[h] {
+            return None;
+        }
+        leader[h] = true;
+    }
+    for i in &ins {
+        for t in branch_targets(i.opcode, bc, i.pc, i.len)? {
+            if t >= bc.len() || !head[t] {
+                return None;
+            }
+            leader[t] = true;
+        }
+    }
+
+    // Pass 3: fuse and translate.
+    let mut ops: Vec<Op> = Vec::with_capacity(ins.len());
+    let mut ip_by_pc = vec![NO_IP; bc.len()];
+    let mut i = 0usize;
+    while i < ins.len() {
+        let cur = &ins[i];
+        ip_by_pc[cur.pc] = ops.len() as u32;
+
+        // iload; iload; <int binop>
+        if i + 2 < ins.len() {
+            let (n1, n2) = (&ins[i + 1], &ins[i + 2]);
+            if !leader[n1.pc] && !leader[n2.pc] && is_int_bin(n2.opcode) {
+                if let (Some(a), Some(b)) = (
+                    int_load_slot(cur.opcode, bc, cur.pc),
+                    int_load_slot(n1.opcode, bc, n1.pc),
+                ) {
+                    ops.push(Op::LoadLoadIntBin {
+                        a,
+                        b,
+                        op: n2.opcode,
+                    });
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        // aload; getfield (quickened)
+        if i + 1 < ins.len() {
+            let n1 = &ins[i + 1];
+            if n1.opcode == op::GETFIELD && !leader[n1.pc] {
+                if let (Some(slot), Some(idx)) =
+                    (aload_slot(cur.opcode, bc, cur.pc), read_u16(bc, n1.pc + 1))
+                {
+                    if let Some(field) = quickened_field(state, blob.class, idx) {
+                        ops.push(Op::LoadGetfield {
+                            slot,
+                            field,
+                            pc: n1.pc as u32,
+                        });
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+        }
+        // iinc; goto — the loop latch
+        if cur.opcode == op::IINC && i + 1 < ins.len() {
+            let n1 = &ins[i + 1];
+            if n1.opcode == op::GOTO && !leader[n1.pc] {
+                let off = read_i16(bc, n1.pc + 1)? as i64;
+                let target = usize::try_from(n1.pc as i64 + off).ok()?;
+                ops.push(Op::IincGoto {
+                    slot: u16::from(bc[cur.pc + 1]),
+                    delta: bc[cur.pc + 2] as i8 as i32,
+                    t: BranchTarget::unresolved(target, n1.pc),
+                });
+                i += 2;
+                continue;
+            }
+        }
+
+        ops.push(translate(state, blob, bc, cur.pc, cur.opcode, cur.len)?);
+        i += 1;
+    }
+
+    // Pass 4: resolve branch targets to tiered ips.
+    for o in &mut ops {
+        let t = match o {
+            Op::If0 { t, .. }
+            | Op::IfICmp { t, .. }
+            | Op::IfACmp { t, .. }
+            | Op::IfNull { t, .. }
+            | Op::Goto { t }
+            | Op::IincGoto { t, .. } => t,
+            _ => continue,
+        };
+        let ip = ip_by_pc[t.pc as usize];
+        if ip == NO_IP {
+            return None;
+        }
+        t.ip = ip;
+    }
+
+    Some(TieredCode { ops, ip_by_pc })
+}
+
+/// Translate one instruction; anything not baked becomes `Fallback`.
+fn translate(
+    state: &JvmState,
+    blob: &CodeBlob,
+    bc: &[u8],
+    pc: usize,
+    opcode: u8,
+    len: usize,
+) -> Option<Op> {
+    let fallback = Op::Fallback { pc: pc as u32 };
+    let branch16 = |bc: &[u8]| -> Option<BranchTarget> {
+        let off = read_i16(bc, pc + 1)? as i64;
+        Some(BranchTarget::unresolved(
+            usize::try_from(pc as i64 + off).ok()?,
+            pc,
+        ))
+    };
+    Some(match opcode {
+        op::NOP => Op::Nop,
+        op::ACONST_NULL => Op::Const {
+            v: Value::null(),
+            cost: None,
+        },
+        op::ICONST_M1..=op::ICONST_5 => Op::Const {
+            v: Value::Int(opcode as i32 - op::ICONST_0 as i32),
+            cost: Some(Cost::IntOp),
+        },
+        op::LCONST_0 | op::LCONST_1 => Op::Const {
+            v: Value::Long((opcode - op::LCONST_0) as i64),
+            cost: Some(Cost::LongOp),
+        },
+        op::FCONST_0..=op::FCONST_2 => Op::Const {
+            v: Value::Float((opcode - op::FCONST_0) as f32),
+            cost: Some(Cost::FloatOp),
+        },
+        op::DCONST_0 | op::DCONST_1 => Op::Const {
+            v: Value::Double((opcode - op::DCONST_0) as f64),
+            cost: Some(Cost::FloatOp),
+        },
+        op::BIPUSH => Op::Const {
+            v: Value::Int(bc[pc + 1] as i8 as i32),
+            cost: Some(Cost::IntOp),
+        },
+        op::SIPUSH => Op::Const {
+            v: Value::Int(read_i16(bc, pc + 1)? as i32),
+            cost: Some(Cost::IntOp),
+        },
+        op::LDC | op::LDC_W | op::LDC2_W => {
+            let idx = if opcode == op::LDC {
+                u16::from(bc[pc + 1])
+            } else {
+                read_u16(bc, pc + 1)?
+            };
+            match state.registry.get(blob.class).cp_cache.borrow().get(&idx) {
+                Some(CpEntry::Value(v)) => Op::LdcValue { v: *v },
+                Some(CpEntry::Obj(r)) => Op::LdcObj { r: *r },
+                Some(CpEntry::Class(cc)) => match cc.mirror.get() {
+                    Some(r) => Op::LdcObj { r },
+                    None => fallback,
+                },
+                _ => fallback,
+            }
+        }
+
+        op::ILOAD | op::FLOAD | op::ALOAD => Op::Load {
+            slot: u16::from(bc[pc + 1]),
+            cost: Cost::IntOp,
+        },
+        op::LLOAD | op::DLOAD => Op::Load {
+            slot: u16::from(bc[pc + 1]),
+            cost: Cost::LongOp,
+        },
+        op::ILOAD_0..=op::ILOAD_3 => Op::Load {
+            slot: u16::from(opcode - op::ILOAD_0),
+            cost: Cost::IntOp,
+        },
+        op::LLOAD_0..=op::LLOAD_3 => Op::Load {
+            slot: u16::from(opcode - op::LLOAD_0),
+            cost: Cost::LongOp,
+        },
+        op::FLOAD_0..=op::FLOAD_3 => Op::Load {
+            slot: u16::from(opcode - op::FLOAD_0),
+            cost: Cost::FloatOp,
+        },
+        op::DLOAD_0..=op::DLOAD_3 => Op::Load {
+            slot: u16::from(opcode - op::DLOAD_0),
+            cost: Cost::FloatOp,
+        },
+        op::ALOAD_0..=op::ALOAD_3 => Op::Load {
+            slot: u16::from(opcode - op::ALOAD_0),
+            cost: Cost::IntOp,
+        },
+
+        op::IALOAD
+        | op::LALOAD
+        | op::FALOAD
+        | op::DALOAD
+        | op::AALOAD
+        | op::BALOAD
+        | op::CALOAD
+        | op::SALOAD => Op::ArrLoad { pc: pc as u32 },
+
+        op::ISTORE | op::FSTORE | op::ASTORE => Op::Store {
+            slot: u16::from(bc[pc + 1]),
+            cost: Cost::IntOp,
+        },
+        op::LSTORE | op::DSTORE => Op::Store {
+            slot: u16::from(bc[pc + 1]),
+            cost: Cost::LongOp,
+        },
+        op::ISTORE_0..=op::ISTORE_3 => Op::Store {
+            slot: u16::from(opcode - op::ISTORE_0),
+            cost: Cost::IntOp,
+        },
+        op::LSTORE_0..=op::LSTORE_3 => Op::Store {
+            slot: u16::from(opcode - op::LSTORE_0),
+            cost: Cost::LongOp,
+        },
+        op::FSTORE_0..=op::FSTORE_3 => Op::Store {
+            slot: u16::from(opcode - op::FSTORE_0),
+            cost: Cost::FloatOp,
+        },
+        op::DSTORE_0..=op::DSTORE_3 => Op::Store {
+            slot: u16::from(opcode - op::DSTORE_0),
+            cost: Cost::FloatOp,
+        },
+        op::ASTORE_0..=op::ASTORE_3 => Op::Store {
+            slot: u16::from(opcode - op::ASTORE_0),
+            cost: Cost::IntOp,
+        },
+
+        op::IASTORE
+        | op::LASTORE
+        | op::FASTORE
+        | op::DASTORE
+        | op::AASTORE
+        | op::BASTORE
+        | op::CASTORE
+        | op::SASTORE => Op::ArrStore { pc: pc as u32 },
+
+        op::POP => Op::Pop1,
+        op::POP2 => Op::Pop2,
+        op::DUP => Op::Dup,
+        op::DUP_X1 => Op::DupX1,
+        op::DUP_X2 => Op::DupX2,
+        op::DUP2 => Op::Dup2,
+        op::DUP2_X1 => Op::Dup2X1,
+        op::DUP2_X2 => Op::Dup2X2,
+        op::SWAP => Op::Swap,
+
+        op::IADD
+        | op::ISUB
+        | op::IMUL
+        | op::ISHL
+        | op::ISHR
+        | op::IUSHR
+        | op::IAND
+        | op::IOR
+        | op::IXOR => Op::IntBin { op: opcode },
+        op::IDIV | op::IREM => Op::IntDivRem {
+            rem: opcode == op::IREM,
+            pc: pc as u32,
+        },
+        op::INEG => Op::IntNeg,
+        op::LADD | op::LSUB | op::LMUL | op::LAND | op::LOR | op::LXOR => {
+            Op::LongBin { op: opcode }
+        }
+        op::LDIV | op::LREM => Op::LongDivRem {
+            rem: opcode == op::LREM,
+            pc: pc as u32,
+        },
+        op::LSHL | op::LSHR | op::LUSHR => Op::LongShift { op: opcode },
+        op::LNEG => Op::LongNeg,
+        op::FADD | op::FSUB | op::FMUL | op::FDIV | op::FREM => Op::FloatBin { op: opcode },
+        op::DADD | op::DSUB | op::DMUL | op::DDIV | op::DREM => Op::DoubleBin { op: opcode },
+        op::FNEG => Op::FloatNeg,
+        op::DNEG => Op::DoubleNeg,
+
+        op::IINC => Op::Iinc {
+            slot: u16::from(bc[pc + 1]),
+            delta: bc[pc + 2] as i8 as i32,
+        },
+
+        op::I2L
+        | op::I2F
+        | op::I2D
+        | op::L2I
+        | op::L2F
+        | op::L2D
+        | op::F2I
+        | op::F2L
+        | op::F2D
+        | op::D2I
+        | op::D2L
+        | op::D2F
+        | op::I2B
+        | op::I2C
+        | op::I2S => Op::Conv { op: opcode },
+
+        op::LCMP => Op::Lcmp,
+        op::FCMPL | op::FCMPG => Op::Fcmp {
+            greater_on_nan: opcode == op::FCMPG,
+        },
+        op::DCMPL | op::DCMPG => Op::Dcmp {
+            greater_on_nan: opcode == op::DCMPG,
+        },
+
+        op::IFEQ..=op::IFLE => Op::If0 {
+            cond: opcode,
+            t: branch16(bc)?,
+        },
+        op::IF_ICMPEQ..=op::IF_ICMPLE => Op::IfICmp {
+            cond: opcode,
+            t: branch16(bc)?,
+        },
+        op::IF_ACMPEQ | op::IF_ACMPNE => Op::IfACmp {
+            eq: opcode == op::IF_ACMPEQ,
+            t: branch16(bc)?,
+        },
+        op::IFNULL | op::IFNONNULL => Op::IfNull {
+            when_null: opcode == op::IFNULL,
+            t: branch16(bc)?,
+        },
+        op::GOTO => Op::Goto { t: branch16(bc)? },
+        op::GOTO_W => {
+            let off = read_i32(bc, pc + 1)? as i64;
+            Op::Goto {
+                t: BranchTarget::unresolved(usize::try_from(pc as i64 + off).ok()?, pc),
+            }
+        }
+
+        op::IRETURN | op::LRETURN | op::FRETURN | op::DRETURN | op::ARETURN | op::RETURN => {
+            Op::Return {
+                has_value: opcode != op::RETURN,
+            }
+        }
+
+        op::GETSTATIC | op::PUTSTATIC => {
+            match quickened_field(state, blob.class, read_u16(bc, pc + 1)?) {
+                Some(field) if opcode == op::GETSTATIC => Op::GetStatic { field },
+                Some(field) => Op::PutStatic { field },
+                None => fallback,
+            }
+        }
+        op::GETFIELD | op::PUTFIELD => {
+            match quickened_field(state, blob.class, read_u16(bc, pc + 1)?) {
+                Some(field) if opcode == op::GETFIELD => Op::GetField {
+                    field,
+                    pc: pc as u32,
+                },
+                Some(field) => Op::PutField {
+                    field,
+                    pc: pc as u32,
+                },
+                None => fallback,
+            }
+        }
+
+        op::INVOKEVIRTUAL | op::INVOKESPECIAL | op::INVOKESTATIC | op::INVOKEINTERFACE => {
+            match blob.ics.borrow().get(&pc) {
+                Some(site) => Op::Invoke {
+                    opcode,
+                    pc: pc as u32,
+                    next_pc: (pc + len) as u32,
+                    site: site.clone(),
+                },
+                None => fallback,
+            }
+        }
+
+        op::NEW => {
+            let idx = read_u16(bc, pc + 1)?;
+            match state.registry.get(blob.class).cp_cache.borrow().get(&idx) {
+                Some(CpEntry::Class(cc)) => match cc.init_id.get() {
+                    Some(id) => Op::New { class: id },
+                    None => fallback,
+                },
+                _ => fallback,
+            }
+        }
+
+        op::ARRAYLENGTH => Op::ArrayLength { pc: pc as u32 },
+
+        // Everything else — switches, jsr/ret, monitors, allocation
+        // with side conditions, athrow, checkcast, wide — deopts to
+        // the oracle for that one instruction.
+        _ => fallback,
+    })
+}
+
+// ----------------------------------------------------------------
+// Execution
+// ----------------------------------------------------------------
+
+/// Run the top frame's tiered code from its current pc until the
+/// thread must leave the tier: a frame push/pop, a block, a deopt to
+/// an unmapped pc, or a backedge suspend check.
+///
+/// Charge parity with [`interp::step`] is the whole contract here:
+/// each op replays the switch interpreter's exact `instructions`
+/// increment, `Cost` sequence and cache-counter bumps — fused
+/// superinstructions replay one sequence *per fused sub-op* (never a
+/// single `charge_n`, whose paging adjustment is non-linear).
+pub(crate) fn run_tiered(
+    state: &mut JvmState,
+    frames: &mut Vec<Frame>,
+    ctx: &mut ThreadContext<'_>,
+    tid: ThreadId,
+    code: &Rc<TieredCode>,
+) -> StepResult {
+    // Identity of the frame we entered with: after a sub-call returns
+    // `Continue` (handled exception, synchronous native, fallback
+    // step) we may only resume direct-threading if the top frame is
+    // still the same activation of the same method.
+    let entry_depth = frames.len();
+    let entry_blob = Rc::as_ptr(&frames.last().expect("tiered frame").code);
+    let mut ip = match code.entry(frames.last().expect("tiered frame").pc) {
+        Some(ip) => ip,
+        None => return StepResult::Continue,
+    };
+
+    macro_rules! exit_or_resync {
+        ($sr:expr) => {{
+            match $sr {
+                StepResult::Continue => {
+                    let same = frames.len() == entry_depth
+                        && frames
+                            .last()
+                            .map(|f| Rc::as_ptr(&f.code) == entry_blob)
+                            .unwrap_or(false);
+                    if same {
+                        match code.entry(frames.last().expect("tiered frame").pc) {
+                            Some(next) => {
+                                ip = next;
+                                continue;
+                            }
+                            None => return StepResult::Continue,
+                        }
+                    }
+                    return StepResult::Continue;
+                }
+                other => return other,
+            }
+        }};
+    }
+
+    // Taken branch: backward edges replicate the switch interpreter's
+    // instrumented suspend check (charged IntOp + CallBoundary) when
+    // `check_backedges` is on; otherwise direct-thread to the target.
+    macro_rules! take_branch {
+        ($t:expr) => {{
+            let t = $t;
+            if t.backedge && state.check_backedges {
+                frames.last_mut().expect("tiered frame").pc = t.pc as usize;
+                state.engine.charge(Cost::IntOp);
+                return StepResult::CallBoundary;
+            }
+            ip = t.ip as usize;
+            continue;
+        }};
+    }
+
+    macro_rules! throw_at {
+        ($pc:expr, $class:expr, $msg:expr) => {{
+            frames.last_mut().expect("tiered frame").pc = $pc as usize;
+            note_deopt(state, ctx, "throw");
+            let sr = interp::throw_vm(state, frames, ctx, tid, $class, $msg);
+            exit_or_resync!(sr);
+        }};
+    }
+
+    loop {
+        let Some(cur) = code.ops.get(ip) else {
+            // Ran off the end of the stream (malformed code that does
+            // not end in a return): materialize the out-of-range pc
+            // and let the oracle produce its InternalError.
+            frames.last_mut().expect("tiered frame").pc = code.ip_by_pc.len();
+            return StepResult::Continue;
+        };
+        match cur {
+            Op::Fallback { pc } => {
+                frames.last_mut().expect("tiered frame").pc = *pc as usize;
+                let sr = interp::step(state, frames, ctx, tid);
+                exit_or_resync!(sr);
+            }
+
+            Op::Nop => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                ip += 1;
+            }
+            Op::Const { v, cost } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                if let Some(c) = cost {
+                    state.engine.charge(*c);
+                }
+                frames.last_mut().expect("tiered frame").push(*v);
+                ip += 1;
+            }
+            Op::LdcValue { v } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.perf.cp_hit.inc();
+                if matches!(v, Value::Long(_)) {
+                    state.engine.charge(Cost::LongOp);
+                }
+                frames.last_mut().expect("tiered frame").push(*v);
+                ip += 1;
+            }
+            Op::LdcObj { r } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.perf.cp_hit.inc();
+                state.engine.charge(Cost::MapOp);
+                frames
+                    .last_mut()
+                    .expect("tiered frame")
+                    .push(Value::Ref(Some(*r)));
+                ip += 1;
+            }
+
+            Op::Load { slot, cost } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(*cost);
+                let f = frames.last_mut().expect("tiered frame");
+                let v = f.local(*slot as usize);
+                f.push(v);
+                ip += 1;
+            }
+            Op::Store { slot, cost } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(*cost);
+                let f = frames.last_mut().expect("tiered frame");
+                let v = f.pop();
+                f.set_local(*slot as usize, v);
+                ip += 1;
+            }
+
+            Op::ArrLoad { pc } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::ArrayGet);
+                let (index, arr) = {
+                    let f = frames.last_mut().expect("tiered frame");
+                    (f.pop_int(), f.pop_ref())
+                };
+                let Some(arr) = arr else {
+                    throw_at!(*pc, "java/lang/NullPointerException", "array load");
+                };
+                let len = state.heap.get(arr).array_len().unwrap_or(0);
+                if index < 0 || index as usize >= len {
+                    throw_at!(
+                        *pc,
+                        "java/lang/ArrayIndexOutOfBoundsException",
+                        &format!("index {index}, length {len}")
+                    );
+                }
+                let i = index as usize;
+                let v = match state.heap.get(arr) {
+                    HeapObj::ArrayInt(v) => Value::Int(v[i]),
+                    HeapObj::ArrayLong(v) => Value::Long(v[i]),
+                    HeapObj::ArrayFloat(v) => Value::Float(v[i]),
+                    HeapObj::ArrayDouble(v) => Value::Double(v[i]),
+                    HeapObj::ArrayByte(v) => Value::Int(v[i] as i32),
+                    HeapObj::ArrayChar(v) => Value::Int(v[i] as i32),
+                    HeapObj::ArrayShort(v) => Value::Int(v[i] as i32),
+                    HeapObj::ArrayRef { data, .. } => Value::Ref(data[i]),
+                    _ => {
+                        throw_at!(*pc, "java/lang/InternalError", "not an array");
+                    }
+                };
+                frames.last_mut().expect("tiered frame").push(v);
+                ip += 1;
+            }
+            Op::ArrStore { pc } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::ArrayPut);
+                let (value, index, arr) = {
+                    let f = frames.last_mut().expect("tiered frame");
+                    (f.pop(), f.pop_int(), f.pop_ref())
+                };
+                let Some(arr) = arr else {
+                    throw_at!(*pc, "java/lang/NullPointerException", "array store");
+                };
+                let len = state.heap.get(arr).array_len().unwrap_or(0);
+                if index < 0 || index as usize >= len {
+                    throw_at!(
+                        *pc,
+                        "java/lang/ArrayIndexOutOfBoundsException",
+                        &format!("index {index}, length {len}")
+                    );
+                }
+                let i = index as usize;
+                match (state.heap.get_mut(arr), value) {
+                    (HeapObj::ArrayInt(v), Value::Int(x)) => v[i] = x,
+                    (HeapObj::ArrayLong(v), Value::Long(x)) => v[i] = x,
+                    (HeapObj::ArrayFloat(v), Value::Float(x)) => v[i] = x,
+                    (HeapObj::ArrayDouble(v), Value::Double(x)) => v[i] = x,
+                    (HeapObj::ArrayByte(v), Value::Int(x)) => v[i] = x as i8,
+                    (HeapObj::ArrayChar(v), Value::Int(x)) => v[i] = x as u16,
+                    (HeapObj::ArrayShort(v), Value::Int(x)) => v[i] = x as i16,
+                    (HeapObj::ArrayRef { data, .. }, Value::Ref(r)) => data[i] = r,
+                    _ => {
+                        throw_at!(
+                            *pc,
+                            "java/lang/ArrayStoreException",
+                            "element type mismatch"
+                        );
+                    }
+                }
+                ip += 1;
+            }
+
+            Op::Pop1 => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                frames.last_mut().expect("tiered frame").pop_slot();
+                ip += 1;
+            }
+            Op::Pop2 => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                let f = frames.last_mut().expect("tiered frame");
+                f.pop_slot();
+                f.pop_slot();
+                ip += 1;
+            }
+            Op::Dup => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                let f = frames.last_mut().expect("tiered frame");
+                let v = *f.peek(0);
+                f.stack.push(v);
+                ip += 1;
+            }
+            Op::DupX1 => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                let f = frames.last_mut().expect("tiered frame");
+                let v1 = f.pop_slot();
+                let v2 = f.pop_slot();
+                f.stack.push(v1);
+                f.stack.push(v2);
+                f.stack.push(v1);
+                ip += 1;
+            }
+            Op::DupX2 => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                let f = frames.last_mut().expect("tiered frame");
+                let v1 = f.pop_slot();
+                let v2 = f.pop_slot();
+                let v3 = f.pop_slot();
+                f.stack.push(v1);
+                f.stack.push(v3);
+                f.stack.push(v2);
+                f.stack.push(v1);
+                ip += 1;
+            }
+            Op::Dup2 => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                let f = frames.last_mut().expect("tiered frame");
+                let v1 = *f.peek(0);
+                let v2 = *f.peek(1);
+                f.stack.push(v2);
+                f.stack.push(v1);
+                ip += 1;
+            }
+            Op::Dup2X1 => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                let f = frames.last_mut().expect("tiered frame");
+                let v1 = f.pop_slot();
+                let v2 = f.pop_slot();
+                let v3 = f.pop_slot();
+                f.stack.push(v2);
+                f.stack.push(v1);
+                f.stack.push(v3);
+                f.stack.push(v2);
+                f.stack.push(v1);
+                ip += 1;
+            }
+            Op::Dup2X2 => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                let f = frames.last_mut().expect("tiered frame");
+                let v1 = f.pop_slot();
+                let v2 = f.pop_slot();
+                let v3 = f.pop_slot();
+                let v4 = f.pop_slot();
+                f.stack.push(v2);
+                f.stack.push(v1);
+                f.stack.push(v4);
+                f.stack.push(v3);
+                f.stack.push(v2);
+                f.stack.push(v1);
+                ip += 1;
+            }
+            Op::Swap => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                let f = frames.last_mut().expect("tiered frame");
+                let v1 = f.pop_slot();
+                let v2 = f.pop_slot();
+                f.stack.push(v1);
+                f.stack.push(v2);
+                ip += 1;
+            }
+
+            Op::IntBin { op: bop } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::IntOp);
+                let f = frames.last_mut().expect("tiered frame");
+                let b = f.pop_int();
+                let a = f.pop_int();
+                f.push(Value::Int(int_bin(*bop, a, b)));
+                ip += 1;
+            }
+            Op::IntDivRem { rem, pc } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::IntOp);
+                let (a, b) = {
+                    let f = frames.last_mut().expect("tiered frame");
+                    let b = f.pop_int();
+                    let a = f.pop_int();
+                    (a, b)
+                };
+                if b == 0 {
+                    throw_at!(*pc, "java/lang/ArithmeticException", "/ by zero");
+                }
+                let r = if *rem {
+                    a.wrapping_rem(b)
+                } else {
+                    a.wrapping_div(b)
+                };
+                frames.last_mut().expect("tiered frame").push(Value::Int(r));
+                ip += 1;
+            }
+            Op::IntNeg => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::IntOp);
+                let f = frames.last_mut().expect("tiered frame");
+                let a = f.pop_int();
+                f.push(Value::Int(a.wrapping_neg()));
+                ip += 1;
+            }
+
+            Op::LongBin { op: bop } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::LongOp);
+                let f = frames.last_mut().expect("tiered frame");
+                let b = f.pop_long();
+                let a = f.pop_long();
+                let r = match *bop {
+                    op::LADD => a.wrapping_add(b),
+                    op::LSUB => a.wrapping_sub(b),
+                    op::LMUL => a.wrapping_mul(b),
+                    op::LAND => a & b,
+                    op::LOR => a | b,
+                    _ => a ^ b,
+                };
+                f.push(Value::Long(r));
+                ip += 1;
+            }
+            Op::LongDivRem { rem, pc } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::LongOp);
+                let (a, b) = {
+                    let f = frames.last_mut().expect("tiered frame");
+                    let b = f.pop_long();
+                    let a = f.pop_long();
+                    (a, b)
+                };
+                if b == 0 {
+                    throw_at!(*pc, "java/lang/ArithmeticException", "/ by zero");
+                }
+                let r = if *rem {
+                    a.wrapping_rem(b)
+                } else {
+                    a.wrapping_div(b)
+                };
+                frames
+                    .last_mut()
+                    .expect("tiered frame")
+                    .push(Value::Long(r));
+                ip += 1;
+            }
+            Op::LongShift { op: bop } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::LongOp);
+                let f = frames.last_mut().expect("tiered frame");
+                let b = f.pop_int();
+                let a = f.pop_long();
+                let s = b as u32 & 63;
+                let r = match *bop {
+                    op::LSHL => a.wrapping_shl(s),
+                    op::LSHR => a.wrapping_shr(s),
+                    _ => ((a as u64).wrapping_shr(s)) as i64,
+                };
+                f.push(Value::Long(r));
+                ip += 1;
+            }
+            Op::LongNeg => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::LongOp);
+                let f = frames.last_mut().expect("tiered frame");
+                let a = f.pop_long();
+                f.push(Value::Long(a.wrapping_neg()));
+                ip += 1;
+            }
+
+            Op::FloatBin { op: bop } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::FloatOp);
+                let f = frames.last_mut().expect("tiered frame");
+                let b = f.pop_float();
+                let a = f.pop_float();
+                let r = match *bop {
+                    op::FADD => a + b,
+                    op::FSUB => a - b,
+                    op::FMUL => a * b,
+                    op::FDIV => a / b,
+                    _ => a % b,
+                };
+                f.push(Value::Float(r));
+                ip += 1;
+            }
+            Op::DoubleBin { op: bop } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::FloatOp);
+                let f = frames.last_mut().expect("tiered frame");
+                let b = f.pop_double();
+                let a = f.pop_double();
+                let r = match *bop {
+                    op::DADD => a + b,
+                    op::DSUB => a - b,
+                    op::DMUL => a * b,
+                    op::DDIV => a / b,
+                    _ => a % b,
+                };
+                f.push(Value::Double(r));
+                ip += 1;
+            }
+            Op::FloatNeg => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::FloatOp);
+                let f = frames.last_mut().expect("tiered frame");
+                let a = f.pop_float();
+                f.push(Value::Float(-a));
+                ip += 1;
+            }
+            Op::DoubleNeg => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::FloatOp);
+                let f = frames.last_mut().expect("tiered frame");
+                let a = f.pop_double();
+                f.push(Value::Double(-a));
+                ip += 1;
+            }
+
+            Op::Iinc { slot, delta } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::IntOp);
+                let f = frames.last_mut().expect("tiered frame");
+                let v = f.local(*slot as usize).as_int();
+                f.set_local(*slot as usize, Value::Int(v.wrapping_add(*delta)));
+                ip += 1;
+            }
+
+            Op::Conv { op: cop } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                let cop = *cop;
+                state.engine.charge(conv_cost(cop));
+                let f = frames.last_mut().expect("tiered frame");
+                let v = match cop {
+                    op::I2L => Value::Long(f.pop_int() as i64),
+                    op::I2F => Value::Float(f.pop_int() as f32),
+                    op::I2D => Value::Double(f.pop_int() as f64),
+                    op::L2I => Value::Int(f.pop_long() as i32),
+                    op::L2F => Value::Float(f.pop_long() as f32),
+                    op::L2D => Value::Double(f.pop_long() as f64),
+                    op::F2I => Value::Int(interp::f2i(f.pop_float() as f64)),
+                    op::F2L => Value::Long(interp::f2l(f.pop_float() as f64)),
+                    op::F2D => Value::Double(f.pop_float() as f64),
+                    op::D2I => Value::Int(interp::f2i(f.pop_double())),
+                    op::D2L => Value::Long(interp::f2l(f.pop_double())),
+                    op::D2F => Value::Float(f.pop_double() as f32),
+                    op::I2B => Value::Int(f.pop_int() as i8 as i32),
+                    op::I2C => Value::Int(f.pop_int() as u16 as i32),
+                    _ => Value::Int(f.pop_int() as i16 as i32),
+                };
+                f.push(v);
+                ip += 1;
+            }
+
+            Op::Lcmp => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::LongOp);
+                let f = frames.last_mut().expect("tiered frame");
+                let b = f.pop_long();
+                let a = f.pop_long();
+                f.push(Value::Int(match a.cmp(&b) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                }));
+                ip += 1;
+            }
+            Op::Fcmp { greater_on_nan } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::FloatOp);
+                let f = frames.last_mut().expect("tiered frame");
+                let b = f.pop_float();
+                let a = f.pop_float();
+                f.push(Value::Int(interp::fp_cmp(
+                    a as f64,
+                    b as f64,
+                    *greater_on_nan,
+                )));
+                ip += 1;
+            }
+            Op::Dcmp { greater_on_nan } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::FloatOp);
+                let f = frames.last_mut().expect("tiered frame");
+                let b = f.pop_double();
+                let a = f.pop_double();
+                f.push(Value::Int(interp::fp_cmp(a, b, *greater_on_nan)));
+                ip += 1;
+            }
+
+            Op::If0 { cond, t } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::Branch);
+                let v = frames.last_mut().expect("tiered frame").pop_int();
+                let taken = match *cond {
+                    op::IFEQ => v == 0,
+                    op::IFNE => v != 0,
+                    op::IFLT => v < 0,
+                    op::IFGE => v >= 0,
+                    op::IFGT => v > 0,
+                    _ => v <= 0,
+                };
+                if taken {
+                    take_branch!(t);
+                }
+                ip += 1;
+            }
+            Op::IfICmp { cond, t } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::Branch);
+                let f = frames.last_mut().expect("tiered frame");
+                let b = f.pop_int();
+                let a = f.pop_int();
+                let taken = match *cond {
+                    op::IF_ICMPEQ => a == b,
+                    op::IF_ICMPNE => a != b,
+                    op::IF_ICMPLT => a < b,
+                    op::IF_ICMPGE => a >= b,
+                    op::IF_ICMPGT => a > b,
+                    _ => a <= b,
+                };
+                if taken {
+                    take_branch!(t);
+                }
+                ip += 1;
+            }
+            Op::IfACmp { eq, t } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::Branch);
+                let f = frames.last_mut().expect("tiered frame");
+                let b = f.pop_ref();
+                let a = f.pop_ref();
+                if (a == b) == *eq {
+                    take_branch!(t);
+                }
+                ip += 1;
+            }
+            Op::IfNull { when_null, t } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::Branch);
+                let v = frames.last_mut().expect("tiered frame").pop_ref();
+                if v.is_none() == *when_null {
+                    take_branch!(t);
+                }
+                ip += 1;
+            }
+            Op::Goto { t } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::Branch);
+                take_branch!(t);
+            }
+
+            Op::Return { has_value } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                let value = if *has_value {
+                    Some(frames.last_mut().expect("tiered frame").pop())
+                } else {
+                    None
+                };
+                return interp::do_return(state, frames, ctx, tid, value);
+            }
+
+            Op::GetStatic { field } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.perf.cp_hit.inc();
+                state.engine.charge(Cost::MapOp);
+                state.engine.charge(Cost::FieldGet);
+                let v = state
+                    .registry
+                    .get(field.class)
+                    .statics
+                    .get(&*field.key)
+                    .copied()
+                    .unwrap_or(field.default);
+                frames.last_mut().expect("tiered frame").push(v);
+                ip += 1;
+            }
+            Op::PutStatic { field } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.perf.cp_hit.inc();
+                state.engine.charge(Cost::MapOp);
+                state.engine.charge(Cost::FieldPut);
+                let v = frames.last_mut().expect("tiered frame").pop();
+                let statics = &mut state.registry.get_mut(field.class).statics;
+                if let Some(slot) = statics.get_mut(&*field.key) {
+                    *slot = v;
+                } else {
+                    statics.insert(field.key.to_string(), v);
+                }
+                ip += 1;
+            }
+            Op::GetField { field, pc } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.perf.cp_hit.inc();
+                state.engine.charge(Cost::MapOp);
+                state.engine.charge(Cost::FieldGet);
+                let obj = frames.last_mut().expect("tiered frame").pop_ref();
+                let Some(obj) = obj else {
+                    throw_at!(
+                        *pc,
+                        "java/lang/NullPointerException",
+                        &format!("getfield {}", field.key)
+                    );
+                };
+                let v = match state.heap.get(obj) {
+                    HeapObj::Instance { fields, .. } => {
+                        fields.get(&*field.key).copied().unwrap_or(field.default)
+                    }
+                    _ => field.default,
+                };
+                frames.last_mut().expect("tiered frame").push(v);
+                ip += 1;
+            }
+            Op::PutField { field, pc } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.perf.cp_hit.inc();
+                state.engine.charge(Cost::MapOp);
+                state.engine.charge(Cost::FieldPut);
+                let (v, obj) = {
+                    let f = frames.last_mut().expect("tiered frame");
+                    (f.pop(), f.pop_ref())
+                };
+                let Some(obj) = obj else {
+                    throw_at!(
+                        *pc,
+                        "java/lang/NullPointerException",
+                        &format!("putfield {}", field.key)
+                    );
+                };
+                if let HeapObj::Instance { fields, .. } = state.heap.get_mut(obj) {
+                    if let Some(slot) = fields.get_mut(&*field.key) {
+                        *slot = v;
+                    } else {
+                        fields.insert(field.key.to_string(), v);
+                    }
+                }
+                ip += 1;
+            }
+
+            Op::Invoke {
+                opcode,
+                pc,
+                next_pc,
+                site,
+            } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                // Re-anchor first: NPE throws and monitor-blocked
+                // retries resolve against the invoke's own pc.
+                frames.last_mut().expect("tiered frame").pc = *pc as usize;
+                state.engine.charge(Cost::Call);
+                state.perf.cp_hit.inc();
+                let sr = interp::invoke_with_site(
+                    state,
+                    frames,
+                    ctx,
+                    tid,
+                    *opcode,
+                    *next_pc as usize,
+                    site,
+                    true,
+                );
+                exit_or_resync!(sr);
+            }
+
+            Op::New { class } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.perf.cp_hit.inc();
+                let r = interp::alloc_instance(state, *class);
+                frames
+                    .last_mut()
+                    .expect("tiered frame")
+                    .push(Value::Ref(Some(r)));
+                ip += 1;
+            }
+
+            Op::ArrayLength { pc } => {
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::IntOp);
+                let arr = frames.last_mut().expect("tiered frame").pop_ref();
+                let Some(arr) = arr else {
+                    throw_at!(*pc, "java/lang/NullPointerException", "arraylength");
+                };
+                let Some(len) = state.heap.get(arr).array_len() else {
+                    throw_at!(*pc, "java/lang/InternalError", "not an array");
+                };
+                frames
+                    .last_mut()
+                    .expect("tiered frame")
+                    .push(Value::Int(len as i32));
+                ip += 1;
+            }
+
+            Op::LoadLoadIntBin { a, b, op: bop } => {
+                state.perf.tier_super.inc();
+                // iload a
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::IntOp);
+                let f = frames.last_mut().expect("tiered frame");
+                let va = f.local(*a as usize);
+                f.push(va);
+                // iload b
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::IntOp);
+                let f = frames.last_mut().expect("tiered frame");
+                let vb = f.local(*b as usize);
+                f.push(vb);
+                // binop
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::IntOp);
+                let f = frames.last_mut().expect("tiered frame");
+                let y = f.pop_int();
+                let x = f.pop_int();
+                f.push(Value::Int(int_bin(*bop, x, y)));
+                ip += 1;
+            }
+
+            Op::IincGoto { slot, delta, t } => {
+                state.perf.tier_super.inc();
+                // iinc
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::IntOp);
+                let f = frames.last_mut().expect("tiered frame");
+                let v = f.local(*slot as usize).as_int();
+                f.set_local(*slot as usize, Value::Int(v.wrapping_add(*delta)));
+                // goto
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::Branch);
+                take_branch!(t);
+            }
+
+            Op::LoadGetfield { slot, field, pc } => {
+                state.perf.tier_super.inc();
+                // aload
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.engine.charge(Cost::IntOp);
+                let f = frames.last_mut().expect("tiered frame");
+                let v = f.local(*slot as usize);
+                f.push(v);
+                // getfield (quickened hit path)
+                state.instructions += 1;
+                state.engine.charge(Cost::Dispatch);
+                state.perf.cp_hit.inc();
+                state.engine.charge(Cost::MapOp);
+                state.engine.charge(Cost::FieldGet);
+                let obj = frames.last_mut().expect("tiered frame").pop_ref();
+                let Some(obj) = obj else {
+                    throw_at!(
+                        *pc,
+                        "java/lang/NullPointerException",
+                        &format!("getfield {}", field.key)
+                    );
+                };
+                let v = match state.heap.get(obj) {
+                    HeapObj::Instance { fields, .. } => {
+                        fields.get(&*field.key).copied().unwrap_or(field.default)
+                    }
+                    _ => field.default,
+                };
+                frames.last_mut().expect("tiered frame").push(v);
+                ip += 1;
+            }
+        }
+    }
+}
+
+/// The nine fusable int binops, matching the switch interpreter.
+fn int_bin(opcode: u8, a: i32, b: i32) -> i32 {
+    match opcode {
+        op::IADD => a.wrapping_add(b),
+        op::ISUB => a.wrapping_sub(b),
+        op::IMUL => a.wrapping_mul(b),
+        op::ISHL => a.wrapping_shl(b as u32 & 31),
+        op::ISHR => a.wrapping_shr(b as u32 & 31),
+        op::IUSHR => ((a as u32).wrapping_shr(b as u32 & 31)) as i32,
+        op::IAND => a & b,
+        op::IOR => a | b,
+        _ => a ^ b,
+    }
+}
+
+/// Virtual cost of each conversion, transcribed from the switch tier.
+fn conv_cost(opcode: u8) -> Cost {
+    match opcode {
+        op::I2L | op::L2I | op::L2F | op::L2D | op::F2L | op::D2L => Cost::LongOp,
+        op::I2B | op::I2C | op::I2S => Cost::IntOp,
+        _ => Cost::FloatOp,
+    }
+}

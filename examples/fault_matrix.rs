@@ -1,0 +1,123 @@
+//! The CI fault matrix, collapsed into one sharded process: every
+//! fault seed runs the same pipe-fault recovery scenario, fanned out
+//! over OS threads with [`doppio::scale::run_sharded`], and the
+//! parallel results are diffed against the serial reference run — the
+//! whole "N jobs × one seed each" CI matrix becomes one invocation
+//! that also *proves* thread count cannot change an outcome.
+//!
+//! Each shard builds its entire world (kernel, engine, fault plan)
+//! inside the job, runs a writer/reader pair over a tiny pipe while a
+//! seeded [`FaultPlan`](doppio::faults::FaultPlan) injects transient
+//! EIOs and slow completions into the kernel's pipe ops, and returns
+//! a deterministic transcript: payload digest, retry count, and the
+//! full fault log with virtual timestamps.
+//!
+//! Run with: `cargo run --example fault_matrix -- [seed...]`
+//! (defaults to the CI seed list `1 2 3`).
+
+use std::cell::{Cell, RefCell};
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use doppio::core::{KernelError, PipeRead, PipeWrite, ThreadStep};
+use doppio::faults::{FaultConfig, FaultPlan};
+use doppio::scale::run_sharded;
+use doppio::{Kernel, SpawnOptions};
+
+/// One matrix cell: the full fault-recovery scenario for `seed`,
+/// rendered as a transcript that is byte-comparable across runs.
+fn scenario(seed: u64) -> String {
+    let kernel = Kernel::new();
+    let plan = FaultPlan::new(
+        seed,
+        FaultConfig {
+            fs_eio_p: 0.10,
+            fs_slow_p: 0.10,
+            max_fs_faults: 8,
+            ..FaultConfig::default()
+        },
+    );
+    kernel.set_pipe_faults(plan.clone());
+    let pipe = kernel.pipe_with_capacity(4);
+    let payload: Vec<u8> = (0u8..64).collect();
+
+    let k = kernel.clone();
+    let retries = Rc::new(Cell::new(0u32));
+    let r = retries.clone();
+    let mut remaining = payload.clone();
+    kernel.spawn_fn(SpawnOptions::new("writer").stdout(pipe), move |ctx| {
+        if remaining.is_empty() {
+            return ThreadStep::Finished;
+        }
+        match k.write_pipe(ctx, pipe, &remaining) {
+            Ok(PipeWrite::Wrote(n)) => {
+                remaining.drain(..n);
+                ThreadStep::Yielded
+            }
+            Ok(PipeWrite::WouldBlock) => ThreadStep::Blocked,
+            Ok(PipeWrite::Broken) => panic!("reader vanished"),
+            Err(KernelError::TransientFault(_)) => {
+                r.set(r.get() + 1);
+                ThreadStep::Yielded
+            }
+            Err(e) => panic!("unexpected kernel error: {e}"),
+        }
+    });
+
+    let k = kernel.clone();
+    let out = Rc::new(RefCell::new(Vec::new()));
+    let o = out.clone();
+    kernel.spawn_fn(SpawnOptions::new("reader").stdin(pipe), move |ctx| match k
+        .read_pipe(ctx, pipe, 8)
+    {
+        Ok(PipeRead::Data(d)) => {
+            o.borrow_mut().extend_from_slice(&d);
+            ThreadStep::Yielded
+        }
+        Ok(PipeRead::WouldBlock) => ThreadStep::Blocked,
+        Ok(PipeRead::Eof) => ThreadStep::Finished,
+        Err(KernelError::TransientFault(_)) => ThreadStep::Yielded,
+        Err(e) => panic!("unexpected kernel error: {e}"),
+    });
+
+    kernel.run().expect("scenario deadlocked");
+    assert!(kernel.all_exited());
+    assert_eq!(*out.borrow(), payload, "seed {seed}: payload corrupted");
+
+    let mut t = format!(
+        "seed={seed} bytes={} retries={} injected={} end_ns={}\n",
+        out.borrow().len(),
+        retries.get(),
+        plan.fs_injected(),
+        kernel.engine().now_ns(),
+    );
+    for rec in plan.log() {
+        writeln!(t, "  {}ns {} {}", rec.ts_ns, rec.kind, rec.detail).unwrap();
+    }
+    t
+}
+
+fn main() {
+    let mut seeds: Vec<u64> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("seeds are integers"))
+        .collect();
+    if seeds.is_empty() {
+        seeds = vec![1, 2, 3];
+    }
+
+    // Serial reference first, then the sharded run on one thread per
+    // seed. run_sharded orders results by index, so any divergence is
+    // a real determinism bug, not a scheduling artifact.
+    let serial = run_sharded(seeds.len(), 1, |i| scenario(seeds[i]));
+    let sharded = run_sharded(seeds.len(), seeds.len(), |i| scenario(seeds[i]));
+    for (i, (s, p)) in serial.iter().zip(&sharded).enumerate() {
+        assert_eq!(
+            s, p,
+            "seed {}: sharded run diverged from the serial reference",
+            seeds[i]
+        );
+        print!("{s}");
+    }
+    println!("fault matrix: {} seeds, sharded == serial", seeds.len());
+}

@@ -1,0 +1,214 @@
+//! Tier-up end-to-end: the direct-threaded second tier must be
+//! *observationally invisible* — stdout, virtual wall time, instruction
+//! counts, RunReports, and schedtest pick logs all byte-identical to the
+//! switch interpreter — while `jvm.tier.*` counters prove it actually
+//! ran, fused superinstructions, and deoptimized when the world changed.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use doppio::fs::{backends, FileSystem};
+use doppio::jsengine::{Browser, Engine};
+use doppio::jvm::{fsutil, Jvm, JvmRunResult};
+use doppio::minijava::compile_to_bytes;
+use doppio::report::RunReport;
+use doppio::schedtest::{explore, ExploreConfig};
+
+const SEED: u64 = 0x71E2_0008;
+
+/// Run `Main` with the tier knob set explicitly; return the run result,
+/// the tier counters (compiled, super_hit, deopt), and the rendered
+/// RunReport JSON.
+fn run_guest(src: &str, tier: bool) -> (JvmRunResult, u64, u64, u64, String) {
+    let engine = Engine::builder(Browser::Chrome).tier_up(tier).build();
+    let fs = FileSystem::new(&engine, backends::in_memory(&engine));
+    fsutil::mount_class_files(&engine, &fs, "/classes", &compile_to_bytes(src).unwrap());
+    let jvm = Jvm::new(&engine, fs);
+    jvm.launch("Main", &[]);
+    let r = jvm.run_to_completion().unwrap();
+    assert!(r.uncaught.is_none(), "uncaught: {:?}", r.uncaught);
+    let m = engine.metrics();
+    let report = RunReport::collect("tier_up", &engine).to_json_string();
+    (
+        r,
+        m.get("jvm.tier.compiled"),
+        m.get("jvm.tier.super_hit"),
+        m.get("jvm.tier.deopt"),
+        report,
+    )
+}
+
+/// A loop hot enough to cross the tier threshold many times over, with
+/// all three superinstruction shapes in its body: `iload;iload;iadd`
+/// (`a + b`), `aload;getfield` (`acc.bias`, quickened during warmup),
+/// and the `iinc;goto` latch of the `for`.
+const HOT_LOOP: &str = r#"
+    class Acc {
+        int bias;
+        Acc(int b) { this.bias = b; }
+    }
+    class Main {
+        static void main(String[] args) {
+            Acc acc = new Acc(3);
+            int sum = 0;
+            for (int i = 0; i < 5000; i++) {
+                int a = i;
+                int b = sum;
+                sum = a + b;
+                sum = sum + acc.bias;
+            }
+            System.out.println("sum=" + sum);
+        }
+    }
+"#;
+
+#[test]
+fn tiered_and_switch_interpreters_agree_byte_for_byte() {
+    let (on, compiled_on, super_on, deopt_on, report_on) = run_guest(HOT_LOOP, true);
+    let (off, compiled_off, super_off, deopt_off, report_off) = run_guest(HOT_LOOP, false);
+
+    // Σ(i + 3) for i in 0..5000.
+    assert_eq!(on.stdout, "sum=12512500\n");
+
+    // The tier is invisible in every virtual observable.
+    assert_eq!(on.stdout, off.stdout);
+    assert_eq!(on.wall_ns, off.wall_ns, "virtual clock must not move");
+    assert_eq!(on.instructions, off.instructions);
+    assert_eq!(report_on, report_off, "RunReport must be tier-invariant");
+    assert!(
+        !report_on.contains("jvm.tier."),
+        "tier counters must stay out of reports"
+    );
+
+    // ...but it demonstrably ran: methods compiled, superinstructions hit.
+    assert!(compiled_on > 0, "hot loop never tiered up");
+    assert!(super_on > 0, "no superinstruction ever fired");
+    assert_eq!(deopt_on, 0, "nothing invalidated this guest");
+    assert_eq!(compiled_off, 0, "tier_up(false) must disable the oracle");
+    assert_eq!(super_off, 0);
+    assert_eq!(deopt_off, 0);
+}
+
+/// The PR-3 inline-cache canary: `poll` goes monomorphic-hot on `A`
+/// (and tiers up, its call site baked), then a mid-run subclass load
+/// sends a `B` receiver through the baked site — an ic miss *from the
+/// tier*, which must deopt to the switch interpreter and still print
+/// the right answer.
+const SUBCLASS_SWAP: &str = r#"
+    class A {
+        int tag() { return 1; }
+    }
+    class B extends A {
+        int tag() { return 2; }
+    }
+    class Main {
+        static int poll(A a) { return a.tag(); }
+        static void main(String[] args) {
+            A a = new A();
+            int sum = 0;
+            for (int i = 0; i < 1000; i++) { sum = sum + poll(a); }
+            A b = new B();
+            for (int i = 0; i < 10; i++) { sum = sum + poll(b); }
+            System.out.println("sum=" + sum);
+        }
+    }
+"#;
+
+#[test]
+fn mid_run_subclass_load_deoptimizes_the_tiered_caller() {
+    let (on, compiled, _super_hit, deopt, _report) = run_guest(SUBCLASS_SWAP, true);
+    let (off, _, _, deopt_off, _) = run_guest(SUBCLASS_SWAP, false);
+
+    // Correctness first: the B receiver must not ride a stale baked site.
+    assert_eq!(on.stdout, "sum=1020\n");
+    assert_eq!(off.stdout, on.stdout);
+    assert_eq!(on.wall_ns, off.wall_ns);
+    assert_eq!(on.instructions, off.instructions);
+
+    // poll tiered during warmup, and the B receiver forced a deopt.
+    assert!(compiled > 0, "poll never tiered up");
+    assert!(
+        deopt >= 1,
+        "B receiver should deopt the tiered poll: {deopt}"
+    );
+    assert_eq!(deopt_off, 0);
+}
+
+/// Two workers hot enough to tier, yielding between bursts so the
+/// scheduler has real choices to make.
+const THREADED_HOT: &str = r#"
+    class Worker extends Thread {
+        int total;
+        void run() {
+            int sum = 0;
+            for (int burst = 0; burst < 8; burst++) {
+                for (int j = 0; j < 50; j++) { sum = sum + j; }
+                Thread.yield();
+            }
+            total = sum;
+        }
+    }
+    class Main {
+        static void main(String[] args) {
+            Worker w1 = new Worker();
+            Worker w2 = new Worker();
+            w1.start();
+            w2.start();
+            w1.join();
+            w2.join();
+            System.out.println("t=" + (w1.total + w2.total));
+        }
+    }
+"#;
+
+#[test]
+fn explore_pick_logs_are_identical_across_tiers() {
+    // The tier must not move, add, or remove a single scheduling point:
+    // the same seed explores the same schedules pick-for-pick whether
+    // the guest runs tiered or in the switch interpreter.
+    let classes = compile_to_bytes(THREADED_HOT).unwrap();
+    let run = |tier: bool| {
+        let compiled = Rc::new(RefCell::new(0u64));
+        let sink = compiled.clone();
+        let classes = classes.clone();
+        let report = explore(&ExploreConfig::new(6, SEED), move |sched| {
+            let engine = Engine::builder(Browser::Chrome).tier_up(tier).build();
+            let fs = FileSystem::new(&engine, backends::in_memory(&engine));
+            fsutil::mount_class_files(&engine, &fs, "/classes", &classes);
+            let jvm = Jvm::new(&engine, fs);
+            jvm.runtime().set_scheduler(sched);
+            jvm.launch("Main", &[]);
+            let result = match jvm.run_to_completion() {
+                Err(e) => Err(e.to_string()),
+                Ok(r) => {
+                    if let Some(u) = r.uncaught {
+                        Err(format!("uncaught: {u}"))
+                    } else if r.stdout != "t=19600\n" {
+                        Err(format!("stdout {:?}", r.stdout))
+                    } else {
+                        Ok(())
+                    }
+                }
+            };
+            *sink.borrow_mut() += engine.metrics().get("jvm.tier.compiled");
+            result
+        });
+        assert!(
+            report.all_passed(),
+            "tier={tier}: {:?}",
+            report.failure.map(|f| f.message)
+        );
+        let picks: Vec<Vec<u32>> = report.runs.iter().map(|r| r.picks.clone()).collect();
+        let total_compiled = *compiled.borrow();
+        (picks, total_compiled)
+    };
+
+    let (picks_on, compiled_on) = run(true);
+    let (picks_off, compiled_off) = run(false);
+    assert_eq!(
+        picks_on, picks_off,
+        "tier-up shifted a scheduling decision point"
+    );
+    assert!(compiled_on > 0, "workers never tiered during exploration");
+    assert_eq!(compiled_off, 0);
+}
