@@ -277,6 +277,17 @@ impl RunReport {
             .collect()
     }
 
+    /// Counters from the replicated storage tier (`storage.*`):
+    /// journal appends/replays, replication traffic, node crashes and
+    /// restarts, cache hits/misses/invalidations, client reconnects.
+    pub fn storage_counters(&self) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .filter(|(n, _)| n.starts_with("storage."))
+            .cloned()
+            .collect()
+    }
+
     /// One human paragraph: the headline numbers a run ends with.
     pub fn summary(&self) -> String {
         let mut s = format!(
@@ -357,6 +368,14 @@ impl RunReport {
         if !faults.is_empty() {
             md.push_str("\n## Faults and retries\n\n");
             for (name, v) in &faults {
+                md.push_str(&format!("- `{name}`: {v}\n"));
+            }
+        }
+
+        let storage = self.storage_counters();
+        if !storage.is_empty() {
+            md.push_str("\n## Storage\n\n");
+            for (name, v) in &storage {
                 md.push_str(&format!("- `{name}`: {v}\n"));
             }
         }
@@ -570,6 +589,34 @@ mod tests {
         assert!(md.contains("# Run report: unit"));
         assert!(md.contains("engine.event_latency"));
         assert!(r.summary().contains("ran 5 events"));
+    }
+
+    #[test]
+    fn storage_counters_get_their_own_section() {
+        let e = sample_engine();
+        e.metrics().counter("storage.journal.append").add(4);
+        e.metrics().counter("storage.journal.replayed").add(4);
+        e.metrics().counter("storage.node.crash").inc();
+        e.metrics().counter("fault.storage.replica_crash").inc();
+        let r = RunReport::collect("unit", &e);
+        let storage = r.storage_counters();
+        let names: Vec<&str> = storage.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "storage.journal.append",
+                "storage.journal.replayed",
+                "storage.node.crash"
+            ]
+        );
+        let md = r.to_markdown();
+        assert!(md.contains("## Storage"));
+        assert!(md.contains("`storage.journal.replayed`: 4"));
+        // Injected storage faults stay in the faults section.
+        assert!(r
+            .fault_counters()
+            .iter()
+            .any(|(n, _)| n == "fault.storage.replica_crash"));
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //! * any fs backend wrapped by `doppio-fs`'s `FaultyBackend` asks
 //!   [`FaultPlan::fs_fault`] per operation and may be told to fail with
 //!   a transient `EIO`, a `QuotaExceeded` (`ENOSPC`), or to complete
-//!   slowly.
+//!   slowly;
+//! * the replicated object store (`doppio-storage`) asks
+//!   [`FaultPlan::storage_fault`] per protocol step and may be told to
+//!   crash a node mid-write (it restarts later and replays its
+//!   journal) or to partition a replication link until it heals.
 //!
 //! Every injected fault is recorded in the plan's log and emitted as a
 //! `fault`-category instant through `doppio-trace`, so a Perfetto trace
@@ -88,6 +92,35 @@ impl FsFault {
     }
 }
 
+/// A fault the replicated object store must apply at one protocol
+/// decision point (see `doppio-storage`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// The storage node crashes mid-operation: its volatile state is
+    /// lost and it restarts — replaying its durable journal — after
+    /// the given virtual delay.
+    Crash {
+        /// Restart delay, virtual ns.
+        restart_after_ns: u64,
+    },
+    /// The replication link to one peer partitions: traffic on the
+    /// link is dropped until it heals after the given virtual delay.
+    Partition {
+        /// Heal delay, virtual ns.
+        heal_after_ns: u64,
+    },
+}
+
+impl StorageFault {
+    /// Stable name for logs and trace args.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StorageFault::Crash { .. } => "replica_crash",
+            StorageFault::Partition { .. } => "partition",
+        }
+    }
+}
+
 /// Per-kind fault probabilities and magnitudes. All probabilities are
 /// per *decision point* (one transmission, one fs operation) and
 /// default to zero — an empty config injects nothing.
@@ -111,10 +144,20 @@ pub struct FaultConfig {
     pub fs_slow_p: f64,
     /// Slow-completion magnitude range, virtual ns (inclusive bounds).
     pub fs_slow_ns: (u64, u64),
+    /// Probability a storage node crashes at a protocol decision point.
+    pub storage_crash_p: f64,
+    /// Crash restart delay range, virtual ns (inclusive bounds).
+    pub storage_crash_restart_ns: (u64, u64),
+    /// Probability a replication transmission partitions its link.
+    pub storage_partition_p: f64,
+    /// Partition heal delay range, virtual ns (inclusive bounds).
+    pub storage_partition_ns: (u64, u64),
     /// Hard cap on injected network faults (recovery budget).
     pub max_net_faults: u32,
     /// Hard cap on injected fs faults (recovery budget).
     pub max_fs_faults: u32,
+    /// Hard cap on injected storage faults (recovery budget).
+    pub max_storage_faults: u32,
 }
 
 impl Default for FaultConfig {
@@ -129,8 +172,13 @@ impl Default for FaultConfig {
             fs_quota_p: 0.0,
             fs_slow_p: 0.0,
             fs_slow_ns: (1_000_000, 20_000_000),
+            storage_crash_p: 0.0,
+            storage_crash_restart_ns: (20_000_000, 100_000_000),
+            storage_partition_p: 0.0,
+            storage_partition_ns: (50_000_000, 200_000_000),
             max_net_faults: u32::MAX,
             max_fs_faults: u32::MAX,
+            max_storage_faults: u32::MAX,
         }
     }
 }
@@ -147,8 +195,11 @@ impl FaultConfig {
             fs_eio_p: 0.02,
             fs_quota_p: 0.01,
             fs_slow_p: 0.05,
+            storage_crash_p: 0.005,
+            storage_partition_p: 0.01,
             max_net_faults: 64,
             max_fs_faults: 256,
+            max_storage_faults: 4,
             ..FaultConfig::default()
         }
     }
@@ -163,8 +214,11 @@ impl FaultConfig {
             fs_eio_p: 0.10,
             fs_quota_p: 0.05,
             fs_slow_p: 0.15,
+            storage_crash_p: 0.02,
+            storage_partition_p: 0.05,
             max_net_faults: 512,
             max_fs_faults: 2048,
+            max_storage_faults: 16,
             ..FaultConfig::default()
         }
     }
@@ -186,6 +240,7 @@ struct PlanInner {
     cfg: FaultConfig,
     net_injected: u32,
     fs_injected: u32,
+    storage_injected: u32,
     log: Vec<FaultRecord>,
 }
 
@@ -208,6 +263,7 @@ impl FaultPlan {
                 cfg,
                 net_injected: 0,
                 fs_injected: 0,
+                storage_injected: 0,
                 log: Vec::new(),
             })),
         }
@@ -387,6 +443,71 @@ impl FaultPlan {
         fault
     }
 
+    /// Decide the fate of one replicated-storage protocol step `op`
+    /// (`"get"` / `"put"` / `"delete"` / `"replicate"` / `"apply"`) on
+    /// storage node `node`. A crash loses the node's volatile state
+    /// mid-operation (the journal survives); a partition drops the
+    /// replication link's traffic until it heals. Returns `None` for
+    /// normal execution.
+    pub fn storage_fault(
+        &self,
+        engine: &Engine,
+        node: &str,
+        op: &'static str,
+    ) -> Option<StorageFault> {
+        let fault = {
+            let mut p = self.inner.borrow_mut();
+            if p.storage_injected >= p.cfg.max_storage_faults {
+                return None;
+            }
+            let cfg = p.cfg.clone();
+            // Fixed evaluation order keeps the stream reproducible.
+            let fault = if p.rng.gen_bool(cfg.storage_crash_p) {
+                let (lo, hi) = cfg.storage_crash_restart_ns;
+                Some(StorageFault::Crash {
+                    restart_after_ns: p.rng.gen_range(lo..=hi),
+                })
+            } else if op == "replicate" && p.rng.gen_bool(cfg.storage_partition_p) {
+                let (lo, hi) = cfg.storage_partition_ns;
+                Some(StorageFault::Partition {
+                    heal_after_ns: p.rng.gen_range(lo..=hi),
+                })
+            } else {
+                None
+            };
+            if let Some(f) = fault {
+                p.storage_injected += 1;
+                p.log.push(FaultRecord {
+                    ts_ns: engine.now_ns(),
+                    kind: f.name(),
+                    detail: format!("{op} {node}"),
+                });
+            }
+            fault
+        };
+        if let Some(f) = fault {
+            engine
+                .metrics()
+                .counter(&format!("fault.storage.{}", f.name()))
+                .inc();
+            let tracer = engine.tracer();
+            if tracer.enabled() {
+                tracer.instant(
+                    cat::FAULT,
+                    "storage_fault",
+                    engine.now_ns(),
+                    0,
+                    vec![
+                        ("kind", ArgValue::from(f.name())),
+                        ("op", ArgValue::from(op)),
+                        ("node", ArgValue::from(node.to_string())),
+                    ],
+                );
+            }
+        }
+        fault
+    }
+
     /// Network faults injected so far.
     pub fn net_injected(&self) -> u32 {
         self.inner.borrow().net_injected
@@ -395,6 +516,11 @@ impl FaultPlan {
     /// Fs faults injected so far.
     pub fn fs_injected(&self) -> u32 {
         self.inner.borrow().fs_injected
+    }
+
+    /// Storage faults injected so far.
+    pub fn storage_injected(&self) -> u32 {
+        self.inner.borrow().storage_injected
     }
 
     /// The full injection log, in decision order.
@@ -606,6 +732,76 @@ mod tests {
         }
         // Single-byte segments cannot be split.
         assert_eq!(plan.net_fault(&engine, "s2c", 1), None);
+    }
+
+    #[test]
+    fn storage_faults_have_their_own_budget_and_kinds() {
+        let engine = Engine::new(Browser::Chrome);
+        let cfg = FaultConfig {
+            storage_crash_p: 1.0,
+            storage_crash_restart_ns: (5, 5),
+            max_storage_faults: 2,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::new(3, cfg);
+        let fired: Vec<_> = (0..10)
+            .filter_map(|_| plan.storage_fault(&engine, "node0", "put"))
+            .collect();
+        assert_eq!(
+            fired,
+            vec![
+                StorageFault::Crash {
+                    restart_after_ns: 5
+                },
+                StorageFault::Crash {
+                    restart_after_ns: 5
+                }
+            ]
+        );
+        assert_eq!(plan.storage_injected(), 2);
+        // The net/fs budgets are untouched.
+        assert_eq!(plan.net_injected(), 0);
+        assert_eq!(plan.fs_injected(), 0);
+        assert_eq!(engine.metrics().get("fault.storage.replica_crash"), 2);
+        assert!(plan.log().iter().all(|r| r.detail == "put node0"));
+    }
+
+    #[test]
+    fn partitions_only_hit_replication_links() {
+        let engine = Engine::new(Browser::Chrome);
+        let cfg = FaultConfig {
+            storage_partition_p: 1.0,
+            storage_partition_ns: (9, 9),
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::new(5, cfg);
+        // Client-facing ops never partition — only replication sends.
+        for op in ["get", "put", "delete", "apply"] {
+            assert_eq!(plan.storage_fault(&engine, "node0", op), None);
+        }
+        assert_eq!(
+            plan.storage_fault(&engine, "node0->node1", "replicate"),
+            Some(StorageFault::Partition { heal_after_ns: 9 })
+        );
+        assert_eq!(engine.metrics().get("fault.storage.partition"), 1);
+    }
+
+    #[test]
+    fn storage_faults_are_seed_deterministic() {
+        let engine = Engine::new(Browser::Chrome);
+        let run = |seed| {
+            let plan = FaultPlan::new(seed, FaultConfig::chaos());
+            let mut out = Vec::new();
+            for i in 0..200 {
+                let op = if i % 3 == 0 { "replicate" } else { "put" };
+                out.push(format!("{:?}", plan.storage_fault(&engine, "node1", op)));
+            }
+            (out, plan.log())
+        };
+        let (a, la) = run(77);
+        let (b, lb) = run(77);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
     }
 
     #[test]

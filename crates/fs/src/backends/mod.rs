@@ -3,10 +3,12 @@
 pub mod blob;
 pub mod faulty;
 pub mod mount;
+pub mod replicated;
 
 pub use blob::{BlobBackend, BlobStore, DropboxStore, LocalStorageStore, MemoryStore, XhrStore};
 pub use faulty::FaultyBackend;
 pub use mount::MountableFs;
+pub use replicated::{ObjectStoreBackend, ObjectStoreClient};
 
 use doppio_jsengine::Engine;
 use std::collections::BTreeMap;
@@ -46,4 +48,10 @@ pub fn mountable(root: SharedBackend) -> Rc<MountableFs> {
 /// Wrap `inner` in a fault-injecting decorator drawing from `plan`.
 pub fn faulty(inner: SharedBackend, plan: doppio_faults::FaultPlan) -> SharedBackend {
     Rc::new(FaultyBackend::new(inner, plan))
+}
+
+/// A backend over any asynchronous [`ObjectStoreClient`] — the seam
+/// the replicated store in `doppio-storage` plugs into.
+pub fn replicated<C: ObjectStoreClient + 'static>(client: C) -> SharedBackend {
+    Rc::new(ObjectStoreBackend::new(client))
 }

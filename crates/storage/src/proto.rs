@@ -1,0 +1,353 @@
+//! The replication wire protocol.
+//!
+//! All storage traffic — client requests, primary→backup replication,
+//! acks, and cache invalidation pushes — travels as length-prefixed
+//! binary frames over `doppio-sockets` TCP connections. Frames are
+//! self-delimiting (`u32` little-endian payload length, then a tagged
+//! payload), so a [`FrameBuffer`] can reassemble them from arbitrarily
+//! fragmented deliveries.
+
+/// A mutating operation: the unit of journaling and replication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Store `data` at `key` (whole-blob overwrite).
+    Put {
+        /// Object key.
+        key: String,
+        /// Full contents.
+        data: Vec<u8>,
+    },
+    /// Remove `key` (missing is fine — deletes are idempotent).
+    Delete {
+        /// Object key.
+        key: String,
+    },
+}
+
+impl WriteOp {
+    /// The key this write touches.
+    pub fn key(&self) -> &str {
+        match self {
+            WriteOp::Put { key, .. } | WriteOp::Delete { key } => key,
+        }
+    }
+
+    /// Short name for logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WriteOp::Put { .. } => "put",
+            WriteOp::Delete { .. } => "delete",
+        }
+    }
+}
+
+/// What a client can ask of the primary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestOp {
+    /// Fetch the blob at `key`.
+    Get {
+        /// Object key.
+        key: String,
+    },
+    /// A journaled, replicated write.
+    Write(WriteOp),
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → primary.
+    Request {
+        /// Client-chosen correlation id.
+        req_id: u64,
+        /// The operation.
+        op: RequestOp,
+    },
+    /// Primary → client: the answer to `req_id` (`value` is the blob
+    /// for gets, `None` for writes and missing keys).
+    Response {
+        /// Echoed correlation id.
+        req_id: u64,
+        /// Get result.
+        value: Option<Vec<u8>>,
+    },
+    /// Primary → client push: drop `key` from the cache tier.
+    Invalidate {
+        /// Invalidated key.
+        key: String,
+    },
+    /// Primary → backup: apply `op` as log sequence number `seq`.
+    Replicate {
+        /// Log sequence number (1-based, dense).
+        seq: u64,
+        /// The replicated write.
+        op: WriteOp,
+    },
+    /// Backup → primary: everything up to `seq` is durable here.
+    Ack {
+        /// Highest contiguous durable sequence number.
+        seq: u64,
+    },
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let v = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(v)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let b = self.buf.get(self.pos..self.pos + 4)?;
+        self.pos += 4;
+        Some(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let b = self.buf.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Option<Vec<u8>> {
+        let n = self.u32()? as usize;
+        let b = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(b.to_vec())
+    }
+
+    fn string(&mut self) -> Option<String> {
+        String::from_utf8(self.bytes()?).ok()
+    }
+}
+
+fn encode_write(buf: &mut Vec<u8>, op: &WriteOp) {
+    match op {
+        WriteOp::Put { key, data } => {
+            buf.push(1);
+            put_bytes(buf, key.as_bytes());
+            put_bytes(buf, data);
+        }
+        WriteOp::Delete { key } => {
+            buf.push(2);
+            put_bytes(buf, key.as_bytes());
+        }
+    }
+}
+
+fn decode_write(r: &mut Reader) -> Option<WriteOp> {
+    match r.u8()? {
+        1 => Some(WriteOp::Put {
+            key: r.string()?,
+            data: r.bytes()?,
+        }),
+        2 => Some(WriteOp::Delete { key: r.string()? }),
+        _ => None,
+    }
+}
+
+impl Frame {
+    /// Serialize to a complete length-prefixed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Frame::Request { req_id, op } => {
+                p.push(1);
+                put_u64(&mut p, *req_id);
+                match op {
+                    RequestOp::Get { key } => {
+                        p.push(1);
+                        put_bytes(&mut p, key.as_bytes());
+                    }
+                    RequestOp::Write(w) => {
+                        p.push(2);
+                        encode_write(&mut p, w);
+                    }
+                }
+            }
+            Frame::Response { req_id, value } => {
+                p.push(2);
+                put_u64(&mut p, *req_id);
+                match value {
+                    Some(v) => {
+                        p.push(1);
+                        put_bytes(&mut p, v);
+                    }
+                    None => p.push(0),
+                }
+            }
+            Frame::Invalidate { key } => {
+                p.push(3);
+                put_bytes(&mut p, key.as_bytes());
+            }
+            Frame::Replicate { seq, op } => {
+                p.push(4);
+                put_u64(&mut p, *seq);
+                encode_write(&mut p, op);
+            }
+            Frame::Ack { seq } => {
+                p.push(5);
+                put_u64(&mut p, *seq);
+            }
+        }
+        let mut out = Vec::with_capacity(4 + p.len());
+        put_u32(&mut out, p.len() as u32);
+        out.extend_from_slice(&p);
+        out
+    }
+
+    /// Parse one payload (the bytes after the length prefix).
+    pub fn decode_payload(payload: &[u8]) -> Option<Frame> {
+        let mut r = Reader {
+            buf: payload,
+            pos: 0,
+        };
+        let frame = match r.u8()? {
+            1 => {
+                let req_id = r.u64()?;
+                let op = match r.u8()? {
+                    1 => RequestOp::Get { key: r.string()? },
+                    2 => RequestOp::Write(decode_write(&mut r)?),
+                    _ => return None,
+                };
+                Frame::Request { req_id, op }
+            }
+            2 => {
+                let req_id = r.u64()?;
+                let value = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.bytes()?),
+                    _ => return None,
+                };
+                Frame::Response { req_id, value }
+            }
+            3 => Frame::Invalidate { key: r.string()? },
+            4 => Frame::Replicate {
+                seq: r.u64()?,
+                op: decode_write(&mut r)?,
+            },
+            5 => Frame::Ack { seq: r.u64()? },
+            _ => return None,
+        };
+        (r.pos == payload.len()).then_some(frame)
+    }
+}
+
+/// Reassembles frames from a fragmented byte stream.
+#[derive(Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Feed raw bytes; returns every complete frame now available.
+    /// Malformed payloads are dropped (the length prefix still bounds
+    /// them, so the stream stays in sync).
+    pub fn push(&mut self, data: &[u8]) -> Vec<Frame> {
+        self.buf.extend_from_slice(data);
+        let mut frames = Vec::new();
+        loop {
+            if self.buf.len() < 4 {
+                return frames;
+            }
+            let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+            if self.buf.len() < 4 + len {
+                return frames;
+            }
+            if let Some(f) = Frame::decode_payload(&self.buf[4..4 + len]) {
+                frames.push(f);
+            }
+            self.buf.drain(..4 + len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Frame> {
+        vec![
+            Frame::Request {
+                req_id: 7,
+                op: RequestOp::Get { key: "/a".into() },
+            },
+            Frame::Request {
+                req_id: 8,
+                op: RequestOp::Write(WriteOp::Put {
+                    key: "/b".into(),
+                    data: b"blob".to_vec(),
+                }),
+            },
+            Frame::Response {
+                req_id: 7,
+                value: Some(b"x".to_vec()),
+            },
+            Frame::Response {
+                req_id: 8,
+                value: None,
+            },
+            Frame::Invalidate { key: "/b".into() },
+            Frame::Replicate {
+                seq: 3,
+                op: WriteOp::Delete { key: "/b".into() },
+            },
+            Frame::Ack { seq: 3 },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for f in samples() {
+            let enc = f.encode();
+            let got = Frame::decode_payload(&enc[4..]).unwrap();
+            assert_eq!(got, f);
+        }
+    }
+
+    #[test]
+    fn buffer_reassembles_fragmented_stream() {
+        let all: Vec<u8> = samples().iter().flat_map(|f| f.encode()).collect();
+        // Deliver the stream one byte at a time: worst-case framing.
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        for b in &all {
+            got.extend(fb.push(std::slice::from_ref(b)));
+        }
+        assert_eq!(got, samples());
+        // And in one burst.
+        let mut fb = FrameBuffer::new();
+        assert_eq!(fb.push(&all), samples());
+    }
+
+    #[test]
+    fn malformed_payload_is_skipped_without_desync() {
+        let mut stream = vec![2, 0, 0, 0, 99, 99]; // bad tag, valid length
+        stream.extend(Frame::Ack { seq: 1 }.encode());
+        let mut fb = FrameBuffer::new();
+        assert_eq!(fb.push(&stream), vec![Frame::Ack { seq: 1 }]);
+    }
+}

@@ -1,0 +1,151 @@
+//! The CI storage-consistency matrix, collapsed into one sharded
+//! process: every seed runs the same crash/partition chaos scenario
+//! against a three-node replicated object store, fanned out over OS
+//! threads with [`doppio::scale::run_sharded`], and the parallel
+//! results are diffed against the serial reference — thread count must
+//! not be able to change a single byte of any cell.
+//!
+//! Each shard builds its entire world (engine, network, cluster, fault
+//! plan) inside the job: two cached tenant sessions issue disjoint-key
+//! workloads while the chaos preset crashes replicas and partitions
+//! replication links mid-write. The recorded operation history is
+//! audited for per-tenant read-your-writes and linearizability; on a
+//! violation the full history is written to
+//! `target/storage_history_seed<seed>.txt` (the CI artifact) before
+//! the process panics. The cell transcript — history, fault log,
+//! counters — is byte-comparable across runs.
+//!
+//! Run with: `cargo run --example storage_consistency -- [seed...]`
+//! (defaults to the CI seed list `1 2 3`).
+
+use std::fmt::Write as _;
+
+use doppio::faults::{FaultConfig, FaultPlan};
+use doppio::jsengine::{Browser, Engine};
+use doppio::report::RunReport;
+use doppio::scale::run_sharded;
+use doppio::sockets::Network;
+use doppio::storage::{HistoryRecorder, StorageClient, StorageCluster, StorageConfig, WriteOp};
+
+/// One matrix cell: the chaos workload for `seed`, rendered as a
+/// transcript that is byte-comparable across runs and thread counts.
+fn scenario(seed: u64) -> String {
+    let engine = Engine::new(Browser::Chrome);
+    let net = Network::new(&engine);
+    let plan = FaultPlan::new(seed, FaultConfig::chaos());
+    let cluster =
+        StorageCluster::launch(&engine, &net, StorageConfig::default(), Some(plan.clone()));
+    let history = HistoryRecorder::new();
+    let t0 = cluster.client("tenant0", true);
+    let t1 = cluster.client("tenant1", true);
+    t0.set_history(history.clone());
+    t1.set_history(history.clone());
+
+    let put = |c: &StorageClient, key: &str, val: &[u8]| {
+        c.kv_write(
+            &engine,
+            WriteOp::Put {
+                key: key.into(),
+                data: val.to_vec(),
+            },
+            Box::new(|_, _| {}),
+        );
+    };
+    let del = |c: &StorageClient, key: &str| {
+        c.kv_write(
+            &engine,
+            WriteOp::Delete { key: key.into() },
+            Box::new(|_, _| {}),
+        );
+    };
+    let get = |c: &StorageClient, key: &str| {
+        c.kv_get(&engine, key, Box::new(|_, _| {}));
+    };
+
+    // Disjoint per-tenant keys; each tenant's ops are sequential (one
+    // round drains before the next begins), the tenants overlap freely
+    // with each other and with whatever the plan crashes or partitions.
+    put(&t0, "/t0/a", b"1");
+    put(&t1, "/t1/b", b"9");
+    engine.run_until_idle();
+    get(&t0, "/t0/a");
+    get(&t1, "/t1/b");
+    engine.run_until_idle();
+    put(&t0, "/t0/a", b"2");
+    del(&t1, "/t1/b");
+    engine.run_until_idle();
+    get(&t0, "/t0/a");
+    get(&t1, "/t1/b");
+    engine.run_until_idle();
+    put(&t0, "/t0/c", b"3");
+    put(&t1, "/t1/b", b"7");
+    engine.run_until_idle();
+    get(&t0, "/t0/c");
+    get(&t1, "/t1/b");
+    engine.run_until_idle();
+
+    // Audit the recorded history; ship it as an artifact on failure so
+    // the CI job has the counterexample, not just the panic message.
+    for (name, verdict) in [
+        ("read-your-writes", history.check_read_your_writes()),
+        ("linearizability", history.check_linearizable()),
+    ] {
+        if let Err(e) = verdict {
+            let path = format!("target/storage_history_seed{seed}.txt");
+            let artifact = format!(
+                "seed={seed}\nviolation({name}): {e}\n\n{}",
+                history.render()
+            );
+            std::fs::write(&path, artifact).expect("write history artifact");
+            panic!("seed {seed}: {name} violated ({e}); history written to {path}");
+        }
+    }
+
+    let mut t = format!(
+        "seed={seed} storage_faults={} end_ns={}\n",
+        plan.storage_injected(),
+        engine.now_ns(),
+    );
+    for rec in plan.log() {
+        writeln!(t, "  {}ns {} {}", rec.ts_ns, rec.kind, rec.detail).unwrap();
+    }
+    t += &history.render();
+    t += &RunReport::collect("storage-chaos", &engine).to_markdown();
+    t
+}
+
+fn main() {
+    let mut seeds: Vec<u64> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("seeds are integers"))
+        .collect();
+    if seeds.is_empty() {
+        seeds = vec![1, 2, 3];
+    }
+
+    // Serial reference first, then one shard per seed. run_sharded
+    // orders results by index, so any divergence is a determinism bug,
+    // not a scheduling artifact.
+    let serial = run_sharded(seeds.len(), 1, |i| scenario(seeds[i]));
+    let sharded = run_sharded(seeds.len(), seeds.len(), |i| scenario(seeds[i]));
+    let mut exercised = 0u32;
+    for (i, (s, p)) in serial.iter().zip(&sharded).enumerate() {
+        assert_eq!(
+            s, p,
+            "seed {}: sharded run diverged from the serial reference",
+            seeds[i]
+        );
+        if !s.starts_with(&format!("seed={} storage_faults=0", seeds[i])) {
+            exercised += 1;
+        }
+        print!("{s}");
+    }
+    assert!(
+        exercised > 0,
+        "no seed injected a storage fault; the matrix proved nothing"
+    );
+    println!(
+        "storage consistency: {} seeds, {exercised} with faults, sharded == serial",
+        seeds.len()
+    );
+}

@@ -35,6 +35,12 @@
 //! * [`scale`] — the multi-tenant scale harness: shard K independent
 //!   tenant simulations across OS threads and deterministically merge
 //!   their reports into one `ScaleReport` (see `docs/scale.md`).
+//! * [`storage`] — a simulated replicated object store behind the FS
+//!   backend trait: primary/backup replication with acks over
+//!   [`sockets`], a write-back journal with idempotent replay, and a
+//!   client cache tier with push invalidation, plus the history
+//!   recorder and read-your-writes/linearizability oracles its
+//!   crash-consistency harness is built on (see `docs/storage.md`).
 //!
 //! # Quick start
 //!
@@ -95,6 +101,7 @@ pub use doppio_prng as prng;
 pub use doppio_scale as scale;
 pub use doppio_schedtest as schedtest;
 pub use doppio_sockets as sockets;
+pub use doppio_storage as storage;
 pub use doppio_trace as trace;
 pub use doppio_workloads as workloads;
 
