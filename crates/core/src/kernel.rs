@@ -32,7 +32,7 @@ use std::rc::{Rc, Weak};
 
 use doppio_faults::{FaultPlan, FsFault};
 use doppio_jsengine::{Browser, Engine, EngineBuilder, ObservabilityOptions};
-use doppio_trace::{cat, ArgValue};
+use doppio_trace::{cat, ArgValue, SpanContext};
 
 use crate::runtime::{
     DoppioRuntime, GuestThread, RuntimeError, ThreadContext, ThreadId, ThreadStep,
@@ -326,6 +326,16 @@ struct Proc {
     pipe_out: u64,
     spawned_at_ns: u64,
     exited_at_ns: Option<u64>,
+    /// Causal root of the process's request trace (None when causal
+    /// tracing is off).
+    ctx: Option<SpanContext>,
+    /// Tail of the main thread's slice-span chain; the parent of the
+    /// next slice span, so inter-slice gaps are attributable edges.
+    last_span: Option<SpanContext>,
+    /// Pending spawn flow edge, consumed by the first main slice.
+    spawn_flow: Option<u64>,
+    /// Pending exit flow edge, consumed by the reaping `waitpid`.
+    exit_flow: Option<u64>,
 }
 
 struct PipeState {
@@ -343,7 +353,14 @@ struct PipeState {
     write_waiters: Vec<ThreadId>,
     /// Bytes ever written (diagnostics).
     total_in: u64,
+    /// Pending causal flow tokens: one per traced write, consumed (in
+    /// order) by reads. Bounded so a never-read pipe cannot grow it.
+    flows: VecDeque<(u64, SpanContext)>,
 }
+
+/// Cap on un-consumed causal flow tokens per pipe; beyond it new
+/// writes stop minting edges (the DAG loses precision, never memory).
+const PIPE_FLOW_TOKEN_CAP: usize = 64;
 
 impl PipeState {
     fn write_closed(&self) -> bool {
@@ -368,6 +385,10 @@ struct KernelInner {
     procs: BTreeMap<u32, Proc>,
     pipes: BTreeMap<u64, PipeState>,
     pipe_faults: Option<FaultPlan>,
+    /// Why each thread last blocked, by thread id — consumed when the
+    /// thread's next slice begins and recorded as that slice span's
+    /// `wait` category (pipe backpressure, a child, a fault delay).
+    wait_reasons: BTreeMap<usize, &'static str>,
 }
 
 /// The process host. Cheaply cloneable handle; strictly
@@ -413,6 +434,7 @@ impl Kernel {
                 procs: BTreeMap::new(),
                 pipes: BTreeMap::new(),
                 pipe_faults: None,
+                wait_reasons: BTreeMap::new(),
             })),
         }
     }
@@ -525,6 +547,7 @@ impl Kernel {
                 );
                 let rt = ctx.runtime().clone();
                 let me = ctx.thread_id();
+                self.note_wait_reason(me, "wait.fault");
                 self.engine()
                     .set_timeout(ns as f64 / 1e6, move |_| rt.wake(me));
                 Ok(true)
@@ -558,6 +581,7 @@ impl Kernel {
                 read_waiters: Vec::new(),
                 write_waiters: Vec::new(),
                 total_in: 0,
+                flows: VecDeque::new(),
             },
         );
         PipeId(id)
@@ -579,7 +603,7 @@ impl Kernel {
         if self.draw_pipe_fault(ctx, "read", pipe)? {
             return Ok(PipeRead::WouldBlock);
         }
-        let (result, wakes) = {
+        let (result, wakes, flow_tokens) = {
             let mut inner = self.inner.borrow_mut();
             let p = inner
                 .pipes
@@ -588,6 +612,11 @@ impl Kernel {
             if !p.buf.is_empty() {
                 let n = max.min(p.buf.len());
                 let data: Vec<u8> = p.buf.drain(..n).collect();
+                // The read consumes every pending causal write token:
+                // byte-precise matching is not worth tracking — any
+                // writer whose bytes are still buffered happened-before
+                // this read.
+                let tokens: Vec<(u64, SpanContext)> = p.flows.drain(..).collect();
                 let wakes = if p.buf.len() < p.capacity {
                     std::mem::take(&mut p.write_waiters)
                 } else {
@@ -598,16 +627,27 @@ impl Kernel {
                         proc.pipe_in += n as u64;
                     }
                 }
-                (PipeRead::Data(data), wakes)
+                (PipeRead::Data(data), wakes, tokens)
             } else if p.write_closed() {
-                (PipeRead::Eof, Vec::new())
+                (PipeRead::Eof, Vec::new(), Vec::new())
             } else {
                 p.read_waiters.push(me);
-                (PipeRead::WouldBlock, Vec::new())
+                (PipeRead::WouldBlock, Vec::new(), Vec::new())
             }
         };
         if matches!(result, PipeRead::WouldBlock) {
             ctx.note_block(Resource::PipeRead(pipe.0), format!("pipe.read({pipe})"));
+            self.note_wait_reason(me, "wait.pipe.read");
+        }
+        if !flow_tokens.is_empty() {
+            let engine = self.engine();
+            let causal = engine.causal();
+            if let Some(dst) = causal.current() {
+                let now = engine.now_ns();
+                for (fid, _src) in flow_tokens {
+                    causal.flow_end("pipe", fid, dst, now, me.0 as u32 + 2);
+                }
+            }
         }
         let rt = ctx.runtime().clone();
         for w in wakes {
@@ -662,12 +702,43 @@ impl Kernel {
         };
         if matches!(result, PipeWrite::WouldBlock) {
             ctx.note_block(Resource::PipeWrite(pipe.0), format!("pipe.write({pipe})"));
+            self.note_wait_reason(me, "wait.pipe.write");
+        }
+        if matches!(result, PipeWrite::Wrote(n) if n > 0) {
+            self.push_pipe_flow(pipe, me.0 as u32 + 2);
         }
         let rt = ctx.runtime().clone();
         for w in wakes {
             rt.wake(w);
         }
         Ok(result)
+    }
+
+    /// Mint a causal `pipe` flow edge for bytes just written, leaving
+    /// the ambient request context, and queue its token on the pipe
+    /// for whichever read consumes it. No-op when causal tracing is
+    /// off, no request is ambient, or the pipe's token queue is full.
+    fn push_pipe_flow(&self, pipe: PipeId, lane: u32) {
+        let engine = {
+            let inner = self.inner.borrow();
+            match inner.host.as_ref() {
+                Some(h) if h.engine.causal().enabled() => h.engine.clone(),
+                _ => return,
+            }
+        };
+        let causal = engine.causal();
+        let Some(src) = causal.current() else { return };
+        {
+            let inner = self.inner.borrow();
+            match inner.pipes.get(&pipe.0) {
+                Some(p) if p.flows.len() < PIPE_FLOW_TOKEN_CAP => {}
+                _ => return,
+            }
+        }
+        let fid = causal.flow_start("pipe", src, engine.now_ns(), lane);
+        if let Some(p) = self.inner.borrow_mut().pipes.get_mut(&pipe.0) {
+            p.flows.push_back((fid, src));
+        }
     }
 
     /// Append bytes on behalf of `pid` without blocking (used by
@@ -694,6 +765,11 @@ impl Kernel {
             }
             (wakes, inner.host.as_ref().map(|h| h.runtime.clone()))
         };
+        if !data.is_empty() {
+            // The stdout hook runs inside the feeding process's slice,
+            // so the ambient context is that slice's span.
+            self.push_pipe_flow(pipe, 1);
+        }
         if let Some(rt) = rt {
             for w in wakes {
                 rt.wake(w);
@@ -802,6 +878,9 @@ impl Kernel {
                 .get_mut(&pipe.0)
                 .ok_or(KernelError::UnknownPipe(pipe))?;
             let data: Vec<u8> = p.buf.drain(..).collect();
+            // The host has no causal context; pending write tokens are
+            // consumed without an edge rather than left to dangle.
+            p.flows.clear();
             (
                 data,
                 std::mem::take(&mut p.write_waiters),
@@ -927,6 +1006,26 @@ impl Kernel {
             let host = inner.host.as_ref().unwrap();
             (host.runtime.clone(), host.engine.clone(), pid)
         };
+        // Kernel spawn is a causal ingress point: a spawn with no
+        // ambient request roots a fresh `proc:<name>` trace; a spawn
+        // performed on behalf of a request joins that request's trace.
+        // Either way a `spawn` flow edge connects the spawner to the
+        // child's first slice.
+        let causal = engine.causal();
+        let (causal_ctx, spawn_flow) = if causal.enabled() {
+            let now = engine.now_ns();
+            let (root, src) = match causal.current() {
+                Some(parent) => (causal.child(parent), parent),
+                None => {
+                    let root = causal.begin_request(format!("proc:{}", opts.name), now);
+                    (root, root)
+                }
+            };
+            let fid = causal.flow_start("spawn", src, now, 1);
+            (Some(root), Some(fid))
+        } else {
+            (None, None)
+        };
         let wrapper = ProcThread {
             kernel: self.clone(),
             pid,
@@ -959,6 +1058,10 @@ impl Kernel {
                     pipe_out: 0,
                     spawned_at_ns: engine.now_ns(),
                     exited_at_ns: None,
+                    ctx: causal_ctx,
+                    last_span: None,
+                    spawn_flow,
+                    exit_flow: None,
                 },
             );
         }
@@ -1015,7 +1118,13 @@ impl Kernel {
     ) -> ThreadId {
         let rt = self.runtime();
         let name = name.into();
-        rt.spawn_tagged(format!("pid {pid} {name}"), pid.0 as u64, thread)
+        let wrapper = AuxSliceThread {
+            kernel: self.clone(),
+            pid: pid.0,
+            inner: thread,
+            last: None,
+        };
+        rt.spawn_tagged(format!("pid {pid} {name}"), pid.0 as u64, Box::new(wrapper))
     }
 
     /// [`spawn_aux`](Self::spawn_aux) for a closure thread.
@@ -1097,6 +1206,25 @@ impl Kernel {
                 host.engine.metrics().counter("proc.signaled").inc();
             }
         }
+        // Signal delivery is a causal edge from the sender's ambient
+        // context to the victim's slice chain; termination is
+        // synchronous here, so the edge begins and ends at `now`.
+        {
+            let (engine, victim) = {
+                let inner = self.inner.borrow();
+                let host = inner.host.as_ref();
+                let victim = inner.procs.get(&pid.0).and_then(|p| p.last_span.or(p.ctx));
+                (host.map(|h| h.engine.clone()), victim)
+            };
+            if let (Some(engine), Some(victim)) = (engine, victim) {
+                let causal = engine.causal();
+                if let Some(src) = causal.current() {
+                    let now = engine.now_ns();
+                    let fid = causal.flow_start("signal", src, now, 1);
+                    causal.flow_end("signal", fid, victim, now, 1);
+                }
+            }
+        }
         self.finish_process(pid, ExitStatus::Signaled(signal));
         Ok(())
     }
@@ -1108,7 +1236,7 @@ impl Kernel {
     /// unknown pid, or a child whose status an earlier `waitpid`
     /// already collected (the `ECHILD` analog).
     pub fn waitpid(&self, ctx: &mut ThreadContext<'_>, pid: Pid) -> Result<WaitPid, KernelError> {
-        let result = {
+        let (result, exit_flow) = {
             let mut inner = self.inner.borrow_mut();
             let proc = inner
                 .procs
@@ -1120,16 +1248,32 @@ impl Kernel {
                         return Err(KernelError::AlreadyReaped(pid));
                     }
                     proc.reaped = true;
-                    WaitPid::Exited(status)
+                    (WaitPid::Exited(status), proc.exit_flow.take())
                 }
                 None => {
                     proc.wait_waiters.push(ctx.thread_id());
-                    WaitPid::WouldBlock
+                    (WaitPid::WouldBlock, None)
                 }
             }
         };
         if matches!(result, WaitPid::WouldBlock) {
             ctx.note_block(Resource::Child(pid.0 as u64), format!("waitpid({pid})"));
+            self.note_wait_reason(ctx.thread_id(), "wait.child");
+        }
+        if let Some(fid) = exit_flow {
+            // The reap closes the child's exit flow at the waiter: the
+            // child's last slice happened-before this waitpid return.
+            let engine = self.engine();
+            let causal = engine.causal();
+            if let Some(dst) = causal.current() {
+                causal.flow_end(
+                    "exit",
+                    fid,
+                    dst,
+                    engine.now_ns(),
+                    ctx.thread_id().0 as u32 + 2,
+                );
+            }
         }
         Ok(result)
     }
@@ -1233,6 +1377,97 @@ impl Kernel {
     // Lifecycle internals
     // ------------------------------------------------------------
 
+    /// Record why `tid` is about to block; its next slice span carries
+    /// the reason, so the critical-path walk can attribute the gap.
+    fn note_wait_reason(&self, tid: ThreadId, reason: &'static str) {
+        let inner = self.inner.borrow();
+        if let Some(host) = inner.host.as_ref() {
+            if host.engine.causal().enabled() {
+                drop(inner);
+                self.inner.borrow_mut().wait_reasons.insert(tid.0, reason);
+            }
+        }
+    }
+
+    /// Begin the causal slice span for a thread of `pid`: mint a child
+    /// span of the process trace (chained off `local_last`, or the
+    /// proc's main chain when `main`), install it as the ambient
+    /// context, and consume any pending spawn flow. Returns `None`
+    /// when causal tracing is off or the pid is untracked.
+    fn causal_slice_begin(
+        &self,
+        pid: u32,
+        local_last: Option<SpanContext>,
+        tid: ThreadId,
+        main: bool,
+    ) -> Option<SliceSpan> {
+        let engine = {
+            let inner = self.inner.borrow();
+            let host = inner.host.as_ref()?;
+            if !host.engine.causal().enabled() {
+                return None;
+            }
+            host.engine.clone()
+        };
+        let (root, tail, spawn_flow, wait) = {
+            let mut inner = self.inner.borrow_mut();
+            let wait = inner.wait_reasons.remove(&tid.0);
+            let proc = inner.procs.get_mut(&pid)?;
+            let root = proc.ctx?;
+            let tail = if main { proc.last_span } else { local_last };
+            let spawn_flow = if main { proc.spawn_flow.take() } else { None };
+            (root, tail.unwrap_or(root), spawn_flow, wait)
+        };
+        let causal = engine.causal();
+        let span = causal.child(root);
+        let prev = causal.set_current(Some(span));
+        let now = engine.now_ns();
+        let lane = tid.0 as u32 + 2;
+        if let Some(fid) = spawn_flow {
+            causal.flow_end("spawn", fid, span, now, lane);
+        }
+        Some(SliceSpan {
+            ctx: span,
+            parent: tail.span_id,
+            start_ns: now,
+            wait,
+            prev,
+            lane,
+            main,
+        })
+    }
+
+    /// Close the slice span opened by [`causal_slice_begin`]: emit the
+    /// attributed `interp` span, restore the ambient context, and
+    /// advance the chain tail.
+    fn causal_slice_end(
+        &self,
+        pid: u32,
+        slice: Option<SliceSpan>,
+        local_last: &mut Option<SpanContext>,
+    ) {
+        let Some(s) = slice else { return };
+        let engine = self.engine();
+        let causal = engine.causal();
+        causal.span(
+            "interp",
+            s.ctx,
+            s.parent,
+            s.start_ns,
+            engine.now_ns(),
+            s.lane,
+            s.wait,
+        );
+        causal.set_current(s.prev);
+        if s.main {
+            if let Some(p) = self.inner.borrow_mut().procs.get_mut(&pid) {
+                p.last_span = Some(s.ctx);
+            }
+        } else {
+            *local_last = Some(s.ctx);
+        }
+    }
+
     /// Per-slice bookkeeping for a process main thread: slice count,
     /// exit-probe check, and stdout backpressure (a process whose
     /// stdout pipe is at/over capacity parks until a reader drains
@@ -1278,6 +1513,7 @@ impl Kernel {
             };
             if let Some(out) = park_on {
                 ctx.note_block(Resource::PipeWrite(out), "stdout");
+                self.note_wait_reason(ctx.thread_id(), "wait.pipe.write");
                 return ThreadStep::Blocked;
             }
         }
@@ -1321,7 +1557,7 @@ impl Kernel {
     /// kill its remaining threads, release its pipe ends (EOF for
     /// readers, broken pipe for writers), and wake `waitpid` waiters.
     fn finish_process(&self, pid: Pid, status: ExitStatus) {
-        let Some((rt, engine, threads, wait_waiters, pipe_wakes, touched_pipes)) = ({
+        let Some((rt, engine, threads, wait_waiters, pipe_wakes, touched_pipes, causal_tail)) = ({
             let mut inner = self.inner.borrow_mut();
             let Some(host) = inner.host.as_ref() else {
                 return;
@@ -1336,6 +1572,7 @@ impl Kernel {
             }
             proc.status = Some(status);
             proc.exited_at_ns = Some(now);
+            let causal_tail = proc.ctx.map(|root| (root, proc.last_span.unwrap_or(root)));
             let wait_waiters = std::mem::take(&mut proc.wait_waiters);
             let threads = rt.tagged_threads(pid.0 as u64);
             // Release the process's pipe ends.
@@ -1359,7 +1596,15 @@ impl Kernel {
                     pipe_wakes.append(&mut p.write_waiters);
                 }
             }
-            Some((rt, engine, threads, wait_waiters, pipe_wakes, touched))
+            Some((
+                rt,
+                engine,
+                threads,
+                wait_waiters,
+                pipe_wakes,
+                touched,
+                causal_tail,
+            ))
         }) else {
             return;
         };
@@ -1393,7 +1638,31 @@ impl Kernel {
                 ],
             );
         }
+        if let Some((root, tail)) = causal_tail {
+            let causal = engine.causal();
+            if causal.enabled() {
+                let now = engine.now_ns();
+                // The process request ends here; the exit flow edge
+                // stays open until a waitpid reaps the zombie.
+                causal.end_request(root, now);
+                let fid = causal.flow_start("exit", tail, now, 1);
+                if let Some(p) = self.inner.borrow_mut().procs.get_mut(&pid.0) {
+                    p.exit_flow = Some(fid);
+                }
+            }
+        }
     }
+}
+
+/// An open causal slice span (see [`Kernel::causal_slice_begin`]).
+struct SliceSpan {
+    ctx: SpanContext,
+    parent: u64,
+    start_ns: u64,
+    wait: Option<&'static str>,
+    prev: Option<SpanContext>,
+    lane: u32,
+    main: bool,
 }
 
 /// The wrapper every process main thread runs in: delegates the slice
@@ -1407,12 +1676,43 @@ struct ProcThread {
 
 impl GuestThread for ProcThread {
     fn run(&mut self, ctx: &mut ThreadContext<'_>) -> ThreadStep {
+        let slice = self
+            .kernel
+            .causal_slice_begin(self.pid, None, ctx.thread_id(), true);
         let step = self.inner.run(ctx);
-        self.kernel.after_main_slice(self.pid, ctx, step)
+        let step = self.kernel.after_main_slice(self.pid, ctx, step);
+        self.kernel.causal_slice_end(self.pid, slice, &mut None);
+        step
     }
 
     fn name(&self) -> &str {
         &self.name
+    }
+}
+
+/// The wrapper for auxiliary process threads (stdin pumps and the
+/// like): each slice gets its own attributed causal span, chained
+/// per-thread off the process root.
+struct AuxSliceThread {
+    kernel: Kernel,
+    pid: u32,
+    inner: Box<dyn GuestThread>,
+    last: Option<SpanContext>,
+}
+
+impl GuestThread for AuxSliceThread {
+    fn run(&mut self, ctx: &mut ThreadContext<'_>) -> ThreadStep {
+        let slice = self
+            .kernel
+            .causal_slice_begin(self.pid, self.last, ctx.thread_id(), false);
+        let step = self.inner.run(ctx);
+        self.kernel
+            .causal_slice_end(self.pid, slice, &mut self.last);
+        step
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
     }
 }
 

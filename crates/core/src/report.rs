@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 
 use doppio_jsengine::Engine;
 use doppio_trace::json::{self, Json};
-use doppio_trace::{HistogramSnapshot, RingSink};
+use doppio_trace::{CausalReport, HistogramSnapshot, RingSink};
 
 use crate::kernel::{Kernel, ProcessSummary};
 use crate::runtime::DoppioRuntime;
@@ -119,6 +119,9 @@ pub struct RunReport {
     pub waitgraph: Option<WaitGraphSummary>,
     /// Trace section (present after `with_trace`).
     pub trace: Option<TraceSummary>,
+    /// Critical-path section (present after `with_causal`): per-class
+    /// latency attribution from the recorded causal trace.
+    pub causal: Option<CausalReport>,
     /// Per-process section (present after `with_kernel`): the kernel's
     /// process table, in pid order.
     pub processes: Option<Vec<ProcessSummary>>,
@@ -158,6 +161,7 @@ impl RunReport {
             profile,
             waitgraph: None,
             trace: None,
+            causal: None,
             processes: None,
         }
     }
@@ -185,6 +189,15 @@ impl RunReport {
         self
     }
 
+    /// Add the critical-path section: replay the causal events in
+    /// `sink` into a [`CausalReport`] (per-request critical paths and
+    /// per-class latency attribution). Truncated rings degrade to a
+    /// verdict rather than a wrong path.
+    pub fn with_causal(mut self, sink: &RingSink) -> RunReport {
+        self.causal = Some(CausalReport::analyze(&sink.events(), sink.dropped()));
+        self
+    }
+
     /// Add the per-process section: `kernel`'s process table (pids,
     /// exit statuses, slice counts, pipe traffic, lifetimes).
     pub fn with_kernel(mut self, kernel: &Kernel) -> RunReport {
@@ -204,7 +217,10 @@ impl RunReport {
     /// fold over the same shard set render byte-identical artifacts.
     /// `now_ns` is the maximum across shards (each shard owns an
     /// independent virtual clock). The profiler, wait-graph, trace,
-    /// and process sections are per-shard artifacts and are left out.
+    /// and process sections are per-shard artifacts and are left out;
+    /// causal critical-path sections DO merge (via the
+    /// order-independent [`CausalReport::merge`]) because cross-shard
+    /// attribution tables are the whole point of a scale run.
     pub fn merge(title: impl Into<String>, reports: &[RunReport]) -> RunReport {
         let mut counters: BTreeMap<String, u64> = BTreeMap::new();
         let mut snaps: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
@@ -229,6 +245,13 @@ impl RunReport {
             .filter(|(_, s)| !s.is_empty())
             .map(|(name, snap)| HistRow::from_snapshot(name, snap))
             .collect();
+        let causal_parts: Vec<CausalReport> =
+            reports.iter().filter_map(|r| r.causal.clone()).collect();
+        let causal = if causal_parts.is_empty() {
+            None
+        } else {
+            Some(CausalReport::merge(&causal_parts))
+        };
         RunReport {
             title: title.into(),
             now_ns,
@@ -238,6 +261,7 @@ impl RunReport {
             profile: None,
             waitgraph: None,
             trace: None,
+            causal,
             processes: None,
         }
     }
@@ -321,6 +345,14 @@ impl RunReport {
             if t.dropped > 0 {
                 s.push_str(&format!("; trace TRUNCATED: {} events dropped", t.dropped));
             }
+        }
+        if let Some(c) = &self.causal {
+            let reqs: u64 = c.classes.values().map(|cl| cl.requests).sum();
+            s.push_str(&format!(
+                "; {} traced requests across {} classes",
+                reqs,
+                c.classes.len()
+            ));
         }
         if let Some(w) = &self.waitgraph {
             if w.deadlock.is_some() {
@@ -414,6 +446,11 @@ impl RunReport {
                         .unwrap_or_else(|| "-".to_string()),
                 ));
             }
+        }
+
+        if let Some(c) = &self.causal {
+            md.push_str("\n## Critical paths\n\n");
+            md.push_str(&c.to_markdown());
         }
 
         if let Some(t) = &self.trace {
@@ -516,6 +553,10 @@ impl RunReport {
             o.insert("capacity".into(), Json::Num(t.capacity as f64));
             o.insert("dropped".into(), Json::Num(t.dropped as f64));
             root.insert("trace".into(), Json::Obj(o));
+        }
+
+        if let Some(c) = &self.causal {
+            root.insert("causal".into(), c.to_json());
         }
 
         if let Some(procs) = &self.processes {
@@ -679,6 +720,7 @@ mod tests {
                 ts_ns: i,
                 dur_ns: 0,
                 tid: 0,
+                id: 0,
                 args: vec![],
             });
         }
@@ -689,5 +731,48 @@ mod tests {
         assert_eq!(t.dropped, 5);
         assert!(r.summary().contains("TRUNCATED"));
         assert!(r.to_markdown().contains("trace is truncated"));
+    }
+
+    #[test]
+    fn causal_section_renders_and_merges() {
+        use doppio_trace::{RingSink, Tracer};
+        use std::rc::Rc;
+
+        let run = |seed: u64| {
+            let sink = Rc::new(RingSink::with_capacity(4096));
+            let e = EngineBuilder::new(Browser::Chrome)
+                .rng_seed(seed)
+                .tracer(Tracer::new(sink.clone()))
+                .build();
+            for _ in 0..3 {
+                e.inject_user_input(|eng| eng.advance_ns(25_000));
+            }
+            e.run_until_idle();
+            RunReport::collect("causal", &e).with_causal(&sink)
+        };
+
+        let r = run(7);
+        let c = r.causal.as_ref().expect("causal section");
+        assert_eq!(c.truncated, 0);
+        let input = c.classes.get("input").expect("input request class");
+        assert_eq!(input.requests, 3);
+        assert!(r.summary().contains("3 traced requests"));
+        let md = r.to_markdown();
+        assert!(md.contains("## Critical paths"));
+        assert!(md.contains("`input`"));
+        let json = r.to_json_string();
+        assert!(json.contains("\"causal\""));
+
+        // Merging shard reports folds their attribution tables, and
+        // stays byte-identical regardless of shard order.
+        let (a, b) = (run(7), run(8));
+        let ab = RunReport::merge("m", &[a.clone(), b.clone()]);
+        let ba = RunReport::merge("m", &[b, a]);
+        let merged = ab.causal.as_ref().expect("merged causal");
+        assert_eq!(merged.classes.get("input").unwrap().requests, 6);
+        assert_eq!(
+            ab.causal.as_ref().unwrap().to_json_string(),
+            ba.causal.as_ref().unwrap().to_json_string()
+        );
     }
 }

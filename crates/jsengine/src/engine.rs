@@ -7,7 +7,8 @@ use std::fmt;
 use std::rc::Rc;
 
 use doppio_trace::{
-    cat, ArgValue, Counter, Histogram, MetricsRegistry, Profiler, TraceSink, Tracer,
+    cat, ArgValue, Causal, Counter, Histogram, MetricsRegistry, Profiler, SpanContext, TraceSink,
+    Tracer,
 };
 
 use crate::error::{EngineError, EngineResult};
@@ -51,6 +52,10 @@ struct Inner {
     metrics: MetricsRegistry,
     counters: EngineCounters,
     tracer: Tracer,
+    /// Causal-tracing handle: mints span ids (from its own seeded
+    /// stream, never the simulation RNG) and carries the ambient
+    /// request context across event hops. See `doppio_trace::causal`.
+    causal: Causal,
     rng_state: Cell<u64>,
     memory: RefCell<MemoryModel>,
     storage: RefCell<StorageSet>,
@@ -330,6 +335,7 @@ impl EngineBuilder {
                 cancelled: RefCell::new(HashSet::new()),
                 metrics: self.metrics,
                 counters,
+                causal: Causal::new(self.rng_seed, tracer.clone()),
                 tracer,
                 rng_state: Cell::new(self.rng_seed),
                 memory: RefCell::new(memory),
@@ -459,6 +465,10 @@ impl Engine {
             seq: self.next_seq(),
             kind,
             timer,
+            // The scheduled callback inherits the request the scheduler
+            // was serving; the hop is silent (no flow event) — domain
+            // edges that matter emit their own flows.
+            ctx: self.inner.causal.current(),
             cb,
         };
         self.inner.queue.borrow_mut().push(ev);
@@ -537,8 +547,21 @@ impl Engine {
     /// Inject a synthetic user-input event (used by responsiveness
     /// tests: if Doppio's segmentation works, these run promptly even
     /// while a long computation is in progress).
+    ///
+    /// Input injection is a causal ingress point: when causal tracing
+    /// is on and no request is ambient, the event roots a fresh
+    /// `input` request whose wall time starts now (so queue wait
+    /// behind a long computation is attributed, not hidden).
     pub fn inject_user_input(&self, cb: impl FnOnce(&Engine) + 'static) {
-        self.enqueue(self.now_ns(), EventKind::UserInput, None, Box::new(cb));
+        let causal = &self.inner.causal;
+        if causal.enabled() && causal.current().is_none() {
+            let ctx = causal.begin_request("input", self.now_ns());
+            let prev = causal.set_current(Some(ctx));
+            self.enqueue(self.now_ns(), EventKind::UserInput, None, Box::new(cb));
+            causal.set_current(prev);
+        } else {
+            self.enqueue(self.now_ns(), EventKind::UserInput, None, Box::new(cb));
+        }
     }
 
     // ----------------------------------------------------------------
@@ -582,6 +605,11 @@ impl Engine {
         }
         self.inner.event_depth.set(self.inner.event_depth.get() + 1);
         let prev_event = self.inner.current_event.replace(Some(ev.kind));
+        // Carry the causal context across the queue hop: the callback
+        // runs as a child span of whatever scheduled it.
+        let causal = &self.inner.causal;
+        let dispatch_ctx = ev.ctx.map(|parent| causal.child(parent));
+        let prev_ctx = causal.set_current(dispatch_ctx);
         (ev.cb)(self);
         // A callback that ran no deeper sample point (no JVM slice, no
         // fs/net boundary) still shows up in the profile under its
@@ -592,6 +620,33 @@ impl Engine {
                 p.sample(now, [ev.kind.name()]);
             }
         }
+        if let (Some(ctx), Some(parent)) = (dispatch_ctx, ev.ctx) {
+            // The gap between the parent's hand-off and this dispatch
+            // is queue wait (or a modeled async delay); name it so the
+            // critical-path walk can attribute it.
+            let wait = match ev.kind {
+                EventKind::Timer => "wait.timer",
+                EventKind::AsyncCompletion => "wait.async",
+                _ => doppio_trace::causal::WAIT_SCHED,
+            };
+            causal.span(
+                "dispatch",
+                ctx,
+                parent.span_id,
+                dispatch_start,
+                self.now_ns(),
+                0,
+                Some(wait),
+            );
+            if ev.kind == EventKind::UserInput {
+                // Input requests end when their handler returns — the
+                // responsiveness metric this event kind exists for. An
+                // input injected from inside another request emits a
+                // req.end with no open request; the analyzer ignores it.
+                causal.end_request(parent, self.now_ns());
+            }
+        }
+        causal.set_current(prev_ctx);
         self.inner.current_event.set(prev_event);
         self.inner.event_depth.set(self.inner.event_depth.get() - 1);
         let elapsed = self.now_ns() - start;
@@ -686,6 +741,25 @@ impl Engine {
     /// arguments, so a disabled tracer costs one branch per site.
     pub fn tracer(&self) -> &Tracer {
         &self.inner.tracer
+    }
+
+    /// The causal-tracing handle: span-context minting, the ambient
+    /// request context, and flow-event emission. Ids come from a
+    /// dedicated stream seeded by [`EngineBuilder::rng_seed`], so
+    /// minting never perturbs [`Engine::random_u64`] and same-seed
+    /// runs mint byte-identical ids.
+    pub fn causal(&self) -> &Causal {
+        &self.inner.causal
+    }
+
+    /// Run `f` with `ctx` installed as the ambient causal context
+    /// (restored afterwards). Subsystems use this to re-root work they
+    /// perform on behalf of a propagated request.
+    pub fn with_causal_ctx<R>(&self, ctx: Option<SpanContext>, f: impl FnOnce() -> R) -> R {
+        let prev = self.inner.causal.set_current(ctx);
+        let r = f();
+        self.inner.causal.set_current(prev);
+        r
     }
 
     /// A snapshot of the engine's counters — a view over

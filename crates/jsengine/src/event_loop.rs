@@ -9,6 +9,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use doppio_trace::SpanContext;
+
 use crate::engine::{Callback, TimerId};
 
 /// What scheduled an event — used for tracing and statistics.
@@ -67,6 +69,10 @@ pub(crate) struct ScheduledEvent {
     pub seq: u64,
     pub kind: EventKind,
     pub timer: Option<TimerId>,
+    /// Causal context captured at scheduling time: the request the
+    /// scheduling code was serving, carried silently across the queue
+    /// hop so the dispatch inherits it.
+    pub ctx: Option<SpanContext>,
     pub cb: Callback,
 }
 
@@ -130,6 +136,7 @@ mod tests {
             seq,
             kind: EventKind::Timer,
             timer: None,
+            ctx: None,
             cb: Box::new(|_| {}),
         }
     }

@@ -232,15 +232,23 @@ fn trace_method_sample(state: &JvmState, frames: &[Frame], ctx: &ThreadContext<'
         return;
     }
     if let Some(frame) = frames.last() {
+        // Tag the sample with the ambient causal context so a trace
+        // viewer (or `CausalGraph`) can tie hot JVM methods back to
+        // the request whose critical path they sit on.
+        let mut args = vec![(
+            "descriptor",
+            ArgValue::Str(frame.code.descriptor.clone().into()),
+        )];
+        if let Some(c) = state.engine.causal().current() {
+            args.push(("trace", ArgValue::U64(c.trace_id)));
+            args.push(("span", ArgValue::U64(c.span_id)));
+        }
         tracer.instant(
             cat::JVM,
             frame.code.name.clone(),
             state.engine.now_ns(),
             ctx.trace_lane(),
-            vec![(
-                "descriptor",
-                ArgValue::Str(frame.code.descriptor.clone().into()),
-            )],
+            args,
         );
     }
 }

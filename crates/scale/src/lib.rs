@@ -20,8 +20,10 @@
 //!   jitter never reaches a simulation;
 //! * the merge ([`doppio_core::report::RunReport::merge`]) is
 //!   order-independent — saturating counter addition and histogram
-//!   bucket merges are associative and commutative — and renders in
-//!   canonical sorted-name order.
+//!   bucket merges are associative and commutative, and per-tenant
+//!   causal critical-path sections fold with the equally commutative
+//!   `CausalReport::merge` — and renders in canonical sorted-name
+//!   order.
 //!
 //! Net effect: a K-shard parallel run produces a [`report::ScaleReport`]
 //! **byte-identical** to a serial run of the same shards

@@ -8,6 +8,13 @@
 //! thread counts, no wall-clock times, no hostnames. That is what
 //! lets CI diff the report from a 1-thread run against an N-thread
 //! run and require byte-identity.
+//!
+//! Tenants that attach a causal critical-path section
+//! ([`RunReport::with_causal`]) get it folded into the merged report
+//! too: per-class request counts and attribution tables sum, the
+//! slowest exemplar path is picked by `(wall_ns, trace_id)` — both
+//! order-independent, so the cross-shard-count byte-identity guarantee
+//! extends to the `## Critical paths` section.
 
 use std::collections::BTreeMap;
 

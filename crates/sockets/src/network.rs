@@ -188,10 +188,22 @@ impl Network {
         } else {
             0
         };
+        // Causal "net" flow: every fabric hop (segment, connect, close —
+        // including fault-split halves and spiked deliveries) hands the
+        // sender's context to the delivery dispatch, so network latency
+        // shows up as `wait.net` on the critical path.
+        let causal = engine.causal().clone();
+        let flow = causal
+            .current()
+            .filter(|_| causal.enabled())
+            .map(|src| causal.flow_start("net", src, engine.now_ns(), 0));
         let net = self.clone();
         engine.complete_async_after(delay_ns, move |e| {
             if hist.is_enabled() {
                 hist.record(e.now_ns().saturating_sub(issued));
+            }
+            if let (Some(fid), Some(dst)) = (flow, causal.current()) {
+                causal.flow_end("net", fid, dst, e.now_ns(), 0);
             }
             f(e, &net);
             net.finish_delivery(id);

@@ -25,6 +25,7 @@ use doppio_fs::backend::FsCallback;
 use doppio_fs::backends::replicated::ObjectStoreClient;
 use doppio_jsengine::Engine;
 use doppio_sockets::{ClientHandlers, ConnId, Network};
+use doppio_trace::SpanContext;
 
 use crate::history::{HistoryRecorder, OpKind};
 use crate::proto::{Frame, FrameBuffer, RequestOp, WriteOp};
@@ -43,6 +44,63 @@ struct Pending {
     op: RequestOp,
     done: DoneFn,
     sent_once: bool,
+    /// Causal bookkeeping for the op, if tracing is on.
+    trace: Option<OpTrace>,
+    /// The op was re-sent after a connection loss; its client span is
+    /// categorized `retry.backoff` so the reconnect window is named on
+    /// the critical path.
+    retried: bool,
+}
+
+/// Causal identity of one client operation: the span frames are
+/// stamped with, who opened the request window, and when.
+struct OpTrace {
+    ctx: SpanContext,
+    parent: u64,
+    /// This op minted the trace (top-level ingress) and must close it.
+    owns_request: bool,
+    begin_ns: u64,
+}
+
+/// Start causal tracking for one op: nested under the ambient context
+/// when there is one, otherwise a fresh request of class `class`.
+fn begin_op(engine: &Engine, class: &'static str) -> Option<OpTrace> {
+    let causal = engine.causal();
+    if !causal.enabled() {
+        return None;
+    }
+    let begin_ns = engine.now_ns();
+    Some(match causal.current() {
+        Some(amb) => OpTrace {
+            ctx: causal.child(amb),
+            parent: amb.span_id,
+            owns_request: false,
+            begin_ns,
+        },
+        None => OpTrace {
+            ctx: causal.begin_request(class, begin_ns),
+            parent: 0,
+            owns_request: true,
+            begin_ns,
+        },
+    })
+}
+
+/// Close causal tracking: emit the op's client-side span (categorized
+/// by whether a retry happened) and the request end if this op opened
+/// the window.
+fn finish_op(engine: &Engine, trace: &Option<OpTrace>, retried: bool) {
+    let Some(t) = trace else { return };
+    let causal = engine.causal();
+    let category: &'static str = if retried {
+        "retry.backoff"
+    } else {
+        "storage.client"
+    };
+    causal.span(category, t.ctx, t.parent, t.begin_ns, t.begin_ns, 0, None);
+    if t.owns_request {
+        causal.end_request(t.ctx, engine.now_ns());
+    }
 }
 
 struct ClientState {
@@ -117,14 +175,19 @@ impl StorageClient {
     /// Fetch the blob at `key` (`Ok(None)` if absent).
     pub fn kv_get(&self, engine: &Engine, key: &str, cb: FsCallback<Option<Vec<u8>>>) {
         let hist = self.begin_history(engine, key, OpKind::Read);
+        let trace = begin_op(engine, "storage:get");
         let inner = self.inner.clone();
         if self.inner.cache_enabled {
             let cached = self.inner.state.borrow().cache.get(key).cloned();
             if let Some(value) = cached {
                 counter(engine, "storage.cache.hit");
-                engine.complete_async_after(CACHE_HIT_NS, move |e| {
-                    complete_history(&inner, hist, e, observed(&value));
-                    cb(e, Ok(value));
+                let ctx = trace.as_ref().map(|t| t.ctx);
+                engine.with_causal_ctx(ctx, || {
+                    engine.complete_async_after(CACHE_HIT_NS, move |e| {
+                        finish_op(e, &trace, false);
+                        complete_history(&inner, hist, e, observed(&value));
+                        cb(e, Ok(value));
+                    });
                 });
                 return;
             }
@@ -137,6 +200,7 @@ impl StorageClient {
             RequestOp::Get {
                 key: key.to_string(),
             },
+            trace,
             Box::new(move |e, value| {
                 if inner.cache_enabled {
                     inner
@@ -160,6 +224,13 @@ impl StorageClient {
             WriteOp::Delete { .. } => OpKind::Write(None),
         };
         let hist = self.begin_history(engine, op.key(), kind);
+        let trace = begin_op(
+            engine,
+            match &op {
+                WriteOp::Put { .. } => "storage:put",
+                WriteOp::Delete { .. } => "storage:delete",
+            },
+        );
         if self.inner.cache_enabled {
             // Write-through: this session always sees its own writes.
             let entry = match &op {
@@ -173,6 +244,7 @@ impl StorageClient {
             &self.inner,
             engine,
             RequestOp::Write(op),
+            trace,
             Box::new(move |e, _| {
                 complete_history(&inner, hist, e, None);
                 cb(e, Ok(()));
@@ -206,7 +278,14 @@ fn complete_history(
     }
 }
 
-fn submit(inner: &Rc<ClientInner>, engine: &Engine, op: RequestOp, done: DoneFn) {
+fn submit(
+    inner: &Rc<ClientInner>,
+    engine: &Engine,
+    op: RequestOp,
+    trace: Option<OpTrace>,
+    done: DoneFn,
+) {
+    let ctx = trace.as_ref().map(|t| t.ctx);
     let (req_id, frame) = {
         let mut st = inner.state.borrow_mut();
         let req_id = st.next_req;
@@ -217,14 +296,19 @@ fn submit(inner: &Rc<ClientInner>, engine: &Engine, op: RequestOp, done: DoneFn)
                 op: op.clone(),
                 done,
                 sent_once: false,
+                trace,
+                retried: false,
             },
         );
-        (req_id, Frame::Request { req_id, op }.encode())
+        (req_id, Frame::Request { req_id, op, ctx }.encode())
     };
     let conn = inner.state.borrow().conn;
     match conn {
         Some(id) => {
-            if inner.net.client_send(id, frame).is_ok() {
+            // Install the op's context so the fabric's "net" flow (and
+            // the delivery dispatch) chain from the op, not the caller.
+            let sent = engine.with_causal_ctx(ctx, || inner.net.client_send(id, frame));
+            if sent.is_ok() {
                 inner
                     .state
                     .borrow_mut()
@@ -299,25 +383,31 @@ fn attempt_connect(inner: &Rc<ClientInner>, engine: &Engine) {
 /// Re-send every pending request on a (re)established connection.
 /// Safe: gets are read-only, writes are idempotent whole-blob ops.
 fn flush_pending(inner: &Rc<ClientInner>, engine: &Engine, conn: ConnId) {
-    let frames: Vec<(u64, Vec<u8>, bool)> = {
+    let frames: Vec<(u64, Vec<u8>, bool, Option<SpanContext>)> = {
         let st = inner.state.borrow();
         st.pending
             .iter()
             .map(|(id, p)| {
+                let ctx = p.trace.as_ref().map(|t| t.ctx);
                 (
                     *id,
                     Frame::Request {
                         req_id: *id,
                         op: p.op.clone(),
+                        ctx,
                     }
                     .encode(),
                     p.sent_once,
+                    ctx,
                 )
             })
             .collect()
     };
-    for (req_id, frame, was_sent) in frames {
-        if inner.net.client_send(conn, frame).is_err() {
+    for (req_id, frame, was_sent, ctx) in frames {
+        // Re-enter the op's own trace: the retried send (and everything
+        // downstream of it) must stay on the op's causal path.
+        let sent = engine.with_causal_ctx(ctx, || inner.net.client_send(conn, frame));
+        if sent.is_err() {
             return; // closed again already; the close handler re-dials
         }
         if was_sent {
@@ -325,6 +415,9 @@ fn flush_pending(inner: &Rc<ClientInner>, engine: &Engine, conn: ConnId) {
         }
         if let Some(p) = inner.state.borrow_mut().pending.get_mut(&req_id) {
             p.sent_once = true;
+            if was_sent {
+                p.retried = true;
+            }
         }
     }
 }
@@ -335,6 +428,7 @@ fn handle_frame(inner: &Rc<ClientInner>, engine: &Engine, frame: Frame) {
             let Some(p) = inner.state.borrow_mut().pending.remove(&req_id) else {
                 return; // duplicate answer after a retry; ignore
             };
+            finish_op(engine, &p.trace, p.retried);
             (p.done)(engine, value);
         }
         Frame::Invalidate { key } if inner.cache_enabled => {

@@ -27,6 +27,7 @@ use std::rc::{Rc, Weak};
 use doppio_faults::{FaultPlan, StorageFault};
 use doppio_jsengine::Engine;
 use doppio_sockets::{ConnId, Network, ServerConn, TcpServerApp};
+use doppio_trace::SpanContext;
 
 use crate::client::StorageClient;
 use crate::proto::{Frame, FrameBuffer, RequestOp, WriteOp};
@@ -65,8 +66,11 @@ struct Node {
     up: Cell<bool>,
     /// Volatile object map — lost on crash, rebuilt from the journal.
     objects: RefCell<BTreeMap<String, Vec<u8>>>,
-    /// Durable write-back journal: `(seq, op)` in sequence order.
-    journal: RefCell<Vec<(u64, WriteOp)>>,
+    /// Durable write-back journal: `(seq, op, ctx)` in sequence order.
+    /// The causal context of the appending span rides along so
+    /// retransmissions can link back to the write that created the
+    /// record.
+    journal: RefCell<Vec<(u64, WriteOp, Option<SpanContext>)>>,
     /// Highest sequence number applied to `objects` (volatile).
     applied: Cell<u64>,
     /// Out-of-order replicate frames awaiting their gap (volatile).
@@ -255,12 +259,12 @@ impl TcpServerApp for NodeApp {
                 return; // a frame crashed the node; drop the rest
             }
             match frame {
-                Frame::Request { req_id, op } => {
+                Frame::Request { req_id, op, ctx } => {
                     node.client_conns.borrow_mut().insert(conn.id().0);
-                    handle_request(&inner, self.idx, &conn, req_id, op, engine);
+                    handle_request(&inner, self.idx, &conn, req_id, op, ctx, engine);
                 }
-                Frame::Replicate { seq, op } => {
-                    handle_replicate(&inner, self.idx, &conn, seq, op, engine);
+                Frame::Replicate { seq, op, ctx } => {
+                    handle_replicate(&inner, self.idx, &conn, seq, op, ctx, engine);
                 }
                 // Acks arrive on the primary's *client-side* link
                 // handlers, never here; anything else is noise.
@@ -302,6 +306,7 @@ fn handle_request(
     conn: &ServerConn,
     req_id: u64,
     op: RequestOp,
+    ctx: Option<SpanContext>,
     engine: &Engine,
 ) {
     match op {
@@ -329,13 +334,13 @@ fn handle_request(
                 if crash_fault(inner, idx, opname, engine) {
                     return; // acked write lost — never journaled
                 }
-                commit_write(inner, idx, conn.id().0, w, engine);
+                commit_write(inner, idx, conn.id().0, w, ctx, engine);
             } else {
                 // Correct order: durable first, ack last.
                 if crash_fault(inner, idx, opname, engine) {
                     return; // un-acked; the client will retry
                 }
-                commit_write(inner, idx, conn.id().0, w, engine);
+                commit_write(inner, idx, conn.id().0, w, ctx, engine);
                 if !inner.nodes[idx].up.get() {
                     return; // crashed at the post-journal decision point
                 }
@@ -354,22 +359,42 @@ fn handle_request(
 /// Journal, apply, replicate, invalidate — the primary commit path.
 /// May crash at the post-journal ("apply") decision point, in which
 /// case the record is durable but unapplied until replay.
-fn commit_write(inner: &Rc<ClusterInner>, idx: usize, from_conn: u64, w: WriteOp, engine: &Engine) {
+fn commit_write(
+    inner: &Rc<ClusterInner>,
+    idx: usize,
+    from_conn: u64,
+    w: WriteOp,
+    ctx: Option<SpanContext>,
+    engine: &Engine,
+) {
     let node = &inner.nodes[idx];
+    let append_ctx = engine.causal().current().or(ctx);
     let seq = {
         let mut journal = node.journal.borrow_mut();
-        let seq = journal.last().map(|(s, _)| *s).unwrap_or(0) + 1;
-        journal.push((seq, w.clone()));
+        let seq = journal.last().map(|(s, _, _)| *s).unwrap_or(0) + 1;
+        journal.push((seq, w.clone(), append_ctx));
         seq
     };
     counter(engine, "storage.journal.append");
+    mark_journal_append(engine, ctx, seq);
     if crash_fault(inner, idx, "apply", engine) {
         return; // durable but unapplied: journal replay recovers it
     }
     apply_op(&mut node.objects.borrow_mut(), &w);
     node.applied.set(seq);
-    replicate_all(inner, seq, &w, engine);
+    replicate_all(inner, seq, &w, ctx, engine);
     invalidate_others(node, from_conn, w.key());
+}
+
+/// Record the durability point on the causal graph: the marker sits on
+/// the handling dispatch span (fallback: the wire context), keyed by
+/// the log sequence number so `TraceQuery::assert_happens_before`
+/// can pair it with the matching replication ack.
+fn mark_journal_append(engine: &Engine, wire_ctx: Option<SpanContext>, seq: u64) {
+    let causal = engine.causal();
+    if let Some(c) = causal.current().or(wire_ctx) {
+        causal.mark("storage.journal.append", c, seq, engine.now_ns());
+    }
 }
 
 fn apply_op(objects: &mut BTreeMap<String, Vec<u8>>, op: &WriteOp) {
@@ -404,7 +429,13 @@ fn invalidate_others(node: &Node, from_conn: u64, key: &str) {
     }
 }
 
-fn replicate_all(inner: &Rc<ClusterInner>, seq: u64, op: &WriteOp, engine: &Engine) {
+fn replicate_all(
+    inner: &Rc<ClusterInner>,
+    seq: u64,
+    op: &WriteOp,
+    ctx: Option<SpanContext>,
+    engine: &Engine,
+) {
     for l in 0..inner.links.len() {
         let link = inner.links[l].clone();
         if link.partitioned.get() {
@@ -438,6 +469,7 @@ fn replicate_all(inner: &Rc<ClusterInner>, seq: u64, op: &WriteOp, engine: &Engi
             let frame = Frame::Replicate {
                 seq,
                 op: op.clone(),
+                ctx,
             }
             .encode();
             if inner.net.client_send(conn, frame).is_ok() {
@@ -456,17 +488,27 @@ fn resend_link(inner: &Rc<ClusterInner>, l: usize, engine: &Engine) {
         return;
     }
     let Some(conn) = link.conn.get() else { return };
-    let records: Vec<(u64, WriteOp)> = inner.nodes[0]
+    let records: Vec<(u64, WriteOp, Option<SpanContext>)> = inner.nodes[0]
         .journal
         .borrow()
         .iter()
-        .filter(|(s, _)| *s > link.acked.get())
+        .filter(|(s, _, _)| *s > link.acked.get())
         .cloned()
         .collect();
-    for (seq, op) in records {
+    for (seq, op, ctx) in records {
+        // A "retry" flow links the retransmission back to the write
+        // that journaled this record: the resend timer may have been
+        // armed by an unrelated commit, so without this edge the
+        // record's eventual ack would be causally orphaned.
+        let causal = engine.causal();
+        if let (Some(src), Some(dst)) = (ctx, causal.current()) {
+            let now = engine.now_ns();
+            let fid = causal.flow_start("retry", src, now, 0);
+            causal.flow_end("retry", fid, dst, now, 0);
+        }
         if inner
             .net
-            .client_send(conn, Frame::Replicate { seq, op }.encode())
+            .client_send(conn, Frame::Replicate { seq, op, ctx }.encode())
             .is_ok()
         {
             counter(engine, "storage.replicate.resent");
@@ -480,7 +522,7 @@ fn primary_seq(inner: &ClusterInner) -> u64 {
         .journal
         .borrow()
         .last()
-        .map(|(s, _)| *s)
+        .map(|(s, _, _)| *s)
         .unwrap_or(0)
 }
 
@@ -513,6 +555,7 @@ fn handle_replicate(
     conn: &ServerConn,
     seq: u64,
     op: WriteOp,
+    ctx: Option<SpanContext>,
     engine: &Engine,
 ) {
     let node = &inner.nodes[idx];
@@ -523,8 +566,12 @@ fn handle_replicate(
             let next = node.holdback.borrow_mut().remove(&(applied + 1));
             let Some(op) = next else { break };
             applied += 1;
-            node.journal.borrow_mut().push((applied, op.clone()));
+            let append_ctx = engine.causal().current().or(ctx);
+            node.journal
+                .borrow_mut()
+                .push((applied, op.clone(), append_ctx));
             counter(engine, "storage.journal.append");
+            mark_journal_append(engine, ctx, applied);
             apply_op(&mut node.objects.borrow_mut(), &op);
             counter(engine, "storage.replicate.applied");
         }
@@ -593,11 +640,11 @@ fn recover_node(inner: &Rc<ClusterInner>, idx: usize, engine: &Engine) {
         let journal = node.journal.borrow();
         let mut objects = node.objects.borrow_mut();
         objects.clear();
-        for (_, op) in journal.iter() {
+        for (_, op, _) in journal.iter() {
             apply_op(&mut objects, op);
         }
         node.applied
-            .set(journal.last().map(|(s, _)| *s).unwrap_or(0));
+            .set(journal.last().map(|(s, _, _)| *s).unwrap_or(0));
         engine
             .metrics()
             .counter("storage.journal.replayed")
@@ -636,10 +683,19 @@ fn attempt_dial(inner: &Rc<ClusterInner>, l: usize) {
     let wd = w.clone();
     let handlers = doppio_sockets::ClientHandlers {
         on_connect: None,
-        on_data: Some(Box::new(move |_e, data| {
+        on_data: Some(Box::new(move |e, data| {
             let Some(inner) = w.upgrade() else { return };
             for frame in buf.push(&data) {
                 if let Frame::Ack { seq } = frame {
+                    // The replication ack's arrival at the primary is
+                    // the causal effect the journal append must
+                    // precede; seq 0 acks carry no durability claim.
+                    if seq > 0 {
+                        let causal = e.causal();
+                        if let Some(c) = causal.current() {
+                            causal.mark("storage.repl.ack", c, seq, e.now_ns());
+                        }
+                    }
                     let link = &inner.links[l];
                     if seq > link.acked.get() {
                         link.acked.set(seq);

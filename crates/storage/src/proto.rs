@@ -6,6 +6,14 @@
 //! self-delimiting (`u32` little-endian payload length, then a tagged
 //! payload), so a [`FrameBuffer`] can reassemble them from arbitrarily
 //! fragmented deliveries.
+//!
+//! `Request` and `Replicate` frames carry an optional causal
+//! [`SpanContext`] so traces cross the storage wire. The context is
+//! encoded at a fixed width (a flag byte plus two u64s, zeros when
+//! absent), which keeps frame lengths — and therefore simulated
+//! transfer delays — independent of whether tracing is enabled.
+
+use doppio_trace::SpanContext;
 
 /// A mutating operation: the unit of journaling and replication.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +70,8 @@ pub enum Frame {
         req_id: u64,
         /// The operation.
         op: RequestOp,
+        /// Causal context of the issuing request, if traced.
+        ctx: Option<SpanContext>,
     },
     /// Primary → client: the answer to `req_id` (`value` is the blob
     /// for gets, `None` for writes and missing keys).
@@ -82,6 +92,9 @@ pub enum Frame {
         seq: u64,
         /// The replicated write.
         op: WriteOp,
+        /// Causal context of the originating write, if traced
+        /// (`None` on retransmissions).
+        ctx: Option<SpanContext>,
     },
     /// Backup → primary: everything up to `seq` is durable here.
     Ack {
@@ -139,6 +152,28 @@ impl<'a> Reader<'a> {
     }
 }
 
+fn put_ctx(buf: &mut Vec<u8>, ctx: &Option<SpanContext>) {
+    match ctx {
+        Some(c) => {
+            buf.push(1);
+            put_u64(buf, c.trace_id);
+            put_u64(buf, c.span_id);
+        }
+        None => {
+            buf.push(0);
+            put_u64(buf, 0);
+            put_u64(buf, 0);
+        }
+    }
+}
+
+fn read_ctx(r: &mut Reader) -> Option<Option<SpanContext>> {
+    let flag = r.u8()?;
+    let trace_id = r.u64()?;
+    let span_id = r.u64()?;
+    Some((flag == 1).then_some(SpanContext { trace_id, span_id }))
+}
+
 fn encode_write(buf: &mut Vec<u8>, op: &WriteOp) {
     match op {
         WriteOp::Put { key, data } => {
@@ -169,9 +204,10 @@ impl Frame {
     pub fn encode(&self) -> Vec<u8> {
         let mut p = Vec::new();
         match self {
-            Frame::Request { req_id, op } => {
+            Frame::Request { req_id, op, ctx } => {
                 p.push(1);
                 put_u64(&mut p, *req_id);
+                put_ctx(&mut p, ctx);
                 match op {
                     RequestOp::Get { key } => {
                         p.push(1);
@@ -198,9 +234,10 @@ impl Frame {
                 p.push(3);
                 put_bytes(&mut p, key.as_bytes());
             }
-            Frame::Replicate { seq, op } => {
+            Frame::Replicate { seq, op, ctx } => {
                 p.push(4);
                 put_u64(&mut p, *seq);
+                put_ctx(&mut p, ctx);
                 encode_write(&mut p, op);
             }
             Frame::Ack { seq } => {
@@ -223,12 +260,13 @@ impl Frame {
         let frame = match r.u8()? {
             1 => {
                 let req_id = r.u64()?;
+                let ctx = read_ctx(&mut r)?;
                 let op = match r.u8()? {
                     1 => RequestOp::Get { key: r.string()? },
                     2 => RequestOp::Write(decode_write(&mut r)?),
                     _ => return None,
                 };
-                Frame::Request { req_id, op }
+                Frame::Request { req_id, op, ctx }
             }
             2 => {
                 let req_id = r.u64()?;
@@ -240,10 +278,15 @@ impl Frame {
                 Frame::Response { req_id, value }
             }
             3 => Frame::Invalidate { key: r.string()? },
-            4 => Frame::Replicate {
-                seq: r.u64()?,
-                op: decode_write(&mut r)?,
-            },
+            4 => {
+                let seq = r.u64()?;
+                let ctx = read_ctx(&mut r)?;
+                Frame::Replicate {
+                    seq,
+                    op: decode_write(&mut r)?,
+                    ctx,
+                }
+            }
             5 => Frame::Ack { seq: r.u64()? },
             _ => return None,
         };
@@ -294,12 +337,17 @@ mod tests {
             Frame::Request {
                 req_id: 7,
                 op: RequestOp::Get { key: "/a".into() },
+                ctx: None,
             },
             Frame::Request {
                 req_id: 8,
                 op: RequestOp::Write(WriteOp::Put {
                     key: "/b".into(),
                     data: b"blob".to_vec(),
+                }),
+                ctx: Some(SpanContext {
+                    trace_id: 0xDEAD,
+                    span_id: 0xBEEF,
                 }),
             },
             Frame::Response {
@@ -314,9 +362,38 @@ mod tests {
             Frame::Replicate {
                 seq: 3,
                 op: WriteOp::Delete { key: "/b".into() },
+                ctx: Some(SpanContext {
+                    trace_id: 1,
+                    span_id: 2,
+                }),
+            },
+            Frame::Replicate {
+                seq: 4,
+                op: WriteOp::Delete { key: "/c".into() },
+                ctx: None,
             },
             Frame::Ack { seq: 3 },
         ]
+    }
+
+    /// Enabling tracing must not change wire lengths (and therefore
+    /// simulated transfer delays): the context field is fixed-width.
+    #[test]
+    fn ctx_presence_does_not_change_frame_length() {
+        let bare = Frame::Request {
+            req_id: 1,
+            op: RequestOp::Get { key: "/k".into() },
+            ctx: None,
+        };
+        let traced = Frame::Request {
+            req_id: 1,
+            op: RequestOp::Get { key: "/k".into() },
+            ctx: Some(SpanContext {
+                trace_id: u64::MAX,
+                span_id: 42,
+            }),
+        };
+        assert_eq!(bare.encode().len(), traced.encode().len());
     }
 
     #[test]

@@ -5,9 +5,11 @@
 //! that format are **microseconds**; ours are virtual nanoseconds, so
 //! values are written as fractional micros to preserve ns precision.
 
+use std::borrow::Cow;
 use std::fmt::Write as _;
 
-use crate::{ArgValue, Phase, TraceEvent};
+use crate::json::{self, Json};
+use crate::{cat, ArgValue, Phase, TraceEvent};
 
 /// Serialize `events` as a complete Chrome trace JSON document.
 ///
@@ -47,6 +49,8 @@ fn write_event(out: &mut String, ev: &TraceEvent) {
         Phase::Instant => "i",
         Phase::Counter => "C",
         Phase::Metadata => "M",
+        Phase::FlowStart => "s",
+        Phase::FlowEnd => "f",
     };
     out.push_str("{\"name\":");
     write_str(out, &ev.name);
@@ -61,6 +65,14 @@ fn write_event(out: &mut String, ev: &TraceEvent) {
     if ev.phase == Phase::Instant {
         // Thread-scoped instant: renders as a tick on its lane.
         out.push_str(",\"s\":\"t\"");
+    }
+    if matches!(ev.phase, Phase::FlowStart | Phase::FlowEnd) {
+        let _ = write!(out, ",\"id\":{}", ev.id);
+        if ev.phase == Phase::FlowEnd {
+            // Bind the arrow head to the enclosing slice, the viewer
+            // convention for hand-offs that complete inside a span.
+            out.push_str(",\"bp\":\"e\"");
+        }
     }
     let _ = write!(out, ",\"pid\":1,\"tid\":{}", ev.tid);
     if !ev.args.is_empty() {
@@ -134,6 +146,141 @@ pub fn export_sink(sink: &crate::RingSink) -> String {
     export(&sink.events(), sink.dropped())
 }
 
+/// Intern a parsed category back onto the workspace's `&'static`
+/// vocabulary. Unknown categories map to the empty string — the
+/// importer exists for re-analysis, and the analyzers only dispatch on
+/// well-known names.
+fn intern_cat(s: &str) -> &'static str {
+    for known in [
+        cat::ENGINE,
+        cat::CORE,
+        cat::FS,
+        cat::NET,
+        cat::JVM,
+        cat::FAULT,
+        cat::PERF,
+        cat::SCHED,
+        cat::PROC,
+        cat::CAUSAL,
+    ] {
+        if s == known {
+            return known;
+        }
+    }
+    if s == "__metadata" {
+        return "__metadata";
+    }
+    ""
+}
+
+/// Arg keys the emitters use, interned for the same reason.
+fn intern_key(s: &str) -> Option<&'static str> {
+    [
+        "trace",
+        "span",
+        "parent",
+        "wait",
+        "class",
+        "key",
+        "value",
+        "kind",
+        "name",
+        "pid",
+        "thread",
+        "step",
+        "dropped_events",
+    ]
+    .into_iter()
+    .find(|k| s == *k)
+}
+
+/// Parse a document produced by [`export`] back into events plus the
+/// recorded dropped-event count — the strict half of the round-trip
+/// the causal analyzer is tested against. Unknown arg keys are
+/// skipped; malformed documents (or ones this exporter could not have
+/// written) are errors, not best-effort guesses.
+pub fn import(doc: &str) -> Result<(Vec<TraceEvent>, u64), String> {
+    let v = json::parse(doc)?;
+    let evs = v
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing traceEvents array")?;
+    let dropped = v
+        .get("metadata")
+        .and_then(|m| m.get("dropped_events"))
+        .and_then(Json::as_f64)
+        .ok_or("missing metadata.dropped_events")? as u64;
+    let ts_of = |e: &Json, key: &str| -> Result<u64, String> {
+        let us = e
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric {key}"))?;
+        Ok((us * 1000.0).round() as u64)
+    };
+    let mut out = Vec::with_capacity(evs.len());
+    for e in evs {
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("event missing name")?
+            .to_string();
+        let cat_name = e
+            .get("cat")
+            .and_then(Json::as_str)
+            .ok_or("event missing cat")?;
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or("event missing ph")?;
+        let phase = match ph {
+            "X" => Phase::Complete,
+            "i" => Phase::Instant,
+            "C" => Phase::Counter,
+            "M" => Phase::Metadata,
+            "s" => Phase::FlowStart,
+            "f" => Phase::FlowEnd,
+            other => return Err(format!("unknown phase {other:?}")),
+        };
+        let dur_ns = if phase == Phase::Complete {
+            ts_of(e, "dur")?
+        } else {
+            0
+        };
+        let id = match e.get("id").and_then(Json::as_f64) {
+            Some(n) => n as u64,
+            None if matches!(phase, Phase::FlowStart | Phase::FlowEnd) => {
+                return Err(format!("flow event {name:?} missing id"))
+            }
+            None => 0,
+        };
+        let mut args = Vec::new();
+        if let Some(Json::Obj(map)) = e.get("args") {
+            for (k, val) in map {
+                let Some(key) = intern_key(k) else { continue };
+                let arg = match val {
+                    Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 => ArgValue::U64(*n as u64),
+                    Json::Num(n) => ArgValue::F64(*n),
+                    Json::Bool(b) => ArgValue::Bool(*b),
+                    Json::Str(s) => ArgValue::Str(Cow::Owned(s.clone())),
+                    _ => continue,
+                };
+                args.push((key, arg));
+            }
+        }
+        out.push(TraceEvent {
+            name: Cow::Owned(name),
+            cat: intern_cat(cat_name),
+            phase,
+            ts_ns: ts_of(e, "ts")?,
+            dur_ns,
+            tid: e.get("tid").and_then(Json::as_f64).unwrap_or(0.0) as u32,
+            id,
+            args,
+        });
+    }
+    Ok((out, dropped))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +295,7 @@ mod tests {
             ts_ns: ts,
             dur_ns: dur,
             tid: 0,
+            id: 0,
             args: vec![],
         }
     }
@@ -215,6 +363,55 @@ mod tests {
         // A complete trace stays free of the marker.
         let clean = export(&[ev("e", Phase::Instant, 1, 0)], 0);
         assert!(!clean.contains("trace.dropped"));
+    }
+
+    #[test]
+    fn flow_phases_survive_export_and_import() {
+        let mut s = ev("pipe", Phase::FlowStart, 1_000, 0);
+        s.cat = cat::CAUSAL;
+        s.id = 77;
+        s.args = vec![("trace", 5u64.into()), ("span", 6u64.into())];
+        let mut f = ev("pipe", Phase::FlowEnd, 2_500, 0);
+        f.cat = cat::CAUSAL;
+        f.id = 77;
+        f.args = vec![("trace", 5u64.into()), ("span", 9u64.into())];
+        let doc = export(&[s, f], 0);
+        let v = json::parse(&doc).unwrap();
+        let evs = v.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert_eq!(evs[0].get("ph").unwrap().as_str(), Some("s"));
+        assert_eq!(evs[0].get("id").unwrap().as_f64(), Some(77.0));
+        assert_eq!(evs[1].get("ph").unwrap().as_str(), Some("f"));
+        assert_eq!(evs[1].get("bp").unwrap().as_str(), Some("e"));
+
+        let (parsed, dropped) = import(&doc).expect("round-trip");
+        assert_eq!(dropped, 0);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].phase, Phase::FlowStart);
+        assert_eq!(parsed[0].id, 77);
+        assert_eq!(parsed[0].cat, cat::CAUSAL);
+        assert_eq!(parsed[0].ts_ns, 1_000);
+        assert_eq!(parsed[1].phase, Phase::FlowEnd);
+        assert_eq!(
+            parsed[1].args,
+            vec![("span", ArgValue::U64(9)), ("trace", ArgValue::U64(5)),]
+        );
+    }
+
+    #[test]
+    fn import_rejects_flow_events_without_an_id() {
+        let doc = "{\"traceEvents\":[{\"name\":\"x\",\"cat\":\"causal\",\
+                    \"ph\":\"s\",\"ts\":1,\"pid\":1,\"tid\":0}],\
+                    \"metadata\":{\"dropped_events\":0}}";
+        assert!(import(doc).unwrap_err().contains("missing id"));
+    }
+
+    #[test]
+    fn import_recovers_the_dropped_count() {
+        let doc = export(&[ev("e", Phase::Instant, 1, 0)], 7);
+        let (evs, dropped) = import(&doc).unwrap();
+        assert_eq!(dropped, 7);
+        // The trace.dropped metadata marker is parsed, not invented.
+        assert_eq!(evs.len(), 2);
     }
 
     #[test]

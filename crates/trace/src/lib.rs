@@ -24,6 +24,10 @@
 //!   folded-stack output for flamegraph tooling (see [`profiler`]).
 //! * [`chrome`] — serializes recorded events to Chrome `trace_event`
 //!   JSON; the output opens directly in `chrome://tracing` or Perfetto.
+//! * [`causal`] — cross-process span propagation ([`SpanContext`],
+//!   flow begin/end events) and the offline [`CausalGraph`] analyzer
+//!   that reconstructs per-request causality DAGs, walks virtual-time
+//!   critical paths, and attributes request latency per category.
 //! * [`prometheus`] — text-exposition rendering of the registry's
 //!   counters and histograms.
 //! * [`json`] — a minimal JSON reader/writer used by exporters and
@@ -35,6 +39,7 @@
 use std::borrow::Cow;
 use std::rc::Rc;
 
+pub mod causal;
 pub mod chrome;
 pub mod hist;
 pub mod json;
@@ -44,6 +49,7 @@ pub mod prometheus;
 pub mod ring;
 pub mod sink;
 
+pub use causal::{Causal, CausalGraph, CausalReport, SpanContext, TraceQuery};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use metrics::{Counter, MetricsRegistry, Snapshot};
 pub use profiler::Profiler;
@@ -76,6 +82,9 @@ pub mod cat {
     /// Kernel process lifecycle: spawns, exits, signals, and pipe
     /// transfers, each tagged with the pid it concerns.
     pub const PROC: &str = "proc";
+    /// Causal layer: request ingress/egress markers, attributed spans,
+    /// and cross-domain flow edges. See [`crate::causal`].
+    pub const CAUSAL: &str = "causal";
 }
 
 /// Trace event phase, mirroring the Chrome `trace_event` `ph` field.
@@ -89,6 +98,12 @@ pub enum Phase {
     Counter,
     /// Stream metadata such as thread names (`ph: "M"`).
     Metadata,
+    /// A flow-edge begin (`ph: "s"`): work left this point for another
+    /// lane/process; paired with a [`Phase::FlowEnd`] by `id`.
+    FlowStart,
+    /// A flow-edge end (`ph: "f"`): the work that started at the
+    /// matching [`Phase::FlowStart`] landed here.
+    FlowEnd,
 }
 
 /// A typed argument value attached to an event.
@@ -157,6 +172,8 @@ pub struct TraceEvent {
     pub dur_ns: u64,
     /// Lane the event renders in; see [`Tracer`] docs for conventions.
     pub tid: u32,
+    /// Flow-pair correlation id (flow phases only; 0 otherwise).
+    pub id: u64,
     /// Typed key/value annotations.
     pub args: Vec<(&'static str, ArgValue)>,
 }
@@ -204,6 +221,17 @@ impl Tracer {
         self.enabled
     }
 
+    /// Record a fully-formed event. Prefer the shaped helpers
+    /// ([`Tracer::complete`], [`Tracer::instant`], …); this exists for
+    /// emitters — like the [`causal`] layer — that build events with
+    /// flow phases or correlation ids the helpers do not cover.
+    #[inline]
+    pub fn record(&self, ev: TraceEvent) {
+        if self.enabled {
+            self.sink.record(ev);
+        }
+    }
+
     /// Record a complete span (`ph: "X"`) covering
     /// `[ts_ns, ts_ns + dur_ns]` on lane `tid`.
     #[inline]
@@ -224,6 +252,7 @@ impl Tracer {
                 ts_ns,
                 dur_ns,
                 tid,
+                id: 0,
                 args,
             });
         }
@@ -247,6 +276,7 @@ impl Tracer {
                 ts_ns,
                 dur_ns: 0,
                 tid,
+                id: 0,
                 args,
             });
         }
@@ -270,6 +300,7 @@ impl Tracer {
                 ts_ns,
                 dur_ns: 0,
                 tid: 0,
+                id: 0,
                 args: vec![("value", ArgValue::U64(value))],
             });
         }
@@ -286,6 +317,7 @@ impl Tracer {
                 ts_ns: 0,
                 dur_ns: 0,
                 tid,
+                id: 0,
                 args: vec![("name", ArgValue::Str(name.into()))],
             });
         }

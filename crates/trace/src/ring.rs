@@ -92,6 +92,7 @@ mod tests {
             ts_ns: ts,
             dur_ns: 0,
             tid: 0,
+            id: 0,
             args: vec![],
         }
     }

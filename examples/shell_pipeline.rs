@@ -180,8 +180,28 @@ fn main() {
     let report = RunReport::collect("shell_pipeline", &engine)
         .with_runtime(&kernel.runtime())
         .with_kernel(&kernel)
-        .with_trace(&sink);
+        .with_trace(&sink)
+        .with_causal(&sink);
     println!("---\n{}", report.summary());
+
+    // Causal tracing followed the pipeline: each spawn rooted a
+    // `proc:<name>` request, every request's wall time decomposed into
+    // named categories, and the walk reached a terminal span.
+    let causal = report.causal.as_ref().expect("causal section");
+    assert_eq!(causal.truncated, 0, "default ring must not truncate");
+    for name in ["proc:disasm", "proc:grep", "proc:wc"] {
+        let class = causal
+            .classes
+            .get(name)
+            .unwrap_or_else(|| panic!("traced request class {name}"));
+        assert_eq!(class.requests, 1);
+        assert!(
+            class.named_ns() * 100 >= class.wall_ns * 95,
+            "{name}: {} of {} ns attributed",
+            class.named_ns(),
+            class.wall_ns
+        );
+    }
 
     if let Some(dir) = out_dir {
         std::fs::create_dir_all(&dir).expect("create out dir");
@@ -190,7 +210,11 @@ fn main() {
         std::fs::write(path("report.md"), report.to_markdown()).expect("write report.md");
         std::fs::write(path("report.json"), report.to_json_string()).expect("write report.json");
         std::fs::write(path("trace.json"), chrome::export_sink(&sink)).expect("write trace.json");
-        println!("wrote transcript.txt, report.md, report.json, trace.json to {dir}");
+        std::fs::write(path("critical_paths.json"), causal.to_json_string())
+            .expect("write critical_paths.json");
+        println!(
+            "wrote transcript.txt, report.md, report.json, trace.json, critical_paths.json to {dir}"
+        );
     }
 
     // The pipeline really flowed: every stage's class line survived

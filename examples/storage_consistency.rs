@@ -19,18 +19,29 @@
 //! (defaults to the CI seed list `1 2 3`).
 
 use std::fmt::Write as _;
+use std::rc::Rc;
 
 use doppio::faults::{FaultConfig, FaultPlan};
-use doppio::jsengine::{Browser, Engine};
+use doppio::jsengine::Browser;
 use doppio::report::RunReport;
 use doppio::scale::run_sharded;
 use doppio::sockets::Network;
 use doppio::storage::{HistoryRecorder, StorageClient, StorageCluster, StorageConfig, WriteOp};
+use doppio::trace::RingSink;
+use doppio::EngineBuilder;
 
 /// One matrix cell: the chaos workload for `seed`, rendered as a
 /// transcript that is byte-comparable across runs and thread counts.
 fn scenario(seed: u64) -> String {
-    let engine = Engine::new(Browser::Chrome);
+    // Causal tracing is on: every client op roots a `storage:*`
+    // request, and the per-class critical-path JSON joins the
+    // transcript — so the serial-vs-sharded diff (and CI's double-run
+    // diff) also proves the causal artifact deterministic.
+    let sink = Rc::new(RingSink::with_capacity(1 << 16));
+    let engine = EngineBuilder::new(Browser::Chrome)
+        .rng_seed(seed)
+        .trace_sink(sink.clone())
+        .build();
     let net = Network::new(&engine);
     let plan = FaultPlan::new(seed, FaultConfig::chaos());
     let cluster =
@@ -110,7 +121,20 @@ fn scenario(seed: u64) -> String {
         writeln!(t, "  {}ns {} {}", rec.ts_ns, rec.kind, rec.detail).unwrap();
     }
     t += &history.render();
-    t += &RunReport::collect("storage-chaos", &engine).to_markdown();
+    let report = RunReport::collect("storage-chaos", &engine).with_causal(&sink);
+    let causal = report.causal.as_ref().expect("causal section");
+    assert_eq!(causal.truncated, 0, "ring sized for the whole run");
+    for (class, stats) in &causal.classes {
+        assert!(
+            stats.named_ns() * 100 >= stats.wall_ns * 95,
+            "seed {seed} {class}: only {} of {} ns attributed",
+            stats.named_ns(),
+            stats.wall_ns
+        );
+    }
+    t += &report.to_markdown();
+    t += "\n## Critical paths (JSON)\n\n";
+    t += &causal.to_json_string();
     t
 }
 

@@ -25,10 +25,12 @@
 //! host seconds, simulated users/sec/core) to `BENCH_scale.json`
 //! (override the path with `DOPPIO_BENCH_SCALE_OUT`).
 
+use std::rc::Rc;
 use std::time::Instant;
 
 use doppio::jsengine::Browser;
 use doppio::scale::{self, TenantRun, TenantSpec};
+use doppio::trace::RingSink;
 use doppio::workloads::responsiveness::run_responsiveness_on;
 use doppio::EngineBuilder;
 use doppio_bench::results;
@@ -40,9 +42,15 @@ const CLICK_INTERVAL_MS: f64 = 16.0;
 /// responsiveness workload, and the end-of-run report. Everything is
 /// built inside the closure — nothing crosses threads but plain data.
 fn tenant(spec: TenantSpec) -> TenantRun {
+    // Causal tracing rides along: every synthetic click roots an
+    // `input` request, the tenant's report carries its per-class
+    // attribution table, and `ScaleReport`'s merge folds the tables —
+    // so the byte-identity assertions below cover the causal section.
+    let sink = Rc::new(RingSink::with_capacity(1 << 18));
     let engine = EngineBuilder::new(Browser::Chrome)
         .rng_seed(spec.seed)
         .histograms(true)
+        .trace_sink(sink.clone())
         .build();
     let r = run_responsiveness_on("deltablue", engine, CLICK_INTERVAL_MS);
     TenantRun {
@@ -51,7 +59,7 @@ fn tenant(spec: TenantSpec) -> TenantRun {
             None => "exit(0)".to_string(),
             Some(u) => format!("uncaught: {u}"),
         },
-        report: r.outcome.report.clone(),
+        report: r.outcome.report.clone().with_causal(&sink),
     }
 }
 
@@ -111,6 +119,14 @@ fn main() {
         .map(|h| h.count)
         .unwrap_or(0);
     assert!(clicks > 0, "tenants recorded no user clicks");
+
+    // The merged causal section agrees with the histograms: every
+    // click the tenants recorded shows up as one traced `input`
+    // request in the folded attribution table.
+    let causal = report.merged.causal.as_ref().expect("merged causal");
+    assert_eq!(causal.truncated, 0, "tenant rings must not truncate");
+    let input = causal.classes.get("input").expect("input request class");
+    assert_eq!(input.requests, clicks, "traced requests == clicks");
     let cores = threads.max(1) as f64;
     let users_per_sec_per_core = clicks as f64 / host_secs / cores;
 
